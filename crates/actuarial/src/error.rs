@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for actuarial model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActuarialError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// An age was outside the life table's supported range.
+    AgeOutOfRange {
+        /// The offending age.
+        age: u32,
+        /// The table's maximum age ω.
+        omega: u32,
+    },
+    /// The portfolio or model-point set was empty where policies are
+    /// required.
+    EmptyPortfolio,
+}
+
+impl fmt::Display for ActuarialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActuarialError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ActuarialError::AgeOutOfRange { age, omega } => {
+                write!(f, "age {age} outside table range (omega = {omega})")
+            }
+            ActuarialError::EmptyPortfolio => write!(f, "portfolio contains no policies"),
+        }
+    }
+}
+
+impl Error for ActuarialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = ActuarialError::AgeOutOfRange { age: 130, omega: 120 };
+        assert!(e.to_string().contains("130"));
+    }
+}

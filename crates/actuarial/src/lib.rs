@@ -1,0 +1,44 @@
+//! Actuarial substrate of the DISAR reproduction.
+//!
+//! DISAR is "designed for the evaluation and control of minimum-guaranteed
+//! profit-sharing life policies indexed to the returns of dedicated funds
+//! (segregated funds)" — the dominant life product in Italy. This crate
+//! implements the actuarial half of that system:
+//!
+//! - [`mortality`]: Gompertz–Makeham life tables, survival/death
+//!   probabilities, curtate life expectancy;
+//! - [`lapse`]: policyholder-lapse models (constant hazard and a
+//!   duration-dependent variant);
+//! - [`contracts`]: the profit-sharing contract mechanics of §II — the
+//!   readjustment rate `ρ_t` (Eq. 3), the readjustment factor `Φ_T`
+//!   (Eq. 2) and the insured-sum recursion `C_t = C_{t−1}(1 + ρ_t)`
+//!   (Eq. 5) — for pure endowments, endowments, term insurance and whole
+//!   life;
+//! - [`model_points`]: grouping of individual policies into *representative
+//!   contracts* ("the policies with equal insurance parameters"), the first
+//!   characteristic parameter of the paper's ML feature vector;
+//! - [`portfolio`]: a synthetic generator of Italian-market-like policy
+//!   portfolios (the paper's three company portfolios are proprietary);
+//! - [`engine`]: **DiActEng**, the type-A EEB evaluator producing
+//!   probabilized cash-flow schedules consumed by the ALM engine.
+//!
+//! # Example
+//!
+//! ```
+//! use disar_actuarial::mortality::LifeTable;
+//!
+//! let table = LifeTable::italian_annuitants();
+//! let p = table.survival_probability(40, 25);
+//! assert!(p > 0.8 && p < 1.0);
+//! ```
+
+pub mod contracts;
+pub mod engine;
+pub mod lapse;
+pub mod model_points;
+pub mod mortality;
+pub mod portfolio;
+
+mod error;
+
+pub use error::ActuarialError;

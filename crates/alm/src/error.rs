@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for ALM valuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlmError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// Scenario data did not match the configured drivers/grid.
+    ScenarioMismatch(String),
+    /// An underlying stochastic component failed.
+    Stochastic(String),
+    /// A numerical routine (e.g. the LSMC regression) failed.
+    Numerical(String),
+}
+
+impl fmt::Display for AlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlmError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            AlmError::ScenarioMismatch(what) => write!(f, "scenario mismatch: {what}"),
+            AlmError::Stochastic(what) => write!(f, "scenario generation failed: {what}"),
+            AlmError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl Error for AlmError {}
+
+impl From<disar_stochastic::StochasticError> for AlmError {
+    fn from(e: disar_stochastic::StochasticError) -> Self {
+        AlmError::Stochastic(e.to_string())
+    }
+}
+
+impl From<disar_math::MathError> for AlmError {
+    fn from(e: disar_math::MathError) -> Self {
+        AlmError::Numerical(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: AlmError = disar_math::MathError::Singular.into();
+        assert!(matches!(e, AlmError::Numerical(_)));
+        let e: AlmError = disar_stochastic::StochasticError::InvalidParameter("x").into();
+        assert!(matches!(e, AlmError::Stochastic(_)));
+    }
+}

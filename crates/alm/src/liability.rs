@@ -1,0 +1,323 @@
+//! Scenario-wise liability valuation.
+//!
+//! Combines the three ingredients the DISAR factorization separates:
+//!
+//! 1. the *probabilized cash-flow schedule* from DiActEng (actuarial
+//!    decrements, financial-independent);
+//! 2. the *fund return series* `I_t` from the segregated fund on one
+//!    scenario;
+//! 3. the *readjustment* `Φ_t` of Eq. (2) and the scenario's discount
+//!    factors.
+//!
+//! The present value of a schedule on a scenario is
+//!
+//! ```text
+//! PV = Σ_t  flow_t · Φ_t · df(t)
+//! ```
+//!
+//! where `flow_t` are pre-readjustment currency units (benefits are linear
+//! in the readjusted insured sum, so this is exact, "without loss of
+//! information").
+
+use crate::fund::SegregatedFund;
+use crate::AlmError;
+use disar_actuarial::contracts::ProfitSharing;
+use disar_actuarial::engine::CashFlowSchedule;
+use disar_stochastic::scenario::ScenarioSet;
+use serde::{Deserialize, Serialize};
+
+/// One liability position to value: a probabilized schedule plus its
+/// profit-sharing parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiabilityPosition {
+    /// The type-A output for this model point.
+    pub schedule: CashFlowSchedule,
+    /// The contract's profit-sharing parameters (drives `Φ_t`).
+    pub profit_sharing: ProfitSharing,
+}
+
+/// Values a set of liability positions on one scenario path.
+///
+/// Fund returns are computed once per path and shared across positions —
+/// the same economy of work DISAR exploits when it groups policies into
+/// EEBs on the same segregated fund.
+///
+/// Flows beyond the scenario horizon are conservatively valued as paid at
+/// the horizon (they keep the last available `Φ` and discount factor); in
+/// practice generators are built with `horizon ≥ max term` so this is a
+/// documented edge case, not the normal path.
+///
+/// # Errors
+///
+/// Propagates [`AlmError::ScenarioMismatch`] from the fund-return
+/// computation.
+pub fn value_positions_on_path(
+    positions: &[LiabilityPosition],
+    fund: &SegregatedFund,
+    set: &ScenarioSet,
+    path: usize,
+    equity_driver: usize,
+    rate_driver: usize,
+) -> Result<f64, AlmError> {
+    let returns = fund.annual_returns(set, path, equity_driver, rate_driver)?;
+    let spy = set.grid().steps_per_year();
+    let n_years = returns.len();
+
+    // Precompute per-year discount factors once.
+    let dfs: Vec<f64> = (1..=n_years)
+        .map(|k| set.discount_factor(path, k * spy))
+        .collect();
+
+    let mut total = 0.0;
+    for pos in positions {
+        // Cumulative readjustment factor Φ_t for this position's (β, i).
+        let mut phi = 1.0;
+        let mut pv = 0.0;
+        for flow in &pos.schedule.flows {
+            let k = flow.year as usize; // 1-based
+            let idx = k.min(n_years); // clamp beyond-horizon flows
+            if k <= n_years {
+                phi *= 1.0 + pos.profit_sharing.readjustment_rate(returns[k - 1]);
+            }
+            pv += flow.total() * phi * dfs[idx - 1];
+        }
+        total += pv;
+    }
+    Ok(total)
+}
+
+/// Like [`value_positions_on_path`] but returning one PV per position
+/// (fund returns still computed once). The nested Monte Carlo needs the
+/// per-position split because each position carries its own realized
+/// first-year readjustment `Φ_1`.
+///
+/// # Errors
+///
+/// Propagates [`AlmError::ScenarioMismatch`] from the fund-return
+/// computation.
+pub fn value_each_position_on_path(
+    positions: &[LiabilityPosition],
+    fund: &SegregatedFund,
+    set: &ScenarioSet,
+    path: usize,
+    equity_driver: usize,
+    rate_driver: usize,
+) -> Result<Vec<f64>, AlmError> {
+    let returns = fund.annual_returns(set, path, equity_driver, rate_driver)?;
+    let spy = set.grid().steps_per_year();
+    let n_years = returns.len();
+    let dfs: Vec<f64> = (1..=n_years)
+        .map(|k| set.discount_factor(path, k * spy))
+        .collect();
+
+    let mut out = Vec::with_capacity(positions.len());
+    for pos in positions {
+        let mut phi = 1.0;
+        let mut pv = 0.0;
+        for flow in &pos.schedule.flows {
+            let k = flow.year as usize;
+            let idx = k.min(n_years);
+            if k <= n_years {
+                phi *= 1.0 + pos.profit_sharing.readjustment_rate(returns[k - 1]);
+            }
+            pv += flow.total() * phi * dfs[idx - 1];
+        }
+        out.push(pv);
+    }
+    Ok(out)
+}
+
+/// Shifts a schedule forward by `years`: flows already paid are dropped and
+/// the remaining flow years are renumbered relative to the new valuation
+/// date. Used to value the *remaining* liability at `t = 1` in the nested
+/// procedure.
+pub fn shift_schedule(schedule: &CashFlowSchedule, years: u32) -> CashFlowSchedule {
+    let flows: Vec<_> = schedule
+        .flows
+        .iter()
+        .filter(|f| f.year > years)
+        .map(|f| disar_actuarial::engine::YearFlow {
+            year: f.year - years,
+            ..*f
+        })
+        .collect();
+    CashFlowSchedule {
+        term: schedule.term.saturating_sub(years),
+        flows,
+        residual_in_force: schedule.residual_in_force,
+    }
+}
+
+/// Values the positions on *every* path of the set, returning one PV per
+/// path (the inner-simulation work unit of the nested procedure).
+///
+/// # Errors
+///
+/// Propagates errors from [`value_positions_on_path`].
+pub fn value_positions_all_paths(
+    positions: &[LiabilityPosition],
+    fund: &SegregatedFund,
+    set: &ScenarioSet,
+    equity_driver: usize,
+    rate_driver: usize,
+) -> Result<Vec<f64>, AlmError> {
+    (0..set.n_paths())
+        .map(|p| value_positions_on_path(positions, fund, set, p, equity_driver, rate_driver))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+    use disar_actuarial::engine::ActuarialEngine;
+    use disar_actuarial::lapse::ConstantLapse;
+    use disar_actuarial::model_points::ModelPoint;
+    use disar_actuarial::mortality::{Gender, LifeTable};
+    use disar_stochastic::drivers::{Gbm, Vasicek};
+    use disar_stochastic::scenario::{Measure, ScenarioGenerator, TimeGrid};
+
+    fn make_position(term: u32, beta: f64, tech: f64) -> LiabilityPosition {
+        let table = LifeTable::italian_population();
+        let lapse = ConstantLapse::new(0.03).unwrap();
+        let engine = ActuarialEngine::new(&table, &lapse);
+        let ps = ProfitSharing::new(beta, tech).unwrap();
+        let c =
+            Contract::new(ProductKind::Endowment, 45, Gender::Male, term, 1000.0, ps).unwrap();
+        let mp = ModelPoint {
+            contract: c,
+            policy_count: 1,
+        };
+        LiabilityPosition {
+            schedule: engine.cash_flow_schedule(&mp).unwrap(),
+            profit_sharing: ps,
+        }
+    }
+
+    fn q_set(horizon: f64, n_paths: usize, seed: u64) -> ScenarioSet {
+        ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.0).unwrap()))
+            .driver(Box::new(Gbm::new(100.0, 0.06, 0.18, 0.03).unwrap()))
+            .grid(TimeGrid::new(horizon, 12).unwrap())
+            .build()
+            .unwrap()
+            .generate(Measure::RiskNeutral, n_paths, seed, None)
+            .unwrap()
+    }
+
+    #[test]
+    fn pv_is_positive_and_below_undiscounted_max() {
+        let pos = make_position(10, 0.8, 0.02);
+        let set = q_set(12.0, 20, 5);
+        let fund = SegregatedFund::italian_typical(20);
+        for p in 0..set.n_paths() {
+            let pv = value_positions_on_path(std::slice::from_ref(&pos), &fund, &set, p, 1, 0).unwrap();
+            assert!(pv > 0.0);
+            // Φ is bounded on these scenarios and discounting shrinks, so a
+            // loose sanity ceiling: 3× the expected nominal benefits.
+            assert!(pv < 3.0 * pos.schedule.total_expected_benefits());
+        }
+    }
+
+    #[test]
+    fn higher_participation_is_worth_more() {
+        // Everything else equal, a larger participation coefficient β can
+        // only increase ρ_t (max(βI, i) is non-decreasing in β), hence Φ_t
+        // and the liability value. (Note the technical rate i is *not*
+        // monotone this way: Eq. 2 normalizes it out of the crediting.)
+        let lo = make_position(15, 0.70, 0.01);
+        let hi = make_position(15, 0.95, 0.01);
+        let set = q_set(16.0, 50, 7);
+        let fund = SegregatedFund::italian_typical(20);
+        let pv_lo: f64 = value_positions_all_paths(std::slice::from_ref(&lo), &fund, &set, 1, 0)
+            .unwrap()
+            .iter()
+            .sum();
+        let pv_hi: f64 = value_positions_all_paths(&[hi], &fund, &set, 1, 0)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!(pv_hi > pv_lo, "higher participation must raise value");
+    }
+
+    #[test]
+    fn valuation_is_additive_over_positions() {
+        let a = make_position(10, 0.8, 0.02);
+        let b = make_position(20, 0.85, 0.01);
+        let set = q_set(21.0, 5, 9);
+        let fund = SegregatedFund::italian_typical(20);
+        for p in 0..set.n_paths() {
+            let sep = value_positions_on_path(std::slice::from_ref(&a), &fund, &set, p, 1, 0).unwrap()
+                + value_positions_on_path(std::slice::from_ref(&b), &fund, &set, p, 1, 0).unwrap();
+            let joint =
+                value_positions_on_path(&[a.clone(), b.clone()], &fund, &set, p, 1, 0).unwrap();
+            assert!((sep - joint).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_rates_zero_equity_gives_nominal_floor() {
+        // Deterministic degenerate economy: rate pinned at 0 (sigma 0,
+        // r0 = b = 0), equity flat, guarantee 0 ⇒ Φ = 1, df = 1, so PV =
+        // sum of expected nominal benefits.
+        let set = ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.0, 0.5, 0.0, 0.0, 0.0).unwrap()))
+            .driver(Box::new(Gbm::new(100.0, 0.0, 0.0, 0.0).unwrap()))
+            .grid(TimeGrid::new(12.0, 12).unwrap())
+            .build()
+            .unwrap()
+            .generate(Measure::RiskNeutral, 1, 0, None)
+            .unwrap();
+        // Fund with zero book yield and no dividends returns exactly zero.
+        let fund = SegregatedFund::new(1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 5).unwrap();
+        let pos = make_position(10, 0.8, 0.0);
+        let pv = value_positions_on_path(std::slice::from_ref(&pos), &fund, &set, 0, 1, 0).unwrap();
+        let nominal = pos.schedule.total_expected_benefits();
+        assert!((pv - nominal).abs() < 1e-9, "pv {pv} vs nominal {nominal}");
+    }
+
+    #[test]
+    fn flows_beyond_horizon_are_clamped_not_dropped() {
+        let pos = make_position(20, 0.8, 0.02);
+        let short = q_set(5.0, 3, 11);
+        let fund = SegregatedFund::italian_typical(10);
+        let pv = value_positions_on_path(&[pos], &fund, &short, 0, 1, 0).unwrap();
+        assert!(pv > 0.0, "clamped valuation must still count the flows");
+    }
+
+    #[test]
+    fn per_position_values_sum_to_joint() {
+        let a = make_position(10, 0.8, 0.02);
+        let b = make_position(20, 0.85, 0.01);
+        let set = q_set(21.0, 4, 13);
+        let fund = SegregatedFund::italian_typical(20);
+        for p in 0..set.n_paths() {
+            let each =
+                value_each_position_on_path(&[a.clone(), b.clone()], &fund, &set, p, 1, 0)
+                    .unwrap();
+            let joint =
+                value_positions_on_path(&[a.clone(), b.clone()], &fund, &set, p, 1, 0).unwrap();
+            assert!((each.iter().sum::<f64>() - joint).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shift_schedule_drops_and_renumbers() {
+        let pos = make_position(10, 0.8, 0.02);
+        let shifted = shift_schedule(&pos.schedule, 1);
+        assert_eq!(shifted.term, 9);
+        assert_eq!(shifted.flows.len(), pos.schedule.flows.len() - 1);
+        assert_eq!(shifted.flows[0].year, 1);
+        // Amounts preserved, only renumbered.
+        assert_eq!(
+            shifted.flows[0].death_benefit,
+            pos.schedule.flows[1].death_benefit
+        );
+    }
+
+    #[test]
+    fn shift_by_zero_is_identity() {
+        let pos = make_position(5, 0.8, 0.02);
+        assert_eq!(shift_schedule(&pos.schedule, 0), pos.schedule);
+    }
+}

@@ -1,0 +1,507 @@
+//! The nested Monte Carlo procedure of §II and the SCR.
+//!
+//! "A nested Monte Carlo simulation is … a two stage procedure in which:
+//! (1) nP independent sample paths of the risk drivers are generated from
+//! t = 0 to t = 1 under the real world measure P …; (2) for each of the nP
+//! paths, nQ independent sample paths from t = 1 to t = T are generated
+//! under risk-neutral probability Q, conditional to the filtration F_1."
+//!
+//! The quantity of interest is the distribution of `Y_1` — the value at
+//! `t = 1` of the liabilities — whose 99.5 % quantile defines the Solvency
+//! Capital Requirement. Each outer path contributes
+//!
+//! ```text
+//! Y_1(p) = Σ_pos Φ_1^pos(p) · (1/nQ) Σ_q PV_inner(pos, q | state_p)
+//! ```
+//!
+//! where `Φ_1^pos(p)` is the position's first-year readjustment realized on
+//! the outer path (benefits are linear in the readjusted sum, so the
+//! factorization is exact). The segregated fund's accounting state is
+//! re-initialized at `t = 1` — a documented approximation: the book-yield
+//! EMA carries one year of memory that we reset, which perturbs values far
+//! less than the Monte Carlo noise at the paper's `nQ = 50`.
+
+use crate::fund::SegregatedFund;
+use crate::liability::{shift_schedule, value_each_position_on_path, LiabilityPosition};
+use crate::parallel::parallel_map;
+use crate::AlmError;
+use disar_math::rng::split_seed;
+use disar_math::stats;
+use disar_stochastic::scenario::{Measure, ScenarioGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a nested run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NestedConfig {
+    /// Number of outer (real-world, "natural") paths `nP`.
+    pub n_outer: usize,
+    /// Number of inner (risk-neutral) paths `nQ` per outer path.
+    pub n_inner: usize,
+    /// Confidence level of the VaR (Solvency II: 0.995).
+    pub confidence: f64,
+    /// Master seed; outer/inner streams are derived deterministically.
+    pub seed: u64,
+    /// Worker threads for the outer loop (1 = sequential).
+    pub threads: usize,
+    /// Use antithetic variates for the *inner* (risk-neutral) stage:
+    /// `n_inner` paths are generated as `n_inner / 2` mirrored pairs,
+    /// cutting the inner Monte Carlo error at equal cost. Requires an even
+    /// `n_inner`.
+    pub antithetic: bool,
+}
+
+impl NestedConfig {
+    /// The paper's experimental setting: `nQ = 50` inner iterations,
+    /// `nP = 1000` natural iterations, 99.5 % confidence, sequential.
+    pub fn paper_defaults(seed: u64) -> Self {
+        NestedConfig {
+            n_outer: 1000,
+            n_inner: 50,
+            confidence: 0.995,
+            seed,
+            threads: 1,
+            antithetic: false,
+        }
+    }
+
+    fn validate(&self) -> Result<(), AlmError> {
+        if self.n_outer == 0 || self.n_inner == 0 {
+            return Err(AlmError::InvalidParameter(
+                "n_outer and n_inner must be > 0",
+            ));
+        }
+        if !(0.0 < self.confidence && self.confidence < 1.0) {
+            return Err(AlmError::InvalidParameter("confidence must be in (0, 1)"));
+        }
+        if self.threads == 0 {
+            return Err(AlmError::InvalidParameter("threads must be > 0"));
+        }
+        if self.antithetic && !self.n_inner.is_multiple_of(2) {
+            return Err(AlmError::InvalidParameter(
+                "antithetic inner sampling needs an even n_inner",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a nested (or LSMC) valuation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NestedResult {
+    /// Liability value at `t = 1` per outer path.
+    pub y1: Vec<f64>,
+    /// Mean of `y1`.
+    pub mean: f64,
+    /// Quantile of `y1` at the configured confidence.
+    pub var_quantile: f64,
+    /// Solvency Capital Requirement: `(quantile − mean)` discounted to 0 at
+    /// the average outer-path discount factor.
+    pub scr: f64,
+    /// Best-estimate liability at `t = 0`: discounted mean of `y1` plus the
+    /// discounted expected first-year flows.
+    pub bel: f64,
+    /// Monte Carlo standard error of `mean`.
+    pub std_error: f64,
+}
+
+/// The nested Monte Carlo valuation engine.
+///
+/// Owns the two scenario generators: `outer` must cover `[0, 1]` years,
+/// `inner` must cover the residual liability horizon, and both must be
+/// built over the *same driver list in the same order* (the inner paths are
+/// re-anchored at outer endpoint states).
+pub struct NestedMonteCarlo<'a> {
+    outer: &'a ScenarioGenerator,
+    inner: &'a ScenarioGenerator,
+    fund: &'a SegregatedFund,
+    equity_driver: usize,
+    rate_driver: usize,
+}
+
+impl<'a> NestedMonteCarlo<'a> {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlmError::ScenarioMismatch`] if the two generators have a
+    /// different driver count or the driver indices are out of range.
+    pub fn new(
+        outer: &'a ScenarioGenerator,
+        inner: &'a ScenarioGenerator,
+        fund: &'a SegregatedFund,
+        equity_driver: usize,
+        rate_driver: usize,
+    ) -> Result<Self, AlmError> {
+        if outer.n_drivers() != inner.n_drivers() {
+            return Err(AlmError::ScenarioMismatch(format!(
+                "outer has {} drivers, inner has {}",
+                outer.n_drivers(),
+                inner.n_drivers()
+            )));
+        }
+        if equity_driver >= outer.n_drivers() || rate_driver >= outer.n_drivers() {
+            return Err(AlmError::ScenarioMismatch(
+                "driver index out of range".to_string(),
+            ));
+        }
+        if outer.grid().horizon() < 1.0 {
+            return Err(AlmError::ScenarioMismatch(
+                "outer grid must cover at least one year".to_string(),
+            ));
+        }
+        Ok(NestedMonteCarlo {
+            outer,
+            inner,
+            fund,
+            equity_driver,
+            rate_driver,
+        })
+    }
+
+    /// Runs the full nested procedure for the given liability positions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, generation and valuation errors.
+    pub fn run(
+        &self,
+        positions: &[LiabilityPosition],
+        config: &NestedConfig,
+    ) -> Result<NestedResult, AlmError> {
+        config.validate()?;
+        if positions.is_empty() {
+            return Err(AlmError::InvalidParameter("no liability positions"));
+        }
+
+        // Outer stage: nP real-world paths over [0, 1].
+        let outer_set =
+            self.outer
+                .generate(Measure::RealWorld, config.n_outer, config.seed, None)?;
+        let spy = outer_set.grid().steps_per_year();
+
+        // Residual positions at t = 1 (year-1 flows drop out of Y_1).
+        let shifted: Vec<LiabilityPosition> = positions
+            .iter()
+            .map(|p| LiabilityPosition {
+                schedule: shift_schedule(&p.schedule, 1),
+                profit_sharing: p.profit_sharing,
+            })
+            .collect();
+
+        // Inner stage, one batch per outer path.
+        let per_path: Vec<Result<(f64, f64, f64), AlmError>> =
+            parallel_map(config.n_outer, config.threads, |p| {
+                self.value_outer_path(
+                    &outer_set,
+                    p,
+                    spy,
+                    positions,
+                    &shifted,
+                    config,
+                )
+            });
+
+        let mut y1 = Vec::with_capacity(config.n_outer);
+        let mut year1_pv = Vec::with_capacity(config.n_outer);
+        let mut dfs = Vec::with_capacity(config.n_outer);
+        for r in per_path {
+            let (y, first_year, df) = r?;
+            y1.push(y);
+            year1_pv.push(first_year);
+            dfs.push(df);
+        }
+
+        let mean = stats::mean(&y1);
+        let var_quantile = stats::quantile(&y1, config.confidence);
+        let avg_df = stats::mean(&dfs);
+        let scr = (var_quantile - mean) * avg_df;
+        let bel = stats::mean(
+            &y1.iter()
+                .zip(&dfs)
+                .zip(&year1_pv)
+                .map(|((y, df), fy)| y * df + fy)
+                .collect::<Vec<f64>>(),
+        );
+        let std_error = stats::std_error(&y1);
+        Ok(NestedResult {
+            y1,
+            mean,
+            var_quantile,
+            scr,
+            bel,
+            std_error,
+        })
+    }
+
+    /// Values one outer path: returns `(Y_1, discounted year-1 flows, outer
+    /// discount factor to t = 1)`.
+    fn value_outer_path(
+        &self,
+        outer_set: &disar_stochastic::scenario::ScenarioSet,
+        p: usize,
+        spy: usize,
+        positions: &[LiabilityPosition],
+        shifted: &[LiabilityPosition],
+        config: &NestedConfig,
+    ) -> Result<(f64, f64, f64), AlmError> {
+        // First-year fund return on the outer path drives Φ_1 and the
+        // year-1 flows.
+        let outer_returns =
+            self.fund
+                .annual_returns(outer_set, p, self.equity_driver, self.rate_driver)?;
+        let i1 = outer_returns[0];
+        let df1 = outer_set.discount_factor(p, spy);
+
+        let mut year1 = 0.0;
+        let phi1: Vec<f64> = positions
+            .iter()
+            .map(|pos| {
+                let phi = 1.0 + pos.profit_sharing.readjustment_rate(i1);
+                if let Some(flow) = pos.schedule.flows.first() {
+                    if flow.year == 1 {
+                        year1 += flow.total() * phi * df1;
+                    }
+                }
+                phi
+            })
+            .collect();
+
+        // Inner stage: nQ risk-neutral paths anchored at the outer state.
+        let state = outer_set.state_at(p, spy);
+        let inner_seed = split_seed(config.seed ^ 0x1AAE_5EED, p as u64);
+        let inner_set = if config.antithetic {
+            self.inner.generate_antithetic(
+                Measure::RiskNeutral,
+                config.n_inner / 2,
+                inner_seed,
+                Some(&state),
+            )?
+        } else {
+            self.inner.generate(
+                Measure::RiskNeutral,
+                config.n_inner,
+                inner_seed,
+                Some(&state),
+            )?
+        };
+
+        let mut acc = vec![0.0; shifted.len()];
+        for q in 0..config.n_inner {
+            let vals = value_each_position_on_path(
+                shifted,
+                self.fund,
+                &inner_set,
+                q,
+                self.equity_driver,
+                self.rate_driver,
+            )?;
+            for (a, v) in acc.iter_mut().zip(vals) {
+                *a += v;
+            }
+        }
+        let y: f64 = acc
+            .iter()
+            .zip(&phi1)
+            .map(|(a, phi)| phi * a / config.n_inner as f64)
+            .sum();
+        Ok((y, year1, df1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+    use disar_actuarial::engine::ActuarialEngine;
+    use disar_actuarial::lapse::ConstantLapse;
+    use disar_actuarial::model_points::ModelPoint;
+    use disar_actuarial::mortality::{Gender, LifeTable};
+    use disar_stochastic::drivers::{Gbm, Vasicek};
+    use disar_stochastic::scenario::TimeGrid;
+
+    fn generators(horizon: f64) -> (ScenarioGenerator, ScenarioGenerator) {
+        let build = |h: f64| {
+            ScenarioGenerator::builder()
+                .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.15).unwrap()))
+                .driver(Box::new(Gbm::new(100.0, 0.07, 0.18, 0.03).unwrap()))
+                .grid(TimeGrid::new(h, 12).unwrap())
+                .build()
+                .unwrap()
+        };
+        (build(1.0), build(horizon))
+    }
+
+    fn positions(term: u32) -> Vec<LiabilityPosition> {
+        let table = LifeTable::italian_population();
+        let lapse = ConstantLapse::new(0.03).unwrap();
+        let engine = ActuarialEngine::new(&table, &lapse);
+        [0.0, 0.02]
+            .iter()
+            .map(|&tech| {
+                let ps = ProfitSharing::new(0.8, tech).unwrap();
+                let c = Contract::new(
+                    ProductKind::Endowment,
+                    50,
+                    Gender::Male,
+                    term,
+                    1000.0,
+                    ps,
+                )
+                .unwrap();
+                let mp = ModelPoint {
+                    contract: c,
+                    policy_count: 1,
+                };
+                LiabilityPosition {
+                    schedule: engine.cash_flow_schedule(&mp).unwrap(),
+                    profit_sharing: ps,
+                }
+            })
+            .collect()
+    }
+
+    fn small_config(seed: u64) -> NestedConfig {
+        NestedConfig {
+            n_outer: 60,
+            n_inner: 20,
+            confidence: 0.995,
+            seed,
+            threads: 1,
+            antithetic: false,
+        }
+    }
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let c = NestedConfig::paper_defaults(1);
+        assert_eq!(c.n_outer, 1000);
+        assert_eq!(c.n_inner, 50);
+        assert_eq!(c.confidence, 0.995);
+    }
+
+    #[test]
+    fn run_produces_consistent_result() {
+        let (outer, inner) = generators(10.0);
+        let fund = SegregatedFund::italian_typical(20);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let res = mc.run(&positions(10), &small_config(3)).unwrap();
+        assert_eq!(res.y1.len(), 60);
+        assert!(res.mean > 0.0);
+        assert!(res.var_quantile >= res.mean, "q99.5 must exceed the mean");
+        assert!(res.scr >= 0.0);
+        assert!(res.bel > 0.0);
+        assert!(res.std_error > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (outer, inner) = generators(10.0);
+        let fund = SegregatedFund::italian_typical(20);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let a = mc.run(&positions(10), &small_config(5)).unwrap();
+        let b = mc.run(&positions(10), &small_config(5)).unwrap();
+        assert_eq!(a, b);
+        let c = mc.run(&positions(10), &small_config(6)).unwrap();
+        assert_ne!(a.y1, c.y1);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_result() {
+        let (outer, inner) = generators(8.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let seq = mc.run(&positions(8), &small_config(7)).unwrap();
+        let par_cfg = NestedConfig {
+            threads: 4,
+            ..small_config(7)
+        };
+        let par = mc.run(&positions(8), &par_cfg).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (outer, inner) = generators(5.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let pos = positions(5);
+        for bad in [
+            NestedConfig { n_outer: 0, ..small_config(1) },
+            NestedConfig { n_inner: 0, ..small_config(1) },
+            NestedConfig { confidence: 1.0, ..small_config(1) },
+            NestedConfig { threads: 0, ..small_config(1) },
+        ] {
+            assert!(mc.run(&pos, &bad).is_err());
+        }
+        assert!(mc.run(&[], &small_config(1)).is_err());
+    }
+
+    #[test]
+    fn engine_validation() {
+        let (outer, inner) = generators(5.0);
+        let fund = SegregatedFund::italian_typical(10);
+        assert!(NestedMonteCarlo::new(&outer, &inner, &fund, 5, 0).is_err());
+        // Outer grid shorter than a year.
+        let short = ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.0).unwrap()))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.18, 0.03).unwrap()))
+            .grid(TimeGrid::new(0.5, 12).unwrap())
+            .build()
+            .unwrap();
+        assert!(NestedMonteCarlo::new(&short, &inner, &fund, 1, 0).is_err());
+    }
+
+    #[test]
+    fn antithetic_inner_sampling_matches_plain_mean() {
+        let (outer, inner) = generators(8.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let pos = positions(8);
+        let plain = mc.run(&pos, &small_config(11)).unwrap();
+        let anti = mc
+            .run(
+                &pos,
+                &NestedConfig {
+                    antithetic: true,
+                    ..small_config(11)
+                },
+            )
+            .unwrap();
+        // Same estimand: means agree within Monte Carlo noise.
+        let rel = (anti.mean - plain.mean).abs() / plain.mean;
+        assert!(rel < 0.05, "plain {} vs antithetic {}", plain.mean, anti.mean);
+        assert_eq!(anti.y1.len(), plain.y1.len());
+    }
+
+    #[test]
+    fn antithetic_requires_even_inner_count() {
+        let (outer, inner) = generators(5.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let bad = NestedConfig {
+            n_inner: 7,
+            antithetic: true,
+            ..small_config(1)
+        };
+        assert!(mc.run(&positions(5), &bad).is_err());
+    }
+
+    #[test]
+    fn more_inner_paths_reduce_inner_noise() {
+        // With a fixed outer stage, increasing nQ should not blow up the
+        // spread of Y_1 — crude but catches sign errors in averaging.
+        let (outer, inner) = generators(6.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let pos = positions(6);
+        let lo = mc
+            .run(&pos, &NestedConfig { n_inner: 2, ..small_config(9) })
+            .unwrap();
+        let hi = mc
+            .run(&pos, &NestedConfig { n_inner: 40, ..small_config(9) })
+            .unwrap();
+        let sd_lo = disar_math::stats::std_dev(&lo.y1);
+        let sd_hi = disar_math::stats::std_dev(&hi.y1);
+        assert!(sd_hi <= sd_lo * 1.2, "sd_hi {sd_hi} vs sd_lo {sd_lo}");
+    }
+}

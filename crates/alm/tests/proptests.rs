@@ -1,0 +1,120 @@
+//! Property-based tests of the ALM valuation layer.
+
+use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+use disar_actuarial::engine::ActuarialEngine;
+use disar_actuarial::lapse::ConstantLapse;
+use disar_actuarial::model_points::ModelPoint;
+use disar_actuarial::mortality::{Gender, LifeTable};
+use disar_alm::liability::{
+    shift_schedule, value_positions_all_paths, value_positions_on_path, LiabilityPosition,
+};
+use disar_alm::parallel::parallel_map;
+use disar_alm::SegregatedFund;
+use disar_stochastic::drivers::{Gbm, Vasicek};
+use disar_stochastic::scenario::{Measure, ScenarioGenerator, ScenarioSet, TimeGrid};
+use proptest::prelude::*;
+
+fn scenario_set(horizon: f64, n_paths: usize, seed: u64) -> ScenarioSet {
+    ScenarioGenerator::builder()
+        .driver(Box::new(Vasicek::new(0.025, 0.4, 0.028, 0.009, 0.1).expect("valid")))
+        .driver(Box::new(Gbm::new(100.0, 0.06, 0.18, 0.025).expect("valid")))
+        .grid(TimeGrid::new(horizon, 12).expect("valid"))
+        .build()
+        .expect("valid")
+        .generate(Measure::RiskNeutral, n_paths, seed, None)
+        .expect("valid")
+}
+
+fn position(age: u32, term: u32, beta: f64, sum: f64) -> LiabilityPosition {
+    let table = LifeTable::italian_population();
+    let lapse = ConstantLapse::new(0.03).expect("valid");
+    let engine = ActuarialEngine::new(&table, &lapse);
+    let ps = ProfitSharing::new(beta, 0.02).expect("valid");
+    let c = Contract::new(ProductKind::Endowment, age, Gender::Male, term, sum, ps)
+        .expect("valid");
+    LiabilityPosition {
+        schedule: engine
+            .cash_flow_schedule(&ModelPoint { contract: c, policy_count: 1 })
+            .expect("valid"),
+        profit_sharing: ps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Valuation is homogeneous of degree one in the insured sum.
+    #[test]
+    fn valuation_linear_in_sum(
+        age in 30u32..65,
+        term in 3u32..15,
+        scale in 1.5f64..10.0,
+        seed in 0u64..50,
+    ) {
+        let set = scenario_set(16.0, 3, seed);
+        let fund = SegregatedFund::italian_typical(20);
+        let base = position(age, term, 0.8, 1000.0);
+        let scaled = position(age, term, 0.8, 1000.0 * scale);
+        for p in 0..set.n_paths() {
+            let v1 = value_positions_on_path(std::slice::from_ref(&base), &fund, &set, p, 1, 0).expect("ok");
+            let v2 = value_positions_on_path(std::slice::from_ref(&scaled), &fund, &set, p, 1, 0).expect("ok");
+            prop_assert!((v2 - scale * v1).abs() < 1e-6 * v2.max(1.0));
+        }
+    }
+
+    /// Valuations are strictly positive and finite across random books.
+    #[test]
+    fn valuations_positive_finite(
+        ages in prop::collection::vec(25u32..70, 1..5),
+        term in 3u32..20,
+        seed in 0u64..50,
+    ) {
+        let set = scenario_set(21.0, 4, seed);
+        let fund = SegregatedFund::italian_typical(30);
+        let positions: Vec<LiabilityPosition> = ages
+            .iter()
+            .map(|&a| position(a, term, 0.8, 500.0))
+            .collect();
+        let values = value_positions_all_paths(&positions, &fund, &set, 1, 0).expect("ok");
+        for v in values {
+            prop_assert!(v.is_finite());
+            prop_assert!(v > 0.0);
+        }
+    }
+
+    /// Shifting a schedule by its full term leaves nothing; shifting by
+    /// zero is the identity; intermediate shifts conserve the remaining
+    /// flows' amounts.
+    #[test]
+    fn shift_schedule_properties(age in 30u32..60, term in 2u32..20, by in 0u32..25) {
+        let pos = position(age, term, 0.8, 1000.0);
+        let shifted = shift_schedule(&pos.schedule, by);
+        if by == 0 {
+            prop_assert_eq!(&shifted, &pos.schedule);
+        }
+        if by >= term {
+            prop_assert!(shifted.flows.is_empty());
+        }
+        let expect: f64 = pos
+            .schedule
+            .flows
+            .iter()
+            .filter(|f| f.year > by)
+            .map(|f| f.total())
+            .sum();
+        let got: f64 = shifted.flows.iter().map(|f| f.total()).sum();
+        prop_assert!((expect - got).abs() < 1e-9);
+        for f in &shifted.flows {
+            prop_assert!(f.year >= 1);
+        }
+    }
+
+    /// parallel_map equals the sequential map for arbitrary sizes/threads.
+    #[test]
+    fn parallel_map_equivalence(n in 0usize..200, threads in 1usize..9, salt in 0u64..100) {
+        let f = |i: usize| (i as u64).wrapping_mul(salt.wrapping_add(11)) ^ salt;
+        let seq: Vec<u64> = (0..n).map(f).collect();
+        let par = parallel_map(n, threads, f);
+        prop_assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,42 @@
+//! Algorithm 1 bench: latency of one configuration selection — 6 models ×
+//! 6 instance types × up-to-`max` node counts per deploy decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
+use disar_core::{select_configuration, PredictorFamily};
+
+fn bench_selection(c: &mut Criterion) {
+    let (kb, provider, jobs) = build_knowledge_base(&CampaignConfig {
+        n_runs: 300,
+        ..CampaignConfig::default()
+    });
+    let mut family = PredictorFamily::new(1, 2);
+    family.retrain(&kb).expect("large enough");
+    let profile = jobs[0].profile;
+    let mut group = c.benchmark_group("algorithm1_select");
+    group.sample_size(20);
+    for max_nodes in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_nodes),
+            &max_nodes,
+            |b, &max| {
+                b.iter(|| {
+                    select_configuration(
+                        &family,
+                        provider.catalog(),
+                        &profile,
+                        50_000.0,
+                        max,
+                        0.05,
+                        9,
+                    )
+                    .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 2 bench: prediction latency of each fitted model (the cost of
+//! one point in the predicted-vs-real scatter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
+use disar_ml::regressor::ModelKind;
+
+fn bench_prediction(c: &mut Criterion) {
+    let (kb, _, _) = build_knowledge_base(&CampaignConfig {
+        n_runs: 300,
+        ..CampaignConfig::default()
+    });
+    let data = kb.to_dataset().expect("non-empty");
+    let query = data.rows()[0].clone();
+    let mut group = c.benchmark_group("fig2_predict");
+    for kind in ModelKind::ALL {
+        let mut model = kind.instantiate(1);
+        model.fit(&data).expect("training succeeds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbreviation()),
+            &model,
+            |b, model| b.iter(|| model.predict(&query).expect("fitted")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 3 bench: filling the error histogram (stats substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disar_math::rng::normal_vec;
+use disar_math::stats::Histogram;
+
+fn bench_histogram(c: &mut Criterion) {
+    let errors = normal_vec(42, 0, 100_000)
+        .into_iter()
+        .map(|z| z * 400.0)
+        .collect::<Vec<f64>>();
+    c.bench_function("fig3_histogram_fill_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new(-6000.0, 4000.0, 50).expect("valid");
+            h.extend(errors.iter().copied());
+            h
+        })
+    });
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 4 bench: *real* parallel speedup of the nested Monte Carlo
+//! valuation on local threads — the in-process analogue of the paper's
+//! cloud-vs-sequential speedup measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+use disar_actuarial::engine::ActuarialEngine;
+use disar_actuarial::lapse::DurationLapse;
+use disar_actuarial::model_points::ModelPoint;
+use disar_actuarial::mortality::{Gender, LifeTable};
+use disar_alm::liability::LiabilityPosition;
+use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
+use disar_alm::SegregatedFund;
+use disar_stochastic::drivers::{Gbm, Vasicek};
+use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
+
+fn market(horizon: f64) -> ScenarioGenerator {
+    ScenarioGenerator::builder()
+        .driver(Box::new(Vasicek::new(0.025, 0.4, 0.028, 0.009, 0.15).expect("valid")))
+        .driver(Box::new(Gbm::new(100.0, 0.065, 0.17, 0.025).expect("valid")))
+        .grid(TimeGrid::new(horizon, 12).expect("valid"))
+        .build()
+        .expect("valid")
+}
+
+fn positions() -> Vec<LiabilityPosition> {
+    let table = LifeTable::italian_population();
+    let lapse = DurationLapse::italian_typical();
+    let act = ActuarialEngine::new(&table, &lapse);
+    [(45u32, 12u32), (55, 10), (60, 8)]
+        .iter()
+        .map(|&(age, term)| {
+            let ps = ProfitSharing::new(0.8, 0.02).expect("valid");
+            let c = Contract::new(ProductKind::Endowment, age, Gender::Male, term, 1000.0, ps)
+                .expect("valid");
+            let mp = ModelPoint {
+                contract: c,
+                policy_count: 1,
+            };
+            LiabilityPosition {
+                schedule: act.cash_flow_schedule(&mp).expect("valid"),
+                profit_sharing: ps,
+            }
+        })
+        .collect()
+}
+
+fn bench_parallel_valuation(c: &mut Criterion) {
+    let outer = market(1.0);
+    let inner = market(12.0);
+    let fund = SegregatedFund::italian_typical(30);
+    let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("valid");
+    let pos = positions();
+    let mut group = c.benchmark_group("fig4_nested_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                mc.run(
+                    &pos,
+                    &NestedConfig {
+                        n_outer: 80,
+                        n_inner: 20,
+                        confidence: 0.995,
+                        seed: 7,
+                        threads: t,
+                        antithetic: false,
+                    },
+                )
+                .expect("valuation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_valuation);
+criterion_main!(benches);

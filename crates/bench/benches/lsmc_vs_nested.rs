@@ -1,0 +1,90 @@
+//! Ablation bench: LSMC vs plain nested Monte Carlo at matched outer-path
+//! counts — quantifies §II's claim that LSMC "strongly reduces" the inner
+//! simulation bill.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+use disar_actuarial::engine::ActuarialEngine;
+use disar_actuarial::lapse::DurationLapse;
+use disar_actuarial::model_points::ModelPoint;
+use disar_actuarial::mortality::{Gender, LifeTable};
+use disar_alm::liability::LiabilityPosition;
+use disar_alm::lsmc::{Lsmc, LsmcConfig};
+use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
+use disar_alm::SegregatedFund;
+use disar_stochastic::drivers::{Gbm, Vasicek};
+use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
+
+fn market(horizon: f64) -> ScenarioGenerator {
+    ScenarioGenerator::builder()
+        .driver(Box::new(Vasicek::new(0.025, 0.4, 0.028, 0.009, 0.15).expect("valid")))
+        .driver(Box::new(Gbm::new(100.0, 0.065, 0.17, 0.025).expect("valid")))
+        .grid(TimeGrid::new(horizon, 12).expect("valid"))
+        .build()
+        .expect("valid")
+}
+
+fn one_position() -> Vec<LiabilityPosition> {
+    let table = LifeTable::italian_population();
+    let lapse = DurationLapse::italian_typical();
+    let act = ActuarialEngine::new(&table, &lapse);
+    let ps = ProfitSharing::new(0.8, 0.02).expect("valid");
+    let c = Contract::new(ProductKind::Endowment, 50, Gender::Male, 10, 1000.0, ps)
+        .expect("valid");
+    let mp = ModelPoint {
+        contract: c,
+        policy_count: 1,
+    };
+    vec![LiabilityPosition {
+        schedule: act.cash_flow_schedule(&mp).expect("valid"),
+        profit_sharing: ps,
+    }]
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let outer = market(1.0);
+    let inner = market(10.0);
+    let fund = SegregatedFund::italian_typical(20);
+    let pos = one_position();
+    let mut group = c.benchmark_group("valuation_method");
+    group.sample_size(10);
+
+    let nested = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("valid");
+    group.bench_function("nested_150x30", |b| {
+        b.iter(|| {
+            nested
+                .run(
+                    &pos,
+                    &NestedConfig {
+                        n_outer: 150,
+                        n_inner: 30,
+                        confidence: 0.995,
+                        seed: 3,
+                        threads: 1,
+                        antithetic: false,
+                    },
+                )
+                .expect("runs")
+        })
+    });
+
+    let lsmc = Lsmc::new(&outer, &inner, &fund, 1, 0).expect("valid");
+    group.bench_function("lsmc_cal40x30_eval150", |b| {
+        b.iter(|| {
+            lsmc.run(
+                &pos,
+                &LsmcConfig {
+                    calibration_outer: 40,
+                    calibration_inner: 30,
+                    n_outer: 150,
+                    ..LsmcConfig::paper_defaults(3)
+                },
+            )
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

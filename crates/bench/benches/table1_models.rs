@@ -1,0 +1,34 @@
+//! Table I bench: training cost of each of the six classifiers on the
+//! campaign knowledge base (the work re-done after every simulation in the
+//! self-optimizing loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
+use disar_ml::regressor::ModelKind;
+
+fn bench_training(c: &mut Criterion) {
+    let (kb, _, _) = build_knowledge_base(&CampaignConfig {
+        n_runs: 300,
+        ..CampaignConfig::default()
+    });
+    let data = kb.to_dataset().expect("non-empty");
+    let mut group = c.benchmark_group("table1_train");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbreviation()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut m = kind.instantiate(1);
+                    m.fit(&data).expect("training succeeds");
+                    m
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table II bench: full simulated-cloud job execution (boot + DES replay +
+//! billing) per instance type — the inner loop of the 1500-run campaign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+
+fn bench_run_job(c: &mut Criterion) {
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 1);
+    let wl = Workload::new(20_000.0, 16.0, 200.0, 0.05).expect("valid");
+    let mut group = c.benchmark_group("table2_run_job");
+    for name in provider.catalog().names() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &name, |b, name| {
+            b.iter(|| provider.run_job(name, 4, &wl).expect("valid instance"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_job);
+criterion_main!(benches);

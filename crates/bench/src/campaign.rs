@@ -1,0 +1,188 @@
+//! The experimental campaign of §IV: three portfolios, 15 EEBs, ≈1500
+//! cloud runs feeding the knowledge base.
+
+use disar_actuarial::portfolio::paper_portfolios;
+use disar_alm::SegregatedFund;
+use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_core::{JobProfile, KnowledgeBase, RunRecord};
+use disar_engine::complexity::ComplexityModel;
+use disar_engine::eeb::{decompose, EebKind};
+use disar_engine::simulation::{MarketModel, SimulationSpec};
+use disar_math::rng::stream_rng;
+use rand::Rng;
+
+/// One runnable EEB job: profile (what the ML sees) + workload (what the
+/// cloud executes).
+#[derive(Debug, Clone)]
+pub struct EebJob {
+    /// Portfolio name the EEB came from.
+    pub portfolio: String,
+    /// EEB id within its portfolio.
+    pub eeb_id: usize,
+    /// ML-visible characteristic parameters.
+    pub profile: JobProfile,
+    /// Cloud workload of the block.
+    pub workload: Workload,
+}
+
+/// Campaign configuration (defaults follow §IV).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Total cloud runs recorded into the knowledge base.
+    pub n_runs: usize,
+    /// Natural iterations per simulation (`nP`).
+    pub n_outer: usize,
+    /// Risk-neutral iterations (`nQ`).
+    pub n_inner: usize,
+    /// Node-count range sampled during the campaign.
+    pub max_nodes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    /// §IV: "1500 runs", `nQ = 50`, `nP = 1000 for illustrative purposes".
+    fn default() -> Self {
+        CampaignConfig {
+            n_runs: 1500,
+            n_outer: 1000,
+            n_inner: 50,
+            max_nodes: 8,
+            seed: 20160627, // ICDCS 2016 opening day
+        }
+    }
+}
+
+/// Builds the paper's 15 EEB jobs: three synthetic company portfolios,
+/// five type-B blocks each, with varying market-model richness and fund
+/// sizes so the characteristic parameters actually vary.
+pub fn paper_eeb_jobs(cfg: &CampaignConfig) -> Vec<EebJob> {
+    let portfolios = paper_portfolios(cfg.seed).expect("builtin specs are valid");
+    let markets = [
+        MarketModel::RatesEquity,
+        MarketModel::RatesEquityFx,
+        MarketModel::Full,
+    ];
+    let fund_sizes = [20usize, 40, 80];
+    let complexity = ComplexityModel::default();
+    let mut jobs = Vec::with_capacity(15);
+    for (pi, portfolio) in portfolios.into_iter().enumerate() {
+        let spec = SimulationSpec {
+            fund: SegregatedFund::italian_typical(fund_sizes[pi]),
+            market: markets[pi],
+            n_outer: cfg.n_outer,
+            n_inner: cfg.n_inner,
+            steps_per_year: 12,
+            seed: cfg.seed.wrapping_add(pi as u64),
+            portfolio,
+        };
+        let eebs = decompose(&spec, 5).expect("portfolios have >= 5 model points");
+        for eeb in eebs.iter().filter(|e| e.kind == EebKind::AlmValuation) {
+            jobs.push(EebJob {
+                portfolio: spec.portfolio.name.clone(),
+                eeb_id: eeb.id,
+                profile: JobProfile {
+                    characteristics: eeb.characteristics,
+                    n_outer: cfg.n_outer,
+                    n_inner: cfg.n_inner,
+                },
+                workload: complexity
+                    .workload(eeb, &spec)
+                    .expect("type-B blocks have workloads"),
+            });
+        }
+    }
+    assert_eq!(jobs.len(), 15, "the paper uses 15 EEBs");
+    jobs
+}
+
+/// Runs the campaign: `n_runs` jobs sampled uniformly over (EEB, instance
+/// type, node count), every realized duration recorded — the knowledge
+/// base Table I/Figures 2–3 are computed from.
+///
+/// Returns the knowledge base and the provider (with its noise stream
+/// advanced), so follow-up experiments see fresh cloud conditions.
+pub fn build_knowledge_base(cfg: &CampaignConfig) -> (KnowledgeBase, CloudProvider, Vec<EebJob>) {
+    let jobs = paper_eeb_jobs(cfg);
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed);
+    let names = provider.catalog().names();
+    let mut rng = stream_rng(cfg.seed, 0xCA3F);
+    let mut kb = KnowledgeBase::new();
+    for _ in 0..cfg.n_runs {
+        let job = &jobs[rng.gen_range(0..jobs.len())];
+        let instance = &names[rng.gen_range(0..names.len())];
+        let n_nodes = rng.gen_range(1..=cfg.max_nodes);
+        let report = provider
+            .run_job(instance, n_nodes, &job.workload)
+            .expect("catalog instances are valid");
+        let inst = provider.catalog().get(instance).expect("valid name");
+        kb.record(RunRecord::new(
+            job.profile,
+            inst,
+            n_nodes,
+            report.duration_secs,
+            report.prorated_cost,
+        ));
+    }
+    (kb, provider, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            n_runs: 60,
+            n_outer: 200,
+            n_inner: 20,
+            max_nodes: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fifteen_jobs_with_varying_characteristics() {
+        let jobs = paper_eeb_jobs(&small_cfg());
+        assert_eq!(jobs.len(), 15);
+        // Characteristic parameters must vary across jobs or the ML problem
+        // degenerates.
+        let contracts: std::collections::BTreeSet<usize> = jobs
+            .iter()
+            .map(|j| j.profile.characteristics.representative_contracts)
+            .collect();
+        assert!(contracts.len() > 5, "contracts too uniform: {contracts:?}");
+        let factors: std::collections::BTreeSet<usize> = jobs
+            .iter()
+            .map(|j| j.profile.characteristics.risk_factors)
+            .collect();
+        assert_eq!(factors.len(), 3);
+    }
+
+    #[test]
+    fn knowledge_base_covers_all_instances() {
+        let (kb, provider, _) = build_knowledge_base(&small_cfg());
+        assert_eq!(kb.len(), 60);
+        for name in provider.catalog().names() {
+            assert!(
+                !kb.for_instance(&name).is_empty(),
+                "{name} never sampled in 60 runs"
+            );
+        }
+    }
+
+    #[test]
+    fn durations_are_positive_and_varied() {
+        let (kb, _, _) = build_knowledge_base(&small_cfg());
+        let times: Vec<f64> = kb.records().iter().map(|r| r.duration_secs).collect();
+        assert!(times.iter().all(|&t| t > 0.0));
+        assert!(disar_math::stats::std_dev(&times) > 1.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (a, _, _) = build_knowledge_base(&small_cfg());
+        let (b, _, _) = build_knowledge_base(&small_cfg());
+        assert_eq!(a, b);
+    }
+}

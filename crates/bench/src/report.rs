@@ -1,0 +1,79 @@
+//! CSV / Markdown output helpers for the experiment harness.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The directory experiment outputs are written to (`results/` under the
+/// workspace root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = match std::env::var("DISAR_RESULTS_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => PathBuf::from("results"),
+    };
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Writes a CSV file with a header row.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiment harness context: fail loudly).
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    let mut f = fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+}
+
+/// Renders a GitHub-flavoured Markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Formats a float with fixed precision for tables.
+pub fn fmt(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| a | b |"));
+        assert!(lines[1].contains("---|---|"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("disar-report-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], &[vec!["1".into(), "2".into()]]);
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(-34.9, 1), "-34.9");
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the cloud simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// The requested instance type is not in the catalog.
+    UnknownInstanceType(String),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// A cluster request was malformed (e.g. zero nodes).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::UnknownInstanceType(name) => {
+                write!(f, "unknown instance type: {name}")
+            }
+            CloudError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CloudError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_instance() {
+        let e = CloudError::UnknownInstanceType("x9.mega".into());
+        assert!(e.to_string().contains("x9.mega"));
+    }
+}

@@ -1,0 +1,195 @@
+//! A minimal discrete-event simulation kernel.
+//!
+//! The cluster lifecycle (boot, scatter, compute, barrier, gather,
+//! terminate) is modelled as events on a simulated clock. The kernel is a
+//! time-ordered priority queue with stable FIFO ordering for simultaneous
+//! events, so simulations are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in seconds since the simulation epoch.
+pub type SimTime = f64;
+
+/// One scheduled event carrying a payload of type `T`.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time, FIFO on the insertion sequence for ties.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+///
+/// ```
+/// use disar_cloudsim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5.0, "late");
+/// q.schedule(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.now(), 1.0);
+/// assert_eq!(q.pop(), Some((5.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not finite or lies in the simulated past.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        assert!(at.is_finite(), "event time must be finite");
+        assert!(at >= self.now, "cannot schedule into the simulated past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a `delay` from the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: T) {
+        assert!(delay.is_finite() && delay >= 0.0, "delay must be >= 0");
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.schedule(7.5, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.0);
+        q.pop();
+        assert_eq!(q.now(), 7.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(4.0, "a");
+        q.pop();
+        q.schedule_in(1.5, "b");
+        assert_eq!(q.pop(), Some((5.5, "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! The cloud-provider façade — the StarCluster/EC2 stand-in.
+//!
+//! [`CloudProvider::run_job`] plays out one full deploy on the discrete-
+//! event kernel: boot the cluster, scatter the input, compute on every node
+//! (with noise and stragglers), synchronize at the gather barrier, gather
+//! the partial results, terminate. It returns a [`JobReport`] with the
+//! realized execution time and cost — the *only* signal the provisioning
+//! layer is allowed to see (see [`crate::perf`] for the access contract).
+
+use crate::billing::{prorated_cost, BillingPolicy};
+use crate::cluster::provision_cluster;
+use crate::comm::CommModel;
+use crate::event::EventQueue;
+use crate::instances::InstanceCatalog;
+use crate::perf::PerformanceModel;
+use crate::workload::Workload;
+use crate::CloudError;
+use disar_math::rng::split_seed;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of one cloud job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Instance-type name the job ran on.
+    pub instance: String,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Job execution time in seconds (scatter + compute + gather; the ML
+    /// target Θ of the paper).
+    pub duration_secs: f64,
+    /// Cluster uptime (boot + execution), the billable interval.
+    pub uptime_secs: f64,
+    /// Invoiced cost under the provider's billing policy.
+    pub billed_cost: f64,
+    /// Prorated (fractional-hour) cost — Table II's per-simulation figure.
+    pub prorated_cost: f64,
+    /// Boot phase length (max over nodes).
+    pub boot_secs: f64,
+    /// Total communication time (scatter + gather).
+    pub comm_secs: f64,
+    /// Compute-phase length (slowest node, i.e. barrier-bound).
+    pub compute_secs: f64,
+    /// Per-node idle fraction while waiting at the gather barrier — the
+    /// waste Algorithm 1 implicitly penalizes via cost.
+    pub idle_fractions: Vec<f64>,
+}
+
+impl JobReport {
+    /// Mean idle fraction across nodes.
+    pub fn mean_idle(&self) -> f64 {
+        disar_math::stats::mean(&self.idle_fractions)
+    }
+}
+
+/// Phases of the job state machine on the event kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum JobEvent {
+    ClusterReady,
+    ScatterDone,
+    NodeDone(usize),
+    GatherDone,
+}
+
+/// The simulated cloud: catalog + hidden performance model + billing.
+pub struct CloudProvider {
+    catalog: InstanceCatalog,
+    perf: PerformanceModel,
+    comm: CommModel,
+    billing: BillingPolicy,
+    master_seed: u64,
+    run_counter: AtomicU64,
+}
+
+impl CloudProvider {
+    /// Creates a provider with the default hidden performance model,
+    /// EC2-like interconnect and per-hour billing.
+    pub fn new(catalog: InstanceCatalog, master_seed: u64) -> Self {
+        CloudProvider {
+            catalog,
+            perf: PerformanceModel::default(),
+            comm: CommModel::ec2_like(),
+            billing: BillingPolicy::PerHour,
+            master_seed,
+            run_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the performance model (testing / ablations).
+    pub fn with_performance_model(mut self, perf: PerformanceModel) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    /// Overrides the billing policy.
+    pub fn with_billing(mut self, billing: BillingPolicy) -> Self {
+        self.billing = billing;
+        self
+    }
+
+    /// The instance catalog.
+    pub fn catalog(&self) -> &InstanceCatalog {
+        &self.catalog
+    }
+
+    /// Read-only access to the ground-truth model — for oracle baselines in
+    /// benchmarks only; the provisioner must not call this.
+    pub fn ground_truth(&self) -> &PerformanceModel {
+        &self.perf
+    }
+
+    /// Runs a job with an internally advanced noise stream (every call sees
+    /// fresh cloud conditions, like consecutive real deploys).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownInstanceType`] or
+    /// [`CloudError::InvalidRequest`] for a malformed request.
+    pub fn run_job(
+        &self,
+        instance: &str,
+        n_nodes: usize,
+        workload: &Workload,
+    ) -> Result<JobReport, CloudError> {
+        let run = self.run_counter.fetch_add(1, Ordering::Relaxed);
+        self.run_job_with_seed(instance, n_nodes, workload, split_seed(self.master_seed, run))
+    }
+
+    /// Runs a job with an explicit noise seed (reproducible tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownInstanceType`] for a name not in the
+    /// catalog and [`CloudError::InvalidRequest`] for zero nodes.
+    pub fn run_job_with_seed(
+        &self,
+        instance: &str,
+        n_nodes: usize,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<JobReport, CloudError> {
+        let inst = self.catalog.get(instance)?;
+        if n_nodes == 0 {
+            return Err(CloudError::InvalidRequest("n_nodes must be > 0".into()));
+        }
+
+        // Phase 0: boot.
+        let cluster = provision_cluster(inst, n_nodes, seed ^ 0xB007)?;
+        let boot_secs = cluster.ready_at;
+
+        // Pre-draw the per-node compute times (the DES replays them).
+        let node_secs = self
+            .perf
+            .node_compute_secs(workload, inst, n_nodes, seed ^ 0xC0DE);
+        let serial_secs = self.perf.serial_secs(workload, inst);
+        let scatter_secs = self.comm.collective_secs(n_nodes, workload.transfer_mib / 2.0);
+        let gather_secs = self.comm.collective_secs(n_nodes, workload.transfer_mib / 2.0);
+
+        // Play the job out on the event kernel.
+        let mut q: EventQueue<JobEvent> = EventQueue::new();
+        q.schedule(boot_secs, JobEvent::ClusterReady);
+        let mut compute_start = 0.0;
+        let mut node_finish = vec![0.0_f64; n_nodes];
+        let mut pending = n_nodes;
+        let mut compute_end = 0.0;
+        let mut job_end = 0.0;
+        while let Some((at, ev)) = q.pop() {
+            match ev {
+                JobEvent::ClusterReady => {
+                    q.schedule(at + scatter_secs, JobEvent::ScatterDone);
+                }
+                JobEvent::ScatterDone => {
+                    compute_start = at;
+                    for (node, t) in node_secs.iter().enumerate() {
+                        q.schedule(at + t, JobEvent::NodeDone(node));
+                    }
+                }
+                JobEvent::NodeDone(node) => {
+                    node_finish[node] = at;
+                    pending -= 1;
+                    if pending == 0 {
+                        compute_end = at;
+                        // Serial aggregation on the master, then gather.
+                        q.schedule(at + serial_secs + gather_secs, JobEvent::GatherDone);
+                    }
+                }
+                JobEvent::GatherDone => {
+                    job_end = at;
+                }
+            }
+        }
+
+        let compute_secs = compute_end - compute_start;
+        let idle_fractions: Vec<f64> = node_finish
+            .iter()
+            .map(|&f| {
+                if compute_secs <= 0.0 {
+                    0.0
+                } else {
+                    (compute_end - f) / compute_secs
+                }
+            })
+            .collect();
+
+        let duration_secs = job_end - boot_secs;
+        let uptime_secs = job_end;
+        let billed_cost = self
+            .billing
+            .cost(uptime_secs, inst.hourly_cost, n_nodes)
+            .expect("validated inputs");
+        let prorated = prorated_cost(uptime_secs, inst.hourly_cost, n_nodes)
+            .expect("validated inputs");
+        Ok(JobReport {
+            instance: inst.name.clone(),
+            n_nodes,
+            duration_secs,
+            uptime_secs,
+            billed_cost,
+            prorated_cost: prorated,
+            boot_secs,
+            comm_secs: scatter_secs + gather_secs,
+            compute_secs,
+            idle_fractions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider() -> CloudProvider {
+        CloudProvider::new(InstanceCatalog::paper_catalog(), 2024)
+    }
+
+    fn wl() -> Workload {
+        Workload::new(20_000.0, 16.0, 200.0, 0.05).unwrap()
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let p = provider();
+        let r = p.run_job_with_seed("c3.4xlarge", 4, &wl(), 7).unwrap();
+        assert_eq!(r.n_nodes, 4);
+        assert!(r.duration_secs > 0.0);
+        assert!((r.uptime_secs - (r.boot_secs + r.duration_secs)).abs() < 1e-9);
+        assert!(r.compute_secs <= r.duration_secs);
+        assert!(r.comm_secs < r.duration_secs);
+        assert_eq!(r.idle_fractions.len(), 4);
+        for &f in &r.idle_fractions {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        // At least one node is never idle (the straggler itself).
+        assert!(r.idle_fractions.contains(&0.0));
+        assert!(r.billed_cost >= r.prorated_cost);
+    }
+
+    #[test]
+    fn more_nodes_faster_but_dearer() {
+        let p = provider();
+        let r1 = p.run_job_with_seed("c4.4xlarge", 1, &wl(), 3).unwrap();
+        let r8 = p.run_job_with_seed("c4.4xlarge", 8, &wl(), 3).unwrap();
+        assert!(r8.duration_secs < r1.duration_secs);
+        assert!(r8.billed_cost > r1.billed_cost);
+    }
+
+    #[test]
+    fn bigger_instance_is_faster_single_node() {
+        let p = provider();
+        let small = p.run_job_with_seed("m4.4xlarge", 1, &wl(), 5).unwrap();
+        let big = p.run_job_with_seed("m4.10xlarge", 1, &wl(), 5).unwrap();
+        assert!(big.duration_secs < small.duration_secs);
+    }
+
+    #[test]
+    fn unknown_instance_or_zero_nodes_rejected() {
+        let p = provider();
+        assert!(p.run_job_with_seed("nope.large", 1, &wl(), 1).is_err());
+        assert!(p.run_job_with_seed("c3.4xlarge", 0, &wl(), 1).is_err());
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let p = provider();
+        let a = p.run_job_with_seed("c3.8xlarge", 3, &wl(), 11).unwrap();
+        let b = p.run_job_with_seed("c3.8xlarge", 3, &wl(), 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_job_advances_noise_stream() {
+        let p = provider();
+        let a = p.run_job("c3.8xlarge", 3, &wl()).unwrap();
+        let b = p.run_job("c3.8xlarge", 3, &wl()).unwrap();
+        assert_ne!(
+            a.duration_secs, b.duration_secs,
+            "consecutive runs should see different cloud noise"
+        );
+    }
+
+    #[test]
+    fn duration_excludes_boot_cost_includes_it() {
+        let p = provider();
+        let r = p.run_job_with_seed("m4.4xlarge", 2, &wl(), 13).unwrap();
+        assert!(r.boot_secs >= 10.0);
+        assert!(r.uptime_secs > r.duration_secs);
+    }
+
+    #[test]
+    fn speedup_shape_matches_figure_4() {
+        // Single-node speedups over the sequential baseline must be ordered
+        // by effective compute power and land in Figure 4's 4–10 band.
+        let p = provider();
+        let w = Workload::new(100_000.0, 8.0, 100.0, 0.05).unwrap();
+        let seq = p.ground_truth().sequential_secs(&w);
+        let mut speedups = Vec::new();
+        for name in ["m4.4xlarge", "c3.4xlarge", "c4.4xlarge", "c3.8xlarge", "c4.8xlarge", "m4.10xlarge"] {
+            let r = p.run_job_with_seed(name, 1, &w, 21).unwrap();
+            speedups.push((name, seq / r.duration_secs));
+        }
+        for (name, s) in &speedups {
+            assert!((3.0..12.0).contains(s), "{name}: {s}");
+        }
+        // 16-vCPU types must trail the 32+-vCPU types.
+        let get = |n: &str| speedups.iter().find(|(x, _)| *x == n).unwrap().1;
+        assert!(get("m4.4xlarge") < get("m4.10xlarge"));
+        assert!(get("c3.4xlarge") < get("c3.8xlarge"));
+        assert!(get("c4.4xlarge") < get("c4.8xlarge"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Algorithm 1 — selection of the best-suited configuration.
+//!
+//! Faithful implementation of the paper's pseudocode:
+//!
+//! ```text
+//! C = ∅
+//! for n ∈ [1, max]:
+//!   for m ∈ M:
+//!     time ← (Σ_x p_x(m, n, f)) / |X|
+//!     if time ≤ Tmax:
+//!       cost ← hour_cost · time
+//!       C ← C ∪ ⟨m, n, cost⟩
+//! if RAND() < ε: selected ← random element of C
+//! else:          selected ← argmin_cost C
+//! ```
+//!
+//! The ε-branch "allows to enlarge the knowledge base, possibly reducing
+//! the number of false positives on the expected execution time".
+
+use crate::predictor::PredictorFamily;
+use crate::profile::JobProfile;
+use crate::CoreError;
+use disar_cloudsim::InstanceCatalog;
+use disar_math::rng::stream_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One feasible deploy configuration `⟨m, n, cost⟩`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// Instance-type name (`m`).
+    pub instance: String,
+    /// Node count (`n`).
+    pub n_nodes: usize,
+    /// Ensemble-averaged predicted execution time (seconds).
+    pub predicted_secs: f64,
+    /// Predicted cost: `hour_cost · time · n` (USD).
+    pub predicted_cost: f64,
+}
+
+/// The outcome of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// The chosen configuration.
+    pub chosen: CandidateConfig,
+    /// `true` when the ε-branch fired (random exploration).
+    pub explored: bool,
+    /// Every feasible configuration, sorted by cost ascending (diagnostic;
+    /// the head is the greedy choice).
+    pub feasible: Vec<CandidateConfig>,
+}
+
+/// How the per-model predictions are combined into the `time` Algorithm 1
+/// filters on.
+///
+/// The paper observes that "while an overestimation only implies a higher
+/// outlay, an underestimation might violate the timing constraints which
+/// are fundamental to meet the deadlines imposed by the Directive" (§IV).
+/// [`TimeEstimate::Conservative`] acts on that asymmetry: it filters on
+/// the *worst* (largest) family member prediction instead of the mean,
+/// trading cost for deadline safety. The ablation harness quantifies the
+/// trade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TimeEstimate {
+    /// The paper's rule: arithmetic mean of the six models.
+    EnsembleMean,
+    /// Deadline-safe rule: the maximum of the six models (costs are still
+    /// computed from the mean, which is the better point estimate).
+    Conservative,
+}
+
+/// Runs Algorithm 1 over the catalog `M` and node counts `1..=max_nodes`.
+///
+/// When no configuration's averaged prediction meets `t_max`, returns
+/// [`CoreError::NoFeasibleConfiguration`] carrying the best predicted time
+/// (so callers can e.g. relax the deadline) — the paper leaves this case to
+/// the operator.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidParameter`] for a non-positive `t_max`,
+///   `max_nodes == 0`, ε outside `[0, 1]`, or an empty catalog;
+/// - [`CoreError::Ml`] if the family is untrained;
+/// - [`CoreError::NoFeasibleConfiguration`] when the deadline is
+///   unattainable.
+pub fn select_configuration(
+    family: &PredictorFamily,
+    catalog: &InstanceCatalog,
+    profile: &JobProfile,
+    t_max: f64,
+    max_nodes: usize,
+    epsilon: f64,
+    seed: u64,
+) -> Result<Selection, CoreError> {
+    select_configuration_with_rule(
+        family,
+        catalog,
+        profile,
+        t_max,
+        max_nodes,
+        epsilon,
+        seed,
+        TimeEstimate::EnsembleMean,
+    )
+}
+
+/// [`select_configuration`] with an explicit deadline-filter rule.
+///
+/// # Errors
+///
+/// Same contract as [`select_configuration`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_configuration_with_rule(
+    family: &PredictorFamily,
+    catalog: &InstanceCatalog,
+    profile: &JobProfile,
+    t_max: f64,
+    max_nodes: usize,
+    epsilon: f64,
+    seed: u64,
+    rule: TimeEstimate,
+) -> Result<Selection, CoreError> {
+    if !(t_max > 0.0) {
+        return Err(CoreError::InvalidParameter("t_max must be positive"));
+    }
+    if max_nodes == 0 {
+        return Err(CoreError::InvalidParameter("max_nodes must be > 0"));
+    }
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(CoreError::InvalidParameter("epsilon must be in [0, 1]"));
+    }
+    if catalog.is_empty() {
+        return Err(CoreError::InvalidParameter("catalog is empty"));
+    }
+
+    let mut feasible: Vec<CandidateConfig> = Vec::new();
+    let mut best_predicted = f64::INFINITY;
+    for n in 1..=max_nodes {
+        for inst in catalog.iter() {
+            let time = family.predict_mean(profile, inst, n)?;
+            let filter_time = match rule {
+                TimeEstimate::EnsembleMean => time,
+                TimeEstimate::Conservative => family
+                    .predict_each(profile, inst, n)?
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .fold(0.0_f64, f64::max),
+            };
+            best_predicted = best_predicted.min(filter_time);
+            if filter_time <= t_max {
+                feasible.push(CandidateConfig {
+                    instance: inst.name.clone(),
+                    n_nodes: n,
+                    predicted_secs: time,
+                    predicted_cost: inst.hourly_cost * (time / 3600.0) * n as f64,
+                });
+            }
+        }
+    }
+    if feasible.is_empty() {
+        return Err(CoreError::NoFeasibleConfiguration {
+            t_max,
+            best_predicted,
+        });
+    }
+    feasible.sort_by(|a, b| {
+        a.predicted_cost
+            .partial_cmp(&b.predicted_cost)
+            .expect("finite costs")
+            .then_with(|| a.instance.cmp(&b.instance))
+            .then_with(|| a.n_nodes.cmp(&b.n_nodes))
+    });
+
+    let mut rng = stream_rng(seed, 0xA160);
+    let explored = rng.gen_range(0.0..1.0) < epsilon;
+    let chosen = if explored {
+        feasible[rng.gen_range(0..feasible.len())].clone()
+    } else {
+        feasible[0].clone()
+    };
+    Ok(Selection {
+        chosen,
+        explored,
+        feasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::{KnowledgeBase, RunRecord};
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    /// A family trained on a synthetic law: time = K / (power · nodes).
+    fn trained_family() -> (PredictorFamily, InstanceCatalog) {
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let mut kb = KnowledgeBase::new();
+        for i in 0..400 {
+            let inst = cat.get(&names[i % names.len()]).unwrap();
+            let nodes = i % 6 + 1;
+            let contracts = 50 + (i * 53) % 400;
+            let time =
+                40_000.0 * contracts as f64 / 100.0 / (inst.compute_power() * nodes as f64);
+            kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
+        }
+        let mut fam = PredictorFamily::new(5, 2);
+        fam.retrain(&kb).unwrap();
+        (fam, cat)
+    }
+
+    #[test]
+    fn greedy_picks_cheapest_feasible() {
+        let (fam, cat) = trained_family();
+        let sel = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.0, 1).unwrap();
+        assert!(!sel.explored);
+        assert_eq!(sel.chosen, sel.feasible[0]);
+        // Sorted by cost.
+        for w in sel.feasible.windows(2) {
+            assert!(w[0].predicted_cost <= w[1].predicted_cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tight_deadline_shrinks_feasible_set() {
+        let (fam, cat) = trained_family();
+        let loose = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.0, 1).unwrap();
+        let tight = select_configuration(&fam, &cat, &profile(200), 700.0, 6, 0.0, 1).unwrap();
+        assert!(tight.feasible.len() < loose.feasible.len());
+        for c in &tight.feasible {
+            assert!(c.predicted_secs <= 700.0);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_reports_best() {
+        let (fam, cat) = trained_family();
+        let err = select_configuration(&fam, &cat, &profile(400), 1e-3, 6, 0.0, 1).unwrap_err();
+        match err {
+            CoreError::NoFeasibleConfiguration { t_max, best_predicted } => {
+                assert_eq!(t_max, 1e-3);
+                assert!(best_predicted > 1e-3);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn epsilon_one_always_explores() {
+        let (fam, cat) = trained_family();
+        let sel = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 1.0, 3).unwrap();
+        assert!(sel.explored);
+        // Exploration picks a feasible config, not an arbitrary one.
+        assert!(sel.feasible.contains(&sel.chosen));
+    }
+
+    #[test]
+    fn epsilon_exploration_depends_on_seed_not_luck() {
+        let (fam, cat) = trained_family();
+        // With ε = 0.5, some seeds explore, some don't; both must be
+        // deterministic per seed.
+        let a1 = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.5, 7).unwrap();
+        let a2 = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.5, 7).unwrap();
+        assert_eq!(a1, a2);
+        let outcomes: Vec<bool> = (0..40)
+            .map(|s| {
+                select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.5, s)
+                    .unwrap()
+                    .explored
+            })
+            .collect();
+        assert!(outcomes.iter().any(|&e| e));
+        assert!(outcomes.iter().any(|&e| !e));
+    }
+
+    #[test]
+    fn cost_formula_matches_paper() {
+        let (fam, cat) = trained_family();
+        let sel = select_configuration(&fam, &cat, &profile(200), 10_000.0, 4, 0.0, 1).unwrap();
+        for c in &sel.feasible {
+            let inst = cat.get(&c.instance).unwrap();
+            let expect = inst.hourly_cost * (c.predicted_secs / 3600.0) * c.n_nodes as f64;
+            assert!((c.predicted_cost - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn less_powerful_but_cheaper_instance_can_win() {
+        // The paper stresses that "less powerful virtualized architectures
+        // could be selected in place of more powerful ones, provided that
+        // they allow to meet the time constraints". With a loose deadline
+        // the cheapest-per-work instance must win over the biggest one.
+        let (fam, cat) = trained_family();
+        let sel =
+            select_configuration(&fam, &cat, &profile(100), 100_000.0, 6, 0.0, 1).unwrap();
+        assert_ne!(
+            sel.chosen.instance, "m4.10xlarge",
+            "the premium instance should not win on cost: {:?}",
+            sel.chosen
+        );
+    }
+
+    #[test]
+    fn conservative_rule_is_a_subset_of_mean_rule() {
+        // Filtering on the max of the six predictions can only shrink the
+        // feasible set relative to filtering on their mean.
+        let (fam, cat) = trained_family();
+        let p = profile(250);
+        let t_max = 900.0;
+        let mean_sel =
+            select_configuration(&fam, &cat, &p, t_max, 6, 0.0, 1).unwrap();
+        let cons_sel = select_configuration_with_rule(
+            &fam,
+            &cat,
+            &p,
+            t_max,
+            6,
+            0.0,
+            1,
+            TimeEstimate::Conservative,
+        )
+        .unwrap();
+        assert!(cons_sel.feasible.len() <= mean_sel.feasible.len());
+        // Every conservative candidate is also mean-feasible.
+        for c in &cons_sel.feasible {
+            assert!(mean_sel
+                .feasible
+                .iter()
+                .any(|m| m.instance == c.instance && m.n_nodes == c.n_nodes));
+        }
+    }
+
+    #[test]
+    fn mean_rule_equals_default_entry_point() {
+        let (fam, cat) = trained_family();
+        let p = profile(150);
+        let a = select_configuration(&fam, &cat, &p, 5_000.0, 4, 0.0, 3).unwrap();
+        let b = select_configuration_with_rule(
+            &fam,
+            &cat,
+            &p,
+            5_000.0,
+            4,
+            0.0,
+            3,
+            TimeEstimate::EnsembleMean,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (fam, cat) = trained_family();
+        let p = profile(100);
+        assert!(select_configuration(&fam, &cat, &p, 0.0, 4, 0.0, 1).is_err());
+        assert!(select_configuration(&fam, &cat, &p, 100.0, 0, 0.0, 1).is_err());
+        assert!(select_configuration(&fam, &cat, &p, 100.0, 4, 1.5, 1).is_err());
+        let empty = InstanceCatalog::new();
+        assert!(select_configuration(&fam, &empty, &p, 100.0, 4, 0.0, 1).is_err());
+    }
+}

@@ -1,0 +1,501 @@
+//! The transparent deployer — the paper's self-optimizing loop.
+//!
+//! "Whenever the user of DISAR starts a new simulation, the interface
+//! automatically activates the required number of VMs" (§III). The loop:
+//!
+//! 1. **Select** a configuration with Algorithm 1 (or randomly during the
+//!    bootstrap phase when the knowledge base is still too small, or by
+//!    explicit manual override — "our DISAR interface allows to supersede
+//!    the ML-based predicted configuration, so as to allow an early manual
+//!    training phase");
+//! 2. **Run** the job on the (simulated) cloud;
+//! 3. **Record** the realized execution time and cost in the knowledge
+//!    base — "this approach allows to refine the prediction models while
+//!    carrying out useful work";
+//! 4. **Retrain** the model family and go to 1 for the next simulation.
+
+use crate::algorithm::select_configuration;
+use crate::knowledge::{KnowledgeBase, RunRecord};
+use crate::predictor::PredictorFamily;
+use crate::profile::JobProfile;
+use crate::CoreError;
+use disar_cloudsim::{CloudProvider, JobReport, Workload};
+use disar_engine::DisarMaster;
+use disar_math::rng::stream_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the deploy configuration was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeployMode {
+    /// Algorithm 1, greedy branch (minimum predicted cost).
+    MlGreedy,
+    /// Algorithm 1, ε-branch (random feasible configuration).
+    MlExplored,
+    /// Random configuration during the knowledge-base bootstrap phase.
+    Bootstrap,
+    /// Operator-supplied configuration (manual override).
+    Manual,
+}
+
+/// Policy knobs of the deployer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeployPolicy {
+    /// The Solvency II deadline `T_max` in seconds.
+    pub t_max_secs: f64,
+    /// Exploration probability ε of Algorithm 1.
+    pub epsilon: f64,
+    /// Upper bound of the node-count range `N = [1, max]`.
+    pub max_nodes: usize,
+    /// Knowledge-base size below which configurations are chosen randomly
+    /// (the bootstrap/manual-training phase).
+    pub min_kb_samples: usize,
+    /// Retrain the family every `retrain_every` recorded runs (1 = after
+    /// every run, the paper's setting; larger values trade freshness for
+    /// speed in large campaigns).
+    pub retrain_every: usize,
+}
+
+impl DeployPolicy {
+    /// Paper-like defaults: ε = 0.05, up to 8 nodes, 30-sample bootstrap,
+    /// retrain after every run.
+    pub fn paper_defaults(t_max_secs: f64) -> Self {
+        DeployPolicy {
+            t_max_secs,
+            epsilon: 0.05,
+            max_nodes: 8,
+            min_kb_samples: 30,
+            retrain_every: 1,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if !(self.t_max_secs > 0.0) {
+            return Err(CoreError::InvalidParameter("t_max_secs must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.epsilon) {
+            return Err(CoreError::InvalidParameter("epsilon must be in [0, 1]"));
+        }
+        if self.max_nodes == 0 {
+            return Err(CoreError::InvalidParameter("max_nodes must be > 0"));
+        }
+        if self.retrain_every == 0 {
+            return Err(CoreError::InvalidParameter("retrain_every must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// What one deploy produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployOutcome {
+    /// How the configuration was chosen.
+    pub mode: DeployMode,
+    /// Ensemble-predicted execution time, when ML chose (`None` for
+    /// bootstrap/manual deploys).
+    pub predicted_secs: Option<f64>,
+    /// The cloud's report of the realized run.
+    pub report: JobReport,
+}
+
+impl DeployOutcome {
+    /// Signed prediction error `predicted − real` (the paper's per-sample
+    /// `Θ̂ − Θ`), when a prediction was made.
+    pub fn prediction_error(&self) -> Option<f64> {
+        self.predicted_secs.map(|p| p - self.report.duration_secs)
+    }
+
+    /// `true` when the run violated the deadline.
+    pub fn missed_deadline(&self, t_max_secs: f64) -> bool {
+        self.report.duration_secs > t_max_secs
+    }
+}
+
+/// The self-optimizing transparent deployer.
+pub struct TransparentDeployer {
+    provider: CloudProvider,
+    policy: DeployPolicy,
+    kb: KnowledgeBase,
+    family: PredictorFamily,
+    seed: u64,
+    deploy_counter: u64,
+    runs_since_retrain: usize,
+}
+
+impl TransparentDeployer {
+    /// Creates a deployer with an empty knowledge base.
+    pub fn new(provider: CloudProvider, policy: DeployPolicy, seed: u64) -> Self {
+        TransparentDeployer {
+            provider,
+            policy,
+            kb: KnowledgeBase::new(),
+            family: PredictorFamily::new(seed, 2),
+            seed,
+            deploy_counter: 0,
+            runs_since_retrain: 0,
+        }
+    }
+
+    /// Seeds the deployer with a pre-existing knowledge base (e.g. loaded
+    /// from disk, or transferred from another company's runs).
+    pub fn with_knowledge_base(mut self, kb: KnowledgeBase) -> Self {
+        self.kb = kb;
+        self
+    }
+
+    /// The current knowledge base.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The prediction-model family (e.g. for offline evaluation).
+    pub fn family(&self) -> &PredictorFamily {
+        &self.family
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &DeployPolicy {
+        &self.policy
+    }
+
+    /// The underlying cloud provider.
+    pub fn provider(&self) -> &CloudProvider {
+        &self.provider
+    }
+
+    /// Deploys one job: full self-optimizing cycle (select → run → record →
+    /// retrain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation, Algorithm 1 (including
+    /// [`CoreError::NoFeasibleConfiguration`]) and cloud failures.
+    pub fn deploy(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+    ) -> Result<DeployOutcome, CoreError> {
+        self.policy.validate()?;
+        self.deploy_counter += 1;
+        let decision_seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
+
+        // Bootstrap phase: random configuration, no prediction.
+        if self.kb.len() < self.policy.min_kb_samples || !self.family.is_trained() {
+            let (instance, n_nodes) = self.random_config(decision_seed);
+            return self.execute(profile, workload, &instance, n_nodes, DeployMode::Bootstrap, None);
+        }
+
+        let selection = select_configuration(
+            &self.family,
+            self.provider.catalog(),
+            profile,
+            self.policy.t_max_secs,
+            self.policy.max_nodes,
+            self.policy.epsilon,
+            decision_seed,
+        )?;
+        let mode = if selection.explored {
+            DeployMode::MlExplored
+        } else {
+            DeployMode::MlGreedy
+        };
+        let instance = selection.chosen.instance.clone();
+        let predicted = selection.chosen.predicted_secs;
+        self.execute(
+            profile,
+            workload,
+            &instance,
+            selection.chosen.n_nodes,
+            mode,
+            Some(predicted),
+        )
+    }
+
+    /// Deploys with an operator-forced configuration (manual override);
+    /// the run is still recorded and learned from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud failures (unknown instance, zero nodes).
+    pub fn deploy_manual(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployOutcome, CoreError> {
+        self.policy.validate()?;
+        self.deploy_counter += 1;
+        self.execute(profile, workload, instance, n_nodes, DeployMode::Manual, None)
+    }
+
+    /// Deploys one job on a (possibly mixed) heterogeneous configuration —
+    /// the §VI extension. Selection uses
+    /// [`crate::select_hetero_configuration`] over the homogeneous
+    /// knowledge base; the realized run is *not* recorded (mixed runs do
+    /// not fit the homogeneous record schema the predictors train on —
+    /// knowledge flows homogeneous → hetero only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection ([`CoreError::NoFeasibleConfiguration`], ML)
+    /// and cloud failures.
+    pub fn deploy_hetero(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+    ) -> Result<(crate::hetero::HeteroSelection, disar_cloudsim::HeteroReport), CoreError> {
+        self.policy.validate()?;
+        self.deploy_counter += 1;
+        let seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
+        let selection = crate::hetero::select_hetero_configuration(
+            &self.family,
+            self.provider.catalog(),
+            profile,
+            self.policy.t_max_secs,
+            self.policy.max_nodes,
+            self.policy.epsilon,
+            seed,
+        )?;
+        let report = self
+            .provider
+            .run_hetero_job_with_seed(&selection.chosen.groups, workload, seed ^ 0x4E7E)?;
+        Ok((selection, report))
+    }
+
+    /// Convenience: deploys a DISAR simulation, deriving the profile and
+    /// workload from its master.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine estimation and deploy failures.
+    pub fn deploy_simulation(&mut self, master: &DisarMaster) -> Result<DeployOutcome, CoreError> {
+        let profile = JobProfile {
+            characteristics: master.characteristics()?,
+            n_outer: master.spec().n_outer,
+            n_inner: master.spec().n_inner,
+        };
+        let workload = master.cloud_workload()?;
+        self.deploy(&profile, &workload)
+    }
+
+    fn random_config(&self, seed: u64) -> (String, usize) {
+        let mut rng = stream_rng(seed, 0xB00F);
+        let names = self.provider.catalog().names();
+        let instance = names[rng.gen_range(0..names.len())].clone();
+        let n_nodes = rng.gen_range(1..=self.policy.max_nodes);
+        (instance, n_nodes)
+    }
+
+    fn execute(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+        instance: &str,
+        n_nodes: usize,
+        mode: DeployMode,
+        predicted_secs: Option<f64>,
+    ) -> Result<DeployOutcome, CoreError> {
+        let report = self.provider.run_job(instance, n_nodes, workload)?;
+        let inst = self.provider.catalog().get(instance)?.clone();
+        self.kb.record(RunRecord::new(
+            *profile,
+            &inst,
+            n_nodes,
+            report.duration_secs,
+            report.prorated_cost,
+        ));
+        self.runs_since_retrain += 1;
+        if self.kb.len() >= self.policy.min_kb_samples.max(2)
+            && self.runs_since_retrain >= self.policy.retrain_every
+        {
+            self.family.retrain(&self.kb)?;
+            self.runs_since_retrain = 0;
+        }
+        Ok(DeployOutcome {
+            mode,
+            predicted_secs,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_cloudsim::InstanceCatalog;
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    fn workload(contracts: usize) -> Workload {
+        Workload::new(30.0 * contracts as f64, 0.02 * contracts as f64, 0.8 * contracts as f64, 0.05)
+            .unwrap()
+    }
+
+    fn deployer(seed: u64) -> TransparentDeployer {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+        let policy = DeployPolicy {
+            t_max_secs: 50_000.0,
+            epsilon: 0.05,
+            max_nodes: 4,
+            min_kb_samples: 8,
+            retrain_every: 1,
+        };
+        TransparentDeployer::new(provider, policy, seed)
+    }
+
+    #[test]
+    fn bootstrap_then_ml_transition() {
+        let mut d = deployer(1);
+        let mut modes = Vec::new();
+        for i in 0..14 {
+            let out = d
+                .deploy(&profile(100 + i * 13), &workload(100 + i * 13))
+                .unwrap();
+            modes.push(out.mode);
+        }
+        // First 8 deploys are bootstrap, later ones ML-driven.
+        assert!(modes[..8].iter().all(|m| *m == DeployMode::Bootstrap));
+        assert!(modes[9..]
+            .iter()
+            .all(|m| matches!(m, DeployMode::MlGreedy | DeployMode::MlExplored)));
+        assert_eq!(d.knowledge_base().len(), 14);
+    }
+
+    #[test]
+    fn ml_deploys_carry_predictions() {
+        let mut d = deployer(2);
+        for i in 0..10 {
+            d.deploy(&profile(80 + i * 17), &workload(80 + i * 17))
+                .unwrap();
+        }
+        let out = d.deploy(&profile(150), &workload(150)).unwrap();
+        assert!(out.predicted_secs.is_some());
+        assert!(out.prediction_error().is_some());
+    }
+
+    #[test]
+    fn manual_override_is_recorded_and_learned() {
+        let mut d = deployer(3);
+        let out = d
+            .deploy_manual(&profile(100), &workload(100), "m4.10xlarge", 2)
+            .unwrap();
+        assert_eq!(out.mode, DeployMode::Manual);
+        assert_eq!(out.report.instance, "m4.10xlarge");
+        assert_eq!(out.report.n_nodes, 2);
+        assert!(out.predicted_secs.is_none());
+        assert_eq!(d.knowledge_base().len(), 1);
+    }
+
+    #[test]
+    fn knowledge_base_grows_monotonically() {
+        let mut d = deployer(4);
+        for i in 0..5 {
+            d.deploy(&profile(60 + i), &workload(60 + i)).unwrap();
+            assert_eq!(d.knowledge_base().len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn preseeded_kb_skips_bootstrap() {
+        // Build a KB from one deployer's bootstrap, hand it to another.
+        let mut first = deployer(5);
+        for i in 0..10 {
+            first.deploy(&profile(70 + i * 11), &workload(70 + i * 11)).unwrap();
+        }
+        let kb = first.knowledge_base().clone();
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 6);
+        let policy = DeployPolicy {
+            min_kb_samples: 8,
+            ..*first.policy()
+        };
+        let mut second = TransparentDeployer::new(provider, policy, 6).with_knowledge_base(kb);
+        // Family is untrained, so the very first deploy is still bootstrap
+        // (it trains right after); the second is ML.
+        let o1 = second.deploy(&profile(100), &workload(100)).unwrap();
+        assert_eq!(o1.mode, DeployMode::Bootstrap);
+        let o2 = second.deploy(&profile(100), &workload(100)).unwrap();
+        assert!(matches!(o2.mode, DeployMode::MlGreedy | DeployMode::MlExplored));
+    }
+
+    #[test]
+    fn predictions_improve_with_experience() {
+        // After enough homogeneous runs the ensemble should predict within
+        // a modest relative error on a familiar workload.
+        let mut d = deployer(7);
+        let mut last_err = None;
+        for i in 0..40 {
+            let c = 100 + (i * 29) % 200;
+            let out = d.deploy(&profile(c), &workload(c)).unwrap();
+            if let Some(p) = out.predicted_secs {
+                last_err = Some(((p - out.report.duration_secs) / out.report.duration_secs).abs());
+            }
+        }
+        let err = last_err.expect("ML deploys happened");
+        assert!(err < 0.6, "relative error after 40 runs: {err}");
+    }
+
+    #[test]
+    fn policy_validation() {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 1);
+        let mut bad = DeployPolicy::paper_defaults(3600.0);
+        bad.epsilon = 2.0;
+        let mut d = TransparentDeployer::new(provider, bad, 1);
+        assert!(d.deploy(&profile(10), &workload(10)).is_err());
+    }
+
+    #[test]
+    fn hetero_deploy_after_training() {
+        let mut d = deployer(11);
+        // Warm up with homogeneous deploys.
+        for i in 0..12 {
+            d.deploy(&profile(80 + i * 23), &workload(80 + i * 23)).unwrap();
+        }
+        let kb_before = d.knowledge_base().len();
+        let (sel, report) = d.deploy_hetero(&profile(200), &workload(200)).unwrap();
+        assert!(!sel.feasible.is_empty());
+        assert!(report.duration_secs > 0.0);
+        assert!(report.prorated_cost > 0.0);
+        // Hetero runs are not recorded (homogeneous-only knowledge base).
+        assert_eq!(d.knowledge_base().len(), kb_before);
+    }
+
+    #[test]
+    fn hetero_deploy_untrained_fails_cleanly() {
+        let mut d = deployer(13);
+        assert!(matches!(
+            d.deploy_hetero(&profile(100), &workload(100)),
+            Err(CoreError::Ml(_))
+        ));
+    }
+
+    #[test]
+    fn retrain_every_batches_training() {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 9);
+        let policy = DeployPolicy {
+            t_max_secs: 50_000.0,
+            epsilon: 0.0,
+            max_nodes: 3,
+            min_kb_samples: 4,
+            retrain_every: 5,
+        };
+        let mut d = TransparentDeployer::new(provider, policy, 9);
+        for i in 0..6 {
+            d.deploy(&profile(50 + i * 7), &workload(50 + i * 7)).unwrap();
+        }
+        // Trained at run 5 (first multiple of 5 past the 4-sample floor).
+        assert_eq!(d.family().trained_on(), 5);
+    }
+}

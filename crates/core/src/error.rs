@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the provisioning layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// The knowledge base has too few samples to train on.
+    InsufficientKnowledge {
+        /// Samples currently available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// No configuration satisfies the `T_max` constraint.
+    NoFeasibleConfiguration {
+        /// The deadline that could not be met (seconds).
+        t_max: f64,
+        /// The best (smallest) predicted time among all configurations.
+        best_predicted: f64,
+    },
+    /// An ML model failed to train or predict.
+    Ml(disar_ml::MlError),
+    /// The cloud rejected a request.
+    Cloud(disar_cloudsim::CloudError),
+    /// The DISAR engine failed.
+    Engine(disar_engine::EngineError),
+    /// Persistence I/O failed.
+    Io(std::io::Error),
+    /// Persistence (de)serialization failed.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CoreError::InsufficientKnowledge { have, need } => write!(
+                f,
+                "knowledge base has {have} samples but {need} are required"
+            ),
+            CoreError::NoFeasibleConfiguration { t_max, best_predicted } => write!(
+                f,
+                "no configuration meets T_max = {t_max}s (best predicted {best_predicted}s)"
+            ),
+            CoreError::Ml(e) => write!(f, "ml failure: {e}"),
+            CoreError::Cloud(e) => write!(f, "cloud failure: {e}"),
+            CoreError::Engine(e) => write!(f, "engine failure: {e}"),
+            CoreError::Io(e) => write!(f, "io failure: {e}"),
+            CoreError::Serde(e) => write!(f, "serialization failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            CoreError::Cloud(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            CoreError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<disar_ml::MlError> for CoreError {
+    fn from(e: disar_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<disar_cloudsim::CloudError> for CoreError {
+    fn from(e: disar_cloudsim::CloudError) -> Self {
+        CoreError::Cloud(e)
+    }
+}
+
+impl From<disar_engine::EngineError> for CoreError {
+    fn from(e: disar_engine::EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CoreError {
+    fn from(e: serde_json::Error) -> Self {
+        CoreError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::NoFeasibleConfiguration {
+            t_max: 100.0,
+            best_predicted: 250.0,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.source().is_none());
+        let e: CoreError = disar_ml::MlError::NotFitted.into();
+        assert!(e.source().is_some());
+    }
+}

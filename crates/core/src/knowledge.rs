@@ -1,0 +1,297 @@
+//! The knowledge base.
+//!
+//! "This information is stored in a database which is then coupled with
+//! runtime data. Whenever a new simulation is run, the system stores the
+//! execution time into the database" (§III). Each record pairs the job's
+//! characteristic parameters and the deploy configuration with the
+//! *measured* execution time; the base is replayed into [`Dataset`]s for
+//! (re)training, and is serializable to a human-inspectable JSON file.
+//!
+//! Machine capabilities enter the feature vector numerically (vCPUs,
+//! per-core speed, RAM) rather than as an opaque name, so knowledge
+//! transfers across instance types — and, as the paper notes, across
+//! companies: the parameters "are not necessarily bound to a specific one".
+
+use crate::profile::JobProfile;
+use crate::CoreError;
+use disar_cloudsim::InstanceType;
+use disar_ml::Dataset;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One executed simulation: the ML training row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The job's characteristic parameters.
+    pub profile: JobProfile,
+    /// Instance-type name the job ran on.
+    pub instance: String,
+    /// Machine capability features at run time (vCPUs, per-core speed,
+    /// memory GiB) — duplicated from the catalog so old records survive
+    /// catalog changes.
+    pub vcpus: u32,
+    /// Per-core speed of the instance.
+    pub per_core_speed: f64,
+    /// Memory (GiB) of the instance.
+    pub memory_gib: f64,
+    /// Number of nodes of the deploy.
+    pub n_nodes: usize,
+    /// Measured execution time in seconds (the ML target Θ).
+    pub duration_secs: f64,
+    /// Realized prorated cost in USD.
+    pub cost: f64,
+}
+
+impl RunRecord {
+    /// Builds a record from a job profile, the instance it ran on and the
+    /// realized measurements.
+    pub fn new(
+        profile: JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+        duration_secs: f64,
+        cost: f64,
+    ) -> Self {
+        RunRecord {
+            profile,
+            instance: instance.name.clone(),
+            vcpus: instance.vcpus,
+            per_core_speed: instance.per_core_speed,
+            memory_gib: instance.memory_gib,
+            n_nodes,
+            duration_secs,
+            cost,
+        }
+    }
+
+    /// The full ML feature vector: job profile + machine capabilities +
+    /// node count.
+    pub fn features(&self) -> Vec<f64> {
+        let mut f = self.profile.to_features();
+        f.push(self.vcpus as f64);
+        f.push(self.per_core_speed);
+        f.push(self.memory_gib);
+        f.push(self.n_nodes as f64);
+        f
+    }
+
+    /// Assembles the feature vector for a *hypothetical* configuration —
+    /// what Algorithm 1 evaluates predictions on.
+    pub fn features_for(profile: &JobProfile, instance: &InstanceType, n_nodes: usize) -> Vec<f64> {
+        let mut f = profile.to_features();
+        f.push(instance.vcpus as f64);
+        f.push(instance.per_core_speed);
+        f.push(instance.memory_gib);
+        f.push(n_nodes as f64);
+        f
+    }
+
+    /// Names matching [`RunRecord::features`].
+    pub fn feature_names() -> Vec<String> {
+        let mut names = JobProfile::feature_names();
+        names.push("vcpus".to_string());
+        names.push("per_core_speed".to_string());
+        names.push("memory_gib".to_string());
+        names.push("n_nodes".to_string());
+        names
+    }
+}
+
+/// The persistent store of executed runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    records: Vec<RunRecord>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one run.
+    pub fn record(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no runs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The stored records, oldest first.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Converts the whole base into an ML training set (target: measured
+    /// execution time in seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientKnowledge`] when empty.
+    pub fn to_dataset(&self) -> Result<Dataset, CoreError> {
+        if self.records.is_empty() {
+            return Err(CoreError::InsufficientKnowledge { have: 0, need: 1 });
+        }
+        let mut d = Dataset::new(RunRecord::feature_names());
+        for r in &self.records {
+            d.push(r.features(), r.duration_secs)
+                .map_err(CoreError::from)?;
+        }
+        Ok(d)
+    }
+
+    /// Subset of records executed on the named instance type (per-instance
+    /// Table I columns).
+    pub fn for_instance(&self, instance: &str) -> KnowledgeBase {
+        KnowledgeBase {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.instance == instance)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Saves the base as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a base previously written with [`KnowledgeBase::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn load(path: &Path) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    fn instance() -> InstanceType {
+        disar_cloudsim::InstanceCatalog::paper_catalog()
+            .get("c3.4xlarge")
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn record_features_shape() {
+        let r = RunRecord::new(profile(100), &instance(), 4, 312.0, 0.29);
+        let f = r.features();
+        assert_eq!(f.len(), RunRecord::feature_names().len());
+        assert_eq!(f[0], 100.0); // contracts first
+        assert_eq!(f[f.len() - 1], 4.0); // node count last
+        assert_eq!(f[6], 16.0); // vcpus of c3.4xlarge
+    }
+
+    #[test]
+    fn features_for_matches_record_features() {
+        let p = profile(42);
+        let inst = instance();
+        let via_record = RunRecord::new(p, &inst, 2, 1.0, 0.0).features();
+        let direct = RunRecord::features_for(&p, &inst, 2);
+        assert_eq!(via_record, direct);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let mut kb = KnowledgeBase::new();
+        for i in 1..=20 {
+            kb.record(RunRecord::new(
+                profile(i * 10),
+                &instance(),
+                i % 4 + 1,
+                100.0 * i as f64,
+                0.01 * i as f64,
+            ));
+        }
+        let d = kb.to_dataset().unwrap();
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.dim(), RunRecord::feature_names().len());
+        assert_eq!(d.targets()[4], 500.0);
+    }
+
+    #[test]
+    fn empty_base_cannot_train() {
+        let kb = KnowledgeBase::new();
+        assert!(matches!(
+            kb.to_dataset(),
+            Err(CoreError::InsufficientKnowledge { .. })
+        ));
+    }
+
+    #[test]
+    fn per_instance_filter() {
+        let mut kb = KnowledgeBase::new();
+        let cat = disar_cloudsim::InstanceCatalog::paper_catalog();
+        kb.record(RunRecord::new(
+            profile(1),
+            cat.get("c3.4xlarge").unwrap(),
+            1,
+            1.0,
+            0.0,
+        ));
+        kb.record(RunRecord::new(
+            profile(2),
+            cat.get("m4.4xlarge").unwrap(),
+            1,
+            2.0,
+            0.0,
+        ));
+        assert_eq!(kb.for_instance("c3.4xlarge").len(), 1);
+        assert_eq!(kb.for_instance("m4.4xlarge").len(), 1);
+        assert_eq!(kb.for_instance("c4.8xlarge").len(), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut kb = KnowledgeBase::new();
+        kb.record(RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07));
+        let dir = std::env::temp_dir().join("disar-kb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        kb.save(&path).unwrap();
+        let loaded = KnowledgeBase::load(&path).unwrap();
+        assert_eq!(kb, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let path = Path::new("/nonexistent/disar/kb.json");
+        assert!(matches!(KnowledgeBase::load(path), Err(CoreError::Io(_))));
+    }
+}

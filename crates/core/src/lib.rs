@@ -1,0 +1,57 @@
+//! The paper's contribution: ML-based transparent cloud deploy for
+//! Solvency II computations.
+//!
+//! This crate implements §III of the paper end to end:
+//!
+//! - [`profile`]: the characteristic parameters of a job (`f ∈ F`) — the
+//!   EEB features the paper "experimentally selected [as inducing] the
+//!   highest variability in the execution time", plus the Monte Carlo
+//!   sizes;
+//! - [`knowledge`]: the knowledge base — every executed simulation's
+//!   `(features, configuration, measured time, cost)` record, persisted as
+//!   JSON and replayed into ML training sets. "Whenever a simulation is
+//!   executed on the cloud, the total execution time is stored into the
+//!   database along with the values for the above parameters";
+//! - [`predictor`]: the prediction-model family
+//!   `P = { p_x : M × N × F → R⁺ }` with
+//!   `x ∈ {MLP, RT, RF, IBk, KStar, DT}`, retrained after every run;
+//! - [`algorithm`]: **Algorithm 1** — evaluate every `p_x` on every
+//!   `(m, n)` configuration, average the predictions, discard those above
+//!   `T_max`, pick the cheapest, and with probability ε explore a random
+//!   feasible configuration instead;
+//! - [`deploy`]: the **self-optimizing loop**: select a configuration,
+//!   provision and run on the (simulated) cloud, record the realized time
+//!   in the knowledge base, retrain, repeat. Supports the paper's manual
+//!   override for the early training phase.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use disar_cloudsim::{CloudProvider, InstanceCatalog};
+//! use disar_core::deploy::{DeployPolicy, TransparentDeployer};
+//!
+//! let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 1);
+//! let policy = DeployPolicy::paper_defaults(3_600.0);
+//! let mut deployer = TransparentDeployer::new(provider, policy, 42);
+//! # let _ = &mut deployer;
+//! ```
+
+pub mod algorithm;
+pub mod deploy;
+pub mod hetero;
+pub mod knowledge;
+pub mod predictor;
+pub mod profile;
+
+mod error;
+
+pub use algorithm::{
+    select_configuration, select_configuration_with_rule, CandidateConfig, Selection,
+    TimeEstimate,
+};
+pub use deploy::{DeployOutcome, DeployPolicy, TransparentDeployer};
+pub use error::CoreError;
+pub use hetero::{select_hetero_configuration, HeteroCandidate, HeteroSelection};
+pub use knowledge::{KnowledgeBase, RunRecord};
+pub use predictor::PredictorFamily;
+pub use profile::JobProfile;

@@ -1,0 +1,217 @@
+//! The prediction-model family `P`.
+//!
+//! "We define a family of prediction models P which is composed of all the
+//! prediction models p_x : M × N × F → R⁺, where
+//! x ∈ {MLP, RT, RF, IBk, KStar, DT} … The co-domain of each p_x is the
+//! expected execution time on the given deploy configuration" (§III).
+//!
+//! The family is retrained from the knowledge base after every executed
+//! simulation ("we therefore re-train the ML-based models after each
+//! execution"), and queried both per-model (Table I) and ensemble-averaged
+//! (Algorithm 1).
+
+use crate::knowledge::{KnowledgeBase, RunRecord};
+use crate::profile::JobProfile;
+use crate::CoreError;
+use disar_cloudsim::InstanceType;
+use disar_ml::{default_family, Regressor};
+
+/// The six retrainable execution-time predictors.
+pub struct PredictorFamily {
+    models: Vec<Box<dyn Regressor>>,
+    trained_on: usize,
+    min_samples: usize,
+}
+
+impl PredictorFamily {
+    /// Creates an untrained family with Weka-like defaults.
+    ///
+    /// `min_samples` is the knowledge-base size below which training is
+    /// refused (predictions would be meaningless); the paper bootstraps
+    /// this phase with manual configurations.
+    pub fn new(seed: u64, min_samples: usize) -> Self {
+        PredictorFamily {
+            models: default_family(seed),
+            trained_on: 0,
+            min_samples: min_samples.max(2),
+        }
+    }
+
+    /// Number of models (always 6 for the paper's family).
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` if the family has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Number of samples the family was last trained on (0 = untrained).
+    pub fn trained_on(&self) -> usize {
+        self.trained_on
+    }
+
+    /// `true` once the family has been trained at least once.
+    pub fn is_trained(&self) -> bool {
+        self.trained_on > 0
+    }
+
+    /// Retrains every model on the current knowledge base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientKnowledge`] below `min_samples`
+    /// and propagates model-training failures.
+    pub fn retrain(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
+        if kb.len() < self.min_samples {
+            return Err(CoreError::InsufficientKnowledge {
+                have: kb.len(),
+                need: self.min_samples,
+            });
+        }
+        let data = kb.to_dataset()?;
+        for m in &mut self.models {
+            m.fit(&data)?;
+        }
+        self.trained_on = kb.len();
+        Ok(())
+    }
+
+    /// Per-model predicted times `p_x(m, n, f)`, paired with model names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if the family is untrained.
+    pub fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(String, f64)>, CoreError> {
+        let x = RunRecord::features_for(profile, instance, n_nodes);
+        self.models
+            .iter()
+            .map(|m| Ok((m.name().to_string(), m.predict(&x)?)))
+            .collect()
+    }
+
+    /// The ensemble-averaged predicted time (Algorithm 1's `time`),
+    /// floored at zero since times are non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if the family is untrained.
+    pub fn predict_mean(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<f64, CoreError> {
+        let each = self.predict_each(profile, instance, n_nodes)?;
+        let mean = each.iter().map(|(_, t)| t).sum::<f64>() / each.len() as f64;
+        Ok(mean.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_cloudsim::InstanceCatalog;
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    fn filled_kb(n: usize) -> KnowledgeBase {
+        // Synthetic ground truth: time ~ contracts / (vcpus · nodes).
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let mut kb = KnowledgeBase::new();
+        for i in 0..n {
+            let inst = cat.get(&names[i % names.len()]).unwrap();
+            let nodes = i % 4 + 1;
+            let contracts = 50 + (i * 37) % 400;
+            let time = 5000.0 * contracts as f64
+                / (inst.compute_power() * nodes as f64)
+                / 100.0;
+            kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.01));
+        }
+        kb
+    }
+
+    #[test]
+    fn retrain_requires_min_samples() {
+        let mut fam = PredictorFamily::new(1, 10);
+        let kb = filled_kb(5);
+        assert!(matches!(
+            fam.retrain(&kb),
+            Err(CoreError::InsufficientKnowledge { have: 5, need: 10 })
+        ));
+        assert!(!fam.is_trained());
+    }
+
+    #[test]
+    fn untrained_family_refuses_predictions() {
+        let fam = PredictorFamily::new(1, 2);
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("c3.4xlarge").unwrap();
+        assert!(fam.predict_mean(&profile(100), inst, 2).is_err());
+    }
+
+    #[test]
+    fn family_learns_monotonicity_in_nodes() {
+        let mut fam = PredictorFamily::new(7, 2);
+        fam.retrain(&filled_kb(300)).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("c3.4xlarge").unwrap();
+        let t1 = fam.predict_mean(&profile(200), inst, 1).unwrap();
+        let t4 = fam.predict_mean(&profile(200), inst, 4).unwrap();
+        assert!(t4 < t1, "more nodes should predict faster: {t1} vs {t4}");
+    }
+
+    #[test]
+    fn predict_each_names_all_six() {
+        let mut fam = PredictorFamily::new(3, 2);
+        fam.retrain(&filled_kb(100)).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("m4.4xlarge").unwrap();
+        let each = fam.predict_each(&profile(100), inst, 2).unwrap();
+        assert_eq!(each.len(), 6);
+        let names: Vec<&str> = each.iter().map(|(n, _)| n.as_str()).collect();
+        for expect in ["MLP", "RT", "RF", "IBk", "KStar", "DT"] {
+            assert!(names.contains(&expect), "{expect} missing");
+        }
+    }
+
+    #[test]
+    fn mean_is_average_of_each() {
+        let mut fam = PredictorFamily::new(3, 2);
+        fam.retrain(&filled_kb(100)).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("m4.4xlarge").unwrap();
+        let each = fam.predict_each(&profile(100), inst, 2).unwrap();
+        let mean = fam.predict_mean(&profile(100), inst, 2).unwrap();
+        let expect = (each.iter().map(|(_, t)| t).sum::<f64>() / 6.0).max(0.0);
+        assert!((mean - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retraining_updates_trained_on() {
+        let mut fam = PredictorFamily::new(3, 2);
+        fam.retrain(&filled_kb(50)).unwrap();
+        assert_eq!(fam.trained_on(), 50);
+        fam.retrain(&filled_kb(80)).unwrap();
+        assert_eq!(fam.trained_on(), 80);
+    }
+}

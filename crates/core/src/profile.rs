@@ -1,0 +1,77 @@
+//! Job characteristic parameters — the paper's feature set `F`.
+//!
+//! "We have experimentally selected the characteristic parameters relative
+//! to each EEB that induce the highest variability in the execution time of
+//! the simulation, namely the number of representative contracts …, the
+//! maximum time horizon of the policies, the segregated fund asset number
+//! and the number of financial risk-factors" (§III). We additionally carry
+//! the Monte Carlo sizes `nP`/`nQ`, which are known before the run and
+//! scale execution time linearly.
+
+use disar_engine::EebCharacteristics;
+use serde::{Deserialize, Serialize};
+
+/// The pre-run-known profile of one simulation job (`f ∈ F`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// The EEB-derived characteristic parameters.
+    pub characteristics: EebCharacteristics,
+    /// Outer ("natural") iterations `nP`.
+    pub n_outer: usize,
+    /// Inner (risk-neutral) iterations `nQ`.
+    pub n_inner: usize,
+}
+
+impl JobProfile {
+    /// Flattens the profile into the job half of the ML feature vector.
+    pub fn to_features(&self) -> Vec<f64> {
+        let mut f = self.characteristics.to_features();
+        f.push(self.n_outer as f64);
+        f.push(self.n_inner as f64);
+        f
+    }
+
+    /// Names matching [`JobProfile::to_features`].
+    pub fn feature_names() -> Vec<String> {
+        let mut names = EebCharacteristics::feature_names();
+        names.push("n_outer".to_string());
+        names.push("n_inner".to_string());
+        names
+    }
+
+    /// Number of job features.
+    pub fn n_features() -> usize {
+        Self::feature_names().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: 250,
+                max_horizon: 30,
+                fund_assets: 40,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    #[test]
+    fn features_in_declared_order() {
+        let f = profile().to_features();
+        assert_eq!(f, vec![250.0, 30.0, 40.0, 2.0, 1000.0, 50.0]);
+        assert_eq!(f.len(), JobProfile::n_features());
+    }
+
+    #[test]
+    fn names_match_feature_count() {
+        assert_eq!(JobProfile::feature_names().len(), 6);
+        assert_eq!(JobProfile::feature_names()[4], "n_outer");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the provisioning layer.
+
+use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_core::deploy::{DeployPolicy, TransparentDeployer};
+use disar_core::{
+    select_configuration, select_configuration_with_rule, select_hetero_configuration,
+    CoreError, JobProfile, KnowledgeBase, PredictorFamily, RunRecord, TimeEstimate,
+};
+use disar_engine::EebCharacteristics;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn profile(contracts: usize) -> JobProfile {
+    JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    }
+}
+
+/// One shared trained family (training is the slow part).
+fn family() -> &'static (PredictorFamily, InstanceCatalog) {
+    static CELL: OnceLock<(PredictorFamily, InstanceCatalog)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let mut kb = KnowledgeBase::new();
+        for i in 0..300 {
+            let inst = cat.get(&names[i % names.len()]).expect("known");
+            let nodes = i % 6 + 1;
+            let contracts = 50 + (i * 53) % 400;
+            let time =
+                40_000.0 * contracts as f64 / 100.0 / (inst.compute_power() * nodes as f64);
+            kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
+        }
+        let mut fam = PredictorFamily::new(5, 2);
+        fam.retrain(&kb).expect("large enough");
+        (fam, cat)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Algorithm 1's feasible set is monotone in the deadline: relaxing
+    /// `T_max` never removes a candidate.
+    #[test]
+    fn feasible_set_monotone_in_deadline(
+        contracts in 60usize..420,
+        t1 in 200.0f64..5_000.0,
+        extra in 100.0f64..20_000.0,
+    ) {
+        let (fam, cat) = family();
+        let p = profile(contracts);
+        let tight = select_configuration(fam, cat, &p, t1, 6, 0.0, 1);
+        let loose = select_configuration(fam, cat, &p, t1 + extra, 6, 0.0, 1)
+            .expect("looser deadline at least as feasible");
+        if let Ok(tight) = tight {
+            prop_assert!(tight.feasible.len() <= loose.feasible.len());
+            for c in &tight.feasible {
+                prop_assert!(
+                    loose
+                        .feasible
+                        .iter()
+                        .any(|l| l.instance == c.instance && l.n_nodes == c.n_nodes),
+                    "tight candidate lost on relaxation"
+                );
+            }
+            // Cheapest pick can only get (weakly) cheaper with more slack.
+            prop_assert!(loose.chosen.predicted_cost <= tight.chosen.predicted_cost + 1e-9);
+        }
+    }
+
+    /// The greedy choice is always the cost-minimum of the feasible set,
+    /// and every feasible candidate honours the deadline.
+    #[test]
+    fn greedy_optimality(
+        contracts in 60usize..420,
+        t_max in 500.0f64..50_000.0,
+        max_nodes in 1usize..8,
+    ) {
+        let (fam, cat) = family();
+        let Ok(sel) = select_configuration(fam, cat, &profile(contracts), t_max, max_nodes, 0.0, 1)
+        else {
+            return Ok(());
+        };
+        for c in &sel.feasible {
+            prop_assert!(c.predicted_secs <= t_max);
+            prop_assert!(c.n_nodes >= 1 && c.n_nodes <= max_nodes);
+            prop_assert!(c.predicted_cost >= sel.chosen.predicted_cost - 1e-9);
+        }
+    }
+
+    /// The conservative rule's feasible set is a subset of the mean
+    /// rule's, for any deadline.
+    #[test]
+    fn conservative_subset(contracts in 60usize..420, t_max in 500.0f64..20_000.0) {
+        let (fam, cat) = family();
+        let p = profile(contracts);
+        let mean = select_configuration(fam, cat, &p, t_max, 5, 0.0, 1);
+        let cons = select_configuration_with_rule(
+            fam, cat, &p, t_max, 5, 0.0, 1, TimeEstimate::Conservative,
+        );
+        match (mean, cons) {
+            (Ok(m), Ok(c)) => {
+                prop_assert!(c.feasible.len() <= m.feasible.len());
+            }
+            (Err(_), Ok(_)) => prop_assert!(false, "conservative feasible but mean not"),
+            _ => {}
+        }
+    }
+
+    /// Hetero selection dominates homogeneous selection on predicted cost
+    /// whenever both succeed.
+    #[test]
+    fn hetero_weakly_dominates(contracts in 60usize..420, t_max in 500.0f64..20_000.0) {
+        let (fam, cat) = family();
+        let p = profile(contracts);
+        let homo = select_configuration(fam, cat, &p, t_max, 4, 0.0, 1);
+        let hetero = select_hetero_configuration(fam, cat, &p, t_max, 4, 0.0, 1);
+        if let Ok(h) = &homo {
+            let het = hetero.as_ref().expect("superset feasibility");
+            prop_assert!(het.chosen.predicted_cost <= h.chosen.predicted_cost + 1e-9);
+        }
+        if homo.is_err() {
+            // Hetero may still succeed (mixes are faster) — and when it
+            // fails too, the reported best prediction must exceed t_max.
+            if let Err(CoreError::NoFeasibleConfiguration { best_predicted, .. }) = hetero {
+                prop_assert!(best_predicted > t_max);
+            }
+        }
+    }
+
+    /// The deployer's knowledge base grows by exactly one per deploy and
+    /// deploys are deterministic per seed.
+    #[test]
+    fn deployer_accounting(seed in 0u64..50, deploys in 1usize..8) {
+        let run = |seed: u64| {
+            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+            let policy = DeployPolicy {
+                t_max_secs: 1e6,
+                epsilon: 0.1,
+                max_nodes: 4,
+                min_kb_samples: 3,
+                retrain_every: 2,
+            };
+            let mut d = TransparentDeployer::new(provider, policy, seed);
+            let wl = Workload::new(5_000.0, 4.0, 40.0, 0.05).expect("valid");
+            let mut picks = Vec::new();
+            for i in 0..deploys {
+                let out = d.deploy(&profile(100 + i * 31), &wl).expect("deploys");
+                picks.push((out.report.instance.clone(), out.report.n_nodes));
+            }
+            (picks, d.knowledge_base().len())
+        };
+        let (picks_a, len_a) = run(seed);
+        let (picks_b, len_b) = run(seed);
+        prop_assert_eq!(len_a, deploys);
+        prop_assert_eq!(len_b, deploys);
+        prop_assert_eq!(picks_a, picks_b);
+    }
+}

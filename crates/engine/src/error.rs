@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the DISAR orchestration layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// The actuarial substrate failed.
+    Actuarial(String),
+    /// The ALM valuation failed.
+    Alm(String),
+    /// The stochastic substrate failed.
+    Stochastic(String),
+    /// The cloud simulator rejected a request.
+    Cloud(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            EngineError::Actuarial(what) => write!(f, "actuarial engine failed: {what}"),
+            EngineError::Alm(what) => write!(f, "ALM engine failed: {what}"),
+            EngineError::Stochastic(what) => write!(f, "scenario generation failed: {what}"),
+            EngineError::Cloud(what) => write!(f, "cloud request failed: {what}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<disar_actuarial::ActuarialError> for EngineError {
+    fn from(e: disar_actuarial::ActuarialError) -> Self {
+        EngineError::Actuarial(e.to_string())
+    }
+}
+
+impl From<disar_alm::AlmError> for EngineError {
+    fn from(e: disar_alm::AlmError) -> Self {
+        EngineError::Alm(e.to_string())
+    }
+}
+
+impl From<disar_stochastic::StochasticError> for EngineError {
+    fn from(e: disar_stochastic::StochasticError) -> Self {
+        EngineError::Stochastic(e.to_string())
+    }
+}
+
+impl From<disar_cloudsim::CloudError> for EngineError {
+    fn from(e: disar_cloudsim::CloudError) -> Self {
+        EngineError::Cloud(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: EngineError = disar_actuarial::ActuarialError::EmptyPortfolio.into();
+        assert!(matches!(e, EngineError::Actuarial(_)));
+        let e: EngineError = disar_cloudsim::CloudError::InvalidParameter("x").into();
+        assert!(matches!(e, EngineError::Cloud(_)));
+    }
+}

@@ -1,0 +1,169 @@
+//! EEB scheduling — DiMaS "establishes the elaboration schedule \[and\]
+//! distributes the elementary requests to the processing units" (§II).
+//!
+//! EEBs are independent, so scheduling is the classical minimum-makespan
+//! problem on identical machines. We implement the Longest-Processing-Time
+//! (LPT) heuristic (Graham 1969, 4/3-approximate), which is what matters in
+//! practice: without it, one long EEB at the end of the queue leaves every
+//! other node idle — the exact waste the paper's cost model punishes.
+
+use crate::EngineError;
+use serde::{Deserialize, Serialize};
+
+/// An assignment of items (by index) to units, plus the per-unit loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `assignment[u]` = indices of the items given to unit `u`.
+    pub assignment: Vec<Vec<usize>>,
+    /// Total load per unit.
+    pub loads: Vec<f64>,
+}
+
+impl Schedule {
+    /// The makespan (maximum unit load).
+    pub fn makespan(&self) -> f64 {
+        self.loads.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Mean idle fraction across units relative to the makespan.
+    pub fn idle_fraction(&self) -> f64 {
+        let m = self.makespan();
+        if m == 0.0 {
+            return 0.0;
+        }
+        let idle: f64 = self.loads.iter().map(|l| (m - l) / m).sum();
+        idle / self.loads.len() as f64
+    }
+}
+
+/// LPT list scheduling: sorts items by decreasing cost and greedily assigns
+/// each to the currently least-loaded unit.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidParameter`] for zero units, an empty item
+/// list, or non-finite/negative costs.
+///
+/// # Example
+///
+/// ```
+/// use disar_engine::scheduler::lpt_schedule;
+///
+/// let s = lpt_schedule(&[5.0, 3.0, 3.0, 2.0, 2.0, 2.0], 3).unwrap();
+/// // LPT yields 7 here (OPT is 6: {5}, {3,3}, {2,2,2}) — within the 4/3 bound.
+/// assert_eq!(s.makespan(), 7.0);
+/// ```
+pub fn lpt_schedule(costs: &[f64], n_units: usize) -> Result<Schedule, EngineError> {
+    if n_units == 0 {
+        return Err(EngineError::InvalidParameter("n_units must be > 0"));
+    }
+    if costs.is_empty() {
+        return Err(EngineError::InvalidParameter("no items to schedule"));
+    }
+    if costs.iter().any(|c| !c.is_finite() || *c < 0.0) {
+        return Err(EngineError::InvalidParameter(
+            "costs must be finite and non-negative",
+        ));
+    }
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("finite costs")
+            .then(a.cmp(&b))
+    });
+    let mut assignment = vec![Vec::new(); n_units];
+    let mut loads = vec![0.0; n_units];
+    for &i in &order {
+        // Least-loaded unit; ties broken by unit index for determinism.
+        let (u, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|(ua, la), (ub, lb)| {
+                la.partial_cmp(lb).expect("finite loads").then(ua.cmp(ub))
+            })
+            .expect("n_units > 0");
+        assignment[u].push(i);
+        loads[u] += costs[i];
+    }
+    Ok(Schedule { assignment, loads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_items_assigned_once() {
+        let costs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let s = lpt_schedule(&costs, 4).unwrap();
+        let mut seen: Vec<usize> = s.assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loads_match_assignment() {
+        let costs = [4.0, 7.0, 1.0, 3.0, 3.0];
+        let s = lpt_schedule(&costs, 2).unwrap();
+        for (u, items) in s.assignment.iter().enumerate() {
+            let sum: f64 = items.iter().map(|&i| costs[i]).sum();
+            assert!((sum - s.loads[u]).abs() < 1e-12);
+        }
+        let total: f64 = s.loads.iter().sum();
+        assert!((total - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_beats_naive_on_adversarial_input() {
+        // Naive in-order round-robin puts the long job last; LPT doesn't.
+        let costs = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 6.0];
+        let s = lpt_schedule(&costs, 2).unwrap();
+        assert!(s.makespan() <= 6.0 + 1e-12, "makespan {}", s.makespan());
+    }
+
+    #[test]
+    fn single_unit_gets_everything() {
+        let s = lpt_schedule(&[2.0, 3.0], 1).unwrap();
+        assert_eq!(s.makespan(), 5.0);
+        assert_eq!(s.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn more_units_than_items_leaves_some_idle() {
+        let s = lpt_schedule(&[5.0, 5.0], 4).unwrap();
+        assert_eq!(s.makespan(), 5.0);
+        assert!((s.idle_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = [3.0, 3.0, 3.0, 3.0];
+        let a = lpt_schedule(&costs, 2).unwrap();
+        let b = lpt_schedule(&costs, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(lpt_schedule(&[], 2).is_err());
+        assert!(lpt_schedule(&[1.0], 0).is_err());
+        assert!(lpt_schedule(&[f64::NAN], 1).is_err());
+        assert!(lpt_schedule(&[-1.0], 1).is_err());
+    }
+
+    #[test]
+    fn balanced_within_graham_bound() {
+        // Graham's list-scheduling bound holds for any list order, hence
+        // for LPT: makespan <= total/m + (1 - 1/m) * max_item. (The tighter
+        // 4/3 LPT bound is relative to OPT, which we cannot compute here.)
+        let costs: Vec<f64> = (0..50).map(|i| ((i * 37) % 23 + 1) as f64).collect();
+        let m = 6;
+        let s = lpt_schedule(&costs, m).unwrap();
+        let total: f64 = costs.iter().sum();
+        let max_item = costs.iter().cloned().fold(0.0, f64::max);
+        let graham = total / m as f64 + (1.0 - 1.0 / m as f64) * max_item;
+        assert!(s.makespan() <= graham + 1e-9);
+        assert!(s.makespan() >= (total / m as f64).max(max_item) - 1e-9);
+    }
+}

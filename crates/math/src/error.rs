@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for numerical routines in this crate.
+///
+/// All public fallible functions return `Result<_, MathError>`. The variants
+/// describe *why* a computation could not proceed, so callers can decide
+/// whether to regularize, resample, or abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A factorization required a (strictly) positive-definite matrix but the
+    /// input was not (within numerical tolerance).
+    NotPositiveDefinite {
+        /// Index of the pivot where positive-definiteness failed.
+        pivot: usize,
+    },
+    /// A matrix was singular (or numerically so) where an invertible one was
+    /// required.
+    Singular,
+    /// The input slice/collection was empty where at least one element is
+    /// required.
+    EmptyInput(&'static str),
+    /// A scalar argument was outside its valid domain.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MathError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            MathError::Singular => write!(f, "matrix is singular"),
+            MathError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            MathError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MathError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

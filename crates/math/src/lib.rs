@@ -1,0 +1,40 @@
+//! Numerical substrate for the DISAR reproduction.
+//!
+//! This crate provides the numerical building blocks that every other crate
+//! in the workspace relies on:
+//!
+//! - [`matrix`]: a small dense linear-algebra kernel (matrix type, Cholesky
+//!   factorization, triangular solves, ridge/ordinary least squares) used by
+//!   the LSMC regression in `disar-alm` and by the ML models in `disar-ml`;
+//! - [`stats`]: descriptive statistics, empirical quantiles, histograms, and
+//!   error metrics used throughout the experimental harness;
+//! - [`rng`]: deterministic random-number utilities — SplitMix64 stream
+//!   derivation so that every Monte Carlo path gets an independent,
+//!   reproducible generator, and Gaussian sampling via the Marsaglia polar
+//!   method (the workspace deliberately avoids `rand_distr`);
+//! - [`poly`]: orthonormal polynomial bases (Laguerre, probabilists' Hermite,
+//!   Chebyshev) and multivariate total-degree tensor bases for the
+//!   Least-Squares Monte Carlo technique of Bauer, Reuss & Singer (2012)
+//!   referenced by the paper;
+//! - [`regression`]: convenience wrappers that assemble design matrices and
+//!   fit linear models.
+//!
+//! # Example
+//!
+//! ```
+//! use disar_math::stats::quantile;
+//!
+//! let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+//! assert_eq!(quantile(&xs, 0.5), 3.0);
+//! ```
+
+pub mod matrix;
+pub mod poly;
+pub mod regression;
+pub mod rng;
+pub mod stats;
+
+mod error;
+
+pub use error::MathError;
+pub use matrix::Matrix;

@@ -1,0 +1,393 @@
+//! Tabular regression datasets, normalization and splitting.
+//!
+//! A [`Dataset`] is a dense feature table with a single continuous target —
+//! exactly the shape of the paper's knowledge base (characteristic
+//! parameters of an EEB plus the deploy configuration as features, measured
+//! execution time as target).
+
+use crate::MlError;
+use disar_math::rng::stream_rng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A regression dataset: named features, dense rows, one `f64` target per
+/// row.
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::Dataset;
+///
+/// let mut d = Dataset::new(vec!["contracts".into(), "nodes".into()]);
+/// d.push(vec![120.0, 4.0], 310.5).unwrap();
+/// assert_eq!(d.len(), 1);
+/// assert_eq!(d.dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset from parallel rows/targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureDimensionMismatch`] on ragged rows or if
+    /// `rows.len() != targets.len()`, and [`MlError::NonFiniteInput`] if any
+    /// value is NaN/∞.
+    pub fn from_rows(
+        feature_names: Vec<String>,
+        rows: Vec<Vec<f64>>,
+        targets: Vec<f64>,
+    ) -> Result<Self, MlError> {
+        if rows.len() != targets.len() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: rows.len(),
+                got: targets.len(),
+            });
+        }
+        let mut d = Dataset::new(feature_names);
+        for (r, t) in rows.into_iter().zip(targets) {
+            d.push(r, t)?;
+        }
+        Ok(d)
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureDimensionMismatch`] if `features.len()`
+    /// differs from the declared dimension and [`MlError::NonFiniteInput`] if
+    /// any value is NaN or infinite.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), MlError> {
+        if features.len() != self.feature_names.len() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: self.feature_names.len(),
+                got: features.len(),
+            });
+        }
+        if !target.is_finite() || features.iter().any(|x| !x.is_finite()) {
+            return Err(MlError::NonFiniteInput);
+        }
+        self.rows.push(features);
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the dataset holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// The `i`-th observation as `(features, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> (&[f64], f64) {
+        (&self.rows[i], self.targets[i])
+    }
+
+    /// Mean of the targets (`0.0` when empty).
+    pub fn target_mean(&self) -> f64 {
+        disar_math::stats::mean(&self.targets)
+    }
+
+    /// Randomly shuffles and splits into `(train, test)` where train receives
+    /// `train_fraction` of the rows (rounded down, but at least one row in
+    /// each side when `len() >= 2`).
+    ///
+    /// This is the 40 %/60 % "splitting percentage" used for Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] if the dataset has fewer than
+    /// two rows, and [`MlError::InvalidHyperparameter`] if the fraction is
+    /// outside `(0, 1)`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> Result<(Dataset, Dataset), MlError> {
+        if self.len() < 2 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if !(train_fraction > 0.0 && train_fraction < 1.0) {
+            return Err(MlError::InvalidHyperparameter(
+                "train_fraction must be in (0, 1)",
+            ));
+        }
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = stream_rng(seed, 0xDA7A);
+        idx.shuffle(&mut rng);
+        let n_train = ((self.len() as f64 * train_fraction) as usize).clamp(1, self.len() - 1);
+        let mut train = Dataset::new(self.feature_names.clone());
+        let mut test = Dataset::new(self.feature_names.clone());
+        for (pos, &i) in idx.iter().enumerate() {
+            let dst = if pos < n_train { &mut train } else { &mut test };
+            dst.rows.push(self.rows[i].clone());
+            dst.targets.push(self.targets[i]);
+        }
+        Ok((train, test))
+    }
+
+    /// Selects the observations whose index satisfies `keep`, preserving
+    /// order. Used e.g. to build the per-instance-type subsets of Table I.
+    pub fn filter<F: Fn(usize) -> bool>(&self, keep: F) -> Dataset {
+        let mut out = Dataset::new(self.feature_names.clone());
+        for i in 0..self.len() {
+            if keep(i) {
+                out.rows.push(self.rows[i].clone());
+                out.targets.push(self.targets[i]);
+            }
+        }
+        out
+    }
+
+    /// Returns a bootstrap resample of the same size, drawn with replacement
+    /// (used by Random Forest bagging).
+    pub fn bootstrap(&self, seed: u64) -> Dataset {
+        let mut rng = stream_rng(seed, 0xB00F);
+        let mut out = Dataset::new(self.feature_names.clone());
+        for _ in 0..self.len() {
+            let i = rand::Rng::gen_range(&mut rng, 0..self.len());
+            out.rows.push(self.rows[i].clone());
+            out.targets.push(self.targets[i]);
+        }
+        out
+    }
+}
+
+/// Per-column min–max scaler mapping each feature to `[0, 1]`, the
+/// normalization Weka's distance-based learners apply.
+///
+/// Constant columns map to `0.0` (range zero ⇒ no information).
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::{Dataset, Scaler};
+///
+/// let d = Dataset::from_rows(
+///     vec!["a".into()],
+///     vec![vec![10.0], vec![20.0], vec![30.0]],
+///     vec![0.0, 0.0, 0.0],
+/// ).unwrap();
+/// let s = Scaler::fit(&d).unwrap();
+/// assert_eq!(s.transform(&[20.0]), vec![0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl Scaler {
+    /// Computes per-column minima and ranges over the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] on an empty dataset.
+    pub fn fit(data: &Dataset) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let d = data.dim();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in data.rows() {
+            for j in 0..d {
+                mins[j] = mins[j].min(row[j]);
+                maxs[j] = maxs[j].max(row[j]);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| hi - lo)
+            .collect();
+        Ok(Scaler { mins, ranges })
+    }
+
+    /// Maps a feature vector into `[0, 1]^d`. Values outside the fitted range
+    /// extrapolate linearly (may fall outside `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mins.len(), "scaler dimension mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                if self.ranges[j] == 0.0 {
+                    0.0
+                } else {
+                    (v - self.mins[j]) / self.ranges[j]
+                }
+            })
+            .collect()
+    }
+
+    /// Number of columns the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64, (i * 2) as f64], i as f64 * 10.0)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn push_validates_dimension() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        assert!(matches!(
+            d.push(vec![1.0, 2.0], 0.0),
+            Err(MlError::FeatureDimensionMismatch { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn push_rejects_non_finite() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        assert!(matches!(
+            d.push(vec![f64::NAN], 0.0),
+            Err(MlError::NonFiniteInput)
+        ));
+        assert!(matches!(
+            d.push(vec![1.0], f64::INFINITY),
+            Err(MlError::NonFiniteInput)
+        ));
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy(100);
+        let (train, test) = d.split(0.4, 42).unwrap();
+        assert_eq!(train.len(), 40);
+        assert_eq!(test.len(), 60);
+        // Every target must appear exactly once across the two halves.
+        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..100).map(|i| i as f64 * 10.0).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(50);
+        let (a1, _) = d.split(0.5, 7).unwrap();
+        let (a2, _) = d.split(0.5, 7).unwrap();
+        assert_eq!(a1, a2);
+        let (a3, _) = d.split(0.5, 8).unwrap();
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let d = toy(10);
+        assert!(d.split(0.0, 1).is_err());
+        assert!(d.split(1.0, 1).is_err());
+        assert!(toy(1).split(0.5, 1).is_err());
+    }
+
+    #[test]
+    fn bootstrap_same_size_and_deterministic() {
+        let d = toy(30);
+        let b1 = d.bootstrap(5);
+        let b2 = d.bootstrap(5);
+        assert_eq!(b1.len(), 30);
+        assert_eq!(b1, b2);
+        // With 30 draws from 30 rows, a resample is essentially never the
+        // identity permutation.
+        assert_ne!(b1.targets(), d.targets());
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let d = toy(10);
+        let even = d.filter(|i| i % 2 == 0);
+        assert_eq!(even.len(), 5);
+        assert_eq!(even.targets()[1], 20.0);
+    }
+
+    #[test]
+    fn scaler_maps_to_unit_interval() {
+        let d = toy(11);
+        let s = Scaler::fit(&d).unwrap();
+        for row in d.rows() {
+            for v in s.transform(row) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(s.transform(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[10.0, 20.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn scaler_constant_column_is_zero() {
+        let d = Dataset::from_rows(
+            vec!["c".into()],
+            vec![vec![5.0], vec![5.0]],
+            vec![1.0, 2.0],
+        )
+        .unwrap();
+        let s = Scaler::fit(&d).unwrap();
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Dataset::from_rows(vec!["a".into()], vec![vec![1.0]], vec![]).is_err());
+    }
+
+    #[test]
+    fn target_mean_empty_is_zero() {
+        let d = Dataset::new(vec![]);
+        assert_eq!(d.target_mean(), 0.0);
+    }
+}

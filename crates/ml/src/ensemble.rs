@@ -1,0 +1,157 @@
+//! Prediction-averaging ensemble — the paper's error-damping step.
+//!
+//! Algorithm 1 evaluates *every* model `p_x` and uses the arithmetic mean of
+//! their predicted times: "To account for possible prediction errors by the
+//! various models p_x, we compute a final value time … as the average of all
+//! the times predicted by the models."
+
+use crate::dataset::Dataset;
+use crate::regressor::Regressor;
+use crate::MlError;
+
+/// An ensemble of heterogeneous regressors predicting the mean of its
+/// members.
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::{default_family, Dataset, Ensemble, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..40 {
+///     data.push(vec![i as f64], 2.0 * i as f64).unwrap();
+/// }
+/// let mut ens = Ensemble::new(default_family(1));
+/// ens.fit(&data).unwrap();
+/// let y = ens.predict(&[20.0]).unwrap();
+/// assert!((y - 40.0).abs() < 15.0);
+/// ```
+pub struct Ensemble {
+    members: Vec<Box<dyn Regressor>>,
+}
+
+impl Ensemble {
+    /// Wraps a set of member models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Regressor>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Ensemble { members }
+    }
+
+    /// Number of member models.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the ensemble has no members (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Immutable access to the members.
+    pub fn members(&self) -> &[Box<dyn Regressor>] {
+        &self.members
+    }
+
+    /// Per-member predictions, paired with the member's name — the paper's
+    /// Table I needs individual-model errors, not just the average.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the first member error ([`MlError::NotFitted`] etc.).
+    pub fn predict_each(&self, x: &[f64]) -> Result<Vec<(String, f64)>, MlError> {
+        self.members
+            .iter()
+            .map(|m| Ok((m.name().to_string(), m.predict(x)?)))
+            .collect()
+    }
+}
+
+impl Regressor for Ensemble {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        for m in &mut self.members {
+            m.fit(data)?;
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        let mut sum = 0.0;
+        for m in &self.members {
+            sum += m.predict(x)?;
+        }
+        Ok(sum / self.members.len() as f64)
+    }
+
+    fn name(&self) -> &str {
+        "Ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::default_family;
+
+    struct Constant(f64, bool);
+    impl Regressor for Constant {
+        fn fit(&mut self, _data: &Dataset) -> Result<(), MlError> {
+            self.1 = true;
+            Ok(())
+        }
+        fn predict(&self, _x: &[f64]) -> Result<f64, MlError> {
+            if self.1 {
+                Ok(self.0)
+            } else {
+                Err(MlError::NotFitted)
+            }
+        }
+        fn name(&self) -> &str {
+            "Const"
+        }
+    }
+
+    #[test]
+    fn mean_of_members() {
+        let mut ens = Ensemble::new(vec![
+            Box::new(Constant(10.0, false)),
+            Box::new(Constant(20.0, false)),
+            Box::new(Constant(60.0, false)),
+        ]);
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![0.0], 0.0).unwrap();
+        ens.fit(&d).unwrap();
+        assert_eq!(ens.predict(&[0.0]).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn unfitted_member_propagates() {
+        let ens = Ensemble::new(vec![Box::new(Constant(1.0, false))]);
+        assert!(matches!(ens.predict(&[0.0]), Err(MlError::NotFitted)));
+    }
+
+    #[test]
+    fn predict_each_names_members() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..30 {
+            d.push(vec![i as f64], i as f64).unwrap();
+        }
+        let mut ens = Ensemble::new(default_family(0));
+        ens.fit(&d).unwrap();
+        let each = ens.predict_each(&[15.0]).unwrap();
+        assert_eq!(each.len(), 6);
+        let names: Vec<&str> = each.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"MLP"));
+        assert!(names.contains(&"KStar"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_panics() {
+        let _ = Ensemble::new(Vec::new());
+    }
+}

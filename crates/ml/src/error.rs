@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model training and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// A feature row did not match the dataset's declared dimension.
+    FeatureDimensionMismatch {
+        /// Dimension the dataset/model expects.
+        expected: usize,
+        /// Dimension that was supplied.
+        got: usize,
+    },
+    /// `predict` was called before `fit`.
+    NotFitted,
+    /// A hyper-parameter was outside its valid range.
+    InvalidHyperparameter(&'static str),
+    /// A numerical routine failed during training.
+    Numerical(String),
+    /// A feature value was NaN or infinite.
+    NonFiniteInput,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::FeatureDimensionMismatch { expected, got } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::InvalidHyperparameter(what) => {
+                write!(f, "invalid hyperparameter: {what}")
+            }
+            MlError::Numerical(what) => write!(f, "numerical failure: {what}"),
+            MlError::NonFiniteInput => write!(f, "feature values must be finite"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+impl From<disar_math::MathError> for MlError {
+    fn from(e: disar_math::MathError) -> Self {
+        MlError::Numerical(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::NotFitted.to_string().contains("not been fitted"));
+        let e = MlError::FeatureDimensionMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn from_math_error() {
+        let e: MlError = disar_math::MathError::Singular.into();
+        assert!(matches!(e, MlError::Numerical(_)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Random Forest regressor (Breiman 2001).
+//!
+//! Bagged ensemble of [`RandomTree`]s: each tree is trained on a bootstrap
+//! resample of the data and the forest predicts the mean of the trees.
+//! Weka defaults: 100 trees, `⌊log₂ d⌋ + 1` features per split.
+
+use crate::dataset::Dataset;
+use crate::regressor::Regressor;
+use crate::tree::RandomTree;
+use crate::MlError;
+use disar_math::rng::split_seed;
+use serde::{Deserialize, Serialize};
+
+/// A bagged forest of randomized regression trees.
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::{Dataset, RandomForest, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..60 {
+///     data.push(vec![i as f64], i as f64 * i as f64).unwrap();
+/// }
+/// let mut rf = RandomForest::with_defaults(7);
+/// rf.fit(&data).unwrap();
+/// let y = rf.predict(&[30.0]).unwrap();
+/// assert!((y - 900.0).abs() < 150.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    n_trees: usize,
+    min_leaf: usize,
+    max_depth: usize,
+    seed: u64,
+    trees: Vec<RandomTree>,
+}
+
+impl RandomForest {
+    /// Weka defaults: 100 trees, unbounded depth, leaves of size ≥ 1.
+    pub fn with_defaults(seed: u64) -> Self {
+        RandomForest {
+            n_trees: 100,
+            min_leaf: 1,
+            max_depth: 64,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] if any size parameter is
+    /// zero.
+    pub fn new(
+        n_trees: usize,
+        min_leaf: usize,
+        max_depth: usize,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        if n_trees == 0 {
+            return Err(MlError::InvalidHyperparameter("n_trees must be > 0"));
+        }
+        if min_leaf == 0 || max_depth == 0 {
+            return Err(MlError::InvalidHyperparameter(
+                "min_leaf and max_depth must be > 0",
+            ));
+        }
+        Ok(RandomForest {
+            n_trees,
+            min_leaf,
+            max_depth,
+            seed,
+            trees: Vec::new(),
+        })
+    }
+
+    /// Number of trees in the (fitted or configured) forest.
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Mean variance-reduction feature importances across the fitted
+    /// trees, normalized to sum to 1 (empty before fitting).
+    pub fn importances(&self) -> Vec<f64> {
+        let Some(first) = self.trees.first() else {
+            return Vec::new();
+        };
+        let dim = first.importances().len();
+        let mut out = vec![0.0; dim];
+        for t in &self.trees {
+            for (o, v) in out.iter_mut().zip(t.importances()) {
+                *o += v;
+            }
+        }
+        let total: f64 = out.iter().sum();
+        if total > 0.0 {
+            for v in &mut out {
+                *v /= total;
+            }
+        }
+        out
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for t in 0..self.n_trees {
+            let tree_seed = split_seed(self.seed, t as u64);
+            let sample = data.bootstrap(tree_seed);
+            let mut tree =
+                RandomTree::new(None, self.min_leaf, self.max_depth, tree_seed ^ 0x51ED)?;
+            tree.fit(&sample)?;
+            trees.push(tree);
+        }
+        self.trees = trees;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let mut sum = 0.0;
+        for t in &self.trees {
+            sum += t.predict(x)?;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    fn name(&self) -> &str {
+        "RF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..n {
+            let x = i as f64 / 10.0;
+            d.push(vec![x], (x * 1.3).sin() * 50.0 + x * 5.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_tree_on_noise() {
+        use disar_math::rng::{stream_rng, StandardNormal};
+
+        // Noisy linear data: bagging should reduce variance vs one tree.
+        let mut rng = stream_rng(1, 0);
+        let mut gauss = StandardNormal::new();
+        let mut train = Dataset::new(vec!["x".into()]);
+        let mut test = Dataset::new(vec!["x".into()]);
+        for i in 0..300 {
+            let x = (i % 100) as f64;
+            let y = 2.0 * x + 10.0 * gauss.sample(&mut rng);
+            if i < 200 {
+                train.push(vec![x], y).unwrap();
+            } else {
+                test.push(vec![x], y).unwrap();
+            }
+        }
+        let mut tree = RandomTree::with_defaults(2);
+        tree.fit(&train).unwrap();
+        let mut forest = RandomForest::new(40, 1, 64, 2).unwrap();
+        forest.fit(&train).unwrap();
+        let tp: Vec<f64> = test.rows().iter().map(|r| tree.predict(r).unwrap()).collect();
+        let fp: Vec<f64> = test.rows().iter().map(|r| forest.predict(r).unwrap()).collect();
+        let t_rmse = disar_math::stats::rmse(&tp, test.targets());
+        let f_rmse = disar_math::stats::rmse(&fp, test.targets());
+        assert!(
+            f_rmse <= t_rmse * 1.05,
+            "forest rmse {f_rmse} should not exceed tree rmse {t_rmse}"
+        );
+    }
+
+    #[test]
+    fn prediction_within_target_hull() {
+        let d = wavy(80);
+        let mut rf = RandomForest::new(20, 1, 64, 3).unwrap();
+        rf.fit(&d).unwrap();
+        let lo = d.targets().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = d.targets().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..d.len() {
+            let y = rf.predict(d.get(i).0).unwrap();
+            assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = wavy(50);
+        let mut a = RandomForest::new(10, 1, 64, 9).unwrap();
+        let mut b = RandomForest::new(10, 1, 64, 9).unwrap();
+        a.fit(&d).unwrap();
+        b.fit(&d).unwrap();
+        assert_eq!(a.predict(&[2.5]).unwrap(), b.predict(&[2.5]).unwrap());
+    }
+
+    #[test]
+    fn rejects_zero_trees() {
+        assert!(RandomForest::new(0, 1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn unfitted_reports_not_fitted() {
+        let rf = RandomForest::with_defaults(0);
+        assert!(matches!(rf.predict(&[1.0]), Err(MlError::NotFitted)));
+    }
+
+    #[test]
+    fn forest_importances_aggregate_and_normalize() {
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]);
+        for i in 0..150 {
+            let s = (i % 8) as f64;
+            d.push(vec![s, ((i * 29) % 13) as f64], s * 10.0).unwrap();
+        }
+        let mut rf = RandomForest::new(15, 1, 64, 3).unwrap();
+        assert!(rf.importances().is_empty(), "unfitted forest");
+        rf.fit(&d).unwrap();
+        let imp = rf.importances();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "signal must dominate: {imp:?}");
+    }
+
+    #[test]
+    fn single_tree_forest_close_to_tree_family() {
+        // A 1-tree forest is still a valid regressor on its bootstrap sample.
+        let d = wavy(40);
+        let mut rf = RandomForest::new(1, 1, 64, 4).unwrap();
+        rf.fit(&d).unwrap();
+        let y = rf.predict(&[2.0]).unwrap();
+        assert!(y.is_finite());
+    }
+}

@@ -1,0 +1,240 @@
+//! IBk — instance-based learning with `k` nearest neighbours
+//! (Aha, Kibler & Albert, *Machine Learning* 6, 1991).
+//!
+//! Distances are Euclidean over min–max-normalized attributes, exactly as in
+//! Weka's `IBk`. For regression the prediction is the (optionally
+//! inverse-distance-weighted) mean of the `k` nearest targets.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::regressor::Regressor;
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Neighbour-weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Weighting {
+    /// Plain mean of the `k` nearest targets (Weka default).
+    Uniform,
+    /// Weight each neighbour by `1 / (distance + ε)`.
+    InverseDistance,
+}
+
+/// The IBk k-nearest-neighbour regressor.
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::{Dataset, IbK, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..10 {
+///     data.push(vec![i as f64], i as f64).unwrap();
+/// }
+/// let mut knn = IbK::new(1);
+/// knn.fit(&data).unwrap();
+/// assert_eq!(knn.predict(&[3.2]).unwrap(), 3.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IbK {
+    k: usize,
+    weighting: Weighting,
+    fitted: Option<FittedIbK>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FittedIbK {
+    scaler: Scaler,
+    rows: Vec<Vec<f64>>, // normalized
+    targets: Vec<f64>,
+}
+
+impl IbK {
+    /// Creates an IBk model with `k` neighbours and uniform weighting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        IbK {
+            k,
+            weighting: Weighting::Uniform,
+            fitted: None,
+        }
+    }
+
+    /// Creates an IBk model with an explicit weighting scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] if `k == 0`.
+    pub fn with_weighting(k: usize, weighting: Weighting) -> Result<Self, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidHyperparameter("k must be > 0"));
+        }
+        Ok(IbK {
+            k,
+            weighting,
+            fitted: None,
+        })
+    }
+
+    /// Number of neighbours.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for IbK {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let scaler = Scaler::fit(data)?;
+        let rows = data.rows().iter().map(|r| scaler.transform(r)).collect();
+        self.fitted = Some(FittedIbK {
+            scaler,
+            rows,
+            targets: data.targets().to_vec(),
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if x.len() != f.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.scaler.dim(),
+                got: x.len(),
+            });
+        }
+        let q = f.scaler.transform(x);
+        // Collect (distance², index); partial sort for the k smallest.
+        let mut dists: Vec<(f64, usize)> = f
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let d2: f64 = r.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, i)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let neighbours = &dists[..k];
+        match self.weighting {
+            Weighting::Uniform => {
+                Ok(neighbours.iter().map(|&(_, i)| f.targets[i]).sum::<f64>() / k as f64)
+            }
+            Weighting::InverseDistance => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(d2, i) in neighbours {
+                    let w = 1.0 / (d2.sqrt() + 1e-9);
+                    num += w * f.targets[i];
+                    den += w;
+                }
+                Ok(num / den)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IBk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..10 {
+            for j in 0..10 {
+                d.push(vec![i as f64, j as f64], (i + j) as f64).unwrap();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_set() {
+        let d = grid();
+        let mut m = IbK::new(1);
+        m.fit(&d).unwrap();
+        for i in 0..d.len() {
+            let (x, y) = d.get(i);
+            assert_eq!(m.predict(x).unwrap(), y);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![0.0], 2.0).unwrap();
+        d.push(vec![1.0], 4.0).unwrap();
+        let mut m = IbK::new(10);
+        m.fit(&d).unwrap();
+        assert_eq!(m.predict(&[0.5]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn inverse_distance_prefers_closest() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![0.0], 0.0).unwrap();
+        d.push(vec![10.0], 100.0).unwrap();
+        let mut uni = IbK::new(2);
+        let mut inv = IbK::with_weighting(2, Weighting::InverseDistance).unwrap();
+        uni.fit(&d).unwrap();
+        inv.fit(&d).unwrap();
+        let pu = uni.predict(&[1.0]).unwrap();
+        let pi = inv.predict(&[1.0]).unwrap();
+        assert_eq!(pu, 50.0);
+        assert!(pi < pu, "inverse-distance {pi} should skew to near point");
+    }
+
+    #[test]
+    fn exact_hit_with_inverse_distance_is_finite() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![0.0], 7.0).unwrap();
+        d.push(vec![5.0], 9.0).unwrap();
+        let mut m = IbK::with_weighting(1, Weighting::InverseDistance).unwrap();
+        m.fit(&d).unwrap();
+        let y = m.predict(&[0.0]).unwrap();
+        assert!((y - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_makes_scales_comparable() {
+        // Feature "big" spans 0..10000, feature "small" 0..1 and carries the
+        // signal; without normalization "big" would dominate distances.
+        let mut d = Dataset::new(vec!["big".into(), "small".into()]);
+        for i in 0..50 {
+            let big = (i * 97 % 10_000) as f64;
+            let small = (i % 2) as f64;
+            d.push(vec![big, small], small * 100.0).unwrap();
+        }
+        let mut m = IbK::new(3);
+        m.fit(&d).unwrap();
+        let y = m.predict(&[5000.0, 1.0]).unwrap();
+        assert!((y - 100.0).abs() < 1e-9, "got {y}");
+    }
+
+    #[test]
+    fn dimension_check() {
+        let d = grid();
+        let mut m = IbK::new(2);
+        m.fit(&d).unwrap();
+        assert!(matches!(
+            m.predict(&[1.0]),
+            Err(MlError::FeatureDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = IbK::new(0);
+    }
+}

@@ -1,0 +1,283 @@
+//! K* — the entropic instance-based learner of Cleary & Trigg
+//! (*K\*: An Instance-based Learner Using an Entropic Distance Measure*,
+//! ICML 1995).
+//!
+//! K* predicts by averaging training targets weighted by a *transformation
+//! probability* `P*(b|a)`: the probability that instance `a` transforms into
+//! instance `b` under a random sequence of elementary transformations. For
+//! real-valued attributes this yields a Laplace (double-exponential) kernel
+//!
+//! ```text
+//! P*(b|a) ∝ exp(-|x_b − x_a| / x0)
+//! ```
+//!
+//! whose scale `x0` is *not* a fixed hyper-parameter: it is chosen **per
+//! query** so that the *effective number of neighbours*
+//!
+//! ```text
+//! n_eff = (Σ_b p_b)² / Σ_b p_b²
+//! ```
+//!
+//! equals `1 + (blend/100) · (N − 1)`, where `blend ∈ [0, 100]` is the
+//! "global blend" parameter (Weka default 20). `blend = 0` collapses K* to
+//! 1-NN; `blend = 100` approaches the global mean.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::regressor::Regressor;
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// The K* regressor.
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::{Dataset, KStar, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..20 {
+///     data.push(vec![i as f64], 4.0 * i as f64).unwrap();
+/// }
+/// let mut ks = KStar::new(20.0);
+/// ks.fit(&data).unwrap();
+/// let y = ks.predict(&[10.0]).unwrap();
+/// assert!((y - 40.0).abs() < 8.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KStar {
+    blend: f64,
+    fitted: Option<FittedKStar>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FittedKStar {
+    scaler: Scaler,
+    rows: Vec<Vec<f64>>, // normalized
+    targets: Vec<f64>,
+}
+
+impl KStar {
+    /// Creates a K* model with the given global blend percentage
+    /// (clamped to `[0, 100]`; Weka's default is 20).
+    pub fn new(blend: f64) -> Self {
+        KStar {
+            blend: blend.clamp(0.0, 100.0),
+            fitted: None,
+        }
+    }
+
+    /// The configured blend percentage.
+    pub fn blend(&self) -> f64 {
+        self.blend
+    }
+
+    /// L1 distance in normalized attribute space — the natural metric for a
+    /// product of per-attribute Laplace kernels.
+    fn distances(f: &FittedKStar, q: &[f64]) -> Vec<f64> {
+        f.rows
+            .iter()
+            .map(|r| r.iter().zip(q).map(|(a, b)| (a - b).abs()).sum())
+            .collect()
+    }
+
+    /// Effective neighbour count for kernel weights `exp(-d/x0)`.
+    fn n_eff(dists: &[f64], x0: f64) -> f64 {
+        let mut s = 0.0;
+        let mut s2 = 0.0;
+        for &d in dists {
+            let p = (-d / x0).exp();
+            s += p;
+            s2 += p * p;
+        }
+        if s2 == 0.0 {
+            1.0
+        } else {
+            s * s / s2
+        }
+    }
+}
+
+impl Regressor for KStar {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let scaler = Scaler::fit(data)?;
+        let rows = data.rows().iter().map(|r| scaler.transform(r)).collect();
+        self.fitted = Some(FittedKStar {
+            scaler,
+            rows,
+            targets: data.targets().to_vec(),
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if x.len() != f.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.scaler.dim(),
+                got: x.len(),
+            });
+        }
+        let q = f.scaler.transform(x);
+        let n = f.rows.len();
+        if n == 1 {
+            return Ok(f.targets[0]);
+        }
+        let dists = Self::distances(f, &q);
+
+        // Target effective neighbour count from the blend parameter.
+        let target = 1.0 + (self.blend / 100.0) * (n as f64 - 1.0);
+
+        // n_eff(x0) is monotonically increasing in x0: bisect on log-scale.
+        // Degenerate case: all distances equal (e.g. duplicate rows) — any
+        // scale gives n_eff = n, just use uniform weights.
+        let dmin = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dmax = dists.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let x0 = if dmax - dmin < 1e-12 {
+            1.0
+        } else {
+            let mut lo = 1e-6_f64;
+            let mut hi = (dmax - dmin).max(1.0) * 100.0;
+            // Expand bounds if needed.
+            while Self::n_eff(&dists, lo) > target && lo > 1e-12 {
+                lo /= 10.0;
+            }
+            while Self::n_eff(&dists, hi) < target && hi < 1e12 {
+                hi *= 10.0;
+            }
+            for _ in 0..80 {
+                let mid = (lo.ln() + hi.ln()) / 2.0;
+                let mid = mid.exp();
+                if Self::n_eff(&dists, mid) < target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            (lo * hi).sqrt()
+        };
+
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (d, y) in dists.iter().zip(&f.targets) {
+            let p = (-d / x0).exp();
+            num += p * y;
+            den += p;
+        }
+        if den == 0.0 {
+            // All weights underflowed: fall back to the nearest neighbour.
+            let (i, _) = dists
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                .expect("non-empty training set");
+            return Ok(f.targets[i]);
+        }
+        Ok(num / den)
+    }
+
+    fn name(&self) -> &str {
+        "KStar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64], 2.0 * i as f64).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn blend_zero_behaves_like_nearest_neighbour() {
+        let d = ramp(30);
+        let mut ks = KStar::new(0.0);
+        ks.fit(&d).unwrap();
+        // Query close to x=7 → target ≈ 14.
+        let y = ks.predict(&[7.1]).unwrap();
+        assert!((y - 14.0).abs() < 0.5, "got {y}");
+    }
+
+    #[test]
+    fn blend_hundred_approaches_global_mean() {
+        let d = ramp(30);
+        let mut ks = KStar::new(100.0);
+        ks.fit(&d).unwrap();
+        let mean = d.target_mean();
+        let y = ks.predict(&[0.0]).unwrap();
+        assert!((y - mean).abs() < 2.0, "got {y}, mean {mean}");
+    }
+
+    #[test]
+    fn default_blend_interpolates_sensibly() {
+        let d = ramp(50);
+        let mut ks = KStar::new(20.0);
+        ks.fit(&d).unwrap();
+        let y = ks.predict(&[25.0]).unwrap();
+        assert!((y - 50.0).abs() < 10.0, "got {y}");
+    }
+
+    #[test]
+    fn monotone_in_blend_towards_mean() {
+        // At a boundary query, larger blend → prediction closer to the mean.
+        let d = ramp(40);
+        let mean = d.target_mean();
+        let mut prev_gap = f64::INFINITY;
+        for blend in [0.0, 20.0, 60.0, 100.0] {
+            let mut ks = KStar::new(blend);
+            ks.fit(&d).unwrap();
+            let y = ks.predict(&[0.0]).unwrap();
+            let gap = (y - mean).abs();
+            assert!(gap <= prev_gap + 1e-6, "blend {blend}: gap {gap} > {prev_gap}");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_handled() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for _ in 0..5 {
+            d.push(vec![1.0], 10.0).unwrap();
+        }
+        for _ in 0..5 {
+            d.push(vec![1.0], 20.0).unwrap();
+        }
+        let mut ks = KStar::new(20.0);
+        ks.fit(&d).unwrap();
+        let y = ks.predict(&[1.0]).unwrap();
+        assert!((y - 15.0).abs() < 1e-9, "uniform over duplicates, got {y}");
+    }
+
+    #[test]
+    fn single_instance_training_set() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![5.0], 123.0).unwrap();
+        let mut ks = KStar::new(20.0);
+        ks.fit(&d).unwrap();
+        assert_eq!(ks.predict(&[0.0]).unwrap(), 123.0);
+    }
+
+    #[test]
+    fn blend_is_clamped() {
+        assert_eq!(KStar::new(-5.0).blend(), 0.0);
+        assert_eq!(KStar::new(250.0).blend(), 100.0);
+    }
+
+    #[test]
+    fn predictions_within_target_range() {
+        let d = ramp(25);
+        let mut ks = KStar::new(35.0);
+        ks.fit(&d).unwrap();
+        for x in [-10.0, 0.0, 12.5, 24.0, 100.0] {
+            let y = ks.predict(&[x]).unwrap();
+            assert!((0.0..=48.0).contains(&y), "x={x} y={y}");
+        }
+    }
+}

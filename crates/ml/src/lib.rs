@@ -1,0 +1,61 @@
+//! From-scratch machine-learning regressors mirroring the Weka models used by
+//! the paper.
+//!
+//! The paper builds execution-time prediction models with six Weka learners:
+//! Multi-Layer Perceptron, Random Tree, Random Forest, IBk (k-nearest
+//! neighbours), KStar and Decision Table, and averages their predictions to
+//! damp individual-model errors. The Rust ML ecosystem does not offer these
+//! as a coherent family, so this crate implements each algorithm directly
+//! from its original publication:
+//!
+//! | Model | Source | Module |
+//! |---|---|---|
+//! | [`Mlp`] | Rumelhart et al. 1986, Weka `MultilayerPerceptron` defaults | [`mlp`] |
+//! | [`RandomTree`] | Breiman 2001 (base learner), Weka `RandomTree` | [`tree`] |
+//! | [`RandomForest`] | Breiman 2001 | [`forest`] |
+//! | [`IbK`] | Aha, Kibler & Albert 1991 | [`ibk`] |
+//! | [`KStar`] | Cleary & Trigg 1995 | [`kstar`] |
+//! | [`DecisionTable`] | Kohavi 1995 (best-first feature selection) | [`decision_table`] |
+//!
+//! All models implement the [`Regressor`] trait and can be combined with
+//! [`Ensemble`], which reproduces the paper's prediction-averaging step.
+//!
+//! # Example
+//!
+//! ```
+//! use disar_ml::{Dataset, Regressor, IbK};
+//!
+//! let mut data = Dataset::new(vec!["x".into()]);
+//! for i in 0..20 {
+//!     data.push(vec![i as f64], 2.0 * i as f64).unwrap();
+//! }
+//! let mut knn = IbK::new(3);
+//! knn.fit(&data).unwrap();
+//! let y = knn.predict(&[10.0]).unwrap();
+//! assert!((y - 20.0).abs() < 2.5);
+//! ```
+
+pub mod dataset;
+pub mod decision_table;
+pub mod ensemble;
+pub mod forest;
+pub mod ibk;
+pub mod kstar;
+pub mod metrics;
+pub mod mlp;
+pub mod regressor;
+pub mod tree;
+pub mod validation;
+
+mod error;
+
+pub use dataset::{Dataset, Scaler};
+pub use decision_table::DecisionTable;
+pub use ensemble::Ensemble;
+pub use error::MlError;
+pub use forest::RandomForest;
+pub use ibk::IbK;
+pub use kstar::KStar;
+pub use mlp::Mlp;
+pub use regressor::{default_family, ModelKind, Regressor};
+pub use tree::RandomTree;

@@ -1,0 +1,332 @@
+//! Multi-Layer Perceptron regressor.
+//!
+//! Mirrors Weka's `MultilayerPerceptron` defaults: one hidden layer with
+//! `(attributes + classes) / 2` sigmoid units (at least 2), a linear output
+//! unit for regression, stochastic gradient descent with learning rate 0.3
+//! and momentum 0.2, 500 training epochs, and min–max normalization of the
+//! inputs. Targets are standardized internally and predictions un-scaled on
+//! the way out.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::regressor::Regressor;
+use crate::MlError;
+use disar_math::rng::stream_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Fitted {
+    scaler: Scaler,
+    target_mean: f64,
+    target_std: f64,
+    /// `w1[h][j]` — weight from input `j` to hidden unit `h`; last entry of
+    /// each row is the bias.
+    w1: Vec<Vec<f64>>,
+    /// Weight from hidden unit `h` to the output; last entry is the bias.
+    w2: Vec<f64>,
+}
+
+/// A single-hidden-layer perceptron with sigmoid hidden units and a linear
+/// output, trained by SGD with momentum.
+///
+/// # Example
+///
+/// ```
+/// use disar_ml::{Dataset, Mlp, Regressor};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..50 {
+///     data.push(vec![i as f64], 3.0 * i as f64).unwrap();
+/// }
+/// let mut mlp = Mlp::with_defaults(42);
+/// mlp.fit(&data).unwrap();
+/// let y = mlp.predict(&[25.0]).unwrap();
+/// assert!((y - 75.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    hidden: Option<usize>,
+    learning_rate: f64,
+    momentum: f64,
+    epochs: usize,
+    seed: u64,
+    fitted: Option<Fitted>,
+}
+
+impl Mlp {
+    /// Creates an MLP with Weka's default hyper-parameters and automatic
+    /// hidden-layer sizing (`(attributes + 1) / 2`, minimum 2).
+    pub fn with_defaults(seed: u64) -> Self {
+        Mlp {
+            hidden: None,
+            learning_rate: 0.3,
+            momentum: 0.2,
+            epochs: 500,
+            seed,
+            fitted: None,
+        }
+    }
+
+    /// Creates an MLP with an explicit hidden-layer width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for zero hidden units, a
+    /// non-positive learning rate, or zero epochs.
+    pub fn new(
+        hidden: usize,
+        learning_rate: f64,
+        momentum: f64,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        if hidden == 0 {
+            return Err(MlError::InvalidHyperparameter("hidden units must be > 0"));
+        }
+        if learning_rate <= 0.0 {
+            return Err(MlError::InvalidHyperparameter("learning rate must be > 0"));
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(MlError::InvalidHyperparameter("momentum must be in [0, 1)"));
+        }
+        if epochs == 0 {
+            return Err(MlError::InvalidHyperparameter("epochs must be > 0"));
+        }
+        Ok(Mlp {
+            hidden: Some(hidden),
+            learning_rate,
+            momentum,
+            epochs,
+            seed,
+            fitted: None,
+        })
+    }
+
+    /// The hidden-layer width that will be used for a dataset of dimension
+    /// `dim` (Weka's "a" wildcard).
+    pub fn hidden_units_for(&self, dim: usize) -> usize {
+        self.hidden.unwrap_or(dim.div_ceil(2).max(2))
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let d = data.dim();
+        let h = self.hidden_units_for(d);
+        let scaler = Scaler::fit(data)?;
+
+        let tmean = disar_math::stats::mean(data.targets());
+        let tstd = {
+            let s = disar_math::stats::std_dev(data.targets());
+            if s == 0.0 {
+                1.0
+            } else {
+                s
+            }
+        };
+
+        let xs: Vec<Vec<f64>> = data.rows().iter().map(|r| scaler.transform(r)).collect();
+        let ys: Vec<f64> = data.targets().iter().map(|y| (y - tmean) / tstd).collect();
+
+        let mut rng = stream_rng(self.seed, 0x4141);
+        let init = |rng: &mut rand::rngs::StdRng| rng.gen_range(-0.5..0.5);
+        let mut w1: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..=d).map(|_| init(&mut rng)).collect())
+            .collect();
+        let mut w2: Vec<f64> = (0..=h).map(|_| init(&mut rng)).collect();
+        let mut v1: Vec<Vec<f64>> = vec![vec![0.0; d + 1]; h];
+        let mut v2: Vec<f64> = vec![0.0; h + 1];
+
+        // Weka decays the learning rate towards zero over the epoch budget.
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut hid = vec![0.0; h];
+        for epoch in 0..self.epochs {
+            let lr = self.learning_rate * (1.0 - epoch as f64 / self.epochs as f64).max(0.05);
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let x = &xs[i];
+                // Forward pass.
+                for (hu, w) in w1.iter().enumerate() {
+                    let mut a = w[d];
+                    for j in 0..d {
+                        a += w[j] * x[j];
+                    }
+                    hid[hu] = sigmoid(a);
+                }
+                let mut out = w2[h];
+                for hu in 0..h {
+                    out += w2[hu] * hid[hu];
+                }
+                // Backward pass: linear output, squared error.
+                let err = out - ys[i];
+                for hu in 0..h {
+                    let g2 = err * hid[hu];
+                    v2[hu] = self.momentum * v2[hu] - lr * g2;
+                    let delta_h = err * w2[hu] * hid[hu] * (1.0 - hid[hu]);
+                    w2[hu] += v2[hu];
+                    let (wrow, vrow) = (&mut w1[hu], &mut v1[hu]);
+                    for j in 0..d {
+                        let g1 = delta_h * x[j];
+                        vrow[j] = self.momentum * vrow[j] - lr * g1;
+                        wrow[j] += vrow[j];
+                    }
+                    vrow[d] = self.momentum * vrow[d] - lr * delta_h;
+                    wrow[d] += vrow[d];
+                }
+                v2[h] = self.momentum * v2[h] - lr * err;
+                w2[h] += v2[h];
+            }
+        }
+
+        if w2.iter().any(|w| !w.is_finite()) || w1.iter().flatten().any(|w| !w.is_finite()) {
+            return Err(MlError::Numerical("MLP training diverged".into()));
+        }
+
+        self.fitted = Some(Fitted {
+            scaler,
+            target_mean: tmean,
+            target_std: tstd,
+            w1,
+            w2,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if x.len() != f.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.scaler.dim(),
+                got: x.len(),
+            });
+        }
+        let xn = f.scaler.transform(x);
+        let d = xn.len();
+        let h = f.w1.len();
+        let mut out = f.w2[h];
+        for (hu, w) in f.w1.iter().enumerate() {
+            let mut a = w[d];
+            for j in 0..d {
+                a += w[j] * xn[j];
+            }
+            out += f.w2[hu] * sigmoid(a);
+        }
+        Ok(out * f.target_std + f.target_mean)
+    }
+
+    fn name(&self) -> &str {
+        "MLP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            let a = (i % 17) as f64;
+            let b = (i % 5) as f64;
+            d.push(vec![a, b], 10.0 + 4.0 * a - 2.0 * b).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn hidden_default_sizing() {
+        let m = Mlp::with_defaults(0);
+        assert_eq!(m.hidden_units_for(1), 2);
+        assert_eq!(m.hidden_units_for(7), 4);
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        assert!(Mlp::new(0, 0.3, 0.2, 10, 0).is_err());
+        assert!(Mlp::new(4, 0.0, 0.2, 10, 0).is_err());
+        assert!(Mlp::new(4, 0.3, 1.0, 10, 0).is_err());
+        assert!(Mlp::new(4, 0.3, 0.2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let data = linear_data(200);
+        let mut m = Mlp::with_defaults(3);
+        m.fit(&data).unwrap();
+        let preds: Vec<f64> = data
+            .rows()
+            .iter()
+            .map(|r| m.predict(r).unwrap())
+            .collect();
+        let rmse = disar_math::stats::rmse(&preds, data.targets());
+        let spread = disar_math::stats::std_dev(data.targets());
+        assert!(rmse < 0.25 * spread, "rmse {rmse} vs spread {spread}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = linear_data(60);
+        let mut m1 = Mlp::with_defaults(5);
+        let mut m2 = Mlp::with_defaults(5);
+        m1.fit(&data).unwrap();
+        m2.fit(&data).unwrap();
+        assert_eq!(m1.predict(&[3.0, 1.0]).unwrap(), m2.predict(&[3.0, 1.0]).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = linear_data(60);
+        let mut m1 = Mlp::with_defaults(1);
+        let mut m2 = Mlp::with_defaults(2);
+        m1.fit(&data).unwrap();
+        m2.fit(&data).unwrap();
+        assert_ne!(m1.predict(&[3.0, 1.0]).unwrap(), m2.predict(&[3.0, 1.0]).unwrap());
+    }
+
+    #[test]
+    fn predict_checks_dimension() {
+        let data = linear_data(30);
+        let mut m = Mlp::with_defaults(0);
+        m.fit(&data).unwrap();
+        assert!(matches!(
+            m.predict(&[1.0]),
+            Err(MlError::FeatureDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_target_is_learned() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64], 7.0).unwrap();
+        }
+        let mut m = Mlp::with_defaults(0);
+        m.fit(&d).unwrap();
+        let y = m.predict(&[10.0]).unwrap();
+        assert!((y - 7.0).abs() < 0.5, "got {y}");
+    }
+
+    #[test]
+    fn refit_replaces_model() {
+        let d1 = linear_data(50);
+        let mut d2 = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..50 {
+            d2.push(vec![i as f64, 0.0], -5.0 * i as f64).unwrap();
+        }
+        let mut m = Mlp::with_defaults(9);
+        m.fit(&d1).unwrap();
+        let before = m.predict(&[8.0, 2.0]).unwrap();
+        m.fit(&d2).unwrap();
+        let after = m.predict(&[8.0, 2.0]).unwrap();
+        assert_ne!(before, after);
+        assert!(after < 0.0, "after refit should track the new data: {after}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`Regressor`] trait and the paper's six-model family.
+
+use crate::{Dataset, DecisionTable, IbK, KStar, MlError, Mlp, RandomForest, RandomTree};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A supervised regression model with Weka-style fit-in-place semantics.
+///
+/// Implementations are object-safe so a heterogeneous family of models can be
+/// stored as `Vec<Box<dyn Regressor>>` (the paper's set `X`).
+pub trait Regressor: Send + Sync {
+    /// Trains the model on `data`, replacing any previous fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] for empty data; other variants
+    /// are implementation-specific (see each model's docs).
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before the first successful `fit` and
+    /// [`MlError::FeatureDimensionMismatch`] for a wrong-length input.
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError>;
+
+    /// Short human-readable name (used in experiment tables, e.g. `"IBk"`).
+    fn name(&self) -> &str;
+}
+
+/// Identifies one of the six model families used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Multi-Layer Perceptron.
+    Mlp,
+    /// Random Tree (single randomized regression tree).
+    RandomTree,
+    /// Random Forest.
+    RandomForest,
+    /// IBk — k-nearest neighbours.
+    IbK,
+    /// KStar — entropic instance-based learner.
+    KStar,
+    /// Decision Table with best-first feature selection.
+    DecisionTable,
+}
+
+impl ModelKind {
+    /// All six kinds, in the order the paper lists them
+    /// (`X = {MLP, RT, RF, IBk, KStar, DT}`).
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Mlp,
+        ModelKind::RandomTree,
+        ModelKind::RandomForest,
+        ModelKind::IbK,
+        ModelKind::KStar,
+        ModelKind::DecisionTable,
+    ];
+
+    /// Instantiates the model with its Weka-like default hyper-parameters.
+    ///
+    /// `seed` feeds the stochastic learners (MLP weight init, tree/forest
+    /// feature sampling); deterministic learners ignore it.
+    pub fn instantiate(self, seed: u64) -> Box<dyn Regressor> {
+        match self {
+            ModelKind::Mlp => Box::new(Mlp::with_defaults(seed)),
+            ModelKind::RandomTree => Box::new(RandomTree::with_defaults(seed)),
+            ModelKind::RandomForest => Box::new(RandomForest::with_defaults(seed)),
+            ModelKind::IbK => Box::new(IbK::new(3)),
+            ModelKind::KStar => Box::new(KStar::new(20.0)),
+            ModelKind::DecisionTable => Box::new(DecisionTable::with_defaults()),
+        }
+    }
+
+    /// The abbreviation used in the paper's tables.
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            ModelKind::Mlp => "MLP",
+            ModelKind::RandomTree => "RT",
+            ModelKind::RandomForest => "RF",
+            ModelKind::IbK => "IBk",
+            ModelKind::KStar => "KStar",
+            ModelKind::DecisionTable => "DT",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+/// Builds the full six-model family with default hyper-parameters — the set
+/// `X` of Algorithm 1.
+///
+/// # Example
+///
+/// ```
+/// let family = disar_ml::default_family(42);
+/// assert_eq!(family.len(), 6);
+/// ```
+pub fn default_family(seed: u64) -> Vec<Box<dyn Regressor>> {
+    ModelKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, k)| k.instantiate(seed.wrapping_add(i as u64 * 0x9E37)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_has_six_distinct_names() {
+        let fam = default_family(1);
+        let mut names: Vec<String> = fam.iter().map(|m| m.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn display_matches_paper_abbreviations() {
+        assert_eq!(ModelKind::KStar.to_string(), "KStar");
+        assert_eq!(ModelKind::DecisionTable.to_string(), "DT");
+        assert_eq!(ModelKind::IbK.to_string(), "IBk");
+    }
+
+    #[test]
+    fn unfitted_models_refuse_to_predict() {
+        for kind in ModelKind::ALL {
+            let m = kind.instantiate(0);
+            assert!(
+                matches!(m.predict(&[1.0, 2.0]), Err(MlError::NotFitted)),
+                "{kind} should report NotFitted"
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_fit_and_predict_linear_data() {
+        let mut data = Dataset::new(vec!["x".into()]);
+        for i in 0..60 {
+            data.push(vec![i as f64], 5.0 * i as f64 + 3.0).unwrap();
+        }
+        for kind in ModelKind::ALL {
+            let mut m = kind.instantiate(7);
+            m.fit(&data).unwrap();
+            let y = m.predict(&[30.0]).unwrap();
+            // Interpolation should be in the right ballpark for every family.
+            assert!(
+                (y - 153.0).abs() < 60.0,
+                "{kind} predicted {y}, expected ≈153"
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the ML substrate.
+
+use disar_ml::regressor::ModelKind;
+use disar_ml::{Dataset, Ensemble, Regressor, Scaler};
+use proptest::prelude::*;
+
+/// Strategy: a random regression dataset with 1–3 features.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..4, 5usize..40).prop_flat_map(|(dim, n)| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, dim..=dim),
+                n..=n,
+            ),
+            prop::collection::vec(-1000.0f64..1000.0, n..=n),
+        )
+            .prop_map(move |(rows, ys)| {
+                let names = (0..dim).map(|i| format!("f{i}")).collect();
+                Dataset::from_rows(names, rows, ys).expect("finite values")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every instance-based / tree model predicts within the convex hull
+    /// of the training targets (they only average observed targets).
+    #[test]
+    fn hull_bound_for_averaging_models(data in dataset_strategy(), qseed in 0u64..100) {
+        use disar_math::rng::stream_rng;
+        use rand::Rng;
+        let lo = data.targets().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.targets().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut rng = stream_rng(qseed, 0);
+        let q: Vec<f64> = (0..data.dim()).map(|_| rng.gen_range(-200.0..200.0)).collect();
+        for kind in [ModelKind::RandomTree, ModelKind::RandomForest, ModelKind::IbK, ModelKind::KStar, ModelKind::DecisionTable] {
+            let mut m = kind.instantiate(1);
+            m.fit(&data).expect("training succeeds");
+            let y = m.predict(&q).expect("fitted");
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{kind}: {y} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The dataset split partitions rows exactly.
+    #[test]
+    fn split_partitions(data in dataset_strategy(), frac in 0.1f64..0.9, seed in 0u64..100) {
+        prop_assume!(data.len() >= 2);
+        let (train, test) = data.split(frac, seed).expect("valid split");
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        prop_assert!(!train.is_empty() && !test.is_empty());
+        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        let mut orig: Vec<f64> = data.targets().to_vec();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        orig.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(all, orig);
+    }
+
+    /// Scaler maps every training row into [0, 1] exactly.
+    #[test]
+    fn scaler_unit_interval(data in dataset_strategy()) {
+        let s = Scaler::fit(&data).expect("non-empty");
+        for row in data.rows() {
+            for v in s.transform(row) {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    /// The ensemble mean is bounded by its members' extremes.
+    #[test]
+    fn ensemble_between_members(data in dataset_strategy(), qseed in 0u64..100) {
+        use disar_math::rng::stream_rng;
+        use rand::Rng;
+        let mut members: Vec<Box<dyn Regressor>> = vec![
+            ModelKind::IbK.instantiate(1),
+            ModelKind::RandomTree.instantiate(2),
+            ModelKind::DecisionTable.instantiate(3),
+        ];
+        for m in &mut members {
+            m.fit(&data).expect("training succeeds");
+        }
+        let mut rng = stream_rng(qseed, 1);
+        let q: Vec<f64> = (0..data.dim()).map(|_| rng.gen_range(-150.0..150.0)).collect();
+        let preds: Vec<f64> = members.iter().map(|m| m.predict(&q).expect("fitted")).collect();
+        let lo = preds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut ens = Ensemble::new(members);
+        ens.fit(&data).expect("training succeeds");
+        let y = ens.predict(&q).expect("fitted");
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+    }
+
+    /// Refitting on the same data is idempotent for deterministic models.
+    #[test]
+    fn deterministic_models_idempotent_refit(data in dataset_strategy(), qseed in 0u64..50) {
+        use disar_math::rng::stream_rng;
+        use rand::Rng;
+        let mut rng = stream_rng(qseed, 2);
+        let q: Vec<f64> = (0..data.dim()).map(|_| rng.gen_range(-150.0..150.0)).collect();
+        for kind in [ModelKind::IbK, ModelKind::KStar, ModelKind::DecisionTable] {
+            let mut m = kind.instantiate(7);
+            m.fit(&data).expect("training succeeds");
+            let y1 = m.predict(&q).expect("fitted");
+            m.fit(&data).expect("training succeeds");
+            let y2 = m.predict(&q).expect("fitted");
+            prop_assert_eq!(y1, y2, "{} refit changed prediction", kind);
+        }
+    }
+
+    /// All six models tolerate constant-target datasets and reproduce the
+    /// constant (within loose tolerance for the MLP).
+    #[test]
+    fn constant_target_recovered(c in -100.0f64..100.0, n in 5usize..25) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let data = Dataset::from_rows(vec!["x".into()], rows, vec![c; n]).expect("finite");
+        for kind in ModelKind::ALL {
+            let mut m = kind.instantiate(3);
+            m.fit(&data).expect("training succeeds");
+            let y = m.predict(&[(n / 2) as f64]).expect("fitted");
+            let tol = if kind == ModelKind::Mlp { 1.0 + 0.05 * c.abs() } else { 1e-6 };
+            prop_assert!((y - c).abs() <= tol, "{kind}: {y} vs constant {c}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Trained-model persistence: every concrete model serializes with serde
+//! and predicts identically after a JSON round trip — the basis for
+//! caching trained predictors alongside the knowledge base.
+
+use disar_ml::{Dataset, DecisionTable, IbK, KStar, Mlp, RandomForest, RandomTree, Regressor};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn training_data() -> Dataset {
+    let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+    for i in 0..80 {
+        let a = (i % 13) as f64;
+        let b = (i % 7) as f64;
+        d.push(vec![a, b], 3.0 * a - 2.0 * b + 5.0).unwrap();
+    }
+    d
+}
+
+fn queries() -> Vec<Vec<f64>> {
+    (0..20)
+        .map(|i| vec![(i % 15) as f64 + 0.5, (i % 6) as f64 + 0.25])
+        .collect()
+}
+
+fn roundtrip<M>(mut model: M, name: &str)
+where
+    M: Regressor + Serialize + DeserializeOwned,
+{
+    let data = training_data();
+    model.fit(&data).unwrap_or_else(|e| panic!("{name} fit: {e}"));
+    let json = serde_json::to_string(&model).unwrap_or_else(|e| panic!("{name} ser: {e}"));
+    let restored: M =
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name} de: {e}"));
+    for q in queries() {
+        let before = model.predict(&q).unwrap();
+        let after = restored.predict(&q).unwrap();
+        assert_eq!(before, after, "{name} prediction changed after round trip");
+    }
+}
+
+#[test]
+fn mlp_roundtrips() {
+    roundtrip(Mlp::with_defaults(3), "Mlp");
+}
+
+#[test]
+fn random_tree_roundtrips() {
+    roundtrip(RandomTree::with_defaults(3), "RandomTree");
+}
+
+#[test]
+fn random_forest_roundtrips() {
+    roundtrip(RandomForest::new(10, 1, 32, 3).unwrap(), "RandomForest");
+}
+
+#[test]
+fn ibk_roundtrips() {
+    roundtrip(IbK::new(3), "IbK");
+}
+
+#[test]
+fn kstar_roundtrips() {
+    roundtrip(KStar::new(20.0), "KStar");
+}
+
+#[test]
+fn decision_table_roundtrips() {
+    roundtrip(DecisionTable::with_defaults(), "DecisionTable");
+}
+
+#[test]
+fn unfitted_models_also_roundtrip() {
+    // Serializing an unfitted model must work and stay unfitted.
+    let m = IbK::new(5);
+    let json = serde_json::to_string(&m).unwrap();
+    let restored: IbK = serde_json::from_str(&json).unwrap();
+    assert!(restored.predict(&[1.0, 2.0]).is_err());
+}

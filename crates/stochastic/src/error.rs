@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model construction and scenario generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StochasticError {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// The correlation matrix was malformed (not square / not symmetric /
+    /// diagonal not one / not positive definite).
+    InvalidCorrelation(String),
+    /// The generator was configured inconsistently (e.g. correlation
+    /// dimension does not match the driver count, or no drivers at all).
+    InvalidConfiguration(String),
+    /// A request referenced a path/driver/time index outside the set.
+    IndexOutOfRange(&'static str),
+}
+
+impl fmt::Display for StochasticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StochasticError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StochasticError::InvalidCorrelation(what) => {
+                write!(f, "invalid correlation matrix: {what}")
+            }
+            StochasticError::InvalidConfiguration(what) => {
+                write!(f, "invalid generator configuration: {what}")
+            }
+            StochasticError::IndexOutOfRange(what) => write!(f, "index out of range: {what}"),
+        }
+    }
+}
+
+impl Error for StochasticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = StochasticError::InvalidParameter("sigma must be positive");
+        assert!(e.to_string().contains("sigma"));
+    }
+}

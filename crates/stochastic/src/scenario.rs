@@ -1,0 +1,665 @@
+//! Time grids, scenario sets and the scenario generator.
+//!
+//! A *scenario* is a joint path of all risk drivers on a fine time grid.
+//! The nested Monte Carlo procedure of the paper needs two kinds:
+//!
+//! 1. `nP` **outer** paths under the real-world measure `P` from `t = 0` to
+//!    `t = 1` (the Solvency II unwinding horizon);
+//! 2. for each outer endpoint, `nQ` **inner** paths under the risk-neutral
+//!    measure `Q` from `t = 1` to contract maturity, *re-anchored* at the
+//!    outer endpoint's state (the `F_1` filtration conditioning).
+//!
+//! The re-anchoring is expressed through the `initial_overrides` parameter
+//! of [`ScenarioGenerator::generate`].
+
+use crate::correlation::CorrelationMatrix;
+use crate::drivers::RiskDriver;
+use crate::StochasticError;
+use disar_math::rng::{stream_rng, StandardNormal};
+use serde::{Deserialize, Serialize};
+
+/// The probability measure scenarios are generated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Measure {
+    /// Real-world ("natural") measure `P` — outer simulations.
+    RealWorld,
+    /// Risk-neutral measure `Q` — inner, market-consistent simulations.
+    RiskNeutral,
+}
+
+/// An evenly spaced time grid from `0` to `horizon` years.
+///
+/// # Example
+///
+/// ```
+/// use disar_stochastic::scenario::TimeGrid;
+///
+/// let g = TimeGrid::new(2.0, 12).unwrap();
+/// assert_eq!(g.n_steps(), 24);
+/// assert!((g.dt() - 1.0 / 12.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeGrid {
+    horizon: f64,
+    steps_per_year: usize,
+}
+
+impl TimeGrid {
+    /// Creates a grid covering `horizon` years with `steps_per_year`
+    /// sub-steps ("fine-grained time grid" in the paper's words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::InvalidParameter`] if `horizon <= 0` or
+    /// `steps_per_year == 0`.
+    pub fn new(horizon: f64, steps_per_year: usize) -> Result<Self, StochasticError> {
+        if horizon <= 0.0 {
+            return Err(StochasticError::InvalidParameter("horizon must be positive"));
+        }
+        if steps_per_year == 0 {
+            return Err(StochasticError::InvalidParameter(
+                "steps_per_year must be > 0",
+            ));
+        }
+        Ok(TimeGrid {
+            horizon,
+            steps_per_year,
+        })
+    }
+
+    /// Total number of steps (at least 1; fractional final years round up).
+    pub fn n_steps(&self) -> usize {
+        ((self.horizon * self.steps_per_year as f64).ceil() as usize).max(1)
+    }
+
+    /// Step width in years.
+    pub fn dt(&self) -> f64 {
+        1.0 / self.steps_per_year as f64
+    }
+
+    /// Horizon in years.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Steps per year.
+    pub fn steps_per_year(&self) -> usize {
+        self.steps_per_year
+    }
+
+    /// The grid index closest to calendar time `t` (clamped to the grid).
+    pub fn step_at(&self, t: f64) -> usize {
+        ((t * self.steps_per_year as f64).round() as usize).min(self.n_steps())
+    }
+}
+
+/// A set of simulated joint paths: `n_paths × n_drivers × (n_steps + 1)`
+/// values (index 0 is the initial state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSet {
+    grid: TimeGrid,
+    measure: Measure,
+    driver_names: Vec<String>,
+    short_rate_index: Option<usize>,
+    n_paths: usize,
+    /// Flattened `[path][driver][step]`.
+    data: Vec<f64>,
+}
+
+impl ScenarioSet {
+    /// Number of simulated paths.
+    pub fn n_paths(&self) -> usize {
+        self.n_paths
+    }
+
+    /// Number of risk drivers.
+    pub fn n_drivers(&self) -> usize {
+        self.driver_names.len()
+    }
+
+    /// The time grid the set was generated on.
+    pub fn grid(&self) -> TimeGrid {
+        self.grid
+    }
+
+    /// The measure the set was generated under.
+    pub fn measure(&self) -> Measure {
+        self.measure
+    }
+
+    /// Driver names, in driver-index order.
+    pub fn driver_names(&self) -> &[String] {
+        &self.driver_names
+    }
+
+    /// Index of the short-rate driver, if one was configured.
+    pub fn short_rate_index(&self) -> Option<usize> {
+        self.short_rate_index
+    }
+
+    fn offset(&self, path: usize, driver: usize) -> usize {
+        let stride = self.grid.n_steps() + 1;
+        (path * self.n_drivers() + driver) * stride
+    }
+
+    /// The full path of `driver` on `path` (length `n_steps + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn path(&self, path: usize, driver: usize) -> &[f64] {
+        assert!(path < self.n_paths, "path index out of range");
+        assert!(driver < self.n_drivers(), "driver index out of range");
+        let o = self.offset(path, driver);
+        &self.data[o..o + self.grid.n_steps() + 1]
+    }
+
+    /// The value of `driver` on `path` at grid `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn value(&self, path: usize, driver: usize, step: usize) -> f64 {
+        assert!(step <= self.grid.n_steps(), "step index out of range");
+        self.path(path, driver)[step]
+    }
+
+    /// All drivers' values on `path` at grid `step` (used to re-anchor inner
+    /// simulations at an outer endpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn state_at(&self, path: usize, step: usize) -> Vec<f64> {
+        (0..self.n_drivers())
+            .map(|d| self.value(path, d, step))
+            .collect()
+    }
+
+    /// Money-market discount factor from step 0 to `step` along `path`,
+    /// `exp(-∫ r dt)` by trapezoidal integration of the short-rate path.
+    ///
+    /// Returns `1.0` when no short-rate driver is present (deterministic
+    /// zero-rate fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn discount_factor(&self, path: usize, step: usize) -> f64 {
+        let Some(sr) = self.short_rate_index else {
+            return 1.0;
+        };
+        let rates = self.path(path, sr);
+        assert!(step < rates.len(), "step index out of range");
+        let dt = self.grid.dt();
+        let mut integral = 0.0;
+        for s in 0..step {
+            integral += 0.5 * (rates[s] + rates[s + 1]) * dt;
+        }
+        (-integral).exp()
+    }
+}
+
+/// Builder-constructed generator of correlated joint scenarios.
+pub struct ScenarioGenerator {
+    drivers: Vec<Box<dyn RiskDriver>>,
+    correlation: CorrelationMatrix,
+    grid: TimeGrid,
+}
+
+impl ScenarioGenerator {
+    /// Starts building a generator.
+    pub fn builder() -> ScenarioGeneratorBuilder {
+        ScenarioGeneratorBuilder::default()
+    }
+
+    /// Number of drivers.
+    pub fn n_drivers(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// The configured time grid.
+    pub fn grid(&self) -> TimeGrid {
+        self.grid
+    }
+
+    /// Generates `n_paths` joint paths under `measure` with deterministic
+    /// per-path RNG streams derived from `seed`.
+    ///
+    /// `initial_overrides` replaces the drivers' own `t = 0` values — this is
+    /// how inner (risk-neutral) simulations are conditioned on an outer
+    /// endpoint state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::InvalidConfiguration`] if `n_paths == 0` or
+    /// the override vector has the wrong length.
+    pub fn generate(
+        &self,
+        measure: Measure,
+        n_paths: usize,
+        seed: u64,
+        initial_overrides: Option<&[f64]>,
+    ) -> Result<ScenarioSet, StochasticError> {
+        if n_paths == 0 {
+            return Err(StochasticError::InvalidConfiguration(
+                "n_paths must be > 0".into(),
+            ));
+        }
+        if let Some(init) = initial_overrides {
+            if init.len() != self.drivers.len() {
+                return Err(StochasticError::InvalidConfiguration(format!(
+                    "{} initial overrides for {} drivers",
+                    init.len(),
+                    self.drivers.len()
+                )));
+            }
+        }
+        let n_drivers = self.drivers.len();
+        let n_steps = self.grid.n_steps();
+        let dt = self.grid.dt();
+        let stride = n_steps + 1;
+        let mut data = vec![0.0; n_paths * n_drivers * stride];
+
+        let initials: Vec<f64> = match initial_overrides {
+            Some(init) => init.to_vec(),
+            None => self.drivers.iter().map(|d| d.initial_value()).collect(),
+        };
+
+        let mut raw = vec![0.0; n_drivers];
+        let mut shocks = vec![0.0; n_drivers];
+        let mut state = vec![0.0; n_drivers];
+        for p in 0..n_paths {
+            let mut rng = stream_rng(seed, p as u64);
+            let mut gauss = StandardNormal::new();
+            state.copy_from_slice(&initials);
+            for (d, s) in state.iter().enumerate() {
+                data[(p * n_drivers + d) * stride] = *s;
+            }
+            for step in 1..=n_steps {
+                for z in raw.iter_mut() {
+                    *z = gauss.sample(&mut rng);
+                }
+                self.correlation.correlate_into(&raw, &mut shocks);
+                for d in 0..n_drivers {
+                    state[d] = self.drivers[d].step(state[d], dt, shocks[d], measure);
+                    data[(p * n_drivers + d) * stride + step] = state[d];
+                }
+            }
+        }
+
+        let short_rate_index = self.drivers.iter().position(|d| d.is_short_rate());
+        Ok(ScenarioSet {
+            grid: self.grid,
+            measure,
+            driver_names: self.drivers.iter().map(|d| d.name().to_string()).collect(),
+            short_rate_index,
+            n_paths,
+            data,
+        })
+    }
+
+    /// Generates `2 · n_pairs` paths using **antithetic variates**: paths
+    /// `2k` and `2k + 1` share the same Gaussian draws with opposite
+    /// signs. The pair-averaged estimator of any monotone payoff has lower
+    /// variance than `2 · n_pairs` independent paths at the same cost —
+    /// the standard variance-reduction technique for the Monte Carlo loads
+    /// this system schedules.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ScenarioGenerator::generate`].
+    pub fn generate_antithetic(
+        &self,
+        measure: Measure,
+        n_pairs: usize,
+        seed: u64,
+        initial_overrides: Option<&[f64]>,
+    ) -> Result<ScenarioSet, StochasticError> {
+        if n_pairs == 0 {
+            return Err(StochasticError::InvalidConfiguration(
+                "n_pairs must be > 0".into(),
+            ));
+        }
+        if let Some(init) = initial_overrides {
+            if init.len() != self.drivers.len() {
+                return Err(StochasticError::InvalidConfiguration(format!(
+                    "{} initial overrides for {} drivers",
+                    init.len(),
+                    self.drivers.len()
+                )));
+            }
+        }
+        let n_drivers = self.drivers.len();
+        let n_steps = self.grid.n_steps();
+        let dt = self.grid.dt();
+        let stride = n_steps + 1;
+        let n_paths = 2 * n_pairs;
+        let mut data = vec![0.0; n_paths * n_drivers * stride];
+        let initials: Vec<f64> = match initial_overrides {
+            Some(init) => init.to_vec(),
+            None => self.drivers.iter().map(|d| d.initial_value()).collect(),
+        };
+
+        let mut raw = vec![0.0; n_drivers];
+        let mut shocks = vec![0.0; n_drivers];
+        let mut state_pos = vec![0.0; n_drivers];
+        let mut state_neg = vec![0.0; n_drivers];
+        for pair in 0..n_pairs {
+            let mut rng = stream_rng(seed, pair as u64);
+            let mut gauss = StandardNormal::new();
+            state_pos.copy_from_slice(&initials);
+            state_neg.copy_from_slice(&initials);
+            let (p_pos, p_neg) = (2 * pair, 2 * pair + 1);
+            for d in 0..n_drivers {
+                data[(p_pos * n_drivers + d) * stride] = initials[d];
+                data[(p_neg * n_drivers + d) * stride] = initials[d];
+            }
+            for step in 1..=n_steps {
+                for z in raw.iter_mut() {
+                    *z = gauss.sample(&mut rng);
+                }
+                self.correlation.correlate_into(&raw, &mut shocks);
+                for d in 0..n_drivers {
+                    state_pos[d] = self.drivers[d].step(state_pos[d], dt, shocks[d], measure);
+                    state_neg[d] = self.drivers[d].step(state_neg[d], dt, -shocks[d], measure);
+                    data[(p_pos * n_drivers + d) * stride + step] = state_pos[d];
+                    data[(p_neg * n_drivers + d) * stride + step] = state_neg[d];
+                }
+            }
+        }
+
+        let short_rate_index = self.drivers.iter().position(|d| d.is_short_rate());
+        Ok(ScenarioSet {
+            grid: self.grid,
+            measure,
+            driver_names: self.drivers.iter().map(|d| d.name().to_string()).collect(),
+            short_rate_index,
+            n_paths,
+            data,
+        })
+    }
+}
+
+/// Builder for [`ScenarioGenerator`].
+#[derive(Default)]
+pub struct ScenarioGeneratorBuilder {
+    drivers: Vec<Box<dyn RiskDriver>>,
+    correlation: Option<CorrelationMatrix>,
+    grid: Option<TimeGrid>,
+}
+
+impl ScenarioGeneratorBuilder {
+    /// Adds a risk driver (order defines the driver index).
+    pub fn driver(mut self, driver: Box<dyn RiskDriver>) -> Self {
+        self.drivers.push(driver);
+        self
+    }
+
+    /// Sets the correlation matrix (defaults to identity).
+    pub fn correlation(mut self, correlation: CorrelationMatrix) -> Self {
+        self.correlation = Some(correlation);
+        self
+    }
+
+    /// Sets the time grid (required).
+    pub fn grid(mut self, grid: TimeGrid) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Finalizes the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::InvalidConfiguration`] when no drivers were
+    /// added, no grid was set, or the correlation dimension does not match
+    /// the driver count.
+    pub fn build(self) -> Result<ScenarioGenerator, StochasticError> {
+        if self.drivers.is_empty() {
+            return Err(StochasticError::InvalidConfiguration(
+                "at least one driver is required".into(),
+            ));
+        }
+        let grid = self.grid.ok_or_else(|| {
+            StochasticError::InvalidConfiguration("a time grid is required".into())
+        })?;
+        let correlation = self
+            .correlation
+            .unwrap_or_else(|| CorrelationMatrix::identity(self.drivers.len()));
+        if correlation.dim() != self.drivers.len() {
+            return Err(StochasticError::InvalidConfiguration(format!(
+                "correlation dimension {} != driver count {}",
+                correlation.dim(),
+                self.drivers.len()
+            )));
+        }
+        Ok(ScenarioGenerator {
+            drivers: self.drivers,
+            correlation,
+            grid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::{Gbm, Vasicek};
+    use disar_math::stats;
+
+    fn sample_generator() -> ScenarioGenerator {
+        ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.02, 0.5, 0.03, 0.01, 0.2).unwrap()))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.2, 0.02).unwrap()))
+            .correlation(
+                CorrelationMatrix::new(vec![vec![1.0, -0.3], vec![-0.3, 1.0]]).unwrap(),
+            )
+            .grid(TimeGrid::new(1.0, 12).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_rounds_fractional_years_up() {
+        let g = TimeGrid::new(1.5, 12).unwrap();
+        assert_eq!(g.n_steps(), 18);
+        let g2 = TimeGrid::new(0.01, 12).unwrap();
+        assert_eq!(g2.n_steps(), 1);
+    }
+
+    #[test]
+    fn grid_step_at() {
+        let g = TimeGrid::new(10.0, 12).unwrap();
+        assert_eq!(g.step_at(0.0), 0);
+        assert_eq!(g.step_at(1.0), 12);
+        assert_eq!(g.step_at(99.0), g.n_steps());
+    }
+
+    #[test]
+    fn set_shape_and_initials() {
+        let gen = sample_generator();
+        let set = gen.generate(Measure::RealWorld, 25, 3, None).unwrap();
+        assert_eq!(set.n_paths(), 25);
+        assert_eq!(set.n_drivers(), 2);
+        assert_eq!(set.path(0, 0).len(), 13);
+        for p in 0..25 {
+            assert_eq!(set.value(p, 0, 0), 0.02);
+            assert_eq!(set.value(p, 1, 0), 100.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = sample_generator();
+        let a = gen.generate(Measure::RiskNeutral, 10, 5, None).unwrap();
+        let b = gen.generate(Measure::RiskNeutral, 10, 5, None).unwrap();
+        assert_eq!(a, b);
+        let c = gen.generate(Measure::RiskNeutral, 10, 6, None).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn initial_overrides_anchor_paths() {
+        let gen = sample_generator();
+        let init = vec![0.05, 80.0];
+        let set = gen
+            .generate(Measure::RiskNeutral, 5, 1, Some(&init))
+            .unwrap();
+        for p in 0..5 {
+            assert_eq!(set.state_at(p, 0), init);
+        }
+    }
+
+    #[test]
+    fn override_length_validated() {
+        let gen = sample_generator();
+        assert!(gen
+            .generate(Measure::RiskNeutral, 5, 1, Some(&[0.05]))
+            .is_err());
+    }
+
+    #[test]
+    fn discount_factor_decreases_with_positive_rates() {
+        let gen = sample_generator();
+        let set = gen.generate(Measure::RiskNeutral, 3, 9, None).unwrap();
+        for p in 0..3 {
+            let d_half = set.discount_factor(p, 6);
+            let d_full = set.discount_factor(p, 12);
+            assert!(d_half <= 1.0);
+            assert!(d_full <= d_half, "discount must be non-increasing");
+            assert!(d_full > 0.8, "rates are small; {d_full}");
+        }
+    }
+
+    #[test]
+    fn discount_factor_without_short_rate_is_one() {
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Gbm::new(1.0, 0.0, 0.1, 0.0).unwrap()))
+            .grid(TimeGrid::new(1.0, 4).unwrap())
+            .build()
+            .unwrap();
+        let set = gen.generate(Measure::RiskNeutral, 2, 0, None).unwrap();
+        assert_eq!(set.discount_factor(0, 4), 1.0);
+        assert_eq!(set.short_rate_index(), None);
+    }
+
+    #[test]
+    fn empirical_cross_correlation_has_right_sign() {
+        let gen = sample_generator();
+        let set = gen.generate(Measure::RealWorld, 4000, 13, None).unwrap();
+        // One-step increments of rate vs log-equity should correlate ≈ -0.3.
+        let mut dr = Vec::new();
+        let mut ds = Vec::new();
+        for p in 0..set.n_paths() {
+            dr.push(set.value(p, 0, 1) - set.value(p, 0, 0));
+            ds.push((set.value(p, 1, 1) / set.value(p, 1, 0)).ln());
+        }
+        let c = stats::correlation(&dr, &ds);
+        assert!((c + 0.3).abs() < 0.05, "empirical correlation {c}");
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(ScenarioGenerator::builder()
+            .grid(TimeGrid::new(1.0, 12).unwrap())
+            .build()
+            .is_err());
+        assert!(ScenarioGenerator::builder()
+            .driver(Box::new(Gbm::new(1.0, 0.0, 0.1, 0.0).unwrap()))
+            .build()
+            .is_err());
+        assert!(ScenarioGenerator::builder()
+            .driver(Box::new(Gbm::new(1.0, 0.0, 0.1, 0.0).unwrap()))
+            .correlation(CorrelationMatrix::identity(3))
+            .grid(TimeGrid::new(1.0, 12).unwrap())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn zero_paths_rejected() {
+        let gen = sample_generator();
+        assert!(gen.generate(Measure::RealWorld, 0, 1, None).is_err());
+        assert!(gen.generate_antithetic(Measure::RealWorld, 0, 1, None).is_err());
+    }
+
+    #[test]
+    fn antithetic_pairs_mirror_shocks() {
+        // With a pure-Gaussian driver (Vasicek), the antithetic partner's
+        // first increment is the exact mirror around the deterministic
+        // step.
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.01, 0.0).unwrap()))
+            .grid(TimeGrid::new(1.0, 12).unwrap())
+            .build()
+            .unwrap();
+        let set = gen
+            .generate_antithetic(Measure::RiskNeutral, 10, 3, None)
+            .unwrap();
+        assert_eq!(set.n_paths(), 20);
+        let v = Vasicek::new(0.03, 0.5, 0.03, 0.01, 0.0).unwrap();
+        let det = v.step(0.03, 1.0 / 12.0, 0.0, Measure::RiskNeutral);
+        for pair in 0..10 {
+            let up = set.value(2 * pair, 0, 1) - det;
+            let dn = set.value(2 * pair + 1, 0, 1) - det;
+            assert!((up + dn).abs() < 1e-12, "pair {pair}: {up} vs {dn}");
+        }
+    }
+
+    #[test]
+    fn antithetic_reduces_variance_of_the_mean() {
+        // Estimate E[S_1] for a GBM using pair-averages vs independent
+        // paths: the antithetic estimator must have smaller spread.
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Gbm::new(100.0, 0.05, 0.25, 0.03).unwrap()))
+            .grid(TimeGrid::new(1.0, 12).unwrap())
+            .build()
+            .unwrap();
+        let n_pairs = 4000;
+        let anti = gen
+            .generate_antithetic(Measure::RiskNeutral, n_pairs, 5, None)
+            .unwrap();
+        let indep = gen
+            .generate(Measure::RiskNeutral, 2 * n_pairs, 5, None)
+            .unwrap();
+        let steps = anti.grid().n_steps();
+        let pair_means: Vec<f64> = (0..n_pairs)
+            .map(|k| {
+                0.5 * (anti.value(2 * k, 0, steps) + anti.value(2 * k + 1, 0, steps))
+            })
+            .collect();
+        let indep_pair_means: Vec<f64> = (0..n_pairs)
+            .map(|k| 0.5 * (indep.value(2 * k, 0, steps) + indep.value(2 * k + 1, 0, steps)))
+            .collect();
+        let v_anti = stats::variance(&pair_means);
+        let v_indep = stats::variance(&indep_pair_means);
+        assert!(
+            v_anti < 0.7 * v_indep,
+            "antithetic variance {v_anti} vs independent {v_indep}"
+        );
+        // And the estimator stays unbiased: E_Q[S_1] = S_0 e^{r}.
+        let expect = 100.0 * (0.03f64).exp();
+        let m = stats::mean(&pair_means);
+        assert!((m - expect).abs() < 0.5, "mean {m} vs {expect}");
+    }
+
+    #[test]
+    fn antithetic_is_deterministic_and_anchored() {
+        let gen = sample_generator();
+        let init = vec![0.04, 90.0];
+        let a = gen
+            .generate_antithetic(Measure::RiskNeutral, 6, 9, Some(&init))
+            .unwrap();
+        let b = gen
+            .generate_antithetic(Measure::RiskNeutral, 6, 9, Some(&init))
+            .unwrap();
+        assert_eq!(a, b);
+        for p in 0..a.n_paths() {
+            assert_eq!(a.state_at(p, 0), init);
+        }
+        assert!(gen
+            .generate_antithetic(Measure::RiskNeutral, 2, 1, Some(&[0.04]))
+            .is_err());
+    }
+}

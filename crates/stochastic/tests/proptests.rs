@@ -1,0 +1,128 @@
+//! Property-based tests of the stochastic substrate.
+
+use disar_stochastic::drivers::{Cir, FxRate, Gbm, RiskDriver, Vasicek};
+use disar_stochastic::scenario::{Measure, ScenarioGenerator, TimeGrid};
+use disar_stochastic::CorrelationMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GBM paths stay strictly positive whatever the shocks.
+    #[test]
+    fn gbm_positive(
+        s0 in 0.1f64..1000.0,
+        mu in -0.5f64..0.5,
+        sigma in 0.0f64..1.0,
+        shock in -6.0f64..6.0,
+        dt in 0.001f64..1.0,
+    ) {
+        let g = Gbm::new(s0, mu, sigma, 0.02).expect("valid");
+        let next = g.step(s0, dt, shock, Measure::RealWorld);
+        prop_assert!(next > 0.0);
+        prop_assert!(next.is_finite());
+    }
+
+    /// CIR full-truncation never goes negative.
+    #[test]
+    fn cir_non_negative(
+        x0 in 0.0f64..0.5,
+        a in 0.01f64..3.0,
+        b in 0.0f64..0.3,
+        sigma in 0.0f64..1.0,
+        shock in -6.0f64..6.0,
+        state in -0.1f64..0.5, // even a (numerically) negative incoming state
+    ) {
+        let c = Cir::short_rate(x0, a, b, sigma, 0.0).expect("valid");
+        let next = c.step(state, 1.0 / 12.0, shock, Measure::RiskNeutral);
+        prop_assert!(next >= 0.0);
+    }
+
+    /// Vasicek's exact step is linear in the shock with the documented
+    /// conditional moments.
+    #[test]
+    fn vasicek_conditional_moments(
+        r in -0.05f64..0.15,
+        a in 0.05f64..2.0,
+        b in 0.0f64..0.1,
+        sigma in 0.0001f64..0.05,
+        dt in 0.01f64..1.0,
+    ) {
+        let v = Vasicek::new(r, a, b, sigma, 0.0).expect("valid");
+        let at_zero = v.step(r, dt, 0.0, Measure::RiskNeutral);
+        let e = (-a * dt).exp();
+        prop_assert!((at_zero - (b + (r - b) * e)).abs() < 1e-12);
+        let plus = v.step(r, dt, 1.0, Measure::RiskNeutral);
+        let sd = (sigma * sigma / (2.0 * a) * (1.0 - e * e)).sqrt();
+        prop_assert!((plus - at_zero - sd).abs() < 1e-12);
+    }
+
+    /// FX under parity with zero shock compounds at the rate differential.
+    #[test]
+    fn fx_parity_deterministic_step(
+        x0 in 0.1f64..10.0,
+        diff in -0.05f64..0.05,
+        dt in 0.01f64..1.0,
+    ) {
+        let f = FxRate::new(x0, 0.0, 0.0, diff).expect("valid");
+        let next = f.step(x0, dt, 0.0, Measure::RiskNeutral);
+        prop_assert!((next - x0 * (diff * dt).exp()).abs() < 1e-12);
+    }
+
+    /// Any correlation matrix built as ρ on the off-diagonal with |ρ| < 1
+    /// is valid for dimension 2, and correlate preserves the first shock.
+    #[test]
+    fn two_dim_correlation_valid(rho in -0.99f64..0.99, z0 in -3.0f64..3.0, z1 in -3.0f64..3.0) {
+        let c = CorrelationMatrix::new(vec![vec![1.0, rho], vec![rho, 1.0]]).expect("PD for |rho|<1");
+        let out = c.correlate(&[z0, z1]);
+        prop_assert!((out[0] - z0).abs() < 1e-12);
+        // Cholesky row: out[1] = rho z0 + sqrt(1-rho²) z1.
+        let expect = rho * z0 + (1.0 - rho * rho).sqrt() * z1;
+        prop_assert!((out[1] - expect).abs() < 1e-12);
+    }
+
+    /// Generated scenario sets are reproducible and respect anchoring.
+    #[test]
+    fn generation_reproducible_and_anchored(
+        seed in 0u64..500,
+        n_paths in 1usize..10,
+        r0 in 0.0f64..0.08,
+        s0 in 10.0f64..500.0,
+    ) {
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.02, 0.5, 0.03, 0.01, 0.0).expect("valid")))
+            .driver(Box::new(Gbm::new(100.0, 0.05, 0.2, 0.02).expect("valid")))
+            .grid(TimeGrid::new(2.0, 4).expect("valid"))
+            .build()
+            .expect("valid");
+        let anchor = vec![r0, s0];
+        let a = gen.generate(Measure::RiskNeutral, n_paths, seed, Some(&anchor)).expect("ok");
+        let b = gen.generate(Measure::RiskNeutral, n_paths, seed, Some(&anchor)).expect("ok");
+        prop_assert_eq!(&a, &b);
+        for p in 0..n_paths {
+            prop_assert_eq!(a.value(p, 0, 0), r0);
+            prop_assert_eq!(a.value(p, 1, 0), s0);
+        }
+    }
+
+    /// Discount factors are in (0, 1] for non-negative-rate models and
+    /// non-increasing along the grid.
+    #[test]
+    fn discount_factors_monotone(seed in 0u64..300) {
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Cir::short_rate(0.03, 0.5, 0.03, 0.05, 0.0).expect("valid")))
+            .grid(TimeGrid::new(5.0, 12).expect("valid"))
+            .build()
+            .expect("valid");
+        let set = gen.generate(Measure::RiskNeutral, 2, seed, None).expect("ok");
+        for p in 0..2 {
+            let mut prev = 1.0;
+            for step in 0..=set.grid().n_steps() {
+                let df = set.discount_factor(p, step);
+                prop_assert!(df > 0.0 && df <= 1.0 + 1e-12);
+                prop_assert!(df <= prev + 1e-12);
+                prev = df;
+            }
+        }
+    }
+}

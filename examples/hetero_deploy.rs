@@ -1,0 +1,116 @@
+//! Heterogeneous deploys — the paper's §VI future work, in action.
+//!
+//! Mixing instance types widens the cost/deadline frontier: a single fast
+//! VM plus a cheap one can hit deadlines no homogeneous configuration of
+//! the same node budget reaches, or hit the same deadline cheaper. The
+//! work split between groups is *barrier-balanced* from the homogeneous
+//! knowledge base — no mixed-deploy training data needed.
+//!
+//! ```text
+//! cargo run --release --example hetero_deploy
+//! ```
+
+use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_suite::core::{
+    select_configuration, select_hetero_configuration, CoreError, JobProfile, KnowledgeBase,
+    PredictorFamily, RunRecord,
+};
+use disar_suite::engine::EebCharacteristics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 11);
+    let catalog = provider.catalog().clone();
+
+    // Warm a knowledge base with homogeneous runs only.
+    let profile_of = |contracts: usize| JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 25,
+            fund_assets: 40,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    };
+    let workload_of = |contracts: usize| {
+        Workload::new(
+            60.0 * contracts as f64,
+            0.02 * contracts as f64,
+            0.8 * contracts as f64,
+            0.05,
+        )
+        .expect("valid workload")
+    };
+    let mut kb = KnowledgeBase::new();
+    let names = catalog.names();
+    for i in 0..300 {
+        let contracts = 80 + (i * 37) % 400;
+        let inst = catalog.get(&names[i % names.len()])?;
+        let nodes = i % 3 + 1;
+        let r = provider.run_job_with_seed(&inst.name, nodes, &workload_of(contracts), i as u64)?;
+        kb.record(RunRecord::new(
+            profile_of(contracts),
+            inst,
+            nodes,
+            r.duration_secs,
+            r.prorated_cost,
+        ));
+    }
+    let mut family = PredictorFamily::new(3, 2);
+    family.retrain(&kb)?;
+    println!("trained on {} homogeneous runs\n", kb.len());
+
+    // Sweep deadlines on a big job with a tight 3-node budget.
+    let job = profile_of(450);
+    let wl = workload_of(450);
+    println!(
+        "{:>9} | {:>28} | {:>34}",
+        "T_max", "homogeneous (<=3 nodes)", "heterogeneous (<=3 nodes)"
+    );
+    println!("{}", "-".repeat(80));
+    for t_max in [900.0, 1200.0, 1600.0, 2400.0, 4800.0] {
+        let homo = match select_configuration(&family, &catalog, &job, t_max, 3, 0.0, 7) {
+            Ok(sel) => {
+                let r = provider.run_job_with_seed(
+                    &sel.chosen.instance,
+                    sel.chosen.n_nodes,
+                    &wl,
+                    99,
+                )?;
+                format!(
+                    "{}x{}: {:.0}s {:.3}$",
+                    sel.chosen.instance, sel.chosen.n_nodes, r.duration_secs, r.prorated_cost
+                )
+            }
+            Err(CoreError::NoFeasibleConfiguration { .. }) => "infeasible".to_string(),
+            Err(e) => return Err(e.into()),
+        };
+        let hetero = match select_hetero_configuration(&family, &catalog, &job, t_max, 3, 0.0, 7) {
+            Ok(sel) => {
+                let desc: Vec<String> = sel
+                    .chosen
+                    .groups
+                    .iter()
+                    .map(|g| format!("{}x{}", g.instance, g.n_nodes))
+                    .collect();
+                let r = provider.run_hetero_job_with_seed(&sel.chosen.groups, &wl, 99)?;
+                format!(
+                    "{}: {:.0}s {:.3}$",
+                    desc.join("+"),
+                    r.duration_secs,
+                    r.prorated_cost
+                )
+            }
+            Err(CoreError::NoFeasibleConfiguration { .. }) => "infeasible".to_string(),
+            Err(e) => return Err(e.into()),
+        };
+        println!("{t_max:>8}s | {homo:>28} | {hetero:>34}");
+    }
+    println!(
+        "\nreading: mixes reach deadlines homogeneous 3-node deploys cannot. Where\n\
+         both are feasible the picks converge (or the mix trades a little realized\n\
+         cost for predicted cost — an honest ML-error effect). All of it is learned\n\
+         purely from homogeneous observations."
+    );
+    Ok(())
+}

@@ -1,0 +1,197 @@
+//! `disar` — command-line interface to the DISAR reproduction.
+//!
+//! The DiInt stand-in: generate portfolios, run Solvency II valuations,
+//! and drive the ML-based cloud provisioning loop from a shell.
+//!
+//! ```text
+//! disar portfolio --policies 5000 --seed 42
+//! disar value     --policies 500 --outer 200 --inner 20 --threads 4
+//! disar deploy    --runs 40 --tmax 3600
+//! disar curve     --rate 0.03
+//! ```
+
+use disar_suite::actuarial::portfolio::PortfolioSpec;
+use disar_suite::alm::SegregatedFund;
+use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_suite::core::deploy::{DeployMode, DeployPolicy, TransparentDeployer};
+use disar_suite::core::JobProfile;
+use disar_suite::engine::simulation::{MarketModel, SimulationSpec};
+use disar_suite::engine::{DisarMaster, EebCharacteristics};
+use disar_suite::stochastic::bonds::{zero_curve, BondPricing};
+use disar_suite::stochastic::drivers::Vasicek;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_portfolio(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = flag(flags, "policies", 5_000);
+    let seed: u64 = flag(flags, "seed", 42);
+    let p = PortfolioSpec {
+        n_policies: n,
+        ..PortfolioSpec::default()
+    }
+    .generate("cli", seed)?;
+    println!("portfolio (seed {seed}):");
+    println!("  policies                 : {}", p.policy_count());
+    println!("  representative contracts : {}", p.representative_contracts());
+    println!("  total insured sum        : {:.0} EUR", p.total_insured_sum());
+    println!("  max horizon              : {} years", p.max_horizon(120));
+    Ok(())
+}
+
+fn cmd_value(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = flag(flags, "policies", 500);
+    let outer: usize = flag(flags, "outer", 200);
+    let inner: usize = flag(flags, "inner", 20);
+    let threads: usize = flag(flags, "threads", 4);
+    let seed: u64 = flag(flags, "seed", 42);
+    let portfolio = PortfolioSpec {
+        n_policies: n,
+        ..PortfolioSpec::default()
+    }
+    .generate("cli", seed)?;
+    let spec = SimulationSpec {
+        portfolio,
+        fund: SegregatedFund::italian_typical(30),
+        market: MarketModel::RatesEquity,
+        n_outer: outer,
+        n_inner: inner,
+        steps_per_year: 4,
+        seed,
+    };
+    let master = DisarMaster::new(spec)?;
+    println!("running nested Monte Carlo ({outer} x {inner}) on {threads} threads...");
+    let out = master.run_local(threads)?;
+    println!("  BEL            : {:.0}", out.bel);
+    println!("  E[Y1]          : {:.0}", out.mean_y1);
+    println!("  q99.5(Y1)      : {:.0}", out.var_quantile);
+    println!("  SCR            : {:.0}", out.scr);
+    println!("  wall time      : {:.2}s ({} type-B EEBs)", out.wall_secs, out.n_type_b);
+    Ok(())
+}
+
+fn cmd_deploy(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let runs: usize = flag(flags, "runs", 40);
+    let t_max: f64 = flag(flags, "tmax", 3_600.0);
+    let seed: u64 = flag(flags, "seed", 42);
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+    let policy = DeployPolicy {
+        min_kb_samples: 15.min(runs / 2).max(2),
+        ..DeployPolicy::paper_defaults(t_max)
+    };
+    let mut deployer = TransparentDeployer::new(provider, policy, seed);
+    use disar_suite::math::rng::stream_rng;
+    use rand::Rng;
+    let mut rng = stream_rng(seed, 1);
+    println!("self-optimizing loop: {runs} deploys, T_max = {t_max}s");
+    for i in 1..=runs {
+        let contracts = rng.gen_range(100..600);
+        let horizon = rng.gen_range(10..40);
+        let profile = JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: horizon,
+                fund_assets: 40,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        };
+        let wl = Workload::new(
+            0.12 * contracts as f64 * horizon as f64,
+            0.02 * contracts as f64,
+            0.8 * contracts as f64,
+            0.05,
+        )?;
+        let out = deployer.deploy(&profile, &wl)?;
+        let mode = match out.mode {
+            DeployMode::Bootstrap => "boot",
+            DeployMode::Manual => "manual",
+            DeployMode::MlGreedy => "ml",
+            DeployMode::MlExplored => "ml-eps",
+        };
+        if i <= 5 || i % 10 == 0 {
+            println!(
+                "  #{i:>3} [{mode:>6}] {:>12} x{}  {:>6.0}s  {:.4}$  {}",
+                out.report.instance,
+                out.report.n_nodes,
+                out.report.duration_secs,
+                out.report.prorated_cost,
+                out.predicted_secs
+                    .map_or(String::new(), |p| format!("(pred {p:.0}s)")),
+            );
+        }
+    }
+    println!("knowledge base: {} runs", deployer.knowledge_base().len());
+    Ok(())
+}
+
+fn cmd_curve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let r: f64 = flag(flags, "rate", 0.03);
+    let v = Vasicek::new(r, 0.6, 0.04, 0.015, 0.0)?;
+    println!("Vasicek zero curve at r = {r}:");
+    for (t, y) in zero_curve(&v, r, &[1.0, 2.0, 5.0, 10.0, 20.0, 30.0])? {
+        let p = v.zcb_price(r, t)?;
+        println!("  {t:>5.0}y  yield {:>6.3}%  price {p:.4}", y * 100.0);
+    }
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: disar <command> [--flag value ...]\n\n\
+         commands:\n\
+         \x20 portfolio  --policies N --seed S              generate & summarize a synthetic book\n\
+         \x20 value      --policies N --outer P --inner Q --threads T --seed S\n\
+         \x20                                               run a Solvency II valuation locally\n\
+         \x20 deploy     --runs N --tmax SECS --seed S      drive the ML provisioning loop\n\
+         \x20 curve      --rate R                           print the Vasicek zero curve"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "portfolio" => cmd_portfolio(&flags),
+        "value" => cmd_value(&flags),
+        "deploy" => cmd_deploy(&flags),
+        "curve" => cmd_curve(&flags),
+        _ => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the DISAR cloud-provisioning reproduction.
+//!
+//! This crate re-exports every workspace member under a stable module name so
+//! examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use disar_suite::prelude::*;
+//! ```
+//!
+//! See the repository `README.md` for an architecture overview, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use disar_actuarial as actuarial;
+pub use disar_alm as alm;
+pub use disar_cloudsim as cloudsim;
+pub use disar_core as core;
+pub use disar_engine as engine;
+pub use disar_math as math;
+pub use disar_ml as ml;
+pub use disar_stochastic as stochastic;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use disar_math::stats;
+    pub use disar_math::Matrix;
+}

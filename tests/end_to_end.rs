@@ -1,0 +1,234 @@
+//! End-to-end integration tests spanning every crate: portfolio →
+//! actuarial engine → ALM valuation → DISAR orchestration → cloud deploy →
+//! self-optimizing provisioning.
+
+use disar_suite::actuarial::portfolio::PortfolioSpec;
+use disar_suite::alm::SegregatedFund;
+use disar_suite::cloudsim::{CloudProvider, InstanceCatalog};
+use disar_suite::core::deploy::{DeployMode, DeployPolicy, TransparentDeployer};
+use disar_suite::core::KnowledgeBase;
+use disar_suite::engine::simulation::{MarketModel, SimulationSpec};
+use disar_suite::engine::DisarMaster;
+
+fn tiny_spec(seed: u64) -> SimulationSpec {
+    let portfolio = PortfolioSpec {
+        n_policies: 120,
+        term_range: (5, 10),
+        product_weights: (0.4, 0.6, 0.0, 0.0),
+        ..PortfolioSpec::default()
+    }
+    .generate("it-co", seed)
+    .expect("valid spec");
+    SimulationSpec {
+        portfolio,
+        fund: SegregatedFund::italian_typical(25),
+        market: MarketModel::RatesEquity,
+        n_outer: 30,
+        n_inner: 6,
+        steps_per_year: 4,
+        seed,
+    }
+}
+
+#[test]
+fn full_pipeline_local_and_cloud() {
+    let master = DisarMaster::new(tiny_spec(21)).expect("valid spec");
+
+    // Real local valuation.
+    let local = master.run_local(2).expect("local run succeeds");
+    assert!(local.bel > 0.0);
+    assert!(local.scr >= 0.0);
+
+    // Cloud deploy of the same job.
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 5);
+    let report = master
+        .run_cloud(&provider, "c3.4xlarge", 4)
+        .expect("cloud run succeeds");
+    assert!(report.duration_secs > 0.0);
+    assert!(report.prorated_cost > 0.0);
+    assert_eq!(report.n_nodes, 4);
+}
+
+#[test]
+fn self_optimizing_loop_learns_and_persists() {
+    let master = DisarMaster::new(tiny_spec(33)).expect("valid spec");
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 9);
+    let policy = DeployPolicy {
+        t_max_secs: 10_000.0,
+        epsilon: 0.05,
+        max_nodes: 4,
+        min_kb_samples: 5,
+        retrain_every: 1,
+    };
+    let mut deployer = TransparentDeployer::new(provider, policy, 9);
+
+    let mut saw_ml = false;
+    for _ in 0..10 {
+        let out = deployer.deploy_simulation(&master).expect("deploys succeed");
+        if matches!(out.mode, DeployMode::MlGreedy | DeployMode::MlExplored) {
+            saw_ml = true;
+            assert!(out.predicted_secs.is_some());
+        }
+    }
+    assert!(saw_ml, "ML phase must start after the bootstrap");
+    assert_eq!(deployer.knowledge_base().len(), 10);
+
+    // Persistence round-trip.
+    let dir = std::env::temp_dir().join("disar-e2e");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("kb.json");
+    deployer.knowledge_base().save(&path).expect("save kb");
+    let loaded = KnowledgeBase::load(&path).expect("load kb");
+    assert_eq!(loaded, *deployer.knowledge_base());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn same_seed_same_everything() {
+    // Determinism across the whole stack: valuation and deploy decisions.
+    let a = DisarMaster::new(tiny_spec(55))
+        .expect("valid")
+        .run_local(2)
+        .expect("runs");
+    let b = DisarMaster::new(tiny_spec(55))
+        .expect("valid")
+        .run_local(3)
+        .expect("runs");
+    assert_eq!(a.scr, b.scr);
+    assert_eq!(a.bel, b.bel);
+
+    let run = |seed: u64| {
+        let master = DisarMaster::new(tiny_spec(seed)).expect("valid");
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+        let mut d = TransparentDeployer::new(
+            provider,
+            DeployPolicy {
+                min_kb_samples: 3,
+                ..DeployPolicy::paper_defaults(10_000.0)
+            },
+            seed,
+        );
+        (0..6)
+            .map(|_| {
+                let o = d.deploy_simulation(&master).expect("deploys");
+                (o.report.instance.clone(), o.report.n_nodes, o.report.duration_secs)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(77), run(77));
+}
+
+#[test]
+fn bigger_monte_carlo_means_bigger_workload_and_slower_cloud_runs() {
+    let mut small = tiny_spec(88);
+    small.n_outer = 20;
+    let mut big = tiny_spec(88);
+    big.n_outer = 200;
+
+    let wl_small = DisarMaster::new(small)
+        .expect("valid")
+        .cloud_workload()
+        .expect("workload");
+    let wl_big = DisarMaster::new(big)
+        .expect("valid")
+        .cloud_workload()
+        .expect("workload");
+    assert!(wl_big.work_units > 5.0 * wl_small.work_units);
+
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 2);
+    let r_small = provider
+        .run_job_with_seed("m4.4xlarge", 2, &wl_small, 4)
+        .expect("runs");
+    let r_big = provider
+        .run_job_with_seed("m4.4xlarge", 2, &wl_big, 4)
+        .expect("runs");
+    assert!(r_big.duration_secs > r_small.duration_secs);
+}
+
+#[test]
+fn knowledge_transfers_across_companies() {
+    // "Refining the prediction models for a given company could provide
+    // benefits for Solvency II simulations of different ones" (§III): a
+    // knowledge base built from other companies' EEB jobs must predict a
+    // new company's execution times far better than the global-mean
+    // baseline.
+    use disar_bench::campaign::{paper_eeb_jobs, CampaignConfig};
+    use disar_suite::core::{KnowledgeBase, PredictorFamily, RunRecord};
+
+    let cfg = CampaignConfig {
+        n_runs: 0,
+        n_outer: 500,
+        n_inner: 30,
+        max_nodes: 4,
+        seed: 404,
+    };
+    let jobs = paper_eeb_jobs(&cfg);
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 404);
+    let names = provider.catalog().names();
+
+    // Train on companies A and C, whose characteristic parameters
+    // bracket company B's (risk factors 2 and 4 around B's 3, fund sizes
+    // 20 and 80 around B's 40) — the interpolation regime in which the
+    // paper expects transfer to work.
+    let mut kb = KnowledgeBase::new();
+    let mut i = 0u64;
+    for job in jobs.iter().filter(|j| j.portfolio != "company-B") {
+        for name in &names {
+            for n in 1..=4usize {
+                let r = provider
+                    .run_job_with_seed(name, n, &job.workload, i)
+                    .expect("valid");
+                kb.record(RunRecord::new(
+                    job.profile,
+                    provider.catalog().get(name).expect("valid"),
+                    n,
+                    r.duration_secs,
+                    r.prorated_cost,
+                ));
+                i += 1;
+            }
+        }
+    }
+    let mut family = PredictorFamily::new(1, 2);
+    family.retrain(&kb).expect("trains");
+    let train_mean = disar_suite::math::stats::mean(
+        &kb.records().iter().map(|r| r.duration_secs).collect::<Vec<_>>(),
+    );
+
+    // Evaluate on company-B jobs never seen in training.
+    let mut model_err = Vec::new();
+    let mut baseline_err = Vec::new();
+    for job in jobs.iter().filter(|j| j.portfolio == "company-B") {
+        for name in &names {
+            let r = provider
+                .run_job_with_seed(name, 2, &job.workload, 9000 + i)
+                .expect("valid");
+            let pred = family
+                .predict_mean(&job.profile, provider.catalog().get(name).expect("ok"), 2)
+                .expect("trained");
+            model_err.push((pred - r.duration_secs).abs());
+            baseline_err.push((train_mean - r.duration_secs).abs());
+            i += 1;
+        }
+    }
+    let mae_model = disar_suite::math::stats::mean(&model_err);
+    let mae_base = disar_suite::math::stats::mean(&baseline_err);
+    assert!(
+        mae_model < 0.5 * mae_base,
+        "transfer MAE {mae_model:.1}s should halve the baseline {mae_base:.1}s"
+    );
+    assert!(mae_model < 100.0, "absolute transfer MAE {mae_model:.1}s");
+}
+
+#[test]
+fn richer_market_model_increases_scr_inputs() {
+    // More risk factors → more characteristic-parameter variability and a
+    // heavier workload; SCR stays finite and positive.
+    let mut spec = tiny_spec(101);
+    spec.market = MarketModel::Full;
+    let master = DisarMaster::new(spec).expect("valid");
+    assert_eq!(master.characteristics().expect("chars").risk_factors, 4);
+    let out = master.run_local(2).expect("runs");
+    assert!(out.scr.is_finite());
+    assert!(out.bel > 0.0);
+}
