@@ -22,8 +22,8 @@
 //!   polynomial approximation of the inner value on a small `n'_P × n'_Q`
 //!   sample, then evaluate it on every outer path;
 //! - [`parallel`]: data-parallel execution over outer paths (crossbeam
-//!   scoped threads), the in-process analogue of DISAR's distributed
-//!   type-B EEBs.
+//!   scoped threads, shared via `disar_math::parallel`), the in-process
+//!   analogue of DISAR's distributed type-B EEBs.
 
 pub mod fund;
 pub mod liability;

@@ -3,113 +3,20 @@
 //! Type-B EEBs are "parallelized by distributing different work units on the
 //! available computing nodes … each node computes concurrently average local
 //! values, which are then suitably combined" (§III). In-process, the same
-//! structure is a parallel map over outer paths with a final gather; this
-//! module provides it on crossbeam scoped threads with deterministic output
-//! order (results are written by index, so the schedule cannot change the
-//! result).
+//! structure is a parallel map over outer paths with a final gather.
+//!
+//! The implementation lives in [`disar_math::parallel`] so the provisioning
+//! layer (Algorithm 1's grid sweep, the predictor retrain loop) and the
+//! bench campaign driver can share it; this module re-exports it under the
+//! historical `disar_alm::parallel` path used by the nested Monte Carlo.
+//!
+//! # Example
+//!
+//! ```
+//! use disar_alm::parallel::parallel_map;
+//!
+//! let squares = parallel_map(8, 4, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
 
-/// Applies `f` to every index in `0..n_items` using up to `n_threads`
-/// worker threads, returning results in index order.
-///
-/// `n_threads = 1` degrades to a plain sequential map (no threads spawned),
-/// which keeps small workloads cheap.
-///
-/// # Panics
-///
-/// Panics if `n_threads == 0`, or if `f` panics on any item (the panic is
-/// propagated).
-///
-/// # Example
-///
-/// ```
-/// use disar_alm::parallel::parallel_map;
-///
-/// let squares = parallel_map(8, 4, |i| i * i);
-/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
-/// ```
-pub fn parallel_map<T, F>(n_items: usize, n_threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    assert!(n_threads > 0, "n_threads must be positive");
-    if n_items == 0 {
-        return Vec::new();
-    }
-    if n_threads == 1 || n_items == 1 {
-        return (0..n_items).map(f).collect();
-    }
-
-    let mut results: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
-    let threads = n_threads.min(n_items);
-    let chunk = n_items.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move |_| {
-                let base = t * chunk;
-                for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled by construction"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn matches_sequential_map() {
-        let seq: Vec<usize> = (0..100).map(|i| i * 3 + 1).collect();
-        for threads in [1, 2, 3, 8, 100, 200] {
-            let par = parallel_map(100, threads, |i| i * 3 + 1);
-            assert_eq!(par, seq, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn empty_input() {
-        let v: Vec<u32> = parallel_map(0, 4, |_| unreachable!());
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn every_item_computed_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let v = parallel_map(1000, 7, |i| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            i
-        });
-        assert_eq!(counter.load(Ordering::Relaxed), 1000);
-        assert_eq!(v.len(), 1000);
-        for (i, x) in v.iter().enumerate() {
-            assert_eq!(*x, i);
-        }
-    }
-
-    #[test]
-    fn actually_uses_multiple_threads() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let ids = Mutex::new(HashSet::new());
-        parallel_map(64, 4, |i| {
-            ids.lock().unwrap().insert(std::thread::current().id());
-            i
-        });
-        assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
-    }
-
-    #[test]
-    #[should_panic(expected = "n_threads must be positive")]
-    fn zero_threads_panics() {
-        let _ = parallel_map(4, 0, |i| i);
-    }
-}
+pub use disar_math::parallel::{parallel_map, parallel_map_mut};

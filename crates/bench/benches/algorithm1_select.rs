@@ -1,9 +1,13 @@
 //! Algorithm 1 bench: latency of one configuration selection — 6 models ×
-//! 6 instance types × up-to-`max` node counts per deploy decision.
+//! 6 instance types × up-to-`max` node counts per deploy decision — plus
+//! the thread-count sweep of the parallel grid sweep and of the family
+//! retrain (both bit-identical to sequential; see the `_threads` variants).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
-use disar_core::{select_configuration, PredictorFamily};
+use disar_core::{
+    select_configuration, select_configuration_with_rule_threads, PredictorFamily, TimeEstimate,
+};
 
 fn bench_selection(c: &mut Criterion) {
     let (kb, provider, jobs) = build_knowledge_base(&CampaignConfig {
@@ -36,7 +40,60 @@ fn bench_selection(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Thread sweep at a fixed grid size: wall-clock speedup of the
+    // parallel cell evaluation over the n_threads = 1 escape hatch.
+    let mut group = c.benchmark_group("algorithm1_select_threads");
+    group.sample_size(20);
+    for n_threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_threads),
+            &n_threads,
+            |b, &threads| {
+                b.iter(|| {
+                    select_configuration_with_rule_threads(
+                        &family,
+                        provider.catalog(),
+                        &profile,
+                        50_000.0,
+                        16,
+                        0.05,
+                        9,
+                        TimeEstimate::EnsembleMean,
+                        threads,
+                    )
+                    .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_selection);
+fn bench_retrain(c: &mut Criterion) {
+    let (kb, _, _) = build_knowledge_base(&CampaignConfig {
+        n_runs: 300,
+        ..CampaignConfig::default()
+    });
+    let mut group = c.benchmark_group("family_retrain_threads");
+    group.sample_size(10);
+    for n_threads in [1usize, 2, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_threads),
+            &n_threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut family = PredictorFamily::new(1, 2);
+                    family
+                        .retrain_with_threads(&kb, threads)
+                        .expect("large enough");
+                    family
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_retrain);
 criterion_main!(benches);

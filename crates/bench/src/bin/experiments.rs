@@ -25,18 +25,23 @@ fn main() {
     let all = wanted.is_empty();
     let want = |name: &str| all || wanted.contains(&name);
 
+    let n_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = if quick {
         CampaignConfig {
             n_runs: 300,
+            n_threads,
             ..CampaignConfig::default()
         }
     } else {
-        CampaignConfig::default()
+        CampaignConfig {
+            n_threads,
+            ..CampaignConfig::default()
+        }
     };
 
     println!(
-        "== DISAR reproduction experiments ==\ncampaign: {} runs, nP={}, nQ={}, seed={}\n",
-        cfg.n_runs, cfg.n_outer, cfg.n_inner, cfg.seed
+        "== DISAR reproduction experiments ==\ncampaign: {} runs, nP={}, nQ={}, seed={}, {} threads\n",
+        cfg.n_runs, cfg.n_outer, cfg.n_inner, cfg.seed, cfg.n_threads
     );
     let t0 = std::time::Instant::now();
     let (kb, provider, jobs) = build_knowledge_base(&cfg);
@@ -68,7 +73,7 @@ fn main() {
     }
 
     if want("table2") {
-        let t2 = table2(&jobs, &provider);
+        let t2 = table2(&jobs, &provider, cfg.n_threads);
         let rows: Vec<Vec<String>> = t2
             .iter()
             .map(|(n, c)| vec![n.clone(), format!("{c:.3}$")])
@@ -130,7 +135,7 @@ fn main() {
     }
 
     if want("fig4") {
-        let f4 = fig4(&jobs, &provider);
+        let f4 = fig4(&jobs, &provider, cfg.n_threads);
         let rows: Vec<Vec<String>> = f4
             .iter()
             .map(|(n, s)| vec![n.clone(), fmt(*s, 2)])

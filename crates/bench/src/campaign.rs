@@ -8,6 +8,7 @@ use disar_core::{JobProfile, KnowledgeBase, RunRecord};
 use disar_engine::complexity::ComplexityModel;
 use disar_engine::eeb::{decompose, EebKind};
 use disar_engine::simulation::{MarketModel, SimulationSpec};
+use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
 use rand::Rng;
 
@@ -38,6 +39,10 @@ pub struct CampaignConfig {
     pub max_nodes: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the campaign's cloud runs (and, where a driver
+    /// takes this config, Algorithm 1 sweeps). Results are bit-identical
+    /// for any value; `1` is the sequential escape hatch.
+    pub n_threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +54,7 @@ impl Default for CampaignConfig {
             n_inner: 50,
             max_nodes: 8,
             seed: 20160627, // ICDCS 2016 opening day
+            n_threads: 1,
         }
     }
 }
@@ -106,23 +112,43 @@ pub fn build_knowledge_base(cfg: &CampaignConfig) -> (KnowledgeBase, CloudProvid
     let jobs = paper_eeb_jobs(cfg);
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed);
     let names = provider.catalog().names();
-    let mut rng = stream_rng(cfg.seed, 0xCA3F);
-    let mut kb = KnowledgeBase::new();
-    for _ in 0..cfg.n_runs {
-        let job = &jobs[rng.gen_range(0..jobs.len())];
-        let instance = &names[rng.gen_range(0..names.len())];
-        let n_nodes = rng.gen_range(1..=cfg.max_nodes);
+
+    // Pre-sample every (job, instance, nodes) decision with the campaign's
+    // own RNG stream (untouched by the cloud runs), then reserve a block of
+    // noise-stream indices and run the jobs as a deterministic parallel
+    // map: run `i` sees exactly the cloud conditions the `i`-th iteration
+    // of the sequential loop would have.
+    let picks: Vec<(usize, usize, usize)> = {
+        let mut rng = stream_rng(cfg.seed, 0xCA3F);
+        (0..cfg.n_runs)
+            .map(|_| {
+                let job = rng.gen_range(0..jobs.len());
+                let instance = rng.gen_range(0..names.len());
+                let n_nodes = rng.gen_range(1..=cfg.max_nodes);
+                (job, instance, n_nodes)
+            })
+            .collect()
+    };
+    let base = provider.reserve_runs(cfg.n_runs as u64);
+    let records = parallel_map(cfg.n_runs, cfg.n_threads.max(1), |i| {
+        let (job_i, inst_i, n_nodes) = picks[i];
+        let job = &jobs[job_i];
+        let instance = &names[inst_i];
         let report = provider
-            .run_job(instance, n_nodes, &job.workload)
+            .run_job_at(instance, n_nodes, &job.workload, base + i as u64)
             .expect("catalog instances are valid");
         let inst = provider.catalog().get(instance).expect("valid name");
-        kb.record(RunRecord::new(
+        RunRecord::new(
             job.profile,
             inst,
             n_nodes,
             report.duration_secs,
             report.prorated_cost,
-        ));
+        )
+    });
+    let mut kb = KnowledgeBase::new();
+    for record in records {
+        kb.record(record);
     }
     (kb, provider, jobs)
 }
@@ -138,6 +164,7 @@ mod tests {
             n_inner: 20,
             max_nodes: 4,
             seed: 7,
+            n_threads: 1,
         }
     }
 
@@ -184,5 +211,23 @@ mod tests {
         let (a, _, _) = build_knowledge_base(&small_cfg());
         let (b, _, _) = build_knowledge_base(&small_cfg());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_sequential() {
+        let wl = paper_eeb_jobs(&small_cfg())[0].workload.clone();
+        for n_threads in [2, 4] {
+            let (seq, seq_provider, _) = build_knowledge_base(&small_cfg());
+            let cfg = CampaignConfig {
+                n_threads,
+                ..small_cfg()
+            };
+            let (par, par_provider, _) = build_knowledge_base(&cfg);
+            assert_eq!(seq, par, "divergence at n_threads = {n_threads}");
+            // Both providers left their noise stream at the same point.
+            let a = seq_provider.run_job("c3.4xlarge", 2, &wl).unwrap();
+            let b = par_provider.run_job("c3.4xlarge", 2, &wl).unwrap();
+            assert_eq!(a, b);
+        }
     }
 }

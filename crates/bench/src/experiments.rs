@@ -17,6 +17,7 @@ use disar_core::{
     select_configuration, select_configuration_with_rule, select_hetero_configuration,
     KnowledgeBase, PredictorFamily, TimeEstimate,
 };
+use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
 use disar_math::stats;
 use disar_ml::metrics::evaluate;
@@ -73,22 +74,28 @@ pub fn table1(kb: &KnowledgeBase, catalog: &InstanceCatalog, seed: u64) -> Table
 
 /// Table II: mean prorated per-simulation cost (USD) per instance type,
 /// measured by running every EEB job once on a single node of each type.
-pub fn table2(jobs: &[EebJob], provider: &CloudProvider) -> Vec<(String, f64)> {
-    provider
-        .catalog()
-        .names()
+///
+/// The `names × jobs` runs execute as a deterministic parallel map over
+/// reserved noise-stream indices — bit-identical to the sequential
+/// (instance-major) loop for any `n_threads`.
+pub fn table2(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
+    let names = provider.catalog().names();
+    let total = names.len() * jobs.len();
+    let base = provider.reserve_runs(total as u64);
+    let costs = parallel_map(total, n_threads.max(1), |i| {
+        let name = &names[i / jobs.len()];
+        let job = &jobs[i % jobs.len()];
+        provider
+            .run_job_at(name, 1, &job.workload, base + i as u64)
+            .expect("catalog instance")
+            .prorated_cost
+    });
+    names
         .into_iter()
-        .map(|name| {
-            let costs: Vec<f64> = jobs
-                .iter()
-                .map(|j| {
-                    provider
-                        .run_job(&name, 1, &j.workload)
-                        .expect("catalog instance")
-                        .prorated_cost
-                })
-                .collect();
-            (name, stats::mean(&costs))
+        .enumerate()
+        .map(|(ni, name)| {
+            let slice = &costs[ni * jobs.len()..(ni + 1) * jobs.len()];
+            (name, stats::mean(slice))
         })
         .collect()
 }
@@ -163,23 +170,25 @@ pub fn fig3(points: &[Fig2Point]) -> Fig3 {
 /// The sequential baseline uses the simulator's ground-truth model — an
 /// *oracle* read, legitimate here because the baseline is a measurement
 /// protocol, not a provisioning decision.
-pub fn fig4(jobs: &[EebJob], provider: &CloudProvider) -> Vec<(String, f64)> {
-    provider
-        .catalog()
-        .names()
+pub fn fig4(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
+    let names = provider.catalog().names();
+    let total = names.len() * jobs.len();
+    let base = provider.reserve_runs(total as u64);
+    let speedups = parallel_map(total, n_threads.max(1), |i| {
+        let name = &names[i / jobs.len()];
+        let job = &jobs[i % jobs.len()];
+        let seq = provider.ground_truth().sequential_secs(&job.workload);
+        let run = provider
+            .run_job_at(name, 1, &job.workload, base + i as u64)
+            .expect("catalog instance");
+        seq / run.duration_secs
+    });
+    names
         .into_iter()
-        .map(|name| {
-            let speedups: Vec<f64> = jobs
-                .iter()
-                .map(|j| {
-                    let seq = provider.ground_truth().sequential_secs(&j.workload);
-                    let run = provider
-                        .run_job(&name, 1, &j.workload)
-                        .expect("catalog instance");
-                    seq / run.duration_secs
-                })
-                .collect();
-            (name, stats::mean(&speedups))
+        .enumerate()
+        .map(|(ni, name)| {
+            let slice = &speedups[ni * jobs.len()..(ni + 1) * jobs.len()];
+            (name, stats::mean(slice))
         })
         .collect()
 }
@@ -235,7 +244,7 @@ pub fn comparison(
     let highend = provider
         .run_job("m4.10xlarge", 1, &job.workload)
         .expect("catalog instance");
-    let cheap_name = table2(jobs, provider)
+    let cheap_name = table2(jobs, provider, 1)
         .into_iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
         .expect("catalog non-empty")
@@ -327,6 +336,7 @@ pub fn ablation_epsilon(
         max_nodes: cfg.max_nodes,
         min_kb_samples: 30,
         retrain_every: 10,
+        n_threads: cfg.n_threads.max(1),
     };
     let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0xEE);
     let mut rng = stream_rng(cfg.seed, 0xE9);
@@ -561,6 +571,7 @@ pub fn learning_curve(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -
         max_nodes: cfg.max_nodes,
         min_kb_samples: 30,
         retrain_every: 5,
+        n_threads: cfg.n_threads.max(1),
     };
     let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0x1EA2);
     let mut rng = stream_rng(cfg.seed, 0x1C);
@@ -768,6 +779,7 @@ mod tests {
             n_inner: 30,
             max_nodes: 4,
             seed: 11,
+            n_threads: 1,
         })
     }
 
@@ -793,13 +805,21 @@ mod tests {
     #[test]
     fn table2_costs_positive_and_differentiated() {
         let (_, provider, jobs) = small_campaign();
-        let t2 = table2(&jobs, &provider);
+        let t2 = table2(&jobs, &provider, 1);
         assert_eq!(t2.len(), 6);
         for (_, c) in &t2 {
             assert!(*c > 0.0);
         }
         let costs: Vec<f64> = t2.iter().map(|(_, c)| *c).collect();
         assert!(stats::std_dev(&costs) > 0.0);
+    }
+
+    #[test]
+    fn parallel_table2_and_fig4_match_sequential() {
+        let (_, seq_provider, jobs) = small_campaign();
+        let (_, par_provider, _) = small_campaign();
+        assert_eq!(table2(&jobs, &seq_provider, 1), table2(&jobs, &par_provider, 4));
+        assert_eq!(fig4(&jobs, &seq_provider, 1), fig4(&jobs, &par_provider, 4));
     }
 
     #[test]
@@ -818,7 +838,7 @@ mod tests {
     #[test]
     fn fig4_speedups_in_paper_band() {
         let (_, provider, jobs) = small_campaign();
-        for (name, s) in fig4(&jobs, &provider) {
+        for (name, s) in fig4(&jobs, &provider, 1) {
             assert!((2.0..12.0).contains(&s), "{name}: speedup {s}");
         }
     }
@@ -857,6 +877,7 @@ mod tests {
             n_inner: 30,
             max_nodes: 6,
             seed: 17,
+            n_threads: 1,
         };
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
         let greedy = ablation_epsilon(&cfg, &jobs, 0.0, 120);
@@ -913,6 +934,7 @@ mod tests {
             n_inner: 30,
             max_nodes: 4,
             seed: 23,
+            n_threads: 1,
         };
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
         let lc = learning_curve(&cfg, &jobs, 200);

@@ -20,7 +20,8 @@
 use crate::predictor::PredictorFamily;
 use crate::profile::JobProfile;
 use crate::CoreError;
-use disar_cloudsim::InstanceCatalog;
+use disar_cloudsim::{InstanceCatalog, InstanceType};
+use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -48,6 +49,13 @@ pub struct Selection {
     /// Every feasible configuration, sorted by cost ascending (diagnostic;
     /// the head is the greedy choice).
     pub feasible: Vec<CandidateConfig>,
+    /// Number of `(m, n)` cells whose ensemble-mean prediction was
+    /// non-positive and therefore rejected before candidate construction.
+    /// A non-positive predicted time would yield `predicted_cost = 0`,
+    /// which sorts first and wins the greedy argmin — a nonsense pick the
+    /// paper's deadline discussion warns about. Non-zero values signal the
+    /// family is extrapolating badly for this job.
+    pub rejected_nonpositive: usize,
 }
 
 /// How the per-model predictions are combined into the `time` Algorithm 1
@@ -120,6 +128,35 @@ pub fn select_configuration_with_rule(
     seed: u64,
     rule: TimeEstimate,
 ) -> Result<Selection, CoreError> {
+    select_configuration_with_rule_threads(
+        family, catalog, profile, t_max, max_nodes, epsilon, seed, rule, 1,
+    )
+}
+
+/// [`select_configuration_with_rule`] with the `(m, n)` grid sweep spread
+/// over up to `n_threads` worker threads.
+///
+/// Every cell's 6-model prediction is independent, so the sweep is a
+/// deterministic parallel map: per-cell results are written by index and
+/// folded in the sequential loop's order, making the outcome bit-identical
+/// to `n_threads = 1` for any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`select_configuration`], plus
+/// [`CoreError::InvalidParameter`] for `n_threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn select_configuration_with_rule_threads(
+    family: &PredictorFamily,
+    catalog: &InstanceCatalog,
+    profile: &JobProfile,
+    t_max: f64,
+    max_nodes: usize,
+    epsilon: f64,
+    seed: u64,
+    rule: TimeEstimate,
+    n_threads: usize,
+) -> Result<Selection, CoreError> {
     if !(t_max > 0.0) {
         return Err(CoreError::InvalidParameter("t_max must be positive"));
     }
@@ -132,29 +169,52 @@ pub fn select_configuration_with_rule(
     if catalog.is_empty() {
         return Err(CoreError::InvalidParameter("catalog is empty"));
     }
+    if n_threads == 0 {
+        return Err(CoreError::InvalidParameter("n_threads must be > 0"));
+    }
 
-    let mut feasible: Vec<CandidateConfig> = Vec::new();
-    let mut best_predicted = f64::INFINITY;
-    for n in 1..=max_nodes {
-        for inst in catalog.iter() {
+    // Enumerate the grid in the sequential loop's order, predict every cell
+    // in parallel, then fold the per-cell results back in that same order —
+    // identical `feasible` ordering, `best_predicted` and first-error
+    // propagation as the plain nested loop.
+    let cells: Vec<(usize, &InstanceType)> = (1..=max_nodes)
+        .flat_map(|n| catalog.iter().map(move |inst| (n, inst)))
+        .collect();
+    let evals: Vec<Result<(f64, f64), CoreError>> =
+        parallel_map(cells.len(), n_threads, |ci| {
+            let (n, inst) = cells[ci];
             let time = family.predict_mean(profile, inst, n)?;
             let filter_time = match rule {
                 TimeEstimate::EnsembleMean => time,
                 TimeEstimate::Conservative => family
                     .predict_each(profile, inst, n)?
                     .into_iter()
-                    .map(|(_, t)| t)
-                    .fold(0.0_f64, f64::max),
+                    .map(|(_, t)| t.max(0.0))
+                    .fold(f64::NEG_INFINITY, f64::max),
             };
-            best_predicted = best_predicted.min(filter_time);
-            if filter_time <= t_max {
-                feasible.push(CandidateConfig {
-                    instance: inst.name.clone(),
-                    n_nodes: n,
-                    predicted_secs: time,
-                    predicted_cost: inst.hourly_cost * (time / 3600.0) * n as f64,
-                });
-            }
+            Ok((time, filter_time))
+        });
+
+    let mut feasible: Vec<CandidateConfig> = Vec::new();
+    let mut best_predicted = f64::INFINITY;
+    let mut rejected_nonpositive = 0usize;
+    for ((n, inst), eval) in cells.into_iter().zip(evals) {
+        let (time, filter_time) = eval?;
+        best_predicted = best_predicted.min(filter_time);
+        // A non-positive mean prediction is a model artefact, not a
+        // 0-second job: it would produce `predicted_cost = 0` and steal
+        // the greedy argmin, so the cell is rejected outright.
+        if time <= 0.0 {
+            rejected_nonpositive += 1;
+            continue;
+        }
+        if filter_time <= t_max {
+            feasible.push(CandidateConfig {
+                instance: inst.name.clone(),
+                n_nodes: n,
+                predicted_secs: time,
+                predicted_cost: inst.hourly_cost * (time / 3600.0) * n as f64,
+            });
         }
     }
     if feasible.is_empty() {
@@ -182,6 +242,7 @@ pub fn select_configuration_with_rule(
         chosen,
         explored,
         feasible,
+        rejected_nonpositive,
     })
 }
 
@@ -371,5 +432,116 @@ mod tests {
         assert!(select_configuration(&fam, &cat, &p, 100.0, 4, 1.5, 1).is_err());
         let empty = InstanceCatalog::new();
         assert!(select_configuration(&fam, &empty, &p, 100.0, 4, 0.0, 1).is_err());
+        assert!(select_configuration_with_rule_threads(
+            &fam,
+            &cat,
+            &p,
+            100.0,
+            4,
+            0.0,
+            1,
+            TimeEstimate::EnsembleMean,
+            0,
+        )
+        .is_err());
+    }
+
+    /// A family trained on `time = base − slope · (nodes − 1)`: positive at
+    /// low node counts, increasingly negative beyond — the regime where the
+    /// clamped ensemble mean collapses to exactly `0.0`.
+    fn decreasing_target_family() -> (PredictorFamily, InstanceCatalog) {
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let mut kb = KnowledgeBase::new();
+        for i in 0..400 {
+            let inst = cat.get(&names[i % names.len()]).unwrap();
+            let nodes = i % 6 + 1;
+            let contracts = 50 + (i * 53) % 400;
+            let time = 500.0 - 400.0 * (nodes as f64 - 1.0);
+            kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
+        }
+        let mut fam = PredictorFamily::new(5, 2);
+        fam.retrain(&kb).unwrap();
+        (fam, cat)
+    }
+
+    #[test]
+    fn all_negative_predictions_are_rejected() {
+        // Every training target is negative, so every cell's clamped
+        // ensemble mean is 0.0. Before the non-positive guard, all cells
+        // were "feasible" at predicted_cost = 0 and the argmin returned a
+        // nonsense free configuration; now the sweep must report that no
+        // usable configuration exists.
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let mut kb = KnowledgeBase::new();
+        for i in 0..400 {
+            let inst = cat.get(&names[i % names.len()]).unwrap();
+            let nodes = i % 6 + 1;
+            let contracts = 50 + (i * 53) % 400;
+            let time = -(100.0 + contracts as f64);
+            kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
+        }
+        let mut fam = PredictorFamily::new(5, 2);
+        fam.retrain(&kb).unwrap();
+        let err = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.0, 1)
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::NoFeasibleConfiguration { .. }),
+            "expected NoFeasibleConfiguration, got {err}"
+        );
+    }
+
+    #[test]
+    fn zero_cost_candidates_never_win() {
+        // Mixed regime: low node counts predict positive times, high node
+        // counts collapse to the 0.0 clamp. The zero-cost cells must be
+        // counted in the diagnostics and excluded from the feasible set —
+        // previously one of them won the greedy argmin at cost 0.
+        let (fam, cat) = decreasing_target_family();
+        let sel =
+            select_configuration(&fam, &cat, &profile(200), 100_000.0, 6, 0.0, 1).unwrap();
+        assert!(
+            sel.rejected_nonpositive > 0,
+            "high-node cells should hit the clamp: {sel:?}"
+        );
+        for c in &sel.feasible {
+            assert!(c.predicted_secs > 0.0, "non-positive time survived: {c:?}");
+            assert!(c.predicted_cost > 0.0, "zero-cost candidate survived: {c:?}");
+        }
+        assert!(sel.chosen.predicted_cost > 0.0);
+    }
+
+    #[test]
+    fn threaded_sweep_is_bit_identical_to_sequential() {
+        let (fam, cat) = trained_family();
+        let p = profile(200);
+        let seq = select_configuration_with_rule_threads(
+            &fam,
+            &cat,
+            &p,
+            10_000.0,
+            6,
+            0.3,
+            9,
+            TimeEstimate::EnsembleMean,
+            1,
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let par = select_configuration_with_rule_threads(
+                &fam,
+                &cat,
+                &p,
+                10_000.0,
+                6,
+                0.3,
+                9,
+                TimeEstimate::EnsembleMean,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(seq, par, "divergence at n_threads = {threads}");
+        }
     }
 }

@@ -14,7 +14,7 @@
 //!    carrying out useful work";
 //! 4. **Retrain** the model family and go to 1 for the next simulation.
 
-use crate::algorithm::select_configuration;
+use crate::algorithm::{select_configuration_with_rule_threads, TimeEstimate};
 use crate::knowledge::{KnowledgeBase, RunRecord};
 use crate::predictor::PredictorFamily;
 use crate::profile::JobProfile;
@@ -54,11 +54,15 @@ pub struct DeployPolicy {
     /// every run, the paper's setting; larger values trade freshness for
     /// speed in large campaigns).
     pub retrain_every: usize,
+    /// Worker threads for Algorithm 1's grid sweep and the per-model
+    /// retrain. Results are bit-identical for any value; `1` (the default)
+    /// is the sequential escape hatch.
+    pub n_threads: usize,
 }
 
 impl DeployPolicy {
     /// Paper-like defaults: ε = 0.05, up to 8 nodes, 30-sample bootstrap,
-    /// retrain after every run.
+    /// retrain after every run, single-threaded.
     pub fn paper_defaults(t_max_secs: f64) -> Self {
         DeployPolicy {
             t_max_secs,
@@ -66,6 +70,7 @@ impl DeployPolicy {
             max_nodes: 8,
             min_kb_samples: 30,
             retrain_every: 1,
+            n_threads: 1,
         }
     }
 
@@ -81,6 +86,9 @@ impl DeployPolicy {
         }
         if self.retrain_every == 0 {
             return Err(CoreError::InvalidParameter("retrain_every must be > 0"));
+        }
+        if self.n_threads == 0 {
+            return Err(CoreError::InvalidParameter("n_threads must be > 0"));
         }
         Ok(())
     }
@@ -185,7 +193,7 @@ impl TransparentDeployer {
             return self.execute(profile, workload, &instance, n_nodes, DeployMode::Bootstrap, None);
         }
 
-        let selection = select_configuration(
+        let selection = select_configuration_with_rule_threads(
             &self.family,
             self.provider.catalog(),
             profile,
@@ -193,6 +201,8 @@ impl TransparentDeployer {
             self.policy.max_nodes,
             self.policy.epsilon,
             decision_seed,
+            TimeEstimate::EnsembleMean,
+            self.policy.n_threads,
         )?;
         let mode = if selection.explored {
             DeployMode::MlExplored
@@ -248,7 +258,7 @@ impl TransparentDeployer {
         self.policy.validate()?;
         self.deploy_counter += 1;
         let seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
-        let selection = crate::hetero::select_hetero_configuration(
+        let selection = crate::hetero::select_hetero_configuration_threads(
             &self.family,
             self.provider.catalog(),
             profile,
@@ -256,6 +266,7 @@ impl TransparentDeployer {
             self.policy.max_nodes,
             self.policy.epsilon,
             seed,
+            self.policy.n_threads,
         )?;
         let report = self
             .provider
@@ -309,7 +320,8 @@ impl TransparentDeployer {
         if self.kb.len() >= self.policy.min_kb_samples.max(2)
             && self.runs_since_retrain >= self.policy.retrain_every
         {
-            self.family.retrain(&self.kb)?;
+            self.family
+                .retrain_with_threads(&self.kb, self.policy.n_threads)?;
             self.runs_since_retrain = 0;
         }
         Ok(DeployOutcome {
@@ -352,6 +364,7 @@ mod tests {
             max_nodes: 4,
             min_kb_samples: 8,
             retrain_every: 1,
+            n_threads: 1,
         };
         TransparentDeployer::new(provider, policy, seed)
     }
@@ -490,6 +503,7 @@ mod tests {
             max_nodes: 3,
             min_kb_samples: 4,
             retrain_every: 5,
+            n_threads: 1,
         };
         let mut d = TransparentDeployer::new(provider, policy, 9);
         for i in 0..6 {
@@ -497,5 +511,43 @@ mod tests {
         }
         // Trained at run 5 (first multiple of 5 past the 4-sample floor).
         assert_eq!(d.family().trained_on(), 5);
+    }
+
+    #[test]
+    fn threaded_deployer_matches_sequential() {
+        // The full select → run → record → retrain loop must be
+        // bit-identical regardless of the thread count.
+        let run = |n_threads: usize| {
+            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 21);
+            let policy = DeployPolicy {
+                t_max_secs: 50_000.0,
+                epsilon: 0.05,
+                max_nodes: 4,
+                min_kb_samples: 8,
+                retrain_every: 1,
+                n_threads,
+            };
+            let mut d = TransparentDeployer::new(provider, policy, 21);
+            let outs: Vec<DeployOutcome> = (0..16)
+                .map(|i| {
+                    d.deploy(&profile(90 + i * 19), &workload(90 + i * 19))
+                        .unwrap()
+                })
+                .collect();
+            (outs, d.knowledge_base().clone())
+        };
+        let (seq_outs, seq_kb) = run(1);
+        let (par_outs, par_kb) = run(4);
+        assert_eq!(seq_outs, par_outs);
+        assert_eq!(seq_kb, par_kb);
+    }
+
+    #[test]
+    fn zero_thread_policy_is_rejected() {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 1);
+        let mut bad = DeployPolicy::paper_defaults(3600.0);
+        bad.n_threads = 0;
+        let mut d = TransparentDeployer::new(provider, bad, 1);
+        assert!(d.deploy(&profile(10), &workload(10)).is_err());
     }
 }

@@ -20,7 +20,8 @@
 use crate::predictor::PredictorFamily;
 use crate::profile::JobProfile;
 use crate::CoreError;
-use disar_cloudsim::{InstanceCatalog, NodeGroup};
+use disar_cloudsim::{InstanceCatalog, InstanceType, NodeGroup};
+use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,31 @@ pub fn select_hetero_configuration(
     epsilon: f64,
     seed: u64,
 ) -> Result<HeteroSelection, CoreError> {
+    select_hetero_configuration_threads(family, catalog, profile, t_max, max_nodes, epsilon, seed, 1)
+}
+
+/// [`select_hetero_configuration`] with the homogeneous prediction grid
+/// spread over up to `n_threads` worker threads.
+///
+/// Only the `|M| · max_nodes` ensemble predictions run in parallel — the
+/// mixing step is pure arithmetic on their results and stays sequential —
+/// so the selection is bit-identical to `n_threads = 1`.
+///
+/// # Errors
+///
+/// Same contract as [`select_hetero_configuration`], plus
+/// [`CoreError::InvalidParameter`] for `n_threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn select_hetero_configuration_threads(
+    family: &PredictorFamily,
+    catalog: &InstanceCatalog,
+    profile: &JobProfile,
+    t_max: f64,
+    max_nodes: usize,
+    epsilon: f64,
+    seed: u64,
+    n_threads: usize,
+) -> Result<HeteroSelection, CoreError> {
     if !(t_max > 0.0) {
         return Err(CoreError::InvalidParameter("t_max must be positive"));
     }
@@ -79,16 +105,28 @@ pub fn select_hetero_configuration(
     if catalog.is_empty() {
         return Err(CoreError::InvalidParameter("catalog is empty"));
     }
+    if n_threads == 0 {
+        return Err(CoreError::InvalidParameter("n_threads must be > 0"));
+    }
 
-    // Homogeneous predictions t[(m, n)] reused by the mixing step.
+    // Homogeneous predictions t[(m, n)] reused by the mixing step, laid
+    // out in the sequential loop's (type-major, node-minor) order and
+    // evaluated as a deterministic parallel map.
     let names = catalog.names();
-    let mut homo: Vec<(usize, usize, f64)> = Vec::new(); // (type idx, n, secs)
-    for (mi, name) in names.iter().enumerate() {
-        let inst = catalog.get(name)?;
-        for n in 1..=max_nodes {
-            let t = family.predict_mean(profile, inst, n)?.max(1e-9);
-            homo.push((mi, n, t));
-        }
+    let insts: Vec<&InstanceType> = names
+        .iter()
+        .map(|name| catalog.get(name))
+        .collect::<Result<_, _>>()?;
+    let cells: Vec<(usize, usize)> = (0..insts.len())
+        .flat_map(|mi| (1..=max_nodes).map(move |n| (mi, n)))
+        .collect();
+    let preds: Vec<Result<f64, CoreError>> = parallel_map(cells.len(), n_threads, |ci| {
+        let (mi, n) = cells[ci];
+        Ok(family.predict_mean(profile, insts[mi], n)?.max(1e-9))
+    });
+    let mut homo: Vec<(usize, usize, f64)> = Vec::with_capacity(cells.len());
+    for (&(mi, n), pred) in cells.iter().zip(preds) {
+        homo.push((mi, n, pred?));
     }
 
     let mut feasible: Vec<HeteroCandidate> = Vec::new();
@@ -295,6 +333,23 @@ mod tests {
         assert!(select_hetero_configuration(&fam, &cat, &p, 0.0, 4, 0.0, 1).is_err());
         assert!(select_hetero_configuration(&fam, &cat, &p, 100.0, 0, 0.0, 1).is_err());
         assert!(select_hetero_configuration(&fam, &cat, &p, 100.0, 4, -0.1, 1).is_err());
+        assert!(
+            select_hetero_configuration_threads(&fam, &cat, &p, 100.0, 4, 0.0, 1, 0).is_err()
+        );
+    }
+
+    #[test]
+    fn threaded_hetero_is_bit_identical_to_sequential() {
+        let (fam, cat) = trained_family();
+        let p = profile(250);
+        let seq =
+            select_hetero_configuration_threads(&fam, &cat, &p, 50_000.0, 5, 0.4, 11, 1).unwrap();
+        for threads in [2, 4, 9] {
+            let par =
+                select_hetero_configuration_threads(&fam, &cat, &p, 50_000.0, 5, 0.4, 11, threads)
+                    .unwrap();
+            assert_eq!(seq, par, "divergence at n_threads = {threads}");
+        }
     }
 
     #[test]

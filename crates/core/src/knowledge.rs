@@ -17,6 +17,7 @@ use crate::CoreError;
 use disar_cloudsim::InstanceType;
 use disar_ml::Dataset;
 use serde::{Deserialize, Serialize};
+use std::cell::{Ref, RefCell};
 use std::path::Path;
 
 /// One executed simulation: the ML training row.
@@ -98,9 +99,24 @@ impl RunRecord {
 }
 
 /// The persistent store of executed runs.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
     records: Vec<RunRecord>,
+    /// Featurized view of `records`, built lazily by [`KnowledgeBase::dataset`]
+    /// and kept in sync incrementally by [`KnowledgeBase::record`], so one
+    /// retrain featurizes the base once instead of once per model. Never
+    /// serialized; rebuilt on demand after a load.
+    #[serde(skip)]
+    cache: RefCell<Option<Dataset>>,
+}
+
+/// Equality is over the stored records only — the lazily built dataset
+/// cache is derived state and must not distinguish two bases (e.g. one
+/// freshly loaded from JSON from the original that already featurized).
+impl PartialEq for KnowledgeBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
 }
 
 impl KnowledgeBase {
@@ -111,6 +127,13 @@ impl KnowledgeBase {
 
     /// Appends one run.
     pub fn record(&mut self, record: RunRecord) {
+        let cache = self.cache.get_mut();
+        if let Some(d) = cache.as_mut() {
+            let in_sync = d.len() == self.records.len();
+            if !in_sync || d.push(record.features(), record.duration_secs).is_err() {
+                *cache = None;
+            }
+        }
         self.records.push(record);
     }
 
@@ -132,19 +155,47 @@ impl KnowledgeBase {
     /// Converts the whole base into an ML training set (target: measured
     /// execution time in seconds).
     ///
+    /// Clones out of the shared cache; callers that only need to read the
+    /// rows should prefer [`KnowledgeBase::dataset`].
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InsufficientKnowledge`] when empty.
     pub fn to_dataset(&self) -> Result<Dataset, CoreError> {
+        Ok(self.dataset()?.clone())
+    }
+
+    /// A shared view of the featurized base, built at most once per batch
+    /// of appended records.
+    ///
+    /// The first call (or the first call after a [`KnowledgeBase::load`] or
+    /// a cache invalidation) featurizes every record; subsequent calls and
+    /// records appended through [`KnowledgeBase::record`] reuse the cached
+    /// rows. Records are append-only, so a length match means the cache is
+    /// current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientKnowledge`] when empty.
+    pub fn dataset(&self) -> Result<Ref<'_, Dataset>, CoreError> {
         if self.records.is_empty() {
             return Err(CoreError::InsufficientKnowledge { have: 0, need: 1 });
         }
-        let mut d = Dataset::new(RunRecord::feature_names());
-        for r in &self.records {
-            d.push(r.features(), r.duration_secs)
-                .map_err(CoreError::from)?;
+        let stale = match &*self.cache.borrow() {
+            Some(d) => d.len() != self.records.len(),
+            None => true,
+        };
+        if stale {
+            let mut d = Dataset::new(RunRecord::feature_names());
+            for r in &self.records {
+                d.push(r.features(), r.duration_secs)
+                    .map_err(CoreError::from)?;
+            }
+            *self.cache.borrow_mut() = Some(d);
         }
-        Ok(d)
+        Ok(Ref::map(self.cache.borrow(), |c| {
+            c.as_ref().expect("cache populated above")
+        }))
     }
 
     /// Subset of records executed on the named instance type (per-instance
@@ -157,6 +208,7 @@ impl KnowledgeBase {
                 .filter(|r| r.instance == instance)
                 .cloned()
                 .collect(),
+            cache: RefCell::new(None),
         }
     }
 
@@ -293,5 +345,42 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let path = Path::new("/nonexistent/disar/kb.json");
         assert!(matches!(KnowledgeBase::load(path), Err(CoreError::Io(_))));
+    }
+
+    #[test]
+    fn cached_dataset_tracks_incremental_records() {
+        let mut kb = KnowledgeBase::new();
+        for i in 1..=10 {
+            kb.record(RunRecord::new(profile(i * 10), &instance(), 1, i as f64, 0.0));
+        }
+        // Build the cache, then append through it.
+        assert_eq!(kb.dataset().unwrap().len(), 10);
+        for i in 11..=15 {
+            kb.record(RunRecord::new(profile(i * 10), &instance(), 2, i as f64, 0.0));
+        }
+        // The incrementally maintained cache must match a from-scratch
+        // featurization of the same records.
+        let mut fresh = Dataset::new(RunRecord::feature_names());
+        for r in kb.records() {
+            fresh.push(r.features(), r.duration_secs).unwrap();
+        }
+        assert_eq!(*kb.dataset().unwrap(), fresh);
+        assert_eq!(kb.to_dataset().unwrap(), fresh);
+    }
+
+    #[test]
+    fn loaded_base_rebuilds_dataset() {
+        let mut kb = KnowledgeBase::new();
+        kb.record(RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07));
+        kb.record(RunRecord::new(profile(9), &instance(), 1, 42.0, 0.03));
+        let _ = kb.dataset().unwrap(); // warm the cache pre-save
+        let dir = std::env::temp_dir().join("disar-kb-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        kb.save(&path).unwrap();
+        let loaded = KnowledgeBase::load(&path).unwrap();
+        assert_eq!(kb, loaded);
+        assert_eq!(*loaded.dataset().unwrap(), *kb.dataset().unwrap());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -46,12 +46,15 @@ pub mod profile;
 mod error;
 
 pub use algorithm::{
-    select_configuration, select_configuration_with_rule, CandidateConfig, Selection,
-    TimeEstimate,
+    select_configuration, select_configuration_with_rule,
+    select_configuration_with_rule_threads, CandidateConfig, Selection, TimeEstimate,
 };
 pub use deploy::{DeployOutcome, DeployPolicy, TransparentDeployer};
 pub use error::CoreError;
-pub use hetero::{select_hetero_configuration, HeteroCandidate, HeteroSelection};
+pub use hetero::{
+    select_hetero_configuration, select_hetero_configuration_threads, HeteroCandidate,
+    HeteroSelection,
+};
 pub use knowledge::{KnowledgeBase, RunRecord};
 pub use predictor::PredictorFamily;
 pub use profile::JobProfile;

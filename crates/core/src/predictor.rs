@@ -14,7 +14,8 @@ use crate::knowledge::{KnowledgeBase, RunRecord};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::InstanceType;
-use disar_ml::{default_family, Regressor};
+use disar_math::parallel::parallel_map_mut;
+use disar_ml::{default_family, Dataset, Regressor};
 
 /// The six retrainable execution-time predictors.
 pub struct PredictorFamily {
@@ -64,15 +65,41 @@ impl PredictorFamily {
     /// Returns [`CoreError::InsufficientKnowledge`] below `min_samples`
     /// and propagates model-training failures.
     pub fn retrain(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
+        self.retrain_with_threads(kb, 1)
+    }
+
+    /// [`PredictorFamily::retrain`] with the per-model fits spread over up
+    /// to `n_threads` worker threads.
+    ///
+    /// Every model owns its RNG state and trains against a shared immutable
+    /// view of the featurized knowledge base (built once, cached by the
+    /// base), so the fits are order-independent and the trained family is
+    /// bit-identical to `n_threads = 1`. Fit errors are surfaced in model
+    /// order, matching the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain`], plus
+    /// [`CoreError::InvalidParameter`] for `n_threads == 0`.
+    pub fn retrain_with_threads(
+        &mut self,
+        kb: &KnowledgeBase,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        if n_threads == 0 {
+            return Err(CoreError::InvalidParameter("n_threads must be > 0"));
+        }
         if kb.len() < self.min_samples {
             return Err(CoreError::InsufficientKnowledge {
                 have: kb.len(),
                 need: self.min_samples,
             });
         }
-        let data = kb.to_dataset()?;
-        for m in &mut self.models {
-            m.fit(&data)?;
+        let data_ref = kb.dataset()?;
+        let data: &Dataset = &data_ref;
+        let results = parallel_map_mut(&mut self.models, n_threads, |_, m| m.fit(data));
+        for r in results {
+            r?;
         }
         self.trained_on = kb.len();
         Ok(())
@@ -213,5 +240,35 @@ mod tests {
         assert_eq!(fam.trained_on(), 50);
         fam.retrain(&filled_kb(80)).unwrap();
         assert_eq!(fam.trained_on(), 80);
+    }
+
+    #[test]
+    fn threaded_retrain_is_bit_identical_to_sequential() {
+        let kb = filled_kb(150);
+        let cat = InstanceCatalog::paper_catalog();
+        let mut seq = PredictorFamily::new(11, 2);
+        seq.retrain_with_threads(&kb, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let mut par = PredictorFamily::new(11, 2);
+            par.retrain_with_threads(&kb, threads).unwrap();
+            assert_eq!(par.trained_on(), seq.trained_on());
+            for name in cat.names() {
+                let inst = cat.get(&name).unwrap();
+                for n in [1usize, 3, 6] {
+                    let a = seq.predict_each(&profile(180), inst, n).unwrap();
+                    let b = par.predict_each(&profile(180), inst, n).unwrap();
+                    assert_eq!(a, b, "divergence at n_threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let mut fam = PredictorFamily::new(3, 2);
+        assert!(matches!(
+            fam.retrain_with_threads(&filled_kb(50), 0),
+            Err(CoreError::InvalidParameter(_))
+        ));
     }
 }

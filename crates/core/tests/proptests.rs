@@ -148,6 +148,7 @@ proptest! {
                 max_nodes: 4,
                 min_kb_samples: 3,
                 retrain_every: 2,
+                n_threads: 1,
             };
             let mut d = TransparentDeployer::new(provider, policy, seed);
             let wl = Workload::new(5_000.0, 4.0, 40.0, 0.05).expect("valid");

@@ -153,6 +153,32 @@ mod tests {
     }
 
     #[test]
+    fn regression_graham_bound_case() {
+        // Shrunken proptest case from tests/properties.proptest-regressions
+        // (`lpt_invariants`), pinned as a named unit test. LPT sorts to
+        // [1, 2, 0, 3]; items 1 and 2 land on units 0 and 1, then both
+        // remaining items stack on unit 2 — the makespan is the sum of the
+        // largest and smallest item and must stay within Graham's bound.
+        let costs = [
+            89.16616312347239,
+            91.77390791426042,
+            91.25261144936896,
+            65.68923378877567,
+        ];
+        let m = 3;
+        let s = lpt_schedule(&costs, m).unwrap();
+        let mut seen: Vec<usize> = s.assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!((s.makespan() - (costs[0] + costs[3])).abs() < 1e-12);
+        let total: f64 = costs.iter().sum();
+        let max_item = costs.iter().cloned().fold(0.0, f64::max);
+        let graham = total / m as f64 + (1.0 - 1.0 / m as f64) * max_item;
+        assert!(s.makespan() <= graham + 1e-9, "{} > {graham}", s.makespan());
+        assert!(s.makespan() >= (total / m as f64).max(max_item) - 1e-9);
+    }
+
+    #[test]
     fn balanced_within_graham_bound() {
         // Graham's list-scheduling bound holds for any list order, hence
         // for LPT: makespan <= total/m + (1 - 1/m) * max_item. (The tighter

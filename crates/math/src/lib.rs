@@ -12,6 +12,10 @@
 //!   derivation so that every Monte Carlo path gets an independent,
 //!   reproducible generator, and Gaussian sampling via the Marsaglia polar
 //!   method (the workspace deliberately avoids `rand_distr`);
+//! - [`parallel`]: deterministic data-parallel maps on crossbeam scoped
+//!   threads (results written by index, `n_threads = 1` escape hatch) used
+//!   by the ALM nested Monte Carlo, Algorithm 1's configuration sweep, the
+//!   predictor retrain loop and the bench campaign driver;
 //! - [`poly`]: orthonormal polynomial bases (Laguerre, probabilists' Hermite,
 //!   Chebyshev) and multivariate total-degree tensor bases for the
 //!   Least-Squares Monte Carlo technique of Bauer, Reuss & Singer (2012)
@@ -29,6 +33,7 @@
 //! ```
 
 pub mod matrix;
+pub mod parallel;
 pub mod poly;
 pub mod regression;
 pub mod rng;

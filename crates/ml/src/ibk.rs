@@ -109,19 +109,36 @@ impl Regressor for IbK {
             });
         }
         let q = f.scaler.transform(x);
-        // Collect (distance², index); partial sort for the k smallest.
-        let mut dists: Vec<(f64, usize)> = f
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let d2: f64 = r.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
-                (d2, i)
-            })
-            .collect();
-        let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
-        let neighbours = &dists[..k];
+        // The k smallest (distance², index), kept sorted ascending. A row is
+        // abandoned mid-sum once its partial distance exceeds the current
+        // k-th best: only rows whose *full* distance is strictly worse are
+        // dropped, so the neighbour set matches a full scan (ties at the
+        // boundary resolve to the lowest row index).
+        let k = self.k.min(f.rows.len());
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for (i, r) in f.rows.iter().enumerate() {
+            let threshold = if best.len() < k {
+                f64::INFINITY
+            } else {
+                best[k - 1].0
+            };
+            let mut d2 = 0.0;
+            let mut abandoned = false;
+            for (a, b) in r.iter().zip(&q) {
+                d2 += (a - b) * (a - b);
+                if d2 > threshold {
+                    abandoned = true;
+                    break;
+                }
+            }
+            if abandoned {
+                continue;
+            }
+            let pos = best.partition_point(|&(bd2, _)| bd2 <= d2);
+            best.insert(pos, (d2, i));
+            best.truncate(k);
+        }
+        let neighbours = &best[..k];
         match self.weighting {
             Weighting::Uniform => {
                 Ok(neighbours.iter().map(|&(_, i)| f.targets[i]).sum::<f64>() / k as f64)
@@ -219,6 +236,24 @@ mod tests {
         m.fit(&d).unwrap();
         let y = m.predict(&[5000.0, 1.0]).unwrap();
         assert!((y - 100.0).abs() < 1e-9, "got {y}");
+    }
+
+    #[test]
+    fn early_abandon_matches_brute_force_neighbours() {
+        // 1-D line: the 3 nearest to 17.3 are 17, 18, 16 → mean 17.
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..50 {
+            d.push(vec![i as f64], i as f64).unwrap();
+        }
+        let mut m = IbK::new(3);
+        m.fit(&d).unwrap();
+        assert!((m.predict(&[17.3]).unwrap() - 17.0).abs() < 1e-12);
+
+        // 2-D grid: the 4 nearest to (3.2, 7.1) are (3,7), (4,7), (3,8),
+        // (3,6) → targets 10, 11, 11, 9 → mean 10.25.
+        let mut m = IbK::new(4);
+        m.fit(&grid()).unwrap();
+        assert!((m.predict(&[3.2, 7.1]).unwrap() - 10.25).abs() < 1e-12);
     }
 
     #[test]

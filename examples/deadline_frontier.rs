@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_nodes: 8,
         min_kb_samples: 30,
         retrain_every: 5,
+        n_threads: 1,
     };
     let mut deployer = TransparentDeployer::new(provider, policy, 3);
     let mut rng = stream_rng(17, 0);

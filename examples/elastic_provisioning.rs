@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_nodes: 8,
         min_kb_samples: 25,
         retrain_every: 1,
+        n_threads: 1,
     };
     let mut deployer = TransparentDeployer::new(provider, policy, 1);
     let mut rng = stream_rng(99, 0);

@@ -59,6 +59,7 @@ fn self_optimizing_loop_learns_and_persists() {
         max_nodes: 4,
         min_kb_samples: 5,
         retrain_every: 1,
+        n_threads: 1,
     };
     let mut deployer = TransparentDeployer::new(provider, policy, 9);
 
@@ -161,6 +162,7 @@ fn knowledge_transfers_across_companies() {
         n_inner: 30,
         max_nodes: 4,
         seed: 404,
+        n_threads: 1,
     };
     let jobs = paper_eeb_jobs(&cfg);
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 404);

@@ -1,15 +1,37 @@
 //! Cross-crate property-based tests (proptest) on the system's core
 //! invariants.
 
+use disar_bench::campaign::{build_knowledge_base, CampaignConfig, EebJob};
 use disar_suite::actuarial::contracts::ProfitSharing;
 use disar_suite::actuarial::lapse::{ConstantLapse, LapseModel};
 use disar_suite::actuarial::mortality::LifeTable;
 use disar_suite::cloudsim::billing::{prorated_cost, BillingPolicy};
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_suite::core::{select_configuration, CoreError, PredictorFamily};
 use disar_suite::engine::scheduler::lpt_schedule;
 use disar_suite::math::poly::{MultiBasis, PolyFamily};
 use disar_suite::math::stats;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One trained family shared across `predicted_cost_matches_prorated_billing`
+/// cases — retraining on every proptest case would dominate the run time.
+fn trained_family() -> &'static (PredictorFamily, Vec<EebJob>) {
+    static FAMILY: OnceLock<(PredictorFamily, Vec<EebJob>)> = OnceLock::new();
+    FAMILY.get_or_init(|| {
+        let (kb, _, jobs) = build_knowledge_base(&CampaignConfig {
+            n_runs: 120,
+            n_outer: 200,
+            n_inner: 20,
+            max_nodes: 4,
+            seed: 11,
+            n_threads: 1,
+        });
+        let mut family = PredictorFamily::new(1, 2);
+        family.retrain(&kb).expect("120 runs are enough");
+        (family, jobs)
+    })
+}
 
 proptest! {
     /// Eq. (2)–(3): the readjustment factor is always ≥ 1 (the technical
@@ -150,5 +172,45 @@ proptest! {
         }
         // Slowest node defines the barrier: someone has zero idle.
         prop_assert!(r.idle_fractions.iter().any(|&f| f < 1e-9));
+    }
+
+    /// Algorithm 1's `predicted_cost` is exactly the prorated bill for the
+    /// predicted duration (`cloudsim::billing::prorated_cost`) and is
+    /// strictly positive for every feasible candidate — non-positive
+    /// predicted times are rejected before candidates are built.
+    #[test]
+    fn predicted_cost_matches_prorated_billing(
+        t_max in 500.0f64..200_000.0,
+        max_nodes in 1usize..8,
+        job_i in 0usize..15,
+        seed in 0u64..64,
+    ) {
+        let (family, jobs) = trained_family();
+        let catalog = InstanceCatalog::paper_catalog();
+        match select_configuration(
+            family,
+            &catalog,
+            &jobs[job_i].profile,
+            t_max,
+            max_nodes,
+            0.1,
+            seed,
+        ) {
+            Ok(sel) => {
+                for c in sel.feasible.iter().chain(std::iter::once(&sel.chosen)) {
+                    let inst = catalog.get(&c.instance).expect("candidate from catalog");
+                    let pro = prorated_cost(c.predicted_secs, inst.hourly_cost, c.n_nodes)
+                        .expect("positive predicted time");
+                    prop_assert!(c.predicted_secs > 0.0);
+                    prop_assert!(c.predicted_cost > 0.0);
+                    prop_assert!(
+                        (c.predicted_cost - pro).abs() <= 1e-9 * pro.max(1.0),
+                        "cost {} != prorated {pro}", c.predicted_cost
+                    );
+                }
+            }
+            Err(CoreError::NoFeasibleConfiguration { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
     }
 }
