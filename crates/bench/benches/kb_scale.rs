@@ -1,0 +1,195 @@
+//! Knowledge-base scale baselines for the incremental-retrain and indexed
+//! neighbour-search work: median wall time of (a) a one-record refit via
+//! `partial_fit` vs a from-scratch `fit`, and (b) an IBk indexed prediction
+//! vs the linear-scan reference, at knowledge-base sizes 10²–10⁵.
+//!
+//! This is a hand-rolled harness (`harness = false`) rather than a
+//! criterion group because the acceptance numbers are persisted: the raw
+//! medians are written to `BENCH_retrain.json` and `BENCH_select.json` at
+//! the repo root, where the CI history can diff them. Regenerate with
+//!
+//! ```text
+//! cargo bench -p disar-bench --bench kb_scale
+//! ```
+
+use disar_math::rng::stream_rng;
+use disar_ml::{Dataset, IbK, IncrementalRegressor, KStar, Regressor};
+use rand::Rng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 5] = [100, 1_000, 10_000, 50_000, 100_000];
+
+/// A synthetic knowledge base with the record-feature shape of the real
+/// one: correlated, noisy, strictly deterministic in `seed`.
+fn synthetic(n: usize, seed: u64) -> Dataset {
+    let names: Vec<String> = ["contracts", "horizon", "vcpus", "speed", "nodes"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rng = stream_rng(seed, 0xB51);
+    let mut data = Dataset::new(names);
+    for _ in 0..n {
+        let contracts = rng.gen_range(50.0..450.0_f64);
+        let horizon = rng.gen_range(10.0..50.0_f64);
+        let vcpus = [4.0, 8.0, 16.0, 36.0, 40.0][rng.gen_range(0..5)];
+        let speed = rng.gen_range(0.8..1.4_f64);
+        let nodes = rng.gen_range(1.0..8.0_f64).floor();
+        let t = contracts * horizon / (vcpus * speed * nodes) * rng.gen_range(0.9..1.1);
+        data.push(vec![contracts, horizon, vcpus, speed, nodes], t)
+            .expect("shape is fixed");
+    }
+    data
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+#[derive(Serialize)]
+struct RetrainRow {
+    model: &'static str,
+    kb_size: usize,
+    full_fit_ns: u128,
+    incremental_fit_ns: u128,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SelectRow {
+    kb_size: usize,
+    ibk_linear_ns: u128,
+    ibk_indexed_ns: u128,
+    speedup: f64,
+    kstar_predict_ns: u128,
+}
+
+#[derive(Serialize)]
+struct Report<T: Serialize> {
+    generated_by: &'static str,
+    rows: Vec<T>,
+}
+
+/// Median time of one `partial_fit` of the last record vs one from-scratch
+/// `fit` of all `n + 1` records, for a model warm on the `n`-row prefix.
+fn retrain_row<M>(model: &'static str, fresh: &M, n: usize, reps: usize) -> RetrainRow
+where
+    M: Regressor + IncrementalRegressor + Clone,
+{
+    let data = synthetic(n + 1, 20_160_627);
+    // Warm state = fitted on the n-row prefix, so the timed `partial_fit`
+    // appends exactly one record.
+    let prefix = Dataset::from_rows(
+        data.feature_names().to_vec(),
+        data.rows()[..n].to_vec(),
+        data.targets()[..n].to_vec(),
+    )
+    .expect("prefix is consistent");
+    let mut warm = fresh.clone();
+    warm.fit(&prefix).expect("valid data");
+
+    let full_fit_ns = median(
+        (0..reps)
+            .map(|_| {
+                let mut m = fresh.clone();
+                let t = Instant::now();
+                m.fit(&data).expect("valid data");
+                let ns = t.elapsed().as_nanos();
+                black_box(&m);
+                ns
+            })
+            .collect(),
+    );
+    let incremental_fit_ns = median(
+        (0..reps)
+            .map(|_| {
+                let mut m = warm.clone();
+                let t = Instant::now();
+                m.partial_fit(&data, n).expect("prefix extends");
+                let ns = t.elapsed().as_nanos();
+                black_box(&m);
+                ns
+            })
+            .collect(),
+    );
+    RetrainRow {
+        model,
+        kb_size: n,
+        full_fit_ns,
+        incremental_fit_ns,
+        speedup: full_fit_ns as f64 / incremental_fit_ns.max(1) as f64,
+    }
+}
+
+fn select_row(n: usize, reps: usize) -> SelectRow {
+    let data = synthetic(n, 20_160_627);
+    let mut ibk = IbK::new(3);
+    ibk.fit(&data).expect("valid data");
+    let mut kstar = KStar::new(20.0);
+    kstar.fit(&data).expect("valid data");
+    let queries: Vec<Vec<f64>> = synthetic(32, 9).rows().to_vec();
+
+    let time_queries = |f: &dyn Fn(&[f64]) -> f64| {
+        median(
+            (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    for q in &queries {
+                        black_box(f(q));
+                    }
+                    t.elapsed().as_nanos() / queries.len() as u128
+                })
+                .collect(),
+        )
+    };
+    let ibk_linear_ns = time_queries(&|q| ibk.predict_linear(q).expect("fitted"));
+    let ibk_indexed_ns = time_queries(&|q| ibk.predict(q).expect("fitted"));
+    let kstar_predict_ns = time_queries(&|q| kstar.predict(q).expect("fitted"));
+    SelectRow {
+        kb_size: n,
+        ibk_linear_ns,
+        ibk_indexed_ns,
+        speedup: ibk_linear_ns as f64 / ibk_indexed_ns.max(1) as f64,
+        kstar_predict_ns,
+    }
+}
+
+fn write_report<T: Serialize>(name: &str, rows: Vec<T>) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    let report = Report {
+        generated_by: "cargo bench -p disar-bench --bench kb_scale",
+        rows,
+    };
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("repo root is writable");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`, filters); this harness
+    // always runs the full sweep, so the argv is deliberately ignored.
+    let mut retrain_rows = Vec::new();
+    let mut select_rows = Vec::new();
+    for &n in &SIZES {
+        let reps = if n >= 50_000 { 5 } else { 15 };
+        retrain_rows.push(retrain_row("IBk", &IbK::new(3), n, reps));
+        retrain_rows.push(retrain_row("KStar", &KStar::new(20.0), n, reps));
+        select_rows.push(select_row(n, reps));
+        let last = &retrain_rows[retrain_rows.len() - 2..];
+        println!(
+            "kb_size {n:>7}: IBk refit {:.1}x, KStar refit {:.1}x, IBk index {:.1}x",
+            last[0].speedup,
+            last[1].speedup,
+            select_rows.last().expect("just pushed").speedup
+        );
+    }
+    write_report("BENCH_retrain.json", retrain_rows);
+    write_report("BENCH_select.json", select_rows);
+}

@@ -47,6 +47,8 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     /// §IV: "1500 runs", `nQ = 50`, `nP = 1000 for illustrative purposes".
+    /// `n_threads` defaults to the available cores (results are
+    /// thread-count invariant; set `1` for the sequential escape hatch).
     fn default() -> Self {
         CampaignConfig {
             n_runs: 1500,
@@ -54,7 +56,7 @@ impl Default for CampaignConfig {
             n_inner: 50,
             max_nodes: 8,
             seed: 20160627, // ICDCS 2016 opening day
-            n_threads: 1,
+            n_threads: disar_math::parallel::default_n_threads(),
         }
     }
 }

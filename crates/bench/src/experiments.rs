@@ -46,24 +46,50 @@ pub struct Table1 {
 /// each of the six classifiers on 40 % of that type's runs and report the
 /// signed mean error on the remaining 60 %.
 pub fn table1(kb: &KnowledgeBase, catalog: &InstanceCatalog, seed: u64) -> Table1 {
+    table1_threads(kb, catalog, seed, 1)
+}
+
+/// [`table1`] with the `instances × models` train/evaluate cells spread
+/// over up to `n_threads` workers. Every cell depends only on its
+/// instance's (deterministic) split and its own model seed, so the table
+/// is bit-identical to the sequential loop for any thread count.
+pub fn table1_threads(
+    kb: &KnowledgeBase,
+    catalog: &InstanceCatalog,
+    seed: u64,
+    n_threads: usize,
+) -> Table1 {
     let instances = catalog.names();
     let models: Vec<String> = ModelKind::ALL
         .iter()
         .map(|k| k.abbreviation().to_string())
         .collect();
+    // Per-instance splits are cheap; precompute them sequentially so the
+    // workers share plain `Dataset`s (the knowledge base's dataset cache is
+    // not Sync).
+    let splits: Vec<_> = instances
+        .iter()
+        .map(|inst| {
+            kb.for_instance(inst)
+                .to_dataset()
+                .expect("campaign covers every instance")
+                .split(TABLE1_TRAIN_FRACTION, seed)
+                .expect("instance subsets are large enough")
+        })
+        .collect();
+    let total = instances.len() * ModelKind::ALL.len();
+    let cells = parallel_map(total, n_threads.max(1), |i| {
+        let (ii, mi) = (i / ModelKind::ALL.len(), i % ModelKind::ALL.len());
+        let (train, test) = &splits[ii];
+        let mut model = ModelKind::ALL[mi].instantiate(seed ^ (mi as u64) << 8);
+        model.fit(train).expect("training succeeds");
+        evaluate(model.as_ref(), test)
+            .expect("evaluation succeeds")
+            .bias
+    });
     let mut bias = vec![vec![f64::NAN; instances.len()]; models.len()];
-    for (ii, inst) in instances.iter().enumerate() {
-        let sub = kb.for_instance(inst);
-        let data = sub.to_dataset().expect("campaign covers every instance");
-        let (train, test) = data
-            .split(TABLE1_TRAIN_FRACTION, seed)
-            .expect("instance subsets are large enough");
-        for (mi, kind) in ModelKind::ALL.iter().enumerate() {
-            let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
-            model.fit(&train).expect("training succeeds");
-            let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
-            bias[mi][ii] = ev.bias;
-        }
+    for (i, b) in cells.into_iter().enumerate() {
+        bias[i % ModelKind::ALL.len()][i / ModelKind::ALL.len()] = b;
     }
     Table1 {
         instances,
@@ -114,24 +140,32 @@ pub struct Fig2Point {
 /// Figure 2: per-model predicted-vs-real pairs on a held-out 60 % split of
 /// the whole knowledge base.
 pub fn fig2(kb: &KnowledgeBase, seed: u64) -> Vec<Fig2Point> {
+    fig2_threads(kb, seed, 1)
+}
+
+/// [`fig2`] with the six model fits spread over up to `n_threads` workers,
+/// concatenating the per-model point runs in model order — bit-identical
+/// to the sequential loop for any thread count.
+pub fn fig2_threads(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
     let data = kb.to_dataset().expect("knowledge base is non-empty");
     let (train, test) = data
         .split(TABLE1_TRAIN_FRACTION, seed)
         .expect("knowledge base is large enough");
-    let mut points = Vec::new();
-    for (mi, kind) in ModelKind::ALL.iter().enumerate() {
+    let per_model = parallel_map(ModelKind::ALL.len(), n_threads.max(1), |mi| {
+        let kind = ModelKind::ALL[mi];
         let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
         model.fit(&train).expect("training succeeds");
         let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
-        for (real, predicted) in ev.pairs {
-            points.push(Fig2Point {
+        ev.pairs
+            .into_iter()
+            .map(|(real, predicted)| Fig2Point {
                 model: kind.abbreviation().to_string(),
                 real,
                 predicted,
-            });
-        }
-    }
-    points
+            })
+            .collect::<Vec<_>>()
+    });
+    per_model.into_iter().flatten().collect()
 }
 
 /// Figure 3: the pooled error histogram.
@@ -287,17 +321,32 @@ pub fn comparison(
 /// Ablation: accuracy of each single model vs the six-model average on a
 /// held-out split. Returns `(name, bias, rmse)` rows, ensemble last.
 pub fn ablation_ensemble(kb: &KnowledgeBase, seed: u64) -> Vec<(String, f64, f64)> {
+    ablation_ensemble_threads(kb, seed, 1)
+}
+
+/// [`ablation_ensemble`] with the six member fits spread over up to
+/// `n_threads` workers; the ensemble is then assembled from the fitted
+/// members in model order, so the rows are bit-identical to sequential.
+pub fn ablation_ensemble_threads(
+    kb: &KnowledgeBase,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<(String, f64, f64)> {
     let data = kb.to_dataset().expect("knowledge base is non-empty");
     let (train, test) = data
         .split(TABLE1_TRAIN_FRACTION, seed)
         .expect("knowledge base is large enough");
-    let mut fitted: Vec<Box<dyn Regressor>> = Vec::new();
-    let mut rows = Vec::new();
-    for (mi, kind) in ModelKind::ALL.iter().enumerate() {
+    let per_model = parallel_map(ModelKind::ALL.len(), n_threads.max(1), |mi| {
+        let kind = ModelKind::ALL[mi];
         let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
         model.fit(&train).expect("training succeeds");
         let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
-        rows.push((kind.abbreviation().to_string(), ev.bias, ev.rmse));
+        ((kind.abbreviation().to_string(), ev.bias, ev.rmse), model)
+    });
+    let mut fitted: Vec<Box<dyn Regressor>> = Vec::with_capacity(per_model.len());
+    let mut rows = Vec::with_capacity(per_model.len() + 1);
+    for (row, model) in per_model {
+        rows.push(row);
         fitted.push(model);
     }
     let ensemble = disar_ml::Ensemble::new(fitted);
@@ -369,7 +418,7 @@ pub fn ablation_epsilon(
 
 /// Ablation: heterogeneous (mixed-type) deploys vs homogeneous Algorithm 1
 /// — the paper's §VI future work, quantified.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HeteroAblationRow {
     /// The deadline tested.
     pub t_max: f64,
@@ -387,8 +436,27 @@ pub fn ablation_hetero(
     provider: &CloudProvider,
     seed: u64,
 ) -> Vec<HeteroAblationRow> {
+    ablation_hetero_threads(kb, jobs, provider, seed, 1)
+}
+
+/// [`ablation_hetero`] split into two phases so the sweep parallelizes:
+/// selections first (pure reads of the trained family), then the realized
+/// runs. Homogeneous runs draw reserved noise-stream slots in deadline
+/// order — exactly the indices the sequential loop's `run_job` calls would
+/// consume — and heterogeneous runs are counter-free (explicit seed), so
+/// the rows are bit-identical for any thread count.
+pub fn ablation_hetero_threads(
+    kb: &KnowledgeBase,
+    jobs: &[EebJob],
+    provider: &CloudProvider,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<HeteroAblationRow> {
+    let n_threads = n_threads.max(1);
     let mut family = PredictorFamily::new(seed, 2);
-    family.retrain(kb).expect("knowledge base is large enough");
+    family
+        .retrain_with_threads(kb, n_threads)
+        .expect("knowledge base is large enough");
     let job = jobs
         .iter()
         .max_by(|a, b| {
@@ -408,61 +476,88 @@ pub fn ablation_hetero(
         .map(|c| c.predicted_secs)
         .fold(f64::INFINITY, f64::min);
 
-    [0.8, 1.0, 1.5, 3.0]
+    const MULTS: [f64; 4] = [0.8, 1.0, 1.5, 3.0];
+    let sels = parallel_map(MULTS.len(), n_threads, |i| {
+        let t_max = best_secs * MULTS[i];
+        let homo = select_configuration(
+            &family,
+            provider.catalog(),
+            &job.profile,
+            t_max,
+            4,
+            0.0,
+            seed,
+        )
+        .ok();
+        let hetero = select_hetero_configuration(
+            &family,
+            provider.catalog(),
+            &job.profile,
+            t_max,
+            4,
+            0.0,
+            seed,
+        )
+        .ok();
+        (t_max, homo, hetero)
+    });
+
+    // Only feasible homogeneous picks consume provider noise slots, in
+    // deadline order.
+    let mut n_homo = 0u64;
+    let homo_slot: Vec<u64> = sels
         .iter()
-        .map(|&mult| {
-            let t_max = best_secs * mult;
-            let homo = select_configuration(
-                &family,
-                provider.catalog(),
-                &job.profile,
-                t_max,
-                4,
-                0.0,
-                seed,
-            )
-            .ok()
-            .map(|sel| {
-                let r = provider
-                    .run_job(&sel.chosen.instance, sel.chosen.n_nodes, &job.workload)
-                    .expect("valid instance");
-                (
-                    sel.chosen.instance.clone(),
-                    sel.chosen.n_nodes,
-                    r.duration_secs,
-                    r.prorated_cost,
-                )
-            });
-            let hetero = select_hetero_configuration(
-                &family,
-                provider.catalog(),
-                &job.profile,
-                t_max,
-                4,
-                0.0,
-                seed,
-            )
-            .ok()
-            .map(|sel| {
-                let desc = sel
-                    .chosen
-                    .groups
-                    .iter()
-                    .map(|g| format!("{}x{}", g.instance, g.n_nodes))
-                    .collect::<Vec<_>>()
-                    .join("+");
-                let r = provider
-                    .run_hetero_job_with_seed(&sel.chosen.groups, &job.workload, seed ^ 0x4E7)
-                    .expect("valid groups");
-                (desc, r.duration_secs, r.prorated_cost)
-            });
-            HeteroAblationRow { t_max, homo, hetero }
+        .map(|(_, homo, _)| {
+            let slot = n_homo;
+            if homo.is_some() {
+                n_homo += 1;
+            }
+            slot
         })
-        .collect()
+        .collect();
+    let base = provider.reserve_runs(n_homo);
+
+    parallel_map(MULTS.len(), n_threads, |i| {
+        let (t_max, homo_sel, hetero_sel) = &sels[i];
+        let homo = homo_sel.as_ref().map(|sel| {
+            let r = provider
+                .run_job_at(
+                    &sel.chosen.instance,
+                    sel.chosen.n_nodes,
+                    &job.workload,
+                    base + homo_slot[i],
+                )
+                .expect("valid instance");
+            (
+                sel.chosen.instance.clone(),
+                sel.chosen.n_nodes,
+                r.duration_secs,
+                r.prorated_cost,
+            )
+        });
+        let hetero = hetero_sel.as_ref().map(|sel| {
+            let desc = sel
+                .chosen
+                .groups
+                .iter()
+                .map(|g| format!("{}x{}", g.instance, g.n_nodes))
+                .collect::<Vec<_>>()
+                .join("+");
+            let r = provider
+                .run_hetero_job_with_seed(&sel.chosen.groups, &job.workload, seed ^ 0x4E7)
+                .expect("valid groups");
+            (desc, r.duration_secs, r.prorated_cost)
+        });
+        HeteroAblationRow {
+            t_max: *t_max,
+            homo,
+            hetero,
+        }
+    })
 }
 
 /// Ablation: ensemble-mean vs conservative (worst-member) deadline filter.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DeadlineRuleAblation {
     /// Rule name.
     pub rule: String,
@@ -482,59 +577,121 @@ pub fn ablation_deadline_rule(
     provider: &CloudProvider,
     seed: u64,
 ) -> Vec<DeadlineRuleAblation> {
+    ablation_deadline_rule_threads(kb, jobs, provider, seed, 1)
+}
+
+/// [`ablation_deadline_rule`] split into two phases so the
+/// `rules × jobs × deadlines` sweep parallelizes: every selection is a
+/// pure read of the trained family, and the realized runs draw reserved
+/// noise-stream slots in the sequential loop's (rule, job, deadline)
+/// order — only feasible cases consume a slot, exactly as the sequential
+/// `run_job` calls would. Bit-identical for any thread count.
+pub fn ablation_deadline_rule_threads(
+    kb: &KnowledgeBase,
+    jobs: &[EebJob],
+    provider: &CloudProvider,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<DeadlineRuleAblation> {
+    let n_threads = n_threads.max(1);
     let mut family = PredictorFamily::new(seed, 2);
-    family.retrain(kb).expect("knowledge base is large enough");
+    family
+        .retrain_with_threads(kb, n_threads)
+        .expect("knowledge base is large enough");
     let rules = [
         ("mean", TimeEstimate::EnsembleMean),
         ("conservative", TimeEstimate::Conservative),
     ];
+    const MULTS: [f64; 3] = [1.05, 1.3, 2.0];
+
+    // Per-job deadline anchor: a deadline near the best mean prediction —
+    // tight enough that optimistic filtering risks violations. The anchor
+    // is rule-independent.
+    let best: Vec<f64> = parallel_map(jobs.len(), n_threads, |ji| {
+        let loose = select_configuration(
+            &family,
+            provider.catalog(),
+            &jobs[ji].profile,
+            1e12,
+            6,
+            0.0,
+            seed,
+        )
+        .expect("feasible at infinite deadline");
+        loose
+            .feasible
+            .iter()
+            .map(|c| c.predicted_secs)
+            .fold(f64::INFINITY, f64::min)
+    });
+
+    // Every (rule, job, deadline) selection, rule-major like the
+    // sequential loop.
+    let per_rule = jobs.len() * MULTS.len();
+    let total = rules.len() * per_rule;
+    let sels = parallel_map(total, n_threads, |i| {
+        let (ri, rem) = (i / per_rule, i % per_rule);
+        let (ji, mi) = (rem / MULTS.len(), rem % MULTS.len());
+        let t_max = best[ji] * MULTS[mi];
+        let sel = select_configuration_with_rule(
+            &family,
+            provider.catalog(),
+            &jobs[ji].profile,
+            t_max,
+            6,
+            0.0,
+            seed ^ ji as u64,
+            rules[ri].1,
+        )
+        .ok();
+        (t_max, sel)
+    });
+
+    // Feasible cases consume provider noise slots in sweep order.
+    let mut n_runs = 0u64;
+    let run_slot: Vec<u64> = sels
+        .iter()
+        .map(|(_, sel)| {
+            let slot = n_runs;
+            if sel.is_some() {
+                n_runs += 1;
+            }
+            slot
+        })
+        .collect();
+    let base = provider.reserve_runs(n_runs);
+    let runs = parallel_map(total, n_threads, |i| {
+        let ji = (i % per_rule) / MULTS.len();
+        sels[i].1.as_ref().map(|sel| {
+            provider
+                .run_job_at(
+                    &sel.chosen.instance,
+                    sel.chosen.n_nodes,
+                    &jobs[ji].workload,
+                    base + run_slot[i],
+                )
+                .expect("valid instance")
+        })
+    });
+
     rules
         .iter()
-        .map(|(name, rule)| {
+        .enumerate()
+        .map(|(ri, (name, _))| {
             let mut feasible_cases = 0;
             let mut misses = 0;
             let mut costs = Vec::new();
-            for (ji, job) in jobs.iter().enumerate() {
-                // A deadline near the best mean prediction: tight enough
-                // that optimistic filtering risks violations.
-                let loose = select_configuration(
-                    &family,
-                    provider.catalog(),
-                    &job.profile,
-                    1e12,
-                    6,
-                    0.0,
-                    seed,
-                )
-                .expect("feasible at infinite deadline");
-                let best = loose
-                    .feasible
-                    .iter()
-                    .map(|c| c.predicted_secs)
-                    .fold(f64::INFINITY, f64::min);
-                for mult in [1.05, 1.3, 2.0] {
-                    let t_max = best * mult;
-                    let Ok(sel) = select_configuration_with_rule(
-                        &family,
-                        provider.catalog(),
-                        &job.profile,
-                        t_max,
-                        6,
-                        0.0,
-                        seed ^ ji as u64,
-                        *rule,
-                    ) else {
-                        continue;
-                    };
-                    feasible_cases += 1;
-                    let r = provider
-                        .run_job(&sel.chosen.instance, sel.chosen.n_nodes, &job.workload)
-                        .expect("valid instance");
-                    if r.duration_secs > t_max {
-                        misses += 1;
-                    }
-                    costs.push(r.prorated_cost);
+            for i in ri * per_rule..(ri + 1) * per_rule {
+                let (t_max, sel) = &sels[i];
+                if sel.is_none() {
+                    continue;
                 }
+                feasible_cases += 1;
+                let r = runs[i].as_ref().expect("a run for every feasible case");
+                if r.duration_secs > *t_max {
+                    misses += 1;
+                }
+                costs.push(r.prorated_cost);
             }
             DeadlineRuleAblation {
                 rule: name.to_string(),
@@ -820,6 +977,51 @@ mod tests {
         let (_, par_provider, _) = small_campaign();
         assert_eq!(table2(&jobs, &seq_provider, 1), table2(&jobs, &par_provider, 4));
         assert_eq!(fig4(&jobs, &seq_provider, 1), fig4(&jobs, &par_provider, 4));
+    }
+
+    #[test]
+    fn parallel_table1_fig2_ensemble_match_sequential() {
+        let (kb, provider, _) = small_campaign();
+        let seq = table1(&kb, provider.catalog(), 1);
+        let par = table1_threads(&kb, provider.catalog(), 1, 4);
+        assert_eq!(seq.instances, par.instances);
+        assert_eq!(seq.models, par.models);
+        assert_eq!(seq.bias, par.bias);
+
+        let f_seq = fig2(&kb, 3);
+        let f_par = fig2_threads(&kb, 3, 4);
+        assert_eq!(f_seq.len(), f_par.len());
+        for (a, b) in f_seq.iter().zip(&f_par) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.real.to_bits(), b.real.to_bits());
+            assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
+        }
+
+        let e_seq = ablation_ensemble(&kb, 2);
+        let e_par = ablation_ensemble_threads(&kb, 2, 4);
+        assert_eq!(e_seq.len(), e_par.len());
+        for (a, b) in e_seq.iter().zip(&e_par) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_hetero_and_deadline_ablations_match_sequential() {
+        // Separate providers so both variants see identical noise-stream
+        // positions; the ablations run back-to-back on each, which also
+        // checks that both leave the stream at the same point.
+        let (kb, seq_provider, jobs) = small_campaign();
+        let (_, par_provider, _) = small_campaign();
+        assert_eq!(
+            ablation_hetero(&kb, &jobs, &seq_provider, 3),
+            ablation_hetero_threads(&kb, &jobs, &par_provider, 3, 4)
+        );
+        assert_eq!(
+            ablation_deadline_rule(&kb, &jobs, &seq_provider, 5),
+            ablation_deadline_rule_threads(&kb, &jobs, &par_provider, 5, 4)
+        );
     }
 
     #[test]

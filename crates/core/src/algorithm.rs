@@ -17,7 +17,7 @@
 //! The ε-branch "allows to enlarge the knowledge base, possibly reducing
 //! the number of false positives on the expected execution time".
 
-use crate::predictor::PredictorFamily;
+use crate::predictor::TimePredictor;
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{InstanceCatalog, InstanceType};
@@ -91,8 +91,8 @@ pub enum TimeEstimate {
 /// - [`CoreError::Ml`] if the family is untrained;
 /// - [`CoreError::NoFeasibleConfiguration`] when the deadline is
 ///   unattainable.
-pub fn select_configuration(
-    family: &PredictorFamily,
+pub fn select_configuration<P: TimePredictor + ?Sized>(
+    family: &P,
     catalog: &InstanceCatalog,
     profile: &JobProfile,
     t_max: f64,
@@ -118,8 +118,8 @@ pub fn select_configuration(
 ///
 /// Same contract as [`select_configuration`].
 #[allow(clippy::too_many_arguments)]
-pub fn select_configuration_with_rule(
-    family: &PredictorFamily,
+pub fn select_configuration_with_rule<P: TimePredictor + ?Sized>(
+    family: &P,
     catalog: &InstanceCatalog,
     profile: &JobProfile,
     t_max: f64,
@@ -146,8 +146,8 @@ pub fn select_configuration_with_rule(
 /// Same contract as [`select_configuration`], plus
 /// [`CoreError::InvalidParameter`] for `n_threads == 0`.
 #[allow(clippy::too_many_arguments)]
-pub fn select_configuration_with_rule_threads(
-    family: &PredictorFamily,
+pub fn select_configuration_with_rule_threads<P: TimePredictor + ?Sized>(
+    family: &P,
     catalog: &InstanceCatalog,
     profile: &JobProfile,
     t_max: f64,
@@ -250,6 +250,7 @@ pub fn select_configuration_with_rule_threads(
 mod tests {
     use super::*;
     use crate::knowledge::{KnowledgeBase, RunRecord};
+    use crate::predictor::PredictorFamily;
     use disar_engine::EebCharacteristics;
 
     fn profile(contracts: usize) -> JobProfile {

@@ -15,8 +15,8 @@
 //! 4. **Retrain** the model family and go to 1 for the next simulation.
 
 use crate::algorithm::{select_configuration_with_rule_threads, TimeEstimate};
-use crate::knowledge::{KnowledgeBase, RunRecord};
-use crate::predictor::PredictorFamily;
+use crate::knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
+use crate::predictor::{PredictorFamily, ShardedPredictor};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{CloudProvider, JobReport, Workload};
@@ -62,7 +62,9 @@ pub struct DeployPolicy {
 
 impl DeployPolicy {
     /// Paper-like defaults: ε = 0.05, up to 8 nodes, 30-sample bootstrap,
-    /// retrain after every run, single-threaded.
+    /// retrain after every run, one worker thread per available core
+    /// (results are thread-count invariant; set `n_threads: 1` for the
+    /// sequential escape hatch).
     pub fn paper_defaults(t_max_secs: f64) -> Self {
         DeployPolicy {
             t_max_secs,
@@ -70,7 +72,7 @@ impl DeployPolicy {
             max_nodes: 8,
             min_kb_samples: 30,
             retrain_every: 1,
-            n_threads: 1,
+            n_threads: disar_math::parallel::default_n_threads(),
         }
     }
 
@@ -332,6 +334,205 @@ impl TransparentDeployer {
     }
 }
 
+/// The self-optimizing deployer over the sharded knowledge layout.
+///
+/// Behaviourally a [`TransparentDeployer`] whose records land in
+/// per-instance-type shards ([`ShardedKnowledgeBase`]) with one predictor
+/// family per shard ([`ShardedPredictor`]): a recorded run dirties exactly
+/// one shard and the after-run retrain touches only that shard's records —
+/// O(shard) instead of O(total base) on the hot path.
+///
+/// Two structural differences from the monolithic loop follow from the
+/// layout:
+///
+/// - the bootstrap phase runs until the base holds `min_kb_samples` runs
+///   **and** every catalog type has a trained shard (Algorithm 1's sweep
+///   queries all types, and an untrained shard cannot answer);
+/// - shards retrain as soon as they hold the family's minimum sample
+///   count, independent of the global bootstrap threshold.
+pub struct ShardedDeployer {
+    provider: CloudProvider,
+    policy: DeployPolicy,
+    kb: ShardedKnowledgeBase,
+    predictor: ShardedPredictor,
+    seed: u64,
+    deploy_counter: u64,
+    runs_since_retrain: usize,
+}
+
+impl ShardedDeployer {
+    /// Creates a sharded deployer with an empty knowledge base.
+    pub fn new(provider: CloudProvider, policy: DeployPolicy, seed: u64) -> Self {
+        ShardedDeployer {
+            provider,
+            policy,
+            kb: ShardedKnowledgeBase::new(),
+            predictor: ShardedPredictor::new(seed, 2),
+            seed,
+            deploy_counter: 0,
+            runs_since_retrain: 0,
+        }
+    }
+
+    /// Seeds the deployer with a pre-existing sharded base (e.g. loaded
+    /// from disk, or [`ShardedKnowledgeBase::from_monolithic`]). Call
+    /// [`ShardedDeployer::warm`] afterwards to train the shards without
+    /// waiting for fresh runs.
+    pub fn with_knowledge_base(mut self, kb: ShardedKnowledgeBase) -> Self {
+        self.kb = kb;
+        self
+    }
+
+    /// The current sharded knowledge base.
+    pub fn knowledge_base(&self) -> &ShardedKnowledgeBase {
+        &self.kb
+    }
+
+    /// The per-shard predictor (e.g. for offline evaluation).
+    pub fn predictor(&self) -> &ShardedPredictor {
+        &self.predictor
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &DeployPolicy {
+        &self.policy
+    }
+
+    /// The underlying cloud provider.
+    pub fn provider(&self) -> &CloudProvider {
+        &self.provider
+    }
+
+    /// Retrains every shard holding enough records — the bulk warm-up for
+    /// a pre-seeded base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard-retrain failure.
+    pub fn warm(&mut self) -> Result<(), CoreError> {
+        self.policy.validate()?;
+        self.predictor
+            .retrain_all_with_threads(&self.kb, self.policy.n_threads)
+    }
+
+    fn catalog_covered(&self) -> bool {
+        self.provider
+            .catalog()
+            .names()
+            .iter()
+            .all(|n| self.predictor.is_trained_for(n))
+    }
+
+    /// Deploys one job: the full select → run → record → retrain-one-shard
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation, Algorithm 1 (including
+    /// [`CoreError::NoFeasibleConfiguration`]) and cloud failures.
+    pub fn deploy(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+    ) -> Result<DeployOutcome, CoreError> {
+        self.policy.validate()?;
+        self.deploy_counter += 1;
+        let decision_seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
+
+        if self.kb.len() < self.policy.min_kb_samples || !self.catalog_covered() {
+            let (instance, n_nodes) = self.random_config(decision_seed);
+            return self.execute(profile, workload, &instance, n_nodes, DeployMode::Bootstrap, None);
+        }
+
+        let selection = select_configuration_with_rule_threads(
+            &self.predictor,
+            self.provider.catalog(),
+            profile,
+            self.policy.t_max_secs,
+            self.policy.max_nodes,
+            self.policy.epsilon,
+            decision_seed,
+            TimeEstimate::EnsembleMean,
+            self.policy.n_threads,
+        )?;
+        let mode = if selection.explored {
+            DeployMode::MlExplored
+        } else {
+            DeployMode::MlGreedy
+        };
+        let instance = selection.chosen.instance.clone();
+        let predicted = selection.chosen.predicted_secs;
+        self.execute(
+            profile,
+            workload,
+            &instance,
+            selection.chosen.n_nodes,
+            mode,
+            Some(predicted),
+        )
+    }
+
+    /// Deploys with an operator-forced configuration (manual override);
+    /// the run is still recorded and learned from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud failures (unknown instance, zero nodes).
+    pub fn deploy_manual(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployOutcome, CoreError> {
+        self.policy.validate()?;
+        self.deploy_counter += 1;
+        self.execute(profile, workload, instance, n_nodes, DeployMode::Manual, None)
+    }
+
+    fn random_config(&self, seed: u64) -> (String, usize) {
+        let mut rng = stream_rng(seed, 0xB00F);
+        let names = self.provider.catalog().names();
+        let instance = names[rng.gen_range(0..names.len())].clone();
+        let n_nodes = rng.gen_range(1..=self.policy.max_nodes);
+        (instance, n_nodes)
+    }
+
+    fn execute(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+        instance: &str,
+        n_nodes: usize,
+        mode: DeployMode,
+        predicted_secs: Option<f64>,
+    ) -> Result<DeployOutcome, CoreError> {
+        let report = self.provider.run_job(instance, n_nodes, workload)?;
+        let inst = self.provider.catalog().get(instance)?.clone();
+        self.kb.record(RunRecord::new(
+            *profile,
+            &inst,
+            n_nodes,
+            report.duration_secs,
+            report.prorated_cost,
+        ));
+        self.runs_since_retrain += 1;
+        if self.runs_since_retrain >= self.policy.retrain_every {
+            let shard = self.kb.shard(instance).expect("record() created the shard");
+            if shard.len() >= self.predictor.min_samples() {
+                self.predictor
+                    .retrain_shard_with_threads(instance, shard, self.policy.n_threads)?;
+                self.runs_since_retrain = 0;
+            }
+        }
+        Ok(DeployOutcome {
+            mode,
+            predicted_secs,
+            report,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,5 +750,116 @@ mod tests {
         bad.n_threads = 0;
         let mut d = TransparentDeployer::new(provider, bad, 1);
         assert!(d.deploy(&profile(10), &workload(10)).is_err());
+    }
+
+    #[test]
+    fn paper_defaults_use_available_parallelism() {
+        let p = DeployPolicy::paper_defaults(3600.0);
+        assert_eq!(p.n_threads, disar_math::parallel::default_n_threads());
+        assert!(p.n_threads >= 1);
+    }
+
+    fn sharded_deployer(seed: u64) -> ShardedDeployer {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+        let policy = DeployPolicy {
+            t_max_secs: 50_000.0,
+            epsilon: 0.05,
+            max_nodes: 4,
+            min_kb_samples: 8,
+            retrain_every: 1,
+            n_threads: 1,
+        };
+        ShardedDeployer::new(provider, policy, seed)
+    }
+
+    #[test]
+    fn sharded_bootstrap_reaches_ml_phase() {
+        // Bootstrap must run until every catalog type has a trained shard;
+        // from then on deploys are ML-driven and each one retrains only the
+        // shard it recorded into.
+        let mut d = sharded_deployer(17);
+        let mut ml_at = None;
+        for i in 0..200 {
+            let c = 80 + (i * 19) % 300;
+            let out = d.deploy(&profile(c), &workload(c)).unwrap();
+            match out.mode {
+                DeployMode::Bootstrap => {
+                    assert!(ml_at.is_none(), "bootstrap after the ML phase began")
+                }
+                _ => {
+                    if ml_at.is_none() {
+                        ml_at = Some(i);
+                    }
+                    assert!(out.predicted_secs.is_some());
+                }
+            }
+            if i >= ml_at.map_or(usize::MAX, |at| at + 5) {
+                break;
+            }
+        }
+        let at = ml_at.expect("ML phase never reached in 200 deploys");
+        // Coverage needs two records in each of the six shards, so the
+        // first ML deploy cannot come before the 13th.
+        assert!(at >= 12, "ML phase began after only {at} bootstrap runs");
+        let cat = InstanceCatalog::paper_catalog();
+        for name in cat.names() {
+            assert!(d.predictor().is_trained_for(&name));
+        }
+        assert_eq!(d.knowledge_base().len() as u64, {
+            let mut n = 0;
+            for (_, s) in d.knowledge_base().shards() {
+                n += s.len() as u64;
+            }
+            n
+        });
+    }
+
+    #[test]
+    fn sharded_deployer_is_deterministic() {
+        let run = || {
+            let mut d = sharded_deployer(23);
+            (0..30)
+                .map(|i| {
+                    let c = 70 + (i * 13) % 250;
+                    d.deploy(&profile(c), &workload(c)).unwrap()
+                })
+                .collect::<Vec<DeployOutcome>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn preseeded_sharded_kb_warms_and_skips_bootstrap() {
+        // Bootstrap one deployer past coverage, transplant its base into a
+        // fresh deployer, warm(), and the first deploy is already ML.
+        let mut first = sharded_deployer(29);
+        for i in 0..120 {
+            let c = 60 + (i * 23) % 280;
+            let out = first.deploy(&profile(c), &workload(c)).unwrap();
+            if out.mode != DeployMode::Bootstrap {
+                break;
+            }
+        }
+        let kb = first.knowledge_base().clone();
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 31);
+        let mut second = ShardedDeployer::new(provider, *first.policy(), 31).with_knowledge_base(kb);
+        second.warm().unwrap();
+        let out = second.deploy(&profile(150), &workload(150)).unwrap();
+        assert!(matches!(
+            out.mode,
+            DeployMode::MlGreedy | DeployMode::MlExplored
+        ));
+    }
+
+    #[test]
+    fn sharded_manual_deploy_records_into_one_shard() {
+        let mut d = sharded_deployer(37);
+        let out = d
+            .deploy_manual(&profile(100), &workload(100), "m4.10xlarge", 2)
+            .unwrap();
+        assert_eq!(out.mode, DeployMode::Manual);
+        assert_eq!(d.knowledge_base().len(), 1);
+        assert_eq!(d.knowledge_base().shard_count(), 1);
+        assert_eq!(d.knowledge_base().shard("m4.10xlarge").unwrap().len(), 1);
     }
 }

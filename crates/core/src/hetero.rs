@@ -17,7 +17,7 @@
 //! training data is needed to start exploring mixed deploys, which is why
 //! the paper could leave this as a drop-in extension.
 
-use crate::predictor::PredictorFamily;
+use crate::predictor::TimePredictor;
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{InstanceCatalog, InstanceType, NodeGroup};
@@ -59,8 +59,8 @@ pub struct HeteroSelection {
 /// [`CoreError::InvalidParameter`] for bad arguments, [`CoreError::Ml`] for
 /// an untrained family, [`CoreError::NoFeasibleConfiguration`] when the
 /// deadline is unattainable.
-pub fn select_hetero_configuration(
-    family: &PredictorFamily,
+pub fn select_hetero_configuration<P: TimePredictor + ?Sized>(
+    family: &P,
     catalog: &InstanceCatalog,
     profile: &JobProfile,
     t_max: f64,
@@ -83,8 +83,8 @@ pub fn select_hetero_configuration(
 /// Same contract as [`select_hetero_configuration`], plus
 /// [`CoreError::InvalidParameter`] for `n_threads == 0`.
 #[allow(clippy::too_many_arguments)]
-pub fn select_hetero_configuration_threads(
-    family: &PredictorFamily,
+pub fn select_hetero_configuration_threads<P: TimePredictor + ?Sized>(
+    family: &P,
     catalog: &InstanceCatalog,
     profile: &JobProfile,
     t_max: f64,
@@ -209,6 +209,7 @@ pub fn select_hetero_configuration_threads(
 mod tests {
     use super::*;
     use crate::knowledge::{KnowledgeBase, RunRecord};
+    use crate::predictor::PredictorFamily;
     use disar_engine::EebCharacteristics;
 
     fn profile(contracts: usize) -> JobProfile {

@@ -234,6 +234,139 @@ impl KnowledgeBase {
     }
 }
 
+/// A knowledge base partitioned by instance type — the million-record-scale
+/// layout of the self-optimizing loop.
+///
+/// Each shard is a plain [`KnowledgeBase`] holding the records of one
+/// instance type (with its own incrementally maintained featurized
+/// [`Dataset`] cache), so `record()` touches exactly one shard and a
+/// per-shard retrain scales with that shard's size, not the total base.
+/// The global arrival order is kept alongside the shards, so the exact
+/// monolithic record stream can always be reconstructed
+/// ([`ShardedKnowledgeBase::to_monolithic`]) — sharding never loses or
+/// reorders information.
+///
+/// Equality (like [`KnowledgeBase`]'s) is over records and arrival order
+/// only, never over derived caches.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardedKnowledgeBase {
+    names: Vec<String>,
+    shards: Vec<KnowledgeBase>,
+    /// Shard slot of each record, in global arrival order.
+    arrival: Vec<u32>,
+}
+
+impl ShardedKnowledgeBase {
+    /// Creates an empty sharded base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sharded base holding the same record stream as `kb`.
+    pub fn from_monolithic(kb: &KnowledgeBase) -> Self {
+        let mut sharded = ShardedKnowledgeBase::new();
+        for r in kb.records() {
+            sharded.record(r.clone());
+        }
+        sharded
+    }
+
+    /// Appends one run to the shard owning its instance type (creating the
+    /// shard on first sight of the type). Only that shard's dataset cache
+    /// is touched.
+    pub fn record(&mut self, record: RunRecord) {
+        let slot = match self.names.iter().position(|n| *n == record.instance) {
+            Some(slot) => slot,
+            None => {
+                self.names.push(record.instance.clone());
+                self.shards.push(KnowledgeBase::new());
+                self.names.len() - 1
+            }
+        };
+        self.arrival.push(slot as u32);
+        self.shards[slot].record(record);
+    }
+
+    /// Total number of stored runs across all shards.
+    pub fn len(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// `true` when no runs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.arrival.is_empty()
+    }
+
+    /// Number of shards (distinct instance types seen).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Instance-type names with a shard, in first-seen order.
+    pub fn shard_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The shard holding the named instance type's records.
+    pub fn shard(&self, instance: &str) -> Option<&KnowledgeBase> {
+        self.names
+            .iter()
+            .position(|n| n == instance)
+            .map(|slot| &self.shards[slot])
+    }
+
+    /// Iterates `(instance name, shard)` pairs in first-seen order.
+    pub fn shards(&self) -> impl Iterator<Item = (&str, &KnowledgeBase)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.shards.iter())
+    }
+
+    /// Iterates every record in global arrival order — the exact stream a
+    /// monolithic [`KnowledgeBase`] fed the same runs would hold.
+    pub fn records_in_arrival_order(&self) -> impl Iterator<Item = &RunRecord> + '_ {
+        let mut cursors = vec![0usize; self.shards.len()];
+        self.arrival.iter().map(move |&slot| {
+            let slot = slot as usize;
+            let r = &self.shards[slot].records()[cursors[slot]];
+            cursors[slot] += 1;
+            r
+        })
+    }
+
+    /// Reconstructs the equivalent monolithic base (records in arrival
+    /// order).
+    pub fn to_monolithic(&self) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for r in self.records_in_arrival_order() {
+            kb.record(r.clone());
+        }
+        kb
+    }
+
+    /// Saves the sharded base as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a base previously written with [`ShardedKnowledgeBase::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn load(path: &Path) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +499,107 @@ mod tests {
         }
         assert_eq!(*kb.dataset().unwrap(), fresh);
         assert_eq!(kb.to_dataset().unwrap(), fresh);
+    }
+
+    /// An interleaved multi-instance record stream for sharding tests.
+    fn mixed_records(n: usize) -> Vec<RunRecord> {
+        let cat = disar_cloudsim::InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        (0..n)
+            .map(|i| {
+                let inst = cat.get(&names[i % names.len()]).unwrap();
+                RunRecord::new(
+                    profile(50 + (i * 37) % 400),
+                    inst,
+                    i % 4 + 1,
+                    10.0 + i as f64,
+                    0.01 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_routes_records_by_instance() {
+        let mut skb = ShardedKnowledgeBase::new();
+        for r in mixed_records(30) {
+            skb.record(r);
+        }
+        assert_eq!(skb.len(), 30);
+        assert!(!skb.is_empty());
+        let n_types = disar_cloudsim::InstanceCatalog::paper_catalog()
+            .names()
+            .len();
+        assert_eq!(skb.shard_count(), n_types);
+        for (name, shard) in skb.shards() {
+            assert_eq!(shard.len(), 30 / n_types);
+            assert!(shard.records().iter().all(|r| r.instance == name));
+        }
+        assert!(skb.shard("no-such-type").is_none());
+    }
+
+    #[test]
+    fn sharded_preserves_arrival_order() {
+        let records = mixed_records(25);
+        let mut skb = ShardedKnowledgeBase::new();
+        let mut mono = KnowledgeBase::new();
+        for r in &records {
+            skb.record(r.clone());
+            mono.record(r.clone());
+        }
+        let replayed: Vec<&RunRecord> = skb.records_in_arrival_order().collect();
+        assert_eq!(replayed.len(), records.len());
+        for (got, want) in replayed.iter().zip(&records) {
+            assert_eq!(*got, want);
+        }
+        assert_eq!(skb.to_monolithic(), mono);
+    }
+
+    #[test]
+    fn sharded_shard_matches_for_instance_filter() {
+        let mut skb = ShardedKnowledgeBase::new();
+        let mut mono = KnowledgeBase::new();
+        for r in mixed_records(24) {
+            skb.record(r.clone());
+            mono.record(r);
+        }
+        for name in skb.shard_names().to_vec() {
+            let shard = skb.shard(&name).unwrap();
+            assert_eq!(*shard, mono.for_instance(&name));
+            assert_eq!(
+                *shard.dataset().unwrap(),
+                *mono.for_instance(&name).dataset().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_from_monolithic_roundtrip() {
+        let mut mono = KnowledgeBase::new();
+        for r in mixed_records(18) {
+            mono.record(r);
+        }
+        let skb = ShardedKnowledgeBase::from_monolithic(&mono);
+        assert_eq!(skb.to_monolithic(), mono);
+    }
+
+    #[test]
+    fn sharded_save_load_roundtrip() {
+        let mut skb = ShardedKnowledgeBase::new();
+        for r in mixed_records(12) {
+            skb.record(r);
+        }
+        // Warm a shard cache pre-save; the cache is skipped, not serialized.
+        let first = skb.shard_names()[0].clone();
+        let _ = skb.shard(&first).unwrap().dataset().unwrap();
+        let dir = std::env::temp_dir().join("disar-skb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("skb.json");
+        skb.save(&path).unwrap();
+        let loaded = ShardedKnowledgeBase::load(&path).unwrap();
+        assert_eq!(skb, loaded);
+        assert_eq!(loaded.to_monolithic(), skb.to_monolithic());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

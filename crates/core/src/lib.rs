@@ -49,12 +49,12 @@ pub use algorithm::{
     select_configuration, select_configuration_with_rule,
     select_configuration_with_rule_threads, CandidateConfig, Selection, TimeEstimate,
 };
-pub use deploy::{DeployOutcome, DeployPolicy, TransparentDeployer};
+pub use deploy::{DeployOutcome, DeployPolicy, ShardedDeployer, TransparentDeployer};
 pub use error::CoreError;
 pub use hetero::{
     select_hetero_configuration, select_hetero_configuration_threads, HeteroCandidate,
     HeteroSelection,
 };
-pub use knowledge::{KnowledgeBase, RunRecord};
-pub use predictor::PredictorFamily;
+pub use knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
+pub use predictor::{PredictorFamily, ShardedPredictor, TimePredictor};
 pub use profile::JobProfile;

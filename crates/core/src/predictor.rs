@@ -10,17 +10,56 @@
 //! execution"), and queried both per-model (Table I) and ensemble-averaged
 //! (Algorithm 1).
 
-use crate::knowledge::{KnowledgeBase, RunRecord};
+use crate::knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::InstanceType;
 use disar_math::parallel::parallel_map_mut;
-use disar_ml::{default_family, Dataset, Regressor};
+use disar_ml::{default_family, Dataset, IncrementalRegressor, Regressor};
+use std::collections::BTreeMap;
+
+/// Anything Algorithm 1 can query for predicted execution times — the
+/// monolithic [`PredictorFamily`] or the per-instance-type
+/// [`ShardedPredictor`]. `Sync` so selection sweeps can share one predictor
+/// across worker threads.
+pub trait TimePredictor: Sync {
+    /// Per-model predicted times `p_x(m, n, f)`, paired with model names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if no trained model covers the query.
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(String, f64)>, CoreError>;
+
+    /// The ensemble-averaged predicted time (Algorithm 1's `time`),
+    /// floored at zero since times are non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TimePredictor::predict_each`].
+    fn predict_mean(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<f64, CoreError> {
+        let each = self.predict_each(profile, instance, n_nodes)?;
+        let mean = each.iter().map(|(_, t)| t).sum::<f64>() / each.len() as f64;
+        Ok(mean.max(0.0))
+    }
+}
 
 /// The six retrainable execution-time predictors.
 pub struct PredictorFamily {
     models: Vec<Box<dyn Regressor>>,
     trained_on: usize,
+    /// Fingerprint of the featurized prefix the family was trained on —
+    /// gates the incremental retrain path.
+    trained_fingerprint: u64,
     min_samples: usize,
 }
 
@@ -34,8 +73,30 @@ impl PredictorFamily {
         PredictorFamily {
             models: default_family(seed),
             trained_on: 0,
+            trained_fingerprint: 0,
             min_samples: min_samples.max(2),
         }
+    }
+
+    /// FNV-1a over the prefix length and the bit patterns of the boundary
+    /// rows (first and last) with their targets. A cheap O(dim) check that
+    /// the knowledge base grew by *appending* to the exact prefix the family
+    /// was trained on: any truncation, reordering or boundary edit changes
+    /// the hash and forces the full-refit path. Callers still own the
+    /// append-only discipline — the guard catches accidents, it is not
+    /// cryptographic.
+    fn fingerprint(data: &Dataset, len: usize) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = (0xcbf2_9ce4_8422_2325_u64 ^ len as u64).wrapping_mul(PRIME);
+        if len > 0 {
+            for i in [0, len - 1] {
+                for v in &data.rows()[i] {
+                    h = (h ^ v.to_bits()).wrapping_mul(PRIME);
+                }
+                h = (h ^ data.targets()[i].to_bits()).wrapping_mul(PRIME);
+            }
+        }
+        h
     }
 
     /// Number of models (always 6 for the paper's family).
@@ -59,6 +120,14 @@ impl PredictorFamily {
     }
 
     /// Retrains every model on the current knowledge base.
+    ///
+    /// When the base grew by appending to the prefix this family was last
+    /// trained on (verified by length + boundary fingerprint), models with
+    /// [`IncrementalRegressor`] support are fed only the appended records —
+    /// an O(new records) update for the instance-based learners — while the
+    /// rest refit from scratch behind the same call. Either path leaves the
+    /// family bit-identical to a from-scratch retrain on the full base; use
+    /// [`PredictorFamily::retrain_full`] to force the from-scratch path.
     ///
     /// # Errors
     ///
@@ -86,6 +155,39 @@ impl PredictorFamily {
         kb: &KnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
+        self.retrain_impl(kb, n_threads, false)
+    }
+
+    /// Retrains every model from scratch, ignoring any incrementally
+    /// reusable state — the reference the incremental path is measured
+    /// against (equal results, different cost).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain`].
+    pub fn retrain_full(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
+        self.retrain_impl(kb, 1, true)
+    }
+
+    /// [`PredictorFamily::retrain_full`] over up to `n_threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain_with_threads`].
+    pub fn retrain_full_with_threads(
+        &mut self,
+        kb: &KnowledgeBase,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        self.retrain_impl(kb, n_threads, true)
+    }
+
+    fn retrain_impl(
+        &mut self,
+        kb: &KnowledgeBase,
+        n_threads: usize,
+        force_full: bool,
+    ) -> Result<(), CoreError> {
         if n_threads == 0 {
             return Err(CoreError::InvalidParameter("n_threads must be > 0"));
         }
@@ -97,11 +199,24 @@ impl PredictorFamily {
         }
         let data_ref = kb.dataset()?;
         let data: &Dataset = &data_ref;
-        let results = parallel_map_mut(&mut self.models, n_threads, |_, m| m.fit(data));
+        let from = self.trained_on;
+        let incremental_ok = !force_full
+            && from > 0
+            && from <= data.len()
+            && Self::fingerprint(data, from) == self.trained_fingerprint;
+        let results = parallel_map_mut(&mut self.models, n_threads, |_, m| {
+            match m.as_incremental() {
+                Some(inc) if incremental_ok && inc.fitted_len() == from => {
+                    inc.partial_fit(data, from)
+                }
+                _ => m.fit(data),
+            }
+        });
         for r in results {
             r?;
         }
-        self.trained_on = kb.len();
+        self.trained_on = data.len();
+        self.trained_fingerprint = Self::fingerprint(data, data.len());
         Ok(())
     }
 
@@ -138,6 +253,140 @@ impl PredictorFamily {
         let each = self.predict_each(profile, instance, n_nodes)?;
         let mean = each.iter().map(|(_, t)| t).sum::<f64>() / each.len() as f64;
         Ok(mean.max(0.0))
+    }
+}
+
+impl TimePredictor for PredictorFamily {
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(String, f64)>, CoreError> {
+        PredictorFamily::predict_each(self, profile, instance, n_nodes)
+    }
+
+    fn predict_mean(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<f64, CoreError> {
+        PredictorFamily::predict_mean(self, profile, instance, n_nodes)
+    }
+}
+
+/// One [`PredictorFamily`] per instance-type shard of a
+/// [`ShardedKnowledgeBase`].
+///
+/// Queries route to the family owning the queried instance type and a
+/// `record()` on the base only ever dirties one shard, so the
+/// after-every-run retrain touches that shard's records instead of the
+/// whole base. Every family is created from the same `(seed, min_samples)`
+/// pair, so a shard's family is bit-identical to a monolithic
+/// [`PredictorFamily`] trained on
+/// [`KnowledgeBase::for_instance`] of the equivalent monolithic base.
+pub struct ShardedPredictor {
+    families: BTreeMap<String, PredictorFamily>,
+    seed: u64,
+    min_samples: usize,
+}
+
+impl ShardedPredictor {
+    /// Creates an empty sharded predictor; families materialize lazily on
+    /// the first retrain of their shard, all seeded identically.
+    pub fn new(seed: u64, min_samples: usize) -> Self {
+        ShardedPredictor {
+            families: BTreeMap::new(),
+            seed,
+            min_samples: min_samples.max(2),
+        }
+    }
+
+    /// The knowledge-base size below which a shard's training is refused.
+    pub fn min_samples(&self) -> usize {
+        self.min_samples
+    }
+
+    /// `true` once the named instance type has a trained family.
+    pub fn is_trained_for(&self, instance: &str) -> bool {
+        self.families
+            .get(instance)
+            .is_some_and(PredictorFamily::is_trained)
+    }
+
+    /// Number of shards with a trained family.
+    pub fn trained_shards(&self) -> usize {
+        self.families.values().filter(|f| f.is_trained()).count()
+    }
+
+    /// The family serving the named instance type, if it exists.
+    pub fn family(&self, instance: &str) -> Option<&PredictorFamily> {
+        self.families.get(instance)
+    }
+
+    /// Retrains (incrementally where possible) the family owning
+    /// `instance` on that shard's records, creating the family on first
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain_with_threads`].
+    pub fn retrain_shard_with_threads(
+        &mut self,
+        instance: &str,
+        shard: &KnowledgeBase,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        let seed = self.seed;
+        let min_samples = self.min_samples;
+        self.families
+            .entry(instance.to_string())
+            .or_insert_with(|| PredictorFamily::new(seed, min_samples))
+            .retrain_with_threads(shard, n_threads)
+    }
+
+    /// [`ShardedPredictor::retrain_shard_with_threads`] on one thread.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain`].
+    pub fn retrain_shard(&mut self, instance: &str, shard: &KnowledgeBase) -> Result<(), CoreError> {
+        self.retrain_shard_with_threads(instance, shard, 1)
+    }
+
+    /// Retrains every shard holding at least `min_samples` records —
+    /// the bulk warm-up after a load or bootstrap; smaller shards are
+    /// skipped, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard-retrain failure.
+    pub fn retrain_all_with_threads(
+        &mut self,
+        kb: &ShardedKnowledgeBase,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        for (name, shard) in kb.shards() {
+            if shard.len() >= self.min_samples {
+                self.retrain_shard_with_threads(name, shard, n_threads)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TimePredictor for ShardedPredictor {
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(String, f64)>, CoreError> {
+        match self.families.get(&instance.name) {
+            Some(f) if f.is_trained() => f.predict_each(profile, instance, n_nodes),
+            _ => Err(disar_ml::MlError::NotFitted.into()),
+        }
     }
 }
 
@@ -269,6 +518,102 @@ mod tests {
         assert!(matches!(
             fam.retrain_with_threads(&filled_kb(50), 0),
             Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    /// Predictions of two families must agree bitwise across the catalog.
+    fn assert_families_identical(a: &PredictorFamily, b: &PredictorFamily, what: &str) {
+        let cat = InstanceCatalog::paper_catalog();
+        for name in cat.names() {
+            let inst = cat.get(&name).unwrap();
+            for n in [1usize, 3] {
+                let pa = a.predict_each(&profile(180), inst, n).unwrap();
+                let pb = b.predict_each(&profile(180), inst, n).unwrap();
+                for ((ma, va), (mb, vb)) in pa.iter().zip(&pb) {
+                    assert_eq!(ma, mb);
+                    assert_eq!(
+                        va.to_bits(),
+                        vb.to_bits(),
+                        "{what}: {ma} diverges on {name} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_retrain_matches_full_refit() {
+        // filled_kb(80) extends filled_kb(50) by appending — the second
+        // retrain may feed the instance-based models only the 30 new rows,
+        // yet must land bit-identical to a from-scratch fit on all 80.
+        let mut inc = PredictorFamily::new(3, 2);
+        inc.retrain(&filled_kb(50)).unwrap();
+        inc.retrain(&filled_kb(80)).unwrap();
+        assert_eq!(inc.trained_on(), 80);
+        let mut full = PredictorFamily::new(3, 2);
+        full.retrain_full(&filled_kb(80)).unwrap();
+        assert_families_identical(&inc, &full, "incremental vs full");
+    }
+
+    #[test]
+    fn non_prefix_kb_falls_back_to_full_refit() {
+        // Same length, different order: the boundary fingerprint must
+        // reject the incremental path, leaving the family equal to a fresh
+        // fit on the new base (not a stale no-op on the old one).
+        let kb = filled_kb(60);
+        let mut rev = KnowledgeBase::new();
+        for r in kb.records().iter().rev() {
+            rev.record(r.clone());
+        }
+        let mut fam = PredictorFamily::new(9, 2);
+        fam.retrain(&kb).unwrap();
+        fam.retrain(&rev).unwrap();
+        let mut fresh = PredictorFamily::new(9, 2);
+        fresh.retrain(&rev).unwrap();
+        assert_families_identical(&fam, &fresh, "fingerprint fallback");
+    }
+
+    #[test]
+    fn shrunk_kb_falls_back_to_full_refit() {
+        let mut fam = PredictorFamily::new(4, 2);
+        fam.retrain(&filled_kb(50)).unwrap();
+        fam.retrain(&filled_kb(20)).unwrap();
+        assert_eq!(fam.trained_on(), 20);
+        let mut fresh = PredictorFamily::new(4, 2);
+        fresh.retrain(&filled_kb(20)).unwrap();
+        assert_families_identical(&fam, &fresh, "shrunk base");
+    }
+
+    #[test]
+    fn sharded_predictor_matches_per_instance_training() {
+        let kb = filled_kb(120);
+        let skb = crate::knowledge::ShardedKnowledgeBase::from_monolithic(&kb);
+        let mut sharded = ShardedPredictor::new(5, 2);
+        sharded.retrain_all_with_threads(&skb, 2).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        assert_eq!(sharded.trained_shards(), cat.names().len());
+        for name in cat.names() {
+            let inst = cat.get(&name).unwrap();
+            assert!(sharded.is_trained_for(&name));
+            let mut mono = PredictorFamily::new(5, 2);
+            mono.retrain(&kb.for_instance(&name)).unwrap();
+            for n in [1usize, 4] {
+                let a = TimePredictor::predict_each(&sharded, &profile(123), inst, n).unwrap();
+                let b = mono.predict_each(&profile(123), inst, n).unwrap();
+                assert_eq!(a, b, "shard {name} diverges from per-instance family");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_predictor_refuses_unknown_instance() {
+        let sharded = ShardedPredictor::new(5, 2);
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("c3.4xlarge").unwrap();
+        assert!(!sharded.is_trained_for("c3.4xlarge"));
+        assert!(matches!(
+            TimePredictor::predict_each(&sharded, &profile(100), inst, 2),
+            Err(CoreError::Ml(disar_ml::MlError::NotFitted))
         ));
     }
 }

@@ -4,7 +4,8 @@ use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
 use disar_core::deploy::{DeployPolicy, TransparentDeployer};
 use disar_core::{
     select_configuration, select_configuration_with_rule, select_hetero_configuration,
-    CoreError, JobProfile, KnowledgeBase, PredictorFamily, RunRecord, TimeEstimate,
+    CoreError, JobProfile, KnowledgeBase, PredictorFamily, RunRecord, ShardedKnowledgeBase,
+    TimeEstimate,
 };
 use disar_engine::EebCharacteristics;
 use proptest::prelude::*;
@@ -132,6 +133,59 @@ proptest! {
             // fails too, the reported best prediction must exceed t_max.
             if let Err(CoreError::NoFeasibleConfiguration { best_predicted, .. }) = hetero {
                 prop_assert!(best_predicted > t_max);
+            }
+        }
+    }
+
+    /// Sharding is presentation-invariant: the shards reassemble to the
+    /// monolithic record stream, every shard equals the monolithic
+    /// per-instance filter, and a family trained on a shard is bit-identical
+    /// to one trained on that filter.
+    #[test]
+    fn sharded_kb_bit_identical_to_monolithic(seed in 0u64..200, n in 12usize..40) {
+        use disar_math::rng::stream_rng;
+        use rand::Rng;
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let mut rng = stream_rng(seed, 0x5AD);
+        let mut mono = KnowledgeBase::new();
+        let mut skb = ShardedKnowledgeBase::new();
+        for i in 0..n {
+            let name = &names[rng.gen_range(0..names.len())];
+            let inst = cat.get(name).expect("known");
+            let nodes = rng.gen_range(1..5);
+            let contracts = 50 + (i * 53) % 400;
+            let time =
+                40_000.0 * contracts as f64 / 100.0 / (inst.compute_power() * nodes as f64);
+            let rec = RunRecord::new(profile(contracts), inst, nodes, time, 0.0);
+            mono.record(rec.clone());
+            skb.record(rec);
+        }
+        prop_assert_eq!(&skb.to_monolithic(), &mono);
+        prop_assert_eq!(skb.len(), mono.len());
+        for (name, shard) in skb.shards() {
+            prop_assert_eq!(shard, &mono.for_instance(name));
+            if shard.len() < 2 {
+                continue;
+            }
+            let mut from_shard = PredictorFamily::new(9, 2);
+            from_shard.retrain(shard).expect("enough records");
+            let mut from_filter = PredictorFamily::new(9, 2);
+            from_filter
+                .retrain(&mono.for_instance(name))
+                .expect("enough records");
+            let inst = cat.get(name).expect("known");
+            for nodes in 1..3usize {
+                let a = from_shard
+                    .predict_each(&profile(150), inst, nodes)
+                    .expect("trained");
+                let b = from_filter
+                    .predict_each(&profile(150), inst, nodes)
+                    .expect("trained");
+                for ((ma, va), (mb, vb)) in a.iter().zip(&b) {
+                    prop_assert_eq!(ma, mb);
+                    prop_assert_eq!(va.to_bits(), vb.to_bits(), "{} diverges on {}", ma, name);
+                }
             }
         }
     }

@@ -9,6 +9,17 @@
 //! the result). It is shared by the ALM nested Monte Carlo, Algorithm 1's
 //! grid sweep, the predictor retrain loop and the bench campaign driver.
 
+/// The library-wide default worker-thread count: one per core the process
+/// may use ([`std::thread::available_parallelism`]), falling back to `1`
+/// when the platform cannot report it.
+///
+/// Every parallel entry point in the workspace is bit-identical for any
+/// thread count, so this only changes speed, never results; pass
+/// `n_threads = 1` explicitly for the sequential escape hatch.
+pub fn default_n_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Applies `f` to every index in `0..n_items` using up to `n_threads`
 /// worker threads, returning results in index order.
 ///
@@ -144,6 +155,11 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_n_threads() >= 1);
+    }
 
     #[test]
     fn matches_sequential_map() {

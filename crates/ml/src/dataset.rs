@@ -243,6 +243,23 @@ impl Scaler {
         Ok(Scaler { mins, ranges })
     }
 
+    /// Builds a scaler from precomputed per-column bounds, producing exactly
+    /// the scaler [`Scaler::fit`] would return for data with those bounds.
+    ///
+    /// This is the incremental-fit entry point: per-column min/max folds are
+    /// exact and associative, so a model that carries its raw bounds can
+    /// extend them over appended rows and reconstruct a scaler bit-identical
+    /// to a from-scratch fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mins.len() != maxs.len()`.
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>) -> Self {
+        assert_eq!(mins.len(), maxs.len(), "bounds dimension mismatch");
+        let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        Scaler { mins, ranges }
+    }
+
     /// Maps a feature vector into `[0, 1]^d`. Values outside the fitted range
     /// extrapolate linearly (may fall outside `[0, 1]`).
     ///
@@ -378,6 +395,21 @@ mod tests {
         .unwrap();
         let s = Scaler::fit(&d).unwrap();
         assert_eq!(s.transform(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn from_bounds_matches_fit() {
+        let d = toy(17);
+        let fitted = Scaler::fit(&d).unwrap();
+        let mut mins = vec![f64::INFINITY; d.dim()];
+        let mut maxs = vec![f64::NEG_INFINITY; d.dim()];
+        for row in d.rows() {
+            for j in 0..d.dim() {
+                mins[j] = mins[j].min(row[j]);
+                maxs[j] = maxs[j].max(row[j]);
+            }
+        }
+        assert_eq!(Scaler::from_bounds(mins, maxs), fitted);
     }
 
     #[test]

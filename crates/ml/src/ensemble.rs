@@ -6,7 +6,7 @@
 //! the times predicted by the models."
 
 use crate::dataset::Dataset;
-use crate::regressor::Regressor;
+use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::MlError;
 
 /// An ensemble of heterogeneous regressors predicting the mean of its
@@ -28,6 +28,7 @@ use crate::MlError;
 /// ```
 pub struct Ensemble {
     members: Vec<Box<dyn Regressor>>,
+    fitted_len: usize,
 }
 
 impl Ensemble {
@@ -38,7 +39,10 @@ impl Ensemble {
     /// Panics if `members` is empty.
     pub fn new(members: Vec<Box<dyn Regressor>>) -> Self {
         assert!(!members.is_empty(), "ensemble needs at least one member");
-        Ensemble { members }
+        Ensemble {
+            members,
+            fitted_len: 0,
+        }
     }
 
     /// Number of member models.
@@ -76,6 +80,7 @@ impl Regressor for Ensemble {
         for m in &mut self.members {
             m.fit(data)?;
         }
+        self.fitted_len = data.len();
         Ok(())
     }
 
@@ -89,6 +94,37 @@ impl Regressor for Ensemble {
 
     fn name(&self) -> &str {
         "Ensemble"
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
+        Some(self)
+    }
+}
+
+impl IncrementalRegressor for Ensemble {
+    /// Extends each member with the appended rows: members with native
+    /// incremental support take the O(new rows) path, the rest fall back to
+    /// a full refit — either way the ensemble ends up bit-identical to a
+    /// from-scratch [`Regressor::fit`] on all of `data`.
+    fn partial_fit(&mut self, data: &Dataset, from: usize) -> Result<(), MlError> {
+        if from != self.fitted_len || from > data.len() {
+            return Err(MlError::IncrementalMismatch {
+                fitted: self.fitted_len,
+                from,
+            });
+        }
+        for m in &mut self.members {
+            match m.as_incremental() {
+                Some(inc) if inc.fitted_len() == from => inc.partial_fit(data, from)?,
+                _ => m.fit(data)?,
+            }
+        }
+        self.fitted_len = data.len();
+        Ok(())
+    }
+
+    fn fitted_len(&self) -> usize {
+        self.fitted_len
     }
 }
 
@@ -153,5 +189,30 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_panics() {
         let _ = Ensemble::new(Vec::new());
+    }
+
+    #[test]
+    fn partial_fit_matches_full_fit() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..40 {
+            d.push(vec![i as f64], 3.0 * i as f64).unwrap();
+        }
+        let mut full = Ensemble::new(default_family(5));
+        full.fit(&d).unwrap();
+        let mut inc = Ensemble::new(default_family(5));
+        inc.partial_fit(&d.filter(|i| i < 25), 0).unwrap();
+        inc.partial_fit(&d, 25).unwrap();
+        assert_eq!(inc.fitted_len(), 40);
+        for x in [0.0, 17.5, 39.0] {
+            assert_eq!(
+                inc.predict(&[x]).unwrap().to_bits(),
+                full.predict(&[x]).unwrap().to_bits(),
+                "x={x}"
+            );
+        }
+        assert!(matches!(
+            inc.partial_fit(&d, 7),
+            Err(MlError::IncrementalMismatch { .. })
+        ));
     }
 }

@@ -21,6 +21,14 @@ pub enum MlError {
     Numerical(String),
     /// A feature value was NaN or infinite.
     NonFiniteInput,
+    /// `partial_fit` was called with an offset that does not continue the
+    /// model's fitted prefix (the caller must append, never rewrite).
+    IncrementalMismatch {
+        /// Rows the model has already been fitted on.
+        fitted: usize,
+        /// Offset the caller claimed the new rows start at.
+        from: usize,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -36,6 +44,12 @@ impl fmt::Display for MlError {
             }
             MlError::Numerical(what) => write!(f, "numerical failure: {what}"),
             MlError::NonFiniteInput => write!(f, "feature values must be finite"),
+            MlError::IncrementalMismatch { fitted, from } => {
+                write!(
+                    f,
+                    "incremental fit offset {from} does not continue the fitted prefix of {fitted} rows"
+                )
+            }
         }
     }
 }

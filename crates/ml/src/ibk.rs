@@ -4,9 +4,16 @@
 //! Distances are Euclidean over min–max-normalized attributes, exactly as in
 //! Weka's `IBk`. For regression the prediction is the (optionally
 //! inverse-distance-weighted) mean of the `k` nearest targets.
+//!
+//! Neighbour lookups run through a kd-tree ([`crate::neighbours`]) and the
+//! training state is append-only ([`IncrementalRegressor`]); both are
+//! bit-identical to the from-scratch fit + early-abandon linear scan, which
+//! is kept as [`IbK::predict_linear`] for the equivalence tests and benches.
 
-use crate::dataset::{Dataset, Scaler};
-use crate::regressor::Regressor;
+use crate::dataset::Dataset;
+use crate::instances::InstanceStore;
+use crate::neighbours::Metric;
+use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::MlError;
 use serde::{Deserialize, Serialize};
 
@@ -38,14 +45,7 @@ pub enum Weighting {
 pub struct IbK {
     k: usize,
     weighting: Weighting,
-    fitted: Option<FittedIbK>,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct FittedIbK {
-    scaler: Scaler,
-    rows: Vec<Vec<f64>>, // normalized
-    targets: Vec<f64>,
+    fitted: Option<InstanceStore>,
 }
 
 impl IbK {
@@ -83,24 +83,8 @@ impl IbK {
     pub fn k(&self) -> usize {
         self.k
     }
-}
 
-impl Regressor for IbK {
-    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
-        if data.is_empty() {
-            return Err(MlError::EmptyTrainingSet);
-        }
-        let scaler = Scaler::fit(data)?;
-        let rows = data.rows().iter().map(|r| scaler.transform(r)).collect();
-        self.fitted = Some(FittedIbK {
-            scaler,
-            rows,
-            targets: data.targets().to_vec(),
-        });
-        Ok(())
-    }
-
-    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+    fn standardized_query(&self, x: &[f64]) -> Result<(&InstanceStore, Vec<f64>), MlError> {
         let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
         if x.len() != f.scaler.dim() {
             return Err(MlError::FeatureDimensionMismatch {
@@ -108,7 +92,40 @@ impl Regressor for IbK {
                 got: x.len(),
             });
         }
-        let q = f.scaler.transform(x);
+        Ok((f, f.scaler.transform(x)))
+    }
+
+    /// Applies the weighting scheme to a sorted `(distance², row)` list.
+    fn weighted_mean(&self, f: &InstanceStore, neighbours: &[(f64, usize)]) -> f64 {
+        match self.weighting {
+            Weighting::Uniform => {
+                neighbours.iter().map(|&(_, i)| f.targets[i]).sum::<f64>()
+                    / neighbours.len() as f64
+            }
+            Weighting::InverseDistance => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(d2, i) in neighbours {
+                    let w = 1.0 / (d2.sqrt() + 1e-9);
+                    num += w * f.targets[i];
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+
+    /// Reference prediction via the original early-abandon **linear scan**.
+    ///
+    /// [`Regressor::predict`] goes through the kd-tree and must return
+    /// bit-identical results; this path is kept public as the baseline for
+    /// the equivalence proptests and the `kb_scale` bench.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Regressor::predict`].
+    pub fn predict_linear(&self, x: &[f64]) -> Result<f64, MlError> {
+        let (f, q) = self.standardized_query(x)?;
         // The k smallest (distance², index), kept sorted ascending. A row is
         // abandoned mid-sum once its partial distance exceeds the current
         // k-th best: only rows whose *full* distance is strictly worse are
@@ -138,26 +155,43 @@ impl Regressor for IbK {
             best.insert(pos, (d2, i));
             best.truncate(k);
         }
-        let neighbours = &best[..k];
-        match self.weighting {
-            Weighting::Uniform => {
-                Ok(neighbours.iter().map(|&(_, i)| f.targets[i]).sum::<f64>() / k as f64)
-            }
-            Weighting::InverseDistance => {
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for &(d2, i) in neighbours {
-                    let w = 1.0 / (d2.sqrt() + 1e-9);
-                    num += w * f.targets[i];
-                    den += w;
-                }
-                Ok(num / den)
-            }
-        }
+        Ok(self.weighted_mean(f, &best[..k]))
+    }
+}
+
+impl Regressor for IbK {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fitted = Some(InstanceStore::fit(data, Metric::SquaredEuclidean)?);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        let (f, q) = self.standardized_query(x)?;
+        let k = self.k.min(f.rows.len());
+        let best = f.index.nearest(&f.rows, &q, k);
+        Ok(self.weighted_mean(f, &best))
     }
 
     fn name(&self) -> &str {
         "IBk"
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
+        Some(self)
+    }
+}
+
+impl IncrementalRegressor for IbK {
+    fn partial_fit(&mut self, data: &Dataset, from: usize) -> Result<(), MlError> {
+        match &mut self.fitted {
+            Some(store) => store.extend(data, from),
+            None if from == 0 => self.fit(data),
+            None => Err(MlError::IncrementalMismatch { fitted: 0, from }),
+        }
+    }
+
+    fn fitted_len(&self) -> usize {
+        self.fitted.as_ref().map_or(0, InstanceStore::len)
     }
 }
 
@@ -254,6 +288,45 @@ mod tests {
         let mut m = IbK::new(4);
         m.fit(&grid()).unwrap();
         assert!((m.predict(&[3.2, 7.1]).unwrap() - 10.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexed_predict_matches_linear_scan() {
+        let d = grid();
+        for k in [1, 3, 7, 200] {
+            for weighting in [Weighting::Uniform, Weighting::InverseDistance] {
+                let mut m = IbK::with_weighting(k, weighting).unwrap();
+                m.fit(&d).unwrap();
+                for q in [[3.2, 7.1], [0.0, 0.0], [-4.0, 15.0], [9.5, 0.5]] {
+                    let indexed = m.predict(&q).unwrap();
+                    let linear = m.predict_linear(&q).unwrap();
+                    assert_eq!(indexed.to_bits(), linear.to_bits(), "k={k} q={q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_fit_matches_full_fit() {
+        let d = grid();
+        let mut full = IbK::new(3);
+        full.fit(&d).unwrap();
+        let mut inc = IbK::new(3);
+        inc.partial_fit(&d.filter(|i| i < 30), 0).unwrap();
+        assert_eq!(inc.fitted_len(), 30);
+        inc.partial_fit(&d, 30).unwrap();
+        assert_eq!(inc.fitted_len(), 100);
+        for q in [[3.2, 7.1], [0.0, 0.0], [11.0, -2.0]] {
+            assert_eq!(
+                inc.predict(&q).unwrap().to_bits(),
+                full.predict(&q).unwrap().to_bits()
+            );
+        }
+        // Offsets that do not continue the fitted prefix are rejected.
+        assert!(matches!(
+            inc.partial_fit(&d, 10),
+            Err(MlError::IncrementalMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Shared append-only training state for the instance-based learners.
+//!
+//! [`IbK`](crate::IbK) and [`KStar`](crate::KStar) both keep their training
+//! set verbatim: a min–max scaler, the raw and standardized rows, the targets
+//! and a [`NeighbourIndex`] over the standardized space. [`InstanceStore`]
+//! owns that state and implements the incremental-fit step both models share.
+//!
+//! The incremental invariant: per-column min/max folds are exact and
+//! left-associative, so folding the stored bounds over the appended rows
+//! yields bit-identical bounds to a from-scratch fold over all rows. When the
+//! bounds are unchanged only the new rows are standardized and appended to
+//! the index; when a bound moved, every normalized coordinate shifts, so the
+//! store re-standardizes from its raw rows and rebuilds the index — still
+//! bit-identical to a full refit, just no longer O(new rows) for that append.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::neighbours::{Metric, NeighbourIndex};
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Fitted state of an instance-based learner: scaler bounds, raw and
+/// standardized rows, targets, and the neighbour index over the rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct InstanceStore {
+    pub scaler: Scaler,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    raw_rows: Vec<Vec<f64>>,
+    /// Standardized rows — the space all distances are measured in.
+    pub rows: Vec<Vec<f64>>,
+    pub targets: Vec<f64>,
+    pub index: NeighbourIndex,
+}
+
+impl InstanceStore {
+    /// Fits from scratch over all of `data`.
+    pub fn fit(data: &Dataset, metric: Metric) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let d = data.dim();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in data.rows() {
+            for j in 0..d {
+                mins[j] = mins[j].min(row[j]);
+                maxs[j] = maxs[j].max(row[j]);
+            }
+        }
+        let scaler = Scaler::from_bounds(mins.clone(), maxs.clone());
+        let rows: Vec<Vec<f64>> = data.rows().iter().map(|r| scaler.transform(r)).collect();
+        let index = NeighbourIndex::build(metric, &rows);
+        Ok(InstanceStore {
+            scaler,
+            mins,
+            maxs,
+            raw_rows: data.rows().to_vec(),
+            rows,
+            targets: data.targets().to_vec(),
+            index,
+        })
+    }
+
+    /// Number of rows the store is fitted on.
+    pub fn len(&self) -> usize {
+        self.raw_rows.len()
+    }
+
+    /// Extends the fit with `data.rows()[from..]`. The caller guarantees
+    /// `data.rows()[..from]` is exactly the prefix this store was fitted on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::IncrementalMismatch`] when `from` does not continue
+    /// the fitted prefix and [`MlError::FeatureDimensionMismatch`] when the
+    /// feature dimension changed.
+    pub fn extend(&mut self, data: &Dataset, from: usize) -> Result<(), MlError> {
+        if data.dim() != self.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: self.scaler.dim(),
+                got: data.dim(),
+            });
+        }
+        if from != self.raw_rows.len() || from > data.len() {
+            return Err(MlError::IncrementalMismatch {
+                fitted: self.raw_rows.len(),
+                from,
+            });
+        }
+        if from == data.len() {
+            return Ok(());
+        }
+        let d = data.dim();
+        let mut mins = self.mins.clone();
+        let mut maxs = self.maxs.clone();
+        for row in &data.rows()[from..] {
+            for j in 0..d {
+                mins[j] = mins[j].min(row[j]);
+                maxs[j] = maxs[j].max(row[j]);
+            }
+        }
+        let bounds_moved = mins
+            .iter()
+            .zip(&self.mins)
+            .chain(maxs.iter().zip(&self.maxs))
+            .any(|(a, b)| a.to_bits() != b.to_bits());
+        self.raw_rows.extend(data.rows()[from..].iter().cloned());
+        self.targets.extend_from_slice(&data.targets()[from..]);
+        self.mins = mins;
+        self.maxs = maxs;
+        if bounds_moved {
+            self.scaler = Scaler::from_bounds(self.mins.clone(), self.maxs.clone());
+            self.rows = self
+                .raw_rows
+                .iter()
+                .map(|r| self.scaler.transform(r))
+                .collect();
+            self.index = NeighbourIndex::build(self.index.metric(), &self.rows);
+        } else {
+            let start = self.rows.len();
+            for r in &self.raw_rows[start..] {
+                self.rows.push(self.scaler.transform(r));
+            }
+            self.index.append(&self.rows, start);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..n {
+            let x = ((i * 37) % 23) as f64;
+            d.push(vec![x, (i % 7) as f64], x * 2.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn extend_matches_fresh_fit() {
+        let all = data(60);
+        for metric in [Metric::SquaredEuclidean, Metric::Manhattan] {
+            let fresh = InstanceStore::fit(&all, metric).unwrap();
+            let prefix = all.filter(|i| i < 25);
+            let mut grown = InstanceStore::fit(&prefix, metric).unwrap();
+            grown.extend(&all, 25).unwrap();
+            assert_eq!(grown.scaler, fresh.scaler);
+            assert_eq!(grown.rows, fresh.rows);
+            assert_eq!(grown.targets, fresh.targets);
+        }
+    }
+
+    #[test]
+    fn extend_rejects_wrong_offset() {
+        let all = data(10);
+        let mut store = InstanceStore::fit(&all, Metric::Manhattan).unwrap();
+        assert!(matches!(
+            store.extend(&all, 3),
+            Err(MlError::IncrementalMismatch { fitted: 10, from: 3 })
+        ));
+        assert!(store.extend(&all, 10).is_ok()); // no-op
+    }
+}

@@ -21,9 +21,18 @@
 //! equals `1 + (blend/100) · (N − 1)`, where `blend ∈ [0, 100]` is the
 //! "global blend" parameter (Weka default 20). `blend = 0` collapses K* to
 //! 1-NN; `blend = 100` approaches the global mean.
+//!
+//! The training state is append-only ([`IncrementalRegressor`]), bit-identical
+//! to a from-scratch fit. Unlike IBk, the kernel sum itself cannot be made
+//! sub-linear without changing results (every training row carries weight and
+//! the per-query scale `x0` depends on all distances), so `predict` keeps its
+//! O(n) distance pass; the Manhattan neighbour index only serves the
+//! all-weights-underflowed nearest-neighbour fallback.
 
-use crate::dataset::{Dataset, Scaler};
-use crate::regressor::Regressor;
+use crate::dataset::Dataset;
+use crate::instances::InstanceStore;
+use crate::neighbours::Metric;
+use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::MlError;
 use serde::{Deserialize, Serialize};
 
@@ -46,14 +55,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KStar {
     blend: f64,
-    fitted: Option<FittedKStar>,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct FittedKStar {
-    scaler: Scaler,
-    rows: Vec<Vec<f64>>, // normalized
-    targets: Vec<f64>,
+    fitted: Option<InstanceStore>,
 }
 
 impl KStar {
@@ -73,7 +75,7 @@ impl KStar {
 
     /// L1 distance in normalized attribute space — the natural metric for a
     /// product of per-attribute Laplace kernels.
-    fn distances(f: &FittedKStar, q: &[f64]) -> Vec<f64> {
+    fn distances(f: &InstanceStore, q: &[f64]) -> Vec<f64> {
         f.rows
             .iter()
             .map(|r| r.iter().zip(q).map(|(a, b)| (a - b).abs()).sum())
@@ -99,16 +101,7 @@ impl KStar {
 
 impl Regressor for KStar {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
-        if data.is_empty() {
-            return Err(MlError::EmptyTrainingSet);
-        }
-        let scaler = Scaler::fit(data)?;
-        let rows = data.rows().iter().map(|r| scaler.transform(r)).collect();
-        self.fitted = Some(FittedKStar {
-            scaler,
-            rows,
-            targets: data.targets().to_vec(),
-        });
+        self.fitted = Some(InstanceStore::fit(data, Metric::Manhattan)?);
         Ok(())
     }
 
@@ -167,12 +160,11 @@ impl Regressor for KStar {
             den += p;
         }
         if den == 0.0 {
-            // All weights underflowed: fall back to the nearest neighbour.
-            let (i, _) = dists
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
-                .expect("non-empty training set");
+            // All weights underflowed: fall back to the nearest neighbour via
+            // the Manhattan index — the lexicographically smallest
+            // (distance, row) pair, i.e. the same lowest-index row the
+            // first-minimum linear scan (`min_by`) would return.
+            let (_, i) = f.index.nearest(&f.rows, &q, 1)[0];
             return Ok(f.targets[i]);
         }
         Ok(num / den)
@@ -180,6 +172,24 @@ impl Regressor for KStar {
 
     fn name(&self) -> &str {
         "KStar"
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
+        Some(self)
+    }
+}
+
+impl IncrementalRegressor for KStar {
+    fn partial_fit(&mut self, data: &Dataset, from: usize) -> Result<(), MlError> {
+        match &mut self.fitted {
+            Some(store) => store.extend(data, from),
+            None if from == 0 => self.fit(data),
+            None => Err(MlError::IncrementalMismatch { fitted: 0, from }),
+        }
+    }
+
+    fn fitted_len(&self) -> usize {
+        self.fitted.as_ref().map_or(0, InstanceStore::len)
     }
 }
 
@@ -278,6 +288,49 @@ mod tests {
         for x in [-10.0, 0.0, 12.5, 24.0, 100.0] {
             let y = ks.predict(&[x]).unwrap();
             assert!((0.0..=48.0).contains(&y), "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn underflow_fallback_picks_lowest_index_nearest() {
+        // Equidistant duplicates around the query: the linear `min_by` scan
+        // returned the *first* minimal row; the indexed fallback must too.
+        // (The fallback itself is hard to trigger from safe inputs, so probe
+        // the index directly against the reference rule.)
+        let mut d = Dataset::new(vec!["x".into()]);
+        for v in [0.0, 2.0, 2.0, 4.0] {
+            d.push(vec![v], v * 10.0).unwrap();
+        }
+        let mut ks = KStar::new(20.0);
+        ks.fit(&d).unwrap();
+        let f = ks.fitted.as_ref().unwrap();
+        let q = f.scaler.transform(&[3.0]);
+        let dists = KStar::distances(f, &q);
+        let (want, _) = dists
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+            .unwrap();
+        let (_, got) = f.index.nearest(&f.rows, &q, 1)[0];
+        assert_eq!(got, want);
+        assert_eq!(got, 1, "rows 1 and 2 tie; lowest index wins");
+    }
+
+    #[test]
+    fn partial_fit_matches_full_fit() {
+        let d = ramp(40);
+        let mut full = KStar::new(20.0);
+        full.fit(&d).unwrap();
+        let mut inc = KStar::new(20.0);
+        inc.partial_fit(&d.filter(|i| i < 15), 0).unwrap();
+        inc.partial_fit(&d, 15).unwrap();
+        assert_eq!(inc.fitted_len(), 40);
+        for x in [-3.0, 0.0, 14.5, 39.0, 55.0] {
+            assert_eq!(
+                inc.predict(&[x]).unwrap().to_bits(),
+                full.predict(&[x]).unwrap().to_bits(),
+                "x={x}"
+            );
         }
     }
 }

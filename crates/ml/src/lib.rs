@@ -43,11 +43,13 @@ pub mod ibk;
 pub mod kstar;
 pub mod metrics;
 pub mod mlp;
+pub mod neighbours;
 pub mod regressor;
 pub mod tree;
 pub mod validation;
 
 mod error;
+mod instances;
 
 pub use dataset::{Dataset, Scaler};
 pub use decision_table::DecisionTable;
@@ -57,5 +59,6 @@ pub use forest::RandomForest;
 pub use ibk::IbK;
 pub use kstar::KStar;
 pub use mlp::Mlp;
-pub use regressor::{default_family, ModelKind, Regressor};
+pub use neighbours::{Metric, NeighbourIndex};
+pub use regressor::{default_family, IncrementalRegressor, ModelKind, Regressor};
 pub use tree::RandomTree;

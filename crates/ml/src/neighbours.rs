@@ -1,0 +1,419 @@
+//! Bucketed kd-tree neighbour index over the standardized feature space.
+//!
+//! [`NeighbourIndex`] accelerates the k-nearest-neighbour searches of the
+//! instance-based learners ([`crate::IbK`], [`crate::KStar`]) from a full
+//! O(n) scan to an indexed candidate search, while staying **bit-identical**
+//! to the linear scan they replace:
+//!
+//! * the result set is the `k` lexicographically smallest `(distance, row)`
+//!   pairs — equal distances resolve to the lowest row index, exactly like
+//!   the linear scan's insertion order;
+//! * per-point distances are accumulated dimension-by-dimension in the same
+//!   order and with the same floating-point expressions as the linear scan,
+//!   with the same early-abandon rule (abandon only when the partial sum is
+//!   *strictly* greater than the current k-th best);
+//! * subtrees are pruned only when the minimum possible distance to them is
+//!   *strictly* greater than the current k-th best, so an equal-distance
+//!   lower-index point can never be pruned away.
+//!
+//! The tree is built once per fit and extended in place on append; a full
+//! rebuild is amortized in when appended points outnumber half of the built
+//! structure, keeping the tree balanced under the self-optimizing loop's
+//! one-record-at-a-time growth.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance metric of an index. Both accumulate per-dimension terms in
+/// dimension order, matching the linear scans they replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Sum of squared per-dimension differences (IBk's distance²).
+    SquaredEuclidean,
+    /// Sum of absolute per-dimension differences (K*'s L1 distance).
+    Manhattan,
+}
+
+impl Metric {
+    #[inline]
+    fn term(self, a: f64, b: f64) -> f64 {
+        match self {
+            Metric::SquaredEuclidean => (a - b) * (a - b),
+            Metric::Manhattan => (a - b).abs(),
+        }
+    }
+
+    /// Minimum possible distance contribution of the splitting hyperplane:
+    /// every point beyond the plane is at least this far in the metric.
+    #[inline]
+    fn plane_gap(self, q_coord: f64, split_value: f64) -> f64 {
+        let gap = (q_coord - split_value).abs();
+        match self {
+            Metric::SquaredEuclidean => gap * gap,
+            Metric::Manhattan => gap,
+        }
+    }
+}
+
+/// Points per leaf before a build splits further. Leaves run the same
+/// early-abandon scan as the linear search, so small leaves only add tree
+/// overhead.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Split {
+        dim: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        points: Vec<u32>,
+    },
+}
+
+/// A bucketed kd-tree over externally owned points.
+///
+/// The index stores only structure (node layout and row indices); the point
+/// coordinates live with the fitted model and are passed into every call, so
+/// the rows are never duplicated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeighbourIndex {
+    metric: Metric,
+    nodes: Vec<Node>,
+    root: usize,
+    /// Number of points the current tree structure was *built* over.
+    built_len: usize,
+    /// Points appended into leaves since the last build.
+    pending: usize,
+}
+
+impl NeighbourIndex {
+    /// Builds an index over `points` (row `i` gets identity `i`).
+    pub fn build(metric: Metric, points: &[Vec<f64>]) -> Self {
+        let mut idx = NeighbourIndex {
+            metric,
+            nodes: Vec::new(),
+            root: 0,
+            built_len: points.len(),
+            pending: 0,
+        };
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        idx.root = idx.build_node(points, &mut ids);
+        idx
+    }
+
+    /// Number of points the index currently covers.
+    pub fn len(&self) -> usize {
+        self.built_len + self.pending
+    }
+
+    /// Returns `true` when the index covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The metric the index was built with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn build_node(&mut self, points: &[Vec<f64>], ids: &mut [u32]) -> usize {
+        if ids.len() <= LEAF_SIZE {
+            return self.push_node(Node::Leaf {
+                points: ids.to_vec(),
+            });
+        }
+        // Split on the dimension with the largest spread (lowest dimension on
+        // ties); all-zero spreads mean every point is identical — keep a leaf.
+        let dim_count = points[ids[0] as usize].len();
+        let mut best_dim = 0;
+        let mut best_spread = 0.0;
+        for d in 0..dim_count {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in ids.iter() {
+                let v = points[i as usize][d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let spread = hi - lo;
+            if spread > best_spread {
+                best_spread = spread;
+                best_dim = d;
+            }
+        }
+        if best_spread == 0.0 {
+            return self.push_node(Node::Leaf {
+                points: ids.to_vec(),
+            });
+        }
+        // Positional median split on (coordinate, row) keeps both halves
+        // non-empty even under heavy duplication: left coords ≤ value and
+        // right coords ≥ value by construction, which is all pruning needs.
+        ids.sort_by(|&a, &b| {
+            let ca = points[a as usize][best_dim];
+            let cb = points[b as usize][best_dim];
+            ca.partial_cmp(&cb)
+                .expect("finite coordinates")
+                .then(a.cmp(&b))
+        });
+        let mid = ids.len() / 2;
+        let value = points[ids[mid] as usize][best_dim];
+        let slot = self.push_node(Node::Leaf { points: Vec::new() });
+        let (left_ids, right_ids) = ids.split_at_mut(mid);
+        let left = self.build_node(points, left_ids);
+        let right = self.build_node(points, right_ids);
+        self.nodes[slot] = Node::Split {
+            dim: best_dim,
+            value,
+            left,
+            right,
+        };
+        slot
+    }
+
+    fn push_node(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Appends the points `points[from..]` to the index. `points` must be the
+    /// same slice the index was built over plus the new rows at the end.
+    ///
+    /// New points descend to their owning leaf (ties on the split value go
+    /// right, preserving the left ≤ value ≤ right invariant); once appended
+    /// points outnumber half the built structure the tree is rebuilt, which
+    /// amortizes to O(log n) per append.
+    pub fn append(&mut self, points: &[Vec<f64>], from: usize) {
+        debug_assert_eq!(from, self.len(), "append must continue the point set");
+        for id in from..points.len() {
+            let p = &points[id];
+            let mut node = self.root;
+            loop {
+                match &mut self.nodes[node] {
+                    Node::Split {
+                        dim, value, left, right,
+                    } => {
+                        node = if p[*dim] < *value { *left } else { *right };
+                    }
+                    Node::Leaf { points: leaf } => {
+                        leaf.push(id as u32);
+                        break;
+                    }
+                }
+            }
+            self.pending += 1;
+        }
+        if self.pending > self.built_len / 2 {
+            *self = NeighbourIndex::build(self.metric, points);
+        }
+    }
+
+    /// Returns the `k` lexicographically smallest `(distance, row)` pairs,
+    /// sorted ascending — bit-identical (same rows, same distance values,
+    /// same order) to the early-abandon linear scan over all points.
+    pub fn nearest(&self, points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(f64, usize)> {
+        let mut best = Best::new(k);
+        if k > 0 && !self.is_empty() {
+            self.search(self.root, points, q, &mut best);
+        }
+        best.items
+    }
+
+    fn search(&self, node: usize, points: &[Vec<f64>], q: &[f64], best: &mut Best) {
+        match &self.nodes[node] {
+            Node::Leaf { points: leaf } => {
+                for &i in leaf {
+                    let threshold = best.threshold();
+                    let mut d = 0.0;
+                    let mut abandoned = false;
+                    for (a, b) in points[i as usize].iter().zip(q) {
+                        d += self.metric.term(*a, *b);
+                        if d > threshold {
+                            abandoned = true;
+                            break;
+                        }
+                    }
+                    if !abandoned {
+                        best.insert(d, i as usize);
+                    }
+                }
+            }
+            Node::Split {
+                dim, value, left, right,
+            } => {
+                let (near, far) = if q[*dim] < *value {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.search(near, points, q, best);
+                // Prune the far child only when its minimum possible distance
+                // is strictly greater than the current k-th best — on equality
+                // a lower-index tie could still displace the current k-th.
+                if self.metric.plane_gap(q[*dim], *value) <= best.threshold() {
+                    self.search(far, points, q, best);
+                }
+            }
+        }
+    }
+}
+
+/// The running k-best list: the k lexicographically smallest
+/// `(distance, row)` pairs seen so far, sorted ascending.
+struct Best {
+    k: usize,
+    items: Vec<(f64, usize)>,
+}
+
+impl Best {
+    fn new(k: usize) -> Self {
+        Best {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// Early-abandon / pruning threshold: the k-th best distance once the
+    /// list is full, +∞ before.
+    #[inline]
+    fn threshold(&self) -> f64 {
+        if self.items.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.items[self.k - 1].0
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, d: f64, i: usize) {
+        if self.items.len() == self.k {
+            let (ld, li) = self.items[self.k - 1];
+            if !(d < ld || (d == ld && i < li)) {
+                return;
+            }
+        }
+        let pos = self
+            .items
+            .partition_point(|&(bd, bi)| bd < d || (bd == d && bi < i));
+        self.items.insert(pos, (d, i));
+        self.items.truncate(self.k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_math::rng::stream_rng;
+    use rand::Rng;
+
+    /// The reference the index must reproduce bit-for-bit: the linear scan's
+    /// kept set, i.e. the k lexicographically smallest (distance, row) pairs
+    /// with distances accumulated in dimension order.
+    fn brute_force(
+        metric: Metric,
+        points: &[Vec<f64>],
+        q: &[f64],
+        k: usize,
+    ) -> Vec<(f64, usize)> {
+        let mut all: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut d = 0.0;
+                for (a, b) in p.iter().zip(q) {
+                    d += metric.term(*a, *b);
+                }
+                (d, i)
+            })
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.truncate(k);
+        all
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64, grid: bool) -> Vec<Vec<f64>> {
+        let mut rng = stream_rng(seed, 0x4D7E);
+        (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        if grid {
+                            // Coarse grid → heavy distance ties.
+                            rng.gen_range(0..4) as f64 / 3.0
+                        } else {
+                            rng.gen_range(0.0..1.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_both_metrics() {
+        for metric in [Metric::SquaredEuclidean, Metric::Manhattan] {
+            for (n, dim, grid) in [(1, 1, false), (7, 2, false), (100, 3, false), (200, 2, true)] {
+                let points = random_points(n, dim, 42 + n as u64, grid);
+                let index = NeighbourIndex::build(metric, &points);
+                let queries = random_points(20, dim, 7, grid);
+                for q in &queries {
+                    for k in [1, 3, n] {
+                        let got = index.nearest(&points, q, k);
+                        let want = brute_force(metric, &points, q, k);
+                        assert_eq!(got, want, "metric {metric:?} n {n} k {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_row_index() {
+        // Four identical points: the 2 nearest must be rows 0 and 1.
+        let points = vec![vec![1.0, 2.0]; 4];
+        let index = NeighbourIndex::build(Metric::SquaredEuclidean, &points);
+        let got = index.nearest(&points, &[0.0, 0.0], 2);
+        assert_eq!(got, vec![(5.0, 0), (5.0, 1)]);
+    }
+
+    #[test]
+    fn append_matches_fresh_build() {
+        for metric in [Metric::SquaredEuclidean, Metric::Manhattan] {
+            let points = random_points(120, 3, 9, false);
+            let mut grown = NeighbourIndex::build(metric, &points[..40]);
+            for from in 40..120 {
+                grown.append(&points[..=from], from);
+            }
+            assert_eq!(grown.len(), 120);
+            let queries = random_points(10, 3, 11, false);
+            for q in &queries {
+                let got = grown.nearest(&points, q, 5);
+                let want = brute_force(metric, &points, q, 5);
+                assert_eq!(got, want, "metric {metric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let points: Vec<Vec<f64>> = Vec::new();
+        let index = NeighbourIndex::build(Metric::Manhattan, &points);
+        assert!(index.is_empty());
+        assert!(index.nearest(&points, &[0.0], 3).is_empty());
+        let points = vec![vec![0.0]];
+        let index = NeighbourIndex::build(Metric::Manhattan, &points);
+        assert!(index.nearest(&points, &[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_results() {
+        let points = random_points(60, 2, 3, true);
+        let index = NeighbourIndex::build(Metric::SquaredEuclidean, &points);
+        let json = serde_json::to_string(&index).unwrap();
+        let back: NeighbourIndex = serde_json::from_str(&json).unwrap();
+        let q = vec![0.4, 0.6];
+        assert_eq!(index.nearest(&points, &q, 4), back.nearest(&points, &q, 4));
+    }
+}

@@ -27,6 +27,42 @@ pub trait Regressor: Send + Sync {
 
     /// Short human-readable name (used in experiment tables, e.g. `"IBk"`).
     fn name(&self) -> &str;
+
+    /// Downcast hook to the model's incremental-learning capability.
+    ///
+    /// Models with append-only training state ([`IbK`], [`KStar`]) override
+    /// this to return `Some`; everything else keeps the `None` default and
+    /// callers fall back to a full [`Regressor::fit`] behind the same API.
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
+        None
+    }
+}
+
+/// Append-only training: extend a fitted model with new trailing rows
+/// without refitting the prefix it has already seen.
+///
+/// The contract is strict so that incremental and from-scratch training stay
+/// **bit-identical**: `partial_fit(data, from)` requires that `data` is the
+/// full training set, that `data.rows()[..from]` is exactly the prefix the
+/// model was last fitted on, and that `from == fitted_len()`. Implementations
+/// must produce the same predictions (to the bit) as a fresh
+/// [`Regressor::fit`] on all of `data`.
+pub trait IncrementalRegressor: Regressor {
+    /// Extends the fit with the rows `data.rows()[from..]`.
+    ///
+    /// An unfitted model with `from == 0` performs a full fit;
+    /// `from == data.len()` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::IncrementalMismatch`] when `from` does not equal
+    /// [`IncrementalRegressor::fitted_len`] or exceeds `data.len()`, and
+    /// [`MlError::FeatureDimensionMismatch`] when the feature dimension
+    /// changed since the last fit.
+    fn partial_fit(&mut self, data: &Dataset, from: usize) -> Result<(), MlError>;
+
+    /// Number of rows the current fit was trained on (0 before any fit).
+    fn fitted_len(&self) -> usize;
 }
 
 /// Identifies one of the six model families used by the paper.

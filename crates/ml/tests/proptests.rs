@@ -1,7 +1,7 @@
 //! Property-based tests of the ML substrate.
 
 use disar_ml::regressor::ModelKind;
-use disar_ml::{Dataset, Ensemble, Regressor, Scaler};
+use disar_ml::{Dataset, Ensemble, IbK, IncrementalRegressor, KStar, Regressor, Scaler};
 use proptest::prelude::*;
 
 /// Strategy: a random regression dataset with 1–3 features.
@@ -19,6 +19,37 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
                 Dataset::from_rows(names, rows, ys).expect("finite values")
             })
     })
+}
+
+/// Strategy: a duplicate-heavy dataset (tiny value alphabet), so neighbour
+/// ties — where the lowest-row-index tie-break matters — are the common
+/// case rather than the corner case.
+fn tied_dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..3, 6usize..32).prop_flat_map(|(dim, n)| {
+        (
+            prop::collection::vec(prop::collection::vec(0i32..4, dim..=dim), n..=n),
+            prop::collection::vec(0i32..3, n..=n),
+        )
+            .prop_map(move |(rows, ys)| {
+                let names = (0..dim).map(|i| format!("f{i}")).collect();
+                let rows = rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(f64::from).collect())
+                    .collect();
+                let ys = ys.into_iter().map(f64::from).collect();
+                Dataset::from_rows(names, rows, ys).expect("finite values")
+            })
+    })
+}
+
+/// The `..split` prefix of a dataset.
+fn prefix_of(data: &Dataset, split: usize) -> Dataset {
+    Dataset::from_rows(
+        data.feature_names().to_vec(),
+        data.rows()[..split].to_vec(),
+        data.targets()[..split].to_vec(),
+    )
+    .expect("prefix is consistent")
 }
 
 proptest! {
@@ -105,6 +136,65 @@ proptest! {
             m.fit(&data).expect("training succeeds");
             let y2 = m.predict(&q).expect("fitted");
             prop_assert_eq!(y1, y2, "{} refit changed prediction", kind);
+        }
+    }
+
+    /// Fitting a prefix and `partial_fit`-ing the rest is bit-identical to
+    /// a from-scratch `fit` for both incremental models — on tie-heavy data
+    /// where the lowest-row-index neighbour tie-break is load-bearing.
+    #[test]
+    fn partial_fit_bit_identical_to_full_fit(
+        data in tied_dataset_strategy(),
+        split_ppm in 0u32..1_000_000,
+    ) {
+        let split = 1 + split_ppm as usize * (data.len() - 1) / 1_000_000;
+        let prefix = prefix_of(&data, split);
+
+        let mut full_ibk = IbK::new(3);
+        full_ibk.fit(&data).expect("fits");
+        let mut inc_ibk = IbK::new(3);
+        inc_ibk.fit(&prefix).expect("fits");
+        inc_ibk.partial_fit(&data, split).expect("prefix extends");
+        prop_assert_eq!(inc_ibk.fitted_len(), data.len());
+
+        let mut full_ks = KStar::new(20.0);
+        full_ks.fit(&data).expect("fits");
+        let mut inc_ks = KStar::new(20.0);
+        inc_ks.fit(&prefix).expect("fits");
+        inc_ks.partial_fit(&data, split).expect("prefix extends");
+        prop_assert_eq!(inc_ks.fitted_len(), data.len());
+
+        for q in data.rows() {
+            let a = full_ibk.predict(q).expect("fitted");
+            let b = inc_ibk.predict(q).expect("fitted");
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "IBk diverges at {:?}", q);
+            let a = full_ks.predict(q).expect("fitted");
+            let b = inc_ks.predict(q).expect("fitted");
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "KStar diverges at {:?}", q);
+        }
+    }
+
+    /// IBk's indexed prediction is bit-identical to the linear-scan
+    /// reference — same neighbours, same tie-breaks — for on-grid queries
+    /// (exact ties everywhere) and off-grid ones.
+    #[test]
+    fn ibk_index_matches_linear_scan(
+        data in tied_dataset_strategy(),
+        k in 1usize..6,
+        qseed in 0u64..100,
+    ) {
+        use disar_math::rng::stream_rng;
+        use rand::Rng;
+        let mut m = IbK::new(k);
+        m.fit(&data).expect("fits");
+        let mut rng = stream_rng(qseed, 4);
+        let off_grid: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..data.dim()).map(|_| rng.gen_range(-1.0..5.0)).collect())
+            .collect();
+        for q in data.rows().iter().chain(&off_grid) {
+            let indexed = m.predict(q).expect("fitted");
+            let linear = m.predict_linear(q).expect("fitted");
+            prop_assert_eq!(indexed.to_bits(), linear.to_bits(), "diverges at {:?}", q);
         }
     }
 

@@ -85,6 +85,69 @@ fn self_optimizing_loop_learns_and_persists() {
 }
 
 #[test]
+fn sharded_deployer_learns_routes_and_persists() {
+    use disar_suite::core::deploy::ShardedDeployer;
+    use disar_suite::core::{JobProfile, ShardedKnowledgeBase};
+    use disar_suite::engine::EebCharacteristics;
+
+    let profile = |contracts: usize| JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 200,
+        n_inner: 20,
+    };
+    let master = DisarMaster::new(tiny_spec(44)).expect("valid spec");
+    let workload = master.cloud_workload().expect("workload");
+
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 13);
+    let policy = DeployPolicy {
+        t_max_secs: 50_000.0,
+        epsilon: 0.05,
+        max_nodes: 4,
+        min_kb_samples: 8,
+        retrain_every: 1,
+        n_threads: 1,
+    };
+    let mut deployer = ShardedDeployer::new(provider, policy, 13);
+
+    // The sharded bootstrap runs until every catalog type has a trained
+    // shard; 60 deploys is comfortably past that.
+    let mut saw_ml = false;
+    for i in 0..60 {
+        let out = deployer
+            .deploy(&profile(80 + i * 9), &workload)
+            .expect("deploys succeed");
+        if matches!(out.mode, DeployMode::MlGreedy | DeployMode::MlExplored) {
+            saw_ml = true;
+            assert!(out.predicted_secs.is_some());
+        }
+    }
+    assert!(saw_ml, "ML phase must start once every shard is trained");
+    assert_eq!(deployer.knowledge_base().len(), 60);
+    // Every record was routed to the shard of its own instance type.
+    for (name, shard) in deployer.knowledge_base().shards() {
+        assert!(!shard.is_empty());
+        assert!(shard.records().iter().all(|r| r.instance == name));
+    }
+
+    // Persistence round-trip of the sharded store.
+    let dir = std::env::temp_dir().join("disar-e2e-sharded");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("skb.json");
+    deployer
+        .knowledge_base()
+        .save(&path)
+        .expect("save sharded kb");
+    let loaded = ShardedKnowledgeBase::load(&path).expect("load sharded kb");
+    assert_eq!(loaded, *deployer.knowledge_base());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn same_seed_same_everything() {
     // Determinism across the whole stack: valuation and deploy decisions.
     let a = DisarMaster::new(tiny_spec(55))
