@@ -1,0 +1,121 @@
+//! Deploy-pipeline wall-clock baselines: median time of the §IV campaign
+//! run sequentially (`depth = 1`) vs through a [`DeployPipeline`] at
+//! increasing depths. The pipeline overlaps the selection/bookkeeping of
+//! job *k + 1* with the cloud run of job *k*, so the campaign should
+//! approach the depth-fold speedup while staying bit-identical — the
+//! harness asserts the knowledge bases match before reporting.
+//!
+//! Like `kb_scale`, this is a hand-rolled harness (`harness = false`)
+//! because the acceptance numbers are persisted: the raw medians go to
+//! `BENCH_pipeline.json` at the repo root, where the CI history can diff
+//! them. Regenerate with
+//!
+//! ```text
+//! cargo bench -p disar-bench --bench pipeline
+//! ```
+
+use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N_RUNS: usize = 300;
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct PipelineRow {
+    depth: usize,
+    n_runs: usize,
+    campaign_ns: u128,
+    speedup_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    generated_by: &'static str,
+    rows: Vec<PipelineRow>,
+}
+
+fn cfg(depth: usize) -> CampaignConfig {
+    CampaignConfig {
+        n_runs: N_RUNS,
+        n_outer: 400,
+        n_inner: 30,
+        max_nodes: 6,
+        seed: 20_160_627,
+        n_threads: depth,
+    }
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn campaign_ns(depth: usize) -> u128 {
+    median(
+        (0..REPS)
+            .map(|_| {
+                let c = cfg(depth);
+                let t = Instant::now();
+                let (kb, provider, jobs) = build_knowledge_base(&c);
+                let ns = t.elapsed().as_nanos();
+                black_box((&kb, &provider, &jobs));
+                ns
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`, filters); this harness
+    // always runs the full sweep, so the argv is deliberately ignored.
+    let cores = disar_math::parallel::default_n_threads();
+    let mut depths = vec![1, 2, 4];
+    if !depths.contains(&cores) {
+        depths.push(cores);
+    }
+
+    // Determinism gate first: a pipeline speedup only counts if the deep
+    // pipeline produced the sequential knowledge base, bit for bit.
+    let (seq_kb, _, _) = build_knowledge_base(&cfg(1));
+    for &d in &depths[1..] {
+        let (kb, _, _) = build_knowledge_base(&cfg(d));
+        assert_eq!(seq_kb, kb, "depth {d} diverged from the sequential campaign");
+    }
+
+    let mut rows = Vec::with_capacity(depths.len());
+    let sequential_ns = campaign_ns(1);
+    for &depth in &depths {
+        let ns = if depth == 1 {
+            sequential_ns
+        } else {
+            campaign_ns(depth)
+        };
+        let speedup = sequential_ns as f64 / ns.max(1) as f64;
+        println!(
+            "depth {depth:>2}: {:>8.1} ms  ({speedup:.2}x vs sequential)",
+            ns as f64 / 1e6
+        );
+        rows.push(PipelineRow {
+            depth,
+            n_runs: N_RUNS,
+            campaign_ns: ns,
+            speedup_vs_sequential: speedup,
+        });
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pipeline.json");
+    let report = Report {
+        generated_by: "cargo bench -p disar-bench --bench pipeline",
+        rows,
+    };
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("repo root is writable");
+    println!("wrote {}", path.display());
+}

@@ -56,7 +56,7 @@ fn main() {
         .expect("knowledge base saves");
 
     if want("table1") {
-        let t = table1_threads(&kb, provider.catalog(), cfg.seed, cfg.n_threads);
+        let t = table1(&kb, provider.catalog(), cfg.seed, cfg.n_threads);
         let mut rows = Vec::new();
         for (mi, model) in t.models.iter().enumerate() {
             let mut row = vec![model.clone()];
@@ -89,7 +89,7 @@ fn main() {
     }
 
     if want("fig2") {
-        let pts = fig2_threads(&kb, cfg.seed, cfg.n_threads);
+        let pts = fig2(&kb, cfg.seed, cfg.n_threads);
         let rows: Vec<Vec<String>> = pts
             .iter()
             .map(|p| vec![p.model.clone(), fmt(p.real, 2), fmt(p.predicted, 2)])
@@ -174,7 +174,7 @@ fn main() {
     }
 
     if want("ablation_ensemble") {
-        let rows_raw = ablation_ensemble_threads(&kb, cfg.seed, cfg.n_threads);
+        let rows_raw = ablation_ensemble(&kb, cfg.seed, cfg.n_threads);
         let rows: Vec<Vec<String>> = rows_raw
             .iter()
             .map(|(n, b, r)| vec![n.clone(), fmt(*b, 1), fmt(*r, 1)])
@@ -218,7 +218,7 @@ fn main() {
     }
 
     if want("ablation_hetero") {
-        let rows_raw = ablation_hetero_threads(&kb, &jobs, &provider, cfg.seed, cfg.n_threads);
+        let rows_raw = ablation_hetero(&kb, &jobs, &provider, cfg.seed, cfg.n_threads);
         let rows: Vec<Vec<String>> = rows_raw
             .iter()
             .map(|r| {
@@ -245,7 +245,7 @@ fn main() {
 
     if want("ablation_deadline") {
         let rows_raw =
-            ablation_deadline_rule_threads(&kb, &jobs, &provider, cfg.seed, cfg.n_threads);
+            ablation_deadline_rule(&kb, &jobs, &provider, cfg.seed, cfg.n_threads);
         let rows: Vec<Vec<String>> = rows_raw
             .iter()
             .map(|r| {

@@ -4,13 +4,15 @@
 use disar_actuarial::portfolio::paper_portfolios;
 use disar_alm::SegregatedFund;
 use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
-use disar_core::{JobProfile, KnowledgeBase, RunRecord};
+use disar_core::{
+    DeployPipeline, DeployPolicy, JobProfile, KnowledgeBase, PipelineJob, TransparentDeployer,
+};
 use disar_engine::complexity::ComplexityModel;
 use disar_engine::eeb::{decompose, EebKind};
 use disar_engine::simulation::{MarketModel, SimulationSpec};
-use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// One runnable EEB job: profile (what the ML sees) + workload (what the
 /// cloud executes).
@@ -108,50 +110,53 @@ pub fn paper_eeb_jobs(cfg: &CampaignConfig) -> Vec<EebJob> {
 /// type, node count), every realized duration recorded — the knowledge
 /// base Table I/Figures 2–3 are computed from.
 ///
+/// The runs go through a [`DeployPipeline`] of forced (operator-pinned)
+/// jobs, `cfg.n_threads` deep: forced jobs never consult the predictor, so
+/// the pipeline keeps every slot busy while records land strictly in job
+/// order — bit-identical to the sequential loop at any depth.
+///
 /// Returns the knowledge base and the provider (with its noise stream
 /// advanced), so follow-up experiments see fresh cloud conditions.
 pub fn build_knowledge_base(cfg: &CampaignConfig) -> (KnowledgeBase, CloudProvider, Vec<EebJob>) {
     let jobs = paper_eeb_jobs(cfg);
-    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed);
+    let provider = Arc::new(CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed));
     let names = provider.catalog().names();
 
     // Pre-sample every (job, instance, nodes) decision with the campaign's
-    // own RNG stream (untouched by the cloud runs), then reserve a block of
-    // noise-stream indices and run the jobs as a deterministic parallel
-    // map: run `i` sees exactly the cloud conditions the `i`-th iteration
-    // of the sequential loop would have.
-    let picks: Vec<(usize, usize, usize)> = {
+    // own RNG stream (untouched by the cloud runs), then submit them as
+    // forced pipeline jobs: run `i` holds the `i`-th noise-stream slot, so
+    // it sees exactly the cloud conditions the `i`-th iteration of the
+    // sequential loop would have.
+    let pipeline_jobs: Vec<PipelineJob> = {
         let mut rng = stream_rng(cfg.seed, 0xCA3F);
         (0..cfg.n_runs)
             .map(|_| {
-                let job = rng.gen_range(0..jobs.len());
-                let instance = rng.gen_range(0..names.len());
+                let job = &jobs[rng.gen_range(0..jobs.len())];
+                let instance = &names[rng.gen_range(0..names.len())];
                 let n_nodes = rng.gen_range(1..=cfg.max_nodes);
-                (job, instance, n_nodes)
+                PipelineJob::forced(job.profile, job.workload.clone(), instance, n_nodes)
             })
             .collect()
     };
-    let base = provider.reserve_runs(cfg.n_runs as u64);
-    let records = parallel_map(cfg.n_runs, cfg.n_threads.max(1), |i| {
-        let (job_i, inst_i, n_nodes) = picks[i];
-        let job = &jobs[job_i];
-        let instance = &names[inst_i];
-        let report = provider
-            .run_job_at(instance, n_nodes, &job.workload, base + i as u64)
-            .expect("catalog instances are valid");
-        let inst = provider.catalog().get(instance).expect("valid name");
-        RunRecord::new(
-            job.profile,
-            inst,
-            n_nodes,
-            report.duration_secs,
-            report.prorated_cost,
-        )
-    });
-    let mut kb = KnowledgeBase::new();
-    for record in records {
-        kb.record(record);
-    }
+    // The campaign only records; the deployer must never select or
+    // retrain, so the bootstrap threshold is unreachable.
+    let policy = DeployPolicy {
+        t_max_secs: f64::MAX,
+        epsilon: 0.0,
+        max_nodes: cfg.max_nodes,
+        min_kb_samples: usize::MAX,
+        retrain_every: 1,
+        n_threads: 1,
+    };
+    let deployer = TransparentDeployer::from_shared(Arc::clone(&provider), policy, cfg.seed);
+    let mut pipeline =
+        DeployPipeline::new(deployer, cfg.n_threads.max(1)).expect("depth >= 1");
+    pipeline
+        .run(&pipeline_jobs)
+        .expect("catalog instances are valid");
+    let kb = pipeline.into_deployer().into_knowledge_base();
+    let provider =
+        Arc::try_unwrap(provider).expect("pipeline workers released their provider handles");
     (kb, provider, jobs)
 }
 

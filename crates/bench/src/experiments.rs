@@ -45,15 +45,12 @@ pub struct Table1 {
 /// Regenerates Table I from a knowledge base: per instance type, train
 /// each of the six classifiers on 40 % of that type's runs and report the
 /// signed mean error on the remaining 60 %.
-pub fn table1(kb: &KnowledgeBase, catalog: &InstanceCatalog, seed: u64) -> Table1 {
-    table1_threads(kb, catalog, seed, 1)
-}
-
-/// [`table1`] with the `instances × models` train/evaluate cells spread
-/// over up to `n_threads` workers. Every cell depends only on its
-/// instance's (deterministic) split and its own model seed, so the table
-/// is bit-identical to the sequential loop for any thread count.
-pub fn table1_threads(
+///
+/// The `instances × models` train/evaluate cells spread over up to
+/// `n_threads` workers. Every cell depends only on its instance's
+/// (deterministic) split and its own model seed, so the table is
+/// bit-identical for any thread count; `1` is the sequential escape hatch.
+pub fn table1(
     kb: &KnowledgeBase,
     catalog: &InstanceCatalog,
     seed: u64,
@@ -98,21 +95,31 @@ pub fn table1_threads(
     }
 }
 
+/// Deprecated spelling of [`table1`] from before the driver API took the
+/// thread count directly.
+#[deprecated(note = "use `table1`, which now takes the thread count")]
+pub fn table1_threads(
+    kb: &KnowledgeBase,
+    catalog: &InstanceCatalog,
+    seed: u64,
+    n_threads: usize,
+) -> Table1 {
+    table1(kb, catalog, seed, n_threads)
+}
+
 /// Table II: mean prorated per-simulation cost (USD) per instance type,
 /// measured by running every EEB job once on a single node of each type.
 ///
-/// The `names × jobs` runs execute as a deterministic parallel map over
-/// reserved noise-stream indices — bit-identical to the sequential
+/// The `names × jobs` runs execute as a [`CloudProvider::run_batch`] over
+/// reserved noise-stream slots — bit-identical to the sequential
 /// (instance-major) loop for any `n_threads`.
 pub fn table2(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
     let names = provider.catalog().names();
     let total = names.len() * jobs.len();
-    let base = provider.reserve_runs(total as u64);
-    let costs = parallel_map(total, n_threads.max(1), |i| {
+    let costs = provider.run_batch(total, n_threads, |i, run| {
         let name = &names[i / jobs.len()];
         let job = &jobs[i % jobs.len()];
-        provider
-            .run_job_at(name, 1, &job.workload, base + i as u64)
+        run.execute(name, 1, &job.workload)
             .expect("catalog instance")
             .prorated_cost
     });
@@ -139,14 +146,11 @@ pub struct Fig2Point {
 
 /// Figure 2: per-model predicted-vs-real pairs on a held-out 60 % split of
 /// the whole knowledge base.
-pub fn fig2(kb: &KnowledgeBase, seed: u64) -> Vec<Fig2Point> {
-    fig2_threads(kb, seed, 1)
-}
-
-/// [`fig2`] with the six model fits spread over up to `n_threads` workers,
-/// concatenating the per-model point runs in model order — bit-identical
-/// to the sequential loop for any thread count.
-pub fn fig2_threads(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
+///
+/// The six model fits spread over up to `n_threads` workers, concatenating
+/// the per-model point runs in model order — bit-identical for any thread
+/// count; `1` is the sequential escape hatch.
+pub fn fig2(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
     let data = kb.to_dataset().expect("knowledge base is non-empty");
     let (train, test) = data
         .split(TABLE1_TRAIN_FRACTION, seed)
@@ -166,6 +170,13 @@ pub fn fig2_threads(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2
             .collect::<Vec<_>>()
     });
     per_model.into_iter().flatten().collect()
+}
+
+/// Deprecated spelling of [`fig2`] from before the driver API took the
+/// thread count directly.
+#[deprecated(note = "use `fig2`, which now takes the thread count")]
+pub fn fig2_threads(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
+    fig2(kb, seed, n_threads)
 }
 
 /// Figure 3: the pooled error histogram.
@@ -207,15 +218,12 @@ pub fn fig3(points: &[Fig2Point]) -> Fig3 {
 pub fn fig4(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
     let names = provider.catalog().names();
     let total = names.len() * jobs.len();
-    let base = provider.reserve_runs(total as u64);
-    let speedups = parallel_map(total, n_threads.max(1), |i| {
+    let speedups = provider.run_batch(total, n_threads, |i, run| {
         let name = &names[i / jobs.len()];
         let job = &jobs[i % jobs.len()];
         let seq = provider.ground_truth().sequential_secs(&job.workload);
-        let run = provider
-            .run_job_at(name, 1, &job.workload, base + i as u64)
-            .expect("catalog instance");
-        seq / run.duration_secs
+        let report = run.execute(name, 1, &job.workload).expect("catalog instance");
+        seq / report.duration_secs
     });
     names
         .into_iter()
@@ -320,14 +328,12 @@ pub fn comparison(
 
 /// Ablation: accuracy of each single model vs the six-model average on a
 /// held-out split. Returns `(name, bias, rmse)` rows, ensemble last.
-pub fn ablation_ensemble(kb: &KnowledgeBase, seed: u64) -> Vec<(String, f64, f64)> {
-    ablation_ensemble_threads(kb, seed, 1)
-}
-
-/// [`ablation_ensemble`] with the six member fits spread over up to
-/// `n_threads` workers; the ensemble is then assembled from the fitted
-/// members in model order, so the rows are bit-identical to sequential.
-pub fn ablation_ensemble_threads(
+///
+/// The six member fits spread over up to `n_threads` workers; the ensemble
+/// is then assembled from the fitted members in model order, so the rows
+/// are bit-identical for any thread count; `1` is the sequential escape
+/// hatch.
+pub fn ablation_ensemble(
     kb: &KnowledgeBase,
     seed: u64,
     n_threads: usize,
@@ -353,6 +359,17 @@ pub fn ablation_ensemble_threads(
     let ev = evaluate(&ensemble, &test).expect("evaluation succeeds");
     rows.push(("Ensemble".to_string(), ev.bias, ev.rmse));
     rows
+}
+
+/// Deprecated spelling of [`ablation_ensemble`] from before the driver API
+/// took the thread count directly.
+#[deprecated(note = "use `ablation_ensemble`, which now takes the thread count")]
+pub fn ablation_ensemble_threads(
+    kb: &KnowledgeBase,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<(String, f64, f64)> {
+    ablation_ensemble(kb, seed, n_threads)
 }
 
 /// Ablation: effect of ε-greedy exploration on knowledge-base coverage and
@@ -430,22 +447,14 @@ pub struct HeteroAblationRow {
 
 /// For a sweep of deadlines on the largest EEB, compares the realized
 /// time/cost of the homogeneous pick against the heterogeneous one.
+///
+/// The sweep runs in two phases so it parallelizes: selections first (pure
+/// reads of the trained family), then the realized runs. Homogeneous runs
+/// draw reserved noise-stream slots in deadline order — exactly the
+/// indices the sequential loop's `run_job` calls would consume — and
+/// heterogeneous runs are counter-free (explicit seed), so the rows are
+/// bit-identical for any thread count; `1` is the sequential escape hatch.
 pub fn ablation_hetero(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-) -> Vec<HeteroAblationRow> {
-    ablation_hetero_threads(kb, jobs, provider, seed, 1)
-}
-
-/// [`ablation_hetero`] split into two phases so the sweep parallelizes:
-/// selections first (pure reads of the trained family), then the realized
-/// runs. Homogeneous runs draw reserved noise-stream slots in deadline
-/// order — exactly the indices the sequential loop's `run_job` calls would
-/// consume — and heterogeneous runs are counter-free (explicit seed), so
-/// the rows are bit-identical for any thread count.
-pub fn ablation_hetero_threads(
     kb: &KnowledgeBase,
     jobs: &[EebJob],
     provider: &CloudProvider,
@@ -556,6 +565,19 @@ pub fn ablation_hetero_threads(
     })
 }
 
+/// Deprecated spelling of [`ablation_hetero`] from before the driver API
+/// took the thread count directly.
+#[deprecated(note = "use `ablation_hetero`, which now takes the thread count")]
+pub fn ablation_hetero_threads(
+    kb: &KnowledgeBase,
+    jobs: &[EebJob],
+    provider: &CloudProvider,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<HeteroAblationRow> {
+    ablation_hetero(kb, jobs, provider, seed, n_threads)
+}
+
 /// Ablation: ensemble-mean vs conservative (worst-member) deadline filter.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DeadlineRuleAblation {
@@ -571,22 +593,14 @@ pub struct DeadlineRuleAblation {
 
 /// Sweeps moderately tight deadlines over every EEB job and compares the
 /// deadline-miss rate and cost of the two filtering rules.
+///
+/// The `rules × jobs × deadlines` sweep runs in two phases so it
+/// parallelizes: every selection is a pure read of the trained family, and
+/// the realized runs draw reserved noise-stream slots in the sequential
+/// loop's (rule, job, deadline) order — only feasible cases consume a
+/// slot, exactly as the sequential `run_job` calls would. Bit-identical
+/// for any thread count; `1` is the sequential escape hatch.
 pub fn ablation_deadline_rule(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-) -> Vec<DeadlineRuleAblation> {
-    ablation_deadline_rule_threads(kb, jobs, provider, seed, 1)
-}
-
-/// [`ablation_deadline_rule`] split into two phases so the
-/// `rules × jobs × deadlines` sweep parallelizes: every selection is a
-/// pure read of the trained family, and the realized runs draw reserved
-/// noise-stream slots in the sequential loop's (rule, job, deadline)
-/// order — only feasible cases consume a slot, exactly as the sequential
-/// `run_job` calls would. Bit-identical for any thread count.
-pub fn ablation_deadline_rule_threads(
     kb: &KnowledgeBase,
     jobs: &[EebJob],
     provider: &CloudProvider,
@@ -701,6 +715,19 @@ pub fn ablation_deadline_rule_threads(
             }
         })
         .collect()
+}
+
+/// Deprecated spelling of [`ablation_deadline_rule`] from before the
+/// driver API took the thread count directly.
+#[deprecated(note = "use `ablation_deadline_rule`, which now takes the thread count")]
+pub fn ablation_deadline_rule_threads(
+    kb: &KnowledgeBase,
+    jobs: &[EebJob],
+    provider: &CloudProvider,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<DeadlineRuleAblation> {
+    ablation_deadline_rule(kb, jobs, provider, seed, n_threads)
 }
 
 /// The self-optimizing loop's learning curve — the paper's claim that
@@ -943,7 +970,7 @@ mod tests {
     #[test]
     fn table1_has_full_shape_and_moderate_bias() {
         let (kb, provider, _) = small_campaign();
-        let t = table1(&kb, provider.catalog(), 1);
+        let t = table1(&kb, provider.catalog(), 1, 1);
         assert_eq!(t.models.len(), 6);
         assert_eq!(t.instances.len(), 6);
         let times: Vec<f64> = kb.records().iter().map(|r| r.duration_secs).collect();
@@ -982,14 +1009,14 @@ mod tests {
     #[test]
     fn parallel_table1_fig2_ensemble_match_sequential() {
         let (kb, provider, _) = small_campaign();
-        let seq = table1(&kb, provider.catalog(), 1);
-        let par = table1_threads(&kb, provider.catalog(), 1, 4);
+        let seq = table1(&kb, provider.catalog(), 1, 1);
+        let par = table1(&kb, provider.catalog(), 1, 4);
         assert_eq!(seq.instances, par.instances);
         assert_eq!(seq.models, par.models);
         assert_eq!(seq.bias, par.bias);
 
-        let f_seq = fig2(&kb, 3);
-        let f_par = fig2_threads(&kb, 3, 4);
+        let f_seq = fig2(&kb, 3, 1);
+        let f_par = fig2(&kb, 3, 4);
         assert_eq!(f_seq.len(), f_par.len());
         for (a, b) in f_seq.iter().zip(&f_par) {
             assert_eq!(a.model, b.model);
@@ -997,14 +1024,38 @@ mod tests {
             assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
         }
 
-        let e_seq = ablation_ensemble(&kb, 2);
-        let e_par = ablation_ensemble_threads(&kb, 2, 4);
+        let e_seq = ablation_ensemble(&kb, 2, 1);
+        let e_par = ablation_ensemble(&kb, 2, 4);
         assert_eq!(e_seq.len(), e_par.len());
         for (a, b) in e_seq.iter().zip(&e_par) {
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_bits(), b.1.to_bits());
             assert_eq!(a.2.to_bits(), b.2.to_bits());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_primaries() {
+        let (kb, provider, jobs) = small_campaign();
+        let t = table1_threads(&kb, provider.catalog(), 1, 2);
+        assert_eq!(t.bias, table1(&kb, provider.catalog(), 1, 1).bias);
+        assert_eq!(fig2_threads(&kb, 3, 2).len(), fig2(&kb, 3, 1).len());
+        assert_eq!(
+            ablation_ensemble_threads(&kb, 2, 2),
+            ablation_ensemble(&kb, 2, 1)
+        );
+        // The run-executing wrappers need separate providers so both see
+        // the same noise-stream position.
+        let (_, provider2, _) = small_campaign();
+        assert_eq!(
+            ablation_hetero_threads(&kb, &jobs, &provider, 3, 2),
+            ablation_hetero(&kb, &jobs, &provider2, 3, 1)
+        );
+        assert_eq!(
+            ablation_deadline_rule_threads(&kb, &jobs, &provider, 5, 2),
+            ablation_deadline_rule(&kb, &jobs, &provider2, 5, 1)
+        );
     }
 
     #[test]
@@ -1015,19 +1066,19 @@ mod tests {
         let (kb, seq_provider, jobs) = small_campaign();
         let (_, par_provider, _) = small_campaign();
         assert_eq!(
-            ablation_hetero(&kb, &jobs, &seq_provider, 3),
-            ablation_hetero_threads(&kb, &jobs, &par_provider, 3, 4)
+            ablation_hetero(&kb, &jobs, &seq_provider, 3, 1),
+            ablation_hetero(&kb, &jobs, &par_provider, 3, 4)
         );
         assert_eq!(
-            ablation_deadline_rule(&kb, &jobs, &seq_provider, 5),
-            ablation_deadline_rule_threads(&kb, &jobs, &par_provider, 5, 4)
+            ablation_deadline_rule(&kb, &jobs, &seq_provider, 5, 1),
+            ablation_deadline_rule(&kb, &jobs, &par_provider, 5, 4)
         );
     }
 
     #[test]
     fn fig2_fig3_consistency() {
         let (kb, _, _) = small_campaign();
-        let pts = fig2(&kb, 3);
+        let pts = fig2(&kb, 3, 1);
         assert!(!pts.is_empty());
         // 6 models × 60% of the KB.
         assert_eq!(pts.len(), 6 * (kb.len() - (kb.len() as f64 * 0.4) as usize));
@@ -1062,7 +1113,7 @@ mod tests {
     #[test]
     fn ensemble_ablation_contains_all_rows() {
         let (kb, _, _) = small_campaign();
-        let rows = ablation_ensemble(&kb, 2);
+        let rows = ablation_ensemble(&kb, 2, 1);
         assert_eq!(rows.len(), 7);
         assert_eq!(rows.last().unwrap().0, "Ensemble");
         for (_, bias, rmse) in &rows {
@@ -1093,7 +1144,7 @@ mod tests {
     #[test]
     fn hetero_ablation_finds_feasible_configs() {
         let (kb, provider, jobs) = small_campaign();
-        let rows = ablation_hetero(&kb, &jobs, &provider, 3);
+        let rows = ablation_hetero(&kb, &jobs, &provider, 3, 1);
         assert_eq!(rows.len(), 4);
         // At a loose deadline both approaches find something, and the
         // hetero candidate set contains the homogeneous one, so its
@@ -1112,7 +1163,7 @@ mod tests {
     #[test]
     fn conservative_rule_shrinks_feasibility() {
         let (kb, provider, jobs) = small_campaign();
-        let rows = ablation_deadline_rule(&kb, &jobs, &provider, 5);
+        let rows = ablation_deadline_rule(&kb, &jobs, &provider, 5, 1);
         assert_eq!(rows.len(), 2);
         let mean = &rows[0];
         let cons = &rows[1];

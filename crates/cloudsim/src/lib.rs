@@ -56,5 +56,5 @@ mod error;
 pub use error::CloudError;
 pub use hetero::{HeteroReport, NodeGroup};
 pub use instances::{InstanceCatalog, InstanceType};
-pub use provider::{CloudProvider, JobReport};
+pub use provider::{CloudProvider, JobReport, RunHandle};
 pub use workload::Workload;

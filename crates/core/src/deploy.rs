@@ -13,10 +13,19 @@
 //!    base — "this approach allows to refine the prediction models while
 //!    carrying out useful work";
 //! 4. **Retrain** the model family and go to 1 for the next simulation.
+//!
+//! Two backends implement the loop behind the [`Deployer`] trait: the
+//! monolithic [`TransparentDeployer`] and the instance-type-sharded
+//! [`ShardedDeployer`]. The trait splits one `deploy()` into its
+//! *decision* ([`Deployer::select`] / [`Deployer::begin_manual`]) and
+//! *feedback* ([`Deployer::record`]) halves so [`crate::pipeline`] can
+//! overlap the decision for job *k+1* with the cloud run of job *k*
+//! without changing the paper's semantics (see
+//! [`Deployer::selection_ready`]).
 
 use crate::algorithm::{select_configuration_with_rule_threads, TimeEstimate};
 use crate::knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
-use crate::predictor::{PredictorFamily, ShardedPredictor};
+use crate::predictor::{PredictorFamily, ShardedPredictor, TimePredictor};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{CloudProvider, JobReport, Workload};
@@ -24,6 +33,8 @@ use disar_engine::DisarMaster;
 use disar_math::rng::stream_rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// How the deploy configuration was chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,28 +132,275 @@ impl DeployOutcome {
     }
 }
 
-/// The self-optimizing transparent deployer.
-pub struct TransparentDeployer {
-    provider: CloudProvider,
+/// A committed deploy decision: the configuration a job *will* run on,
+/// before the run has executed.
+///
+/// This is the first half of a [`DeployOutcome`]; [`Deployer::record`]
+/// turns it into knowledge once the cloud's [`JobReport`] arrives. The
+/// pipeline keeps the decisions of in-flight runs and passes them as the
+/// `pending` argument of [`Deployer::select`] /
+/// [`Deployer::selection_ready`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployDecision {
+    /// How the configuration was chosen.
+    pub mode: DeployMode,
+    /// Instance-type name the job will run on.
+    pub instance: String,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Ensemble-predicted execution time, when ML chose.
+    pub predicted_secs: Option<f64>,
+}
+
+/// The self-optimizing deploy service, split into decision and feedback
+/// halves.
+///
+/// Implementors ([`TransparentDeployer`], [`ShardedDeployer`]) own the
+/// knowledge base, the predictor(s) and a shared handle on the cloud
+/// provider. The provided [`Deployer::deploy`] / [`Deployer::deploy_manual`]
+/// compose the halves back into the paper's sequential loop; the
+/// event-driven [`crate::pipeline::DeployPipeline`] drives the halves
+/// directly so selection and execution can overlap.
+///
+/// # The `pending` contract
+///
+/// `select` and `selection_ready` take the decisions of runs that have been
+/// *issued but not yet recorded*, in job order. A selection must behave
+/// exactly as if those records had already landed — which is only possible
+/// when its result does not depend on their still-unknown outcomes:
+///
+/// - bootstrap-phase selections are RNG-only (seeded by the deploy
+///   counter), so they never depend on pending outcomes;
+/// - ML selections are valid while no retrain is scheduled to fire among
+///   the pending records (the family snapshot the sequential loop would
+///   use is the current one);
+/// - otherwise `selection_ready` returns `false` and the caller must land
+///   records first.
+///
+/// Whether a retrain fires is deterministic given the pending decisions
+/// alone (the gates count records and shard sizes, never realized times),
+/// so readiness never needs to wait on a run's result.
+pub trait Deployer {
+    /// The active policy.
+    fn policy(&self) -> &DeployPolicy;
+
+    /// The underlying cloud provider.
+    fn provider(&self) -> &CloudProvider;
+
+    /// An owned handle on the provider, for workers that must outlive a
+    /// mutable borrow of the deployer (the pipeline's run threads).
+    fn provider_handle(&self) -> Arc<CloudProvider>;
+
+    /// Number of records in the knowledge base.
+    fn kb_len(&self) -> usize;
+
+    /// Trains the predictor(s) on the current knowledge base — the bulk
+    /// warm-up for a pre-seeded base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation and the first training failure (e.g.
+    /// [`CoreError::InsufficientKnowledge`] on a base that is too small).
+    fn warm(&mut self) -> Result<(), CoreError>;
+
+    /// `true` when the next selection can be made *now*, as if the
+    /// `pending` records had already landed (see the trait docs).
+    fn selection_ready(&self, pending: &[DeployDecision]) -> bool;
+
+    /// Chooses the configuration for the next job, given the decisions of
+    /// in-flight runs. Advances the deploy counter. Callers must only pass
+    /// a non-empty `pending` after `selection_ready(pending)` returned
+    /// `true`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation and Algorithm 1 failures (including
+    /// [`CoreError::NoFeasibleConfiguration`]).
+    fn select(
+        &mut self,
+        profile: &JobProfile,
+        pending: &[DeployDecision],
+    ) -> Result<DeployDecision, CoreError>;
+
+    /// Registers an operator-forced configuration (manual override) as the
+    /// next decision. Advances the deploy counter; always ready (no
+    /// selection happens).
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation.
+    fn begin_manual(
+        &mut self,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployDecision, CoreError>;
+
+    /// Feeds one finished run back into the knowledge base and retrains
+    /// per policy. Records must land in job order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog lookups and retrain failures; the record itself
+    /// lands before a retrain can fail.
+    fn record(
+        &mut self,
+        profile: &JobProfile,
+        decision: &DeployDecision,
+        report: &JobReport,
+    ) -> Result<(), CoreError>;
+
+    /// Deploys one job: full self-optimizing cycle (select → run → record →
+    /// retrain), the paper's sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation, Algorithm 1 (including
+    /// [`CoreError::NoFeasibleConfiguration`]) and cloud failures.
+    fn deploy(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+    ) -> Result<DeployOutcome, CoreError> {
+        let decision = self.select(profile, &[])?;
+        let report = self
+            .provider()
+            .run_job(&decision.instance, decision.n_nodes, workload)?;
+        self.record(profile, &decision, &report)?;
+        Ok(DeployOutcome {
+            mode: decision.mode,
+            predicted_secs: decision.predicted_secs,
+            report,
+        })
+    }
+
+    /// Deploys with an operator-forced configuration (manual override);
+    /// the run is still recorded and learned from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud failures (unknown instance, zero nodes).
+    fn deploy_manual(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployOutcome, CoreError> {
+        let decision = self.begin_manual(instance, n_nodes)?;
+        let report = self
+            .provider()
+            .run_job(&decision.instance, decision.n_nodes, workload)?;
+        self.record(profile, &decision, &report)?;
+        Ok(DeployOutcome {
+            mode: decision.mode,
+            predicted_secs: decision.predicted_secs,
+            report,
+        })
+    }
+}
+
+/// State every deployer backend shares: the provider handle, the policy
+/// and the decision-seed bookkeeping. Keeping it in one place stops the
+/// two `deploy()` bodies from drifting.
+struct DeployerCore {
+    provider: Arc<CloudProvider>,
     policy: DeployPolicy,
-    kb: KnowledgeBase,
-    family: PredictorFamily,
     seed: u64,
     deploy_counter: u64,
     runs_since_retrain: usize,
 }
 
-impl TransparentDeployer {
-    /// Creates a deployer with an empty knowledge base.
-    pub fn new(provider: CloudProvider, policy: DeployPolicy, seed: u64) -> Self {
-        TransparentDeployer {
+impl DeployerCore {
+    fn new(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
+        DeployerCore {
             provider,
             policy,
-            kb: KnowledgeBase::new(),
-            family: PredictorFamily::new(seed, 2),
             seed,
             deploy_counter: 0,
             runs_since_retrain: 0,
+        }
+    }
+
+    /// Bumps the deploy counter and derives this deploy's decision seed —
+    /// counter-based, so decisions depend only on submission order.
+    fn next_decision_seed(&mut self) -> u64 {
+        self.deploy_counter += 1;
+        disar_math::rng::split_seed(self.seed, self.deploy_counter)
+    }
+
+    /// A uniformly random `(instance, n_nodes)` for the bootstrap phase.
+    fn random_config(&self, seed: u64) -> (String, usize) {
+        let mut rng = stream_rng(seed, 0xB00F);
+        let names = self.provider.catalog().names();
+        let instance = names[rng.gen_range(0..names.len())].clone();
+        let n_nodes = rng.gen_range(1..=self.policy.max_nodes);
+        (instance, n_nodes)
+    }
+
+    /// Algorithm 1 over the given predictor — the shared ML half of both
+    /// backends' `select`.
+    fn ml_select<P: TimePredictor + ?Sized>(
+        &self,
+        predictor: &P,
+        profile: &JobProfile,
+        decision_seed: u64,
+    ) -> Result<DeployDecision, CoreError> {
+        let selection = select_configuration_with_rule_threads(
+            predictor,
+            self.provider.catalog(),
+            profile,
+            self.policy.t_max_secs,
+            self.policy.max_nodes,
+            self.policy.epsilon,
+            decision_seed,
+            TimeEstimate::EnsembleMean,
+            self.policy.n_threads,
+        )?;
+        Ok(DeployDecision {
+            mode: if selection.explored {
+                DeployMode::MlExplored
+            } else {
+                DeployMode::MlGreedy
+            },
+            instance: selection.chosen.instance,
+            n_nodes: selection.chosen.n_nodes,
+            predicted_secs: Some(selection.chosen.predicted_secs),
+        })
+    }
+}
+
+/// Virtual knowledge-base state after landing a set of pending records —
+/// computable without their outcomes because the retrain gates only count.
+struct PendingSim {
+    /// Knowledge-base size once every pending record has landed.
+    virtual_len: usize,
+    /// Whether the predictor would be trained/covered at that point.
+    virtual_trained: bool,
+    /// Whether landing the pending records fires at least one retrain
+    /// (i.e. the current predictor snapshot would go stale).
+    retrain_pending: bool,
+}
+
+/// The self-optimizing transparent deployer.
+pub struct TransparentDeployer {
+    core: DeployerCore,
+    kb: KnowledgeBase,
+    family: PredictorFamily,
+}
+
+impl TransparentDeployer {
+    /// Creates a deployer with an empty knowledge base.
+    pub fn new(provider: CloudProvider, policy: DeployPolicy, seed: u64) -> Self {
+        Self::from_shared(Arc::new(provider), policy, seed)
+    }
+
+    /// Creates a deployer over an already-shared provider (e.g. one a
+    /// [`crate::pipeline::DeployPipeline`] driver also holds a handle on).
+    pub fn from_shared(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
+        TransparentDeployer {
+            family: PredictorFamily::new(seed, 2),
+            core: DeployerCore::new(provider, policy, seed),
+            kb: KnowledgeBase::new(),
         }
     }
 
@@ -158,6 +416,12 @@ impl TransparentDeployer {
         &self.kb
     }
 
+    /// Consumes the deployer, returning the knowledge base (and dropping
+    /// this handle on the shared provider).
+    pub fn into_knowledge_base(self) -> KnowledgeBase {
+        self.kb
+    }
+
     /// The prediction-model family (e.g. for offline evaluation).
     pub fn family(&self) -> &PredictorFamily {
         &self.family
@@ -165,12 +429,24 @@ impl TransparentDeployer {
 
     /// The active policy.
     pub fn policy(&self) -> &DeployPolicy {
-        &self.policy
+        &self.core.policy
     }
 
     /// The underlying cloud provider.
     pub fn provider(&self) -> &CloudProvider {
-        &self.provider
+        &self.core.provider
+    }
+
+    /// Trains the family on the current knowledge base — the bulk warm-up
+    /// for a pre-seeded base (see [`Deployer::warm`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation and training failures.
+    pub fn warm(&mut self) -> Result<(), CoreError> {
+        self.core.policy.validate()?;
+        self.family
+            .retrain_with_threads(&self.kb, self.core.policy.n_threads)
     }
 
     /// Deploys one job: full self-optimizing cycle (select → run → record →
@@ -185,42 +461,7 @@ impl TransparentDeployer {
         profile: &JobProfile,
         workload: &Workload,
     ) -> Result<DeployOutcome, CoreError> {
-        self.policy.validate()?;
-        self.deploy_counter += 1;
-        let decision_seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
-
-        // Bootstrap phase: random configuration, no prediction.
-        if self.kb.len() < self.policy.min_kb_samples || !self.family.is_trained() {
-            let (instance, n_nodes) = self.random_config(decision_seed);
-            return self.execute(profile, workload, &instance, n_nodes, DeployMode::Bootstrap, None);
-        }
-
-        let selection = select_configuration_with_rule_threads(
-            &self.family,
-            self.provider.catalog(),
-            profile,
-            self.policy.t_max_secs,
-            self.policy.max_nodes,
-            self.policy.epsilon,
-            decision_seed,
-            TimeEstimate::EnsembleMean,
-            self.policy.n_threads,
-        )?;
-        let mode = if selection.explored {
-            DeployMode::MlExplored
-        } else {
-            DeployMode::MlGreedy
-        };
-        let instance = selection.chosen.instance.clone();
-        let predicted = selection.chosen.predicted_secs;
-        self.execute(
-            profile,
-            workload,
-            &instance,
-            selection.chosen.n_nodes,
-            mode,
-            Some(predicted),
-        )
+        Deployer::deploy(self, profile, workload)
     }
 
     /// Deploys with an operator-forced configuration (manual override);
@@ -236,9 +477,7 @@ impl TransparentDeployer {
         instance: &str,
         n_nodes: usize,
     ) -> Result<DeployOutcome, CoreError> {
-        self.policy.validate()?;
-        self.deploy_counter += 1;
-        self.execute(profile, workload, instance, n_nodes, DeployMode::Manual, None)
+        Deployer::deploy_manual(self, profile, workload, instance, n_nodes)
     }
 
     /// Deploys one job on a (possibly mixed) heterogeneous configuration —
@@ -257,22 +496,23 @@ impl TransparentDeployer {
         profile: &JobProfile,
         workload: &Workload,
     ) -> Result<(crate::hetero::HeteroSelection, disar_cloudsim::HeteroReport), CoreError> {
-        self.policy.validate()?;
-        self.deploy_counter += 1;
-        let seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
+        self.core.policy.validate()?;
+        let seed = self.core.next_decision_seed();
         let selection = crate::hetero::select_hetero_configuration_threads(
             &self.family,
-            self.provider.catalog(),
+            self.core.provider.catalog(),
             profile,
-            self.policy.t_max_secs,
-            self.policy.max_nodes,
-            self.policy.epsilon,
+            self.core.policy.t_max_secs,
+            self.core.policy.max_nodes,
+            self.core.policy.epsilon,
             seed,
-            self.policy.n_threads,
+            self.core.policy.n_threads,
         )?;
-        let report = self
-            .provider
-            .run_hetero_job_with_seed(&selection.chosen.groups, workload, seed ^ 0x4E7E)?;
+        let report = self.core.provider.run_hetero_job_with_seed(
+            &selection.chosen.groups,
+            workload,
+            seed ^ 0x4E7E,
+        )?;
         Ok((selection, report))
     }
 
@@ -292,45 +532,123 @@ impl TransparentDeployer {
         self.deploy(&profile, &workload)
     }
 
-    fn random_config(&self, seed: u64) -> (String, usize) {
-        let mut rng = stream_rng(seed, 0xB00F);
-        let names = self.provider.catalog().names();
-        let instance = names[rng.gen_range(0..names.len())].clone();
-        let n_nodes = rng.gen_range(1..=self.policy.max_nodes);
-        (instance, n_nodes)
+    /// Replays the monolithic retrain schedule over `n_pending` unlanded
+    /// records. The gate (`len ≥ min_kb_samples.max(2)` and
+    /// `runs_since_retrain ≥ retrain_every`) never looks at a record's
+    /// outcome, so the virtual state is exact.
+    fn simulate_pending(&self, n_pending: usize) -> PendingSim {
+        let mut len = self.kb.len();
+        let mut rsr = self.core.runs_since_retrain;
+        let mut trained = self.family.is_trained();
+        let mut retrain_pending = false;
+        for _ in 0..n_pending {
+            len += 1;
+            rsr += 1;
+            if len >= self.core.policy.min_kb_samples.max(2) && rsr >= self.core.policy.retrain_every
+            {
+                trained = true;
+                retrain_pending = true;
+                rsr = 0;
+            }
+        }
+        PendingSim {
+            virtual_len: len,
+            virtual_trained: trained,
+            retrain_pending,
+        }
+    }
+}
+
+impl Deployer for TransparentDeployer {
+    fn policy(&self) -> &DeployPolicy {
+        &self.core.policy
     }
 
-    fn execute(
+    fn provider(&self) -> &CloudProvider {
+        &self.core.provider
+    }
+
+    fn provider_handle(&self) -> Arc<CloudProvider> {
+        Arc::clone(&self.core.provider)
+    }
+
+    fn kb_len(&self) -> usize {
+        self.kb.len()
+    }
+
+    fn warm(&mut self) -> Result<(), CoreError> {
+        TransparentDeployer::warm(self)
+    }
+
+    fn selection_ready(&self, pending: &[DeployDecision]) -> bool {
+        let sim = self.simulate_pending(pending.len());
+        // Bootstrap-mode selections are RNG-only; ML selections need no
+        // retrain scheduled among the pending records.
+        sim.virtual_len < self.core.policy.min_kb_samples
+            || !sim.virtual_trained
+            || !sim.retrain_pending
+    }
+
+    fn select(
         &mut self,
         profile: &JobProfile,
-        workload: &Workload,
+        pending: &[DeployDecision],
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        let decision_seed = self.core.next_decision_seed();
+
+        // Bootstrap phase: random configuration, no prediction.
+        let sim = self.simulate_pending(pending.len());
+        if sim.virtual_len < self.core.policy.min_kb_samples || !sim.virtual_trained {
+            let (instance, n_nodes) = self.core.random_config(decision_seed);
+            return Ok(DeployDecision {
+                mode: DeployMode::Bootstrap,
+                instance,
+                n_nodes,
+                predicted_secs: None,
+            });
+        }
+        self.core.ml_select(&self.family, profile, decision_seed)
+    }
+
+    fn begin_manual(
+        &mut self,
         instance: &str,
         n_nodes: usize,
-        mode: DeployMode,
-        predicted_secs: Option<f64>,
-    ) -> Result<DeployOutcome, CoreError> {
-        let report = self.provider.run_job(instance, n_nodes, workload)?;
-        let inst = self.provider.catalog().get(instance)?.clone();
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        self.core.deploy_counter += 1;
+        Ok(DeployDecision {
+            mode: DeployMode::Manual,
+            instance: instance.to_string(),
+            n_nodes,
+            predicted_secs: None,
+        })
+    }
+
+    fn record(
+        &mut self,
+        profile: &JobProfile,
+        decision: &DeployDecision,
+        report: &JobReport,
+    ) -> Result<(), CoreError> {
+        let inst = self.core.provider.catalog().get(&decision.instance)?.clone();
         self.kb.record(RunRecord::new(
             *profile,
             &inst,
-            n_nodes,
+            decision.n_nodes,
             report.duration_secs,
             report.prorated_cost,
         ));
-        self.runs_since_retrain += 1;
-        if self.kb.len() >= self.policy.min_kb_samples.max(2)
-            && self.runs_since_retrain >= self.policy.retrain_every
+        self.core.runs_since_retrain += 1;
+        if self.kb.len() >= self.core.policy.min_kb_samples.max(2)
+            && self.core.runs_since_retrain >= self.core.policy.retrain_every
         {
             self.family
-                .retrain_with_threads(&self.kb, self.policy.n_threads)?;
-            self.runs_since_retrain = 0;
+                .retrain_with_threads(&self.kb, self.core.policy.n_threads)?;
+            self.core.runs_since_retrain = 0;
         }
-        Ok(DeployOutcome {
-            mode,
-            predicted_secs,
-            report,
-        })
+        Ok(())
     }
 }
 
@@ -351,26 +669,23 @@ impl TransparentDeployer {
 /// - shards retrain as soon as they hold the family's minimum sample
 ///   count, independent of the global bootstrap threshold.
 pub struct ShardedDeployer {
-    provider: CloudProvider,
-    policy: DeployPolicy,
+    core: DeployerCore,
     kb: ShardedKnowledgeBase,
     predictor: ShardedPredictor,
-    seed: u64,
-    deploy_counter: u64,
-    runs_since_retrain: usize,
 }
 
 impl ShardedDeployer {
     /// Creates a sharded deployer with an empty knowledge base.
     pub fn new(provider: CloudProvider, policy: DeployPolicy, seed: u64) -> Self {
+        Self::from_shared(Arc::new(provider), policy, seed)
+    }
+
+    /// Creates a sharded deployer over an already-shared provider.
+    pub fn from_shared(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
         ShardedDeployer {
-            provider,
-            policy,
-            kb: ShardedKnowledgeBase::new(),
             predictor: ShardedPredictor::new(seed, 2),
-            seed,
-            deploy_counter: 0,
-            runs_since_retrain: 0,
+            core: DeployerCore::new(provider, policy, seed),
+            kb: ShardedKnowledgeBase::new(),
         }
     }
 
@@ -388,6 +703,12 @@ impl ShardedDeployer {
         &self.kb
     }
 
+    /// Consumes the deployer, returning the sharded base (and dropping
+    /// this handle on the shared provider).
+    pub fn into_knowledge_base(self) -> ShardedKnowledgeBase {
+        self.kb
+    }
+
     /// The per-shard predictor (e.g. for offline evaluation).
     pub fn predictor(&self) -> &ShardedPredictor {
         &self.predictor
@@ -395,12 +716,12 @@ impl ShardedDeployer {
 
     /// The active policy.
     pub fn policy(&self) -> &DeployPolicy {
-        &self.policy
+        &self.core.policy
     }
 
     /// The underlying cloud provider.
     pub fn provider(&self) -> &CloudProvider {
-        &self.provider
+        &self.core.provider
     }
 
     /// Retrains every shard holding enough records — the bulk warm-up for
@@ -410,13 +731,14 @@ impl ShardedDeployer {
     ///
     /// Propagates the first shard-retrain failure.
     pub fn warm(&mut self) -> Result<(), CoreError> {
-        self.policy.validate()?;
+        self.core.policy.validate()?;
         self.predictor
-            .retrain_all_with_threads(&self.kb, self.policy.n_threads)
+            .retrain_all_with_threads(&self.kb, self.core.policy.n_threads)
     }
 
     fn catalog_covered(&self) -> bool {
-        self.provider
+        self.core
+            .provider
             .catalog()
             .names()
             .iter()
@@ -435,41 +757,7 @@ impl ShardedDeployer {
         profile: &JobProfile,
         workload: &Workload,
     ) -> Result<DeployOutcome, CoreError> {
-        self.policy.validate()?;
-        self.deploy_counter += 1;
-        let decision_seed = disar_math::rng::split_seed(self.seed, self.deploy_counter);
-
-        if self.kb.len() < self.policy.min_kb_samples || !self.catalog_covered() {
-            let (instance, n_nodes) = self.random_config(decision_seed);
-            return self.execute(profile, workload, &instance, n_nodes, DeployMode::Bootstrap, None);
-        }
-
-        let selection = select_configuration_with_rule_threads(
-            &self.predictor,
-            self.provider.catalog(),
-            profile,
-            self.policy.t_max_secs,
-            self.policy.max_nodes,
-            self.policy.epsilon,
-            decision_seed,
-            TimeEstimate::EnsembleMean,
-            self.policy.n_threads,
-        )?;
-        let mode = if selection.explored {
-            DeployMode::MlExplored
-        } else {
-            DeployMode::MlGreedy
-        };
-        let instance = selection.chosen.instance.clone();
-        let predicted = selection.chosen.predicted_secs;
-        self.execute(
-            profile,
-            workload,
-            &instance,
-            selection.chosen.n_nodes,
-            mode,
-            Some(predicted),
-        )
+        Deployer::deploy(self, profile, workload)
     }
 
     /// Deploys with an operator-forced configuration (manual override);
@@ -485,51 +773,141 @@ impl ShardedDeployer {
         instance: &str,
         n_nodes: usize,
     ) -> Result<DeployOutcome, CoreError> {
-        self.policy.validate()?;
-        self.deploy_counter += 1;
-        self.execute(profile, workload, instance, n_nodes, DeployMode::Manual, None)
+        Deployer::deploy_manual(self, profile, workload, instance, n_nodes)
     }
 
-    fn random_config(&self, seed: u64) -> (String, usize) {
-        let mut rng = stream_rng(seed, 0xB00F);
-        let names = self.provider.catalog().names();
-        let instance = names[rng.gen_range(0..names.len())].clone();
-        let n_nodes = rng.gen_range(1..=self.policy.max_nodes);
-        (instance, n_nodes)
+    /// Replays the sharded retrain schedule over the pending decisions.
+    /// The gates count global records and per-shard sizes — both derivable
+    /// from the decisions' instances alone — so the virtual state is exact.
+    fn simulate_pending(&self, pending: &[DeployDecision]) -> PendingSim {
+        let mut len = self.kb.len();
+        let mut rsr = self.core.runs_since_retrain;
+        let mut retrain_pending = false;
+        let mut shard_lens: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut newly_trained: BTreeSet<&str> = BTreeSet::new();
+        for d in pending {
+            len += 1;
+            rsr += 1;
+            let shard_len = shard_lens
+                .entry(d.instance.as_str())
+                .or_insert_with(|| self.kb.shard(&d.instance).map_or(0, |s| s.len()));
+            *shard_len += 1;
+            if rsr >= self.core.policy.retrain_every && *shard_len >= self.predictor.min_samples()
+            {
+                newly_trained.insert(d.instance.as_str());
+                retrain_pending = true;
+                rsr = 0;
+            }
+        }
+        let virtual_covered = self
+            .core
+            .provider
+            .catalog()
+            .names()
+            .iter()
+            .all(|n| self.predictor.is_trained_for(n) || newly_trained.contains(n.as_str()));
+        PendingSim {
+            virtual_len: len,
+            virtual_trained: virtual_covered,
+            retrain_pending,
+        }
+    }
+}
+
+impl Deployer for ShardedDeployer {
+    fn policy(&self) -> &DeployPolicy {
+        &self.core.policy
     }
 
-    fn execute(
+    fn provider(&self) -> &CloudProvider {
+        &self.core.provider
+    }
+
+    fn provider_handle(&self) -> Arc<CloudProvider> {
+        Arc::clone(&self.core.provider)
+    }
+
+    fn kb_len(&self) -> usize {
+        self.kb.len()
+    }
+
+    fn warm(&mut self) -> Result<(), CoreError> {
+        ShardedDeployer::warm(self)
+    }
+
+    fn selection_ready(&self, pending: &[DeployDecision]) -> bool {
+        let sim = self.simulate_pending(pending);
+        sim.virtual_len < self.core.policy.min_kb_samples
+            || !sim.virtual_trained
+            || !sim.retrain_pending
+    }
+
+    fn select(
         &mut self,
         profile: &JobProfile,
-        workload: &Workload,
+        pending: &[DeployDecision],
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        let decision_seed = self.core.next_decision_seed();
+
+        let sim = self.simulate_pending(pending);
+        if sim.virtual_len < self.core.policy.min_kb_samples || !sim.virtual_trained {
+            let (instance, n_nodes) = self.core.random_config(decision_seed);
+            return Ok(DeployDecision {
+                mode: DeployMode::Bootstrap,
+                instance,
+                n_nodes,
+                predicted_secs: None,
+            });
+        }
+        self.core.ml_select(&self.predictor, profile, decision_seed)
+    }
+
+    fn begin_manual(
+        &mut self,
         instance: &str,
         n_nodes: usize,
-        mode: DeployMode,
-        predicted_secs: Option<f64>,
-    ) -> Result<DeployOutcome, CoreError> {
-        let report = self.provider.run_job(instance, n_nodes, workload)?;
-        let inst = self.provider.catalog().get(instance)?.clone();
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        self.core.deploy_counter += 1;
+        Ok(DeployDecision {
+            mode: DeployMode::Manual,
+            instance: instance.to_string(),
+            n_nodes,
+            predicted_secs: None,
+        })
+    }
+
+    fn record(
+        &mut self,
+        profile: &JobProfile,
+        decision: &DeployDecision,
+        report: &JobReport,
+    ) -> Result<(), CoreError> {
+        let inst = self.core.provider.catalog().get(&decision.instance)?.clone();
         self.kb.record(RunRecord::new(
             *profile,
             &inst,
-            n_nodes,
+            decision.n_nodes,
             report.duration_secs,
             report.prorated_cost,
         ));
-        self.runs_since_retrain += 1;
-        if self.runs_since_retrain >= self.policy.retrain_every {
-            let shard = self.kb.shard(instance).expect("record() created the shard");
+        self.core.runs_since_retrain += 1;
+        if self.core.runs_since_retrain >= self.core.policy.retrain_every {
+            let shard = self
+                .kb
+                .shard(&decision.instance)
+                .expect("record() created the shard");
             if shard.len() >= self.predictor.min_samples() {
-                self.predictor
-                    .retrain_shard_with_threads(instance, shard, self.policy.n_threads)?;
-                self.runs_since_retrain = 0;
+                self.predictor.retrain_shard_with_threads(
+                    &decision.instance,
+                    shard,
+                    self.core.policy.n_threads,
+                )?;
+                self.core.runs_since_retrain = 0;
             }
         }
-        Ok(DeployOutcome {
-            mode,
-            predicted_secs,
-            report,
-        })
+        Ok(())
     }
 }
 
@@ -759,6 +1137,82 @@ mod tests {
         assert!(p.n_threads >= 1);
     }
 
+    #[test]
+    fn generic_deploy_loop_works_over_both_backends() {
+        // The whole point of the trait: callers written once run over
+        // either backend.
+        fn run_five<D: Deployer>(d: &mut D) -> Vec<DeployMode> {
+            (0..5)
+                .map(|i| {
+                    let c = 60 + i * 31;
+                    d.deploy(&profile(c), &workload(c)).unwrap().mode
+                })
+                .collect()
+        }
+        let mut mono = deployer(43);
+        let mut sharded = sharded_deployer(43);
+        assert_eq!(run_five(&mut mono), vec![DeployMode::Bootstrap; 5]);
+        assert_eq!(run_five(&mut sharded), vec![DeployMode::Bootstrap; 5]);
+        assert_eq!(mono.kb_len(), 5);
+        assert_eq!(sharded.kb_len(), 5);
+    }
+
+    #[test]
+    fn feedback_visibility_gates_ml_selections() {
+        let mut d = deployer(41);
+        let pending = DeployDecision {
+            mode: DeployMode::Bootstrap,
+            instance: "c3.4xlarge".to_string(),
+            n_nodes: 2,
+            predicted_secs: None,
+        };
+        // Bootstrap phase: selections are RNG-only, ready even with runs
+        // in flight.
+        assert!(d.selection_ready(&[pending.clone()]));
+        // Train past the bootstrap.
+        for i in 0..10 {
+            d.deploy(&profile(80 + i * 17), &workload(80 + i * 17)).unwrap();
+        }
+        // retrain_every = 1: a pending record forces a retrain before the
+        // next ML selection may observe the base.
+        assert!(d.selection_ready(&[]));
+        assert!(!d.selection_ready(&[pending]));
+    }
+
+    #[test]
+    fn retrain_window_permits_overlapped_selections() {
+        // retrain_every = 5: selections inside the same retrain window see
+        // the same family snapshot and stay ready; the selection whose
+        // pending records cross the retrain boundary stalls.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 47);
+        let policy = DeployPolicy {
+            t_max_secs: 50_000.0,
+            epsilon: 0.0,
+            max_nodes: 3,
+            min_kb_samples: 4,
+            retrain_every: 5,
+            n_threads: 1,
+        };
+        let mut d = TransparentDeployer::new(provider, policy, 47);
+        for i in 0..5 {
+            d.deploy(&profile(50 + i * 7), &workload(50 + i * 7)).unwrap();
+        }
+        assert!(d.family().is_trained());
+        let pending = |n: usize| {
+            vec![
+                DeployDecision {
+                    mode: DeployMode::Manual,
+                    instance: "c3.4xlarge".to_string(),
+                    n_nodes: 1,
+                    predicted_secs: None,
+                };
+                n
+            ]
+        };
+        assert!(d.selection_ready(&pending(4)));
+        assert!(!d.selection_ready(&pending(5)));
+    }
+
     fn sharded_deployer(seed: u64) -> ShardedDeployer {
         let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
         let policy = DeployPolicy {
@@ -861,5 +1315,35 @@ mod tests {
         assert_eq!(d.knowledge_base().len(), 1);
         assert_eq!(d.knowledge_base().shard_count(), 1);
         assert_eq!(d.knowledge_base().shard("m4.10xlarge").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sharded_readiness_tracks_per_shard_gates() {
+        // A pending record that completes a shard's minimum fires a
+        // retrain → not ready; one that lands in a still-too-small shard
+        // fires nothing → ready (once the deployer is in the ML phase).
+        let mut d = sharded_deployer(53);
+        let mut ml = false;
+        for i in 0..120 {
+            let c = 60 + (i * 29) % 280;
+            let out = d.deploy(&profile(c), &workload(c)).unwrap();
+            if out.mode != DeployMode::Bootstrap {
+                ml = true;
+                break;
+            }
+        }
+        assert!(ml, "ML phase never reached");
+        let pending = |instance: &str| {
+            vec![DeployDecision {
+                mode: DeployMode::Manual,
+                instance: instance.to_string(),
+                n_nodes: 1,
+                predicted_secs: None,
+            }]
+        };
+        // Every shard is at/past the 2-sample minimum here, so any landing
+        // record retrains its shard (retrain_every = 1) → never ready.
+        assert!(d.selection_ready(&[]));
+        assert!(!d.selection_ready(&pending("c3.4xlarge")));
     }
 }

@@ -22,7 +22,11 @@
 //! - [`deploy`]: the **self-optimizing loop**: select a configuration,
 //!   provision and run on the (simulated) cloud, record the realized time
 //!   in the knowledge base, retrain, repeat. Supports the paper's manual
-//!   override for the early training phase.
+//!   override for the early training phase. Both backends sit behind the
+//!   [`deploy::Deployer`] trait;
+//! - [`pipeline`]: [`pipeline::DeployPipeline`] — the event-driven deploy
+//!   service overlapping Algorithm 1's sweep for job *k+1* with the cloud
+//!   run of job *k*, bit-identical to the sequential loop for any depth.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@ pub mod algorithm;
 pub mod deploy;
 pub mod hetero;
 pub mod knowledge;
+pub mod pipeline;
 pub mod predictor;
 pub mod profile;
 
@@ -49,12 +54,16 @@ pub use algorithm::{
     select_configuration, select_configuration_with_rule,
     select_configuration_with_rule_threads, CandidateConfig, Selection, TimeEstimate,
 };
-pub use deploy::{DeployOutcome, DeployPolicy, ShardedDeployer, TransparentDeployer};
+pub use deploy::{
+    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, ShardedDeployer,
+    TransparentDeployer,
+};
 pub use error::CoreError;
 pub use hetero::{
     select_hetero_configuration, select_hetero_configuration_threads, HeteroCandidate,
     HeteroSelection,
 };
 pub use knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
+pub use pipeline::{DeployPipeline, PipelineJob, PipelineStats};
 pub use predictor::{PredictorFamily, ShardedPredictor, TimePredictor};
 pub use profile::JobProfile;

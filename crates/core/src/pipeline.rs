@@ -1,0 +1,484 @@
+//! The event-driven deploy pipeline: overlapping Algorithm 1's selection
+//! sweep with the cloud runs it steers.
+//!
+//! The paper's transparent deployer runs strictly in sequence per job:
+//! select → run → record → retrain. But the selection for job *k+1* only
+//! *needs* the knowledge base as of the last landed record — whenever the
+//! retrain schedule guarantees that the records still in flight cannot
+//! change the predictor snapshot (bootstrap-phase selections, selections
+//! inside a `retrain_every > 1` window, manual overrides), the sweep for
+//! job *k+1* may legally start while job *k* is still executing.
+//!
+//! [`DeployPipeline`] exploits exactly that window and nothing more:
+//!
+//! - **submission queue** — jobs are issued in order, each selection
+//!   seeing the decisions of all in-flight runs
+//!   ([`Deployer::select`]'s `pending` contract);
+//! - **in-flight table** — each issued job holds a reserved noise-stream
+//!   slot ([`CloudProvider::begin_job`]) and executes on its own scoped
+//!   thread, so realized durations replay the sequential `run_job`
+//!   stream bit-for-bit;
+//! - **completion stage** — reports land strictly in job order through a
+//!   reorder buffer, and each record is fed back
+//!   ([`Deployer::record`]) before the next selection that is allowed
+//!   to observe it.
+//!
+//! The feedback-visibility rule ([`Deployer::selection_ready`]) makes
+//! the pipeline *deterministic*: outcomes and the final knowledge base
+//! are bit-identical to the sequential loop for **any** `depth ≥ 1`,
+//! with `depth: 1` as the sequential escape hatch (mirroring the
+//! `n_threads: 1` convention). Only [`PipelineStats`] — occupancy and
+//! overlap counters — may vary with scheduling.
+
+use crate::deploy::{DeployDecision, DeployOutcome, Deployer};
+use crate::profile::JobProfile;
+use crate::CoreError;
+use disar_cloudsim::{CloudError, JobReport, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+
+/// One unit of work for the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineJob {
+    /// The job's characteristic parameters (predictor features).
+    pub profile: JobProfile,
+    /// The cloud workload to execute.
+    pub workload: Workload,
+    /// `Some((instance, n_nodes))` forces this configuration (the manual
+    /// override of [`Deployer::deploy_manual`]); `None` lets the deployer
+    /// choose.
+    pub forced: Option<(String, usize)>,
+}
+
+impl PipelineJob {
+    /// A job whose configuration the deployer chooses.
+    pub fn auto(profile: JobProfile, workload: Workload) -> Self {
+        PipelineJob {
+            profile,
+            workload,
+            forced: None,
+        }
+    }
+
+    /// A job pinned to an operator-chosen configuration.
+    pub fn forced(profile: JobProfile, workload: Workload, instance: &str, n_nodes: usize) -> Self {
+        PipelineJob {
+            profile,
+            workload,
+            forced: Some((instance.to_string(), n_nodes)),
+        }
+    }
+}
+
+/// Occupancy and overlap counters of one [`DeployPipeline::run`].
+///
+/// Diagnostics only: for `depth ≥ 2` the counters depend on which runs
+/// happen to still be executing when a selection is issued, so they may
+/// vary between executions even though the *outcomes* never do.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Largest number of simultaneously in-flight runs observed.
+    pub max_in_flight: usize,
+    /// Mean number of in-flight runs, sampled at each completion wait.
+    pub mean_in_flight: f64,
+    /// Selections issued while at least one run was still in flight — the
+    /// overlap the sequential loop forgoes.
+    pub overlapped_selections: usize,
+    /// Times the feedback-visibility rule stalled the next selection until
+    /// in-flight records landed.
+    pub stalled_selections: usize,
+}
+
+/// The pipelined deploy service. Generic over the [`Deployer`] backend;
+/// see the module docs for the execution model.
+pub struct DeployPipeline<D: Deployer> {
+    deployer: D,
+    depth: usize,
+    stats: PipelineStats,
+}
+
+impl<D: Deployer> DeployPipeline<D> {
+    /// Wraps a deployer in a pipeline holding up to `depth` runs in
+    /// flight. `depth: 1` degenerates to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when `depth` is zero.
+    pub fn new(deployer: D, depth: usize) -> Result<Self, CoreError> {
+        if depth == 0 {
+            return Err(CoreError::InvalidParameter("pipeline depth must be > 0"));
+        }
+        Ok(DeployPipeline {
+            deployer,
+            depth,
+            stats: PipelineStats::default(),
+        })
+    }
+
+    /// The configured in-flight bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters of the most recent [`DeployPipeline::run`].
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// The wrapped deployer.
+    pub fn deployer(&self) -> &D {
+        &self.deployer
+    }
+
+    /// Unwraps the pipeline, returning the deployer (with everything it
+    /// learned).
+    pub fn into_deployer(self) -> D {
+        self.deployer
+    }
+
+    /// Runs every job, overlapping selections with in-flight executions
+    /// wherever the feedback-visibility rule allows, and returns the
+    /// per-job outcomes in submission order.
+    ///
+    /// # Errors
+    ///
+    /// A selection failure (e.g. [`CoreError::NoFeasibleConfiguration`])
+    /// stops issuing; already-issued runs still land and are recorded, so
+    /// the deployer's knowledge matches the sequential loop's at the same
+    /// failure point, then the error is returned. A cloud or record
+    /// failure is returned as soon as its job would land.
+    pub fn run(&mut self, jobs: &[PipelineJob]) -> Result<Vec<DeployOutcome>, CoreError> {
+        let n = jobs.len();
+        let provider = self.deployer.provider_handle();
+        let depth = self.depth;
+        let mut outcomes: Vec<Option<DeployOutcome>> = (0..n).map(|_| None).collect();
+        let mut stats = PipelineStats {
+            jobs: n,
+            ..PipelineStats::default()
+        };
+        let mut issue_err: Option<CoreError> = None;
+
+        let landed: Result<(), CoreError> = std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, Result<JobReport, CloudError>)>();
+            let mut in_flight: VecDeque<(usize, DeployDecision)> = VecDeque::new();
+            let mut reorder: BTreeMap<usize, Result<JobReport, CloudError>> = BTreeMap::new();
+            let mut next_issue = 0usize;
+            let mut next_land = 0usize;
+            let mut occupancy_sum = 0usize;
+            let mut occupancy_samples = 0usize;
+
+            while next_land < n {
+                // Fill: issue jobs while the depth bound and the
+                // feedback-visibility rule allow.
+                while issue_err.is_none() && next_issue < n && in_flight.len() < depth {
+                    let job = &jobs[next_issue];
+                    let pending: Vec<DeployDecision> =
+                        in_flight.iter().map(|(_, d)| d.clone()).collect();
+                    let decided = if let Some((instance, n_nodes)) = &job.forced {
+                        self.deployer.begin_manual(instance, *n_nodes)
+                    } else {
+                        if !pending.is_empty() && !self.deployer.selection_ready(&pending) {
+                            stats.stalled_selections += 1;
+                            break;
+                        }
+                        if !pending.is_empty() {
+                            stats.overlapped_selections += 1;
+                        }
+                        self.deployer.select(&job.profile, &pending)
+                    };
+                    let decision = match decided {
+                        Ok(d) => d,
+                        Err(e) => {
+                            issue_err = Some(e);
+                            break;
+                        }
+                    };
+                    // Reserve the noise-stream slot only now: a failed
+                    // selection must leave the run stream exactly where
+                    // the sequential loop would.
+                    let handle = provider.begin_job();
+                    let instance = decision.instance.clone();
+                    let n_nodes = decision.n_nodes;
+                    let workload = &job.workload;
+                    let worker_tx = tx.clone();
+                    let idx = next_issue;
+                    scope.spawn(move || {
+                        let res = handle.execute(&instance, n_nodes, workload);
+                        let _ = worker_tx.send((idx, res));
+                    });
+                    in_flight.push_back((idx, decision));
+                    next_issue += 1;
+                }
+
+                if in_flight.is_empty() {
+                    // Nothing issued and nothing to land: only reachable
+                    // after a selection error stopped the queue.
+                    break;
+                }
+                stats.max_in_flight = stats.max_in_flight.max(in_flight.len());
+                occupancy_sum += in_flight.len();
+                occupancy_samples += 1;
+
+                // Complete: wait for the oldest in-flight run, buffering
+                // out-of-order finishers.
+                while !reorder.contains_key(&next_land) {
+                    let (idx, res) = rx.recv().expect("pipeline run worker disconnected");
+                    reorder.insert(idx, res);
+                }
+                // Land every consecutive completion, feeding each record
+                // back before any later selection can observe it.
+                while let Some(res) = reorder.remove(&next_land) {
+                    let report = res?;
+                    let (idx, decision) = in_flight
+                        .pop_front()
+                        .expect("landing job missing from the in-flight table");
+                    debug_assert_eq!(idx, next_land);
+                    self.deployer
+                        .record(&jobs[next_land].profile, &decision, &report)?;
+                    outcomes[next_land] = Some(DeployOutcome {
+                        mode: decision.mode,
+                        predicted_secs: decision.predicted_secs,
+                        report,
+                    });
+                    next_land += 1;
+                }
+            }
+
+            if occupancy_samples > 0 {
+                stats.mean_in_flight = occupancy_sum as f64 / occupancy_samples as f64;
+            }
+            Ok(())
+        });
+
+        self.stats = stats;
+        landed?;
+        if let Some(e) = issue_err {
+            return Err(e);
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every job landed"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{DeployMode, DeployPolicy, ShardedDeployer, TransparentDeployer};
+    use disar_cloudsim::{CloudProvider, InstanceCatalog};
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    fn workload(contracts: usize) -> Workload {
+        Workload::new(30.0 * contracts as f64, 0.02 * contracts as f64, 0.8 * contracts as f64, 0.05)
+            .unwrap()
+    }
+
+    fn policy(retrain_every: usize) -> DeployPolicy {
+        DeployPolicy {
+            t_max_secs: 50_000.0,
+            epsilon: 0.05,
+            max_nodes: 4,
+            min_kb_samples: 8,
+            retrain_every,
+            n_threads: 1,
+        }
+    }
+
+    fn auto_jobs(n: usize) -> Vec<PipelineJob> {
+        (0..n)
+            .map(|i| {
+                let c = 90 + i * 19;
+                PipelineJob::auto(profile(c), workload(c))
+            })
+            .collect()
+    }
+
+    /// The pre-existing sequential loop, as a reference.
+    fn sequential<D: Deployer>(mut d: D, jobs: &[PipelineJob]) -> (Vec<DeployOutcome>, D) {
+        let outs = jobs
+            .iter()
+            .map(|j| match &j.forced {
+                Some((instance, n_nodes)) => d
+                    .deploy_manual(&j.profile, &j.workload, instance, *n_nodes)
+                    .unwrap(),
+                None => d.deploy(&j.profile, &j.workload).unwrap(),
+            })
+            .collect();
+        (outs, d)
+    }
+
+    #[test]
+    fn depth_zero_is_rejected() {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 1);
+        let d = TransparentDeployer::new(provider, policy(1), 1);
+        assert!(DeployPipeline::new(d, 0).is_err());
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 2);
+        let d = TransparentDeployer::new(provider, policy(1), 2);
+        let mut p = DeployPipeline::new(d, 4).unwrap();
+        assert_eq!(p.run(&[]).unwrap(), Vec::new());
+        assert_eq!(p.stats().jobs, 0);
+    }
+
+    #[test]
+    fn depth_one_is_the_sequential_loop() {
+        let jobs = auto_jobs(14);
+        let mk = |seed| TransparentDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(1),
+            seed,
+        );
+        let (seq_outs, seq_d) = sequential(mk(31), &jobs);
+        let mut p = DeployPipeline::new(mk(31), 1).unwrap();
+        let outs = p.run(&jobs).unwrap();
+        assert_eq!(outs, seq_outs);
+        assert_eq!(p.stats().overlapped_selections, 0);
+        assert_eq!(p.stats().max_in_flight, 1);
+        assert_eq!(
+            p.into_deployer().knowledge_base(),
+            seq_d.knowledge_base()
+        );
+    }
+
+    #[test]
+    fn deep_pipeline_is_bit_identical_to_sequential() {
+        // retrain_every = 3 opens real overlap windows in the ML phase;
+        // the bootstrap overlaps throughout.
+        let jobs = auto_jobs(20);
+        let mk = |seed| TransparentDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(3),
+            seed,
+        );
+        let (seq_outs, seq_d) = sequential(mk(37), &jobs);
+        for depth in [2usize, 4, 8] {
+            let mut p = DeployPipeline::new(mk(37), depth).unwrap();
+            let outs = p.run(&jobs).unwrap();
+            assert_eq!(outs, seq_outs, "depth {depth} diverged");
+            assert!(p.stats().max_in_flight <= depth);
+            assert!(p.stats().overlapped_selections > 0, "no overlap at depth {depth}");
+            assert_eq!(
+                p.into_deployer().knowledge_base(),
+                seq_d.knowledge_base(),
+                "KB diverged at depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_pipeline_matches_sequential_on_sharded_backend() {
+        let jobs = auto_jobs(24);
+        let mk = |seed| ShardedDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(2),
+            seed,
+        );
+        let (seq_outs, seq_d) = sequential(mk(41), &jobs);
+        let mut p = DeployPipeline::new(mk(41), 4).unwrap();
+        let outs = p.run(&jobs).unwrap();
+        assert_eq!(outs, seq_outs);
+        assert_eq!(p.into_deployer().knowledge_base(), seq_d.knowledge_base());
+    }
+
+    #[test]
+    fn forced_jobs_replay_manual_deploys() {
+        let names = InstanceCatalog::paper_catalog().names();
+        let jobs: Vec<PipelineJob> = (0..12)
+            .map(|i| {
+                let c = 70 + i * 23;
+                PipelineJob::forced(
+                    profile(c),
+                    workload(c),
+                    &names[i % names.len()],
+                    1 + i % 3,
+                )
+            })
+            .collect();
+        let mk = |seed| TransparentDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(1),
+            seed,
+        );
+        let (seq_outs, seq_d) = sequential(mk(43), &jobs);
+        assert!(seq_outs.iter().all(|o| o.mode == DeployMode::Manual));
+        let mut p = DeployPipeline::new(mk(43), 6).unwrap();
+        let outs = p.run(&jobs).unwrap();
+        assert_eq!(outs, seq_outs);
+        // Forced jobs never consult the predictor, so a full-depth overlap
+        // is always legal.
+        assert_eq!(p.stats().stalled_selections, 0);
+        assert_eq!(p.stats().max_in_flight, 6);
+        assert_eq!(p.into_deployer().knowledge_base(), seq_d.knowledge_base());
+    }
+
+    #[test]
+    fn selection_error_lands_issued_runs_then_reports() {
+        // An impossible deadline makes the first ML selection fail with
+        // NoFeasibleConfiguration; every bootstrap run issued before it
+        // must still land, leaving the KB exactly as the sequential loop's.
+        let mk = |seed| {
+            let policy = DeployPolicy {
+                t_max_secs: 1e-6,
+                epsilon: 0.0,
+                max_nodes: 4,
+                min_kb_samples: 4,
+                retrain_every: 1,
+                n_threads: 1,
+            };
+            TransparentDeployer::new(
+                CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+                policy,
+                seed,
+            )
+        };
+        let jobs = auto_jobs(10);
+        let mut seq_d = mk(47);
+        let mut seq_landed = 0;
+        let seq_err = loop {
+            match seq_d.deploy(&jobs[seq_landed].profile, &jobs[seq_landed].workload) {
+                Ok(_) => seq_landed += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(seq_err, CoreError::NoFeasibleConfiguration { .. }));
+
+        let mut p = DeployPipeline::new(mk(47), 3).unwrap();
+        let err = p.run(&jobs).unwrap_err();
+        assert!(matches!(err, CoreError::NoFeasibleConfiguration { .. }));
+        assert_eq!(p.deployer().knowledge_base(), seq_d.knowledge_base());
+        assert_eq!(p.deployer().kb_len(), seq_landed);
+    }
+
+    #[test]
+    fn stats_report_the_configured_shape() {
+        let jobs = auto_jobs(9);
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 53);
+        let d = TransparentDeployer::new(provider, policy(1), 53);
+        let mut p = DeployPipeline::new(d, 3).unwrap();
+        p.run(&jobs).unwrap();
+        let s = *p.stats();
+        assert_eq!(s.jobs, 9);
+        assert!(s.max_in_flight >= 1 && s.max_in_flight <= 3);
+        assert!(s.mean_in_flight >= 1.0 && s.mean_in_flight <= 3.0);
+    }
+}

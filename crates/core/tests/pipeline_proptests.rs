@@ -1,0 +1,166 @@
+//! Property-based determinism tests of the deploy pipeline: for any depth
+//! ≥ 1, [`DeployPipeline`] must produce bit-identical per-job outcomes and
+//! final knowledge-base contents to the sequential loop, over both
+//! deployer backends.
+
+use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_core::deploy::{DeployOutcome, DeployPolicy, Deployer, ShardedDeployer, TransparentDeployer};
+use disar_core::{DeployPipeline, JobProfile, PipelineJob};
+use disar_engine::EebCharacteristics;
+use proptest::prelude::*;
+
+fn profile(contracts: usize) -> JobProfile {
+    JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    }
+}
+
+fn workload(contracts: usize) -> Workload {
+    Workload::new(
+        30.0 * contracts as f64,
+        0.02 * contracts as f64,
+        0.8 * contracts as f64,
+        0.05,
+    )
+    .expect("valid workload")
+}
+
+/// A mixed job list: mostly auto (deployer-chosen) jobs with a sprinkle of
+/// operator-forced ones, like a real campaign's manual training phase.
+fn jobs(n_jobs: usize, forced_every: usize) -> Vec<PipelineJob> {
+    let names = InstanceCatalog::paper_catalog().names();
+    (0..n_jobs)
+        .map(|i| {
+            let c = 60 + (i * 37) % 320;
+            if forced_every > 0 && i % forced_every == forced_every - 1 {
+                PipelineJob::forced(
+                    profile(c),
+                    workload(c),
+                    &names[i % names.len()],
+                    1 + i % 3,
+                )
+            } else {
+                PipelineJob::auto(profile(c), workload(c))
+            }
+        })
+        .collect()
+}
+
+fn policy(min_kb_samples: usize, retrain_every: usize) -> DeployPolicy {
+    DeployPolicy {
+        t_max_secs: 50_000.0,
+        epsilon: 0.05,
+        max_nodes: 4,
+        min_kb_samples,
+        retrain_every,
+        n_threads: 1,
+    }
+}
+
+/// The pre-existing sequential loop, as the reference implementation.
+fn sequential<D: Deployer>(mut d: D, jobs: &[PipelineJob]) -> (Vec<DeployOutcome>, D) {
+    let outs = jobs
+        .iter()
+        .map(|j| match &j.forced {
+            Some((instance, n_nodes)) => d
+                .deploy_manual(&j.profile, &j.workload, instance, *n_nodes)
+                .expect("deploys succeed"),
+            None => d.deploy(&j.profile, &j.workload).expect("deploys succeed"),
+        })
+        .collect();
+    (outs, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Monolithic backend: any pipeline depth replays the sequential loop
+    /// bit for bit — same per-job outcomes, same final knowledge base.
+    #[test]
+    fn monolithic_pipeline_matches_sequential(
+        seed in 0u64..1_000,
+        depth in 1usize..6,
+        n_jobs in 6usize..22,
+        min_kb_samples in 4usize..10,
+        retrain_every in 1usize..4,
+        forced_every in 0usize..6,
+    ) {
+        let jobs = jobs(n_jobs, forced_every);
+        let mk = || TransparentDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(min_kb_samples, retrain_every),
+            seed,
+        );
+        let (seq_outs, seq_d) = sequential(mk(), &jobs);
+        let mut pipe = DeployPipeline::new(mk(), depth).expect("depth >= 1");
+        let outs = pipe.run(&jobs).expect("pipeline deploys succeed");
+        prop_assert_eq!(&outs, &seq_outs);
+        prop_assert!(pipe.stats().max_in_flight <= depth);
+        prop_assert_eq!(
+            pipe.into_deployer().knowledge_base(),
+            seq_d.knowledge_base()
+        );
+    }
+
+    /// Sharded backend: the per-shard retrain gates make the readiness
+    /// rule instance-dependent; the pipeline must still replay the
+    /// sequential loop exactly.
+    #[test]
+    fn sharded_pipeline_matches_sequential(
+        seed in 0u64..1_000,
+        depth in 1usize..6,
+        n_jobs in 6usize..22,
+        min_kb_samples in 4usize..10,
+        retrain_every in 1usize..4,
+        forced_every in 0usize..6,
+    ) {
+        let jobs = jobs(n_jobs, forced_every);
+        let mk = || ShardedDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(min_kb_samples, retrain_every),
+            seed,
+        );
+        let (seq_outs, seq_d) = sequential(mk(), &jobs);
+        let mut pipe = DeployPipeline::new(mk(), depth).expect("depth >= 1");
+        let outs = pipe.run(&jobs).expect("pipeline deploys succeed");
+        prop_assert_eq!(&outs, &seq_outs);
+        prop_assert_eq!(
+            pipe.into_deployer().knowledge_base(),
+            seq_d.knowledge_base()
+        );
+    }
+
+    /// Both backends leave the provider's noise stream at the sequential
+    /// position: a follow-up run observes identical cloud conditions.
+    #[test]
+    fn pipeline_leaves_the_noise_stream_in_sequential_position(
+        seed in 0u64..500,
+        depth in 2usize..6,
+        n_jobs in 4usize..14,
+    ) {
+        let jobs = jobs(n_jobs, 4);
+        let wl = workload(100);
+        let mk = || TransparentDeployer::new(
+            CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
+            policy(6, 2),
+            seed,
+        );
+        let (_, seq_d) = sequential(mk(), &jobs);
+        let mut pipe = DeployPipeline::new(mk(), depth).expect("depth >= 1");
+        pipe.run(&jobs).expect("pipeline deploys succeed");
+        let a = seq_d.provider().run_job("c3.4xlarge", 2, &wl).expect("runs");
+        let b = pipe
+            .deployer()
+            .provider()
+            .run_job("c3.4xlarge", 2, &wl)
+            .expect("runs");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -118,12 +118,14 @@ impl IbK {
     /// Reference prediction via the original early-abandon **linear scan**.
     ///
     /// [`Regressor::predict`] goes through the kd-tree and must return
-    /// bit-identical results; this path is kept public as the baseline for
-    /// the equivalence proptests and the `kb_scale` bench.
+    /// bit-identical results; this path survives only as the baseline for
+    /// the equivalence proptests and the `kb_scale` bench. It is not API —
+    /// all real callers go through [`Regressor::predict`].
     ///
     /// # Errors
     ///
     /// Same contract as [`Regressor::predict`].
+    #[doc(hidden)]
     pub fn predict_linear(&self, x: &[f64]) -> Result<f64, MlError> {
         let (f, q) = self.standardized_query(x)?;
         // The k smallest (distance², index), kept sorted ascending. A row is
