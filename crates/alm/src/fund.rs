@@ -10,7 +10,7 @@
 //! contract readjustment of Eq. (3)–(5).
 
 use crate::AlmError;
-use disar_stochastic::scenario::ScenarioSet;
+use disar_stochastic::scenario::{ScenarioSet, ScenarioView};
 use serde::{Deserialize, Serialize};
 
 /// A segregated fund: asset mix, accounting state and management strategy.
@@ -137,6 +137,28 @@ impl SegregatedFund {
         equity_driver: usize,
         rate_driver: usize,
     ) -> Result<Vec<f64>, AlmError> {
+        let mut returns = Vec::new();
+        self.annual_returns_into(&set.view(), path, equity_driver, rate_driver, &mut returns)?;
+        Ok(returns)
+    }
+
+    /// Allocation-free core of [`SegregatedFund::annual_returns`]: writes
+    /// the annual return series into `out` (cleared first), reading the
+    /// scenario through a [`ScenarioView`] so either a [`ScenarioSet`] or a
+    /// reused `ScenarioBuffer` can back it. Bit-identical to
+    /// [`SegregatedFund::annual_returns`] — same fold, same order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SegregatedFund::annual_returns`].
+    pub fn annual_returns_into(
+        &self,
+        set: &ScenarioView<'_>,
+        path: usize,
+        equity_driver: usize,
+        rate_driver: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), AlmError> {
         if path >= set.n_paths() {
             return Err(AlmError::ScenarioMismatch(format!(
                 "path {path} out of range ({})",
@@ -158,7 +180,8 @@ impl SegregatedFund {
         let equity = set.path(path, equity_driver);
         let rates = set.path(path, rate_driver);
 
-        let mut returns = Vec::with_capacity(n_years);
+        out.clear();
+        out.reserve(n_years); // no-op once the buffer is warm
         let mut book_yield = self.initial_book_yield;
         let mut unrealized = 0.0_f64; // per unit of fund book value
         for k in 0..n_years {
@@ -185,9 +208,9 @@ impl SegregatedFund {
             };
             unrealized -= realized;
 
-            returns.push(self.bond_weight * book_yield + dividends + realized);
+            out.push(self.bond_weight * book_yield + dividends + realized);
         }
-        Ok(returns)
+        Ok(())
     }
 }
 

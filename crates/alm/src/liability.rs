@@ -23,7 +23,7 @@ use crate::fund::SegregatedFund;
 use crate::AlmError;
 use disar_actuarial::contracts::ProfitSharing;
 use disar_actuarial::engine::CashFlowSchedule;
-use disar_stochastic::scenario::ScenarioSet;
+use disar_stochastic::scenario::{ScenarioSet, ScenarioView};
 use serde::{Deserialize, Serialize};
 
 /// One liability position to value: a probabilized schedule plus its
@@ -34,6 +34,31 @@ pub struct LiabilityPosition {
     pub schedule: CashFlowSchedule,
     /// The contract's profit-sharing parameters (drives `Φ_t`).
     pub profit_sharing: ProfitSharing,
+}
+
+/// Reusable per-path scratch for the `_into` valuation kernels: the annual
+/// fund returns and per-year discount factors of the path being valued.
+/// Owned by the caller (typically a `ValuationWorkspace`) so repeated
+/// valuations reuse the same storage; every field is fully rewritten per
+/// path, so no state survives between calls.
+#[derive(Debug, Clone, Default)]
+pub struct PathScratch {
+    returns: Vec<f64>,
+    dfs: Vec<f64>,
+}
+
+impl PathScratch {
+    /// An empty scratch; the first valuation sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the scratch for paths spanning `n_years` years, so even
+    /// the first valuation allocates nothing.
+    pub fn reserve_years(&mut self, n_years: usize) {
+        self.returns.reserve(n_years.saturating_sub(self.returns.len()));
+        self.dfs.reserve(n_years.saturating_sub(self.dfs.len()));
+    }
 }
 
 /// Values a set of liability positions on one scenario path.
@@ -59,14 +84,42 @@ pub fn value_positions_on_path(
     equity_driver: usize,
     rate_driver: usize,
 ) -> Result<f64, AlmError> {
-    let returns = fund.annual_returns(set, path, equity_driver, rate_driver)?;
-    let spy = set.grid().steps_per_year();
-    let n_years = returns.len();
+    let mut scratch = PathScratch::new();
+    value_positions_on_path_into(
+        positions,
+        fund,
+        &set.view(),
+        path,
+        equity_driver,
+        rate_driver,
+        &mut scratch,
+    )
+}
 
-    // Precompute per-year discount factors once.
-    let dfs: Vec<f64> = (1..=n_years)
-        .map(|k| set.discount_factor(path, k * spy))
-        .collect();
+/// Allocation-free core of [`value_positions_on_path`]: reads the scenario
+/// through a [`ScenarioView`] and keeps all per-path intermediates in the
+/// caller's [`PathScratch`]. Bit-identical to the allocating wrapper — the
+/// per-year discount factors come from
+/// [`ScenarioView::year_discount_factors_into`], whose running integral
+/// adds terms in exactly the order of the per-call loops it replaces.
+///
+/// # Errors
+///
+/// Propagates [`AlmError::ScenarioMismatch`] from the fund-return
+/// computation.
+#[allow(clippy::too_many_arguments)]
+pub fn value_positions_on_path_into(
+    positions: &[LiabilityPosition],
+    fund: &SegregatedFund,
+    set: &ScenarioView<'_>,
+    path: usize,
+    equity_driver: usize,
+    rate_driver: usize,
+    scratch: &mut PathScratch,
+) -> Result<f64, AlmError> {
+    fund.annual_returns_into(set, path, equity_driver, rate_driver, &mut scratch.returns)?;
+    let n_years = scratch.returns.len();
+    set.year_discount_factors_into(path, n_years, &mut scratch.dfs);
 
     let mut total = 0.0;
     for pos in positions {
@@ -77,9 +130,9 @@ pub fn value_positions_on_path(
             let k = flow.year as usize; // 1-based
             let idx = k.min(n_years); // clamp beyond-horizon flows
             if k <= n_years {
-                phi *= 1.0 + pos.profit_sharing.readjustment_rate(returns[k - 1]);
+                phi *= 1.0 + pos.profit_sharing.readjustment_rate(scratch.returns[k - 1]);
             }
-            pv += flow.total() * phi * dfs[idx - 1];
+            pv += flow.total() * phi * scratch.dfs[idx - 1];
         }
         total += pv;
     }
@@ -103,14 +156,48 @@ pub fn value_each_position_on_path(
     equity_driver: usize,
     rate_driver: usize,
 ) -> Result<Vec<f64>, AlmError> {
-    let returns = fund.annual_returns(set, path, equity_driver, rate_driver)?;
-    let spy = set.grid().steps_per_year();
-    let n_years = returns.len();
-    let dfs: Vec<f64> = (1..=n_years)
-        .map(|k| set.discount_factor(path, k * spy))
-        .collect();
-
+    let mut scratch = PathScratch::new();
     let mut out = Vec::with_capacity(positions.len());
+    value_each_position_on_path_into(
+        positions,
+        fund,
+        &set.view(),
+        path,
+        equity_driver,
+        rate_driver,
+        &mut scratch,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Allocation-free core of [`value_each_position_on_path`]: one PV per
+/// position written into `out` (cleared first), all intermediates in the
+/// caller's [`PathScratch`]. This is the `nP × nQ` inner kernel of the
+/// nested Monte Carlo — with a warm scratch and output vector it performs
+/// zero heap allocations.
+///
+/// # Errors
+///
+/// Propagates [`AlmError::ScenarioMismatch`] from the fund-return
+/// computation.
+#[allow(clippy::too_many_arguments)]
+pub fn value_each_position_on_path_into(
+    positions: &[LiabilityPosition],
+    fund: &SegregatedFund,
+    set: &ScenarioView<'_>,
+    path: usize,
+    equity_driver: usize,
+    rate_driver: usize,
+    scratch: &mut PathScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), AlmError> {
+    fund.annual_returns_into(set, path, equity_driver, rate_driver, &mut scratch.returns)?;
+    let n_years = scratch.returns.len();
+    set.year_discount_factors_into(path, n_years, &mut scratch.dfs);
+
+    out.clear();
+    out.reserve(positions.len()); // no-op once the buffer is warm
     for pos in positions {
         let mut phi = 1.0;
         let mut pv = 0.0;
@@ -118,13 +205,13 @@ pub fn value_each_position_on_path(
             let k = flow.year as usize;
             let idx = k.min(n_years);
             if k <= n_years {
-                phi *= 1.0 + pos.profit_sharing.readjustment_rate(returns[k - 1]);
+                phi *= 1.0 + pos.profit_sharing.readjustment_rate(scratch.returns[k - 1]);
             }
-            pv += flow.total() * phi * dfs[idx - 1];
+            pv += flow.total() * phi * scratch.dfs[idx - 1];
         }
         out.push(pv);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Shifts a schedule forward by `years`: flows already paid are dropped and

@@ -23,7 +23,10 @@
 //!   sample, then evaluate it on every outer path;
 //! - [`parallel`]: data-parallel execution over outer paths (crossbeam
 //!   scoped threads, shared via `disar_math::parallel`), the in-process
-//!   analogue of DISAR's distributed type-B EEBs.
+//!   analogue of DISAR's distributed type-B EEBs;
+//! - [`workspace`]: per-worker scratch ([`ValuationWorkspace`]) that makes
+//!   the `nP × nQ` inner stage allocation-free without changing a bit of
+//!   the results (DESIGN.md §10).
 
 pub mod fund;
 pub mod liability;
@@ -31,6 +34,7 @@ pub mod lsmc;
 pub mod nested;
 pub mod parallel;
 pub mod report;
+pub mod workspace;
 
 mod error;
 
@@ -38,3 +42,4 @@ pub use error::AlmError;
 pub use fund::SegregatedFund;
 pub use nested::{NestedConfig, NestedResult};
 pub use report::SolvencyReport;
+pub use workspace::ValuationWorkspace;

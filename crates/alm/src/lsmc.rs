@@ -11,6 +11,11 @@
 //! pairs; we regress `Y_1` on an orthonormal polynomial basis of the
 //! (standardized) outer state and then evaluate the fitted expansion on the
 //! full set of `nP` outer paths — no inner simulations needed there.
+//!
+//! The calibration stage is a plain [`NestedMonteCarlo::run`], so it
+//! inherits the allocation-free kernel layer (per-worker
+//! [`crate::workspace::ValuationWorkspace`]s, DESIGN.md §10) — the
+//! `n'_P × n'_Q` inner evaluations reuse each worker's buffers.
 
 use crate::fund::SegregatedFund;
 use crate::liability::LiabilityPosition;

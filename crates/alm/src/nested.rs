@@ -22,8 +22,9 @@
 //! less than the Monte Carlo noise at the paper's `nQ = 50`.
 
 use crate::fund::SegregatedFund;
-use crate::liability::{shift_schedule, value_each_position_on_path, LiabilityPosition};
-use crate::parallel::parallel_map;
+use crate::liability::{shift_schedule, value_each_position_on_path_into, LiabilityPosition};
+use crate::parallel::parallel_map_with;
+use crate::workspace::ValuationWorkspace;
 use crate::AlmError;
 use disar_math::rng::split_seed;
 use disar_math::stats;
@@ -158,7 +159,21 @@ impl<'a> NestedMonteCarlo<'a> {
         })
     }
 
+    /// A [`ValuationWorkspace`] presized for this engine, `config` and
+    /// `n_positions` liability positions — what [`NestedMonteCarlo::run`]
+    /// builds once per worker thread.
+    pub fn workspace_for(&self, config: &NestedConfig, n_positions: usize) -> ValuationWorkspace {
+        ValuationWorkspace::sized_for(self.outer, self.inner, config, n_positions)
+    }
+
     /// Runs the full nested procedure for the given liability positions.
+    ///
+    /// Each outer-loop worker thread builds one presized
+    /// [`ValuationWorkspace`] and reuses it across every outer path of its
+    /// chunk, so the `nP × nQ` inner stage performs zero steady-state heap
+    /// allocations. The workspace is pure scratch — results are
+    /// bit-identical to valuing each path with fresh buffers, for any
+    /// thread count.
     ///
     /// # Errors
     ///
@@ -167,6 +182,34 @@ impl<'a> NestedMonteCarlo<'a> {
         &self,
         positions: &[LiabilityPosition],
         config: &NestedConfig,
+    ) -> Result<NestedResult, AlmError> {
+        self.run_impl(positions, config, None)
+    }
+
+    /// Like [`NestedMonteCarlo::run`], but backing the **sequential**
+    /// (`threads == 1`) outer loop with the caller's workspace so
+    /// successive runs reuse its storage. Multi-threaded runs still
+    /// provision one workspace per worker internally and leave `ws`
+    /// untouched. Results are identical to [`NestedMonteCarlo::run`] in
+    /// both cases.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NestedMonteCarlo::run`].
+    pub fn run_with_workspace(
+        &self,
+        positions: &[LiabilityPosition],
+        config: &NestedConfig,
+        ws: &mut ValuationWorkspace,
+    ) -> Result<NestedResult, AlmError> {
+        self.run_impl(positions, config, Some(ws))
+    }
+
+    fn run_impl(
+        &self,
+        positions: &[LiabilityPosition],
+        config: &NestedConfig,
+        caller_ws: Option<&mut ValuationWorkspace>,
     ) -> Result<NestedResult, AlmError> {
         config.validate()?;
         if positions.is_empty() {
@@ -180,6 +223,8 @@ impl<'a> NestedMonteCarlo<'a> {
         let spy = outer_set.grid().steps_per_year();
 
         // Residual positions at t = 1 (year-1 flows drop out of Y_1).
+        // Hoisted once per run and shared read-only across all workers —
+        // the schedules never change per path.
         let shifted: Vec<LiabilityPosition> = positions
             .iter()
             .map(|p| LiabilityPosition {
@@ -188,18 +233,20 @@ impl<'a> NestedMonteCarlo<'a> {
             })
             .collect();
 
-        // Inner stage, one batch per outer path.
-        let per_path: Vec<Result<(f64, f64, f64), AlmError>> =
-            parallel_map(config.n_outer, config.threads, |p| {
-                self.value_outer_path(
-                    &outer_set,
-                    p,
-                    spy,
-                    positions,
-                    &shifted,
-                    config,
-                )
-            });
+        // Inner stage, one batch per outer path; one workspace per worker.
+        let per_path: Vec<Result<(f64, f64, f64), AlmError>> = match caller_ws {
+            Some(ws) if config.threads == 1 => (0..config.n_outer)
+                .map(|p| self.value_outer_path(&outer_set, p, spy, positions, &shifted, config, ws))
+                .collect(),
+            _ => parallel_map_with(
+                config.n_outer,
+                config.threads,
+                || self.workspace_for(config, positions.len()),
+                |p, ws| {
+                    self.value_outer_path(&outer_set, p, spy, positions, &shifted, config, ws)
+                },
+            ),
+        };
 
         let mut y1 = Vec::with_capacity(config.n_outer);
         let mut year1_pv = Vec::with_capacity(config.n_outer);
@@ -234,7 +281,11 @@ impl<'a> NestedMonteCarlo<'a> {
     }
 
     /// Values one outer path: returns `(Y_1, discounted year-1 flows, outer
-    /// discount factor to t = 1)`.
+    /// discount factor to t = 1)`. All intermediates live in `ws`, which is
+    /// fully rewritten before being read — reusing it across paths performs
+    /// zero steady-state allocations without changing a single bit of the
+    /// result.
+    #[allow(clippy::too_many_arguments)]
     fn value_outer_path(
         &self,
         outer_set: &disar_stochastic::scenario::ScenarioSet,
@@ -243,65 +294,77 @@ impl<'a> NestedMonteCarlo<'a> {
         positions: &[LiabilityPosition],
         shifted: &[LiabilityPosition],
         config: &NestedConfig,
+        ws: &mut ValuationWorkspace,
     ) -> Result<(f64, f64, f64), AlmError> {
+        let outer = outer_set.view();
         // First-year fund return on the outer path drives Φ_1 and the
         // year-1 flows.
-        let outer_returns =
-            self.fund
-                .annual_returns(outer_set, p, self.equity_driver, self.rate_driver)?;
-        let i1 = outer_returns[0];
-        let df1 = outer_set.discount_factor(p, spy);
+        self.fund.annual_returns_into(
+            &outer,
+            p,
+            self.equity_driver,
+            self.rate_driver,
+            &mut ws.outer_returns,
+        )?;
+        let i1 = ws.outer_returns[0];
+        let df1 = outer.discount_factor(p, spy);
 
         let mut year1 = 0.0;
-        let phi1: Vec<f64> = positions
-            .iter()
-            .map(|pos| {
-                let phi = 1.0 + pos.profit_sharing.readjustment_rate(i1);
-                if let Some(flow) = pos.schedule.flows.first() {
-                    if flow.year == 1 {
-                        year1 += flow.total() * phi * df1;
-                    }
+        ws.phi1.clear();
+        for pos in positions {
+            let phi = 1.0 + pos.profit_sharing.readjustment_rate(i1);
+            if let Some(flow) = pos.schedule.flows.first() {
+                if flow.year == 1 {
+                    year1 += flow.total() * phi * df1;
                 }
-                phi
-            })
-            .collect();
+            }
+            ws.phi1.push(phi);
+        }
 
-        // Inner stage: nQ risk-neutral paths anchored at the outer state.
-        let state = outer_set.state_at(p, spy);
+        // Inner stage: nQ risk-neutral paths anchored at the outer state,
+        // filled into the workspace's reusable scenario buffer.
+        outer.state_into(p, spy, &mut ws.state);
         let inner_seed = split_seed(config.seed ^ 0x1AAE_5EED, p as u64);
-        let inner_set = if config.antithetic {
-            self.inner.generate_antithetic(
+        if config.antithetic {
+            self.inner.generate_antithetic_into(
                 Measure::RiskNeutral,
                 config.n_inner / 2,
                 inner_seed,
-                Some(&state),
-            )?
+                Some(&ws.state),
+                &mut ws.inner_buf,
+            )?;
         } else {
-            self.inner.generate(
+            self.inner.generate_into(
                 Measure::RiskNeutral,
                 config.n_inner,
                 inner_seed,
-                Some(&state),
-            )?
-        };
+                Some(&ws.state),
+                &mut ws.inner_buf,
+            )?;
+        }
+        let inner = ws.inner_buf.view();
 
-        let mut acc = vec![0.0; shifted.len()];
+        ws.acc.clear();
+        ws.acc.resize(shifted.len(), 0.0);
         for q in 0..config.n_inner {
-            let vals = value_each_position_on_path(
+            value_each_position_on_path_into(
                 shifted,
                 self.fund,
-                &inner_set,
+                &inner,
                 q,
                 self.equity_driver,
                 self.rate_driver,
+                &mut ws.scratch,
+                &mut ws.vals,
             )?;
-            for (a, v) in acc.iter_mut().zip(vals) {
-                *a += v;
+            for (a, v) in ws.acc.iter_mut().zip(&ws.vals) {
+                *a += *v;
             }
         }
-        let y: f64 = acc
+        let y: f64 = ws
+            .acc
             .iter()
-            .zip(&phi1)
+            .zip(&ws.phi1)
             .map(|(a, phi)| phi * a / config.n_inner as f64)
             .sum();
         Ok((y, year1, df1))
@@ -484,6 +547,25 @@ mod tests {
             ..small_config(1)
         };
         assert!(mc.run(&positions(5), &bad).is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_across_runs_matches_fresh_workspaces() {
+        let (outer, inner) = generators(8.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).unwrap();
+        let pos = positions(8);
+        let mut ws = mc.workspace_for(&small_config(3), pos.len());
+        // Two successive runs through the same workspace — including a
+        // config change in between — must equal fresh-workspace runs.
+        let first = mc.run_with_workspace(&pos, &small_config(3), &mut ws).unwrap();
+        let anti_cfg = NestedConfig {
+            antithetic: true,
+            ..small_config(7)
+        };
+        let second = mc.run_with_workspace(&pos, &anti_cfg, &mut ws).unwrap();
+        assert_eq!(first, mc.run(&pos, &small_config(3)).unwrap());
+        assert_eq!(second, mc.run(&pos, &anti_cfg).unwrap());
     }
 
     #[test]

@@ -19,4 +19,4 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-pub use disar_math::parallel::{parallel_map, parallel_map_mut};
+pub use disar_math::parallel::{parallel_map, parallel_map_mut, parallel_map_with};

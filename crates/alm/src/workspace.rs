@@ -1,0 +1,113 @@
+//! Per-worker valuation workspaces for the nested Monte Carlo hot path.
+//!
+//! The nested procedure evaluates `nP × nQ` inner valuations; before this
+//! layer existed, every one of them heap-allocated (a fresh inner
+//! `ScenarioSet`, fund-return and discount-factor vectors, a per-position
+//! result `Vec`). A [`ValuationWorkspace`] gathers all of that scratch into
+//! one struct that is created **once per outer-loop worker thread** (via
+//! `parallel_map_with`) and reused across every outer path of that worker's
+//! chunk — steady-state inner-loop allocations drop to zero.
+//!
+//! Every field is pure scratch: it is fully rewritten before being read on
+//! each outer path, so reuse cannot leak state between paths, runs or
+//! configurations — which is also why the workspace-backed loop stays
+//! bit-identical to the allocating implementation it replaced (see
+//! DESIGN.md §10).
+
+use crate::liability::PathScratch;
+use crate::nested::NestedConfig;
+use disar_stochastic::scenario::{ScenarioBuffer, ScenarioGenerator};
+
+/// Reusable scratch for valuing outer paths of a nested Monte Carlo run.
+///
+/// Obtain one presized via `NestedMonteCarlo::workspace_for` (or start
+/// empty with [`ValuationWorkspace::new`] — the first outer path then
+/// warms it up). The workspace owns:
+///
+/// * the inner-stage [`ScenarioBuffer`] (paths + generator scratch),
+/// * the per-path [`PathScratch`] (fund returns, per-year discount factors),
+/// * the per-position vectors (`Φ_1` factors, inner-PV accumulator,
+///   per-inner-path values) and the re-anchoring state vector.
+#[derive(Debug, Clone, Default)]
+pub struct ValuationWorkspace {
+    /// Inner (risk-neutral) scenario buffer, refilled per outer path.
+    pub(crate) inner_buf: ScenarioBuffer,
+    /// Fund-return / discount-factor scratch for the valuation kernels.
+    pub(crate) scratch: PathScratch,
+    /// Per-position PVs of one inner path.
+    pub(crate) vals: Vec<f64>,
+    /// Per-position accumulator over the `nQ` inner paths.
+    pub(crate) acc: Vec<f64>,
+    /// Per-position first-year readjustment factors `Φ_1`.
+    pub(crate) phi1: Vec<f64>,
+    /// Outer endpoint state re-anchoring the inner simulation.
+    pub(crate) state: Vec<f64>,
+    /// Annual fund returns along the outer path.
+    pub(crate) outer_returns: Vec<f64>,
+}
+
+impl ValuationWorkspace {
+    /// An empty workspace; the first outer path sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace presized for `config` runs of a nested engine built on
+    /// `outer`/`inner` generators and `n_positions` liability positions —
+    /// even the first outer path then performs zero heap allocations.
+    pub fn sized_for(
+        outer: &ScenarioGenerator,
+        inner: &ScenarioGenerator,
+        config: &NestedConfig,
+        n_positions: usize,
+    ) -> Self {
+        let mut ws = Self::default();
+        // Antithetic runs generate 2 · (n_inner / 2) = n_inner total paths,
+        // so the buffer shape is the same either way.
+        ws.inner_buf.reserve_for(inner, config.n_inner);
+        let inner_years = inner.grid().n_steps() / inner.grid().steps_per_year();
+        let outer_years = outer.grid().n_steps() / outer.grid().steps_per_year();
+        ws.scratch.reserve_years(inner_years.max(outer_years));
+        ws.vals.reserve(n_positions);
+        ws.acc.reserve(n_positions);
+        ws.phi1.reserve(n_positions);
+        ws.state.reserve(inner.n_drivers());
+        ws.outer_returns.reserve(outer_years.max(1));
+        ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disar_stochastic::drivers::{Gbm, Vasicek};
+    use disar_stochastic::scenario::TimeGrid;
+
+    fn generator(horizon: f64) -> ScenarioGenerator {
+        ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.15).unwrap()))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.18, 0.03).unwrap()))
+            .grid(TimeGrid::new(horizon, 12).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sized_for_reserves_position_vectors() {
+        let outer = generator(1.0);
+        let inner = generator(10.0);
+        let config = NestedConfig::paper_defaults(1);
+        let ws = ValuationWorkspace::sized_for(&outer, &inner, &config, 7);
+        assert!(ws.vals.capacity() >= 7);
+        assert!(ws.acc.capacity() >= 7);
+        assert!(ws.phi1.capacity() >= 7);
+        assert!(ws.state.capacity() >= 2);
+        assert!(ws.outer_returns.capacity() >= 1);
+    }
+
+    #[test]
+    fn default_workspace_is_empty() {
+        let ws = ValuationWorkspace::new();
+        assert!(ws.vals.is_empty() && ws.acc.is_empty() && ws.phi1.is_empty());
+    }
+}

@@ -6,10 +6,14 @@ use disar_actuarial::lapse::ConstantLapse;
 use disar_actuarial::model_points::ModelPoint;
 use disar_actuarial::mortality::{Gender, LifeTable};
 use disar_alm::liability::{
-    shift_schedule, value_positions_all_paths, value_positions_on_path, LiabilityPosition,
+    shift_schedule, value_each_position_on_path, value_positions_all_paths,
+    value_positions_on_path, LiabilityPosition,
 };
+use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
 use disar_alm::parallel::parallel_map;
 use disar_alm::SegregatedFund;
+use disar_math::rng::split_seed;
+use disar_math::stats;
 use disar_stochastic::drivers::{Gbm, Vasicek};
 use disar_stochastic::scenario::{Measure, ScenarioGenerator, ScenarioSet, TimeGrid};
 use proptest::prelude::*;
@@ -116,5 +120,173 @@ proptest! {
         let seq: Vec<u64> = (0..n).map(f).collect();
         let par = parallel_map(n, threads, f);
         prop_assert_eq!(seq, par);
+    }
+}
+
+fn nested_generators(inner_horizon: f64) -> (ScenarioGenerator, ScenarioGenerator) {
+    let build = |h: f64| {
+        ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.15).expect("valid")))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.18, 0.03).expect("valid")))
+            .grid(TimeGrid::new(h, 4).expect("valid"))
+            .build()
+            .expect("valid")
+    };
+    (build(1.0), build(inner_horizon))
+}
+
+/// The pre-workspace nested procedure, reimplemented with the allocating
+/// APIs only (`generate`, `state_at`, `value_each_position_on_path`) —
+/// the reference the zero-allocation kernel path must match to the bit.
+fn reference_nested(
+    outer: &ScenarioGenerator,
+    inner: &ScenarioGenerator,
+    fund: &SegregatedFund,
+    positions: &[LiabilityPosition],
+    config: &NestedConfig,
+) -> (Vec<f64>, f64, f64, f64) {
+    let outer_set = outer
+        .generate(Measure::RealWorld, config.n_outer, config.seed, None)
+        .expect("outer generation");
+    let spy = outer_set.grid().steps_per_year();
+    let shifted: Vec<LiabilityPosition> = positions
+        .iter()
+        .map(|p| LiabilityPosition {
+            schedule: shift_schedule(&p.schedule, 1),
+            profit_sharing: p.profit_sharing,
+        })
+        .collect();
+
+    let mut y1 = Vec::new();
+    let mut year1_pv = Vec::new();
+    let mut dfs = Vec::new();
+    for p in 0..config.n_outer {
+        let returns = fund
+            .annual_returns(&outer_set, p, 1, 0)
+            .expect("fund returns");
+        let i1 = returns[0];
+        let df1 = outer_set.discount_factor(p, spy);
+        let mut year1 = 0.0;
+        let mut phi1 = Vec::new();
+        for pos in positions {
+            let phi = 1.0 + pos.profit_sharing.readjustment_rate(i1);
+            if let Some(flow) = pos.schedule.flows.first() {
+                if flow.year == 1 {
+                    year1 += flow.total() * phi * df1;
+                }
+            }
+            phi1.push(phi);
+        }
+        let state = outer_set.state_at(p, spy);
+        let inner_seed = split_seed(config.seed ^ 0x1AAE_5EED, p as u64);
+        let inner_set = if config.antithetic {
+            inner
+                .generate_antithetic(
+                    Measure::RiskNeutral,
+                    config.n_inner / 2,
+                    inner_seed,
+                    Some(&state),
+                )
+                .expect("inner generation")
+        } else {
+            inner
+                .generate(Measure::RiskNeutral, config.n_inner, inner_seed, Some(&state))
+                .expect("inner generation")
+        };
+        let mut acc = vec![0.0; shifted.len()];
+        for q in 0..config.n_inner {
+            let vals = value_each_position_on_path(&shifted, fund, &inner_set, q, 1, 0)
+                .expect("inner valuation");
+            for (a, v) in acc.iter_mut().zip(&vals) {
+                *a += *v;
+            }
+        }
+        let y: f64 = acc
+            .iter()
+            .zip(&phi1)
+            .map(|(a, phi)| phi * a / config.n_inner as f64)
+            .sum();
+        y1.push(y);
+        year1_pv.push(year1);
+        dfs.push(df1);
+    }
+
+    let mean = stats::mean(&y1);
+    let var_quantile = stats::quantile(&y1, config.confidence);
+    let avg_df = stats::mean(&dfs);
+    let scr = (var_quantile - mean) * avg_df;
+    let bel = stats::mean(
+        &y1.iter()
+            .zip(&dfs)
+            .zip(&year1_pv)
+            .map(|((y, df), fy)| y * df + fy)
+            .collect::<Vec<f64>>(),
+    );
+    (y1, mean, scr, bel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The workspace-backed nested engine is bit-identical to the
+    /// allocating reference — sequential and threaded, plain and
+    /// antithetic, for arbitrary seeds and path counts.
+    #[test]
+    fn nested_kernel_bitwise_matches_allocating_reference(
+        seed in 0u64..200,
+        n_outer in 2usize..8,
+        inner_pairs in 1usize..4,
+        antithetic in proptest::bool::ANY,
+        threads in 1usize..4,
+    ) {
+        let (outer, inner) = nested_generators(6.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let positions = vec![position(45, 6, 0.8, 1000.0), position(55, 6, 0.85, 700.0)];
+        let config = NestedConfig {
+            n_outer,
+            n_inner: 2 * inner_pairs,
+            confidence: 0.995,
+            seed,
+            threads,
+            antithetic,
+        };
+        let (y1, mean, scr, bel) =
+            reference_nested(&outer, &inner, &fund, &positions, &config);
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("engine");
+        let res = mc.run(&positions, &config).expect("run");
+        prop_assert_eq!(res.y1.len(), y1.len());
+        for (a, b) in res.y1.iter().zip(&y1) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(res.mean.to_bits(), mean.to_bits());
+        prop_assert_eq!(res.scr.to_bits(), scr.to_bits());
+        prop_assert_eq!(res.bel.to_bits(), bel.to_bits());
+    }
+
+    /// A single workspace driven through an arbitrary sequence of
+    /// differently-shaped runs never leaks state: every run equals the
+    /// same run on a fresh engine-allocated workspace.
+    #[test]
+    fn workspace_reuse_never_leaks_state(
+        seeds in prop::collection::vec((0u64..100, 2usize..6, 1usize..3, proptest::bool::ANY), 2..4),
+    ) {
+        let (outer, inner) = nested_generators(6.0);
+        let fund = SegregatedFund::italian_typical(10);
+        let positions = vec![position(50, 6, 0.8, 1000.0)];
+        let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("engine");
+        let mut ws = disar_alm::ValuationWorkspace::new();
+        for (seed, n_outer, inner_pairs, antithetic) in seeds {
+            let config = NestedConfig {
+                n_outer,
+                n_inner: 2 * inner_pairs,
+                confidence: 0.995,
+                seed,
+                threads: 1,
+                antithetic,
+            };
+            let reused = mc.run_with_workspace(&positions, &config, &mut ws).expect("run");
+            let fresh = mc.run(&positions, &config).expect("run");
+            prop_assert_eq!(reused, fresh);
+        }
     }
 }

@@ -1,0 +1,220 @@
+//! Nested-Monte-Carlo kernel baselines for the zero-allocation workspace
+//! layer (DESIGN.md §10): median wall time of a full nested run and the
+//! measured steady-state allocation rate of the `nP × nQ` inner stage,
+//! sequential and threaded, plain and antithetic.
+//!
+//! This is a hand-rolled harness (`harness = false`) rather than a
+//! criterion group because the acceptance numbers are persisted: the raw
+//! medians and allocation counts are written to `BENCH_engine.json` at the
+//! repo root, where the CI history can diff them. Regenerate with
+//!
+//! ```text
+//! cargo bench -p disar-bench --bench nested_kernel
+//! ```
+//!
+//! Allocation counting uses the same trick as the
+//! `disar-alm/tests/alloc_counting.rs` regression test: a steady-state
+//! run's allocation count is size-independent (the outer set, shifted
+//! schedules and result vectors cost a constant *number* of allocations),
+//! so the per-inner-path rate is the count delta between a large and a
+//! small run divided by the extra inner paths — zero when the kernels hold
+//! their promise.
+
+use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+use disar_actuarial::engine::ActuarialEngine;
+use disar_actuarial::lapse::ConstantLapse;
+use disar_actuarial::model_points::ModelPoint;
+use disar_actuarial::mortality::{Gender, LifeTable};
+use disar_alm::liability::LiabilityPosition;
+use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
+use disar_alm::SegregatedFund;
+use disar_stochastic::drivers::{Gbm, Vasicek};
+use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator wrapper counting every allocation-producing call.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn generators(inner_horizon: f64) -> (ScenarioGenerator, ScenarioGenerator) {
+    let build = |h: f64| {
+        ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.15).expect("valid")))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.18, 0.03).expect("valid")))
+            .grid(TimeGrid::new(h, 12).expect("valid"))
+            .build()
+            .expect("valid")
+    };
+    (build(1.0), build(inner_horizon))
+}
+
+fn positions(term: u32) -> Vec<LiabilityPosition> {
+    let table = LifeTable::italian_population();
+    let lapse = ConstantLapse::new(0.03).expect("valid");
+    let engine = ActuarialEngine::new(&table, &lapse);
+    [0.0, 0.02]
+        .iter()
+        .map(|&tech| {
+            let ps = ProfitSharing::new(0.8, tech).expect("valid");
+            let c = Contract::new(ProductKind::Endowment, 50, Gender::Male, term, 1000.0, ps)
+                .expect("valid");
+            let mp = ModelPoint {
+                contract: c,
+                policy_count: 1,
+            };
+            LiabilityPosition {
+                schedule: engine.cash_flow_schedule(&mp).expect("valid"),
+                profit_sharing: ps,
+            }
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    n_outer: usize,
+    n_inner: usize,
+    threads: usize,
+    antithetic: bool,
+    median_wall_ns: u128,
+    allocations: usize,
+    steady_state_allocs_per_inner_path: f64,
+}
+
+#[derive(Serialize)]
+struct Report<T: Serialize> {
+    generated_by: &'static str,
+    rows: Vec<T>,
+}
+
+fn write_report<T: Serialize>(name: &str, rows: Vec<T>) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    let report = Report {
+        generated_by: "cargo bench -p disar-bench --bench nested_kernel",
+        rows,
+    };
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("repo root is writable");
+    println!("wrote {}", path.display());
+}
+
+fn kernel_row(
+    mc: &NestedMonteCarlo<'_>,
+    pos: &[LiabilityPosition],
+    threads: usize,
+    antithetic: bool,
+    reps: usize,
+) -> KernelRow {
+    let config = |n_outer, n_inner| NestedConfig {
+        n_outer,
+        n_inner,
+        confidence: 0.995,
+        seed: 17,
+        threads,
+        antithetic,
+    };
+    let small = config(50, 10);
+    let large = config(200, 40);
+    let mut ws = mc.workspace_for(&large, pos.len());
+
+    // Warm-up: both shapes fill the (sequential) caller workspace and the
+    // allocator's internal caches before anything is measured.
+    mc.run_with_workspace(pos, &small, &mut ws).expect("runs");
+    mc.run_with_workspace(pos, &large, &mut ws).expect("runs");
+
+    let (_, small_allocs) =
+        count_allocations(|| mc.run_with_workspace(pos, &small, &mut ws).expect("runs"));
+    let (_, large_allocs) =
+        count_allocations(|| mc.run_with_workspace(pos, &large, &mut ws).expect("runs"));
+    let extra_inner =
+        (large.n_outer * large.n_inner - small.n_outer * small.n_inner) as f64;
+    let per_inner_path = large_allocs.saturating_sub(small_allocs) as f64 / extra_inner;
+
+    let median_wall_ns = median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let res = mc.run_with_workspace(pos, &large, &mut ws).expect("runs");
+                let ns = t.elapsed().as_nanos();
+                black_box(&res);
+                ns
+            })
+            .collect(),
+    );
+
+    KernelRow {
+        n_outer: large.n_outer,
+        n_inner: large.n_inner,
+        threads,
+        antithetic,
+        median_wall_ns,
+        allocations: large_allocs,
+        steady_state_allocs_per_inner_path: per_inner_path,
+    }
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`, filters); this harness
+    // always runs the full sweep, so the argv is deliberately ignored.
+    let (outer, inner) = generators(10.0);
+    let fund = SegregatedFund::italian_typical(20);
+    let pos = positions(10);
+    let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("engine");
+
+    let mut rows = Vec::new();
+    for (threads, antithetic) in [(1, false), (1, true), (4, false), (4, true)] {
+        let row = kernel_row(&mc, &pos, threads, antithetic, 7);
+        println!(
+            "threads {threads} antithetic {antithetic:>5}: {:>12} ns/run, \
+             {:>4} allocs/run, {:.4} allocs/inner-path",
+            row.median_wall_ns, row.allocations, row.steady_state_allocs_per_inner_path
+        );
+        rows.push(row);
+    }
+    write_report("BENCH_engine.json", rows);
+}

@@ -95,18 +95,6 @@ pub fn table1(
     }
 }
 
-/// Deprecated spelling of [`table1`] from before the driver API took the
-/// thread count directly.
-#[deprecated(note = "use `table1`, which now takes the thread count")]
-pub fn table1_threads(
-    kb: &KnowledgeBase,
-    catalog: &InstanceCatalog,
-    seed: u64,
-    n_threads: usize,
-) -> Table1 {
-    table1(kb, catalog, seed, n_threads)
-}
-
 /// Table II: mean prorated per-simulation cost (USD) per instance type,
 /// measured by running every EEB job once on a single node of each type.
 ///
@@ -170,13 +158,6 @@ pub fn fig2(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
             .collect::<Vec<_>>()
     });
     per_model.into_iter().flatten().collect()
-}
-
-/// Deprecated spelling of [`fig2`] from before the driver API took the
-/// thread count directly.
-#[deprecated(note = "use `fig2`, which now takes the thread count")]
-pub fn fig2_threads(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
-    fig2(kb, seed, n_threads)
 }
 
 /// Figure 3: the pooled error histogram.
@@ -359,17 +340,6 @@ pub fn ablation_ensemble(
     let ev = evaluate(&ensemble, &test).expect("evaluation succeeds");
     rows.push(("Ensemble".to_string(), ev.bias, ev.rmse));
     rows
-}
-
-/// Deprecated spelling of [`ablation_ensemble`] from before the driver API
-/// took the thread count directly.
-#[deprecated(note = "use `ablation_ensemble`, which now takes the thread count")]
-pub fn ablation_ensemble_threads(
-    kb: &KnowledgeBase,
-    seed: u64,
-    n_threads: usize,
-) -> Vec<(String, f64, f64)> {
-    ablation_ensemble(kb, seed, n_threads)
 }
 
 /// Ablation: effect of ε-greedy exploration on knowledge-base coverage and
@@ -565,19 +535,6 @@ pub fn ablation_hetero(
     })
 }
 
-/// Deprecated spelling of [`ablation_hetero`] from before the driver API
-/// took the thread count directly.
-#[deprecated(note = "use `ablation_hetero`, which now takes the thread count")]
-pub fn ablation_hetero_threads(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-    n_threads: usize,
-) -> Vec<HeteroAblationRow> {
-    ablation_hetero(kb, jobs, provider, seed, n_threads)
-}
-
 /// Ablation: ensemble-mean vs conservative (worst-member) deadline filter.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DeadlineRuleAblation {
@@ -715,19 +672,6 @@ pub fn ablation_deadline_rule(
             }
         })
         .collect()
-}
-
-/// Deprecated spelling of [`ablation_deadline_rule`] from before the
-/// driver API took the thread count directly.
-#[deprecated(note = "use `ablation_deadline_rule`, which now takes the thread count")]
-pub fn ablation_deadline_rule_threads(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-    n_threads: usize,
-) -> Vec<DeadlineRuleAblation> {
-    ablation_deadline_rule(kb, jobs, provider, seed, n_threads)
 }
 
 /// The self-optimizing loop's learning curve — the paper's claim that
@@ -1032,30 +976,6 @@ mod tests {
             assert_eq!(a.1.to_bits(), b.1.to_bits());
             assert_eq!(a.2.to_bits(), b.2.to_bits());
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_the_primaries() {
-        let (kb, provider, jobs) = small_campaign();
-        let t = table1_threads(&kb, provider.catalog(), 1, 2);
-        assert_eq!(t.bias, table1(&kb, provider.catalog(), 1, 1).bias);
-        assert_eq!(fig2_threads(&kb, 3, 2).len(), fig2(&kb, 3, 1).len());
-        assert_eq!(
-            ablation_ensemble_threads(&kb, 2, 2),
-            ablation_ensemble(&kb, 2, 1)
-        );
-        // The run-executing wrappers need separate providers so both see
-        // the same noise-stream position.
-        let (_, provider2, _) = small_campaign();
-        assert_eq!(
-            ablation_hetero_threads(&kb, &jobs, &provider, 3, 2),
-            ablation_hetero(&kb, &jobs, &provider2, 3, 1)
-        );
-        assert_eq!(
-            ablation_deadline_rule_threads(&kb, &jobs, &provider, 5, 2),
-            ablation_deadline_rule(&kb, &jobs, &provider2, 5, 1)
-        );
     }
 
     #[test]

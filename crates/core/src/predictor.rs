@@ -127,7 +127,10 @@ impl PredictorFamily {
     /// an O(new records) update for the instance-based learners — while the
     /// rest refit from scratch behind the same call. Either path leaves the
     /// family bit-identical to a from-scratch retrain on the full base; use
-    /// [`PredictorFamily::retrain_full`] to force the from-scratch path.
+    /// [`PredictorFamily::retrain_full`] to force the from-scratch path and
+    /// [`PredictorFamily::retrain_warm`] to additionally let the MLP
+    /// warm-start from its previous weights (faster, deterministic, but not
+    /// refit-identical).
     ///
     /// # Errors
     ///
@@ -155,7 +158,37 @@ impl PredictorFamily {
         kb: &KnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        self.retrain_impl(kb, n_threads, false)
+        self.retrain_impl(kb, n_threads, false, false)
+    }
+
+    /// [`PredictorFamily::retrain`] that additionally lets *inexact*
+    /// incremental learners (the MLP's warm start) take their suffix path
+    /// when the base grew by appending.
+    ///
+    /// Exact members behave exactly as under [`PredictorFamily::retrain`];
+    /// the MLP continues SGD from its previous weights with a reduced
+    /// epoch budget — deterministic, but **not** bit-identical to a
+    /// from-scratch fit. Use this in after-every-run retrain loops where
+    /// retrain latency matters more than refit equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain`].
+    pub fn retrain_warm(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
+        self.retrain_warm_with_threads(kb, 1)
+    }
+
+    /// [`PredictorFamily::retrain_warm`] over up to `n_threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain_with_threads`].
+    pub fn retrain_warm_with_threads(
+        &mut self,
+        kb: &KnowledgeBase,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        self.retrain_impl(kb, n_threads, false, true)
     }
 
     /// Retrains every model from scratch, ignoring any incrementally
@@ -166,7 +199,7 @@ impl PredictorFamily {
     ///
     /// Same contract as [`PredictorFamily::retrain`].
     pub fn retrain_full(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain_impl(kb, 1, true)
+        self.retrain_impl(kb, 1, true, false)
     }
 
     /// [`PredictorFamily::retrain_full`] over up to `n_threads` workers.
@@ -179,7 +212,7 @@ impl PredictorFamily {
         kb: &KnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        self.retrain_impl(kb, n_threads, true)
+        self.retrain_impl(kb, n_threads, true, false)
     }
 
     fn retrain_impl(
@@ -187,6 +220,7 @@ impl PredictorFamily {
         kb: &KnowledgeBase,
         n_threads: usize,
         force_full: bool,
+        allow_inexact: bool,
     ) -> Result<(), CoreError> {
         if n_threads == 0 {
             return Err(CoreError::InvalidParameter("n_threads must be > 0"));
@@ -206,7 +240,11 @@ impl PredictorFamily {
             && Self::fingerprint(data, from) == self.trained_fingerprint;
         let results = parallel_map_mut(&mut self.models, n_threads, |_, m| {
             match m.as_incremental() {
-                Some(inc) if incremental_ok && inc.fitted_len() == from => {
+                Some(inc)
+                    if incremental_ok
+                        && inc.fitted_len() == from
+                        && (allow_inexact || inc.exact()) =>
+                {
                     inc.partial_fit(data, from)
                 }
                 _ => m.fit(data),
@@ -553,6 +591,49 @@ mod tests {
         let mut full = PredictorFamily::new(3, 2);
         full.retrain_full(&filled_kb(80)).unwrap();
         assert_families_identical(&inc, &full, "incremental vs full");
+    }
+
+    #[test]
+    fn warm_retrain_is_deterministic_and_keeps_exact_members_bitwise() {
+        let run = || {
+            let mut fam = PredictorFamily::new(3, 2);
+            fam.retrain(&filled_kb(50)).unwrap();
+            fam.retrain_warm(&filled_kb(80)).unwrap();
+            fam
+        };
+        let a = run();
+        let b = run();
+        assert_families_identical(&a, &b, "warm retrain determinism");
+
+        // Only the warm-started MLP is licensed to diverge from a
+        // from-scratch refit; every exact member must stay bitwise equal.
+        let mut full = PredictorFamily::new(3, 2);
+        full.retrain_full(&filled_kb(80)).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("c3.4xlarge").unwrap();
+        let pa = a.predict_each(&profile(180), inst, 2).unwrap();
+        let pf = full.predict_each(&profile(180), inst, 2).unwrap();
+        for ((ma, va), (mf, vf)) in pa.iter().zip(&pf) {
+            assert_eq!(ma, mf);
+            if ma != "MLP" {
+                assert_eq!(
+                    va.to_bits(),
+                    vf.to_bits(),
+                    "{ma} diverged under warm retrain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_retrain_threaded_matches_sequential() {
+        let mut seq = PredictorFamily::new(6, 2);
+        seq.retrain(&filled_kb(50)).unwrap();
+        seq.retrain_warm_with_threads(&filled_kb(90), 1).unwrap();
+        let mut par = PredictorFamily::new(6, 2);
+        par.retrain(&filled_kb(50)).unwrap();
+        par.retrain_warm_with_threads(&filled_kb(90), 4).unwrap();
+        assert_families_identical(&seq, &par, "warm retrain thread invariance");
     }
 
     #[test]

@@ -25,7 +25,8 @@ use disar_actuarial::engine::ActuarialEngine;
 use disar_actuarial::lapse::DurationLapse;
 use disar_actuarial::mortality::LifeTable;
 use disar_alm::liability::LiabilityPosition;
-use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
+use disar_alm::nested::NestedMonteCarlo;
+use disar_alm::ValuationWorkspace;
 use disar_cloudsim::{CloudProvider, JobReport, Workload};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -239,14 +240,7 @@ impl DisarMaster {
             self.spec.market.equity_driver(),
             self.spec.market.rate_driver(),
         )?;
-        let config = NestedConfig {
-            n_outer: self.spec.n_outer,
-            n_inner: self.spec.n_inner,
-            confidence: 0.995,
-            seed: self.spec.seed,
-            threads: 1,
-            antithetic: false,
-        };
+        let config = self.spec.nested_config();
 
         // One worker per schedule unit, each draining its EEB list.
         let positions_ref = &positions_per_eeb;
@@ -262,12 +256,15 @@ impl DisarMaster {
                         let items = unit_items.clone();
                         s.spawn(move |_| {
                             let mut out = Vec::with_capacity(items.len());
+                            // One workspace per worker, reused across the
+                            // sequential nested runs of its whole EEB list.
+                            let mut ws = ValuationWorkspace::new();
                             for i in items {
                                 monitor.on_event(
                                     crate::progress::ProgressEvent::EebStarted { eeb: i, unit },
                                 );
                                 let res = nested_ref
-                                    .run(&positions_ref[i], config_ref)
+                                    .run_with_workspace(&positions_ref[i], config_ref, &mut ws)
                                     .map_err(EngineError::from)?;
                                 monitor.on_event(
                                     crate::progress::ProgressEvent::EebCompleted { eeb: i, unit },

@@ -7,7 +7,7 @@
 
 use crate::EngineError;
 use disar_actuarial::portfolio::Portfolio;
-use disar_alm::SegregatedFund;
+use disar_alm::{NestedConfig, SegregatedFund};
 use disar_stochastic::drivers::{Cir, FxRate, Gbm, Vasicek};
 use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
 use disar_stochastic::CorrelationMatrix;
@@ -130,6 +130,23 @@ impl SimulationSpec {
         }
     }
 
+    /// The nested-Monte-Carlo configuration this spec induces: its path
+    /// counts and seed at the regulatory 99.5 % confidence, sequential
+    /// plain sampling. Callers that parallelize do so *across* EEBs (the
+    /// master's LPT schedule), so the per-EEB nested run stays
+    /// single-threaded — which also lets it reuse one caller-owned
+    /// `ValuationWorkspace` across EEBs.
+    pub fn nested_config(&self) -> NestedConfig {
+        NestedConfig {
+            n_outer: self.n_outer,
+            n_inner: self.n_inner,
+            confidence: 0.995,
+            seed: self.seed,
+            threads: 1,
+            antithetic: false,
+        }
+    }
+
     /// Validates the Monte Carlo sizes.
     ///
     /// # Errors
@@ -200,6 +217,22 @@ mod tests {
         assert_eq!(spec.n_outer, 1000);
         assert_eq!(spec.n_inner, 50);
         assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn nested_config_mirrors_spec() {
+        let spec = SimulationSpec::paper_defaults(
+            small_portfolio(),
+            SegregatedFund::italian_typical(30),
+            42,
+        );
+        let cfg = spec.nested_config();
+        assert_eq!(cfg.n_outer, spec.n_outer);
+        assert_eq!(cfg.n_inner, spec.n_inner);
+        assert_eq!(cfg.seed, spec.seed);
+        assert_eq!(cfg.confidence, 0.995);
+        assert_eq!(cfg.threads, 1);
+        assert!(!cfg.antithetic);
     }
 
     #[test]

@@ -151,6 +151,79 @@ where
         .collect()
 }
 
+/// Like [`parallel_map`], but each worker thread first builds a private
+/// workspace with `init` and then threads it mutably through every item of
+/// its chunk — the zero-allocation companion of [`parallel_map`] for
+/// kernels that reuse scratch buffers across items.
+///
+/// `f(i, ws)` must produce a result that depends only on `i`, treating the
+/// workspace as pure scratch (anything it left behind may be observed by
+/// the next item of the same chunk, but must not change results). Under
+/// that contract the output is bit-identical for every thread count;
+/// `n_threads = 1` is the sequential escape hatch (one workspace, no
+/// threads spawned).
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`, or if `init` or `f` panics (the panic is
+/// propagated).
+///
+/// # Example
+///
+/// ```
+/// use disar_math::parallel::parallel_map_with;
+///
+/// // One scratch Vec per worker, reused across its whole chunk.
+/// let sums = parallel_map_with(
+///     6,
+///     3,
+///     Vec::new,
+///     |i, scratch: &mut Vec<usize>| {
+///         scratch.clear();
+///         scratch.extend(0..=i);
+///         scratch.iter().sum::<usize>()
+///     },
+/// );
+/// assert_eq!(sums, vec![0, 1, 3, 6, 10, 15]);
+/// ```
+pub fn parallel_map_with<T, W, I, F>(n_items: usize, n_threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(usize, &mut W) -> T + Sync,
+{
+    assert!(n_threads > 0, "n_threads must be positive");
+    if n_items == 0 {
+        return Vec::new();
+    }
+    if n_threads == 1 || n_items == 1 {
+        let mut ws = init();
+        return (0..n_items).map(|i| f(i, &mut ws)).collect();
+    }
+
+    let mut results: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    let threads = n_threads.min(n_items);
+    let chunk = n_items.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let init = &init;
+            let f = &f;
+            s.spawn(move |_| {
+                let mut ws = init();
+                let base = t * chunk;
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off, &mut ws));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled by construction"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +332,62 @@ mod tests {
     fn map_mut_zero_threads_panics() {
         let mut items = vec![1, 2];
         let _ = parallel_map_mut(&mut items, 0, |_, x| *x);
+    }
+
+    #[test]
+    fn map_with_matches_sequential_for_any_thread_count() {
+        let seq: Vec<usize> = (0..97).map(|i| i * 7 + 2).collect();
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let par = parallel_map_with(97, threads, Vec::new, |i, ws: &mut Vec<usize>| {
+                ws.clear();
+                ws.push(i * 7 + 2);
+                ws[0]
+            });
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_builds_at_most_one_workspace_per_worker() {
+        let inits = AtomicUsize::new(0);
+        for threads in [1usize, 3, 5] {
+            inits.store(0, Ordering::Relaxed);
+            let v = parallel_map_with(
+                50,
+                threads,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |i, _| i,
+            );
+            assert_eq!(v.len(), 50);
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads,
+                "threads = {threads}: {} workspaces",
+                inits.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    fn map_with_workspace_persists_within_a_chunk() {
+        // With one thread the single workspace sees every item in order.
+        let trace = parallel_map_with(5, 1, Vec::new, |i, seen: &mut Vec<usize>| {
+            seen.push(i);
+            seen.clone()
+        });
+        assert_eq!(trace[4], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn map_with_empty_input() {
+        let v: Vec<u32> = parallel_map_with(0, 4, || (), |_, _| unreachable!());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_threads must be positive")]
+    fn map_with_zero_threads_panics() {
+        let _ = parallel_map_with(4, 0, || (), |i, _| i);
     }
 }

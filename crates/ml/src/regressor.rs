@@ -30,7 +30,8 @@ pub trait Regressor: Send + Sync {
 
     /// Downcast hook to the model's incremental-learning capability.
     ///
-    /// Models with append-only training state ([`IbK`], [`KStar`]) override
+    /// Models with append-only training state ([`IbK`], [`KStar`]) and
+    /// models with a cheaper warm-start continuation ([`Mlp`]) override
     /// this to return `Some`; everything else keeps the `None` default and
     /// callers fall back to a full [`Regressor::fit`] behind the same API.
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
@@ -38,15 +39,22 @@ pub trait Regressor: Send + Sync {
     }
 }
 
-/// Append-only training: extend a fitted model with new trailing rows
-/// without refitting the prefix it has already seen.
+/// Suffix training: extend a fitted model with new trailing rows without
+/// refitting from scratch.
 ///
-/// The contract is strict so that incremental and from-scratch training stay
-/// **bit-identical**: `partial_fit(data, from)` requires that `data` is the
-/// full training set, that `data.rows()[..from]` is exactly the prefix the
-/// model was last fitted on, and that `from == fitted_len()`. Implementations
-/// must produce the same predictions (to the bit) as a fresh
-/// [`Regressor::fit`] on all of `data`.
+/// The shared preconditions are strict: `partial_fit(data, from)` requires
+/// that `data` is the full training set, that `data.rows()[..from]` is
+/// exactly the prefix the model was last fitted on, and that
+/// `from == fitted_len()`. What the suffix step *guarantees* splits the
+/// implementations in two classes, advertised by
+/// [`IncrementalRegressor::exact`]:
+///
+/// * **exact** (`exact() == true`, e.g. [`IbK`], [`KStar`]): append-only
+///   training state; predictions after `partial_fit` are the same *to the
+///   bit* as a fresh [`Regressor::fit`] on all of `data`;
+/// * **inexact** (`exact() == false`, e.g. [`Mlp`]): the previous fit
+///   warm-starts a cheaper continuation — deterministic, but numerically
+///   different from a from-scratch fit.
 pub trait IncrementalRegressor: Regressor {
     /// Extends the fit with the rows `data.rows()[from..]`.
     ///
@@ -63,6 +71,16 @@ pub trait IncrementalRegressor: Regressor {
 
     /// Number of rows the current fit was trained on (0 before any fit).
     fn fitted_len(&self) -> usize;
+
+    /// Whether `partial_fit` is bit-identical to a full refit.
+    ///
+    /// Bit-identity-preserving callers ([`crate::Ensemble::partial_fit`],
+    /// the predictor family's default retrain) only take the incremental
+    /// path when this holds and fall back to [`Regressor::fit`] otherwise;
+    /// warm-start entry points opt into inexact continuation explicitly.
+    fn exact(&self) -> bool {
+        true
+    }
 }
 
 /// Identifies one of the six model families used by the paper.

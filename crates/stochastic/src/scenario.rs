@@ -11,6 +11,21 @@
 //!
 //! The re-anchoring is expressed through the `initial_overrides` parameter
 //! of [`ScenarioGenerator::generate`].
+//!
+//! # Allocation discipline
+//!
+//! The nested procedure regenerates an inner scenario set *per outer path*,
+//! which made the allocating [`ScenarioGenerator::generate`] the hottest
+//! allocation site in the whole engine. The `_into` variants
+//! ([`ScenarioGenerator::generate_into`] /
+//! [`ScenarioGenerator::generate_antithetic_into`]) fill a caller-owned
+//! [`ScenarioBuffer`] instead: after the first fill of a given shape, a
+//! reused buffer performs **zero** heap allocations. The allocating entry
+//! points are thin allocate-then-fill wrappers over the same core, so their
+//! output is bit-identical to what they produced before the buffers existed.
+//! [`ScenarioView`] is the read-only window shared by both backings
+//! ([`ScenarioSet::view`] / [`ScenarioBuffer::view`]), so valuation kernels
+//! are written once against the view.
 
 use crate::correlation::CorrelationMatrix;
 use crate::drivers::RiskDriver;
@@ -137,6 +152,20 @@ impl ScenarioSet {
         self.short_rate_index
     }
 
+    /// A borrowed read-only window over this set — the common currency of
+    /// the allocation-free valuation kernels (a [`ScenarioBuffer`] yields
+    /// the same view type).
+    pub fn view(&self) -> ScenarioView<'_> {
+        ScenarioView {
+            grid: self.grid,
+            measure: self.measure,
+            short_rate_index: self.short_rate_index,
+            n_paths: self.n_paths,
+            n_drivers: self.n_drivers(),
+            data: &self.data,
+        }
+    }
+
     fn offset(&self, path: usize, driver: usize) -> usize {
         let stride = self.grid.n_steps() + 1;
         (path * self.n_drivers() + driver) * stride
@@ -186,6 +215,102 @@ impl ScenarioSet {
     ///
     /// Panics if the indices are out of range.
     pub fn discount_factor(&self, path: usize, step: usize) -> f64 {
+        self.view().discount_factor(path, step)
+    }
+}
+
+/// A borrowed, read-only window over generated scenario data.
+///
+/// Both backing stores produce it — [`ScenarioSet::view`] for the owning
+/// set and [`ScenarioBuffer::view`] for the reusable workspace — so the
+/// valuation kernels in `disar-alm` are written once against this type and
+/// stay allocation-free regardless of where the paths live.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioView<'a> {
+    grid: TimeGrid,
+    measure: Measure,
+    short_rate_index: Option<usize>,
+    n_paths: usize,
+    n_drivers: usize,
+    /// Flattened `[path][driver][step]`, same layout as [`ScenarioSet`].
+    data: &'a [f64],
+}
+
+impl ScenarioView<'_> {
+    /// Number of simulated paths.
+    pub fn n_paths(&self) -> usize {
+        self.n_paths
+    }
+
+    /// Number of risk drivers.
+    pub fn n_drivers(&self) -> usize {
+        self.n_drivers
+    }
+
+    /// The time grid the data was generated on.
+    pub fn grid(&self) -> TimeGrid {
+        self.grid
+    }
+
+    /// The measure the data was generated under.
+    pub fn measure(&self) -> Measure {
+        self.measure
+    }
+
+    /// Index of the short-rate driver, if one was configured.
+    pub fn short_rate_index(&self) -> Option<usize> {
+        self.short_rate_index
+    }
+
+    fn offset(&self, path: usize, driver: usize) -> usize {
+        let stride = self.grid.n_steps() + 1;
+        (path * self.n_drivers + driver) * stride
+    }
+
+    /// The full path of `driver` on `path` (length `n_steps + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn path(&self, path: usize, driver: usize) -> &[f64] {
+        assert!(path < self.n_paths, "path index out of range");
+        assert!(driver < self.n_drivers, "driver index out of range");
+        let o = self.offset(path, driver);
+        &self.data[o..o + self.grid.n_steps() + 1]
+    }
+
+    /// The value of `driver` on `path` at grid `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn value(&self, path: usize, driver: usize, step: usize) -> f64 {
+        assert!(step <= self.grid.n_steps(), "step index out of range");
+        self.path(path, driver)[step]
+    }
+
+    /// Writes all drivers' values on `path` at grid `step` into `out`
+    /// (cleared first) — the allocation-free sibling of
+    /// [`ScenarioSet::state_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn state_into(&self, path: usize, step: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n_drivers).map(|d| self.value(path, d, step)));
+    }
+
+    /// Money-market discount factor from step 0 to `step` along `path`,
+    /// `exp(-∫ r dt)` by trapezoidal integration of the short-rate path.
+    ///
+    /// Returns `1.0` when no short-rate driver is present (deterministic
+    /// zero-rate fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn discount_factor(&self, path: usize, step: usize) -> f64 {
         let Some(sr) = self.short_rate_index else {
             return 1.0;
         };
@@ -197,6 +322,118 @@ impl ScenarioSet {
             integral += 0.5 * (rates[s] + rates[s + 1]) * dt;
         }
         (-integral).exp()
+    }
+
+    /// Fills `out` (cleared first) with the discount factors at the
+    /// whole-year boundaries `1..=n_years`: entry `k - 1` is bit-identical
+    /// to `discount_factor(path, k * steps_per_year)`.
+    ///
+    /// One running trapezoidal integral serves all years; because the
+    /// per-step additions happen in exactly the same order as each fresh
+    /// `discount_factor` loop, every partial sum — and hence every emitted
+    /// factor — matches the per-call result to the bit, at `O(n_steps)`
+    /// total instead of `O(n_years · n_steps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range or the grid is shorter than
+    /// `n_years` years.
+    pub fn year_discount_factors_into(&self, path: usize, n_years: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let Some(sr) = self.short_rate_index else {
+            out.resize(n_years, 1.0);
+            return;
+        };
+        let spy = self.grid.steps_per_year();
+        let rates = self.path(path, sr);
+        assert!(n_years * spy < rates.len(), "year index out of range");
+        let dt = self.grid.dt();
+        let mut integral = 0.0;
+        for k in 1..=n_years {
+            for s in (k - 1) * spy..k * spy {
+                integral += 0.5 * (rates[s] + rates[s + 1]) * dt;
+            }
+            out.push((-integral).exp());
+        }
+    }
+}
+
+/// Shape and provenance of the paths currently held by a
+/// [`ScenarioBuffer`], stamped by the last `generate_into` fill.
+#[derive(Debug, Clone, Copy)]
+struct BufferMeta {
+    grid: TimeGrid,
+    measure: Measure,
+    short_rate_index: Option<usize>,
+    n_paths: usize,
+    n_drivers: usize,
+}
+
+/// A reusable, caller-owned workspace for scenario generation.
+///
+/// [`ScenarioGenerator::generate_into`] and
+/// [`ScenarioGenerator::generate_antithetic_into`] fill it in place; after
+/// the first fill of a given shape, subsequent fills of the same (or a
+/// smaller) shape perform **zero** heap allocations. The buffer also owns
+/// the generator's per-path scratch (raw draws, correlated shocks, state
+/// vectors), so the whole generation loop runs without touching the
+/// allocator.
+///
+/// Read access goes through [`ScenarioBuffer::view`], which yields the same
+/// [`ScenarioView`] as a [`ScenarioSet`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuffer {
+    meta: Option<BufferMeta>,
+    /// Flattened `[path][driver][step]`, same layout as [`ScenarioSet`].
+    data: Vec<f64>,
+    initials: Vec<f64>,
+    raw: Vec<f64>,
+    shocks: Vec<f64>,
+    state_pos: Vec<f64>,
+    state_neg: Vec<f64>,
+}
+
+impl ScenarioBuffer {
+    /// An empty buffer; the first fill sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the buffer for `n_paths` total paths from `generator`, so
+    /// even the *first* `generate_into` of that shape allocates nothing.
+    pub fn reserve_for(&mut self, generator: &ScenarioGenerator, n_paths: usize) {
+        let n_drivers = generator.n_drivers();
+        let stride = generator.grid().n_steps() + 1;
+        let need = n_paths * n_drivers * stride;
+        self.data.reserve(need.saturating_sub(self.data.len()));
+        for v in [
+            &mut self.initials,
+            &mut self.raw,
+            &mut self.shocks,
+            &mut self.state_pos,
+            &mut self.state_neg,
+        ] {
+            v.reserve(n_drivers.saturating_sub(v.len()));
+        }
+    }
+
+    /// A read-only view over the paths written by the last fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer has never been filled.
+    pub fn view(&self) -> ScenarioView<'_> {
+        let meta = self
+            .meta
+            .expect("ScenarioBuffer::view called before any generate_into fill");
+        ScenarioView {
+            grid: meta.grid,
+            measure: meta.measure,
+            short_rate_index: meta.short_rate_index,
+            n_paths: meta.n_paths,
+            n_drivers: meta.n_drivers,
+            data: &self.data,
+        }
     }
 }
 
@@ -223,6 +460,61 @@ impl ScenarioGenerator {
         self.grid
     }
 
+    /// Shared validation + setup core of the plain and antithetic
+    /// generators: checks the requested count (`count_what` names it in the
+    /// error) and the override length, sizes the buffer for `n_paths` total
+    /// paths, resolves the `t = 0` state into `buf.initials`, and stamps
+    /// the buffer's metadata.
+    fn prepare_buffer(
+        &self,
+        measure: Measure,
+        count: usize,
+        count_what: &str,
+        n_paths: usize,
+        initial_overrides: Option<&[f64]>,
+        buf: &mut ScenarioBuffer,
+    ) -> Result<(), StochasticError> {
+        if count == 0 {
+            return Err(StochasticError::InvalidConfiguration(format!(
+                "{count_what} must be > 0"
+            )));
+        }
+        if let Some(init) = initial_overrides {
+            if init.len() != self.drivers.len() {
+                return Err(StochasticError::InvalidConfiguration(format!(
+                    "{} initial overrides for {} drivers",
+                    init.len(),
+                    self.drivers.len()
+                )));
+            }
+        }
+        let n_drivers = self.drivers.len();
+        let stride = self.grid.n_steps() + 1;
+        // `resize` without `clear`: on a same-shape refill this neither
+        // allocates nor redundantly zero-fills — every slot is overwritten
+        // by the fill loop (initial state + all steps of all drivers).
+        buf.data.resize(n_paths * n_drivers * stride, 0.0);
+        buf.initials.clear();
+        match initial_overrides {
+            Some(init) => buf.initials.extend_from_slice(init),
+            None => buf
+                .initials
+                .extend(self.drivers.iter().map(|d| d.initial_value())),
+        }
+        buf.raw.resize(n_drivers, 0.0);
+        buf.shocks.resize(n_drivers, 0.0);
+        buf.state_pos.resize(n_drivers, 0.0);
+        buf.state_neg.resize(n_drivers, 0.0);
+        buf.meta = Some(BufferMeta {
+            grid: self.grid,
+            measure,
+            short_rate_index: self.drivers.iter().position(|d| d.is_short_rate()),
+            n_paths,
+            n_drivers,
+        });
+        Ok(())
+    }
+
     /// Generates `n_paths` joint paths under `measure` with deterministic
     /// per-path RNG streams derived from `seed`.
     ///
@@ -241,38 +533,45 @@ impl ScenarioGenerator {
         seed: u64,
         initial_overrides: Option<&[f64]>,
     ) -> Result<ScenarioSet, StochasticError> {
-        if n_paths == 0 {
-            return Err(StochasticError::InvalidConfiguration(
-                "n_paths must be > 0".into(),
-            ));
-        }
-        if let Some(init) = initial_overrides {
-            if init.len() != self.drivers.len() {
-                return Err(StochasticError::InvalidConfiguration(format!(
-                    "{} initial overrides for {} drivers",
-                    init.len(),
-                    self.drivers.len()
-                )));
-            }
-        }
+        let mut buf = ScenarioBuffer::new();
+        self.generate_into(measure, n_paths, seed, initial_overrides, &mut buf)?;
+        Ok(self.set_from_buffer(buf))
+    }
+
+    /// Fills `buf` with `n_paths` joint paths under `measure` —
+    /// bit-identical to [`ScenarioGenerator::generate`] (same RNG stream
+    /// derivation `stream_rng(seed, path)`, same write order), but reusing
+    /// the buffer's storage: a warm same-shape refill performs zero heap
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ScenarioGenerator::generate`].
+    pub fn generate_into(
+        &self,
+        measure: Measure,
+        n_paths: usize,
+        seed: u64,
+        initial_overrides: Option<&[f64]>,
+        buf: &mut ScenarioBuffer,
+    ) -> Result<(), StochasticError> {
+        self.prepare_buffer(measure, n_paths, "n_paths", n_paths, initial_overrides, buf)?;
         let n_drivers = self.drivers.len();
         let n_steps = self.grid.n_steps();
         let dt = self.grid.dt();
         let stride = n_steps + 1;
-        let mut data = vec![0.0; n_paths * n_drivers * stride];
-
-        let initials: Vec<f64> = match initial_overrides {
-            Some(init) => init.to_vec(),
-            None => self.drivers.iter().map(|d| d.initial_value()).collect(),
-        };
-
-        let mut raw = vec![0.0; n_drivers];
-        let mut shocks = vec![0.0; n_drivers];
-        let mut state = vec![0.0; n_drivers];
+        let ScenarioBuffer {
+            data,
+            initials,
+            raw,
+            shocks,
+            state_pos: state,
+            ..
+        } = buf;
         for p in 0..n_paths {
             let mut rng = stream_rng(seed, p as u64);
             let mut gauss = StandardNormal::new();
-            state.copy_from_slice(&initials);
+            state.copy_from_slice(initials);
             for (d, s) in state.iter().enumerate() {
                 data[(p * n_drivers + d) * stride] = *s;
             }
@@ -280,23 +579,14 @@ impl ScenarioGenerator {
                 for z in raw.iter_mut() {
                     *z = gauss.sample(&mut rng);
                 }
-                self.correlation.correlate_into(&raw, &mut shocks);
+                self.correlation.correlate_into(raw, shocks);
                 for d in 0..n_drivers {
                     state[d] = self.drivers[d].step(state[d], dt, shocks[d], measure);
                     data[(p * n_drivers + d) * stride + step] = state[d];
                 }
             }
         }
-
-        let short_rate_index = self.drivers.iter().position(|d| d.is_short_rate());
-        Ok(ScenarioSet {
-            grid: self.grid,
-            measure,
-            driver_names: self.drivers.iter().map(|d| d.name().to_string()).collect(),
-            short_rate_index,
-            n_paths,
-            data,
-        })
+        Ok(())
     }
 
     /// Generates `2 · n_pairs` paths using **antithetic variates**: paths
@@ -316,40 +606,53 @@ impl ScenarioGenerator {
         seed: u64,
         initial_overrides: Option<&[f64]>,
     ) -> Result<ScenarioSet, StochasticError> {
-        if n_pairs == 0 {
-            return Err(StochasticError::InvalidConfiguration(
-                "n_pairs must be > 0".into(),
-            ));
-        }
-        if let Some(init) = initial_overrides {
-            if init.len() != self.drivers.len() {
-                return Err(StochasticError::InvalidConfiguration(format!(
-                    "{} initial overrides for {} drivers",
-                    init.len(),
-                    self.drivers.len()
-                )));
-            }
-        }
+        let mut buf = ScenarioBuffer::new();
+        self.generate_antithetic_into(measure, n_pairs, seed, initial_overrides, &mut buf)?;
+        Ok(self.set_from_buffer(buf))
+    }
+
+    /// Fills `buf` with `2 · n_pairs` antithetic paths — bit-identical to
+    /// [`ScenarioGenerator::generate_antithetic`] (same per-pair RNG stream
+    /// `stream_rng(seed, pair)`, same write order), but reusing the
+    /// buffer's storage like [`ScenarioGenerator::generate_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ScenarioGenerator::generate`].
+    pub fn generate_antithetic_into(
+        &self,
+        measure: Measure,
+        n_pairs: usize,
+        seed: u64,
+        initial_overrides: Option<&[f64]>,
+        buf: &mut ScenarioBuffer,
+    ) -> Result<(), StochasticError> {
+        self.prepare_buffer(
+            measure,
+            n_pairs,
+            "n_pairs",
+            2 * n_pairs,
+            initial_overrides,
+            buf,
+        )?;
         let n_drivers = self.drivers.len();
         let n_steps = self.grid.n_steps();
         let dt = self.grid.dt();
         let stride = n_steps + 1;
-        let n_paths = 2 * n_pairs;
-        let mut data = vec![0.0; n_paths * n_drivers * stride];
-        let initials: Vec<f64> = match initial_overrides {
-            Some(init) => init.to_vec(),
-            None => self.drivers.iter().map(|d| d.initial_value()).collect(),
-        };
-
-        let mut raw = vec![0.0; n_drivers];
-        let mut shocks = vec![0.0; n_drivers];
-        let mut state_pos = vec![0.0; n_drivers];
-        let mut state_neg = vec![0.0; n_drivers];
+        let ScenarioBuffer {
+            data,
+            initials,
+            raw,
+            shocks,
+            state_pos,
+            state_neg,
+            ..
+        } = buf;
         for pair in 0..n_pairs {
             let mut rng = stream_rng(seed, pair as u64);
             let mut gauss = StandardNormal::new();
-            state_pos.copy_from_slice(&initials);
-            state_neg.copy_from_slice(&initials);
+            state_pos.copy_from_slice(initials);
+            state_neg.copy_from_slice(initials);
             let (p_pos, p_neg) = (2 * pair, 2 * pair + 1);
             for d in 0..n_drivers {
                 data[(p_pos * n_drivers + d) * stride] = initials[d];
@@ -359,7 +662,7 @@ impl ScenarioGenerator {
                 for z in raw.iter_mut() {
                     *z = gauss.sample(&mut rng);
                 }
-                self.correlation.correlate_into(&raw, &mut shocks);
+                self.correlation.correlate_into(raw, shocks);
                 for d in 0..n_drivers {
                     state_pos[d] = self.drivers[d].step(state_pos[d], dt, shocks[d], measure);
                     state_neg[d] = self.drivers[d].step(state_neg[d], dt, -shocks[d], measure);
@@ -368,16 +671,21 @@ impl ScenarioGenerator {
                 }
             }
         }
+        Ok(())
+    }
 
-        let short_rate_index = self.drivers.iter().position(|d| d.is_short_rate());
-        Ok(ScenarioSet {
-            grid: self.grid,
-            measure,
+    /// Moves a freshly filled buffer's path data into an owning
+    /// [`ScenarioSet`] (the allocating wrappers' final step).
+    fn set_from_buffer(&self, buf: ScenarioBuffer) -> ScenarioSet {
+        let meta = buf.meta.expect("buffer was filled by the caller");
+        ScenarioSet {
+            grid: meta.grid,
+            measure: meta.measure,
             driver_names: self.drivers.iter().map(|d| d.name().to_string()).collect(),
-            short_rate_index,
-            n_paths,
-            data,
-        })
+            short_rate_index: meta.short_rate_index,
+            n_paths: meta.n_paths,
+            data: buf.data,
+        }
     }
 }
 
@@ -582,6 +890,13 @@ mod tests {
         let gen = sample_generator();
         assert!(gen.generate(Measure::RealWorld, 0, 1, None).is_err());
         assert!(gen.generate_antithetic(Measure::RealWorld, 0, 1, None).is_err());
+        let mut buf = ScenarioBuffer::new();
+        assert!(gen
+            .generate_into(Measure::RealWorld, 0, 1, None, &mut buf)
+            .is_err());
+        assert!(gen
+            .generate_antithetic_into(Measure::RealWorld, 0, 1, None, &mut buf)
+            .is_err());
     }
 
     #[test]
@@ -661,5 +976,119 @@ mod tests {
         assert!(gen
             .generate_antithetic(Measure::RiskNeutral, 2, 1, Some(&[0.04]))
             .is_err());
+    }
+
+    fn assert_view_matches_set(v: &ScenarioView<'_>, set: &ScenarioSet) {
+        assert_eq!(v.n_paths(), set.n_paths());
+        assert_eq!(v.n_drivers(), set.n_drivers());
+        assert_eq!(v.grid(), set.grid());
+        assert_eq!(v.measure(), set.measure());
+        assert_eq!(v.short_rate_index(), set.short_rate_index());
+        for p in 0..set.n_paths() {
+            for d in 0..set.n_drivers() {
+                for (a, b) in v.path(p, d).iter().zip(set.path(p, d)) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generate_into_matches_generate_bitwise() {
+        let gen = sample_generator();
+        let init = vec![0.045, 110.0];
+        for (measure, overrides) in [
+            (Measure::RealWorld, None),
+            (Measure::RiskNeutral, Some(init.as_slice())),
+        ] {
+            let mut buf = ScenarioBuffer::new();
+            gen.generate_into(measure, 7, 42, overrides, &mut buf).unwrap();
+            let set = gen.generate(measure, 7, 42, overrides).unwrap();
+            assert_view_matches_set(&buf.view(), &set);
+
+            let mut anti_buf = ScenarioBuffer::new();
+            gen.generate_antithetic_into(measure, 7, 42, overrides, &mut anti_buf)
+                .unwrap();
+            let anti = gen.generate_antithetic(measure, 7, 42, overrides).unwrap();
+            assert_view_matches_set(&anti_buf.view(), &anti);
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_does_not_leak_between_fills() {
+        let gen = sample_generator();
+        let mut buf = ScenarioBuffer::new();
+        // Pollute with a larger antithetic fill, then refill smaller: the
+        // result must match a fresh generation exactly.
+        gen.generate_antithetic_into(Measure::RealWorld, 9, 7, None, &mut buf)
+            .unwrap();
+        gen.generate_into(Measure::RiskNeutral, 4, 11, Some(&[0.01, 95.0]), &mut buf)
+            .unwrap();
+        let fresh = gen
+            .generate(Measure::RiskNeutral, 4, 11, Some(&[0.01, 95.0]))
+            .unwrap();
+        assert_view_matches_set(&buf.view(), &fresh);
+    }
+
+    #[test]
+    fn reserve_for_presizes_without_filling() {
+        let gen = sample_generator();
+        let mut buf = ScenarioBuffer::new();
+        buf.reserve_for(&gen, 10);
+        gen.generate_into(Measure::RealWorld, 10, 3, None, &mut buf).unwrap();
+        let fresh = gen.generate(Measure::RealWorld, 10, 3, None).unwrap();
+        assert_view_matches_set(&buf.view(), &fresh);
+    }
+
+    #[test]
+    fn year_discount_factors_match_per_step_calls() {
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.02, 0.5, 0.03, 0.01, 0.2).unwrap()))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.2, 0.02).unwrap()))
+            .grid(TimeGrid::new(3.0, 12).unwrap())
+            .build()
+            .unwrap();
+        let set = gen.generate(Measure::RiskNeutral, 4, 21, None).unwrap();
+        let v = set.view();
+        let mut dfs = Vec::new();
+        for p in 0..set.n_paths() {
+            v.year_discount_factors_into(p, 3, &mut dfs);
+            assert_eq!(dfs.len(), 3);
+            for (k, df) in dfs.iter().enumerate() {
+                let reference = set.discount_factor(p, (k + 1) * 12);
+                assert_eq!(df.to_bits(), reference.to_bits(), "path {p} year {}", k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn year_discount_factors_without_short_rate_are_one() {
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Gbm::new(1.0, 0.0, 0.1, 0.0).unwrap()))
+            .grid(TimeGrid::new(2.0, 4).unwrap())
+            .build()
+            .unwrap();
+        let set = gen.generate(Measure::RiskNeutral, 2, 0, None).unwrap();
+        let mut dfs = vec![0.5; 7];
+        set.view().year_discount_factors_into(0, 2, &mut dfs);
+        assert_eq!(dfs, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn state_into_matches_state_at() {
+        let gen = sample_generator();
+        let set = gen.generate(Measure::RealWorld, 3, 17, None).unwrap();
+        let v = set.view();
+        let mut state = Vec::new();
+        for p in 0..3 {
+            v.state_into(p, 12, &mut state);
+            assert_eq!(state, set.state_at(p, 12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before any generate_into fill")]
+    fn buffer_view_before_fill_panics() {
+        let _ = ScenarioBuffer::new().view();
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests of the stochastic substrate.
 
 use disar_stochastic::drivers::{Cir, FxRate, Gbm, RiskDriver, Vasicek};
-use disar_stochastic::scenario::{Measure, ScenarioGenerator, TimeGrid};
+use disar_stochastic::scenario::{
+    Measure, ScenarioBuffer, ScenarioGenerator, ScenarioSet, ScenarioView, TimeGrid,
+};
 use disar_stochastic::CorrelationMatrix;
 use proptest::prelude::*;
 
@@ -124,5 +126,96 @@ proptest! {
                 prev = df;
             }
         }
+    }
+}
+
+/// The rate + equity generator the buffer-reuse properties run against.
+fn buffered_generator() -> ScenarioGenerator {
+    ScenarioGenerator::builder()
+        .driver(Box::new(Vasicek::new(0.02, 0.5, 0.03, 0.01, 0.1).expect("valid")))
+        .driver(Box::new(Gbm::new(100.0, 0.05, 0.2, 0.02).expect("valid")))
+        .correlation(
+            CorrelationMatrix::new(vec![vec![1.0, -0.3], vec![-0.3, 1.0]]).expect("valid"),
+        )
+        .grid(TimeGrid::new(2.0, 4).expect("valid"))
+        .build()
+        .expect("valid")
+}
+
+/// Every value, the layout metadata, and the per-step discount factors of a
+/// buffer view must match the allocating reference set bit-for-bit.
+fn assert_view_bitwise(view: &ScenarioView<'_>, reference: &ScenarioSet) -> Result<(), TestCaseError> {
+    prop_assert_eq!(view.n_paths(), reference.n_paths());
+    prop_assert_eq!(view.n_drivers(), reference.n_drivers());
+    prop_assert_eq!(view.measure(), reference.measure());
+    for p in 0..view.n_paths() {
+        for d in 0..view.n_drivers() {
+            for step in 0..=view.grid().n_steps() {
+                prop_assert_eq!(
+                    view.value(p, d, step).to_bits(),
+                    reference.value(p, d, step).to_bits()
+                );
+            }
+        }
+        prop_assert_eq!(
+            view.discount_factor(p, view.grid().n_steps()).to_bits(),
+            reference.discount_factor(p, reference.grid().n_steps()).to_bits()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `generate_into` is bit-identical to the allocating `generate` for
+    /// arbitrary measures, seeds and overrides — even when the buffer is
+    /// polluted by a previous, differently-shaped antithetic fill.
+    #[test]
+    fn generate_into_bitwise_matches_generate(
+        seed in 0u64..1000,
+        pollute_seed in 0u64..1000,
+        n_paths in 1usize..8,
+        pollute_pairs in 1usize..7,
+        risk_neutral in proptest::bool::ANY,
+        with_override in proptest::bool::ANY,
+        r0 in 0.0f64..0.08,
+        s0 in 10.0f64..500.0,
+    ) {
+        let gen = buffered_generator();
+        let measure = if risk_neutral { Measure::RiskNeutral } else { Measure::RealWorld };
+        let overrides = [r0, s0];
+        let ov = with_override.then_some(&overrides[..]);
+        let reference = gen.generate(measure, n_paths, seed, ov).expect("ok");
+        let mut buf = ScenarioBuffer::new();
+        gen.generate_antithetic_into(Measure::RealWorld, pollute_pairs, pollute_seed, None, &mut buf)
+            .expect("ok");
+        gen.generate_into(measure, n_paths, seed, ov, &mut buf).expect("ok");
+        assert_view_bitwise(&buf.view(), &reference)?;
+    }
+
+    /// Antithetic counterpart: `generate_antithetic_into` matches
+    /// `generate_antithetic` bit-for-bit through a polluted buffer.
+    #[test]
+    fn generate_antithetic_into_bitwise_matches(
+        seed in 0u64..1000,
+        pollute_seed in 0u64..1000,
+        n_pairs in 1usize..6,
+        pollute_paths in 1usize..13,
+        risk_neutral in proptest::bool::ANY,
+        with_override in proptest::bool::ANY,
+        r0 in 0.0f64..0.08,
+        s0 in 10.0f64..500.0,
+    ) {
+        let gen = buffered_generator();
+        let measure = if risk_neutral { Measure::RiskNeutral } else { Measure::RealWorld };
+        let overrides = [r0, s0];
+        let ov = with_override.then_some(&overrides[..]);
+        let reference = gen.generate_antithetic(measure, n_pairs, seed, ov).expect("ok");
+        let mut buf = ScenarioBuffer::new();
+        gen.generate_into(Measure::RiskNeutral, pollute_paths, pollute_seed, None, &mut buf)
+            .expect("ok");
+        gen.generate_antithetic_into(measure, n_pairs, seed, ov, &mut buf).expect("ok");
+        assert_view_bitwise(&buf.view(), &reference)?;
     }
 }
