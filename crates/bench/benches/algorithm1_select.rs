@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
 use disar_core::{
-    select_configuration, select_configuration_with_rule_threads, PredictorFamily, TimeEstimate,
+    select_configuration, select_configuration_with_rule_threads, PredictorFamily, RetrainMode,
+    TimeEstimate,
 };
 
 fn bench_selection(c: &mut Criterion) {
@@ -15,7 +16,9 @@ fn bench_selection(c: &mut Criterion) {
         ..CampaignConfig::default()
     });
     let mut family = PredictorFamily::new(1, 2);
-    family.retrain(&kb).expect("large enough");
+    family
+        .retrain(&kb, RetrainMode::Full, 1)
+        .expect("large enough");
     let profile = jobs[0].profile;
     let mut group = c.benchmark_group("algorithm1_select");
     group.sample_size(20);
@@ -85,7 +88,7 @@ fn bench_retrain(c: &mut Criterion) {
                 b.iter(|| {
                     let mut family = PredictorFamily::new(1, 2);
                     family
-                        .retrain_with_threads(&kb, threads)
+                        .retrain(&kb, RetrainMode::Incremental, threads)
                         .expect("large enough");
                     family
                 })

@@ -1,0 +1,179 @@
+//! Two-key (instance × tenant) knowledge-base baselines: median wall time
+//! of (a) recording a run stream into the tenant-sharded base vs the
+//! instance-sharded and monolithic ones, (b) reassembling the canonical
+//! arrival-order stream via `to_monolithic`, and (c) a full two-key
+//! `retrain_all` under each [`TransferPolicy`], at growing base sizes and
+//! tenant counts.
+//!
+//! Like `kb_scale`, this is a hand-rolled harness (`harness = false`)
+//! because the raw medians are persisted: rows land in `BENCH_tenant.json`
+//! at the repo root, where the CI history can diff them. Regenerate with
+//!
+//! ```text
+//! cargo bench -p disar-bench --bench kb_tenant
+//! ```
+
+use disar_cloudsim::InstanceCatalog;
+use disar_core::tenant::{
+    TenantId, TenantShardedKnowledgeBase, TenantShardedPredictor, TransferPolicy,
+};
+use disar_core::{JobProfile, KnowledgeBase, RetrainMode, RunRecord, ShardedKnowledgeBase};
+use disar_engine::EebCharacteristics;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [500, 2_000, 8_000];
+const N_TENANTS: [usize; 2] = [2, 8];
+
+fn profile(contracts: usize) -> JobProfile {
+    JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    }
+}
+
+/// A deterministic multi-company run stream over the paper catalog.
+fn stream(n: usize, n_tenants: usize) -> Vec<RunRecord> {
+    let cat = InstanceCatalog::paper_catalog();
+    let names = cat.names();
+    let tenants: Vec<TenantId> = (0..n_tenants)
+        .map(|t| TenantId::new(format!("company-{t}")))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let inst = cat.get(&names[i % names.len()]).expect("known");
+            let nodes = i % 4 + 1;
+            let contracts = 50 + (i * 53) % 400;
+            let time =
+                40_000.0 * contracts as f64 / 100.0 / (inst.compute_power() * nodes as f64);
+            RunRecord::new(profile(contracts), inst, nodes, time, time / 3_600.0)
+                .with_tenant(tenants[i % n_tenants].clone())
+        })
+        .collect()
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
+    median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .collect(),
+    )
+}
+
+#[derive(Serialize)]
+struct TenantRow {
+    kb_size: usize,
+    n_tenants: usize,
+    record_mono_ns: u128,
+    record_sharded_ns: u128,
+    record_two_key_ns: u128,
+    to_monolithic_ns: u128,
+    retrain_isolated_ns: u128,
+    retrain_pooled_ns: u128,
+    retrain_borrow_ns: u128,
+}
+
+#[derive(Serialize)]
+struct Report {
+    generated_by: &'static str,
+    rows: Vec<TenantRow>,
+}
+
+fn row(n: usize, n_tenants: usize, reps: usize) -> TenantRow {
+    let records = stream(n, n_tenants);
+
+    let record_mono_ns = timed(reps, || {
+        let mut kb = KnowledgeBase::new();
+        for r in &records {
+            kb.record(r.clone());
+        }
+        kb
+    });
+    let record_sharded_ns = timed(reps, || {
+        let mut kb = ShardedKnowledgeBase::new();
+        for r in &records {
+            kb.record(r.clone());
+        }
+        kb
+    });
+    let record_two_key_ns = timed(reps, || {
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in &records {
+            kb.record(r.clone());
+        }
+        kb
+    });
+
+    let mut kb = TenantShardedKnowledgeBase::new();
+    for r in &records {
+        kb.record(r.clone());
+    }
+    let to_monolithic_ns = timed(reps, || kb.to_monolithic());
+
+    let retrain = |transfer: TransferPolicy| {
+        timed(reps.min(5), || {
+            let mut p = TenantShardedPredictor::new(1, 2, transfer);
+            p.retrain_all(&kb, RetrainMode::Full, 1)
+                .expect("shards are large enough");
+            p
+        })
+    };
+    TenantRow {
+        kb_size: n,
+        n_tenants,
+        record_mono_ns,
+        record_sharded_ns,
+        record_two_key_ns,
+        to_monolithic_ns,
+        retrain_isolated_ns: retrain(TransferPolicy::Isolated),
+        retrain_pooled_ns: retrain(TransferPolicy::Pooled),
+        retrain_borrow_ns: retrain(TransferPolicy::BorrowUntil(8)),
+    }
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`, filters); this harness
+    // always runs the full sweep, so the argv is deliberately ignored.
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        for &t in &N_TENANTS {
+            let reps = if n >= 8_000 { 5 } else { 11 };
+            let r = row(n, t, reps);
+            println!(
+                "kb_size {n:>5} x {t} tenants: two-key record {:.2}x mono, reassemble {} us",
+                r.record_two_key_ns as f64 / r.record_mono_ns.max(1) as f64,
+                r.to_monolithic_ns / 1_000,
+            );
+            rows.push(r);
+        }
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_tenant.json");
+    let report = Report {
+        generated_by: "cargo bench -p disar-bench --bench kb_tenant",
+        rows,
+    };
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("repo root is writable");
+    println!("wrote {}", path.display());
+}

@@ -37,14 +37,14 @@ struct Report {
 }
 
 fn cfg(depth: usize) -> CampaignConfig {
-    CampaignConfig {
-        n_runs: N_RUNS,
-        n_outer: 400,
-        n_inner: 30,
-        max_nodes: 6,
-        seed: 20_160_627,
-        n_threads: depth,
-    }
+    CampaignConfig::builder()
+        .n_runs(N_RUNS)
+        .n_outer(400)
+        .n_inner(30)
+        .max_nodes(6)
+        .seed(20_160_627)
+        .n_threads(depth)
+        .build()
 }
 
 fn median(mut times: Vec<u128>) -> u128 {

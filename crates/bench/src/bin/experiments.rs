@@ -270,6 +270,48 @@ fn main() {
         println!("-- Extension: conservative deadline filtering --\n{md}");
     }
 
+    if want("ablation_transfer") {
+        let n = if quick { 60 } else { 150 };
+        let rows_raw = ablation_transfer(&cfg, &jobs, n);
+        let rows: Vec<Vec<String>> = rows_raw
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    r.b_bootstrap_deploys.to_string(),
+                    r.b_ml_deploys.to_string(),
+                    format!("{:.1}%", 100.0 * r.b_mean_abs_rel_err),
+                    format!("{:.4}$", r.b_mean_cost),
+                ]
+            })
+            .collect();
+        write_csv(
+            &dir.join("ablation_transfer.csv"),
+            &[
+                "transfer_policy",
+                "b_bootstrap_deploys",
+                "b_ml_deploys",
+                "b_mean_abs_rel_err",
+                "b_mean_cost",
+            ],
+            &rows,
+        );
+        let md = markdown_table(
+            &[
+                "transfer policy",
+                "B bootstrap deploys",
+                "B ML deploys",
+                "B mean |rel err|",
+                "B mean cost",
+            ],
+            &rows,
+        );
+        fs::write(dir.join("ablation_transfer.md"), &md).expect("write md");
+        println!(
+            "-- Extension: cross-company transfer — onboarding company B after {n} company-A runs --\n{md}"
+        );
+    }
+
     if want("learning_curve") {
         let n = if quick { 150 } else { 400 };
         let lc = learning_curve(&cfg, &jobs, n);

@@ -63,6 +63,67 @@ impl Default for CampaignConfig {
     }
 }
 
+impl CampaignConfig {
+    /// Starts a chainable config build from the §IV defaults
+    /// ([`CampaignConfig::default`]) — call sites state their deltas
+    /// instead of re-listing every knob.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            cfg: CampaignConfig::default(),
+        }
+    }
+}
+
+/// Chainable construction of a [`CampaignConfig`], starting from the
+/// paper's §IV defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Sets the total number of recorded cloud runs.
+    pub fn n_runs(mut self, n_runs: usize) -> Self {
+        self.cfg.n_runs = n_runs;
+        self
+    }
+
+    /// Sets the natural iterations per simulation (`nP`).
+    pub fn n_outer(mut self, n_outer: usize) -> Self {
+        self.cfg.n_outer = n_outer;
+        self
+    }
+
+    /// Sets the risk-neutral iterations (`nQ`).
+    pub fn n_inner(mut self, n_inner: usize) -> Self {
+        self.cfg.n_inner = n_inner;
+        self
+    }
+
+    /// Sets the node-count range sampled during the campaign.
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.cfg.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (results are thread-count invariant).
+    pub fn n_threads(mut self, n_threads: usize) -> Self {
+        self.cfg.n_threads = n_threads;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CampaignConfig {
+        self.cfg
+    }
+}
+
 /// Builds the paper's 15 EEB jobs: three synthetic company portfolios,
 /// five type-B blocks each, with varying market-model richness and fund
 /// sizes so the characteristic parameters actually vary.
@@ -140,14 +201,12 @@ pub fn build_knowledge_base(cfg: &CampaignConfig) -> (KnowledgeBase, CloudProvid
     };
     // The campaign only records; the deployer must never select or
     // retrain, so the bootstrap threshold is unreachable.
-    let policy = DeployPolicy {
-        t_max_secs: f64::MAX,
-        epsilon: 0.0,
-        max_nodes: cfg.max_nodes,
-        min_kb_samples: usize::MAX,
-        retrain_every: 1,
-        n_threads: 1,
-    };
+    let policy = DeployPolicy::builder(f64::MAX)
+        .epsilon(0.0)
+        .max_nodes(cfg.max_nodes)
+        .min_kb_samples(usize::MAX)
+        .n_threads(1)
+        .build();
     let deployer = TransparentDeployer::from_shared(Arc::clone(&provider), policy, cfg.seed);
     let mut pipeline =
         DeployPipeline::new(deployer, cfg.n_threads.max(1)).expect("depth >= 1");
@@ -165,14 +224,26 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> CampaignConfig {
-        CampaignConfig {
-            n_runs: 60,
-            n_outer: 200,
-            n_inner: 20,
-            max_nodes: 4,
-            seed: 7,
-            n_threads: 1,
-        }
+        CampaignConfig::builder()
+            .n_runs(60)
+            .n_outer(200)
+            .n_inner(20)
+            .max_nodes(4)
+            .seed(7)
+            .n_threads(1)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let b = CampaignConfig::builder().build();
+        let d = CampaignConfig::default();
+        assert_eq!(b.n_runs, d.n_runs);
+        assert_eq!(b.n_outer, d.n_outer);
+        assert_eq!(b.n_inner, d.n_inner);
+        assert_eq!(b.max_nodes, d.max_nodes);
+        assert_eq!(b.seed, d.seed);
+        assert_eq!(b.n_threads, disar_math::parallel::default_n_threads());
     }
 
     #[test]

@@ -13,9 +13,10 @@ use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
 use disar_alm::SegregatedFund;
 use disar_cloudsim::{CloudProvider, InstanceCatalog};
 use disar_core::deploy::{DeployPolicy, TransparentDeployer};
+use disar_core::tenant::{TenantId, TenantShardedDeployer, TransferPolicy};
 use disar_core::{
     select_configuration, select_configuration_with_rule, select_hetero_configuration,
-    KnowledgeBase, PredictorFamily, TimeEstimate,
+    DeployMode, KnowledgeBase, PredictorFamily, RetrainMode, TimeEstimate,
 };
 use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
@@ -250,7 +251,9 @@ pub fn comparison(
     seed: u64,
 ) -> Comparison {
     let mut family = PredictorFamily::new(seed, 2);
-    family.retrain(kb).expect("knowledge base is large enough");
+    family
+        .retrain(kb, RetrainMode::Full, 1)
+        .expect("knowledge base is large enough");
 
     // "A large configuration": the EEB with the most work.
     let job = jobs
@@ -366,14 +369,13 @@ pub fn ablation_epsilon(
 ) -> EpsilonAblation {
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0xEE);
     let t_max = 3_000.0;
-    let policy = DeployPolicy {
-        t_max_secs: t_max,
-        epsilon,
-        max_nodes: cfg.max_nodes,
-        min_kb_samples: 30,
-        retrain_every: 10,
-        n_threads: cfg.n_threads.max(1),
-    };
+    let policy = DeployPolicy::builder(t_max)
+        .epsilon(epsilon)
+        .max_nodes(cfg.max_nodes)
+        .min_kb_samples(30)
+        .retrain_every(10)
+        .n_threads(cfg.n_threads.max(1))
+        .build();
     let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0xEE);
     let mut rng = stream_rng(cfg.seed, 0xE9);
     let mut costs = Vec::with_capacity(n_deploys);
@@ -434,7 +436,7 @@ pub fn ablation_hetero(
     let n_threads = n_threads.max(1);
     let mut family = PredictorFamily::new(seed, 2);
     family
-        .retrain_with_threads(kb, n_threads)
+        .retrain(kb, RetrainMode::Incremental, n_threads)
         .expect("knowledge base is large enough");
     let job = jobs
         .iter()
@@ -567,7 +569,7 @@ pub fn ablation_deadline_rule(
     let n_threads = n_threads.max(1);
     let mut family = PredictorFamily::new(seed, 2);
     family
-        .retrain_with_threads(kb, n_threads)
+        .retrain(kb, RetrainMode::Incremental, n_threads)
         .expect("knowledge base is large enough");
     let rules = [
         ("mean", TimeEstimate::EnsembleMean),
@@ -693,14 +695,14 @@ pub struct LearningCurve {
 /// knowledge-base size.
 pub fn learning_curve(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -> LearningCurve {
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0x1EA2);
-    let policy = DeployPolicy {
-        t_max_secs: 1e9, // no deadline pressure: isolate accuracy
-        epsilon: 0.1,
-        max_nodes: cfg.max_nodes,
-        min_kb_samples: 30,
-        retrain_every: 5,
-        n_threads: cfg.n_threads.max(1),
-    };
+    // No deadline pressure (t_max = 1e9): isolate accuracy.
+    let policy = DeployPolicy::builder(1e9)
+        .epsilon(0.1)
+        .max_nodes(cfg.max_nodes)
+        .min_kb_samples(30)
+        .retrain_every(5)
+        .n_threads(cfg.n_threads.max(1))
+        .build();
     let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0x1EA2);
     let mut rng = stream_rng(cfg.seed, 0x1C);
     let mut rel_errors: Vec<(usize, f64)> = Vec::new();
@@ -732,6 +734,91 @@ pub fn learning_curve(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -
         early_mae: stats::mean(&early),
         late_mae: stats::mean(&late),
     }
+}
+
+/// Ablation: cross-company knowledge transfer. One row per
+/// [`TransferPolicy`], summarizing how the *second* company onboards.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransferAblationRow {
+    /// Transfer policy name.
+    pub policy: String,
+    /// Bootstrap (random-configuration) deploys company B needed.
+    pub b_bootstrap_deploys: usize,
+    /// ML-mode deploys company B made.
+    pub b_ml_deploys: usize,
+    /// Mean |relative prediction error| over company B's ML deploys.
+    pub b_mean_abs_rel_err: f64,
+    /// Mean realized cost of company B's deploys ($).
+    pub b_mean_cost: f64,
+}
+
+/// The multi-tenant ablation: company A runs `n_per_tenant` deploys from a
+/// cold start, then company B runs `n_per_tenant` deploys over the same
+/// job mix. Under [`TransferPolicy::Isolated`] B must repeat the whole
+/// manual-training phase; under [`TransferPolicy::Pooled`] /
+/// [`TransferPolicy::BorrowUntil`] B starts from A's knowledge — the
+/// paper's observation that the knowledge-base parameters "are not
+/// necessarily bound to a specific" company, quantified.
+pub fn ablation_transfer(
+    cfg: &CampaignConfig,
+    jobs: &[EebJob],
+    n_per_tenant: usize,
+) -> Vec<TransferAblationRow> {
+    let policies = [
+        ("isolated", TransferPolicy::Isolated),
+        ("pooled", TransferPolicy::Pooled),
+        ("borrow-until-8", TransferPolicy::BorrowUntil(8)),
+    ];
+    policies
+        .iter()
+        .map(|(name, transfer)| {
+            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0x7E);
+            // Generous deadline to isolate onboarding; the paper's
+            // after-every-run retrain cadence, so a shard trains exactly
+            // when it reaches the family's minimum sample count.
+            let policy = DeployPolicy::builder(1e9)
+                .epsilon(0.1)
+                .max_nodes(cfg.max_nodes)
+                .min_kb_samples(30)
+                .n_threads(cfg.n_threads.max(1))
+                .transfer(*transfer)
+                .build();
+            let mut d = TenantShardedDeployer::new(provider, policy, cfg.seed ^ 0x7E)
+                .with_tenant(TenantId::new("company-a"));
+            let mut rng = stream_rng(cfg.seed, 0x7A);
+            for _ in 0..n_per_tenant {
+                let job = &jobs[rng.gen_range(0..jobs.len())];
+                d.deploy(&job.profile, &job.workload)
+                    .expect("generous deadline");
+            }
+            d.set_tenant(TenantId::new("company-b"));
+            let mut bootstrap = 0;
+            let mut rel_errors = Vec::new();
+            let mut costs = Vec::with_capacity(n_per_tenant);
+            for _ in 0..n_per_tenant {
+                let job = &jobs[rng.gen_range(0..jobs.len())];
+                let out = d
+                    .deploy(&job.profile, &job.workload)
+                    .expect("generous deadline");
+                match out.mode {
+                    DeployMode::Bootstrap => bootstrap += 1,
+                    _ => {
+                        if let Some(err) = out.prediction_error() {
+                            rel_errors.push((err / out.report.duration_secs).abs());
+                        }
+                    }
+                }
+                costs.push(out.report.prorated_cost);
+            }
+            TransferAblationRow {
+                policy: name.to_string(),
+                b_bootstrap_deploys: bootstrap,
+                b_ml_deploys: rel_errors.len(),
+                b_mean_abs_rel_err: stats::mean(&rel_errors),
+                b_mean_cost: stats::mean(&costs),
+            }
+        })
+        .collect()
 }
 
 /// Ablation: which features actually drive execution time, per the Random
@@ -901,14 +988,16 @@ mod tests {
     use crate::campaign::build_knowledge_base;
 
     fn small_campaign() -> (KnowledgeBase, CloudProvider, Vec<EebJob>) {
-        build_knowledge_base(&CampaignConfig {
-            n_runs: 240,
-            n_outer: 400,
-            n_inner: 30,
-            max_nodes: 4,
-            seed: 11,
-            n_threads: 1,
-        })
+        build_knowledge_base(
+            &CampaignConfig::builder()
+                .n_runs(240)
+                .n_outer(400)
+                .n_inner(30)
+                .max_nodes(4)
+                .seed(11)
+                .n_threads(1)
+                .build(),
+        )
     }
 
     #[test]
@@ -1044,14 +1133,14 @@ mod tests {
 
     #[test]
     fn epsilon_widens_coverage() {
-        let cfg = CampaignConfig {
-            n_runs: 0,
-            n_outer: 400,
-            n_inner: 30,
-            max_nodes: 6,
-            seed: 17,
-            n_threads: 1,
-        };
+        let cfg = CampaignConfig::builder()
+            .n_runs(0)
+            .n_outer(400)
+            .n_inner(30)
+            .max_nodes(6)
+            .seed(17)
+            .n_threads(1)
+            .build();
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
         let greedy = ablation_epsilon(&cfg, &jobs, 0.0, 120);
         let explore = ablation_epsilon(&cfg, &jobs, 0.25, 120);
@@ -1101,14 +1190,14 @@ mod tests {
 
     #[test]
     fn learning_curve_improves() {
-        let cfg = CampaignConfig {
-            n_runs: 0,
-            n_outer: 400,
-            n_inner: 30,
-            max_nodes: 4,
-            seed: 23,
-            n_threads: 1,
-        };
+        let cfg = CampaignConfig::builder()
+            .n_runs(0)
+            .n_outer(400)
+            .n_inner(30)
+            .max_nodes(4)
+            .seed(23)
+            .n_threads(1)
+            .build();
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
         let lc = learning_curve(&cfg, &jobs, 200);
         assert!(!lc.points.is_empty());
@@ -1119,6 +1208,38 @@ mod tests {
             lc.early_mae
         );
         assert!(lc.late_mae < 0.5, "late relative error {}", lc.late_mae);
+    }
+
+    #[test]
+    fn transfer_ablation_quantifies_onboarding() {
+        let cfg = CampaignConfig::builder()
+            .n_runs(0)
+            .n_outer(400)
+            .n_inner(30)
+            .max_nodes(4)
+            .seed(29)
+            .n_threads(1)
+            .build();
+        let jobs = crate::campaign::paper_eeb_jobs(&cfg);
+        let rows = ablation_transfer(&cfg, &jobs, 60);
+        assert_eq!(rows.len(), 3);
+        let by_name = |n: &str| rows.iter().find(|r| r.policy == n).unwrap();
+        let isolated = by_name("isolated");
+        let pooled = by_name("pooled");
+        let borrow = by_name("borrow-until-8");
+        // Isolated: company B repeats the whole manual-training phase.
+        assert!(
+            isolated.b_bootstrap_deploys > 10,
+            "isolated B should re-bootstrap: {isolated:?}"
+        );
+        // Transfer: company B starts from company A's knowledge.
+        assert_eq!(pooled.b_bootstrap_deploys, 0, "{pooled:?}");
+        assert_eq!(borrow.b_bootstrap_deploys, 0, "{borrow:?}");
+        assert!(pooled.b_ml_deploys > 0 && borrow.b_ml_deploys > 0);
+        for r in &rows {
+            assert!(r.b_mean_cost > 0.0);
+            assert_eq!(r.b_bootstrap_deploys + r.b_ml_deploys, 60, "{r:?}");
+        }
     }
 
     #[test]

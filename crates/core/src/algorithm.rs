@@ -250,7 +250,7 @@ pub fn select_configuration_with_rule_threads<P: TimePredictor + ?Sized>(
 mod tests {
     use super::*;
     use crate::knowledge::{KnowledgeBase, RunRecord};
-    use crate::predictor::PredictorFamily;
+    use crate::predictor::{PredictorFamily, RetrainMode};
     use disar_engine::EebCharacteristics;
 
     fn profile(contracts: usize) -> JobProfile {
@@ -280,7 +280,7 @@ mod tests {
             kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
         }
         let mut fam = PredictorFamily::new(5, 2);
-        fam.retrain(&kb).unwrap();
+        fam.retrain(&kb, RetrainMode::Full, 1).unwrap();
         (fam, cat)
     }
 
@@ -462,7 +462,7 @@ mod tests {
             kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
         }
         let mut fam = PredictorFamily::new(5, 2);
-        fam.retrain(&kb).unwrap();
+        fam.retrain(&kb, RetrainMode::Full, 1).unwrap();
         (fam, cat)
     }
 
@@ -484,7 +484,7 @@ mod tests {
             kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
         }
         let mut fam = PredictorFamily::new(5, 2);
-        fam.retrain(&kb).unwrap();
+        fam.retrain(&kb, RetrainMode::Full, 1).unwrap();
         let err = select_configuration(&fam, &cat, &profile(200), 10_000.0, 6, 0.0, 1)
             .unwrap_err();
         assert!(

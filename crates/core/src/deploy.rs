@@ -25,8 +25,9 @@
 
 use crate::algorithm::{select_configuration_with_rule_threads, TimeEstimate};
 use crate::knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
-use crate::predictor::{PredictorFamily, ShardedPredictor, TimePredictor};
+use crate::predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 use crate::profile::JobProfile;
+use crate::tenant::TransferPolicy;
 use crate::CoreError;
 use disar_cloudsim::{CloudProvider, JobReport, Workload};
 use disar_engine::DisarMaster;
@@ -69,13 +70,19 @@ pub struct DeployPolicy {
     /// retrain. Results are bit-identical for any value; `1` (the default)
     /// is the sequential escape hatch.
     pub n_threads: usize,
+    /// How knowledge is shared across tenants (companies). Consulted only
+    /// by the tenant-aware [`crate::tenant::TenantShardedDeployer`]; the
+    /// single-tenant backends ignore it. Defaults to
+    /// [`TransferPolicy::Isolated`] (also for pre-tenancy JSON via serde).
+    #[serde(default)]
+    pub transfer: TransferPolicy,
 }
 
 impl DeployPolicy {
     /// Paper-like defaults: ε = 0.05, up to 8 nodes, 30-sample bootstrap,
     /// retrain after every run, one worker thread per available core
     /// (results are thread-count invariant; set `n_threads: 1` for the
-    /// sequential escape hatch).
+    /// sequential escape hatch), tenants isolated.
     pub fn paper_defaults(t_max_secs: f64) -> Self {
         DeployPolicy {
             t_max_secs,
@@ -84,10 +91,20 @@ impl DeployPolicy {
             min_kb_samples: 30,
             retrain_every: 1,
             n_threads: disar_math::parallel::default_n_threads(),
+            transfer: TransferPolicy::Isolated,
         }
     }
 
-    fn validate(&self) -> Result<(), CoreError> {
+    /// Starts a chainable policy build from
+    /// [`DeployPolicy::paper_defaults`] — the one construction path that
+    /// survives new policy knobs without touching every caller.
+    pub fn builder(t_max_secs: f64) -> DeployPolicyBuilder {
+        DeployPolicyBuilder {
+            policy: DeployPolicy::paper_defaults(t_max_secs),
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
         if !(self.t_max_secs > 0.0) {
             return Err(CoreError::InvalidParameter("t_max_secs must be positive"));
         }
@@ -104,6 +121,62 @@ impl DeployPolicy {
             return Err(CoreError::InvalidParameter("n_threads must be > 0"));
         }
         Ok(())
+    }
+}
+
+/// Chainable construction of a [`DeployPolicy`].
+///
+/// Starts from [`DeployPolicy::paper_defaults`] and overrides only the
+/// named knobs, so call sites state their deltas from the paper's setting
+/// instead of re-listing every field (and keep compiling when the policy
+/// grows a knob). Validation stays where it always was — on the deploy
+/// path — so `build()` is infallible.
+#[derive(Debug, Clone, Copy)]
+pub struct DeployPolicyBuilder {
+    policy: DeployPolicy,
+}
+
+impl DeployPolicyBuilder {
+    /// Sets the exploration probability ε of Algorithm 1.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.policy.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the upper bound of the node-count range `N = [1, max]`.
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.policy.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the bootstrap threshold (knowledge-base size below which
+    /// configurations are chosen randomly).
+    pub fn min_kb_samples(mut self, min_kb_samples: usize) -> Self {
+        self.policy.min_kb_samples = min_kb_samples;
+        self
+    }
+
+    /// Sets the retrain cadence (retrain every `retrain_every` records).
+    pub fn retrain_every(mut self, retrain_every: usize) -> Self {
+        self.policy.retrain_every = retrain_every;
+        self
+    }
+
+    /// Sets the worker-thread count (results are thread-count invariant).
+    pub fn n_threads(mut self, n_threads: usize) -> Self {
+        self.policy.n_threads = n_threads;
+        self
+    }
+
+    /// Sets the cross-tenant knowledge-transfer policy.
+    pub fn transfer(mut self, transfer: TransferPolicy) -> Self {
+        self.policy.transfer = transfer;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DeployPolicy {
+        self.policy
     }
 }
 
@@ -301,17 +374,18 @@ pub trait Deployer {
 
 /// State every deployer backend shares: the provider handle, the policy
 /// and the decision-seed bookkeeping. Keeping it in one place stops the
-/// two `deploy()` bodies from drifting.
-struct DeployerCore {
-    provider: Arc<CloudProvider>,
-    policy: DeployPolicy,
+/// backend `deploy()` bodies (including the tenant-aware one in
+/// [`crate::tenant`]) from drifting.
+pub(crate) struct DeployerCore {
+    pub(crate) provider: Arc<CloudProvider>,
+    pub(crate) policy: DeployPolicy,
     seed: u64,
-    deploy_counter: u64,
-    runs_since_retrain: usize,
+    pub(crate) deploy_counter: u64,
+    pub(crate) runs_since_retrain: usize,
 }
 
 impl DeployerCore {
-    fn new(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
+    pub(crate) fn new(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
         DeployerCore {
             provider,
             policy,
@@ -323,13 +397,13 @@ impl DeployerCore {
 
     /// Bumps the deploy counter and derives this deploy's decision seed —
     /// counter-based, so decisions depend only on submission order.
-    fn next_decision_seed(&mut self) -> u64 {
+    pub(crate) fn next_decision_seed(&mut self) -> u64 {
         self.deploy_counter += 1;
         disar_math::rng::split_seed(self.seed, self.deploy_counter)
     }
 
     /// A uniformly random `(instance, n_nodes)` for the bootstrap phase.
-    fn random_config(&self, seed: u64) -> (String, usize) {
+    pub(crate) fn random_config(&self, seed: u64) -> (String, usize) {
         let mut rng = stream_rng(seed, 0xB00F);
         let names = self.provider.catalog().names();
         let instance = names[rng.gen_range(0..names.len())].clone();
@@ -337,9 +411,9 @@ impl DeployerCore {
         (instance, n_nodes)
     }
 
-    /// Algorithm 1 over the given predictor — the shared ML half of both
-    /// backends' `select`.
-    fn ml_select<P: TimePredictor + ?Sized>(
+    /// Algorithm 1 over the given predictor — the shared ML half of every
+    /// backend's `select`.
+    pub(crate) fn ml_select<P: TimePredictor + ?Sized>(
         &self,
         predictor: &P,
         profile: &JobProfile,
@@ -371,14 +445,14 @@ impl DeployerCore {
 
 /// Virtual knowledge-base state after landing a set of pending records —
 /// computable without their outcomes because the retrain gates only count.
-struct PendingSim {
+pub(crate) struct PendingSim {
     /// Knowledge-base size once every pending record has landed.
-    virtual_len: usize,
+    pub(crate) virtual_len: usize,
     /// Whether the predictor would be trained/covered at that point.
-    virtual_trained: bool,
+    pub(crate) virtual_trained: bool,
     /// Whether landing the pending records fires at least one retrain
     /// (i.e. the current predictor snapshot would go stale).
-    retrain_pending: bool,
+    pub(crate) retrain_pending: bool,
 }
 
 /// The self-optimizing transparent deployer.
@@ -446,7 +520,7 @@ impl TransparentDeployer {
     pub fn warm(&mut self) -> Result<(), CoreError> {
         self.core.policy.validate()?;
         self.family
-            .retrain_with_threads(&self.kb, self.core.policy.n_threads)
+            .retrain(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)
     }
 
     /// Deploys one job: full self-optimizing cycle (select → run → record →
@@ -645,7 +719,7 @@ impl Deployer for TransparentDeployer {
             && self.core.runs_since_retrain >= self.core.policy.retrain_every
         {
             self.family
-                .retrain_with_threads(&self.kb, self.core.policy.n_threads)?;
+                .retrain(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)?;
             self.core.runs_since_retrain = 0;
         }
         Ok(())
@@ -733,7 +807,7 @@ impl ShardedDeployer {
     pub fn warm(&mut self) -> Result<(), CoreError> {
         self.core.policy.validate()?;
         self.predictor
-            .retrain_all_with_threads(&self.kb, self.core.policy.n_threads)
+            .retrain_all(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)
     }
 
     fn catalog_covered(&self) -> bool {
@@ -899,9 +973,10 @@ impl Deployer for ShardedDeployer {
                 .shard(&decision.instance)
                 .expect("record() created the shard");
             if shard.len() >= self.predictor.min_samples() {
-                self.predictor.retrain_shard_with_threads(
+                self.predictor.retrain_shard(
                     &decision.instance,
                     shard,
+                    RetrainMode::Incremental,
                     self.core.policy.n_threads,
                 )?;
                 self.core.runs_since_retrain = 0;
@@ -937,14 +1012,11 @@ mod tests {
 
     fn deployer(seed: u64) -> TransparentDeployer {
         let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
-        let policy = DeployPolicy {
-            t_max_secs: 50_000.0,
-            epsilon: 0.05,
-            max_nodes: 4,
-            min_kb_samples: 8,
-            retrain_every: 1,
-            n_threads: 1,
-        };
+        let policy = DeployPolicy::builder(50_000.0)
+            .max_nodes(4)
+            .min_kb_samples(8)
+            .n_threads(1)
+            .build();
         TransparentDeployer::new(provider, policy, seed)
     }
 
@@ -1076,14 +1148,13 @@ mod tests {
     #[test]
     fn retrain_every_batches_training() {
         let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 9);
-        let policy = DeployPolicy {
-            t_max_secs: 50_000.0,
-            epsilon: 0.0,
-            max_nodes: 3,
-            min_kb_samples: 4,
-            retrain_every: 5,
-            n_threads: 1,
-        };
+        let policy = DeployPolicy::builder(50_000.0)
+            .epsilon(0.0)
+            .max_nodes(3)
+            .min_kb_samples(4)
+            .retrain_every(5)
+            .n_threads(1)
+            .build();
         let mut d = TransparentDeployer::new(provider, policy, 9);
         for i in 0..6 {
             d.deploy(&profile(50 + i * 7), &workload(50 + i * 7)).unwrap();
@@ -1098,14 +1169,11 @@ mod tests {
         // bit-identical regardless of the thread count.
         let run = |n_threads: usize| {
             let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 21);
-            let policy = DeployPolicy {
-                t_max_secs: 50_000.0,
-                epsilon: 0.05,
-                max_nodes: 4,
-                min_kb_samples: 8,
-                retrain_every: 1,
-                n_threads,
-            };
+            let policy = DeployPolicy::builder(50_000.0)
+                .max_nodes(4)
+                .min_kb_samples(8)
+                .n_threads(n_threads)
+                .build();
             let mut d = TransparentDeployer::new(provider, policy, 21);
             let outs: Vec<DeployOutcome> = (0..16)
                 .map(|i| {
@@ -1128,6 +1196,47 @@ mod tests {
         bad.n_threads = 0;
         let mut d = TransparentDeployer::new(provider, bad, 1);
         assert!(d.deploy(&profile(10), &workload(10)).is_err());
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_defaults() {
+        assert_eq!(
+            DeployPolicy::builder(3_600.0).build(),
+            DeployPolicy::paper_defaults(3_600.0)
+        );
+    }
+
+    #[test]
+    fn builder_overrides_only_named_knobs() {
+        let p = DeployPolicy::builder(50_000.0)
+            .epsilon(0.2)
+            .max_nodes(3)
+            .min_kb_samples(5)
+            .retrain_every(4)
+            .n_threads(2)
+            .transfer(TransferPolicy::BorrowUntil(12))
+            .build();
+        assert_eq!(p.t_max_secs, 50_000.0);
+        assert_eq!(p.epsilon, 0.2);
+        assert_eq!(p.max_nodes, 3);
+        assert_eq!(p.min_kb_samples, 5);
+        assert_eq!(p.retrain_every, 4);
+        assert_eq!(p.n_threads, 2);
+        assert_eq!(p.transfer, TransferPolicy::BorrowUntil(12));
+        // Unnamed knobs keep the paper defaults.
+        let d = DeployPolicy::paper_defaults(50_000.0);
+        assert_eq!(
+            DeployPolicy::builder(50_000.0).epsilon(0.2).build(),
+            DeployPolicy { epsilon: 0.2, ..d }
+        );
+    }
+
+    #[test]
+    fn pre_tenancy_policy_json_defaults_to_isolated() {
+        let mut v = serde_json::to_value(DeployPolicy::paper_defaults(3_600.0)).unwrap();
+        v.as_object_mut().unwrap().remove("transfer").unwrap();
+        let p: DeployPolicy = serde_json::from_value(v).unwrap();
+        assert_eq!(p.transfer, TransferPolicy::Isolated);
     }
 
     #[test]
@@ -1185,14 +1294,13 @@ mod tests {
         // the same family snapshot and stay ready; the selection whose
         // pending records cross the retrain boundary stalls.
         let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 47);
-        let policy = DeployPolicy {
-            t_max_secs: 50_000.0,
-            epsilon: 0.0,
-            max_nodes: 3,
-            min_kb_samples: 4,
-            retrain_every: 5,
-            n_threads: 1,
-        };
+        let policy = DeployPolicy::builder(50_000.0)
+            .epsilon(0.0)
+            .max_nodes(3)
+            .min_kb_samples(4)
+            .retrain_every(5)
+            .n_threads(1)
+            .build();
         let mut d = TransparentDeployer::new(provider, policy, 47);
         for i in 0..5 {
             d.deploy(&profile(50 + i * 7), &workload(50 + i * 7)).unwrap();
@@ -1215,14 +1323,11 @@ mod tests {
 
     fn sharded_deployer(seed: u64) -> ShardedDeployer {
         let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
-        let policy = DeployPolicy {
-            t_max_secs: 50_000.0,
-            epsilon: 0.05,
-            max_nodes: 4,
-            min_kb_samples: 8,
-            retrain_every: 1,
-            n_threads: 1,
-        };
+        let policy = DeployPolicy::builder(50_000.0)
+            .max_nodes(4)
+            .min_kb_samples(8)
+            .n_threads(1)
+            .build();
         ShardedDeployer::new(provider, policy, seed)
     }
 

@@ -209,7 +209,7 @@ pub fn select_hetero_configuration_threads<P: TimePredictor + ?Sized>(
 mod tests {
     use super::*;
     use crate::knowledge::{KnowledgeBase, RunRecord};
-    use crate::predictor::PredictorFamily;
+    use crate::predictor::{PredictorFamily, RetrainMode};
     use disar_engine::EebCharacteristics;
 
     fn profile(contracts: usize) -> JobProfile {
@@ -238,7 +238,7 @@ mod tests {
             kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
         }
         let mut fam = PredictorFamily::new(5, 2);
-        fam.retrain(&kb).unwrap();
+        fam.retrain(&kb, RetrainMode::Full, 1).unwrap();
         (fam, cat)
     }
 
@@ -387,7 +387,7 @@ mod tests {
             ));
         }
         let mut fam = PredictorFamily::new(5, 2);
-        fam.retrain(&kb).unwrap();
+        fam.retrain(&kb, RetrainMode::Full, 1).unwrap();
 
         let sel =
             select_hetero_configuration(&fam, &cat, &profile(300), 50_000.0, 4, 0.0, 1).unwrap();

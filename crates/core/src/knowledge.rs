@@ -13,6 +13,7 @@
 //! companies: the parameters "are not necessarily bound to a specific one".
 
 use crate::profile::JobProfile;
+use crate::tenant::TenantId;
 use crate::CoreError;
 use disar_cloudsim::InstanceType;
 use disar_ml::Dataset;
@@ -41,6 +42,14 @@ pub struct RunRecord {
     pub duration_secs: f64,
     /// Realized prorated cost in USD.
     pub cost: f64,
+    /// Owning company (tenant) of the run. Deliberately *not* part of the
+    /// feature vector — the paper's transfer argument is that the job and
+    /// machine parameters "are not necessarily bound to a specific"
+    /// company, so the tenant key only routes records into shards and
+    /// never biases predictions. Defaults (also for pre-tenancy JSON via
+    /// serde) to [`TenantId::default`].
+    #[serde(default)]
+    pub tenant: TenantId,
 }
 
 impl RunRecord {
@@ -62,11 +71,18 @@ impl RunRecord {
             n_nodes,
             duration_secs,
             cost,
+            tenant: TenantId::default(),
         }
     }
 
+    /// Tags the record with its owning tenant (builder-style).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// The full ML feature vector: job profile + machine capabilities +
-    /// node count.
+    /// node count. The tenant tag is intentionally excluded.
     pub fn features(&self) -> Vec<f64> {
         let mut f = self.profile.to_features();
         f.push(self.vcpus as f64);
@@ -96,6 +112,54 @@ impl RunRecord {
         names.push("n_nodes".to_string());
         names
     }
+}
+
+/// The one API every knowledge-base layout speaks.
+///
+/// Three layouts store the same append-only record stream with different
+/// partitioning: the monolithic [`KnowledgeBase`] (one flat vector), the
+/// per-instance [`ShardedKnowledgeBase`], and the two-key
+/// per-(instance, tenant) [`crate::tenant::TenantShardedKnowledgeBase`].
+/// Code that only appends runs, replays the stream, or persists the base
+/// can be written once against this trait; layout-specific accessors
+/// (per-shard views, pooled views) stay inherent on each type.
+///
+/// Every implementation preserves the *global arrival order*:
+/// [`KnowledgeStore::records_in_arrival_order`] yields the exact stream a
+/// monolithic base fed the same runs would hold, which is what the
+/// sharding bit-identity proofs replay.
+pub trait KnowledgeStore {
+    /// Appends one executed run.
+    fn record(&mut self, record: RunRecord);
+
+    /// Total number of stored runs across all partitions.
+    fn len(&self) -> usize;
+
+    /// `true` when no runs are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates every record in global arrival order, regardless of the
+    /// physical partitioning.
+    fn records_in_arrival_order(&self) -> Box<dyn Iterator<Item = &RunRecord> + '_>;
+
+    /// Reconstructs the equivalent monolithic base (records in arrival
+    /// order) — the layout-independent canonical form.
+    fn to_monolithic(&self) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for r in self.records_in_arrival_order() {
+            kb.record(r.clone());
+        }
+        kb
+    }
+
+    /// Saves the base as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    fn save(&self, path: &Path) -> Result<(), CoreError>;
 }
 
 /// The persistent store of executed runs.
@@ -234,6 +298,29 @@ impl KnowledgeBase {
     }
 }
 
+impl KnowledgeStore for KnowledgeBase {
+    fn record(&mut self, record: RunRecord) {
+        KnowledgeBase::record(self, record);
+    }
+
+    fn len(&self) -> usize {
+        KnowledgeBase::len(self)
+    }
+
+    fn records_in_arrival_order(&self) -> Box<dyn Iterator<Item = &RunRecord> + '_> {
+        Box::new(self.records.iter())
+    }
+
+    /// A monolithic base is already its own canonical form.
+    fn to_monolithic(&self) -> KnowledgeBase {
+        self.clone()
+    }
+
+    fn save(&self, path: &Path) -> Result<(), CoreError> {
+        KnowledgeBase::save(self, path)
+    }
+}
+
 /// A knowledge base partitioned by instance type — the million-record-scale
 /// layout of the self-optimizing loop.
 ///
@@ -364,6 +451,28 @@ impl ShardedKnowledgeBase {
     pub fn load(path: &Path) -> Result<Self, CoreError> {
         let json = std::fs::read_to_string(path)?;
         Ok(serde_json::from_str(&json)?)
+    }
+}
+
+impl KnowledgeStore for ShardedKnowledgeBase {
+    fn record(&mut self, record: RunRecord) {
+        ShardedKnowledgeBase::record(self, record);
+    }
+
+    fn len(&self) -> usize {
+        ShardedKnowledgeBase::len(self)
+    }
+
+    fn records_in_arrival_order(&self) -> Box<dyn Iterator<Item = &RunRecord> + '_> {
+        Box::new(ShardedKnowledgeBase::records_in_arrival_order(self))
+    }
+
+    fn to_monolithic(&self) -> KnowledgeBase {
+        ShardedKnowledgeBase::to_monolithic(self)
+    }
+
+    fn save(&self, path: &Path) -> Result<(), CoreError> {
+        ShardedKnowledgeBase::save(self, path)
     }
 }
 
@@ -600,6 +709,47 @@ mod tests {
         assert_eq!(skb, loaded);
         assert_eq!(loaded.to_monolithic(), skb.to_monolithic());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn knowledge_store_trait_unifies_layouts() {
+        let records = mixed_records(20);
+        let mut stores: Vec<Box<dyn KnowledgeStore>> = vec![
+            Box::new(KnowledgeBase::new()),
+            Box::new(ShardedKnowledgeBase::new()),
+        ];
+        for store in &mut stores {
+            for r in &records {
+                store.record(r.clone());
+            }
+            assert_eq!(store.len(), records.len());
+            assert!(!store.is_empty());
+            let replayed: Vec<RunRecord> =
+                store.records_in_arrival_order().cloned().collect();
+            assert_eq!(replayed, records);
+        }
+        assert_eq!(stores[0].to_monolithic(), stores[1].to_monolithic());
+    }
+
+    #[test]
+    fn with_tenant_tags_record_without_touching_features() {
+        let plain = RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07);
+        let tagged = plain.clone().with_tenant(TenantId::new("acme-life"));
+        assert_eq!(plain.tenant, TenantId::default());
+        assert_eq!(tagged.tenant, TenantId::new("acme-life"));
+        assert_ne!(plain, tagged);
+        // The tenant key routes shards; it must never leak into the ML view.
+        assert_eq!(plain.features(), tagged.features());
+    }
+
+    #[test]
+    fn pre_tenancy_json_loads_with_default_tenant() {
+        let r = RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07);
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("tenant").unwrap();
+        let loaded: RunRecord = serde_json::from_value(v).unwrap();
+        assert_eq!(loaded.tenant, TenantId::default());
+        assert_eq!(loaded, r);
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   [`deploy::Deployer`] trait;
 //! - [`pipeline`]: [`pipeline::DeployPipeline`] — the event-driven deploy
 //!   service overlapping Algorithm 1's sweep for job *k+1* with the cloud
-//!   run of job *k*, bit-identical to the sequential loop for any depth.
+//!   run of job *k*, bit-identical to the sequential loop for any depth;
+//! - [`tenant`]: the multi-company extension — records keyed by
+//!   (instance type × tenant), a pluggable [`tenant::TransferPolicy`]
+//!   deciding whose knowledge crosses company boundaries, and a
+//!   tenant-aware deployer behind the same [`deploy::Deployer`] trait.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ pub mod knowledge;
 pub mod pipeline;
 pub mod predictor;
 pub mod profile;
+pub mod tenant;
 
 mod error;
 
@@ -55,15 +60,19 @@ pub use algorithm::{
     select_configuration_with_rule_threads, CandidateConfig, Selection, TimeEstimate,
 };
 pub use deploy::{
-    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, ShardedDeployer,
-    TransparentDeployer,
+    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, DeployPolicyBuilder, Deployer,
+    ShardedDeployer, TransparentDeployer,
 };
 pub use error::CoreError;
 pub use hetero::{
     select_hetero_configuration, select_hetero_configuration_threads, HeteroCandidate,
     HeteroSelection,
 };
-pub use knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
+pub use knowledge::{KnowledgeBase, KnowledgeStore, RunRecord, ShardedKnowledgeBase};
 pub use pipeline::{DeployPipeline, PipelineJob, PipelineStats};
-pub use predictor::{PredictorFamily, ShardedPredictor, TimePredictor};
+pub use predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 pub use profile::JobProfile;
+pub use tenant::{
+    TenantId, TenantShardedDeployer, TenantShardedKnowledgeBase, TenantShardedPredictor,
+    TenantView, TransferPolicy,
+};

@@ -291,14 +291,12 @@ mod tests {
     }
 
     fn policy(retrain_every: usize) -> DeployPolicy {
-        DeployPolicy {
-            t_max_secs: 50_000.0,
-            epsilon: 0.05,
-            max_nodes: 4,
-            min_kb_samples: 8,
-            retrain_every,
-            n_threads: 1,
-        }
+        DeployPolicy::builder(50_000.0)
+            .max_nodes(4)
+            .min_kb_samples(8)
+            .retrain_every(retrain_every)
+            .n_threads(1)
+            .build()
     }
 
     fn auto_jobs(n: usize) -> Vec<PipelineJob> {
@@ -437,14 +435,12 @@ mod tests {
         // NoFeasibleConfiguration; every bootstrap run issued before it
         // must still land, leaving the KB exactly as the sequential loop's.
         let mk = |seed| {
-            let policy = DeployPolicy {
-                t_max_secs: 1e-6,
-                epsilon: 0.0,
-                max_nodes: 4,
-                min_kb_samples: 4,
-                retrain_every: 1,
-                n_threads: 1,
-            };
+            let policy = DeployPolicy::builder(1e-6)
+                .epsilon(0.0)
+                .max_nodes(4)
+                .min_kb_samples(4)
+                .n_threads(1)
+                .build();
             TransparentDeployer::new(
                 CloudProvider::new(InstanceCatalog::paper_catalog(), seed),
                 policy,

@@ -16,7 +16,32 @@ use crate::CoreError;
 use disar_cloudsim::InstanceType;
 use disar_math::parallel::parallel_map_mut;
 use disar_ml::{default_family, Dataset, IncrementalRegressor, Regressor};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// How a retrain treats the family's previously trained state — the single
+/// knob behind [`PredictorFamily::retrain`], replacing the accreted
+/// `retrain_full*`/`retrain_warm*` method family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RetrainMode {
+    /// The default bit-identity-preserving path: when the knowledge base
+    /// grew by appending to the trained prefix (verified by the boundary
+    /// fingerprint), *exact* incremental members are fed only the appended
+    /// rows; everything else refits from scratch. Either way the family is
+    /// bit-identical to a from-scratch retrain.
+    #[default]
+    Incremental,
+    /// Force every member to refit from scratch, ignoring any reusable
+    /// state — the reference the incremental path is measured against
+    /// (equal results, different cost).
+    Full,
+    /// [`RetrainMode::Incremental`] that additionally lets *inexact*
+    /// members take their suffix path: the MLP continues SGD from its
+    /// previous weights, tree/forest regrow on a suffix subsample.
+    /// Deterministic, but **not** refit-identical — for after-every-run
+    /// loops where retrain latency matters more than refit equivalence.
+    Warm,
+}
 
 /// Anything Algorithm 1 can query for predicted execution times — the
 /// monolithic [`PredictorFamily`] or the per-instance-type
@@ -121,98 +146,75 @@ impl PredictorFamily {
 
     /// Retrains every model on the current knowledge base.
     ///
-    /// When the base grew by appending to the prefix this family was last
-    /// trained on (verified by length + boundary fingerprint), models with
-    /// [`IncrementalRegressor`] support are fed only the appended records —
-    /// an O(new records) update for the instance-based learners — while the
-    /// rest refit from scratch behind the same call. Either path leaves the
-    /// family bit-identical to a from-scratch retrain on the full base; use
-    /// [`PredictorFamily::retrain_full`] to force the from-scratch path and
-    /// [`PredictorFamily::retrain_warm`] to additionally let the MLP
-    /// warm-start from its previous weights (faster, deterministic, but not
-    /// refit-identical).
+    /// `mode` selects how previously trained state is reused (see
+    /// [`RetrainMode`]); [`RetrainMode::Incremental`] is the bit-identity-
+    /// preserving default. The per-model fits are spread over up to
+    /// `n_threads` worker threads: every model owns its RNG state and
+    /// trains against a shared immutable view of the featurized knowledge
+    /// base (built once, cached by the base), so the fits are
+    /// order-independent and the trained family is bit-identical to
+    /// `n_threads = 1`. Fit errors are surfaced in model order, matching
+    /// the sequential loop.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InsufficientKnowledge`] below `min_samples`
-    /// and propagates model-training failures.
-    pub fn retrain(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain_with_threads(kb, 1)
+    /// Returns [`CoreError::InsufficientKnowledge`] below `min_samples`,
+    /// [`CoreError::InvalidParameter`] for `n_threads == 0`, and
+    /// propagates model-training failures.
+    pub fn retrain(
+        &mut self,
+        kb: &KnowledgeBase,
+        mode: RetrainMode,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        self.retrain_impl(
+            kb,
+            n_threads,
+            mode == RetrainMode::Full,
+            mode == RetrainMode::Warm,
+        )
     }
 
-    /// [`PredictorFamily::retrain`] with the per-model fits spread over up
-    /// to `n_threads` worker threads.
-    ///
-    /// Every model owns its RNG state and trains against a shared immutable
-    /// view of the featurized knowledge base (built once, cached by the
-    /// base), so the fits are order-independent and the trained family is
-    /// bit-identical to `n_threads = 1`. Fit errors are surfaced in model
-    /// order, matching the sequential loop.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PredictorFamily::retrain`], plus
-    /// [`CoreError::InvalidParameter`] for `n_threads == 0`.
+    /// Deprecated spelling of `retrain(kb, RetrainMode::Incremental, n_threads)`.
+    #[deprecated(note = "use retrain(kb, RetrainMode::Incremental, n_threads)")]
     pub fn retrain_with_threads(
         &mut self,
         kb: &KnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        self.retrain_impl(kb, n_threads, false, false)
+        self.retrain(kb, RetrainMode::Incremental, n_threads)
     }
 
-    /// [`PredictorFamily::retrain`] that additionally lets *inexact*
-    /// incremental learners (the MLP's warm start) take their suffix path
-    /// when the base grew by appending.
-    ///
-    /// Exact members behave exactly as under [`PredictorFamily::retrain`];
-    /// the MLP continues SGD from its previous weights with a reduced
-    /// epoch budget — deterministic, but **not** bit-identical to a
-    /// from-scratch fit. Use this in after-every-run retrain loops where
-    /// retrain latency matters more than refit equivalence.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PredictorFamily::retrain`].
+    /// Deprecated spelling of `retrain(kb, RetrainMode::Warm, 1)`.
+    #[deprecated(note = "use retrain(kb, RetrainMode::Warm, 1)")]
     pub fn retrain_warm(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain_warm_with_threads(kb, 1)
+        self.retrain(kb, RetrainMode::Warm, 1)
     }
 
-    /// [`PredictorFamily::retrain_warm`] over up to `n_threads` workers.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PredictorFamily::retrain_with_threads`].
+    /// Deprecated spelling of `retrain(kb, RetrainMode::Warm, n_threads)`.
+    #[deprecated(note = "use retrain(kb, RetrainMode::Warm, n_threads)")]
     pub fn retrain_warm_with_threads(
         &mut self,
         kb: &KnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        self.retrain_impl(kb, n_threads, false, true)
+        self.retrain(kb, RetrainMode::Warm, n_threads)
     }
 
-    /// Retrains every model from scratch, ignoring any incrementally
-    /// reusable state — the reference the incremental path is measured
-    /// against (equal results, different cost).
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PredictorFamily::retrain`].
+    /// Deprecated spelling of `retrain(kb, RetrainMode::Full, 1)`.
+    #[deprecated(note = "use retrain(kb, RetrainMode::Full, 1)")]
     pub fn retrain_full(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain_impl(kb, 1, true, false)
+        self.retrain(kb, RetrainMode::Full, 1)
     }
 
-    /// [`PredictorFamily::retrain_full`] over up to `n_threads` workers.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PredictorFamily::retrain_with_threads`].
+    /// Deprecated spelling of `retrain(kb, RetrainMode::Full, n_threads)`.
+    #[deprecated(note = "use retrain(kb, RetrainMode::Full, n_threads)")]
     pub fn retrain_full_with_threads(
         &mut self,
         kb: &KnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        self.retrain_impl(kb, n_threads, true, false)
+        self.retrain(kb, RetrainMode::Full, n_threads)
     }
 
     fn retrain_impl(
@@ -363,17 +365,18 @@ impl ShardedPredictor {
         self.families.get(instance)
     }
 
-    /// Retrains (incrementally where possible) the family owning
-    /// `instance` on that shard's records, creating the family on first
-    /// use.
+    /// Retrains the family owning `instance` on that shard's records,
+    /// creating the family on first use. `mode` and `n_threads` behave as
+    /// in [`PredictorFamily::retrain`].
     ///
     /// # Errors
     ///
-    /// Same contract as [`PredictorFamily::retrain_with_threads`].
-    pub fn retrain_shard_with_threads(
+    /// Same contract as [`PredictorFamily::retrain`].
+    pub fn retrain_shard(
         &mut self,
         instance: &str,
         shard: &KnowledgeBase,
+        mode: RetrainMode,
         n_threads: usize,
     ) -> Result<(), CoreError> {
         let seed = self.seed;
@@ -381,16 +384,21 @@ impl ShardedPredictor {
         self.families
             .entry(instance.to_string())
             .or_insert_with(|| PredictorFamily::new(seed, min_samples))
-            .retrain_with_threads(shard, n_threads)
+            .retrain(shard, mode, n_threads)
     }
 
-    /// [`ShardedPredictor::retrain_shard_with_threads`] on one thread.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PredictorFamily::retrain`].
-    pub fn retrain_shard(&mut self, instance: &str, shard: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain_shard_with_threads(instance, shard, 1)
+    /// Deprecated spelling of
+    /// `retrain_shard(instance, shard, RetrainMode::Incremental, n_threads)`.
+    #[deprecated(
+        note = "use retrain_shard(instance, shard, RetrainMode::Incremental, n_threads)"
+    )]
+    pub fn retrain_shard_with_threads(
+        &mut self,
+        instance: &str,
+        shard: &KnowledgeBase,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        self.retrain_shard(instance, shard, RetrainMode::Incremental, n_threads)
     }
 
     /// Retrains every shard holding at least `min_samples` records —
@@ -400,17 +408,29 @@ impl ShardedPredictor {
     /// # Errors
     ///
     /// Propagates the first shard-retrain failure.
+    pub fn retrain_all(
+        &mut self,
+        kb: &ShardedKnowledgeBase,
+        mode: RetrainMode,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        for (name, shard) in kb.shards() {
+            if shard.len() >= self.min_samples {
+                self.retrain_shard(name, shard, mode, n_threads)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deprecated spelling of
+    /// `retrain_all(kb, RetrainMode::Incremental, n_threads)`.
+    #[deprecated(note = "use retrain_all(kb, RetrainMode::Incremental, n_threads)")]
     pub fn retrain_all_with_threads(
         &mut self,
         kb: &ShardedKnowledgeBase,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        for (name, shard) in kb.shards() {
-            if shard.len() >= self.min_samples {
-                self.retrain_shard_with_threads(name, shard, n_threads)?;
-            }
-        }
-        Ok(())
+        self.retrain_all(kb, RetrainMode::Incremental, n_threads)
     }
 }
 
@@ -469,7 +489,7 @@ mod tests {
         let mut fam = PredictorFamily::new(1, 10);
         let kb = filled_kb(5);
         assert!(matches!(
-            fam.retrain(&kb),
+            fam.retrain(&kb, RetrainMode::Incremental, 1),
             Err(CoreError::InsufficientKnowledge { have: 5, need: 10 })
         ));
         assert!(!fam.is_trained());
@@ -486,7 +506,7 @@ mod tests {
     #[test]
     fn family_learns_monotonicity_in_nodes() {
         let mut fam = PredictorFamily::new(7, 2);
-        fam.retrain(&filled_kb(300)).unwrap();
+        fam.retrain(&filled_kb(300), RetrainMode::Incremental, 1).unwrap();
         let cat = InstanceCatalog::paper_catalog();
         let inst = cat.get("c3.4xlarge").unwrap();
         let t1 = fam.predict_mean(&profile(200), inst, 1).unwrap();
@@ -497,7 +517,7 @@ mod tests {
     #[test]
     fn predict_each_names_all_six() {
         let mut fam = PredictorFamily::new(3, 2);
-        fam.retrain(&filled_kb(100)).unwrap();
+        fam.retrain(&filled_kb(100), RetrainMode::Incremental, 1).unwrap();
         let cat = InstanceCatalog::paper_catalog();
         let inst = cat.get("m4.4xlarge").unwrap();
         let each = fam.predict_each(&profile(100), inst, 2).unwrap();
@@ -511,7 +531,7 @@ mod tests {
     #[test]
     fn mean_is_average_of_each() {
         let mut fam = PredictorFamily::new(3, 2);
-        fam.retrain(&filled_kb(100)).unwrap();
+        fam.retrain(&filled_kb(100), RetrainMode::Incremental, 1).unwrap();
         let cat = InstanceCatalog::paper_catalog();
         let inst = cat.get("m4.4xlarge").unwrap();
         let each = fam.predict_each(&profile(100), inst, 2).unwrap();
@@ -523,9 +543,9 @@ mod tests {
     #[test]
     fn retraining_updates_trained_on() {
         let mut fam = PredictorFamily::new(3, 2);
-        fam.retrain(&filled_kb(50)).unwrap();
+        fam.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
         assert_eq!(fam.trained_on(), 50);
-        fam.retrain(&filled_kb(80)).unwrap();
+        fam.retrain(&filled_kb(80), RetrainMode::Incremental, 1).unwrap();
         assert_eq!(fam.trained_on(), 80);
     }
 
@@ -534,10 +554,10 @@ mod tests {
         let kb = filled_kb(150);
         let cat = InstanceCatalog::paper_catalog();
         let mut seq = PredictorFamily::new(11, 2);
-        seq.retrain_with_threads(&kb, 1).unwrap();
+        seq.retrain(&kb, RetrainMode::Incremental, 1).unwrap();
         for threads in [2, 4, 7] {
             let mut par = PredictorFamily::new(11, 2);
-            par.retrain_with_threads(&kb, threads).unwrap();
+            par.retrain(&kb, RetrainMode::Incremental, threads).unwrap();
             assert_eq!(par.trained_on(), seq.trained_on());
             for name in cat.names() {
                 let inst = cat.get(&name).unwrap();
@@ -554,7 +574,7 @@ mod tests {
     fn zero_threads_is_rejected() {
         let mut fam = PredictorFamily::new(3, 2);
         assert!(matches!(
-            fam.retrain_with_threads(&filled_kb(50), 0),
+            fam.retrain(&filled_kb(50), RetrainMode::Incremental, 0),
             Err(CoreError::InvalidParameter(_))
         ));
     }
@@ -585,11 +605,11 @@ mod tests {
         // retrain may feed the instance-based models only the 30 new rows,
         // yet must land bit-identical to a from-scratch fit on all 80.
         let mut inc = PredictorFamily::new(3, 2);
-        inc.retrain(&filled_kb(50)).unwrap();
-        inc.retrain(&filled_kb(80)).unwrap();
+        inc.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
+        inc.retrain(&filled_kb(80), RetrainMode::Incremental, 1).unwrap();
         assert_eq!(inc.trained_on(), 80);
         let mut full = PredictorFamily::new(3, 2);
-        full.retrain_full(&filled_kb(80)).unwrap();
+        full.retrain(&filled_kb(80), RetrainMode::Full, 1).unwrap();
         assert_families_identical(&inc, &full, "incremental vs full");
     }
 
@@ -597,25 +617,26 @@ mod tests {
     fn warm_retrain_is_deterministic_and_keeps_exact_members_bitwise() {
         let run = || {
             let mut fam = PredictorFamily::new(3, 2);
-            fam.retrain(&filled_kb(50)).unwrap();
-            fam.retrain_warm(&filled_kb(80)).unwrap();
+            fam.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
+            fam.retrain(&filled_kb(80), RetrainMode::Warm, 1).unwrap();
             fam
         };
         let a = run();
         let b = run();
         assert_families_identical(&a, &b, "warm retrain determinism");
 
-        // Only the warm-started MLP is licensed to diverge from a
-        // from-scratch refit; every exact member must stay bitwise equal.
+        // Only the inexact warm-started members (MLP weights, tree/forest
+        // suffix subsampling) are licensed to diverge from a from-scratch
+        // refit; every exact member must stay bitwise equal.
         let mut full = PredictorFamily::new(3, 2);
-        full.retrain_full(&filled_kb(80)).unwrap();
+        full.retrain(&filled_kb(80), RetrainMode::Full, 1).unwrap();
         let cat = InstanceCatalog::paper_catalog();
         let inst = cat.get("c3.4xlarge").unwrap();
         let pa = a.predict_each(&profile(180), inst, 2).unwrap();
         let pf = full.predict_each(&profile(180), inst, 2).unwrap();
         for ((ma, va), (mf, vf)) in pa.iter().zip(&pf) {
             assert_eq!(ma, mf);
-            if ma != "MLP" {
+            if ma != "MLP" && ma != "RT" && ma != "RF" {
                 assert_eq!(
                     va.to_bits(),
                     vf.to_bits(),
@@ -628,11 +649,11 @@ mod tests {
     #[test]
     fn warm_retrain_threaded_matches_sequential() {
         let mut seq = PredictorFamily::new(6, 2);
-        seq.retrain(&filled_kb(50)).unwrap();
-        seq.retrain_warm_with_threads(&filled_kb(90), 1).unwrap();
+        seq.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
+        seq.retrain(&filled_kb(90), RetrainMode::Warm, 1).unwrap();
         let mut par = PredictorFamily::new(6, 2);
-        par.retrain(&filled_kb(50)).unwrap();
-        par.retrain_warm_with_threads(&filled_kb(90), 4).unwrap();
+        par.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
+        par.retrain(&filled_kb(90), RetrainMode::Warm, 4).unwrap();
         assert_families_identical(&seq, &par, "warm retrain thread invariance");
     }
 
@@ -647,21 +668,21 @@ mod tests {
             rev.record(r.clone());
         }
         let mut fam = PredictorFamily::new(9, 2);
-        fam.retrain(&kb).unwrap();
-        fam.retrain(&rev).unwrap();
+        fam.retrain(&kb, RetrainMode::Incremental, 1).unwrap();
+        fam.retrain(&rev, RetrainMode::Incremental, 1).unwrap();
         let mut fresh = PredictorFamily::new(9, 2);
-        fresh.retrain(&rev).unwrap();
+        fresh.retrain(&rev, RetrainMode::Incremental, 1).unwrap();
         assert_families_identical(&fam, &fresh, "fingerprint fallback");
     }
 
     #[test]
     fn shrunk_kb_falls_back_to_full_refit() {
         let mut fam = PredictorFamily::new(4, 2);
-        fam.retrain(&filled_kb(50)).unwrap();
-        fam.retrain(&filled_kb(20)).unwrap();
+        fam.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
+        fam.retrain(&filled_kb(20), RetrainMode::Incremental, 1).unwrap();
         assert_eq!(fam.trained_on(), 20);
         let mut fresh = PredictorFamily::new(4, 2);
-        fresh.retrain(&filled_kb(20)).unwrap();
+        fresh.retrain(&filled_kb(20), RetrainMode::Incremental, 1).unwrap();
         assert_families_identical(&fam, &fresh, "shrunk base");
     }
 
@@ -670,20 +691,43 @@ mod tests {
         let kb = filled_kb(120);
         let skb = crate::knowledge::ShardedKnowledgeBase::from_monolithic(&kb);
         let mut sharded = ShardedPredictor::new(5, 2);
-        sharded.retrain_all_with_threads(&skb, 2).unwrap();
+        sharded.retrain_all(&skb, RetrainMode::Incremental, 2).unwrap();
         let cat = InstanceCatalog::paper_catalog();
         assert_eq!(sharded.trained_shards(), cat.names().len());
         for name in cat.names() {
             let inst = cat.get(&name).unwrap();
             assert!(sharded.is_trained_for(&name));
             let mut mono = PredictorFamily::new(5, 2);
-            mono.retrain(&kb.for_instance(&name)).unwrap();
+            mono.retrain(&kb.for_instance(&name), RetrainMode::Incremental, 1).unwrap();
             for n in [1usize, 4] {
                 let a = TimePredictor::predict_each(&sharded, &profile(123), inst, n).unwrap();
                 let b = mono.predict_each(&profile(123), inst, n).unwrap();
                 assert_eq!(a, b, "shard {name} diverges from per-instance family");
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_retrain_mode() {
+        // The one-PR compatibility shims must be exact spellings of the
+        // new entry point — same results to the bit.
+        let kb = filled_kb(60);
+        let grown = filled_kb(90);
+
+        let mut shim = PredictorFamily::new(2, 2);
+        shim.retrain_with_threads(&kb, 2).unwrap();
+        let mut new = PredictorFamily::new(2, 2);
+        new.retrain(&kb, RetrainMode::Incremental, 2).unwrap();
+        assert_families_identical(&shim, &new, "retrain_with_threads shim");
+
+        shim.retrain_warm(&grown).unwrap();
+        new.retrain(&grown, RetrainMode::Warm, 1).unwrap();
+        assert_families_identical(&shim, &new, "retrain_warm shim");
+
+        shim.retrain_full(&grown).unwrap();
+        new.retrain(&grown, RetrainMode::Full, 1).unwrap();
+        assert_families_identical(&shim, &new, "retrain_full shim");
     }
 
     #[test]

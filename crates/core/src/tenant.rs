@@ -1,0 +1,1259 @@
+//! Tenant-aware knowledge sharding and cross-company transfer.
+//!
+//! The paper observes that the knowledge base's parameters "are not
+//! necessarily bound to a specific" company: the job profile and machine
+//! capabilities are numeric, so execution-time knowledge gathered while
+//! serving one insurance undertaking can inform provisioning for another.
+//! This module makes that claim operational. Records carry a [`TenantId`],
+//! the base is partitioned by the *two-key* (instance type × tenant)
+//! ([`TenantShardedKnowledgeBase`]), and a pluggable [`TransferPolicy`]
+//! decides whose records a tenant's predictions may learn from:
+//!
+//! - [`TransferPolicy::Isolated`] — every tenant trains only on its own
+//!   runs (the regulatory-conservative default: no information crosses a
+//!   company boundary);
+//! - [`TransferPolicy::Pooled`] — all tenants train on the union of
+//!   records per instance type (the paper's transfer argument taken at
+//!   face value);
+//! - [`TransferPolicy::BorrowUntil`] — a tenant borrows the pooled model
+//!   per instance type until it has accumulated enough *local*
+//!   observations there, then switches to its own (cold-start borrowing).
+//!
+//! [`TenantShardedDeployer`] packages the layout behind the existing
+//! [`Deployer`] trait, so [`crate::pipeline::DeployPipeline`], the bench
+//! campaign and the experiment drivers run unchanged over a multi-tenant
+//! base. With a single tenant and [`TransferPolicy::Isolated`] (or
+//! [`TransferPolicy::Pooled`] — the partitions coincide), the backend is
+//! bit-identical to [`crate::deploy::ShardedDeployer`].
+
+use crate::deploy::{
+    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, DeployerCore, PendingSim,
+};
+use crate::knowledge::{KnowledgeBase, KnowledgeStore, RunRecord};
+use crate::predictor::{PredictorFamily, RetrainMode, TimePredictor};
+use crate::profile::JobProfile;
+use crate::CoreError;
+use disar_cloudsim::{CloudProvider, InstanceType, JobReport, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Identifies the company (tenant) a run belongs to.
+///
+/// A plain string key: tenants are administrative, not numeric, and never
+/// enter the feature vector. The default tenant (`"default"`) is what every
+/// pre-tenancy record and single-tenant deployment uses.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Creates a tenant id from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantId(name.into())
+    }
+
+    /// The tenant name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId("default".to_string())
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// How knowledge crosses company boundaries (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransferPolicy {
+    /// Each tenant trains and predicts only on its own records.
+    #[default]
+    Isolated,
+    /// All tenants share one model per instance type, trained on the union
+    /// of every tenant's records.
+    Pooled,
+    /// Predict from the pooled model for an instance type until the tenant
+    /// holds at least this many *local* records there, then switch to the
+    /// tenant's own model. `BorrowUntil(0)` behaves like
+    /// [`TransferPolicy::Isolated`] with pooled models kept warm.
+    BorrowUntil(usize),
+}
+
+impl TransferPolicy {
+    /// Whether per-(instance, tenant) local models are trained and may
+    /// serve predictions.
+    pub fn uses_local(self) -> bool {
+        !matches!(self, TransferPolicy::Pooled)
+    }
+
+    /// Whether per-instance pooled models are trained and may serve
+    /// predictions.
+    pub fn uses_pooled(self) -> bool {
+        !matches!(self, TransferPolicy::Isolated)
+    }
+}
+
+/// A knowledge base partitioned by the two-key (instance type × tenant).
+///
+/// Each two-key shard is a plain [`KnowledgeBase`] (with its own
+/// incrementally maintained featurized cache), so a `record()` touches
+/// exactly one shard and a local retrain scales with one tenant's records
+/// on one instance type. Alongside the two-key shards the base maintains
+/// *pooled* per-instance copies — the union of all tenants' records for
+/// each instance type, in arrival order — so pooled retrains need no
+/// re-partitioning pass. The pooled copies double record memory; they are
+/// derived state, excluded from equality, skipped by serialization and
+/// rebuilt on [`TenantShardedKnowledgeBase::load`].
+///
+/// The global arrival order is kept alongside the shards, so the exact
+/// monolithic record stream is always reconstructible
+/// ([`TenantShardedKnowledgeBase::to_monolithic`]) — two-key sharding
+/// never loses or reorders information.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TenantShardedKnowledgeBase {
+    /// `(instance, tenant)` of each shard, in first-seen order.
+    keys: Vec<(String, TenantId)>,
+    shards: Vec<KnowledgeBase>,
+    /// Shard slot of each record, in global arrival order.
+    arrival: Vec<u32>,
+    /// Derived per-instance unions (first-seen instance order), rebuilt on
+    /// load.
+    #[serde(skip)]
+    pooled_names: Vec<String>,
+    #[serde(skip)]
+    pooled: Vec<KnowledgeBase>,
+}
+
+/// Equality is over the two-key shards and arrival order only — the pooled
+/// copies (like the per-shard dataset caches) are derived state.
+impl PartialEq for TenantShardedKnowledgeBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys && self.shards == other.shards && self.arrival == other.arrival
+    }
+}
+
+impl TenantShardedKnowledgeBase {
+    /// Creates an empty two-key base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a two-key base holding the same record stream as `kb`,
+    /// routing each record by its own tenant tag.
+    pub fn from_monolithic(kb: &KnowledgeBase) -> Self {
+        let mut sharded = TenantShardedKnowledgeBase::new();
+        for r in kb.records() {
+            sharded.record(r.clone());
+        }
+        sharded
+    }
+
+    /// Appends one run to the shard owning its (instance, tenant) key and
+    /// to the instance's pooled copy, creating both on first sight.
+    pub fn record(&mut self, record: RunRecord) {
+        let slot = match self
+            .keys
+            .iter()
+            .position(|(i, t)| *i == record.instance && *t == record.tenant)
+        {
+            Some(slot) => slot,
+            None => {
+                self.keys
+                    .push((record.instance.clone(), record.tenant.clone()));
+                self.shards.push(KnowledgeBase::new());
+                self.keys.len() - 1
+            }
+        };
+        self.arrival.push(slot as u32);
+        self.pool_record(record.clone());
+        self.shards[slot].record(record);
+    }
+
+    fn pool_record(&mut self, record: RunRecord) {
+        let slot = match self.pooled_names.iter().position(|n| *n == record.instance) {
+            Some(slot) => slot,
+            None => {
+                self.pooled_names.push(record.instance.clone());
+                self.pooled.push(KnowledgeBase::new());
+                self.pooled_names.len() - 1
+            }
+        };
+        self.pooled[slot].record(record);
+    }
+
+    fn rebuild_pooled(&mut self) {
+        self.pooled_names.clear();
+        self.pooled.clear();
+        let records: Vec<RunRecord> = self.records_in_arrival_order().cloned().collect();
+        for r in records {
+            self.pool_record(r);
+        }
+    }
+
+    /// Total number of stored runs across all shards.
+    pub fn len(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// `true` when no runs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.arrival.is_empty()
+    }
+
+    /// Number of two-key shards (distinct (instance, tenant) pairs seen).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The (instance, tenant) keys with a shard, in first-seen order.
+    pub fn shard_keys(&self) -> &[(String, TenantId)] {
+        &self.keys
+    }
+
+    /// Distinct tenants seen, in first-seen order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut out: Vec<TenantId> = Vec::new();
+        for (_, t) in &self.keys {
+            if !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// The shard holding one tenant's records on one instance type.
+    pub fn shard(&self, instance: &str, tenant: &TenantId) -> Option<&KnowledgeBase> {
+        self.keys
+            .iter()
+            .position(|(i, t)| i == instance && t == tenant)
+            .map(|slot| &self.shards[slot])
+    }
+
+    /// The pooled (all-tenant) copy of one instance type's records, in
+    /// arrival order.
+    pub fn pooled_shard(&self, instance: &str) -> Option<&KnowledgeBase> {
+        self.pooled_names
+            .iter()
+            .position(|n| n == instance)
+            .map(|slot| &self.pooled[slot])
+    }
+
+    /// Iterates `((instance, tenant), shard)` pairs in first-seen order.
+    pub fn shards(&self) -> impl Iterator<Item = (&(String, TenantId), &KnowledgeBase)> {
+        self.keys.iter().zip(self.shards.iter())
+    }
+
+    /// Iterates `(instance name, pooled copy)` pairs in first-seen order.
+    pub fn pooled_shards(&self) -> impl Iterator<Item = (&str, &KnowledgeBase)> {
+        self.pooled_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.pooled.iter())
+    }
+
+    /// Per-instance record counts of one tenant's shards — the local-
+    /// observation counts [`TransferPolicy::BorrowUntil`] routes on.
+    pub fn local_lens(&self, tenant: &TenantId) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for ((instance, t), shard) in self.shards() {
+            if t == tenant {
+                out.insert(instance.clone(), shard.len());
+            }
+        }
+        out
+    }
+
+    /// Iterates every record in global arrival order — the exact stream a
+    /// monolithic [`KnowledgeBase`] fed the same runs would hold.
+    pub fn records_in_arrival_order(&self) -> impl Iterator<Item = &RunRecord> + '_ {
+        let mut cursors = vec![0usize; self.shards.len()];
+        self.arrival.iter().map(move |&slot| {
+            let slot = slot as usize;
+            let r = &self.shards[slot].records()[cursors[slot]];
+            cursors[slot] += 1;
+            r
+        })
+    }
+
+    /// Reconstructs the equivalent monolithic base (records in arrival
+    /// order, tenant tags intact).
+    pub fn to_monolithic(&self) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for r in self.records_in_arrival_order() {
+            kb.record(r.clone());
+        }
+        kb
+    }
+
+    /// Saves the two-key base as pretty JSON (pooled copies are derived
+    /// and not written).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a base previously written with
+    /// [`TenantShardedKnowledgeBase::save`], rebuilding the pooled copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn load(path: &Path) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path)?;
+        let mut kb: TenantShardedKnowledgeBase = serde_json::from_str(&json)?;
+        kb.rebuild_pooled();
+        Ok(kb)
+    }
+}
+
+impl KnowledgeStore for TenantShardedKnowledgeBase {
+    fn record(&mut self, record: RunRecord) {
+        TenantShardedKnowledgeBase::record(self, record);
+    }
+
+    fn len(&self) -> usize {
+        TenantShardedKnowledgeBase::len(self)
+    }
+
+    fn records_in_arrival_order(&self) -> Box<dyn Iterator<Item = &RunRecord> + '_> {
+        Box::new(TenantShardedKnowledgeBase::records_in_arrival_order(self))
+    }
+
+    fn to_monolithic(&self) -> KnowledgeBase {
+        TenantShardedKnowledgeBase::to_monolithic(self)
+    }
+
+    fn save(&self, path: &Path) -> Result<(), CoreError> {
+        TenantShardedKnowledgeBase::save(self, path)
+    }
+}
+
+/// One [`PredictorFamily`] per two-key shard, plus (policy permitting) one
+/// per pooled instance shard, with a [`TransferPolicy`] routing every
+/// query to the family a tenant is entitled to.
+///
+/// Families are created from the same `(seed, min_samples)` pair, so a
+/// local family is bit-identical to a monolithic family trained on the
+/// same shard — the invariant the backend-equivalence proofs rest on.
+pub struct TenantShardedPredictor {
+    transfer: TransferPolicy,
+    /// instance → tenant → that tenant's local family for the instance.
+    local: BTreeMap<String, BTreeMap<TenantId, PredictorFamily>>,
+    /// instance → the all-tenant pooled family.
+    pooled: BTreeMap<String, PredictorFamily>,
+    seed: u64,
+    min_samples: usize,
+}
+
+impl TenantShardedPredictor {
+    /// Creates an empty two-key predictor; families materialize lazily on
+    /// the first retrain of their shard, all seeded identically.
+    pub fn new(seed: u64, min_samples: usize, transfer: TransferPolicy) -> Self {
+        TenantShardedPredictor {
+            transfer,
+            local: BTreeMap::new(),
+            pooled: BTreeMap::new(),
+            seed,
+            min_samples: min_samples.max(2),
+        }
+    }
+
+    /// The knowledge-base size below which a shard's training is refused.
+    pub fn min_samples(&self) -> usize {
+        self.min_samples
+    }
+
+    /// The active transfer policy.
+    pub fn transfer(&self) -> TransferPolicy {
+        self.transfer
+    }
+
+    /// The local family of one (instance, tenant), if it exists.
+    pub fn local_family(&self, instance: &str, tenant: &TenantId) -> Option<&PredictorFamily> {
+        self.local.get(instance).and_then(|m| m.get(tenant))
+    }
+
+    /// The pooled family of one instance type, if it exists.
+    pub fn pooled_family(&self, instance: &str) -> Option<&PredictorFamily> {
+        self.pooled.get(instance)
+    }
+
+    /// `true` once the (instance, tenant) pair has a trained local family.
+    pub fn is_trained_local(&self, instance: &str, tenant: &TenantId) -> bool {
+        self.local_family(instance, tenant)
+            .is_some_and(PredictorFamily::is_trained)
+    }
+
+    /// `true` once the instance type has a trained pooled family.
+    pub fn is_trained_pooled(&self, instance: &str) -> bool {
+        self.pooled_family(instance)
+            .is_some_and(PredictorFamily::is_trained)
+    }
+
+    /// Number of trained local families across all (instance, tenant)
+    /// pairs.
+    pub fn trained_local_shards(&self) -> usize {
+        self.local
+            .values()
+            .flat_map(BTreeMap::values)
+            .filter(|f| f.is_trained())
+            .count()
+    }
+
+    /// The family `tenant`'s queries on `instance` route to under the
+    /// transfer policy, given the tenant's local observation count there.
+    pub fn route(
+        &self,
+        instance: &str,
+        tenant: &TenantId,
+        local_len: usize,
+    ) -> Option<&PredictorFamily> {
+        match self.transfer {
+            TransferPolicy::Isolated => self.local_family(instance, tenant),
+            TransferPolicy::Pooled => self.pooled_family(instance),
+            TransferPolicy::BorrowUntil(n) => {
+                if local_len >= n {
+                    self.local_family(instance, tenant)
+                } else {
+                    self.pooled_family(instance)
+                }
+            }
+        }
+    }
+
+    /// Retrains the local family of one (instance, tenant) on that shard's
+    /// records, creating the family on first use. `mode` and `n_threads`
+    /// behave as in [`PredictorFamily::retrain`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain`].
+    pub fn retrain_local(
+        &mut self,
+        instance: &str,
+        tenant: &TenantId,
+        shard: &KnowledgeBase,
+        mode: RetrainMode,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        let seed = self.seed;
+        let min_samples = self.min_samples;
+        self.local
+            .entry(instance.to_string())
+            .or_default()
+            .entry(tenant.clone())
+            .or_insert_with(|| PredictorFamily::new(seed, min_samples))
+            .retrain(shard, mode, n_threads)
+    }
+
+    /// Retrains the pooled family of one instance type on the pooled
+    /// shard's records, creating the family on first use.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PredictorFamily::retrain`].
+    pub fn retrain_pooled(
+        &mut self,
+        instance: &str,
+        shard: &KnowledgeBase,
+        mode: RetrainMode,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        let seed = self.seed;
+        let min_samples = self.min_samples;
+        self.pooled
+            .entry(instance.to_string())
+            .or_insert_with(|| PredictorFamily::new(seed, min_samples))
+            .retrain(shard, mode, n_threads)
+    }
+
+    /// Retrains every shard the transfer policy consults that holds at
+    /// least `min_samples` records — the bulk warm-up after a load or
+    /// bootstrap; smaller shards are skipped, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard-retrain failure.
+    pub fn retrain_all(
+        &mut self,
+        kb: &TenantShardedKnowledgeBase,
+        mode: RetrainMode,
+        n_threads: usize,
+    ) -> Result<(), CoreError> {
+        if self.transfer.uses_local() {
+            let keys: Vec<(String, TenantId)> = kb.shard_keys().to_vec();
+            for (instance, tenant) in &keys {
+                let shard = kb.shard(instance, tenant).expect("key came from the base");
+                if shard.len() >= self.min_samples {
+                    self.retrain_local(instance, tenant, shard, mode, n_threads)?;
+                }
+            }
+        }
+        if self.transfer.uses_pooled() {
+            let names: Vec<String> = kb.pooled_shards().map(|(n, _)| n.to_string()).collect();
+            for instance in &names {
+                let shard = kb.pooled_shard(instance).expect("name came from the base");
+                if shard.len() >= self.min_samples {
+                    self.retrain_pooled(instance, shard, mode, n_threads)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A [`TimePredictor`] view of the predictor as seen by one tenant,
+    /// routing with the given per-instance local observation counts
+    /// (usually [`TenantShardedKnowledgeBase::local_lens`], or the virtual
+    /// counts of a pipeline's pending decisions).
+    pub fn view<'a>(
+        &'a self,
+        tenant: &'a TenantId,
+        local_lens: BTreeMap<String, usize>,
+    ) -> TenantView<'a> {
+        TenantView {
+            predictor: self,
+            tenant,
+            local_lens,
+        }
+    }
+}
+
+/// What one tenant sees of a [`TenantShardedPredictor`]: Algorithm 1
+/// queries route per instance type to the local or pooled family the
+/// transfer policy grants this tenant.
+pub struct TenantView<'a> {
+    predictor: &'a TenantShardedPredictor,
+    tenant: &'a TenantId,
+    local_lens: BTreeMap<String, usize>,
+}
+
+impl TimePredictor for TenantView<'_> {
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(String, f64)>, CoreError> {
+        let local_len = self.local_lens.get(&instance.name).copied().unwrap_or(0);
+        match self.predictor.route(&instance.name, self.tenant, local_len) {
+            Some(f) if f.is_trained() => f.predict_each(profile, instance, n_nodes),
+            _ => Err(disar_ml::MlError::NotFitted.into()),
+        }
+    }
+}
+
+/// [`PendingSim`] plus the virtual local observation counts the routing
+/// needs.
+struct TenantPendingSim {
+    sim: PendingSim,
+    /// The current tenant's per-instance local counts once every pending
+    /// record has landed.
+    virtual_local: BTreeMap<String, usize>,
+}
+
+/// The self-optimizing deployer over the two-key tenant layout.
+///
+/// Behaviourally a [`crate::deploy::ShardedDeployer`] whose records land
+/// in (instance × tenant) shards, whose retrains follow the
+/// [`TransferPolicy`] (local families, pooled families, or both), and
+/// whose selections see only the families the active tenant is entitled
+/// to. The deployer serves one tenant at a time
+/// ([`TenantShardedDeployer::set_tenant`] switches); pending pipeline
+/// decisions are attributed to the tenant that was active when they were
+/// selected, so switch tenants only between pipeline batches.
+pub struct TenantShardedDeployer {
+    core: DeployerCore,
+    kb: TenantShardedKnowledgeBase,
+    predictor: TenantShardedPredictor,
+    tenant: TenantId,
+}
+
+impl TenantShardedDeployer {
+    /// Creates a tenant-aware deployer with an empty knowledge base,
+    /// serving the default tenant under `policy.transfer`.
+    pub fn new(provider: CloudProvider, policy: DeployPolicy, seed: u64) -> Self {
+        Self::from_shared(Arc::new(provider), policy, seed)
+    }
+
+    /// Creates a tenant-aware deployer over an already-shared provider.
+    pub fn from_shared(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
+        TenantShardedDeployer {
+            predictor: TenantShardedPredictor::new(seed, 2, policy.transfer),
+            core: DeployerCore::new(provider, policy, seed),
+            kb: TenantShardedKnowledgeBase::new(),
+            tenant: TenantId::default(),
+        }
+    }
+
+    /// Seeds the deployer with a pre-existing two-key base (e.g. loaded
+    /// from disk, or [`TenantShardedKnowledgeBase::from_monolithic`]).
+    /// Call [`TenantShardedDeployer::warm`] afterwards to train the
+    /// shards without waiting for fresh runs.
+    pub fn with_knowledge_base(mut self, kb: TenantShardedKnowledgeBase) -> Self {
+        self.kb = kb;
+        self
+    }
+
+    /// Sets the tenant subsequent deploys are attributed to
+    /// (builder-style).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Switches the tenant subsequent deploys are attributed to. Do not
+    /// switch while pipeline decisions are in flight (see the type docs).
+    pub fn set_tenant(&mut self, tenant: TenantId) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant deploys are currently attributed to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// The current two-key knowledge base.
+    pub fn knowledge_base(&self) -> &TenantShardedKnowledgeBase {
+        &self.kb
+    }
+
+    /// Consumes the deployer, returning the two-key base (and dropping
+    /// this handle on the shared provider).
+    pub fn into_knowledge_base(self) -> TenantShardedKnowledgeBase {
+        self.kb
+    }
+
+    /// The two-key predictor (e.g. for offline evaluation).
+    pub fn predictor(&self) -> &TenantShardedPredictor {
+        &self.predictor
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &DeployPolicy {
+        &self.core.policy
+    }
+
+    /// The underlying cloud provider.
+    pub fn provider(&self) -> &CloudProvider {
+        &self.core.provider
+    }
+
+    /// Retrains every shard the transfer policy consults that holds
+    /// enough records — the bulk warm-up for a pre-seeded base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard-retrain failure.
+    pub fn warm(&mut self) -> Result<(), CoreError> {
+        self.core.policy.validate()?;
+        self.predictor
+            .retrain_all(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)
+    }
+
+    /// Deploys one job: the full select → run → record → retrain cycle
+    /// for the active tenant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation, Algorithm 1 (including
+    /// [`CoreError::NoFeasibleConfiguration`]) and cloud failures.
+    pub fn deploy(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+    ) -> Result<DeployOutcome, CoreError> {
+        Deployer::deploy(self, profile, workload)
+    }
+
+    /// Deploys with an operator-forced configuration (manual override);
+    /// the run is still recorded and learned from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud failures (unknown instance, zero nodes).
+    pub fn deploy_manual(
+        &mut self,
+        profile: &JobProfile,
+        workload: &Workload,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployOutcome, CoreError> {
+        Deployer::deploy_manual(self, profile, workload, instance, n_nodes)
+    }
+
+    /// Replays the two-key retrain schedule over the pending decisions
+    /// (attributed to the active tenant). The gates count global records,
+    /// local shard sizes and pooled shard sizes — all derivable from the
+    /// decisions' instances alone — so the virtual state is exact.
+    fn simulate_pending(&self, pending: &[DeployDecision]) -> TenantPendingSim {
+        let transfer = self.core.policy.transfer;
+        let min_samples = self.predictor.min_samples();
+        let mut len = self.kb.len();
+        let mut rsr = self.core.runs_since_retrain;
+        let mut retrain_pending = false;
+        let mut local = self.kb.local_lens(&self.tenant);
+        let mut pooled_lens: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut newly_local: BTreeSet<&str> = BTreeSet::new();
+        let mut newly_pooled: BTreeSet<&str> = BTreeSet::new();
+        for d in pending {
+            len += 1;
+            rsr += 1;
+            let local_len = local.entry(d.instance.clone()).or_insert(0);
+            *local_len += 1;
+            let pooled_len = pooled_lens
+                .entry(d.instance.as_str())
+                .or_insert_with(|| self.kb.pooled_shard(&d.instance).map_or(0, |s| s.len()));
+            *pooled_len += 1;
+            if rsr >= self.core.policy.retrain_every {
+                let mut fired = false;
+                if transfer.uses_local() && *local_len >= min_samples {
+                    newly_local.insert(d.instance.as_str());
+                    fired = true;
+                }
+                if transfer.uses_pooled() && *pooled_len >= min_samples {
+                    newly_pooled.insert(d.instance.as_str());
+                    fired = true;
+                }
+                if fired {
+                    retrain_pending = true;
+                    rsr = 0;
+                }
+            }
+        }
+        // Covered = every catalog type routes (with its virtual local
+        // count) to a family that is trained now or retrains among the
+        // pending records.
+        let virtual_covered = self.core.provider.catalog().names().iter().all(|n| {
+            let local_len = local.get(n.as_str()).copied().unwrap_or(0);
+            let use_local = match transfer {
+                TransferPolicy::Isolated => true,
+                TransferPolicy::Pooled => false,
+                TransferPolicy::BorrowUntil(k) => local_len >= k,
+            };
+            if use_local {
+                self.predictor.is_trained_local(n, &self.tenant) || newly_local.contains(n.as_str())
+            } else {
+                self.predictor.is_trained_pooled(n) || newly_pooled.contains(n.as_str())
+            }
+        });
+        TenantPendingSim {
+            sim: PendingSim {
+                virtual_len: len,
+                virtual_trained: virtual_covered,
+                retrain_pending,
+            },
+            virtual_local: local,
+        }
+    }
+}
+
+impl Deployer for TenantShardedDeployer {
+    fn policy(&self) -> &DeployPolicy {
+        &self.core.policy
+    }
+
+    fn provider(&self) -> &CloudProvider {
+        &self.core.provider
+    }
+
+    fn provider_handle(&self) -> Arc<CloudProvider> {
+        Arc::clone(&self.core.provider)
+    }
+
+    fn kb_len(&self) -> usize {
+        self.kb.len()
+    }
+
+    fn warm(&mut self) -> Result<(), CoreError> {
+        TenantShardedDeployer::warm(self)
+    }
+
+    fn selection_ready(&self, pending: &[DeployDecision]) -> bool {
+        let sim = self.simulate_pending(pending).sim;
+        sim.virtual_len < self.core.policy.min_kb_samples
+            || !sim.virtual_trained
+            || !sim.retrain_pending
+    }
+
+    fn select(
+        &mut self,
+        profile: &JobProfile,
+        pending: &[DeployDecision],
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        let decision_seed = self.core.next_decision_seed();
+
+        let sim = self.simulate_pending(pending);
+        if sim.sim.virtual_len < self.core.policy.min_kb_samples || !sim.sim.virtual_trained {
+            let (instance, n_nodes) = self.core.random_config(decision_seed);
+            return Ok(DeployDecision {
+                mode: DeployMode::Bootstrap,
+                instance,
+                n_nodes,
+                predicted_secs: None,
+            });
+        }
+        let view = self.predictor.view(&self.tenant, sim.virtual_local);
+        self.core.ml_select(&view, profile, decision_seed)
+    }
+
+    fn begin_manual(
+        &mut self,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        self.core.deploy_counter += 1;
+        Ok(DeployDecision {
+            mode: DeployMode::Manual,
+            instance: instance.to_string(),
+            n_nodes,
+            predicted_secs: None,
+        })
+    }
+
+    fn record(
+        &mut self,
+        profile: &JobProfile,
+        decision: &DeployDecision,
+        report: &JobReport,
+    ) -> Result<(), CoreError> {
+        let inst = self.core.provider.catalog().get(&decision.instance)?.clone();
+        self.kb.record(
+            RunRecord::new(
+                *profile,
+                &inst,
+                decision.n_nodes,
+                report.duration_secs,
+                report.prorated_cost,
+            )
+            .with_tenant(self.tenant.clone()),
+        );
+        self.core.runs_since_retrain += 1;
+        if self.core.runs_since_retrain >= self.core.policy.retrain_every {
+            let transfer = self.core.policy.transfer;
+            let n_threads = self.core.policy.n_threads;
+            let mut fired = false;
+            if transfer.uses_local() {
+                let shard = self
+                    .kb
+                    .shard(&decision.instance, &self.tenant)
+                    .expect("record() created the shard");
+                if shard.len() >= self.predictor.min_samples() {
+                    self.predictor.retrain_local(
+                        &decision.instance,
+                        &self.tenant,
+                        shard,
+                        RetrainMode::Incremental,
+                        n_threads,
+                    )?;
+                    fired = true;
+                }
+            }
+            if transfer.uses_pooled() {
+                let shard = self
+                    .kb
+                    .pooled_shard(&decision.instance)
+                    .expect("record() created the pooled shard");
+                if shard.len() >= self.predictor.min_samples() {
+                    self.predictor.retrain_pooled(
+                        &decision.instance,
+                        shard,
+                        RetrainMode::Incremental,
+                        n_threads,
+                    )?;
+                    fired = true;
+                }
+            }
+            if fired {
+                self.core.runs_since_retrain = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::ShardedDeployer;
+    use disar_cloudsim::InstanceCatalog;
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    fn workload(contracts: usize) -> Workload {
+        Workload::new(
+            30.0 * contracts as f64,
+            0.02 * contracts as f64,
+            0.8 * contracts as f64,
+            0.05,
+        )
+        .unwrap()
+    }
+
+    /// An interleaved two-tenant record stream.
+    fn mixed_records(n: usize) -> Vec<RunRecord> {
+        let cat = InstanceCatalog::paper_catalog();
+        let names = cat.names();
+        let tenants = [TenantId::new("acme-life"), TenantId::new("bolt-re")];
+        (0..n)
+            .map(|i| {
+                let inst = cat.get(&names[i % names.len()]).unwrap();
+                RunRecord::new(
+                    profile(50 + (i * 37) % 400),
+                    inst,
+                    i % 4 + 1,
+                    10.0 + i as f64,
+                    0.01 * i as f64,
+                )
+                .with_tenant(tenants[i % tenants.len()].clone())
+            })
+            .collect()
+    }
+
+    fn test_policy(transfer: TransferPolicy) -> DeployPolicy {
+        DeployPolicy::builder(50_000.0)
+            .max_nodes(4)
+            .min_kb_samples(8)
+            .n_threads(1)
+            .transfer(transfer)
+            .build()
+    }
+
+    #[test]
+    fn two_key_routing_and_local_lens() {
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in mixed_records(24) {
+            kb.record(r);
+        }
+        let n_types = InstanceCatalog::paper_catalog().names().len();
+        assert_eq!(kb.len(), 24);
+        assert_eq!(kb.tenants().len(), 2);
+        assert_eq!(kb.shard_count(), n_types * 2);
+        let a = TenantId::new("acme-life");
+        for ((instance, tenant), shard) in kb.shards() {
+            assert!(shard
+                .records()
+                .iter()
+                .all(|r| r.instance == *instance && r.tenant == *tenant));
+            assert_eq!(shard.len(), 2);
+        }
+        // Pooled copies aggregate both tenants per instance type.
+        for (name, pooled) in kb.pooled_shards() {
+            assert_eq!(pooled.len(), 4);
+            assert!(pooled.records().iter().all(|r| r.instance == name));
+        }
+        let lens = kb.local_lens(&a);
+        assert_eq!(lens.len(), n_types);
+        assert!(lens.values().all(|&l| l == 2));
+        assert!(kb.shard("c3.4xlarge", &TenantId::new("nobody")).is_none());
+    }
+
+    #[test]
+    fn arrival_order_survives_two_key_sharding() {
+        let records = mixed_records(25);
+        let mut kb = TenantShardedKnowledgeBase::new();
+        let mut mono = KnowledgeBase::new();
+        for r in &records {
+            kb.record(r.clone());
+            mono.record(r.clone());
+        }
+        let replayed: Vec<&RunRecord> = kb.records_in_arrival_order().collect();
+        assert_eq!(replayed.len(), records.len());
+        for (got, want) in replayed.iter().zip(&records) {
+            assert_eq!(*got, want);
+        }
+        assert_eq!(kb.to_monolithic(), mono);
+        assert_eq!(TenantShardedKnowledgeBase::from_monolithic(&mono), kb);
+        // Pooled copies preserve per-instance arrival order too.
+        for (name, pooled) in kb.pooled_shards() {
+            let want: Vec<&RunRecord> =
+                records.iter().filter(|r| r.instance == name).collect();
+            assert_eq!(pooled.records().iter().collect::<Vec<_>>(), want);
+        }
+    }
+
+    #[test]
+    fn save_load_rebuilds_pooled_copies() {
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in mixed_records(18) {
+            kb.record(r);
+        }
+        let dir = std::env::temp_dir().join("disar-tkb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tkb.json");
+        kb.save(&path).unwrap();
+        let loaded = TenantShardedKnowledgeBase::load(&path).unwrap();
+        assert_eq!(kb, loaded);
+        assert_eq!(loaded.to_monolithic(), kb.to_monolithic());
+        for (name, pooled) in kb.pooled_shards() {
+            assert_eq!(loaded.pooled_shard(name).unwrap(), pooled);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transfer_policy_routing_table() {
+        assert!(TransferPolicy::Isolated.uses_local());
+        assert!(!TransferPolicy::Isolated.uses_pooled());
+        assert!(!TransferPolicy::Pooled.uses_local());
+        assert!(TransferPolicy::Pooled.uses_pooled());
+        assert!(TransferPolicy::BorrowUntil(5).uses_local());
+        assert!(TransferPolicy::BorrowUntil(5).uses_pooled());
+    }
+
+    /// Trains local families for tenant A and a pooled family, then checks
+    /// each policy routes queries to the family it promises.
+    #[test]
+    fn routing_respects_transfer_policy() {
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in mixed_records(48) {
+            kb.record(r);
+        }
+        let a = TenantId::new("acme-life");
+        let instance = "c3.4xlarge";
+        let local_shard = kb.shard(instance, &a).unwrap();
+        let pooled_shard = kb.pooled_shard(instance).unwrap();
+
+        for transfer in [
+            TransferPolicy::Isolated,
+            TransferPolicy::Pooled,
+            TransferPolicy::BorrowUntil(3),
+        ] {
+            let mut p = TenantShardedPredictor::new(7, 2, transfer);
+            if transfer.uses_local() {
+                p.retrain_local(instance, &a, local_shard, RetrainMode::Incremental, 1)
+                    .unwrap();
+            }
+            if transfer.uses_pooled() {
+                p.retrain_pooled(instance, pooled_shard, RetrainMode::Incremental, 1)
+                    .unwrap();
+            }
+            // Reference families trained on the same shards.
+            let mut local_ref = PredictorFamily::new(7, 2);
+            local_ref
+                .retrain(local_shard, RetrainMode::Incremental, 1)
+                .unwrap();
+            let mut pooled_ref = PredictorFamily::new(7, 2);
+            pooled_ref
+                .retrain(pooled_shard, RetrainMode::Incremental, 1)
+                .unwrap();
+
+            let cat = InstanceCatalog::paper_catalog();
+            let inst = cat.get(instance).unwrap();
+            let below = p.route(instance, &a, 2).unwrap();
+            let above = p.route(instance, &a, 3).unwrap();
+            let (want_below, want_above): (&PredictorFamily, &PredictorFamily) = match transfer {
+                TransferPolicy::Isolated => (&local_ref, &local_ref),
+                TransferPolicy::Pooled => (&pooled_ref, &pooled_ref),
+                TransferPolicy::BorrowUntil(_) => (&pooled_ref, &local_ref),
+            };
+            for (got, want) in [(below, want_below), (above, want_above)] {
+                assert_eq!(
+                    got.predict_each(&profile(123), inst, 2).unwrap(),
+                    want.predict_each(&profile(123), inst, 2).unwrap(),
+                    "routing diverged under {transfer:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_tenant_isolated_matches_sharded_deployer() {
+        // The acceptance invariant, deterministic edition: one tenant,
+        // Isolated transfer → selections, outcomes and the canonical KB
+        // stream are bit-identical to the instance-sharded backend.
+        let run_tenant = || {
+            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 23);
+            let mut d =
+                TenantShardedDeployer::new(provider, test_policy(TransferPolicy::Isolated), 23);
+            let outs: Vec<DeployOutcome> = (0..30)
+                .map(|i| {
+                    let c = 70 + (i * 13) % 250;
+                    d.deploy(&profile(c), &workload(c)).unwrap()
+                })
+                .collect();
+            (outs, d.into_knowledge_base().to_monolithic())
+        };
+        let run_sharded = || {
+            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 23);
+            let mut d = ShardedDeployer::new(provider, test_policy(TransferPolicy::Isolated), 23);
+            let outs: Vec<DeployOutcome> = (0..30)
+                .map(|i| {
+                    let c = 70 + (i * 13) % 250;
+                    d.deploy(&profile(c), &workload(c)).unwrap()
+                })
+                .collect();
+            (outs, d.into_knowledge_base().to_monolithic())
+        };
+        let (t_outs, t_kb) = run_tenant();
+        let (s_outs, s_kb) = run_sharded();
+        assert_eq!(t_outs, s_outs);
+        assert_eq!(t_kb, s_kb);
+    }
+
+    #[test]
+    fn pooled_transfer_lets_a_new_tenant_skip_bootstrap() {
+        // Tenant A bootstraps the pooled families; a fresh tenant B then
+        // deploys ML-first under Pooled, but must re-bootstrap under
+        // Isolated.
+        let reach_ml = |d: &mut TenantShardedDeployer| {
+            for i in 0..200 {
+                let c = 80 + (i * 19) % 300;
+                if d.deploy(&profile(c), &workload(c)).unwrap().mode != DeployMode::Bootstrap {
+                    return true;
+                }
+            }
+            false
+        };
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 31);
+        let mut pooled =
+            TenantShardedDeployer::new(provider, test_policy(TransferPolicy::Pooled), 31)
+                .with_tenant(TenantId::new("acme-life"));
+        assert!(reach_ml(&mut pooled), "tenant A never reached the ML phase");
+        pooled.set_tenant(TenantId::new("bolt-re"));
+        let out = pooled.deploy(&profile(150), &workload(150)).unwrap();
+        assert!(
+            matches!(out.mode, DeployMode::MlGreedy | DeployMode::MlExplored),
+            "pooled transfer should serve the new tenant immediately"
+        );
+
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 31);
+        let mut isolated =
+            TenantShardedDeployer::new(provider, test_policy(TransferPolicy::Isolated), 31)
+                .with_tenant(TenantId::new("acme-life"));
+        assert!(reach_ml(&mut isolated), "tenant A never reached the ML phase");
+        isolated.set_tenant(TenantId::new("bolt-re"));
+        let out = isolated.deploy(&profile(150), &workload(150)).unwrap();
+        assert_eq!(
+            out.mode,
+            DeployMode::Bootstrap,
+            "isolated tenants must not see each other's knowledge"
+        );
+    }
+
+    #[test]
+    fn borrow_until_switches_from_pooled_to_local() {
+        // Under BorrowUntil(n), a tenant's routing flips to its own family
+        // exactly when its local count on the instance reaches n.
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in mixed_records(48) {
+            kb.record(r);
+        }
+        let a = TenantId::new("acme-life");
+        let instance = "c3.4xlarge";
+        let mut p = TenantShardedPredictor::new(3, 2, TransferPolicy::BorrowUntil(4));
+        p.retrain_local(
+            instance,
+            &a,
+            kb.shard(instance, &a).unwrap(),
+            RetrainMode::Incremental,
+            1,
+        )
+        .unwrap();
+        p.retrain_pooled(
+            instance,
+            kb.pooled_shard(instance).unwrap(),
+            RetrainMode::Incremental,
+            1,
+        )
+        .unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get(instance).unwrap();
+        let predict = |lens: usize| {
+            let view = p.view(&a, BTreeMap::from([(instance.to_string(), lens)]));
+            view.predict_each(&profile(123), inst, 2).unwrap()
+        };
+        assert_eq!(predict(0), predict(3), "below the threshold: pooled");
+        assert_eq!(predict(4), predict(9), "at/past the threshold: local");
+        assert_ne!(
+            predict(3),
+            predict(4),
+            "pooled and local families should differ on a two-tenant base"
+        );
+    }
+
+    #[test]
+    fn warm_trains_preseeded_two_key_base() {
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in mixed_records(48) {
+            kb.record(r);
+        }
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 41);
+        let mut d = TenantShardedDeployer::new(
+            provider,
+            test_policy(TransferPolicy::BorrowUntil(10)),
+            41,
+        )
+        .with_knowledge_base(kb)
+        .with_tenant(TenantId::new("acme-life"));
+        d.warm().unwrap();
+        let n_types = InstanceCatalog::paper_catalog().names().len();
+        // Both tenants' local families and every pooled family trained.
+        assert_eq!(d.predictor().trained_local_shards(), n_types * 2);
+        for name in InstanceCatalog::paper_catalog().names() {
+            assert!(d.predictor().is_trained_pooled(&name));
+        }
+        // Local counts (2 each) sit below BorrowUntil(10): the first
+        // selection routes pooled and is ML immediately.
+        let out = d.deploy(&profile(150), &workload(150)).unwrap();
+        assert!(matches!(
+            out.mode,
+            DeployMode::MlGreedy | DeployMode::MlExplored
+        ));
+    }
+
+    #[test]
+    fn tenant_readiness_tracks_two_key_gates() {
+        // Mirrors the sharded readiness test: once in the ML phase with
+        // retrain_every = 1, any pending record fires a retrain → not
+        // ready; an empty pending set is always ready.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 53);
+        let mut d =
+            TenantShardedDeployer::new(provider, test_policy(TransferPolicy::Isolated), 53);
+        let mut ml = false;
+        for i in 0..120 {
+            let c = 60 + (i * 29) % 280;
+            if d.deploy(&profile(c), &workload(c)).unwrap().mode != DeployMode::Bootstrap {
+                ml = true;
+                break;
+            }
+        }
+        assert!(ml, "ML phase never reached");
+        let pending = vec![DeployDecision {
+            mode: DeployMode::Manual,
+            instance: "c3.4xlarge".to_string(),
+            n_nodes: 1,
+            predicted_secs: None,
+        }];
+        assert!(d.selection_ready(&[]));
+        assert!(!d.selection_ready(&pending));
+    }
+}

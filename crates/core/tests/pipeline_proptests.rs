@@ -54,14 +54,12 @@ fn jobs(n_jobs: usize, forced_every: usize) -> Vec<PipelineJob> {
 }
 
 fn policy(min_kb_samples: usize, retrain_every: usize) -> DeployPolicy {
-    DeployPolicy {
-        t_max_secs: 50_000.0,
-        epsilon: 0.05,
-        max_nodes: 4,
-        min_kb_samples,
-        retrain_every,
-        n_threads: 1,
-    }
+    DeployPolicy::builder(50_000.0)
+        .max_nodes(4)
+        .min_kb_samples(min_kb_samples)
+        .retrain_every(retrain_every)
+        .n_threads(1)
+        .build()
 }
 
 /// The pre-existing sequential loop, as the reference implementation.

@@ -4,8 +4,8 @@ use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
 use disar_core::deploy::{DeployPolicy, TransparentDeployer};
 use disar_core::{
     select_configuration, select_configuration_with_rule, select_hetero_configuration,
-    CoreError, JobProfile, KnowledgeBase, PredictorFamily, RunRecord, ShardedKnowledgeBase,
-    TimeEstimate,
+    CoreError, JobProfile, KnowledgeBase, PredictorFamily, RetrainMode, RunRecord,
+    ShardedKnowledgeBase, TimeEstimate,
 };
 use disar_engine::EebCharacteristics;
 use proptest::prelude::*;
@@ -40,7 +40,7 @@ fn family() -> &'static (PredictorFamily, InstanceCatalog) {
             kb.record(RunRecord::new(profile(contracts), inst, nodes, time, 0.0));
         }
         let mut fam = PredictorFamily::new(5, 2);
-        fam.retrain(&kb).expect("large enough");
+        fam.retrain(&kb, RetrainMode::Full, 1).expect("large enough");
         (fam, cat)
     })
 }
@@ -169,10 +169,12 @@ proptest! {
                 continue;
             }
             let mut from_shard = PredictorFamily::new(9, 2);
-            from_shard.retrain(shard).expect("enough records");
+            from_shard
+                .retrain(shard, RetrainMode::Full, 1)
+                .expect("enough records");
             let mut from_filter = PredictorFamily::new(9, 2);
             from_filter
-                .retrain(&mono.for_instance(name))
+                .retrain(&mono.for_instance(name), RetrainMode::Full, 1)
                 .expect("enough records");
             let inst = cat.get(name).expect("known");
             for nodes in 1..3usize {
@@ -196,14 +198,13 @@ proptest! {
     fn deployer_accounting(seed in 0u64..50, deploys in 1usize..8) {
         let run = |seed: u64| {
             let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
-            let policy = DeployPolicy {
-                t_max_secs: 1e6,
-                epsilon: 0.1,
-                max_nodes: 4,
-                min_kb_samples: 3,
-                retrain_every: 2,
-                n_threads: 1,
-            };
+            let policy = DeployPolicy::builder(1e6)
+                .epsilon(0.1)
+                .max_nodes(4)
+                .min_kb_samples(3)
+                .retrain_every(2)
+                .n_threads(1)
+                .build();
             let mut d = TransparentDeployer::new(provider, policy, seed);
             let wl = Workload::new(5_000.0, 4.0, 40.0, 0.05).expect("valid");
             let mut picks = Vec::new();

@@ -5,7 +5,7 @@
 //! Weka defaults: 100 trees, `⌊log₂ d⌋ + 1` features per split.
 
 use crate::dataset::Dataset;
-use crate::regressor::Regressor;
+use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::tree::RandomTree;
 use crate::MlError;
 use disar_math::rng::split_seed;
@@ -34,6 +34,8 @@ pub struct RandomForest {
     max_depth: usize,
     seed: u64,
     trees: Vec<RandomTree>,
+    #[serde(default)]
+    fitted_len: usize,
 }
 
 impl RandomForest {
@@ -45,6 +47,7 @@ impl RandomForest {
             max_depth: 64,
             seed,
             trees: Vec::new(),
+            fitted_len: 0,
         }
     }
 
@@ -74,6 +77,7 @@ impl RandomForest {
             max_depth,
             seed,
             trees: Vec::new(),
+            fitted_len: 0,
         })
     }
 
@@ -120,6 +124,7 @@ impl Regressor for RandomForest {
             trees.push(tree);
         }
         self.trees = trees;
+        self.fitted_len = data.len();
         Ok(())
     }
 
@@ -136,6 +141,45 @@ impl Regressor for RandomForest {
 
     fn name(&self) -> &str {
         "RF"
+    }
+
+    fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
+        Some(self)
+    }
+}
+
+impl IncrementalRegressor for RandomForest {
+    /// Suffix retrain by subsampling: the forest is re-bagged on
+    /// [`Dataset::suffix_subsample`] — every appended row plus a
+    /// deterministic sample of the history. Inexact
+    /// ([`IncrementalRegressor::exact`] is `false`); exact callers keep
+    /// the from-scratch refit.
+    fn partial_fit(&mut self, data: &Dataset, from: usize) -> Result<(), MlError> {
+        if self.trees.is_empty() && from == 0 {
+            return self.fit(data);
+        }
+        if from != self.fitted_len || from > data.len() {
+            return Err(MlError::IncrementalMismatch {
+                fitted: self.fitted_len,
+                from,
+            });
+        }
+        if from == data.len() {
+            return Ok(());
+        }
+        let sample = data.suffix_subsample(from, split_seed(self.seed, from as u64) ^ 0xF0BE);
+        self.fit(&sample)?;
+        // The fit trained on the subsample; the cursor tracks the source.
+        self.fitted_len = data.len();
+        Ok(())
+    }
+
+    fn fitted_len(&self) -> usize {
+        self.fitted_len
+    }
+
+    fn exact(&self) -> bool {
+        false
     }
 }
 
@@ -232,6 +276,61 @@ mod tests {
         assert_eq!(imp.len(), 2);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[0] > imp[1], "signal must dominate: {imp:?}");
+    }
+
+    #[test]
+    fn partial_fit_from_zero_matches_fit() {
+        let d = wavy(60);
+        let mut a = RandomForest::new(10, 1, 64, 6).unwrap();
+        a.partial_fit(&d, 0).unwrap();
+        let mut b = RandomForest::new(10, 1, 64, 6).unwrap();
+        b.fit(&d).unwrap();
+        assert_eq!(a.fitted_len(), 60);
+        for i in 0..d.len() {
+            assert_eq!(
+                a.predict(d.get(i).0).unwrap().to_bits(),
+                b.predict(d.get(i).0).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_fit_is_inexact_and_deterministic() {
+        assert!(!RandomForest::with_defaults(0).exact());
+        let d = wavy(140);
+        let prefix = d.filter(|i| i < 120);
+        let warm = || {
+            let mut rf = RandomForest::new(10, 1, 64, 8).unwrap();
+            rf.fit(&prefix).unwrap();
+            rf.partial_fit(&d, 120).unwrap();
+            rf
+        };
+        let a = warm();
+        let b = warm();
+        assert_eq!(a.fitted_len(), 140);
+        for i in 0..d.len() {
+            assert_eq!(
+                a.predict(d.get(i).0).unwrap().to_bits(),
+                b.predict(d.get(i).0).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_fit_rejects_mismatched_cursor() {
+        let d = wavy(50);
+        let mut rf = RandomForest::new(5, 1, 64, 2).unwrap();
+        rf.fit(&d).unwrap();
+        assert!(matches!(
+            rf.partial_fit(&d, 10),
+            Err(MlError::IncrementalMismatch {
+                fitted: 50,
+                from: 10
+            })
+        ));
+        let before = rf.predict(&[2.0]).unwrap();
+        rf.partial_fit(&d, d.len()).unwrap();
+        assert_eq!(rf.predict(&[2.0]).unwrap(), before);
     }
 
     #[test]

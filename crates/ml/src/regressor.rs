@@ -31,9 +31,10 @@ pub trait Regressor: Send + Sync {
     /// Downcast hook to the model's incremental-learning capability.
     ///
     /// Models with append-only training state ([`IbK`], [`KStar`]) and
-    /// models with a cheaper warm-start continuation ([`Mlp`]) override
-    /// this to return `Some`; everything else keeps the `None` default and
-    /// callers fall back to a full [`Regressor::fit`] behind the same API.
+    /// models with a cheaper warm-start continuation ([`Mlp`],
+    /// [`RandomTree`], [`RandomForest`]) override this to return `Some`;
+    /// everything else keeps the `None` default and callers fall back to a
+    /// full [`Regressor::fit`] behind the same API.
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         None
     }
@@ -52,8 +53,10 @@ pub trait Regressor: Send + Sync {
 /// * **exact** (`exact() == true`, e.g. [`IbK`], [`KStar`]): append-only
 ///   training state; predictions after `partial_fit` are the same *to the
 ///   bit* as a fresh [`Regressor::fit`] on all of `data`;
-/// * **inexact** (`exact() == false`, e.g. [`Mlp`]): the previous fit
-///   warm-starts a cheaper continuation — deterministic, but numerically
+/// * **inexact** (`exact() == false`, e.g. [`Mlp`], [`RandomTree`],
+///   [`RandomForest`]): the previous fit warm-starts a cheaper
+///   continuation — an MLP continues from its weights, tree models regrow
+///   on [`Dataset::suffix_subsample`] — deterministic, but numerically
 ///   different from a from-scratch fit.
 pub trait IncrementalRegressor: Regressor {
     /// Extends the fit with the rows `data.rows()[from..]`.

@@ -8,7 +8,7 @@
 
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
 use disar_suite::core::deploy::{DeployPolicy, TransparentDeployer};
-use disar_suite::core::{select_configuration, CoreError, JobProfile, PredictorFamily};
+use disar_suite::core::{select_configuration, CoreError, JobProfile, PredictorFamily, RetrainMode};
 use disar_suite::engine::EebCharacteristics;
 use disar_suite::math::rng::stream_rng;
 use rand::Rng;
@@ -16,14 +16,11 @@ use rand::Rng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Warm a knowledge base with 150 varied runs (bootstrap + ML).
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 3);
-    let policy = DeployPolicy {
-        t_max_secs: 50_000.0,
-        epsilon: 0.15, // explore hard while warming up
-        max_nodes: 8,
-        min_kb_samples: 30,
-        retrain_every: 5,
-        n_threads: 1,
-    };
+    let policy = DeployPolicy::builder(50_000.0)
+        .epsilon(0.15) // explore hard while warming up
+        .retrain_every(5)
+        .n_threads(1)
+        .build();
     let mut deployer = TransparentDeployer::new(provider, policy, 3);
     let mut rng = stream_rng(17, 0);
     for _ in 0..150 {
@@ -64,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n_inner: 50,
     };
     let mut family = PredictorFamily::new(9, 2);
-    family.retrain(deployer.knowledge_base())?;
+    family.retrain(deployer.knowledge_base(), RetrainMode::Full, 1)?;
 
     println!(
         "{:>9} | {:>12} {:>3} | {:>10} | {:>10} | feasible",

@@ -10,7 +10,7 @@
 
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog};
 use disar_suite::core::deploy::{DeployMode, DeployPolicy, TransparentDeployer};
-use disar_suite::core::{select_configuration, JobProfile, PredictorFamily};
+use disar_suite::core::{select_configuration, JobProfile, PredictorFamily, RetrainMode};
 use disar_suite::engine::EebCharacteristics;
 use disar_suite::math::rng::stream_rng;
 use disar_suite::math::stats;
@@ -43,14 +43,10 @@ fn job(contracts: usize, horizon: u32) -> (JobProfile, disar_suite::cloudsim::Wo
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_max = 2_000.0;
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 1);
-    let policy = DeployPolicy {
-        t_max_secs: t_max,
-        epsilon: 0.05,
-        max_nodes: 8,
-        min_kb_samples: 25,
-        retrain_every: 1,
-        n_threads: 1,
-    };
+    let policy = DeployPolicy::builder(t_max)
+        .min_kb_samples(25)
+        .n_threads(1)
+        .build();
     let mut deployer = TransparentDeployer::new(provider, policy, 1);
     let mut rng = stream_rng(99, 0);
 
@@ -89,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nAlgorithm 1 view of a 400-contract / 25-year job:");
     let (profile, _) = job(400, 25);
     let mut family = PredictorFamily::new(5, 2);
-    family.retrain(deployer.knowledge_base())?;
+    family.retrain(deployer.knowledge_base(), RetrainMode::Full, 1)?;
     let sel = select_configuration(
         &family,
         deployer.provider().catalog(),

@@ -13,7 +13,7 @@
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
 use disar_suite::core::{
     select_configuration, select_hetero_configuration, CoreError, JobProfile, KnowledgeBase,
-    PredictorFamily, RunRecord,
+    PredictorFamily, RetrainMode, RunRecord,
 };
 use disar_suite::engine::EebCharacteristics;
 
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     let mut family = PredictorFamily::new(3, 2);
-    family.retrain(&kb)?;
+    family.retrain(&kb, RetrainMode::Full, 1)?;
     println!("trained on {} homogeneous runs\n", kb.len());
 
     // Sweep deadlines on a big job with a tight 3-node budget.

@@ -53,14 +53,11 @@ fn full_pipeline_local_and_cloud() {
 fn self_optimizing_loop_learns_and_persists() {
     let master = DisarMaster::new(tiny_spec(33)).expect("valid spec");
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 9);
-    let policy = DeployPolicy {
-        t_max_secs: 10_000.0,
-        epsilon: 0.05,
-        max_nodes: 4,
-        min_kb_samples: 5,
-        retrain_every: 1,
-        n_threads: 1,
-    };
+    let policy = DeployPolicy::builder(10_000.0)
+        .max_nodes(4)
+        .min_kb_samples(5)
+        .n_threads(1)
+        .build();
     let mut deployer = TransparentDeployer::new(provider, policy, 9);
 
     let mut saw_ml = false;
@@ -104,14 +101,11 @@ fn sharded_deployer_learns_routes_and_persists() {
     let workload = master.cloud_workload().expect("workload");
 
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 13);
-    let policy = DeployPolicy {
-        t_max_secs: 50_000.0,
-        epsilon: 0.05,
-        max_nodes: 4,
-        min_kb_samples: 8,
-        retrain_every: 1,
-        n_threads: 1,
-    };
+    let policy = DeployPolicy::builder(50_000.0)
+        .max_nodes(4)
+        .min_kb_samples(8)
+        .n_threads(1)
+        .build();
     let mut deployer = ShardedDeployer::new(provider, policy, 13);
 
     // The sharded bootstrap runs until every catalog type has a trained
@@ -217,16 +211,16 @@ fn knowledge_transfers_across_companies() {
     // new company's execution times far better than the global-mean
     // baseline.
     use disar_bench::campaign::{paper_eeb_jobs, CampaignConfig};
-    use disar_suite::core::{KnowledgeBase, PredictorFamily, RunRecord};
+    use disar_suite::core::{KnowledgeBase, PredictorFamily, RetrainMode, RunRecord};
 
-    let cfg = CampaignConfig {
-        n_runs: 0,
-        n_outer: 500,
-        n_inner: 30,
-        max_nodes: 4,
-        seed: 404,
-        n_threads: 1,
-    };
+    let cfg = CampaignConfig::builder()
+        .n_runs(0)
+        .n_outer(500)
+        .n_inner(30)
+        .max_nodes(4)
+        .seed(404)
+        .n_threads(1)
+        .build();
     let jobs = paper_eeb_jobs(&cfg);
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 404);
     let names = provider.catalog().names();
@@ -255,7 +249,7 @@ fn knowledge_transfers_across_companies() {
         }
     }
     let mut family = PredictorFamily::new(1, 2);
-    family.retrain(&kb).expect("trains");
+    family.retrain(&kb, RetrainMode::Full, 1).expect("trains");
     let train_mean = disar_suite::math::stats::mean(
         &kb.records().iter().map(|r| r.duration_secs).collect::<Vec<_>>(),
     );
@@ -283,6 +277,87 @@ fn knowledge_transfers_across_companies() {
         "transfer MAE {mae_model:.1}s should halve the baseline {mae_base:.1}s"
     );
     assert!(mae_model < 100.0, "absolute transfer MAE {mae_model:.1}s");
+}
+
+#[test]
+fn multi_tenant_campaign_transfers_and_persists() {
+    // Two insurance companies share one provisioner through the two-key
+    // (instance × tenant) knowledge base: company A learns from scratch,
+    // then company B onboards under `TransferPolicy::Pooled` and skips the
+    // bootstrap entirely — A's runs already trained the pooled shards.
+    use disar_suite::core::tenant::{TenantId, TenantShardedDeployer, TenantShardedKnowledgeBase};
+    use disar_suite::core::{JobProfile, TransferPolicy};
+    use disar_suite::engine::EebCharacteristics;
+
+    let profile = |contracts: usize| JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 200,
+        n_inner: 20,
+    };
+    let master = DisarMaster::new(tiny_spec(66)).expect("valid spec");
+    let workload = master.cloud_workload().expect("workload");
+
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 17);
+    let policy = DeployPolicy::builder(50_000.0)
+        .max_nodes(4)
+        .min_kb_samples(8)
+        .n_threads(1)
+        .transfer(TransferPolicy::Pooled)
+        .build();
+    let a = TenantId::new("company-A");
+    let b = TenantId::new("company-B");
+    let mut deployer =
+        TenantShardedDeployer::new(provider, policy, 17).with_tenant(a.clone());
+
+    // Company A's campaign: bootstrap → ML.
+    let mut saw_ml = false;
+    for i in 0..60 {
+        let out = deployer
+            .deploy(&profile(80 + i * 9), &workload)
+            .expect("deploys succeed");
+        if matches!(out.mode, DeployMode::MlGreedy | DeployMode::MlExplored) {
+            saw_ml = true;
+        }
+    }
+    assert!(saw_ml, "company A must reach the ML phase");
+
+    // Company B onboards on pooled knowledge: not a single bootstrap run.
+    deployer.set_tenant(b.clone());
+    for i in 0..12 {
+        let out = deployer
+            .deploy(&profile(100 + i * 13), &workload)
+            .expect("deploys succeed");
+        assert!(
+            !matches!(out.mode, DeployMode::Bootstrap),
+            "pooled transfer must spare company B the bootstrap (deploy {i})"
+        );
+    }
+
+    // The two-key base kept the companies' records apart…
+    let kb = deployer.knowledge_base();
+    assert_eq!(kb.len(), 72);
+    assert_eq!(kb.tenants(), vec![a.clone(), b.clone()]);
+    assert_eq!(kb.local_lens(&a).values().sum::<usize>(), 60);
+    assert_eq!(kb.local_lens(&b).values().sum::<usize>(), 12);
+    // …while the canonical stream still reassembles in arrival order.
+    let mono = kb.to_monolithic();
+    assert!(mono.records()[..60].iter().all(|r| r.tenant == a));
+    assert!(mono.records()[60..].iter().all(|r| r.tenant == b));
+
+    // Persistence round-trip, pooled copies rebuilt on load.
+    let dir = std::env::temp_dir().join("disar-e2e-tenant");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("tkb.json");
+    kb.save(&path).expect("save tenant kb");
+    let loaded = TenantShardedKnowledgeBase::load(&path).expect("load tenant kb");
+    assert_eq!(&loaded, kb);
+    assert_eq!(loaded.to_monolithic(), mono);
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -7,7 +7,7 @@ use disar_suite::actuarial::lapse::{ConstantLapse, LapseModel};
 use disar_suite::actuarial::mortality::LifeTable;
 use disar_suite::cloudsim::billing::{prorated_cost, BillingPolicy};
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
-use disar_suite::core::{select_configuration, CoreError, PredictorFamily};
+use disar_suite::core::{select_configuration, CoreError, PredictorFamily, RetrainMode};
 use disar_suite::engine::scheduler::lpt_schedule;
 use disar_suite::math::poly::{MultiBasis, PolyFamily};
 use disar_suite::math::stats;
@@ -19,16 +19,20 @@ use std::sync::OnceLock;
 fn trained_family() -> &'static (PredictorFamily, Vec<EebJob>) {
     static FAMILY: OnceLock<(PredictorFamily, Vec<EebJob>)> = OnceLock::new();
     FAMILY.get_or_init(|| {
-        let (kb, _, jobs) = build_knowledge_base(&CampaignConfig {
-            n_runs: 120,
-            n_outer: 200,
-            n_inner: 20,
-            max_nodes: 4,
-            seed: 11,
-            n_threads: 1,
-        });
+        let (kb, _, jobs) = build_knowledge_base(
+            &CampaignConfig::builder()
+                .n_runs(120)
+                .n_outer(200)
+                .n_inner(20)
+                .max_nodes(4)
+                .seed(11)
+                .n_threads(1)
+                .build(),
+        );
         let mut family = PredictorFamily::new(1, 2);
-        family.retrain(&kb).expect("120 runs are enough");
+        family
+            .retrain(&kb, RetrainMode::Full, 1)
+            .expect("120 runs are enough");
         (family, jobs)
     })
 }
