@@ -1,0 +1,170 @@
+//! Concurrent deploy-service throughput: end-to-end jobs/sec through
+//! [`DeployService`] as the tenant count scales 1 → 64, with every tenant
+//! driving the full select → run → record → ingest cycle (snapshot reads
+//! on the hot path, shard-lock writes, batched incremental retrains).
+//!
+//! Like `kb_tenant`, this is a hand-rolled harness (`harness = false`)
+//! because the raw medians are persisted: rows land in
+//! `BENCH_service.json` at the repo root, where the CI history can diff
+//! them. Regenerate with
+//!
+//! ```text
+//! cargo bench -p disar-bench --bench service_throughput
+//! ```
+
+use disar_cloudsim::{InstanceCatalog, Workload};
+use disar_core::tenant::TransferPolicy;
+use disar_core::{
+    DeployPolicy, DeployService, JobProfile, PipelineJob, ServiceConfig, TenantId,
+};
+use disar_engine::EebCharacteristics;
+use serde::Serialize;
+use std::time::Instant;
+
+const TENANT_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+const JOBS_PER_TENANT: usize = 12;
+
+fn profile(contracts: usize) -> JobProfile {
+    JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    }
+}
+
+fn workload(contracts: usize) -> Workload {
+    Workload::new(
+        30.0 * contracts as f64,
+        0.02 * contracts as f64,
+        0.8 * contracts as f64,
+        0.05,
+    )
+    .expect("valid workload")
+}
+
+fn policy() -> DeployPolicy {
+    DeployPolicy::builder(50_000.0)
+        .max_nodes(4)
+        .min_kb_samples(6)
+        .retrain_every(1)
+        .n_threads(1)
+        .transfer(TransferPolicy::Isolated)
+        .build()
+}
+
+fn schedule(ix: usize) -> Vec<PipelineJob> {
+    (0..JOBS_PER_TENANT)
+        .map(|i| {
+            let c = 60 + (i * 37 + ix * 13) % 320;
+            PipelineJob::auto(profile(c), workload(c))
+        })
+        .collect()
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// One full service campaign at `n_tenants`; returns (elapsed ns, retrains).
+fn run_once(n_tenants: usize, seed: u64) -> (u128, usize) {
+    let mut service = DeployService::new(
+        InstanceCatalog::paper_catalog(),
+        policy(),
+        ServiceConfig {
+            depth: 4,
+            queue_capacity: JOBS_PER_TENANT + 1,
+            batch_max: 32,
+        },
+    )
+    .expect("valid service");
+    let handles: Vec<_> = (0..n_tenants)
+        .map(|t| {
+            service
+                .register(
+                    TenantId::new(format!("company-{t}")),
+                    seed.wrapping_add(t as u64),
+                )
+                .expect("fresh tenant")
+        })
+        .collect();
+    let schedules: Vec<Vec<PipelineJob>> = (0..n_tenants).map(schedule).collect();
+    service.start().expect("service starts");
+    let t = Instant::now();
+    for i in 0..JOBS_PER_TENANT {
+        for (ix, h) in handles.iter().enumerate() {
+            h.submit(schedules[ix][i].clone()).expect("queue sized");
+        }
+    }
+    for h in handles {
+        h.finish().expect("tenant stream succeeds");
+    }
+    let elapsed = t.elapsed().as_nanos();
+    let stats = service.join().expect("clean shutdown");
+    (elapsed, stats.retrains)
+}
+
+#[derive(Serialize)]
+struct ServiceRow {
+    n_tenants: usize,
+    jobs_per_tenant: usize,
+    total_jobs: usize,
+    elapsed_ns: u128,
+    jobs_per_sec: f64,
+    retrains: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    generated_by: &'static str,
+    rows: Vec<ServiceRow>,
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`, filters); this harness
+    // always runs the full sweep, so the argv is deliberately ignored.
+    let mut rows = Vec::new();
+    for &n_tenants in &TENANT_COUNTS {
+        let reps = if n_tenants >= 16 { 3 } else { 5 };
+        let mut elapsed = Vec::with_capacity(reps);
+        let mut retrains = 0;
+        for rep in 0..reps {
+            let (ns, r) = run_once(n_tenants, 1 + rep as u64 * 100);
+            elapsed.push(ns);
+            retrains = r;
+        }
+        let elapsed_ns = median(elapsed);
+        let total_jobs = n_tenants * JOBS_PER_TENANT;
+        let jobs_per_sec = total_jobs as f64 / (elapsed_ns as f64 / 1e9);
+        println!(
+            "{n_tenants:>3} tenants x {JOBS_PER_TENANT} jobs: {:.1} jobs/s ({} retrains)",
+            jobs_per_sec, retrains,
+        );
+        rows.push(ServiceRow {
+            n_tenants,
+            jobs_per_tenant: JOBS_PER_TENANT,
+            total_jobs,
+            elapsed_ns,
+            jobs_per_sec,
+            retrains,
+        });
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_service.json");
+    let report = Report {
+        generated_by: "cargo bench -p disar-bench --bench service_throughput",
+        rows,
+    };
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("repo root is writable");
+    println!("wrote {}", path.display());
+}

@@ -4,8 +4,10 @@
 use disar_actuarial::portfolio::paper_portfolios;
 use disar_alm::SegregatedFund;
 use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_core::tenant::TransferPolicy;
 use disar_core::{
-    DeployPipeline, DeployPolicy, JobProfile, KnowledgeBase, PipelineJob, TransparentDeployer,
+    DeployPipeline, DeployPolicy, DeployService, JobProfile, KnowledgeBase, PipelineJob,
+    ServiceConfig, ServiceStats, TenantId, TenantShardedKnowledgeBase, TransparentDeployer,
 };
 use disar_engine::complexity::ComplexityModel;
 use disar_engine::eeb::{decompose, EebKind};
@@ -219,6 +221,83 @@ pub fn build_knowledge_base(cfg: &CampaignConfig) -> (KnowledgeBase, CloudProvid
     (kb, provider, jobs)
 }
 
+/// Runs the multi-company variant of the campaign through the concurrent
+/// [`DeployService`]: `n_tenants` companies each push
+/// `cfg.n_runs / n_tenants` forced runs through their own bounded handle,
+/// records land in the shared two-key base, and the exported
+/// [`TenantShardedKnowledgeBase`] comes back with the service counters.
+///
+/// Like [`build_knowledge_base`], this is a record-only campaign: the
+/// bootstrap threshold and retrain cadence are unreachable, so the service
+/// never selects or retrains — every decision is operator-pinned from each
+/// tenant's own RNG stream, making the result independent of the
+/// cross-tenant interleaving (and deterministic run to run).
+pub fn build_tenant_knowledge_base(
+    cfg: &CampaignConfig,
+    n_tenants: usize,
+) -> (TenantShardedKnowledgeBase, ServiceStats) {
+    assert!(n_tenants > 0, "need at least one tenant");
+    let jobs = paper_eeb_jobs(cfg);
+    let names = InstanceCatalog::paper_catalog().names();
+    let per_tenant = cfg.n_runs / n_tenants;
+    let policy = DeployPolicy::builder(f64::MAX)
+        .epsilon(0.0)
+        .max_nodes(cfg.max_nodes)
+        .min_kb_samples(usize::MAX)
+        .retrain_every(per_tenant + 2)
+        .n_threads(1)
+        .transfer(TransferPolicy::Isolated)
+        .build();
+    let mut service = DeployService::new(
+        InstanceCatalog::paper_catalog(),
+        policy,
+        ServiceConfig {
+            depth: cfg.n_threads.max(1),
+            queue_capacity: per_tenant.max(1),
+            batch_max: 32,
+        },
+    )
+    .expect("campaign service config is valid");
+    let mut handles = Vec::with_capacity(n_tenants);
+    let mut streams: Vec<Vec<PipelineJob>> = Vec::with_capacity(n_tenants);
+    for t in 0..n_tenants {
+        let seed = cfg.seed.wrapping_add(t as u64);
+        handles.push(
+            service
+                .register(TenantId::new(format!("company-{t}")), seed)
+                .expect("tenants are fresh"),
+        );
+        // Each company pre-samples its own decisions from its own stream,
+        // exactly as the single-company campaign does.
+        let mut rng = stream_rng(seed, 0xCA3F);
+        streams.push(
+            (0..per_tenant)
+                .map(|_| {
+                    let job = &jobs[rng.gen_range(0..jobs.len())];
+                    let instance = &names[rng.gen_range(0..names.len())];
+                    let n_nodes = rng.gen_range(1..=cfg.max_nodes);
+                    PipelineJob::forced(job.profile, job.workload.clone(), instance, n_nodes)
+                })
+                .collect(),
+        );
+    }
+    service.start().expect("service starts once");
+    // Round-robin submission: every company is genuinely concurrent.
+    for i in 0..per_tenant {
+        for (t, handle) in handles.iter().enumerate() {
+            handle
+                .submit(streams[t][i].clone())
+                .expect("queue sized for the stream");
+        }
+    }
+    for handle in handles {
+        handle.finish().expect("forced runs succeed");
+    }
+    let kb = service.export_knowledge_base();
+    let stats = service.join().expect("clean shutdown");
+    (kb, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +367,24 @@ mod tests {
     fn campaign_is_deterministic() {
         let (a, _, _) = build_knowledge_base(&small_cfg());
         let (b, _, _) = build_knowledge_base(&small_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tenant_campaign_is_deterministic_and_partitioned() {
+        let (kb, stats) = build_tenant_knowledge_base(&small_cfg(), 3);
+        assert_eq!(kb.len(), 60); // 20 runs per company
+        assert_eq!(kb.tenants().len(), 3);
+        assert_eq!(stats.tenants, 3);
+        assert_eq!(stats.admitted, 60);
+        assert_eq!(stats.rejected, 0);
+        // Record-only campaign: the ingester never had to retrain.
+        assert_eq!(stats.retrains, 0);
+        // Per-tenant record streams are independent of the cross-tenant
+        // interleaving: a second concurrent run exports the same base.
+        let (kb2, _) = build_tenant_knowledge_base(&small_cfg(), 3);
+        let a: Vec<_> = kb.records_in_arrival_order().collect();
+        let b: Vec<_> = kb2.records_in_arrival_order().collect();
         assert_eq!(a, b);
     }
 

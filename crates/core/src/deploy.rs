@@ -411,6 +411,28 @@ impl DeployerCore {
         (instance, n_nodes)
     }
 
+    /// The shared manual-override half of every backend's `begin_manual`:
+    /// validates the policy and burns one decision-counter tick, so forced
+    /// and automatic deploys draw from the same seed stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation failures.
+    pub(crate) fn manual_decision(
+        &mut self,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployDecision, CoreError> {
+        self.policy.validate()?;
+        self.deploy_counter += 1;
+        Ok(DeployDecision {
+            mode: DeployMode::Manual,
+            instance: instance.to_string(),
+            n_nodes,
+            predicted_secs: None,
+        })
+    }
+
     /// Algorithm 1 over the given predictor — the shared ML half of every
     /// backend's `select`.
     pub(crate) fn ml_select<P: TimePredictor + ?Sized>(
@@ -690,14 +712,7 @@ impl Deployer for TransparentDeployer {
         instance: &str,
         n_nodes: usize,
     ) -> Result<DeployDecision, CoreError> {
-        self.core.policy.validate()?;
-        self.core.deploy_counter += 1;
-        Ok(DeployDecision {
-            mode: DeployMode::Manual,
-            instance: instance.to_string(),
-            n_nodes,
-            predicted_secs: None,
-        })
+        self.core.manual_decision(instance, n_nodes)
     }
 
     fn record(
@@ -942,14 +957,7 @@ impl Deployer for ShardedDeployer {
         instance: &str,
         n_nodes: usize,
     ) -> Result<DeployDecision, CoreError> {
-        self.core.policy.validate()?;
-        self.core.deploy_counter += 1;
-        Ok(DeployDecision {
-            mode: DeployMode::Manual,
-            instance: instance.to_string(),
-            n_nodes,
-            predicted_secs: None,
-        })
+        self.core.manual_decision(instance, n_nodes)
     }
 
     fn record(

@@ -26,6 +26,21 @@ pub enum CoreError {
     Cloud(disar_cloudsim::CloudError),
     /// The DISAR engine failed.
     Engine(disar_engine::EngineError),
+    /// A pipeline worker thread died (panicked) before delivering its run
+    /// report; `job` is the submission index of the lost run.
+    PipelineWorkerLost {
+        /// Submission index of the job whose worker was lost.
+        job: usize,
+    },
+    /// A bounded submission queue is full; the caller should retry after
+    /// in-flight work drains instead of queueing without bound.
+    Backpressure {
+        /// The queue's capacity (jobs it can hold while the worker drains).
+        capacity: usize,
+    },
+    /// The deploy service stopped (ingester failure or shutdown) while an
+    /// operation was waiting on it.
+    ServiceStopped(&'static str),
     /// Persistence I/O failed.
     Io(std::io::Error),
     /// Persistence (de)serialization failed.
@@ -47,6 +62,13 @@ impl fmt::Display for CoreError {
             CoreError::Ml(e) => write!(f, "ml failure: {e}"),
             CoreError::Cloud(e) => write!(f, "cloud failure: {e}"),
             CoreError::Engine(e) => write!(f, "engine failure: {e}"),
+            CoreError::PipelineWorkerLost { job } => {
+                write!(f, "pipeline worker for job {job} was lost before reporting")
+            }
+            CoreError::Backpressure { capacity } => {
+                write!(f, "submission queue is full ({capacity} jobs)")
+            }
+            CoreError::ServiceStopped(what) => write!(f, "deploy service stopped: {what}"),
             CoreError::Io(e) => write!(f, "io failure: {e}"),
             CoreError::Serde(e) => write!(f, "serialization failure: {e}"),
         }

@@ -30,7 +30,13 @@
 //! - [`tenant`]: the multi-company extension — records keyed by
 //!   (instance type × tenant), a pluggable [`tenant::TransferPolicy`]
 //!   deciding whose knowledge crosses company boundaries, and a
-//!   tenant-aware deployer behind the same [`deploy::Deployer`] trait.
+//!   tenant-aware deployer behind the same [`deploy::Deployer`] trait;
+//! - [`service`]: [`service::DeployService`] — the concurrent exterior:
+//!   N tenants submit jobs through bounded per-tenant handles, selections
+//!   read an atomically swapped predictor snapshot, records take
+//!   per-(instance × tenant) shard locks only, and a batching ingester
+//!   coalesces retrains — per-tenant outcome streams bit-identical to the
+//!   solo [`tenant::TenantShardedDeployer`].
 //!
 //! # Example
 //!
@@ -51,6 +57,7 @@ pub mod knowledge;
 pub mod pipeline;
 pub mod predictor;
 pub mod profile;
+pub mod service;
 pub mod tenant;
 
 mod error;
@@ -72,6 +79,9 @@ pub use knowledge::{KnowledgeBase, KnowledgeStore, RunRecord, ShardedKnowledgeBa
 pub use pipeline::{DeployPipeline, PipelineJob, PipelineStats};
 pub use predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 pub use profile::JobProfile;
+pub use service::{
+    DeployService, PredictorSnapshot, ServiceConfig, ServiceStats, TenantHandle, TenantRun,
+};
 pub use tenant::{
     TenantId, TenantShardedDeployer, TenantShardedKnowledgeBase, TenantShardedPredictor,
     TenantView, TransferPolicy,

@@ -98,6 +98,21 @@ pub struct DeployPipeline<D: Deployer> {
     deployer: D,
     depth: usize,
     stats: PipelineStats,
+    /// Test-only fault injection for the worker-loss paths.
+    #[cfg(test)]
+    fault: Option<WorkerFault>,
+}
+
+/// Test-only: make one worker thread misbehave.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorkerFault {
+    /// The worker panics mid-run (inside the caught region), exercising
+    /// the panic-sentinel path.
+    Panic(usize),
+    /// The worker exits without ever reporting, exercising the
+    /// channel-disconnect path.
+    Vanish(usize),
 }
 
 impl<D: Deployer> DeployPipeline<D> {
@@ -115,6 +130,8 @@ impl<D: Deployer> DeployPipeline<D> {
             deployer,
             depth,
             stats: PipelineStats::default(),
+            #[cfg(test)]
+            fault: None,
         })
     }
 
@@ -133,6 +150,13 @@ impl<D: Deployer> DeployPipeline<D> {
         &self.deployer
     }
 
+    /// Test-only: inject a worker fault into the next [`DeployPipeline::run`].
+    #[cfg(test)]
+    fn with_fault(mut self, fault: WorkerFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Unwraps the pipeline, returning the deployer (with everything it
     /// learned).
     pub fn into_deployer(self) -> D {
@@ -149,7 +173,11 @@ impl<D: Deployer> DeployPipeline<D> {
     /// stops issuing; already-issued runs still land and are recorded, so
     /// the deployer's knowledge matches the sequential loop's at the same
     /// failure point, then the error is returned. A cloud or record
-    /// failure is returned as soon as its job would land.
+    /// failure is returned as soon as its job would land. A worker thread
+    /// that dies without reporting (e.g. a panic inside the cloud run)
+    /// surfaces as [`CoreError::PipelineWorkerLost`] — never a hang, never
+    /// a propagated panic. [`PipelineStats`] (including `mean_in_flight`)
+    /// are finalized on every exit path, successful or not.
     pub fn run(&mut self, jobs: &[PipelineJob]) -> Result<Vec<DeployOutcome>, CoreError> {
         let n = jobs.len();
         let provider = self.deployer.provider_handle();
@@ -160,97 +188,152 @@ impl<D: Deployer> DeployPipeline<D> {
             ..PipelineStats::default()
         };
         let mut issue_err: Option<CoreError> = None;
+        #[cfg(test)]
+        let fault = self.fault;
 
         let landed: Result<(), CoreError> = std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, Result<JobReport, CloudError>)>();
+            // A worker that finishes sends `Some(result)`; one that
+            // panics mid-run is caught and sends `None`, so the landing
+            // loop always learns the job's fate.
+            let (tx, rx) = mpsc::channel::<(usize, Option<Result<JobReport, CloudError>>)>();
+            // The loop's own sender lives only while further spawns are
+            // possible; dropping it afterwards turns "every remaining
+            // worker died silently" into a recv disconnect instead of an
+            // unbounded block.
+            let mut tx = Some(tx);
             let mut in_flight: VecDeque<(usize, DeployDecision)> = VecDeque::new();
-            let mut reorder: BTreeMap<usize, Result<JobReport, CloudError>> = BTreeMap::new();
+            let mut reorder: BTreeMap<usize, Option<Result<JobReport, CloudError>>> =
+                BTreeMap::new();
             let mut next_issue = 0usize;
             let mut next_land = 0usize;
             let mut occupancy_sum = 0usize;
             let mut occupancy_samples = 0usize;
 
-            while next_land < n {
-                // Fill: issue jobs while the depth bound and the
-                // feedback-visibility rule allow.
-                while issue_err.is_none() && next_issue < n && in_flight.len() < depth {
-                    let job = &jobs[next_issue];
-                    let pending: Vec<DeployDecision> =
-                        in_flight.iter().map(|(_, d)| d.clone()).collect();
-                    let decided = if let Some((instance, n_nodes)) = &job.forced {
-                        self.deployer.begin_manual(instance, *n_nodes)
-                    } else {
-                        if !pending.is_empty() && !self.deployer.selection_ready(&pending) {
-                            stats.stalled_selections += 1;
-                            break;
-                        }
-                        if !pending.is_empty() {
-                            stats.overlapped_selections += 1;
-                        }
-                        self.deployer.select(&job.profile, &pending)
-                    };
-                    let decision = match decided {
-                        Ok(d) => d,
-                        Err(e) => {
-                            issue_err = Some(e);
-                            break;
-                        }
-                    };
-                    // Reserve the noise-stream slot only now: a failed
-                    // selection must leave the run stream exactly where
-                    // the sequential loop would.
-                    let handle = provider.begin_job();
-                    let instance = decision.instance.clone();
-                    let n_nodes = decision.n_nodes;
-                    let workload = &job.workload;
-                    let worker_tx = tx.clone();
-                    let idx = next_issue;
-                    scope.spawn(move || {
-                        let res = handle.execute(&instance, n_nodes, workload);
-                        let _ = worker_tx.send((idx, res));
-                    });
-                    in_flight.push_back((idx, decision));
-                    next_issue += 1;
-                }
+            let mut land_all = || -> Result<(), CoreError> {
+                while next_land < n {
+                    // Fill: issue jobs while the depth bound and the
+                    // feedback-visibility rule allow.
+                    while issue_err.is_none() && next_issue < n && in_flight.len() < depth {
+                        let job = &jobs[next_issue];
+                        let pending: Vec<DeployDecision> =
+                            in_flight.iter().map(|(_, d)| d.clone()).collect();
+                        let decided = if let Some((instance, n_nodes)) = &job.forced {
+                            self.deployer.begin_manual(instance, *n_nodes)
+                        } else {
+                            if !pending.is_empty() && !self.deployer.selection_ready(&pending) {
+                                stats.stalled_selections += 1;
+                                break;
+                            }
+                            if !pending.is_empty() {
+                                stats.overlapped_selections += 1;
+                            }
+                            self.deployer.select(&job.profile, &pending)
+                        };
+                        let decision = match decided {
+                            Ok(d) => d,
+                            Err(e) => {
+                                issue_err = Some(e);
+                                break;
+                            }
+                        };
+                        // Reserve the noise-stream slot only now: a failed
+                        // selection must leave the run stream exactly where
+                        // the sequential loop would.
+                        let handle = provider.begin_job();
+                        let instance = decision.instance.clone();
+                        let n_nodes = decision.n_nodes;
+                        let workload = &job.workload;
+                        let worker_tx = tx
+                            .as_ref()
+                            .expect("sender is alive while jobs are still being issued")
+                            .clone();
+                        let idx = next_issue;
+                        scope.spawn(move || {
+                            #[cfg(test)]
+                            if fault == Some(WorkerFault::Vanish(idx)) {
+                                return;
+                            }
+                            // The provider's state is per reserved slot and
+                            // the pipeline abandons the whole run on worker
+                            // loss, so unwinding across it is safe to
+                            // assert.
+                            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || {
+                                    #[cfg(test)]
+                                    if fault == Some(WorkerFault::Panic(idx)) {
+                                        panic!("injected worker panic");
+                                    }
+                                    handle.execute(&instance, n_nodes, workload)
+                                },
+                            ));
+                            let _ = worker_tx.send((idx, res.ok()));
+                        });
+                        in_flight.push_back((idx, decision));
+                        next_issue += 1;
+                    }
 
-                if in_flight.is_empty() {
-                    // Nothing issued and nothing to land: only reachable
-                    // after a selection error stopped the queue.
-                    break;
-                }
-                stats.max_in_flight = stats.max_in_flight.max(in_flight.len());
-                occupancy_sum += in_flight.len();
-                occupancy_samples += 1;
+                    if issue_err.is_some() || next_issue == n {
+                        // No further spawns: release the loop's sender so
+                        // a worker dying without reporting disconnects the
+                        // channel instead of blocking recv forever.
+                        tx = None;
+                    }
 
-                // Complete: wait for the oldest in-flight run, buffering
-                // out-of-order finishers.
-                while !reorder.contains_key(&next_land) {
-                    let (idx, res) = rx.recv().expect("pipeline run worker disconnected");
-                    reorder.insert(idx, res);
-                }
-                // Land every consecutive completion, feeding each record
-                // back before any later selection can observe it.
-                while let Some(res) = reorder.remove(&next_land) {
-                    let report = res?;
-                    let (idx, decision) = in_flight
-                        .pop_front()
-                        .expect("landing job missing from the in-flight table");
-                    debug_assert_eq!(idx, next_land);
-                    self.deployer
-                        .record(&jobs[next_land].profile, &decision, &report)?;
-                    outcomes[next_land] = Some(DeployOutcome {
-                        mode: decision.mode,
-                        predicted_secs: decision.predicted_secs,
-                        report,
-                    });
-                    next_land += 1;
-                }
-            }
+                    if in_flight.is_empty() {
+                        // Nothing issued and nothing to land: only reachable
+                        // after a selection error stopped the queue.
+                        break;
+                    }
+                    stats.max_in_flight = stats.max_in_flight.max(in_flight.len());
+                    occupancy_sum += in_flight.len();
+                    occupancy_samples += 1;
 
+                    // Complete: wait for the oldest in-flight run, buffering
+                    // out-of-order finishers.
+                    while !reorder.contains_key(&next_land) {
+                        match rx.recv() {
+                            Ok((idx, res)) => {
+                                reorder.insert(idx, res);
+                            }
+                            Err(_) => {
+                                // Every sender is gone yet the oldest job
+                                // never reported: its worker died.
+                                return Err(CoreError::PipelineWorkerLost { job: next_land });
+                            }
+                        }
+                    }
+                    // Land every consecutive completion, feeding each record
+                    // back before any later selection can observe it.
+                    while let Some(slot) = reorder.remove(&next_land) {
+                        let Some(res) = slot else {
+                            return Err(CoreError::PipelineWorkerLost { job: next_land });
+                        };
+                        let report = res?;
+                        let (idx, decision) = in_flight
+                            .pop_front()
+                            .expect("landing job missing from the in-flight table");
+                        debug_assert_eq!(idx, next_land);
+                        self.deployer
+                            .record(&jobs[next_land].profile, &decision, &report)?;
+                        outcomes[next_land] = Some(DeployOutcome {
+                            mode: decision.mode,
+                            predicted_secs: decision.predicted_secs,
+                            report,
+                        });
+                        next_land += 1;
+                    }
+                }
+                Ok(())
+            };
+            let res = land_all();
+
+            // Finalize occupancy on every exit path — cloud errors, record
+            // failures and worker loss included — so `stats()` never
+            // reports a zero mean alongside non-zero samples.
             if occupancy_samples > 0 {
                 stats.mean_in_flight = occupancy_sum as f64 / occupancy_samples as f64;
             }
-            Ok(())
+            res
         });
 
         self.stats = stats;
@@ -463,6 +546,73 @@ mod tests {
         assert!(matches!(err, CoreError::NoFeasibleConfiguration { .. }));
         assert_eq!(p.deployer().knowledge_base(), seq_d.knowledge_base());
         assert_eq!(p.deployer().kb_len(), seq_landed);
+        // Stats are finalized on the error path too: non-zero occupancy
+        // samples must never report a zero mean.
+        let s = *p.stats();
+        assert!(s.jobs > 0 && s.max_in_flight > 0);
+        assert!(
+            s.mean_in_flight > 0.0,
+            "error path skipped mean_in_flight finalization: {s:?}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_pipeline_worker_lost() {
+        // A worker that panics mid-run must neither hang run() nor
+        // propagate the panic: the caught unwind sends a loss sentinel and
+        // the landing loop reports the job that never delivered.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 59);
+        let d = TransparentDeployer::new(provider, policy(1), 59);
+        let mut p = DeployPipeline::new(d, 3)
+            .unwrap()
+            .with_fault(WorkerFault::Panic(4));
+        let err = p.run(&auto_jobs(10)).unwrap_err();
+        assert!(
+            matches!(err, CoreError::PipelineWorkerLost { job: 4 }),
+            "expected PipelineWorkerLost for job 4, got {err:?}"
+        );
+        // The stats of the aborted run are still finalized.
+        let s = *p.stats();
+        assert!(s.jobs == 10 && s.max_in_flight > 0 && s.mean_in_flight > 0.0);
+    }
+
+    #[test]
+    fn silent_worker_death_disconnects_instead_of_hanging() {
+        // A worker that exits without reporting at all (no sentinel, no
+        // result) is caught by the dropped-sender disconnect: once the
+        // loop has issued every job it releases its own sender, so
+        // recv() errors out instead of blocking forever.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 61);
+        let d = TransparentDeployer::new(provider, policy(1), 61);
+        let mut p = DeployPipeline::new(d, 3)
+            .unwrap()
+            .with_fault(WorkerFault::Vanish(7));
+        let err = p.run(&auto_jobs(8)).unwrap_err();
+        assert!(
+            matches!(err, CoreError::PipelineWorkerLost { job: 7 }),
+            "expected PipelineWorkerLost for job 7, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cloud_error_path_still_finalizes_stats() {
+        // A forced job on an unknown instance passes selection (manual
+        // overrides are not validated against the catalog) and fails in
+        // the cloud run — the early `res?` exit that used to skip stats
+        // finalization.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 67);
+        let d = TransparentDeployer::new(provider, policy(1), 67);
+        let mut p = DeployPipeline::new(d, 3).unwrap();
+        let mut jobs = auto_jobs(6);
+        jobs[3] = PipelineJob::forced(profile(120), workload(120), "no-such-instance", 1);
+        let err = p.run(&jobs).unwrap_err();
+        assert!(matches!(err, CoreError::Cloud(_)), "got {err:?}");
+        let s = *p.stats();
+        assert!(s.jobs > 0 && s.max_in_flight > 0);
+        assert!(
+            s.mean_in_flight > 0.0,
+            "cloud-error path skipped mean_in_flight finalization: {s:?}"
+        );
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub trait TimePredictor: Sync {
 }
 
 /// The six retrainable execution-time predictors.
+///
+/// `Clone` copies the full fitted state (via `Regressor::clone_box`), so a
+/// snapshot layer can freeze an immutable copy while the original keeps
+/// retraining incrementally.
+#[derive(Clone)]
 pub struct PredictorFamily {
     models: Vec<Box<dyn Regressor>>,
     trained_on: usize,
@@ -173,48 +178,6 @@ impl PredictorFamily {
             mode == RetrainMode::Full,
             mode == RetrainMode::Warm,
         )
-    }
-
-    /// Deprecated spelling of `retrain(kb, RetrainMode::Incremental, n_threads)`.
-    #[deprecated(note = "use retrain(kb, RetrainMode::Incremental, n_threads)")]
-    pub fn retrain_with_threads(
-        &mut self,
-        kb: &KnowledgeBase,
-        n_threads: usize,
-    ) -> Result<(), CoreError> {
-        self.retrain(kb, RetrainMode::Incremental, n_threads)
-    }
-
-    /// Deprecated spelling of `retrain(kb, RetrainMode::Warm, 1)`.
-    #[deprecated(note = "use retrain(kb, RetrainMode::Warm, 1)")]
-    pub fn retrain_warm(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain(kb, RetrainMode::Warm, 1)
-    }
-
-    /// Deprecated spelling of `retrain(kb, RetrainMode::Warm, n_threads)`.
-    #[deprecated(note = "use retrain(kb, RetrainMode::Warm, n_threads)")]
-    pub fn retrain_warm_with_threads(
-        &mut self,
-        kb: &KnowledgeBase,
-        n_threads: usize,
-    ) -> Result<(), CoreError> {
-        self.retrain(kb, RetrainMode::Warm, n_threads)
-    }
-
-    /// Deprecated spelling of `retrain(kb, RetrainMode::Full, 1)`.
-    #[deprecated(note = "use retrain(kb, RetrainMode::Full, 1)")]
-    pub fn retrain_full(&mut self, kb: &KnowledgeBase) -> Result<(), CoreError> {
-        self.retrain(kb, RetrainMode::Full, 1)
-    }
-
-    /// Deprecated spelling of `retrain(kb, RetrainMode::Full, n_threads)`.
-    #[deprecated(note = "use retrain(kb, RetrainMode::Full, n_threads)")]
-    pub fn retrain_full_with_threads(
-        &mut self,
-        kb: &KnowledgeBase,
-        n_threads: usize,
-    ) -> Result<(), CoreError> {
-        self.retrain(kb, RetrainMode::Full, n_threads)
     }
 
     fn retrain_impl(
@@ -387,20 +350,6 @@ impl ShardedPredictor {
             .retrain(shard, mode, n_threads)
     }
 
-    /// Deprecated spelling of
-    /// `retrain_shard(instance, shard, RetrainMode::Incremental, n_threads)`.
-    #[deprecated(
-        note = "use retrain_shard(instance, shard, RetrainMode::Incremental, n_threads)"
-    )]
-    pub fn retrain_shard_with_threads(
-        &mut self,
-        instance: &str,
-        shard: &KnowledgeBase,
-        n_threads: usize,
-    ) -> Result<(), CoreError> {
-        self.retrain_shard(instance, shard, RetrainMode::Incremental, n_threads)
-    }
-
     /// Retrains every shard holding at least `min_samples` records —
     /// the bulk warm-up after a load or bootstrap; smaller shards are
     /// skipped, not errors.
@@ -420,17 +369,6 @@ impl ShardedPredictor {
             }
         }
         Ok(())
-    }
-
-    /// Deprecated spelling of
-    /// `retrain_all(kb, RetrainMode::Incremental, n_threads)`.
-    #[deprecated(note = "use retrain_all(kb, RetrainMode::Incremental, n_threads)")]
-    pub fn retrain_all_with_threads(
-        &mut self,
-        kb: &ShardedKnowledgeBase,
-        n_threads: usize,
-    ) -> Result<(), CoreError> {
-        self.retrain_all(kb, RetrainMode::Incremental, n_threads)
     }
 }
 
@@ -705,29 +643,6 @@ mod tests {
                 assert_eq!(a, b, "shard {name} diverges from per-instance family");
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_retrain_mode() {
-        // The one-PR compatibility shims must be exact spellings of the
-        // new entry point — same results to the bit.
-        let kb = filled_kb(60);
-        let grown = filled_kb(90);
-
-        let mut shim = PredictorFamily::new(2, 2);
-        shim.retrain_with_threads(&kb, 2).unwrap();
-        let mut new = PredictorFamily::new(2, 2);
-        new.retrain(&kb, RetrainMode::Incremental, 2).unwrap();
-        assert_families_identical(&shim, &new, "retrain_with_threads shim");
-
-        shim.retrain_warm(&grown).unwrap();
-        new.retrain(&grown, RetrainMode::Warm, 1).unwrap();
-        assert_families_identical(&shim, &new, "retrain_warm shim");
-
-        shim.retrain_full(&grown).unwrap();
-        new.retrain(&grown, RetrainMode::Full, 1).unwrap();
-        assert_families_identical(&shim, &new, "retrain_full shim");
     }
 
     #[test]

@@ -1,0 +1,1334 @@
+//! The concurrent multi-tenant deploy service.
+//!
+//! [`crate::pipeline::DeployPipeline`] overlaps one tenant's selections
+//! with its own cloud runs; [`DeployService`] is the concurrent exterior
+//! around the same bit-identity machinery, serving N companies at once
+//! over one shared knowledge base:
+//!
+//! - **per-tenant handles** — every registered tenant submits
+//!   [`PipelineJob`]s through its own bounded queue ([`TenantHandle`]);
+//!   a full queue surfaces [`CoreError::Backpressure`] instead of
+//!   growing without bound;
+//! - **lock-free prediction reads** — selections read an atomically
+//!   swapped, read-mostly [`PredictorSnapshot`] (an `arc-swap`-style
+//!   double buffer rebuilt off the hot path after retrains). In steady
+//!   state a reader costs one atomic generation load; it never blocks on
+//!   a writer;
+//! - **shard-local writes** — `record()` appends under the one
+//!   per-(instance × tenant) shard lock that owns the record; no global
+//!   lock exists;
+//! - **batching ingester** — landed records stream to a single ingester
+//!   thread that coalesces them and triggers at most one incremental
+//!   retrain per dirty shard per batch, then publishes a fresh snapshot.
+//!
+//! # Bit-identity
+//!
+//! Under [`TransferPolicy::Isolated`] (the only policy the service
+//! accepts — pooled families would make predictions depend on the
+//! nondeterministic cross-tenant arrival interleaving) a tenant's
+//! knowledge never crosses its own boundary, so each tenant's outcome
+//! stream is **bit-identical to that tenant running alone** through
+//! [`crate::tenant::TenantShardedDeployer`]: same per-tenant provider
+//! seed, same
+//! decision-counter seed stream, same retrain gates. Two rules keep the
+//! asynchronous retrains on the solo schedule:
+//!
+//! 1. **flush-before-append** — a shard with a fired-but-unpublished
+//!    retrain must not grow: the ingester retrains on the shard exactly
+//!    as the solo loop saw it at the gate;
+//! 2. **watermark stall** — an ML selection waits until every retrain
+//!    its tenant has fired is published, mirroring the synchronous
+//!    retrain the solo `record()` performs before the next selection.
+//!
+//! Bootstrap and manual selections consult neither families nor
+//! snapshot, so they never wait.
+
+use crate::deploy::{
+    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, DeployerCore,
+};
+use crate::knowledge::KnowledgeBase;
+use crate::knowledge::RunRecord;
+use crate::pipeline::{DeployPipeline, PipelineJob, PipelineStats};
+use crate::predictor::{PredictorFamily, RetrainMode, TimePredictor};
+use crate::profile::JobProfile;
+use crate::tenant::{TenantId, TenantShardedKnowledgeBase, TransferPolicy};
+use crate::CoreError;
+use disar_cloudsim::{CloudProvider, InstanceCatalog, InstanceType, JobReport};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The family minimum-sample floor the tenant layer pins (see
+/// [`crate::tenant::TenantShardedPredictor::new`], which clamps
+/// `min_samples` to at least 2). The service replicates the solo gates,
+/// so it pins the same constant.
+const FAMILY_MIN_SAMPLES: usize = 2;
+
+/// Sizing knobs of a [`DeployService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Per-tenant pipeline depth (in-flight runs; `1` = sequential).
+    pub depth: usize,
+    /// Per-tenant submission-queue bound; a full queue rejects with
+    /// [`CoreError::Backpressure`].
+    pub queue_capacity: usize,
+    /// Most landed-record messages the ingester coalesces into one batch.
+    pub batch_max: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            depth: 4,
+            queue_capacity: 64,
+            batch_max: 32,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.depth == 0 {
+            return Err(CoreError::InvalidParameter("service depth must be > 0"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(CoreError::InvalidParameter(
+                "service queue_capacity must be > 0",
+            ));
+        }
+        if self.batch_max == 0 {
+            return Err(CoreError::InvalidParameter("service batch_max must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// [`PipelineStats`] plus the service's admission, queue-depth and
+/// backpressure counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Pipeline occupancy/overlap counters, aggregated over every tenant
+    /// that has finished (jobs and overlap counts sum; `max_in_flight` is
+    /// the max; `mean_in_flight` is the job-weighted mean).
+    pub pipeline: PipelineStats,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Jobs offered to `submit` (admitted + rejected).
+    pub submitted: usize,
+    /// Jobs accepted into a queue.
+    pub admitted: usize,
+    /// Jobs rejected with [`CoreError::Backpressure`].
+    pub rejected: usize,
+    /// Largest queue depth observed across all tenants.
+    pub max_queue_depth: usize,
+    /// Ingester batches processed (coalescing windows).
+    pub ingest_batches: usize,
+    /// Incremental shard retrains performed by the ingester.
+    pub retrains: usize,
+    /// Generation of the current predictor snapshot (0 = never published).
+    pub snapshot_generation: u64,
+}
+
+/// One tenant's results after [`TenantHandle::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRun {
+    /// The tenant the run belongs to.
+    pub tenant: TenantId,
+    /// Per-job outcomes in submission order.
+    pub outcomes: Vec<DeployOutcome>,
+    /// This tenant's aggregated pipeline counters.
+    pub stats: PipelineStats,
+}
+
+/// An immutable, atomically swapped view of every tenant's trained
+/// predictor families, plus the publish watermarks the bit-identity
+/// stalls wait on.
+#[derive(Clone, Default)]
+pub struct PredictorSnapshot {
+    generation: u64,
+    families: BTreeMap<(String, TenantId), Arc<PredictorFamily>>,
+    /// Published retrain-fire count per tenant (selection watermark).
+    fires_by_tenant: BTreeMap<TenantId, u64>,
+    /// Published retrain-fire count per (instance, tenant) shard
+    /// (flush-before-append watermark).
+    fires_by_shard: BTreeMap<(String, TenantId), u64>,
+}
+
+impl PredictorSnapshot {
+    /// Monotone publish counter: 0 before the first retrain, +1 per
+    /// published batch.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The published family of one (instance, tenant), if any.
+    pub fn family(&self, instance: &str, tenant: &TenantId) -> Option<&PredictorFamily> {
+        self.families
+            .get(&(instance.to_string(), tenant.clone()))
+            .map(Arc::as_ref)
+    }
+
+    /// Number of published families.
+    pub fn family_count(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Iterates the published families with their (instance, tenant) keys.
+    pub fn families(&self) -> impl Iterator<Item = (&(String, TenantId), &PredictorFamily)> {
+        self.families.iter().map(|(k, f)| (k, f.as_ref()))
+    }
+
+    /// Published retrain fires of one tenant.
+    pub fn fires_for_tenant(&self, tenant: &TenantId) -> u64 {
+        self.fires_by_tenant.get(tenant).copied().unwrap_or(0)
+    }
+
+    fn fires_for_shard(&self, key: &(String, TenantId)) -> u64 {
+        self.fires_by_shard.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// The swap point: writers publish a whole new [`PredictorSnapshot`];
+/// readers take the read lock only for the pointer clone (and, via the
+/// generation fast path, usually not even that). The condvar wakes
+/// watermark waiters after each publish.
+struct SnapshotCell {
+    generation: AtomicU64,
+    current: RwLock<Arc<PredictorSnapshot>>,
+    /// `true` once the ingester is gone — waiters must error, not spin.
+    gate: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl SnapshotCell {
+    fn new() -> Self {
+        SnapshotCell {
+            generation: AtomicU64::new(0),
+            current: RwLock::new(Arc::new(PredictorSnapshot::default())),
+            gate: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn load(&self) -> Arc<PredictorSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Swaps in `next` and wakes every watermark waiter.
+    fn publish(&self, next: PredictorSnapshot) {
+        let generation = next.generation;
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(next);
+        self.generation.store(generation, Ordering::Release);
+        let _guard = self.gate.lock().expect("snapshot gate poisoned");
+        self.cond.notify_all();
+    }
+
+    /// Marks the ingester gone (normal shutdown or failure) and wakes
+    /// every waiter so they can error out instead of spinning.
+    fn close(&self) {
+        *self.gate.lock().expect("snapshot gate poisoned") = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the current snapshot satisfies `pred`, rechecking on
+    /// every publish.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ServiceStopped`] if the cell closes first.
+    fn wait_for<F: Fn(&PredictorSnapshot) -> bool>(
+        &self,
+        pred: F,
+    ) -> Result<Arc<PredictorSnapshot>, CoreError> {
+        loop {
+            let snap = self.load();
+            if pred(&snap) {
+                return Ok(snap);
+            }
+            let closed = self.gate.lock().expect("snapshot gate poisoned");
+            // Re-check under the gate: publish() takes the gate after the
+            // swap, so a satisfied predicate cannot slip between this
+            // check and the wait below.
+            let snap = self.load();
+            if pred(&snap) {
+                return Ok(snap);
+            }
+            if *closed {
+                return Err(CoreError::ServiceStopped("predictor ingester stopped"));
+            }
+            // The timeout is belt-and-braces only: every publish and the
+            // close path notify under the gate.
+            let _ = self
+                .cond
+                .wait_timeout(closed, Duration::from_millis(50))
+                .expect("snapshot gate poisoned");
+        }
+    }
+}
+
+/// A worker-local cache over [`SnapshotCell`]: in steady state (no new
+/// publish) a read is one atomic load and no lock at all.
+struct SnapshotReader {
+    cached: Arc<PredictorSnapshot>,
+}
+
+impl SnapshotReader {
+    fn new(cell: &SnapshotCell) -> Self {
+        SnapshotReader { cached: cell.load() }
+    }
+
+    fn current(&mut self, cell: &SnapshotCell) -> &Arc<PredictorSnapshot> {
+        if cell.generation.load(Ordering::Acquire) != self.cached.generation {
+            self.cached = cell.load();
+        }
+        &self.cached
+    }
+
+    fn wait_for<F: Fn(&PredictorSnapshot) -> bool>(
+        &mut self,
+        cell: &SnapshotCell,
+        pred: F,
+    ) -> Result<&Arc<PredictorSnapshot>, CoreError> {
+        if !pred(self.current(cell)) {
+            self.cached = cell.wait_for(pred)?;
+        }
+        Ok(&self.cached)
+    }
+}
+
+/// What one tenant sees of a [`PredictorSnapshot`] — the service-side
+/// mirror of [`crate::tenant::TenantView`] under
+/// [`TransferPolicy::Isolated`]: queries route to the tenant's own local
+/// family per instance type.
+struct SnapshotTenantView<'a> {
+    snapshot: &'a PredictorSnapshot,
+    tenant: &'a TenantId,
+}
+
+impl TimePredictor for SnapshotTenantView<'_> {
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(String, f64)>, CoreError> {
+        match self.snapshot.family(&instance.name, self.tenant) {
+            Some(f) if f.is_trained() => f.predict_each(profile, instance, n_nodes),
+            _ => Err(disar_ml::MlError::NotFitted.into()),
+        }
+    }
+}
+
+/// A landed-record notification to the ingester.
+struct LandedMsg {
+    instance: String,
+    tenant: TenantId,
+    /// Whether this landing fired the tenant's retrain gate.
+    fired: bool,
+}
+
+/// Everything the worker, ingester and handle threads share.
+struct ServiceShared {
+    policy: DeployPolicy,
+    /// The two-key shard map; the outer lock guards only map growth —
+    /// steady-state `record()` takes a read lock plus the one shard lock.
+    shards: RwLock<BTreeMap<(String, TenantId), Arc<Mutex<KnowledgeBase>>>>,
+    /// Per-tenant family seeds (fixed at registration).
+    seeds: Mutex<BTreeMap<TenantId, u64>>,
+    snapshot: SnapshotCell,
+    // Admission / queue counters (ServiceStats).
+    submitted: AtomicUsize,
+    admitted: AtomicUsize,
+    rejected: AtomicUsize,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+    ingest_batches: AtomicUsize,
+    retrains: AtomicUsize,
+    /// Pipeline counters merged in as tenants finish.
+    pipeline: Mutex<PipelineStats>,
+}
+
+impl ServiceShared {
+    fn shard_handle(&self, instance: &str, tenant: &TenantId) -> Arc<Mutex<KnowledgeBase>> {
+        let key = (instance.to_string(), tenant.clone());
+        {
+            let map = self.shards.read().expect("shard map poisoned");
+            if let Some(shard) = map.get(&key) {
+                return Arc::clone(shard);
+            }
+        }
+        let mut map = self.shards.write().expect("shard map poisoned");
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Mutex::new(KnowledgeBase::new()))),
+        )
+    }
+
+    fn seed_of(&self, tenant: &TenantId) -> u64 {
+        *self
+            .seeds
+            .lock()
+            .expect("seed map poisoned")
+            .get(tenant)
+            .expect("tenant registered before use")
+    }
+}
+
+/// Exact replica of the solo Isolated retrain gates, tracked per tenant
+/// from counts alone (the same observation the solo `simulate_pending`
+/// rests on: the gates only count).
+struct IsolatedGates {
+    /// Records this tenant has landed (the solo run's `kb.len()`).
+    len: usize,
+    /// Per-instance local record counts (the solo `local_lens`).
+    local_lens: BTreeMap<String, usize>,
+    /// Instances whose local family has had at least one fired retrain —
+    /// fired implies trained (the gate requires `min_samples`).
+    trained: BTreeSet<String>,
+    /// Total retrain fires (the selection watermark target).
+    fired_events: u64,
+    /// Per-instance retrain fires (the flush-before-append target).
+    shard_fires: BTreeMap<String, u64>,
+}
+
+impl IsolatedGates {
+    fn new() -> Self {
+        IsolatedGates {
+            len: 0,
+            local_lens: BTreeMap::new(),
+            trained: BTreeSet::new(),
+            fired_events: 0,
+            shard_fires: BTreeMap::new(),
+        }
+    }
+}
+
+/// The virtual gate state once every pending decision has landed.
+struct ServicePendingSim {
+    virtual_len: usize,
+    virtual_trained: bool,
+    retrain_pending: bool,
+}
+
+/// The per-tenant [`Deployer`] backend a worker thread drives: decisions
+/// replay the solo [`TenantShardedDeployer`] exactly; records land in the
+/// shared shard map and stream to the ingester.
+struct ServiceTenantDeployer {
+    core: DeployerCore,
+    tenant: TenantId,
+    gates: IsolatedGates,
+    shared: Arc<ServiceShared>,
+    reader: SnapshotReader,
+    ingest: mpsc::Sender<LandedMsg>,
+}
+
+impl ServiceTenantDeployer {
+    fn new(
+        catalog: InstanceCatalog,
+        tenant: TenantId,
+        seed: u64,
+        shared: Arc<ServiceShared>,
+        ingest: mpsc::Sender<LandedMsg>,
+    ) -> Self {
+        let provider = Arc::new(CloudProvider::new(catalog, seed));
+        let reader = SnapshotReader::new(&shared.snapshot);
+        ServiceTenantDeployer {
+            core: DeployerCore::new(provider, shared.policy.clone(), seed),
+            tenant,
+            gates: IsolatedGates::new(),
+            shared,
+            reader,
+            ingest,
+        }
+    }
+
+    /// Mirror of the solo `simulate_pending` restricted to
+    /// [`TransferPolicy::Isolated`] (no pooled branch).
+    fn simulate_pending(&self, pending: &[DeployDecision]) -> ServicePendingSim {
+        let mut len = self.gates.len;
+        let mut rsr = self.core.runs_since_retrain;
+        let mut retrain_pending = false;
+        let mut local = self.gates.local_lens.clone();
+        let mut newly: BTreeSet<&str> = BTreeSet::new();
+        for d in pending {
+            len += 1;
+            rsr += 1;
+            let local_len = local.entry(d.instance.clone()).or_insert(0);
+            *local_len += 1;
+            if rsr >= self.core.policy.retrain_every && *local_len >= FAMILY_MIN_SAMPLES {
+                newly.insert(d.instance.as_str());
+                retrain_pending = true;
+                rsr = 0;
+            }
+        }
+        let virtual_trained = self
+            .core
+            .provider
+            .catalog()
+            .names()
+            .iter()
+            .all(|n| self.gates.trained.contains(n.as_str()) || newly.contains(n.as_str()));
+        ServicePendingSim {
+            virtual_len: len,
+            virtual_trained,
+            retrain_pending,
+        }
+    }
+}
+
+impl Deployer for ServiceTenantDeployer {
+    fn policy(&self) -> &DeployPolicy {
+        &self.core.policy
+    }
+
+    fn provider(&self) -> &CloudProvider {
+        &self.core.provider
+    }
+
+    fn provider_handle(&self) -> Arc<CloudProvider> {
+        Arc::clone(&self.core.provider)
+    }
+
+    fn kb_len(&self) -> usize {
+        self.gates.len
+    }
+
+    fn warm(&mut self) -> Result<(), CoreError> {
+        // The service starts from an empty base; there is nothing to warm.
+        Ok(())
+    }
+
+    fn selection_ready(&self, pending: &[DeployDecision]) -> bool {
+        let sim = self.simulate_pending(pending);
+        sim.virtual_len < self.core.policy.min_kb_samples
+            || !sim.virtual_trained
+            || !sim.retrain_pending
+    }
+
+    fn select(
+        &mut self,
+        profile: &JobProfile,
+        pending: &[DeployDecision],
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.policy.validate()?;
+        let decision_seed = self.core.next_decision_seed();
+        let sim = self.simulate_pending(pending);
+        if sim.virtual_len < self.core.policy.min_kb_samples || !sim.virtual_trained {
+            let (instance, n_nodes) = self.core.random_config(decision_seed);
+            return Ok(DeployDecision {
+                mode: DeployMode::Bootstrap,
+                instance,
+                n_nodes,
+                predicted_secs: None,
+            });
+        }
+        // Watermark stall: the solo loop retrains synchronously inside
+        // record(), so by its next ML selection every fired retrain is
+        // visible. Wait until the published snapshot has caught up with
+        // every fire this tenant's landings produced.
+        let target = self.gates.fired_events;
+        let tenant = self.tenant.clone();
+        let snap = self
+            .reader
+            .wait_for(&self.shared.snapshot, move |s| {
+                s.fires_for_tenant(&tenant) >= target
+            })?
+            .clone();
+        let view = SnapshotTenantView {
+            snapshot: snap.as_ref(),
+            tenant: &self.tenant,
+        };
+        self.core.ml_select(&view, profile, decision_seed)
+    }
+
+    fn begin_manual(
+        &mut self,
+        instance: &str,
+        n_nodes: usize,
+    ) -> Result<DeployDecision, CoreError> {
+        self.core.manual_decision(instance, n_nodes)
+    }
+
+    fn record(
+        &mut self,
+        profile: &JobProfile,
+        decision: &DeployDecision,
+        report: &JobReport,
+    ) -> Result<(), CoreError> {
+        let inst = self.core.provider.catalog().get(&decision.instance)?.clone();
+        // Flush-before-append: if this shard has a fired retrain the
+        // ingester has not published yet, appending now would let that
+        // retrain see records the solo schedule trained without. Wait for
+        // the publish first (the fire message is already queued, so the
+        // ingester cannot miss it).
+        let fires = self
+            .gates
+            .shard_fires
+            .get(&decision.instance)
+            .copied()
+            .unwrap_or(0);
+        if fires > 0 {
+            let key = (decision.instance.clone(), self.tenant.clone());
+            self.reader.wait_for(&self.shared.snapshot, move |s| {
+                s.fires_for_shard(&key) >= fires
+            })?;
+        }
+        let record = RunRecord::new(
+            *profile,
+            &inst,
+            decision.n_nodes,
+            report.duration_secs,
+            report.prorated_cost,
+        )
+        .with_tenant(self.tenant.clone());
+        let shard = self.shared.shard_handle(&decision.instance, &self.tenant);
+        let shard_len = {
+            let mut guard = shard.lock().expect("shard poisoned");
+            guard.record(record);
+            guard.len()
+        };
+        self.gates.len += 1;
+        *self
+            .gates
+            .local_lens
+            .entry(decision.instance.clone())
+            .or_insert(0) += 1;
+        self.core.runs_since_retrain += 1;
+        // The solo Isolated gate, verbatim: fire on the retrain schedule
+        // once the shard holds the family minimum.
+        let mut fired = false;
+        if self.core.runs_since_retrain >= self.core.policy.retrain_every
+            && shard_len >= FAMILY_MIN_SAMPLES
+        {
+            fired = true;
+            self.core.runs_since_retrain = 0;
+            self.gates.trained.insert(decision.instance.clone());
+            self.gates.fired_events += 1;
+            *self
+                .gates
+                .shard_fires
+                .entry(decision.instance.clone())
+                .or_insert(0) += 1;
+        }
+        self.ingest
+            .send(LandedMsg {
+                instance: decision.instance.clone(),
+                tenant: self.tenant.clone(),
+                fired,
+            })
+            .map_err(|_| CoreError::ServiceStopped("predictor ingester stopped"))?;
+        Ok(())
+    }
+}
+
+/// Commands on a tenant's submission queue.
+enum Cmd {
+    Job(Box<PipelineJob>),
+    Finish,
+}
+
+/// A tenant's submission endpoint. Created by [`DeployService::register`];
+/// `submit` jobs (possibly from any thread), then [`TenantHandle::finish`]
+/// to drain the queue and collect the outcomes.
+pub struct TenantHandle {
+    tenant: TenantId,
+    capacity: usize,
+    cmd_tx: SyncSender<Cmd>,
+    result_rx: Receiver<Result<TenantRun, CoreError>>,
+    shared: Arc<ServiceShared>,
+}
+
+impl TenantHandle {
+    /// The tenant this handle submits for.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// Enqueues one job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Backpressure`] when the bounded queue is full;
+    /// [`CoreError::ServiceStopped`] when the worker is gone.
+    pub fn submit(&self, job: PipelineJob) -> Result<(), CoreError> {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        match self.cmd_tx.try_send(Cmd::Job(Box::new(job))) {
+            Ok(()) => {
+                self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+                let depth = self.shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.shared.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(CoreError::Backpressure {
+                    capacity: self.capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(CoreError::ServiceStopped("tenant worker exited"))
+            }
+        }
+    }
+
+    /// Signals end-of-stream, waits for every queued job to land and
+    /// returns this tenant's outcomes in submission order.
+    ///
+    /// # Errors
+    ///
+    /// The first deploy error of the tenant's stream (later queued jobs
+    /// are dropped, as the solo loop would stop at the same point), or
+    /// [`CoreError::ServiceStopped`] if the worker died.
+    pub fn finish(self) -> Result<TenantRun, CoreError> {
+        self.cmd_tx
+            .send(Cmd::Finish)
+            .map_err(|_| CoreError::ServiceStopped("tenant worker exited"))?;
+        match self.result_rx.recv() {
+            Ok(run) => run,
+            Err(_) => Err(CoreError::ServiceStopped("tenant worker died")),
+        }
+    }
+}
+
+/// A not-yet-started tenant lane.
+struct Registration {
+    tenant: TenantId,
+    seed: u64,
+    cmd_rx: Receiver<Cmd>,
+    result_tx: mpsc::Sender<Result<TenantRun, CoreError>>,
+}
+
+/// The concurrent multi-tenant deploy service (see the module docs).
+///
+/// Lifecycle: [`DeployService::new`] → [`DeployService::register`] each
+/// tenant → [`DeployService::start`] → submit through the handles →
+/// [`TenantHandle::finish`] each handle → [`DeployService::join`].
+pub struct DeployService {
+    catalog: InstanceCatalog,
+    config: ServiceConfig,
+    shared: Arc<ServiceShared>,
+    ingest_tx: Option<mpsc::Sender<LandedMsg>>,
+    // The two receiver-holding fields sit behind a `Mutex` only to keep
+    // the service `Sync` (mpsc receivers are not) so tests and callers
+    // can observe a started service from other threads; every mutation
+    // happens behind `&mut self`.
+    ingest_rx: Mutex<Option<Receiver<LandedMsg>>>,
+    registrations: Mutex<Vec<Registration>>,
+    tenants: BTreeSet<TenantId>,
+    workers: Vec<JoinHandle<()>>,
+    ingester: Option<JoinHandle<()>>,
+    started: bool,
+}
+
+impl DeployService {
+    /// Creates a stopped service over one instance catalog and one shared
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an invalid policy or config,
+    /// and for any transfer policy other than
+    /// [`TransferPolicy::Isolated`]: pooled families are trained on the
+    /// cross-tenant arrival interleaving, which concurrency makes
+    /// nondeterministic — sharing knowledge across concurrent tenants
+    /// deterministically is an open extension (DESIGN.md §11).
+    pub fn new(
+        catalog: InstanceCatalog,
+        policy: DeployPolicy,
+        config: ServiceConfig,
+    ) -> Result<Self, CoreError> {
+        policy.validate()?;
+        config.validate()?;
+        if policy.transfer != TransferPolicy::Isolated {
+            return Err(CoreError::InvalidParameter(
+                "DeployService requires TransferPolicy::Isolated",
+            ));
+        }
+        let (ingest_tx, ingest_rx) = mpsc::channel();
+        Ok(DeployService {
+            catalog,
+            config,
+            shared: Arc::new(ServiceShared {
+                policy,
+                shards: RwLock::new(BTreeMap::new()),
+                seeds: Mutex::new(BTreeMap::new()),
+                snapshot: SnapshotCell::new(),
+                submitted: AtomicUsize::new(0),
+                admitted: AtomicUsize::new(0),
+                rejected: AtomicUsize::new(0),
+                queue_depth: AtomicUsize::new(0),
+                max_queue_depth: AtomicUsize::new(0),
+                ingest_batches: AtomicUsize::new(0),
+                retrains: AtomicUsize::new(0),
+                pipeline: Mutex::new(PipelineStats::default()),
+            }),
+            ingest_tx: Some(ingest_tx),
+            ingest_rx: Mutex::new(Some(ingest_rx)),
+            registrations: Mutex::new(Vec::new()),
+            tenants: BTreeSet::new(),
+            workers: Vec::new(),
+            ingester: None,
+            started: false,
+        })
+    }
+
+    /// Registers a tenant lane. `seed` plays the role the solo
+    /// deployer's seed does: it feeds this tenant's cloud noise streams,
+    /// decision counter and family initialization, so a service run with
+    /// seed `s` is comparable bit-for-bit to
+    /// `TenantShardedDeployer::new(provider(s), policy, s)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] after `start()` or for a duplicate
+    /// tenant.
+    pub fn register(&mut self, tenant: TenantId, seed: u64) -> Result<TenantHandle, CoreError> {
+        if self.started {
+            return Err(CoreError::InvalidParameter(
+                "register tenants before start()",
+            ));
+        }
+        if !self.tenants.insert(tenant.clone()) {
+            return Err(CoreError::InvalidParameter("tenant already registered"));
+        }
+        self.shared
+            .seeds
+            .lock()
+            .expect("seed map poisoned")
+            .insert(tenant.clone(), seed);
+        let (cmd_tx, cmd_rx) = mpsc::sync_channel(self.config.queue_capacity);
+        let (result_tx, result_rx) = mpsc::channel();
+        self.registrations
+            .get_mut()
+            .expect("registrations poisoned")
+            .push(Registration {
+                tenant: tenant.clone(),
+                seed,
+                cmd_rx,
+                result_tx,
+            });
+        Ok(TenantHandle {
+            tenant,
+            capacity: self.config.queue_capacity,
+            cmd_tx,
+            result_rx,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Spawns the ingester and one worker per registered tenant. Jobs
+    /// submitted before `start()` wait in their queues (which is what
+    /// makes [`CoreError::Backpressure`] deterministic to provoke).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when already started.
+    pub fn start(&mut self) -> Result<(), CoreError> {
+        if self.started {
+            return Err(CoreError::InvalidParameter("service already started"));
+        }
+        self.started = true;
+        let ingest_rx = self
+            .ingest_rx
+            .get_mut()
+            .expect("ingest receiver poisoned")
+            .take()
+            .expect("ingest receiver present");
+        let shared = Arc::clone(&self.shared);
+        let batch_max = self.config.batch_max;
+        self.ingester = Some(std::thread::spawn(move || {
+            ingester_loop(&shared, &ingest_rx, batch_max);
+        }));
+        let ingest_tx = self.ingest_tx.clone().expect("ingest sender present");
+        let registrations =
+            std::mem::take(self.registrations.get_mut().expect("registrations poisoned"));
+        for reg in registrations {
+            let dep = ServiceTenantDeployer::new(
+                self.catalog.clone(),
+                reg.tenant,
+                reg.seed,
+                Arc::clone(&self.shared),
+                ingest_tx.clone(),
+            );
+            let shared = Arc::clone(&self.shared);
+            let depth = self.config.depth;
+            let cmd_rx = reg.cmd_rx;
+            let result_tx = reg.result_tx;
+            self.workers.push(std::thread::spawn(move || {
+                worker_loop(dep, &cmd_rx, depth, &result_tx, &shared);
+            }));
+        }
+        Ok(())
+    }
+
+    /// Point-in-time service counters. Pipeline counters aggregate as
+    /// tenants finish.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            pipeline: *self.shared.pipeline.lock().expect("stats poisoned"),
+            tenants: self.tenants.len(),
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+            ingest_batches: self.shared.ingest_batches.load(Ordering::Relaxed),
+            retrains: self.shared.retrains.load(Ordering::Relaxed),
+            snapshot_generation: self.shared.snapshot.generation.load(Ordering::Acquire),
+        }
+    }
+
+    /// The current predictor snapshot (for inspection and the
+    /// linearizability tests).
+    pub fn snapshot(&self) -> Arc<PredictorSnapshot> {
+        self.shared.snapshot.load()
+    }
+
+    /// A copy of one (instance, tenant) shard, if it exists.
+    pub fn shard(&self, instance: &str, tenant: &TenantId) -> Option<KnowledgeBase> {
+        let key = (instance.to_string(), tenant.clone());
+        let map = self.shared.shards.read().expect("shard map poisoned");
+        map.get(&key)
+            .map(|s| s.lock().expect("shard poisoned").clone())
+    }
+
+    /// Exports the accumulated knowledge as a two-key base (shard-major
+    /// arrival order; see [`TenantShardedKnowledgeBase::from_shards`]).
+    pub fn export_knowledge_base(&self) -> TenantShardedKnowledgeBase {
+        let map = self.shared.shards.read().expect("shard map poisoned");
+        TenantShardedKnowledgeBase::from_shards(
+            map.values().map(|s| s.lock().expect("shard poisoned").clone()),
+        )
+    }
+
+    /// Stops the service once every handle has finished: joins the
+    /// workers, retires the ingester and returns the final counters.
+    ///
+    /// Call only after [`TenantHandle::finish`] (or drop) on every
+    /// handle — a live handle keeps its worker waiting for jobs and
+    /// `join` would block on it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ServiceStopped`] if a worker or the ingester thread
+    /// panicked.
+    pub fn join(mut self) -> Result<ServiceStats, CoreError> {
+        let mut lost = false;
+        for worker in self.workers.drain(..) {
+            lost |= worker.join().is_err();
+        }
+        // Workers are gone; dropping the service's sender disconnects the
+        // ingester, which publishes nothing further and exits.
+        self.ingest_tx = None;
+        if let Some(ingester) = self.ingester.take() {
+            lost |= ingester.join().is_err();
+        }
+        if lost {
+            return Err(CoreError::ServiceStopped("a service thread panicked"));
+        }
+        Ok(self.stats())
+    }
+}
+
+/// Merges one pipeline run's counters into a tenant/service aggregate.
+fn merge_pipeline_stats(acc: &mut PipelineStats, s: &PipelineStats) {
+    let total = acc.jobs + s.jobs;
+    if total > 0 {
+        acc.mean_in_flight = (acc.mean_in_flight * acc.jobs as f64
+            + s.mean_in_flight * s.jobs as f64)
+            / total as f64;
+    }
+    acc.jobs = total;
+    acc.max_in_flight = acc.max_in_flight.max(s.max_in_flight);
+    acc.overlapped_selections += s.overlapped_selections;
+    acc.stalled_selections += s.stalled_selections;
+}
+
+/// One tenant's worker: drain whatever is queued, pipeline the batch,
+/// repeat; report on `Finish` (or handle drop).
+fn worker_loop(
+    mut dep: ServiceTenantDeployer,
+    cmd_rx: &Receiver<Cmd>,
+    depth: usize,
+    result_tx: &mpsc::Sender<Result<TenantRun, CoreError>>,
+    shared: &Arc<ServiceShared>,
+) {
+    let tenant = dep.tenant.clone();
+    let mut outcomes: Vec<DeployOutcome> = Vec::new();
+    let mut stats = PipelineStats::default();
+    let mut failed: Option<CoreError> = None;
+    'serve: loop {
+        let first = match cmd_rx.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => break, // handle dropped without finish()
+        };
+        let mut batch: Vec<PipelineJob> = Vec::new();
+        let mut finish = false;
+        match first {
+            Cmd::Finish => break,
+            Cmd::Job(job) => {
+                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                batch.push(*job);
+            }
+        }
+        // Coalesce whatever else is already queued, preserving order.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            match cmd {
+                Cmd::Finish => {
+                    finish = true;
+                    break;
+                }
+                Cmd::Job(job) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    batch.push(*job);
+                }
+            }
+        }
+        if failed.is_none() {
+            // Bit-identity across batches: the pipeline drains fully
+            // between run() calls and every counter lives in `dep`, so
+            // batch boundaries cannot shift any decision.
+            let mut pipeline =
+                DeployPipeline::new(dep, depth).expect("depth validated by ServiceConfig");
+            let res = pipeline.run(&batch);
+            merge_pipeline_stats(&mut stats, pipeline.stats());
+            dep = pipeline.into_deployer();
+            match res {
+                Ok(outs) => outcomes.extend(outs),
+                Err(e) => failed = Some(e),
+            }
+        }
+        if finish {
+            break 'serve;
+        }
+    }
+    merge_pipeline_stats(
+        &mut shared.pipeline.lock().expect("stats poisoned"),
+        &stats,
+    );
+    let run = match failed {
+        None => Ok(TenantRun {
+            tenant,
+            outcomes,
+            stats,
+        }),
+        Some(e) => Err(e),
+    };
+    let _ = result_tx.send(run);
+}
+
+/// The batching ingester: coalesce landed-record messages, retrain each
+/// dirty shard once, publish one new snapshot per batch.
+fn ingester_loop(shared: &Arc<ServiceShared>, rx: &Receiver<LandedMsg>, batch_max: usize) {
+    let mut masters: BTreeMap<(String, TenantId), PredictorFamily> = BTreeMap::new();
+    loop {
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break, // every worker and the service handle are gone
+        };
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        shared.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        // Dirty = shards whose gate fired in this batch. The
+        // flush-before-append rule guarantees at most one fire per shard
+        // per batch, so "one retrain per dirty shard" is exact, not an
+        // approximation.
+        let mut dirty: Vec<(String, TenantId)> = Vec::new();
+        for msg in batch.iter().filter(|m| m.fired) {
+            let key = (msg.instance.clone(), msg.tenant.clone());
+            if !dirty.contains(&key) {
+                dirty.push(key);
+            }
+        }
+        if dirty.is_empty() {
+            continue;
+        }
+        let mut next = (*shared.snapshot.load()).clone();
+        for key in &dirty {
+            let seed = shared.seed_of(&key.1);
+            let shard = shared.shard_handle(&key.0, &key.1);
+            let guard = shard.lock().expect("shard poisoned");
+            let family = masters
+                .entry(key.clone())
+                .or_insert_with(|| PredictorFamily::new(seed, FAMILY_MIN_SAMPLES));
+            if let Err(_e) =
+                family.retrain(&guard, RetrainMode::Incremental, shared.policy.n_threads)
+            {
+                // A retrain failure poisons the whole service: close the
+                // cell so every watermark waiter errors out instead of
+                // spinning forever.
+                shared.snapshot.close();
+                return;
+            }
+            shared.retrains.fetch_add(1, Ordering::Relaxed);
+            next.families.insert(key.clone(), Arc::new(family.clone()));
+        }
+        for msg in batch.iter().filter(|m| m.fired) {
+            *next.fires_by_tenant.entry(msg.tenant.clone()).or_insert(0) += 1;
+            *next
+                .fires_by_shard
+                .entry((msg.instance.clone(), msg.tenant.clone()))
+                .or_insert(0) += 1;
+        }
+        next.generation += 1;
+        shared.snapshot.publish(next);
+    }
+    // Normal shutdown: wake any (stray) waiter so it errors instead of
+    // blocking.
+    shared.snapshot.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantShardedDeployer;
+    use disar_cloudsim::Workload;
+    use disar_engine::EebCharacteristics;
+
+    fn profile(contracts: usize) -> JobProfile {
+        JobProfile {
+            characteristics: EebCharacteristics {
+                representative_contracts: contracts,
+                max_horizon: 20,
+                fund_assets: 30,
+                risk_factors: 2,
+            },
+            n_outer: 1000,
+            n_inner: 50,
+        }
+    }
+
+    fn workload(contracts: usize) -> Workload {
+        Workload::new(
+            30.0 * contracts as f64,
+            0.02 * contracts as f64,
+            0.8 * contracts as f64,
+            0.05,
+        )
+        .unwrap()
+    }
+
+    fn test_policy() -> DeployPolicy {
+        DeployPolicy::builder(50_000.0)
+            .max_nodes(4)
+            .min_kb_samples(8)
+            .n_threads(1)
+            .transfer(TransferPolicy::Isolated)
+            .build()
+    }
+
+    fn jobs_for(tenant_ix: usize, n: usize) -> Vec<PipelineJob> {
+        (0..n)
+            .map(|i| {
+                let c = 60 + (i * 23 + tenant_ix * 7) % 280;
+                PipelineJob::auto(profile(c), workload(c))
+            })
+            .collect()
+    }
+
+    /// The ground truth: the same tenant running alone, sequentially,
+    /// through the solo two-key deployer.
+    fn solo_run(seed: u64, tenant: &TenantId, jobs: &[PipelineJob]) -> Vec<DeployOutcome> {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+        let mut solo = TenantShardedDeployer::new(provider, test_policy(), seed)
+            .with_tenant(tenant.clone());
+        jobs.iter()
+            .map(|j| solo.deploy(&j.profile, &j.workload).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        // The linearizability tests observe a started service from other
+        // threads through an `Arc`, which needs `DeployService: Send +
+        // Sync` — pinned here so a field change cannot silently lose it.
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<DeployService>();
+        assert_send_sync::<PredictorSnapshot>();
+        // The handle owns its result receiver, so it is Send, not Sync.
+        assert_send::<TenantHandle>();
+    }
+
+    #[test]
+    fn rejects_bad_config_and_non_isolated_policy() {
+        let cat = InstanceCatalog::paper_catalog();
+        let pooled = DeployPolicy::builder(50_000.0)
+            .transfer(TransferPolicy::Pooled)
+            .build();
+        assert!(matches!(
+            DeployService::new(cat.clone(), pooled, ServiceConfig::default()),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        for bad in [
+            ServiceConfig { depth: 0, ..ServiceConfig::default() },
+            ServiceConfig { queue_capacity: 0, ..ServiceConfig::default() },
+            ServiceConfig { batch_max: 0, ..ServiceConfig::default() },
+        ] {
+            assert!(matches!(
+                DeployService::new(cat.clone(), test_policy(), bad),
+                Err(CoreError::InvalidParameter(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_and_post_start_registration() {
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            test_policy(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let t = TenantId::new("acme-life");
+        let h = service.register(t.clone(), 7).unwrap();
+        assert!(matches!(
+            service.register(t.clone(), 8),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        service.start().unwrap();
+        assert!(matches!(
+            service.register(TenantId::new("late"), 9),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        h.finish().unwrap();
+        service.join().unwrap();
+    }
+
+    #[test]
+    fn single_tenant_stream_is_bit_identical_to_solo() {
+        let tenant = TenantId::new("acme-life");
+        let jobs = jobs_for(0, 14);
+        let expected = solo_run(11, &tenant, &jobs);
+
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            test_policy(),
+            ServiceConfig { depth: 3, queue_capacity: 32, batch_max: 8 },
+        )
+        .unwrap();
+        let handle = service.register(tenant.clone(), 11).unwrap();
+        service.start().unwrap();
+        for j in &jobs {
+            handle.submit(j.clone()).unwrap();
+        }
+        let run = handle.finish().unwrap();
+        assert_eq!(run.outcomes, expected);
+        assert_eq!(run.stats.jobs, jobs.len());
+
+        // The shared shards hold exactly the solo base, shard by shard.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 11);
+        let mut solo = TenantShardedDeployer::new(provider, test_policy(), 11)
+            .with_tenant(tenant.clone());
+        for j in &jobs {
+            solo.deploy(&j.profile, &j.workload).unwrap();
+        }
+        for (key, shard) in solo.knowledge_base().shards() {
+            let got = service.shard(&key.0, &key.1).expect("service shard exists");
+            assert_eq!(got.records(), shard.records());
+        }
+        let stats = service.join().unwrap();
+        assert_eq!(stats.admitted, jobs.len());
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.retrains > 0);
+        assert!(stats.snapshot_generation > 0);
+    }
+
+    #[test]
+    fn concurrent_tenants_each_match_their_solo_run() {
+        let tenants: Vec<TenantId> = (0..3)
+            .map(|i| TenantId::new(format!("company-{i}")))
+            .collect();
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            test_policy(),
+            ServiceConfig { depth: 2, queue_capacity: 32, batch_max: 4 },
+        )
+        .unwrap();
+        let handles: Vec<TenantHandle> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| service.register(t.clone(), 20 + i as u64).unwrap())
+            .collect();
+        service.start().unwrap();
+        let all_jobs: Vec<Vec<PipelineJob>> =
+            (0..tenants.len()).map(|i| jobs_for(i, 12)).collect();
+        // Interleave submissions across tenants to exercise concurrency.
+        for j in 0..12 {
+            for (i, h) in handles.iter().enumerate() {
+                h.submit(all_jobs[i][j].clone()).unwrap();
+            }
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let run = h.finish().unwrap();
+            let expected = solo_run(20 + i as u64, &tenants[i], &all_jobs[i]);
+            assert_eq!(run.outcomes, expected, "tenant {i} diverged from solo");
+        }
+        service.join().unwrap();
+    }
+
+    #[test]
+    fn full_queue_surfaces_backpressure() {
+        let capacity = 4;
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            test_policy(),
+            ServiceConfig { depth: 1, queue_capacity: capacity, batch_max: 8 },
+        )
+        .unwrap();
+        let tenant = TenantId::new("acme-life");
+        let handle = service.register(tenant, 5).unwrap();
+        // Workers are not started yet, so nothing drains: fills are
+        // deterministic.
+        let jobs = jobs_for(0, capacity + 2);
+        for j in &jobs[..capacity] {
+            handle.submit(j.clone()).unwrap();
+        }
+        for j in &jobs[capacity..] {
+            match handle.submit(j.clone()) {
+                Err(CoreError::Backpressure { capacity: c }) => assert_eq!(c, capacity),
+                other => panic!("expected Backpressure, got {other:?}"),
+            }
+        }
+        service.start().unwrap();
+        let run = handle.finish().unwrap();
+        assert_eq!(run.outcomes.len(), capacity);
+        let stats = service.join().unwrap();
+        assert_eq!(stats.submitted, capacity + 2);
+        assert_eq!(stats.admitted, capacity);
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.max_queue_depth, capacity);
+    }
+
+    #[test]
+    fn exported_base_matches_shard_contents() {
+        let tenant = TenantId::new("acme-life");
+        let jobs = jobs_for(0, 6);
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            test_policy(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let handle = service.register(tenant.clone(), 3).unwrap();
+        service.start().unwrap();
+        for j in &jobs {
+            handle.submit(j.clone()).unwrap();
+        }
+        handle.finish().unwrap();
+        let exported = service.export_knowledge_base();
+        assert_eq!(exported.len(), jobs.len());
+        assert!(exported
+            .records_in_arrival_order()
+            .all(|r| r.tenant == tenant));
+        service.join().unwrap();
+    }
+}

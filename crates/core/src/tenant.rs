@@ -158,6 +158,25 @@ impl TenantShardedKnowledgeBase {
         sharded
     }
 
+    /// Assembles a two-key base from per-shard record streams (e.g. the
+    /// deploy service's shard map). Each record routes by its own
+    /// instance/tenant tags, so the per-shard streams are preserved
+    /// exactly; the global arrival order is shard-major in the order
+    /// given — the cross-shard interleaving of the original stream is
+    /// not reconstructible from shards alone and is not claimed.
+    pub fn from_shards<I>(shards: I) -> Self
+    where
+        I: IntoIterator<Item = KnowledgeBase>,
+    {
+        let mut out = TenantShardedKnowledgeBase::new();
+        for shard in shards {
+            for r in shard.records() {
+                out.record(r.clone());
+            }
+        }
+        out
+    }
+
     /// Appends one run to the shard owning its (instance, tenant) key and
     /// to the instance's pooled copy, creating both on first sight.
     pub fn record(&mut self, record: RunRecord) {
@@ -817,14 +836,7 @@ impl Deployer for TenantShardedDeployer {
         instance: &str,
         n_nodes: usize,
     ) -> Result<DeployDecision, CoreError> {
-        self.core.policy.validate()?;
-        self.core.deploy_counter += 1;
-        Ok(DeployDecision {
-            mode: DeployMode::Manual,
-            instance: instance.to_string(),
-            n_nodes,
-            predicted_secs: None,
-        })
+        self.core.manual_decision(instance, n_nodes)
     }
 
     fn record(

@@ -1,0 +1,301 @@
+//! Property-based tests of the concurrent multi-tenant deploy service.
+//!
+//! The contract under test:
+//!
+//! 1. **per-tenant bit-identity** — for 1–8 concurrently submitting
+//!    tenants under [`TransferPolicy::Isolated`], every tenant's outcome
+//!    stream and final shard contents through [`DeployService`] equal
+//!    that tenant running *alone*, sequentially, through
+//!    [`TenantShardedDeployer`] — for any pipeline depth, queue capacity,
+//!    ingest batch size, retrain cadence and auto/forced job mix;
+//! 2. **backpressure** — a full submission queue rejects with
+//!    [`disar_core::CoreError::Backpressure`], deterministically, and the
+//!    admitted prefix still lands bit-identically;
+//! 3. **snapshot-swap linearizability** — concurrent observers only ever
+//!    see whole snapshots: generations monotone, families never
+//!    half-rebuilt (each family's `trained_on` is per-key monotone across
+//!    observed generations and never exceeds the records landed).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_core::deploy::{DeployOutcome, DeployPolicy};
+use disar_core::pipeline::PipelineJob;
+use disar_core::service::{DeployService, ServiceConfig};
+use disar_core::tenant::{TenantId, TenantShardedDeployer, TransferPolicy};
+use disar_core::{CoreError, JobProfile};
+use disar_engine::EebCharacteristics;
+use proptest::prelude::*;
+
+fn profile(contracts: usize) -> JobProfile {
+    JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    }
+}
+
+fn workload(contracts: usize) -> Workload {
+    Workload::new(
+        30.0 * contracts as f64,
+        0.02 * contracts as f64,
+        0.8 * contracts as f64,
+        0.05,
+    )
+    .expect("valid workload")
+}
+
+fn policy(min_kb_samples: usize, retrain_every: usize) -> DeployPolicy {
+    DeployPolicy::builder(50_000.0)
+        .max_nodes(4)
+        .min_kb_samples(min_kb_samples)
+        .retrain_every(retrain_every)
+        .n_threads(1)
+        .transfer(TransferPolicy::Isolated)
+        .build()
+}
+
+fn tenant_seed(base_seed: u64, ix: usize) -> u64 {
+    base_seed.wrapping_mul(1_000_003).wrapping_add(ix as u64)
+}
+
+/// Tenant `ix`'s job schedule: a deterministic auto/forced mix unique to
+/// the tenant, so concurrent schedules never coincide.
+fn schedule(ix: usize, n_jobs: usize, forced_every: usize) -> Vec<PipelineJob> {
+    let names = InstanceCatalog::paper_catalog().names();
+    (0..n_jobs)
+        .map(|i| {
+            let c = 60 + (i * 37 + ix * 13) % 320;
+            if forced_every > 0 && i % forced_every == forced_every - 1 {
+                PipelineJob::forced(
+                    profile(c),
+                    workload(c),
+                    &names[(i + ix) % names.len()],
+                    1 + i % 3,
+                )
+            } else {
+                PipelineJob::auto(profile(c), workload(c))
+            }
+        })
+        .collect()
+}
+
+/// Ground truth: the tenant alone, sequentially, through the solo two-key
+/// deployer (fresh provider from the same seed).
+fn solo_run(
+    seed: u64,
+    tenant: &TenantId,
+    jobs: &[PipelineJob],
+    pol: &DeployPolicy,
+) -> (Vec<DeployOutcome>, TenantShardedDeployer) {
+    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+    let mut solo =
+        TenantShardedDeployer::new(provider, *pol, seed).with_tenant(tenant.clone());
+    let outcomes = jobs
+        .iter()
+        .map(|j| match &j.forced {
+            Some((instance, n_nodes)) => solo
+                .deploy_manual(&j.profile, &j.workload, instance, *n_nodes)
+                .expect("solo deploys succeed"),
+            None => solo
+                .deploy(&j.profile, &j.workload)
+                .expect("solo deploys succeed"),
+        })
+        .collect();
+    (outcomes, solo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property 1: per-tenant bit-identity under concurrency. N tenants
+    /// submit interleaved schedules; each tenant's outcomes and final
+    /// shards equal its solo run.
+    #[test]
+    fn concurrent_tenants_bit_identical_to_solo(
+        base_seed in 0u64..300,
+        n_tenants in 1usize..=8,
+        n_jobs in 8usize..16,
+        min_kb_samples in 4usize..8,
+        retrain_every in 1usize..4,
+        forced_every in 0usize..5,
+        depth in 1usize..4,
+        batch_max in 1usize..9,
+    ) {
+        let pol = policy(min_kb_samples, retrain_every);
+        let tenants: Vec<TenantId> =
+            (0..n_tenants).map(|i| TenantId::new(format!("company-{i}"))).collect();
+        let schedules: Vec<Vec<PipelineJob>> =
+            (0..n_tenants).map(|i| schedule(i, n_jobs, forced_every)).collect();
+
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            pol,
+            ServiceConfig { depth, queue_capacity: n_jobs + 1, batch_max },
+        ).expect("valid service");
+        let handles: Vec<_> = tenants.iter().enumerate()
+            .map(|(i, t)| service.register(t.clone(), tenant_seed(base_seed, i)).unwrap())
+            .collect();
+        service.start().expect("service starts");
+        // Round-robin interleave so every tenant is genuinely concurrent.
+        for j in 0..n_jobs {
+            for (i, h) in handles.iter().enumerate() {
+                h.submit(schedules[i][j].clone()).expect("queue sized for the schedule");
+            }
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let run = h.finish().expect("tenant stream succeeds");
+            let (expected, solo) =
+                solo_run(tenant_seed(base_seed, i), &tenants[i], &schedules[i], &pol);
+            prop_assert_eq!(
+                &run.outcomes, &expected,
+                "tenant {} diverged from its solo run", i
+            );
+            prop_assert_eq!(run.stats.jobs, n_jobs);
+            // Final shard contents match the solo base shard-for-shard.
+            for (key, shard) in solo.knowledge_base().shards() {
+                let got = service.shard(&key.0, &key.1)
+                    .expect("service holds every solo shard");
+                prop_assert_eq!(got.records(), shard.records());
+            }
+        }
+        let stats = service.join().expect("clean shutdown");
+        prop_assert_eq!(stats.admitted, n_tenants * n_jobs);
+        prop_assert_eq!(stats.rejected, 0);
+        prop_assert_eq!(stats.pipeline.jobs, n_tenants * n_jobs);
+    }
+
+    /// Property 2: a full queue rejects deterministically with
+    /// `Backpressure`, and the admitted prefix still lands bit-identically
+    /// to the solo run over that prefix.
+    #[test]
+    fn backpressure_rejects_overflow_and_keeps_prefix_identity(
+        base_seed in 0u64..300,
+        queue_capacity in 1usize..6,
+        overflow in 1usize..4,
+        retrain_every in 1usize..3,
+    ) {
+        let pol = policy(4, retrain_every);
+        let tenant = TenantId::new("company-0");
+        let jobs = schedule(0, queue_capacity + overflow, 0);
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            pol,
+            ServiceConfig { depth: 2, queue_capacity, batch_max: 4 },
+        ).expect("valid service");
+        let handle = service.register(tenant.clone(), tenant_seed(base_seed, 0)).unwrap();
+        // The service is not started: nothing drains, so exactly
+        // `queue_capacity` jobs fit and the rest bounce.
+        for j in &jobs[..queue_capacity] {
+            prop_assert!(handle.submit(j.clone()).is_ok());
+        }
+        for j in &jobs[queue_capacity..] {
+            match handle.submit(j.clone()) {
+                Err(CoreError::Backpressure { capacity }) => {
+                    prop_assert_eq!(capacity, queue_capacity);
+                }
+                other => prop_assert!(false, "expected Backpressure, got {:?}", other),
+            }
+        }
+        service.start().expect("service starts");
+        let run = handle.finish().expect("admitted prefix succeeds");
+        let (expected, _) = solo_run(
+            tenant_seed(base_seed, 0), &tenant, &jobs[..queue_capacity], &pol,
+        );
+        prop_assert_eq!(run.outcomes, expected);
+        let stats = service.join().expect("clean shutdown");
+        prop_assert_eq!(stats.submitted, queue_capacity + overflow);
+        prop_assert_eq!(stats.admitted, queue_capacity);
+        prop_assert_eq!(stats.rejected, overflow);
+        prop_assert_eq!(stats.max_queue_depth, queue_capacity);
+    }
+
+    /// Property 3: snapshot swaps are linearizable from a concurrent
+    /// observer's point of view — generations move forward only, and a
+    /// family observed at a later generation was trained on at least as
+    /// many records as at any earlier one (no half-rebuilt snapshot is
+    /// ever visible).
+    #[test]
+    fn snapshot_swaps_are_linearizable(
+        base_seed in 0u64..300,
+        n_tenants in 2usize..5,
+        n_jobs in 8usize..14,
+        batch_max in 1usize..6,
+    ) {
+        let pol = policy(4, 1);
+        let tenants: Vec<TenantId> =
+            (0..n_tenants).map(|i| TenantId::new(format!("company-{i}"))).collect();
+        let mut service = DeployService::new(
+            InstanceCatalog::paper_catalog(),
+            pol,
+            ServiceConfig { depth: 2, queue_capacity: n_jobs + 1, batch_max },
+        ).expect("valid service");
+        let handles: Vec<_> = tenants.iter().enumerate()
+            .map(|(i, t)| service.register(t.clone(), tenant_seed(base_seed, i)).unwrap())
+            .collect();
+        service.start().expect("service starts");
+
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let observer = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_generation = 0u64;
+                let mut watermarks: BTreeMap<(String, TenantId), usize> = BTreeMap::new();
+                let mut observations = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = service.snapshot();
+                    assert!(
+                        snap.generation() >= last_generation,
+                        "snapshot generation went backwards: {} < {}",
+                        snap.generation(), last_generation,
+                    );
+                    last_generation = snap.generation();
+                    for (key, family) in snap.families() {
+                        assert!(family.is_trained(), "published family untrained");
+                        let seen = watermarks.entry(key.clone()).or_insert(0);
+                        assert!(
+                            family.trained_on() >= *seen,
+                            "family {:?} shrank: {} < {}",
+                            key, family.trained_on(), *seen,
+                        );
+                        *seen = family.trained_on();
+                    }
+                    observations += 1;
+                    std::thread::yield_now();
+                }
+                observations
+            })
+        };
+
+        for j in 0..n_jobs {
+            for (i, h) in handles.iter().enumerate() {
+                h.submit(schedule(i, n_jobs, 0)[j].clone()).unwrap();
+            }
+        }
+        for h in handles {
+            h.finish().expect("tenant stream succeeds");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let observations = observer.join().expect("observer clean");
+        prop_assert!(observations > 0);
+
+        let final_snap = service.snapshot();
+        // Every tenant landed n_jobs records, so no family can claim more.
+        for ((_, tenant), family) in final_snap.families() {
+            prop_assert!(family.trained_on() <= n_jobs, "tenant {:?}", tenant);
+        }
+        let service = Arc::try_unwrap(service).ok().expect("observer released the service");
+        let stats = service.join().expect("clean shutdown");
+        prop_assert!(stats.snapshot_generation > 0);
+        prop_assert!(stats.retrains > 0);
+    }
+}

@@ -267,6 +267,10 @@ impl Regressor for DecisionTable {
     fn name(&self) -> &str {
         "DT"
     }
+
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

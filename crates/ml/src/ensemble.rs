@@ -26,6 +26,7 @@ use crate::MlError;
 /// let y = ens.predict(&[20.0]).unwrap();
 /// assert!((y - 40.0).abs() < 15.0);
 /// ```
+#[derive(Clone)]
 pub struct Ensemble {
     members: Vec<Box<dyn Regressor>>,
     fitted_len: usize,
@@ -96,6 +97,10 @@ impl Regressor for Ensemble {
         "Ensemble"
     }
 
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         Some(self)
     }
@@ -136,8 +141,12 @@ mod tests {
     use super::*;
     use crate::regressor::default_family;
 
+    #[derive(Clone)]
     struct Constant(f64, bool);
     impl Regressor for Constant {
+        fn clone_box(&self) -> Box<dyn Regressor> {
+            Box::new(self.clone())
+        }
         fn fit(&mut self, _data: &Dataset) -> Result<(), MlError> {
             self.1 = true;
             Ok(())

@@ -143,6 +143,10 @@ impl Regressor for RandomForest {
         "RF"
     }
 
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         Some(self)
     }

@@ -178,6 +178,10 @@ impl Regressor for IbK {
         "IBk"
     }
 
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         Some(self)
     }

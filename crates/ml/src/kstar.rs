@@ -174,6 +174,10 @@ impl Regressor for KStar {
         "KStar"
     }
 
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         Some(self)
     }

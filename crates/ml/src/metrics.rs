@@ -93,8 +93,12 @@ mod tests {
 
     #[test]
     fn errors_signed_correctly() {
+        #[derive(Clone)]
         struct Plus10;
         impl Regressor for Plus10 {
+            fn clone_box(&self) -> Box<dyn Regressor> {
+                Box::new(self.clone())
+            }
             fn fit(&mut self, _d: &Dataset) -> Result<(), MlError> {
                 Ok(())
             }

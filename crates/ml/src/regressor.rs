@@ -38,6 +38,19 @@ pub trait Regressor: Send + Sync {
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         None
     }
+
+    /// Clones the model behind the trait object, fitted state included.
+    ///
+    /// Powers `impl Clone for Box<dyn Regressor>`, which read-mostly
+    /// snapshot layers need to freeze an immutable copy of a family while
+    /// the original keeps retraining.
+    fn clone_box(&self) -> Box<dyn Regressor>;
+}
+
+impl Clone for Box<dyn Regressor> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
+    }
 }
 
 /// Suffix training: extend a fitted model with new trailing rows without

@@ -311,6 +311,10 @@ impl Regressor for RandomTree {
         "RT"
     }
 
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+
     fn as_incremental(&mut self) -> Option<&mut dyn IncrementalRegressor> {
         Some(self)
     }
