@@ -195,7 +195,24 @@ pub fn value_each_position_on_path_into(
     fund.annual_returns_into(set, path, equity_driver, rate_driver, &mut scratch.returns)?;
     let n_years = scratch.returns.len();
     set.year_discount_factors_into(path, n_years, &mut scratch.dfs);
+    value_each_position_from_series(positions, &scratch.returns, &scratch.dfs, out);
+    Ok(())
+}
 
+/// The position-valuation core shared by
+/// [`value_each_position_on_path_into`] and the panel-based fast path: one
+/// PV per position written into `out` (cleared first), computed from an
+/// already-materialized annual fund-return series and the matching per-year
+/// discount factors. `returns.len()` defines the path horizon in years;
+/// `dfs` must have the same length.
+pub fn value_each_position_from_series(
+    positions: &[LiabilityPosition],
+    returns: &[f64],
+    dfs: &[f64],
+    out: &mut Vec<f64>,
+) {
+    let n_years = returns.len();
+    debug_assert_eq!(n_years, dfs.len(), "return/discount series mismatch");
     out.clear();
     out.reserve(positions.len()); // no-op once the buffer is warm
     for pos in positions {
@@ -205,13 +222,51 @@ pub fn value_each_position_on_path_into(
             let k = flow.year as usize;
             let idx = k.min(n_years);
             if k <= n_years {
-                phi *= 1.0 + pos.profit_sharing.readjustment_rate(scratch.returns[k - 1]);
+                phi *= 1.0 + pos.profit_sharing.readjustment_rate(returns[k - 1]);
             }
-            pv += flow.total() * phi * scratch.dfs[idx - 1];
+            pv += flow.total() * phi * dfs[idx - 1];
         }
         out.push(pv);
     }
-    Ok(())
+}
+
+/// Fills path-blocked valuation panels for **every** path of `set`: row `q`
+/// of `returns_panel` (`dfs_panel`) holds the annual fund returns (per-year
+/// discount factors) of path `q`, contiguously. Returns the row length
+/// (years on the path).
+///
+/// The nested inner loop fills the panels in one pass and then consumes one
+/// contiguous row pair per inner path through
+/// [`value_each_position_from_series`] — better locality than interleaving
+/// fund accounting with flow valuation per path, and bit-identical to it:
+/// the per-path fund fold and the running discount integral carry no state
+/// across paths, so computing them path-major in the same per-path order
+/// yields the same values, and the consumption order is unchanged.
+///
+/// # Errors
+///
+/// Propagates [`AlmError::ScenarioMismatch`] from the fund-return
+/// computation.
+pub fn fill_valuation_panels(
+    fund: &SegregatedFund,
+    set: &ScenarioView<'_>,
+    equity_driver: usize,
+    rate_driver: usize,
+    scratch: &mut PathScratch,
+    returns_panel: &mut Vec<f64>,
+    dfs_panel: &mut Vec<f64>,
+) -> Result<usize, AlmError> {
+    returns_panel.clear();
+    dfs_panel.clear();
+    let mut n_years = 0;
+    for q in 0..set.n_paths() {
+        fund.annual_returns_into(set, q, equity_driver, rate_driver, &mut scratch.returns)?;
+        n_years = scratch.returns.len();
+        set.year_discount_factors_into(q, n_years, &mut scratch.dfs);
+        returns_panel.extend_from_slice(&scratch.returns);
+        dfs_panel.extend_from_slice(&scratch.dfs);
+    }
+    Ok(n_years)
 }
 
 /// Shifts a schedule forward by `years`: flows already paid are dropped and
@@ -339,6 +394,49 @@ mod tests {
             let joint =
                 value_positions_on_path(&[a.clone(), b.clone()], &fund, &set, p, 1, 0).unwrap();
             assert!((sep - joint).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn valuation_panels_bitwise_match_per_path_kernel() {
+        let positions = vec![make_position(10, 0.8, 0.02), make_position(15, 0.9, 0.01)];
+        let set = q_set(16.0, 7, 11);
+        let view = set.view();
+        let fund = SegregatedFund::italian_typical(20);
+        let mut scratch = PathScratch::new();
+        // Pre-polluted panels: fill must fully overwrite them.
+        let mut returns_panel = vec![f64::NAN; 3];
+        let mut dfs_panel = vec![f64::NAN; 99];
+        let n_years =
+            fill_valuation_panels(&fund, &view, 1, 0, &mut scratch, &mut returns_panel, &mut dfs_panel)
+                .unwrap();
+        assert_eq!(returns_panel.len(), view.n_paths() * n_years);
+        assert_eq!(dfs_panel.len(), view.n_paths() * n_years);
+        let mut from_row = Vec::new();
+        let mut from_path = Vec::new();
+        for q in 0..view.n_paths() {
+            let row = q * n_years..(q + 1) * n_years;
+            value_each_position_from_series(
+                &positions,
+                &returns_panel[row.clone()],
+                &dfs_panel[row],
+                &mut from_row,
+            );
+            value_each_position_on_path_into(
+                &positions,
+                &fund,
+                &view,
+                q,
+                1,
+                0,
+                &mut scratch,
+                &mut from_path,
+            )
+            .unwrap();
+            assert_eq!(from_row.len(), from_path.len());
+            for (a, b) in from_row.iter().zip(&from_path) {
+                assert_eq!(a.to_bits(), b.to_bits(), "path {q}");
+            }
         }
     }
 

@@ -114,6 +114,7 @@ impl<'a> Lsmc<'a> {
             seed: config.seed ^ 0xCA11_B0A7,
             threads: config.threads,
             antithetic: false,
+            lane: disar_stochastic::scenario::DEFAULT_LANE,
         };
         let calib = self.nested.run(positions, &calib_cfg)?;
 
@@ -125,8 +126,13 @@ impl<'a> Lsmc<'a> {
             None,
         )?;
         let spy = calib_set.grid().steps_per_year();
+        let calib_view = calib_set.view();
+        let mut state = Vec::new();
         let calib_states: Vec<Vec<f64>> = (0..config.calibration_outer)
-            .map(|p| calib_set.state_at(p, spy))
+            .map(|p| {
+                calib_view.state_into(p, spy, &mut state);
+                state.clone()
+            })
             .collect();
 
         // Standardize states so the orthonormal bases see O(1) inputs.
@@ -157,9 +163,11 @@ impl<'a> Lsmc<'a> {
         let eval_set =
             self.outer
                 .generate(Measure::RealWorld, config.n_outer, config.seed, None)?;
+        let eval_view = eval_set.view();
         let y1: Vec<f64> = (0..config.n_outer)
             .map(|p| {
-                let s = standardize(&eval_set.state_at(p, spy));
+                eval_view.state_into(p, spy, &mut state);
+                let s = standardize(&state);
                 basis
                     .eval(&s)
                     .iter()
@@ -258,6 +266,7 @@ mod tests {
                     seed: 3,
                     threads: 1,
                     antithetic: false,
+                    lane: disar_stochastic::scenario::DEFAULT_LANE,
                 },
             )
             .unwrap();

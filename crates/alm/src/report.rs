@@ -189,6 +189,7 @@ mod tests {
                     seed: 3,
                     threads: 1,
                     antithetic: false,
+                    lane: disar_stochastic::scenario::DEFAULT_LANE,
                 },
             )
             .unwrap();

@@ -44,6 +44,11 @@ pub struct ValuationWorkspace {
     pub(crate) state: Vec<f64>,
     /// Annual fund returns along the outer path.
     pub(crate) outer_returns: Vec<f64>,
+    /// Lane-major panel of annual fund returns: row `q` holds the inner
+    /// path `q`'s per-year returns, contiguously.
+    pub(crate) returns_panel: Vec<f64>,
+    /// Lane-major panel of per-year discount factors, same layout.
+    pub(crate) dfs_panel: Vec<f64>,
 }
 
 impl ValuationWorkspace {
@@ -64,7 +69,8 @@ impl ValuationWorkspace {
         let mut ws = Self::default();
         // Antithetic runs generate 2 · (n_inner / 2) = n_inner total paths,
         // so the buffer shape is the same either way.
-        ws.inner_buf.reserve_for(inner, config.n_inner);
+        ws.inner_buf
+            .reserve_for_lanes(inner, config.n_inner, config.lane.max(1));
         let inner_years = inner.grid().n_steps() / inner.grid().steps_per_year();
         let outer_years = outer.grid().n_steps() / outer.grid().steps_per_year();
         ws.scratch.reserve_years(inner_years.max(outer_years));
@@ -73,6 +79,8 @@ impl ValuationWorkspace {
         ws.phi1.reserve(n_positions);
         ws.state.reserve(inner.n_drivers());
         ws.outer_returns.reserve(outer_years.max(1));
+        ws.returns_panel.reserve(config.n_inner * inner_years.max(1));
+        ws.dfs_panel.reserve(config.n_inner * inner_years.max(1));
         ws
     }
 }

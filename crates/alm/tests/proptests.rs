@@ -138,6 +138,9 @@ fn nested_generators(inner_horizon: f64) -> (ScenarioGenerator, ScenarioGenerato
 /// The pre-workspace nested procedure, reimplemented with the allocating
 /// APIs only (`generate`, `state_at`, `value_each_position_on_path`) —
 /// the reference the zero-allocation kernel path must match to the bit.
+/// Deliberately keeps the deprecated `state_at` call: the reference is
+/// frozen against the historical implementation.
+#[allow(deprecated)]
 fn reference_nested(
     outer: &ScenarioGenerator,
     inner: &ScenarioGenerator,
@@ -230,7 +233,10 @@ proptest! {
 
     /// The workspace-backed nested engine is bit-identical to the
     /// allocating reference — sequential and threaded, plain and
-    /// antithetic, for arbitrary seeds and path counts.
+    /// antithetic, for arbitrary seeds, path counts **and lane widths**
+    /// (the reference predates the block kernels entirely, so this pins
+    /// `lane = k` to the historical scalar implementation, not just to
+    /// `lane = 1`).
     #[test]
     fn nested_kernel_bitwise_matches_allocating_reference(
         seed in 0u64..200,
@@ -238,6 +244,7 @@ proptest! {
         inner_pairs in 1usize..4,
         antithetic in proptest::bool::ANY,
         threads in 1usize..4,
+        lane in proptest::sample::select(vec![1usize, 2, 4, 8, 16]),
     ) {
         let (outer, inner) = nested_generators(6.0);
         let fund = SegregatedFund::italian_typical(10);
@@ -249,6 +256,7 @@ proptest! {
             seed,
             threads,
             antithetic,
+            lane,
         };
         let (y1, mean, scr, bel) =
             reference_nested(&outer, &inner, &fund, &positions, &config);
@@ -268,14 +276,23 @@ proptest! {
     /// same run on a fresh engine-allocated workspace.
     #[test]
     fn workspace_reuse_never_leaks_state(
-        seeds in prop::collection::vec((0u64..100, 2usize..6, 1usize..3, proptest::bool::ANY), 2..4),
+        seeds in prop::collection::vec(
+            (
+                0u64..100,
+                2usize..6,
+                1usize..3,
+                proptest::bool::ANY,
+                proptest::sample::select(vec![1usize, 2, 4, 8, 16]),
+            ),
+            2..4,
+        ),
     ) {
         let (outer, inner) = nested_generators(6.0);
         let fund = SegregatedFund::italian_typical(10);
         let positions = vec![position(50, 6, 0.8, 1000.0)];
         let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("engine");
         let mut ws = disar_alm::ValuationWorkspace::new();
-        for (seed, n_outer, inner_pairs, antithetic) in seeds {
+        for (seed, n_outer, inner_pairs, antithetic, lane) in seeds {
             let config = NestedConfig {
                 n_outer,
                 n_inner: 2 * inner_pairs,
@@ -283,6 +300,7 @@ proptest! {
                 seed,
                 threads: 1,
                 antithetic,
+                lane,
             };
             let reused = mc.run_with_workspace(&positions, &config, &mut ws).expect("run");
             let fresh = mc.run(&positions, &config).expect("run");

@@ -65,6 +65,7 @@ fn bench_parallel_valuation(c: &mut Criterion) {
                         seed: 7,
                         threads: t,
                         antithetic: false,
+                        lane: disar_stochastic::scenario::DEFAULT_LANE,
                     },
                 )
                 .expect("valuation succeeds")

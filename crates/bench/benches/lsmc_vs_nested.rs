@@ -62,6 +62,7 @@ fn bench_methods(c: &mut Criterion) {
                         seed: 3,
                         threads: 1,
                         antithetic: false,
+                        lane: disar_stochastic::scenario::DEFAULT_LANE,
                     },
                 )
                 .expect("runs")

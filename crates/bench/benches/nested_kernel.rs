@@ -116,6 +116,7 @@ struct KernelRow {
     n_inner: usize,
     threads: usize,
     antithetic: bool,
+    lane: usize,
     median_wall_ns: u128,
     allocations: usize,
     steady_state_allocs_per_inner_path: f64,
@@ -148,6 +149,7 @@ fn kernel_row(
     pos: &[LiabilityPosition],
     threads: usize,
     antithetic: bool,
+    lane: usize,
     reps: usize,
 ) -> KernelRow {
     let config = |n_outer, n_inner| NestedConfig {
@@ -157,6 +159,7 @@ fn kernel_row(
         seed: 17,
         threads,
         antithetic,
+        lane,
     };
     let small = config(50, 10);
     let large = config(200, 40);
@@ -192,6 +195,7 @@ fn kernel_row(
         n_inner: large.n_inner,
         threads,
         antithetic,
+        lane,
         median_wall_ns,
         allocations: large_allocs,
         steady_state_allocs_per_inner_path: per_inner_path,
@@ -208,10 +212,20 @@ fn main() {
 
     let mut rows = Vec::new();
     for (threads, antithetic) in [(1, false), (1, true), (4, false), (4, true)] {
-        let row = kernel_row(&mc, &pos, threads, antithetic, 7);
+        let row = kernel_row(&mc, &pos, threads, antithetic, 8, 7);
         println!(
-            "threads {threads} antithetic {antithetic:>5}: {:>12} ns/run, \
+            "threads {threads} antithetic {antithetic:>5} lane 8: {:>12} ns/run, \
              {:>4} allocs/run, {:.4} allocs/inner-path",
+            row.median_wall_ns, row.allocations, row.steady_state_allocs_per_inner_path
+        );
+        rows.push(row);
+    }
+    // Lane sweep: the block-kernel throughput knob, sequential plain runs
+    // so the kernel dominates the wall time.
+    for lane in [1usize, 2, 4, 8, 16] {
+        let row = kernel_row(&mc, &pos, 1, false, lane, 7);
+        println!(
+            "lane {lane:>2}: {:>12} ns/run, {:>4} allocs/run, {:.4} allocs/inner-path",
             row.median_wall_ns, row.allocations, row.steady_state_allocs_per_inner_path
         );
         rows.push(row);

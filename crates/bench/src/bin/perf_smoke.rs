@@ -1,0 +1,163 @@
+//! `perf_smoke` — dependency-free timing of the nested Monte Carlo kernel.
+//!
+//! The criterion benches need a populated cargo registry to build; this
+//! binary deliberately uses **std `Instant` only** so the perf trajectory
+//! can be measured on hardware where the registry is unreachable:
+//!
+//! ```text
+//! cargo run --release -p disar-bench --bin perf_smoke
+//! ```
+//!
+//! It times the full nested valuation at lane ∈ {1, 8} (the scalar escape
+//! hatch vs the default block width), checks the two runs are bit-identical
+//! (the lane contract), prints the medians and the speedup, and *appends*
+//! the rows to `BENCH_engine.json` at the repo root — read-modify-write, so
+//! criterion-produced rows are preserved.
+
+use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
+use disar_actuarial::engine::ActuarialEngine;
+use disar_actuarial::lapse::ConstantLapse;
+use disar_actuarial::model_points::ModelPoint;
+use disar_actuarial::mortality::{Gender, LifeTable};
+use disar_alm::liability::LiabilityPosition;
+use disar_alm::nested::{NestedConfig, NestedMonteCarlo, NestedResult};
+use disar_alm::SegregatedFund;
+use disar_stochastic::drivers::{Gbm, Vasicek};
+use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N_OUTER: usize = 150;
+const N_INNER: usize = 40;
+const REPS: usize = 9;
+
+fn generators(inner_horizon: f64) -> (ScenarioGenerator, ScenarioGenerator) {
+    let build = |h: f64| {
+        ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.03, 0.5, 0.03, 0.008, 0.15).expect("valid")))
+            .driver(Box::new(Gbm::new(100.0, 0.07, 0.18, 0.03).expect("valid")))
+            .grid(TimeGrid::new(h, 12).expect("valid"))
+            .build()
+            .expect("valid")
+    };
+    (build(1.0), build(inner_horizon))
+}
+
+fn positions(term: u32) -> Vec<LiabilityPosition> {
+    let table = LifeTable::italian_population();
+    let lapse = ConstantLapse::new(0.03).expect("valid");
+    let engine = ActuarialEngine::new(&table, &lapse);
+    [0.0, 0.02]
+        .iter()
+        .map(|&tech| {
+            let ps = ProfitSharing::new(0.8, tech).expect("valid");
+            let c = Contract::new(ProductKind::Endowment, 50, Gender::Male, term, 1000.0, ps)
+                .expect("valid");
+            let mp = ModelPoint {
+                contract: c,
+                policy_count: 1,
+            };
+            LiabilityPosition {
+                schedule: engine.cash_flow_schedule(&mp).expect("valid"),
+                profit_sharing: ps,
+            }
+        })
+        .collect()
+}
+
+/// Median wall time (ns) of `REPS` sequential runs through a warm
+/// caller-owned workspace, plus the last result for identity checking.
+fn time_lane(
+    mc: &NestedMonteCarlo<'_>,
+    pos: &[LiabilityPosition],
+    lane: usize,
+) -> (u128, NestedResult) {
+    let config = NestedConfig {
+        n_outer: N_OUTER,
+        n_inner: N_INNER,
+        confidence: 0.995,
+        seed: 17,
+        threads: 1,
+        antithetic: false,
+        lane,
+    };
+    let mut ws = mc.workspace_for(&config, pos.len());
+    // Warm-up fills the workspace so the timed runs are steady-state.
+    let mut res = mc.run_with_workspace(pos, &config, &mut ws).expect("runs");
+    let mut times: Vec<u128> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            res = mc.run_with_workspace(pos, &config, &mut ws).expect("runs");
+            let ns = t.elapsed().as_nanos();
+            black_box(&res);
+            ns
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], res)
+}
+
+/// Appends `rows` to the `"rows"` array of `BENCH_engine.json`, creating
+/// the file if missing and preserving whatever the criterion harness wrote.
+fn append_rows(rows: Vec<serde_json::Value>) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json");
+    let mut doc: serde_json::Value = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({ "rows": [] }));
+    if !doc.is_object() {
+        doc = serde_json::json!({ "rows": [] });
+    }
+    let obj = doc.as_object_mut().expect("object");
+    obj.entry("generated_by")
+        .or_insert_with(|| "cargo run --release -p disar-bench --bin perf_smoke".into());
+    let arr = obj
+        .entry("rows")
+        .or_insert_with(|| serde_json::Value::Array(Vec::new()));
+    if !arr.is_array() {
+        *arr = serde_json::Value::Array(Vec::new());
+    }
+    arr.as_array_mut().expect("array").extend(rows);
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serializes") + "\n",
+    )
+    .expect("repo root is writable");
+    println!("appended rows to {}", path.display());
+}
+
+fn main() {
+    let (outer, inner) = generators(10.0);
+    let fund = SegregatedFund::italian_typical(20);
+    let pos = positions(10);
+    let mc = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("engine");
+
+    let (scalar_ns, scalar_res) = time_lane(&mc, &pos, 1);
+    let (block_ns, block_res) = time_lane(&mc, &pos, 8);
+    assert_eq!(
+        scalar_res, block_res,
+        "lane contract violated: lane=8 must be bit-identical to lane=1"
+    );
+
+    let speedup = scalar_ns as f64 / block_ns as f64;
+    println!("nested kernel {N_OUTER}x{N_INNER}, sequential, plain:");
+    println!("  lane 1: {scalar_ns:>12} ns/run (median of {REPS})");
+    println!("  lane 8: {block_ns:>12} ns/run (median of {REPS})");
+    println!("  speedup lane8/lane1: {speedup:.2}x");
+
+    let row = |lane: usize, ns: u128| {
+        serde_json::json!({
+            "source": "perf_smoke",
+            "n_outer": N_OUTER,
+            "n_inner": N_INNER,
+            "threads": 1,
+            "antithetic": false,
+            "lane": lane,
+            "median_wall_ns": ns,
+            "speedup_vs_lane1": if lane == 1 { 1.0 } else { speedup },
+        })
+    };
+    append_rows(vec![row(1, scalar_ns), row(8, block_ns)]);
+}

@@ -11,7 +11,7 @@ use disar_core::{
 };
 use disar_engine::complexity::ComplexityModel;
 use disar_engine::eeb::{decompose, EebKind};
-use disar_engine::simulation::{MarketModel, SimulationSpec};
+use disar_engine::simulation::{MarketModel, SimulationSpec, DEFAULT_LANE};
 use disar_math::rng::stream_rng;
 use rand::Rng;
 use std::sync::Arc;
@@ -148,6 +148,7 @@ pub fn paper_eeb_jobs(cfg: &CampaignConfig) -> Vec<EebJob> {
             steps_per_year: 12,
             seed: cfg.seed.wrapping_add(pi as u64),
             portfolio,
+            lane: DEFAULT_LANE,
         };
         let eebs = decompose(&spec, 5).expect("portfolios have >= 5 model points");
         for eeb in eebs.iter().filter(|e| e.kind == EebKind::AlmValuation) {

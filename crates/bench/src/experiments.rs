@@ -951,6 +951,7 @@ pub fn ablation_lsmc(seed: u64) -> LsmcAblation {
                 seed,
                 threads: 1,
                 antithetic: false,
+                lane: disar_stochastic::scenario::DEFAULT_LANE,
             },
         )
         .expect("nested run succeeds");

@@ -142,6 +142,7 @@ mod tests {
             n_inner,
             steps_per_year: 12,
             seed: 1,
+            lane: crate::simulation::DEFAULT_LANE,
         }
     }
 

@@ -166,6 +166,7 @@ mod tests {
             n_inner: 20,
             steps_per_year: 12,
             seed: 1,
+            lane: crate::simulation::DEFAULT_LANE,
         }
     }
 

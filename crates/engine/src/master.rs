@@ -338,6 +338,7 @@ mod tests {
             n_inner: 8,
             steps_per_year: 4,
             seed,
+            lane: crate::simulation::DEFAULT_LANE,
         }
     }
 

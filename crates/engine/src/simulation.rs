@@ -13,6 +13,14 @@ use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
 use disar_stochastic::CorrelationMatrix;
 use serde::{Deserialize, Serialize};
 
+// Re-exported so spec-building callers can say `lane: DEFAULT_LANE` without
+// depending on disar-stochastic directly.
+pub use disar_stochastic::scenario::DEFAULT_LANE;
+
+fn default_lane() -> usize {
+    DEFAULT_LANE
+}
+
 /// How rich the market model is — drives the paper's "number of financial
 /// risk-factors" feature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -110,6 +118,11 @@ pub struct SimulationSpec {
     pub steps_per_year: usize,
     /// Master seed of the whole run.
     pub seed: u64,
+    /// Path-block (lane) width of the scenario kernels; `1` is the scalar
+    /// escape hatch. Bit-identical results for every width — a throughput
+    /// knob only.
+    #[serde(default = "default_lane")]
+    pub lane: usize,
 }
 
 impl SimulationSpec {
@@ -127,6 +140,7 @@ impl SimulationSpec {
             n_inner: 50,
             steps_per_year: 12,
             seed,
+            lane: DEFAULT_LANE,
         }
     }
 
@@ -144,6 +158,7 @@ impl SimulationSpec {
             seed: self.seed,
             threads: 1,
             antithetic: false,
+            lane: self.lane,
         }
     }
 
@@ -161,6 +176,9 @@ impl SimulationSpec {
         }
         if self.steps_per_year == 0 {
             return Err(EngineError::InvalidParameter("steps_per_year must be > 0"));
+        }
+        if self.lane == 0 {
+            return Err(EngineError::InvalidParameter("lane must be > 0"));
         }
         if self.portfolio.model_points.is_empty() {
             return Err(EngineError::InvalidParameter("portfolio is empty"));
@@ -233,6 +251,7 @@ mod tests {
         assert_eq!(cfg.confidence, 0.995);
         assert_eq!(cfg.threads, 1);
         assert!(!cfg.antithetic);
+        assert_eq!(cfg.lane, spec.lane);
     }
 
     #[test]
@@ -246,6 +265,9 @@ mod tests {
         assert!(spec.validate().is_err());
         spec.n_outer = 10;
         spec.steps_per_year = 0;
+        assert!(spec.validate().is_err());
+        spec.steps_per_year = 12;
+        spec.lane = 0;
         assert!(spec.validate().is_err());
     }
 }

@@ -4,7 +4,7 @@ use disar_actuarial::portfolio::PortfolioSpec;
 use disar_alm::SegregatedFund;
 use disar_engine::complexity::ComplexityModel;
 use disar_engine::eeb::{decompose, EebKind};
-use disar_engine::simulation::{MarketModel, SimulationSpec};
+use disar_engine::simulation::{MarketModel, SimulationSpec, DEFAULT_LANE};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = SimulationSpec> {
@@ -34,6 +34,7 @@ fn spec_strategy() -> impl Strategy<Value = SimulationSpec> {
                 n_inner,
                 steps_per_year: 12,
                 seed,
+                lane: DEFAULT_LANE,
             }
         })
 }

@@ -26,12 +26,32 @@
 //! [`ScenarioView`] is the read-only window shared by both backings
 //! ([`ScenarioSet::view`] / [`ScenarioBuffer::view`]), so valuation kernels
 //! are written once against the view.
+//!
+//! # Block (lane-wise) generation
+//!
+//! The fill core steps **blocks of `lane` paths in lockstep**: per grid
+//! step, each lane draws its own shocks from its own per-path RNG stream,
+//! then every driver advances its whole lane of states through one
+//! [`crate::drivers::RiskDriver::step_block`] call with per-step
+//! coefficients ([`crate::drivers::StepCoeffs`]) hoisted once per fill.
+//! This is **bit-identical for every lane width**, by construction: paths
+//! share no floating-point state, each path's RNG stream and per-step
+//! operation sequence are exactly those of the scalar loop, and only the
+//! interleaving *across* independent paths changes. `lane = 1` is the
+//! scalar escape hatch; [`DEFAULT_LANE`] is the vector-friendly default.
 
 use crate::correlation::CorrelationMatrix;
-use crate::drivers::RiskDriver;
+use crate::drivers::{RiskDriver, StepCoeffs};
 use crate::StochasticError;
 use disar_math::rng::{stream_rng, StandardNormal};
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+
+/// Default path-block (lane) width of the block-stepping fill core — wide
+/// enough to keep [`crate::drivers::STEP_CHUNK`]-sized chunks full, small
+/// enough that the lane-major scratch stays in cache. `lane = 1` recovers
+/// the scalar loop bit-for-bit.
+pub const DEFAULT_LANE: usize = 8;
 
 /// The probability measure scenarios are generated under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -199,6 +219,9 @@ impl ScenarioSet {
     /// # Panics
     ///
     /// Panics if any index is out of range.
+    #[deprecated(
+        note = "allocates a fresh Vec per call; use `view().state_into` with a reused buffer"
+    )]
     pub fn state_at(&self, path: usize, step: usize) -> Vec<f64> {
         (0..self.n_drivers())
             .map(|d| self.value(path, d, step))
@@ -307,6 +330,13 @@ impl ScenarioView<'_> {
     /// Returns `1.0` when no short-rate driver is present (deterministic
     /// zero-rate fallback).
     ///
+    /// Each call re-sums the integral from step 0, i.e. costs `O(step)` —
+    /// calling it for every step of a path is `O(n_steps²)`. Callers that
+    /// need factors at many steps of the same path should use
+    /// [`ScenarioView::step_discount_factors_into`] (all steps, one linear
+    /// pass) or [`ScenarioView::year_discount_factors_into`] (year
+    /// boundaries), both bit-identical to the per-call results.
+    ///
     /// # Panics
     ///
     /// Panics if the indices are out of range.
@@ -322,6 +352,38 @@ impl ScenarioView<'_> {
             integral += 0.5 * (rates[s] + rates[s + 1]) * dt;
         }
         (-integral).exp()
+    }
+
+    /// Fills `out` (cleared first) with the discount factors at **every**
+    /// grid step of `path`: entry `s` is bit-identical to
+    /// `discount_factor(path, s)`, for `s` in `0..=n_steps`.
+    ///
+    /// One running trapezoidal integral serves all steps. The per-step
+    /// additions happen in exactly the order of each fresh
+    /// [`ScenarioView::discount_factor`] loop, so every partial sum — and
+    /// hence every emitted factor — matches the per-call result to the bit,
+    /// at `O(n_steps)` total work instead of the `O(n_steps²)` of calling
+    /// `discount_factor` once per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn step_discount_factors_into(&self, path: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let n_steps = self.grid.n_steps();
+        let Some(sr) = self.short_rate_index else {
+            assert!(path < self.n_paths, "path index out of range");
+            out.resize(n_steps + 1, 1.0);
+            return;
+        };
+        let rates = self.path(path, sr);
+        let dt = self.grid.dt();
+        let mut integral = 0.0;
+        out.push((-integral).exp());
+        for s in 0..n_steps {
+            integral += 0.5 * (rates[s] + rates[s + 1]) * dt;
+            out.push((-integral).exp());
+        }
     }
 
     /// Fills `out` (cleared first) with the discount factors at the
@@ -389,8 +451,19 @@ pub struct ScenarioBuffer {
     initials: Vec<f64>,
     raw: Vec<f64>,
     shocks: Vec<f64>,
-    state_pos: Vec<f64>,
-    state_neg: Vec<f64>,
+    /// Per-step driver coefficients, hoisted once per fill.
+    coeffs: Vec<StepCoeffs>,
+    /// One `(rng, gaussian cache)` pair per lane of the current block, so
+    /// every path keeps exactly the draw sequence of the scalar loop.
+    lane_rngs: Vec<(StdRng, StandardNormal)>,
+    /// Lane-major state panel, `[driver][lane]`.
+    lane_states: Vec<f64>,
+    /// Antithetic partner states, `[driver][lane]`.
+    lane_states_neg: Vec<f64>,
+    /// Lane-major shock panel, `[driver][lane]`.
+    lane_shocks: Vec<f64>,
+    /// Negated shocks for antithetic partners, `[driver][lane]`.
+    lane_shocks_neg: Vec<f64>,
 }
 
 impl ScenarioBuffer {
@@ -399,21 +472,41 @@ impl ScenarioBuffer {
         Self::default()
     }
 
-    /// Pre-sizes the buffer for `n_paths` total paths from `generator`, so
-    /// even the *first* `generate_into` of that shape allocates nothing.
+    /// Pre-sizes the buffer for `n_paths` total paths from `generator` at
+    /// lane width 1, so even the *first* `generate_into` of that shape
+    /// allocates nothing. See [`ScenarioBuffer::reserve_for_lanes`] for the
+    /// block-stepping fills.
     pub fn reserve_for(&mut self, generator: &ScenarioGenerator, n_paths: usize) {
+        self.reserve_for_lanes(generator, n_paths, 1);
+    }
+
+    /// Pre-sizes the buffer for `n_paths` total paths from `generator`
+    /// filled at block width `lane`, covering the lane-major scratch panels
+    /// as well, so even the *first* `generate_into_lanes` of that shape
+    /// allocates nothing.
+    pub fn reserve_for_lanes(
+        &mut self,
+        generator: &ScenarioGenerator,
+        n_paths: usize,
+        lane: usize,
+    ) {
         let n_drivers = generator.n_drivers();
         let stride = generator.grid().n_steps() + 1;
         let need = n_paths * n_drivers * stride;
         self.data.reserve(need.saturating_sub(self.data.len()));
-        for v in [
-            &mut self.initials,
-            &mut self.raw,
-            &mut self.shocks,
-            &mut self.state_pos,
-            &mut self.state_neg,
-        ] {
+        for v in [&mut self.initials, &mut self.raw, &mut self.shocks] {
             v.reserve(n_drivers.saturating_sub(v.len()));
+        }
+        self.coeffs.reserve(n_drivers.saturating_sub(self.coeffs.len()));
+        self.lane_rngs.reserve(lane.saturating_sub(self.lane_rngs.len()));
+        let panel = n_drivers * lane.max(1);
+        for v in [
+            &mut self.lane_states,
+            &mut self.lane_states_neg,
+            &mut self.lane_shocks,
+            &mut self.lane_shocks_neg,
+        ] {
+            v.reserve(panel.saturating_sub(v.len()));
         }
     }
 
@@ -503,8 +596,6 @@ impl ScenarioGenerator {
         }
         buf.raw.resize(n_drivers, 0.0);
         buf.shocks.resize(n_drivers, 0.0);
-        buf.state_pos.resize(n_drivers, 0.0);
-        buf.state_neg.resize(n_drivers, 0.0);
         buf.meta = Some(BufferMeta {
             grid: self.grid,
             measure,
@@ -540,9 +631,10 @@ impl ScenarioGenerator {
 
     /// Fills `buf` with `n_paths` joint paths under `measure` —
     /// bit-identical to [`ScenarioGenerator::generate`] (same RNG stream
-    /// derivation `stream_rng(seed, path)`, same write order), but reusing
-    /// the buffer's storage: a warm same-shape refill performs zero heap
-    /// allocations.
+    /// derivation `stream_rng(seed, path)`, same per-path operation
+    /// sequence), but reusing the buffer's storage: a warm same-shape refill
+    /// performs zero heap allocations. Equivalent to
+    /// [`ScenarioGenerator::generate_into_lanes`] at `lane = 1`.
     ///
     /// # Errors
     ///
@@ -555,37 +647,40 @@ impl ScenarioGenerator {
         initial_overrides: Option<&[f64]>,
         buf: &mut ScenarioBuffer,
     ) -> Result<(), StochasticError> {
-        self.prepare_buffer(measure, n_paths, "n_paths", n_paths, initial_overrides, buf)?;
-        let n_drivers = self.drivers.len();
-        let n_steps = self.grid.n_steps();
-        let dt = self.grid.dt();
-        let stride = n_steps + 1;
-        let ScenarioBuffer {
-            data,
-            initials,
-            raw,
-            shocks,
-            state_pos: state,
-            ..
-        } = buf;
-        for p in 0..n_paths {
-            let mut rng = stream_rng(seed, p as u64);
-            let mut gauss = StandardNormal::new();
-            state.copy_from_slice(initials);
-            for (d, s) in state.iter().enumerate() {
-                data[(p * n_drivers + d) * stride] = *s;
-            }
-            for step in 1..=n_steps {
-                for z in raw.iter_mut() {
-                    *z = gauss.sample(&mut rng);
-                }
-                self.correlation.correlate_into(raw, shocks);
-                for d in 0..n_drivers {
-                    state[d] = self.drivers[d].step(state[d], dt, shocks[d], measure);
-                    data[(p * n_drivers + d) * stride + step] = state[d];
-                }
-            }
+        self.generate_into_lanes(measure, n_paths, seed, initial_overrides, buf, 1)
+    }
+
+    /// Fills `buf` with `n_paths` joint paths, stepping blocks of `lane`
+    /// paths in lockstep through [`RiskDriver::step_block`] with hoisted
+    /// [`StepCoeffs`].
+    ///
+    /// **Bit-identical for every `lane`** (and to
+    /// [`ScenarioGenerator::generate`]): path `p` always consumes the RNG
+    /// stream `stream_rng(seed, p)` in the same order (all drivers' draws
+    /// for step 1, then step 2, …) and undergoes the same per-step
+    /// floating-point operation sequence; only the interleaving across
+    /// independent paths changes. `lane = 1` is the scalar escape hatch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ScenarioGenerator::generate`], plus
+    /// [`StochasticError::InvalidConfiguration`] when `lane == 0`.
+    pub fn generate_into_lanes(
+        &self,
+        measure: Measure,
+        n_paths: usize,
+        seed: u64,
+        initial_overrides: Option<&[f64]>,
+        buf: &mut ScenarioBuffer,
+        lane: usize,
+    ) -> Result<(), StochasticError> {
+        if lane == 0 {
+            return Err(StochasticError::InvalidConfiguration(
+                "lane must be > 0".into(),
+            ));
         }
+        self.prepare_buffer(measure, n_paths, "n_paths", n_paths, initial_overrides, buf)?;
+        self.fill_blocks(measure, seed, lane, n_paths, false, buf);
         Ok(())
     }
 
@@ -613,8 +708,10 @@ impl ScenarioGenerator {
 
     /// Fills `buf` with `2 · n_pairs` antithetic paths — bit-identical to
     /// [`ScenarioGenerator::generate_antithetic`] (same per-pair RNG stream
-    /// `stream_rng(seed, pair)`, same write order), but reusing the
-    /// buffer's storage like [`ScenarioGenerator::generate_into`].
+    /// `stream_rng(seed, pair)`, same per-pair operation sequence), but
+    /// reusing the buffer's storage like
+    /// [`ScenarioGenerator::generate_into`]. Equivalent to
+    /// [`ScenarioGenerator::generate_antithetic_into_lanes`] at `lane = 1`.
     ///
     /// # Errors
     ///
@@ -627,6 +724,33 @@ impl ScenarioGenerator {
         initial_overrides: Option<&[f64]>,
         buf: &mut ScenarioBuffer,
     ) -> Result<(), StochasticError> {
+        self.generate_antithetic_into_lanes(measure, n_pairs, seed, initial_overrides, buf, 1)
+    }
+
+    /// Fills `buf` with `2 · n_pairs` antithetic paths, stepping blocks of
+    /// `lane` *pairs* in lockstep — the antithetic sibling of
+    /// [`ScenarioGenerator::generate_into_lanes`], with the same
+    /// bit-identity guarantee for every lane width (the partner's shock is
+    /// the exact negation, as in the scalar loop).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ScenarioGenerator::generate`], plus
+    /// [`StochasticError::InvalidConfiguration`] when `lane == 0`.
+    pub fn generate_antithetic_into_lanes(
+        &self,
+        measure: Measure,
+        n_pairs: usize,
+        seed: u64,
+        initial_overrides: Option<&[f64]>,
+        buf: &mut ScenarioBuffer,
+        lane: usize,
+    ) -> Result<(), StochasticError> {
+        if lane == 0 {
+            return Err(StochasticError::InvalidConfiguration(
+                "lane must be > 0".into(),
+            ));
+        }
         self.prepare_buffer(
             measure,
             n_pairs,
@@ -635,43 +759,125 @@ impl ScenarioGenerator {
             initial_overrides,
             buf,
         )?;
+        self.fill_blocks(measure, seed, lane, n_pairs, true, buf);
+        Ok(())
+    }
+
+    /// The shared block-stepping fill core.
+    ///
+    /// A *unit* is one path (plain) or one antithetic pair. Per block of up
+    /// to `lane` units: every lane re-derives its unit's RNG stream
+    /// (`stream_rng(seed, unit)`), then per grid step each lane draws its
+    /// drivers' shocks **in path order** (preserving each unit's exact draw
+    /// sequence), the shocks are transposed into the lane-major panel, and
+    /// each driver advances its whole lane of states through one
+    /// [`RiskDriver::step_block`] call using the coefficients hoisted at
+    /// the top of the fill. Because no floating-point value ever crosses
+    /// between lanes, the per-unit results are bit-identical to the scalar
+    /// (`lane = 1`) loop for any lane width.
+    fn fill_blocks(
+        &self,
+        measure: Measure,
+        seed: u64,
+        lane: usize,
+        n_units: usize,
+        antithetic: bool,
+        buf: &mut ScenarioBuffer,
+    ) {
         let n_drivers = self.drivers.len();
         let n_steps = self.grid.n_steps();
         let dt = self.grid.dt();
         let stride = n_steps + 1;
+        buf.coeffs.clear();
+        buf.coeffs
+            .extend(self.drivers.iter().map(|d| d.step_coeffs(dt, measure)));
+        buf.lane_states.resize(n_drivers * lane, 0.0);
+        buf.lane_shocks.resize(n_drivers * lane, 0.0);
+        if antithetic {
+            buf.lane_states_neg.resize(n_drivers * lane, 0.0);
+            buf.lane_shocks_neg.resize(n_drivers * lane, 0.0);
+        }
         let ScenarioBuffer {
             data,
             initials,
             raw,
             shocks,
-            state_pos,
-            state_neg,
+            coeffs,
+            lane_rngs,
+            lane_states,
+            lane_states_neg,
+            lane_shocks,
+            lane_shocks_neg,
             ..
         } = buf;
-        for pair in 0..n_pairs {
-            let mut rng = stream_rng(seed, pair as u64);
-            let mut gauss = StandardNormal::new();
-            state_pos.copy_from_slice(initials);
-            state_neg.copy_from_slice(initials);
-            let (p_pos, p_neg) = (2 * pair, 2 * pair + 1);
+        let mut block = 0usize;
+        while block < n_units {
+            // `l < lane` only on the final partial block.
+            let l = lane.min(n_units - block);
+            lane_rngs.clear();
+            lane_rngs.extend(
+                (0..l).map(|i| (stream_rng(seed, (block + i) as u64), StandardNormal::new())),
+            );
             for d in 0..n_drivers {
-                data[(p_pos * n_drivers + d) * stride] = initials[d];
-                data[(p_neg * n_drivers + d) * stride] = initials[d];
+                let init = initials[d];
+                lane_states[d * l..(d + 1) * l].fill(init);
+                for i in 0..l {
+                    let base = if antithetic { 2 * (block + i) } else { block + i };
+                    data[(base * n_drivers + d) * stride] = init;
+                    if antithetic {
+                        data[((base + 1) * n_drivers + d) * stride] = init;
+                    }
+                }
+            }
+            if antithetic {
+                let filled = n_drivers * l;
+                lane_states_neg[..filled].copy_from_slice(&lane_states[..filled]);
             }
             for step in 1..=n_steps {
-                for z in raw.iter_mut() {
-                    *z = gauss.sample(&mut rng);
+                for (i, (rng, gauss)) in lane_rngs.iter_mut().enumerate() {
+                    for z in raw.iter_mut() {
+                        *z = gauss.sample(rng);
+                    }
+                    self.correlation.correlate_into(raw, shocks);
+                    for d in 0..n_drivers {
+                        lane_shocks[d * l + i] = shocks[d];
+                        if antithetic {
+                            lane_shocks_neg[d * l + i] = -shocks[d];
+                        }
+                    }
                 }
-                self.correlation.correlate_into(raw, shocks);
                 for d in 0..n_drivers {
-                    state_pos[d] = self.drivers[d].step(state_pos[d], dt, shocks[d], measure);
-                    state_neg[d] = self.drivers[d].step(state_neg[d], dt, -shocks[d], measure);
-                    data[(p_pos * n_drivers + d) * stride + step] = state_pos[d];
-                    data[(p_neg * n_drivers + d) * stride + step] = state_neg[d];
+                    let states = &mut lane_states[d * l..(d + 1) * l];
+                    self.drivers[d].step_block(
+                        states,
+                        &lane_shocks[d * l..(d + 1) * l],
+                        dt,
+                        &coeffs[d],
+                        measure,
+                    );
+                    if antithetic {
+                        let states_neg = &mut lane_states_neg[d * l..(d + 1) * l];
+                        self.drivers[d].step_block(
+                            states_neg,
+                            &lane_shocks_neg[d * l..(d + 1) * l],
+                            dt,
+                            &coeffs[d],
+                            measure,
+                        );
+                        for i in 0..l {
+                            let p_pos = 2 * (block + i);
+                            data[(p_pos * n_drivers + d) * stride + step] = states[i];
+                            data[((p_pos + 1) * n_drivers + d) * stride + step] = states_neg[i];
+                        }
+                    } else {
+                        for i in 0..l {
+                            data[((block + i) * n_drivers + d) * stride + step] = states[i];
+                        }
+                    }
                 }
             }
+            block += l;
         }
-        Ok(())
     }
 
     /// Moves a freshly filled buffer's path data into an owning
@@ -814,8 +1020,10 @@ mod tests {
         let set = gen
             .generate(Measure::RiskNeutral, 5, 1, Some(&init))
             .unwrap();
+        let mut state = Vec::new();
         for p in 0..5 {
-            assert_eq!(set.state_at(p, 0), init);
+            set.view().state_into(p, 0, &mut state);
+            assert_eq!(state, init);
         }
     }
 
@@ -970,8 +1178,10 @@ mod tests {
             .generate_antithetic(Measure::RiskNeutral, 6, 9, Some(&init))
             .unwrap();
         assert_eq!(a, b);
+        let mut state = Vec::new();
         for p in 0..a.n_paths() {
-            assert_eq!(a.state_at(p, 0), init);
+            a.view().state_into(p, 0, &mut state);
+            assert_eq!(state, init);
         }
         assert!(gen
             .generate_antithetic(Measure::RiskNeutral, 2, 1, Some(&[0.04]))
@@ -1075,6 +1285,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn state_into_matches_state_at() {
         let gen = sample_generator();
         let set = gen.generate(Measure::RealWorld, 3, 17, None).unwrap();
@@ -1090,5 +1301,137 @@ mod tests {
     #[should_panic(expected = "before any generate_into fill")]
     fn buffer_view_before_fill_panics() {
         let _ = ScenarioBuffer::new().view();
+    }
+
+    #[test]
+    fn lane_fills_bitwise_match_lane_one() {
+        let gen = sample_generator();
+        let init = vec![0.045, 110.0];
+        let mut reference = ScenarioBuffer::new();
+        let mut buf = ScenarioBuffer::new();
+        for (measure, overrides) in [
+            (Measure::RealWorld, None),
+            (Measure::RiskNeutral, Some(init.as_slice())),
+        ] {
+            // 11 paths at lanes {2, 4, 8, 16}: exercises full blocks, the
+            // final partial block, and lane > n_paths.
+            gen.generate_into(measure, 11, 42, overrides, &mut reference)
+                .unwrap();
+            for lane in [2usize, 4, 8, 16] {
+                gen.generate_into_lanes(measure, 11, 42, overrides, &mut buf, lane)
+                    .unwrap();
+                assert_view_bitwise_eq(&buf.view(), &reference.view());
+            }
+            gen.generate_antithetic_into(measure, 11, 42, overrides, &mut reference)
+                .unwrap();
+            for lane in [2usize, 4, 8, 16] {
+                gen.generate_antithetic_into_lanes(measure, 11, 42, overrides, &mut buf, lane)
+                    .unwrap();
+                assert_view_bitwise_eq(&buf.view(), &reference.view());
+            }
+        }
+    }
+
+    fn assert_view_bitwise_eq(a: &ScenarioView<'_>, b: &ScenarioView<'_>) {
+        assert_eq!(a.n_paths(), b.n_paths());
+        assert_eq!(a.n_drivers(), b.n_drivers());
+        for p in 0..a.n_paths() {
+            for d in 0..a.n_drivers() {
+                for (s, (x, y)) in a.path(p, d).iter().zip(b.path(p, d)).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "path {p} driver {d} step {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lane_rejected() {
+        let gen = sample_generator();
+        let mut buf = ScenarioBuffer::new();
+        assert!(gen
+            .generate_into_lanes(Measure::RealWorld, 4, 1, None, &mut buf, 0)
+            .is_err());
+        assert!(gen
+            .generate_antithetic_into_lanes(Measure::RealWorld, 4, 1, None, &mut buf, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn reserve_for_lanes_presizes_without_filling() {
+        let gen = sample_generator();
+        let mut buf = ScenarioBuffer::new();
+        buf.reserve_for_lanes(&gen, 10, 8);
+        gen.generate_into_lanes(Measure::RealWorld, 10, 3, None, &mut buf, 8)
+            .unwrap();
+        let fresh = gen.generate(Measure::RealWorld, 10, 3, None).unwrap();
+        assert_view_matches_set(&buf.view(), &fresh);
+    }
+
+    #[test]
+    fn step_discount_factors_match_per_step_calls() {
+        let gen = sample_generator();
+        let set = gen.generate(Measure::RiskNeutral, 3, 29, None).unwrap();
+        let v = set.view();
+        let mut dfs = vec![0.25; 3]; // polluted; must be cleared by the fill
+        for p in 0..set.n_paths() {
+            v.step_discount_factors_into(p, &mut dfs);
+            assert_eq!(dfs.len(), set.grid().n_steps() + 1);
+            for (s, df) in dfs.iter().enumerate() {
+                let reference = v.discount_factor(p, s);
+                assert_eq!(df.to_bits(), reference.to_bits(), "path {p} step {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_discount_factors_without_short_rate_are_one() {
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Gbm::new(1.0, 0.0, 0.1, 0.0).unwrap()))
+            .grid(TimeGrid::new(1.0, 4).unwrap())
+            .build()
+            .unwrap();
+        let set = gen.generate(Measure::RiskNeutral, 2, 0, None).unwrap();
+        let mut dfs = Vec::new();
+        set.view().step_discount_factors_into(1, &mut dfs);
+        assert_eq!(dfs, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn step_discount_factors_are_linear_not_quadratic() {
+        // Regression for the O(steps²) pattern: calling `discount_factor`
+        // once per step re-sums the integral from zero each time. On a
+        // 4096-step grid that is ~8.4M additions, vs ~4k for the prefix
+        // fill — a ~1000× work ratio, so demanding a mere 3× wall-clock win
+        // leaves enormous headroom against timer noise in any build mode.
+        let gen = ScenarioGenerator::builder()
+            .driver(Box::new(Vasicek::new(0.02, 0.5, 0.03, 0.01, 0.2).unwrap()))
+            .grid(TimeGrid::new(4096.0 / 12.0, 12).unwrap())
+            .build()
+            .unwrap();
+        let set = gen.generate(Measure::RiskNeutral, 1, 5, None).unwrap();
+        let v = set.view();
+        let n = set.grid().n_steps();
+        assert!(n >= 4096);
+
+        let t_prefix = std::time::Instant::now();
+        let mut dfs = Vec::new();
+        v.step_discount_factors_into(0, &mut dfs);
+        let prefix_elapsed = t_prefix.elapsed();
+
+        let t_percall = std::time::Instant::now();
+        let mut acc = 0.0;
+        for s in 0..=n {
+            acc += v.discount_factor(0, s);
+        }
+        let percall_elapsed = t_percall.elapsed();
+
+        // Consistency first: same values either way.
+        let per_call_sum: f64 = dfs.iter().sum();
+        assert!((acc - per_call_sum).abs() < 1e-9);
+        assert!(
+            prefix_elapsed.as_secs_f64() * 3.0 < percall_elapsed.as_secs_f64(),
+            "prefix fill ({prefix_elapsed:?}) should be far cheaper than \
+             per-step calls ({percall_elapsed:?})"
+        );
     }
 }

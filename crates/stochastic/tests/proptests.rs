@@ -219,3 +219,230 @@ proptest! {
         assert_view_bitwise(&buf.view(), &reference)?;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Block-kernel identity: step_block vs scalar step, and the lane-wise fill
+// vs a frozen reimplementation of the scalar (pre-block) generation loop.
+// ---------------------------------------------------------------------------
+
+/// The lane widths every block-kernel identity property sweeps, chosen to
+/// cover the scalar escape hatch, sub-chunk blocks, the exact `STEP_CHUNK`
+/// width, and multi-chunk blocks.
+const LANES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One of each built-in driver, with spiky parameters (CIR violating the
+/// Feller condition) so the truncation branches get exercised.
+fn kernel_drivers() -> Vec<Box<dyn RiskDriver>> {
+    vec![
+        Box::new(Vasicek::new(0.02, 0.5, 0.03, 0.01, 0.1).expect("valid")),
+        Box::new(Gbm::new(100.0, 0.05, 0.2, 0.02).expect("valid")),
+        Box::new(FxRate::new(1.1, 0.02, 0.1, 0.015).expect("valid")),
+        Box::new(Cir::default_intensity(0.01, 0.3, 0.02, 0.5).expect("valid")),
+    ]
+}
+
+fn kernel_correlation() -> CorrelationMatrix {
+    CorrelationMatrix::new(vec![
+        vec![1.0, -0.3, 0.1, 0.0],
+        vec![-0.3, 1.0, 0.2, 0.0],
+        vec![0.1, 0.2, 1.0, 0.0],
+        vec![0.0, 0.0, 0.0, 1.0],
+    ])
+    .expect("valid")
+}
+
+fn kernel_generator() -> ScenarioGenerator {
+    let mut b = ScenarioGenerator::builder();
+    for d in kernel_drivers() {
+        b = b.driver(d);
+    }
+    b.correlation(kernel_correlation())
+        .grid(TimeGrid::new(1.5, 4).expect("valid"))
+        .build()
+        .expect("valid")
+}
+
+/// Frozen reimplementation of the scalar generation loop as it existed
+/// before the block kernels: path-major iteration, one `RiskDriver::step`
+/// call per `(path, step, driver)`. The lane-wise fill must reproduce this
+/// to the bit for every lane width — this test pins the *old* semantics
+/// rather than comparing the new code with itself.
+#[allow(clippy::too_many_arguments)]
+fn reference_scalar_paths(
+    drivers: &[Box<dyn RiskDriver>],
+    corr: &CorrelationMatrix,
+    grid: TimeGrid,
+    measure: Measure,
+    n_units: usize,
+    seed: u64,
+    overrides: Option<&[f64]>,
+    antithetic: bool,
+) -> Vec<f64> {
+    let n_drivers = drivers.len();
+    let n_steps = grid.n_steps();
+    let dt = grid.dt();
+    let stride = n_steps + 1;
+    let n_paths = if antithetic { 2 * n_units } else { n_units };
+    let initials: Vec<f64> = match overrides {
+        Some(o) => o.to_vec(),
+        None => drivers.iter().map(|d| d.initial_value()).collect(),
+    };
+    let mut data = vec![0.0; n_paths * n_drivers * stride];
+    let mut raw = vec![0.0; n_drivers];
+    let mut shocks = vec![0.0; n_drivers];
+    for unit in 0..n_units {
+        let mut rng = disar_math::rng::stream_rng(seed, unit as u64);
+        let mut gauss = disar_math::rng::StandardNormal::new();
+        let mut state_pos = initials.clone();
+        let mut state_neg = initials.clone();
+        let p_pos = if antithetic { 2 * unit } else { unit };
+        for d in 0..n_drivers {
+            data[(p_pos * n_drivers + d) * stride] = initials[d];
+            if antithetic {
+                data[((p_pos + 1) * n_drivers + d) * stride] = initials[d];
+            }
+        }
+        for step in 1..=n_steps {
+            for z in raw.iter_mut() {
+                *z = gauss.sample(&mut rng);
+            }
+            corr.correlate_into(&raw, &mut shocks);
+            for d in 0..n_drivers {
+                state_pos[d] = drivers[d].step(state_pos[d], dt, shocks[d], measure);
+                data[(p_pos * n_drivers + d) * stride + step] = state_pos[d];
+                if antithetic {
+                    state_neg[d] = drivers[d].step(state_neg[d], dt, -shocks[d], measure);
+                    data[((p_pos + 1) * n_drivers + d) * stride + step] = state_neg[d];
+                }
+            }
+        }
+    }
+    data
+}
+
+fn assert_view_matches_flat(
+    view: &ScenarioView<'_>,
+    flat: &[f64],
+    stride: usize,
+) -> Result<(), TestCaseError> {
+    for p in 0..view.n_paths() {
+        for d in 0..view.n_drivers() {
+            for step in 0..stride {
+                let reference = flat[(p * view.n_drivers() + d) * stride + step];
+                prop_assert_eq!(
+                    view.value(p, d, step).to_bits(),
+                    reference.to_bits(),
+                    "path {} driver {} step {}",
+                    p,
+                    d,
+                    step
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `step_block` is bit-identical to a per-lane scalar `step` loop for
+    /// every built-in driver, arbitrary block lengths (chunk remainders
+    /// included), states, shocks, step widths and measures.
+    #[test]
+    fn step_block_bitwise_matches_scalar(
+        len in 1usize..40,
+        dt in 0.001f64..1.0,
+        risk_neutral in proptest::bool::ANY,
+        state_seed in 0u64..1000,
+        shock_seed in 0u64..1000,
+    ) {
+        let measure = if risk_neutral { Measure::RiskNeutral } else { Measure::RealWorld };
+        // Shocks and (possibly negative) states from dedicated streams.
+        let shocks = disar_math::rng::normal_vec(shock_seed, 0, len);
+        let raw_states = disar_math::rng::normal_vec(state_seed, 1, len);
+        for d in kernel_drivers() {
+            let scale = d.initial_value();
+            let states: Vec<f64> = raw_states.iter().map(|z| scale * (1.0 + 0.3 * z)).collect();
+            let coeffs = d.step_coeffs(dt, measure);
+            let expect: Vec<f64> = states
+                .iter()
+                .zip(&shocks)
+                .map(|(s, z)| d.step(*s, dt, *z, measure))
+                .collect();
+            let mut block = states.clone();
+            d.step_block(&mut block, &shocks, dt, &coeffs, measure);
+            for (i, (a, b)) in block.iter().zip(&expect).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} lane {}", d.name(), i);
+            }
+        }
+    }
+
+    /// The lane-wise fill reproduces the frozen scalar reference loop to
+    /// the bit for every lane width in {1, 2, 4, 8, 16} — plain and
+    /// antithetic, with and without re-anchoring overrides.
+    #[test]
+    fn lane_fill_bitwise_matches_scalar_reference(
+        seed in 0u64..1000,
+        n_units in 1usize..12,
+        risk_neutral in proptest::bool::ANY,
+        with_override in proptest::bool::ANY,
+        antithetic in proptest::bool::ANY,
+        r0 in 0.0f64..0.08,
+        s0 in 10.0f64..500.0,
+        fx0 in 0.5f64..2.0,
+        c0 in 0.0f64..0.05,
+    ) {
+        let gen = kernel_generator();
+        let drivers = kernel_drivers();
+        let corr = kernel_correlation();
+        let measure = if risk_neutral { Measure::RiskNeutral } else { Measure::RealWorld };
+        let overrides = [r0, s0, fx0, c0];
+        let ov = with_override.then_some(&overrides[..]);
+        let reference = reference_scalar_paths(
+            &drivers, &corr, gen.grid(), measure, n_units, seed, ov, antithetic,
+        );
+        let stride = gen.grid().n_steps() + 1;
+        let mut buf = ScenarioBuffer::new();
+        for lane in LANES {
+            if antithetic {
+                gen.generate_antithetic_into_lanes(measure, n_units, seed, ov, &mut buf, lane)
+                    .expect("ok");
+            } else {
+                gen.generate_into_lanes(measure, n_units, seed, ov, &mut buf, lane)
+                    .expect("ok");
+            }
+            assert_view_matches_flat(&buf.view(), &reference, stride)?;
+        }
+    }
+
+    /// Lane-width changes between fills never leak state: a buffer polluted
+    /// by a fill at one lane width refilled at another matches a fresh
+    /// fill exactly (metadata, values and discount factors).
+    #[test]
+    fn lane_refill_never_leaks_between_lane_widths(
+        seed in 0u64..1000,
+        pollute_seed in 0u64..1000,
+        n_paths in 1usize..10,
+        pollute_units in 1usize..10,
+        lane_a in proptest::sample::select(LANES.to_vec()),
+        lane_b in proptest::sample::select(LANES.to_vec()),
+        pollute_antithetic in proptest::bool::ANY,
+    ) {
+        let gen = buffered_generator();
+        let reference = gen.generate(Measure::RiskNeutral, n_paths, seed, None).expect("ok");
+        let mut buf = ScenarioBuffer::new();
+        if pollute_antithetic {
+            gen.generate_antithetic_into_lanes(
+                Measure::RealWorld, pollute_units, pollute_seed, None, &mut buf, lane_a,
+            ).expect("ok");
+        } else {
+            gen.generate_into_lanes(
+                Measure::RealWorld, pollute_units, pollute_seed, None, &mut buf, lane_a,
+            ).expect("ok");
+        }
+        gen.generate_into_lanes(Measure::RiskNeutral, n_paths, seed, None, &mut buf, lane_b)
+            .expect("ok");
+        assert_view_bitwise(&buf.view(), &reference)?;
+    }
+}

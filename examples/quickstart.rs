@@ -10,7 +10,7 @@ use disar_suite::actuarial::portfolio::PortfolioSpec;
 use disar_suite::alm::SegregatedFund;
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog};
 use disar_suite::core::deploy::{DeployPolicy, TransparentDeployer};
-use disar_suite::engine::simulation::{MarketModel, SimulationSpec};
+use disar_suite::engine::simulation::{MarketModel, SimulationSpec, DEFAULT_LANE};
 use disar_suite::engine::DisarMaster;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n_inner: 20,
         steps_per_year: 4,
         seed: 42,
+        lane: DEFAULT_LANE,
     };
     let master = DisarMaster::new(spec)?;
 

@@ -15,7 +15,7 @@ use disar_suite::alm::SegregatedFund;
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
 use disar_suite::core::deploy::{DeployMode, DeployPolicy, TransparentDeployer};
 use disar_suite::core::JobProfile;
-use disar_suite::engine::simulation::{MarketModel, SimulationSpec};
+use disar_suite::engine::simulation::{MarketModel, SimulationSpec, DEFAULT_LANE};
 use disar_suite::engine::{DisarMaster, EebCharacteristics};
 use disar_suite::stochastic::bonds::{zero_curve, BondPricing};
 use disar_suite::stochastic::drivers::Vasicek;
@@ -79,6 +79,7 @@ fn cmd_value(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         n_inner: inner,
         steps_per_year: 4,
         seed,
+        lane: flag(flags, "lane", DEFAULT_LANE),
     };
     let master = DisarMaster::new(spec)?;
     println!("running nested Monte Carlo ({outer} x {inner}) on {threads} threads...");

@@ -7,7 +7,7 @@ use disar_suite::alm::SegregatedFund;
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog};
 use disar_suite::core::deploy::{DeployMode, DeployPolicy, TransparentDeployer};
 use disar_suite::core::KnowledgeBase;
-use disar_suite::engine::simulation::{MarketModel, SimulationSpec};
+use disar_suite::engine::simulation::{MarketModel, SimulationSpec, DEFAULT_LANE};
 use disar_suite::engine::DisarMaster;
 
 fn tiny_spec(seed: u64) -> SimulationSpec {
@@ -27,6 +27,7 @@ fn tiny_spec(seed: u64) -> SimulationSpec {
         n_inner: 6,
         steps_per_year: 4,
         seed,
+        lane: DEFAULT_LANE,
     }
 }
 
