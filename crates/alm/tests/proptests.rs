@@ -136,11 +136,11 @@ fn nested_generators(inner_horizon: f64) -> (ScenarioGenerator, ScenarioGenerato
 }
 
 /// The pre-workspace nested procedure, reimplemented with the allocating
-/// APIs only (`generate`, `state_at`, `value_each_position_on_path`) —
-/// the reference the zero-allocation kernel path must match to the bit.
-/// Deliberately keeps the deprecated `state_at` call: the reference is
-/// frozen against the historical implementation.
-#[allow(deprecated)]
+/// APIs only (`generate`, `value_each_position_on_path`) — the reference
+/// the zero-allocation kernel path must match to the bit. The outer state
+/// is read via `view().state_into`, which is bit-identical to the removed
+/// `state_at` (it reads the same `[path][driver][step]` cells in the same
+/// order), so the frozen reference is unchanged numerically.
 fn reference_nested(
     outer: &ScenarioGenerator,
     inner: &ScenarioGenerator,
@@ -180,7 +180,8 @@ fn reference_nested(
             }
             phi1.push(phi);
         }
-        let state = outer_set.state_at(p, spy);
+        let mut state = Vec::new();
+        outer_set.view().state_into(p, spy, &mut state);
         let inner_seed = split_seed(config.seed ^ 0x1AAE_5EED, p as u64);
         let inner_set = if config.antithetic {
             inner

@@ -5,17 +5,20 @@
 //!
 //! This is a hand-rolled harness (`harness = false`) rather than a
 //! criterion group because the acceptance numbers are persisted: the raw
-//! medians are written to `BENCH_retrain.json` and `BENCH_select.json` at
-//! the repo root, where the CI history can diff them. Regenerate with
+//! medians land as `bench:kb_scale/*` rows in the append-only registry
+//! (`results/registry.jsonl`), where the CI history can diff them.
+//! Regenerate with
 //!
 //! ```text
 //! cargo bench -p disar-bench --bench kb_scale
 //! ```
 
+use disar_bench::registry::{bench_row, workspace_registry};
 use disar_math::rng::stream_rng;
 use disar_ml::{Dataset, IbK, IncrementalRegressor, KStar, Regressor};
+use disar_registry::RegistryRow;
 use rand::Rng;
-use serde::Serialize;
+use serde_json::json;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -48,7 +51,6 @@ fn median(mut times: Vec<u128>) -> u128 {
     times[times.len() / 2]
 }
 
-#[derive(Serialize)]
 struct RetrainRow {
     model: &'static str,
     kb_size: usize,
@@ -57,19 +59,12 @@ struct RetrainRow {
     speedup: f64,
 }
 
-#[derive(Serialize)]
 struct SelectRow {
     kb_size: usize,
     ibk_linear_ns: u128,
     ibk_indexed_ns: u128,
     speedup: f64,
     kstar_predict_ns: u128,
-}
-
-#[derive(Serialize)]
-struct Report<T: Serialize> {
-    generated_by: &'static str,
-    rows: Vec<T>,
 }
 
 /// Median time of one `partial_fit` of the last record vs one from-scratch
@@ -156,22 +151,6 @@ fn select_row(n: usize, reps: usize) -> SelectRow {
     }
 }
 
-fn write_report<T: Serialize>(name: &str, rows: Vec<T>) {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join(name);
-    let report = Report {
-        generated_by: "cargo bench -p disar-bench --bench kb_scale",
-        rows,
-    };
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
-    )
-    .expect("repo root is writable");
-    println!("wrote {}", path.display());
-}
-
 fn main() {
     // `cargo bench` passes harness flags (`--bench`, filters); this harness
     // always runs the full sweep, so the argv is deliberately ignored.
@@ -190,6 +169,35 @@ fn main() {
             select_rows.last().expect("just pushed").speedup
         );
     }
-    write_report("BENCH_retrain.json", retrain_rows);
-    write_report("BENCH_select.json", select_rows);
+    let rows: Vec<RegistryRow> = retrain_rows
+        .iter()
+        .map(|r| {
+            bench_row(
+                "kb_scale/retrain",
+                json!({ "model": r.model, "kb_size": r.kb_size }),
+                json!({
+                    "full_fit_ns": r.full_fit_ns as u64,
+                    "incremental_fit_ns": r.incremental_fit_ns as u64,
+                    "speedup": r.speedup,
+                }),
+                (r.full_fit_ns + r.incremental_fit_ns) as u64,
+            )
+        })
+        .chain(select_rows.iter().map(|r| {
+            bench_row(
+                "kb_scale/select",
+                json!({ "kb_size": r.kb_size }),
+                json!({
+                    "ibk_linear_ns": r.ibk_linear_ns as u64,
+                    "ibk_indexed_ns": r.ibk_indexed_ns as u64,
+                    "speedup": r.speedup,
+                    "kstar_predict_ns": r.kstar_predict_ns as u64,
+                }),
+                (r.ibk_linear_ns + r.ibk_indexed_ns + r.kstar_predict_ns) as u64,
+            )
+        }))
+        .collect();
+    let registry = workspace_registry();
+    registry.append(&rows).expect("registry append succeeds");
+    println!("appended {} rows to {}", rows.len(), registry.path().display());
 }

@@ -6,20 +6,22 @@
 //! tenant counts.
 //!
 //! Like `kb_scale`, this is a hand-rolled harness (`harness = false`)
-//! because the raw medians are persisted: rows land in `BENCH_tenant.json`
-//! at the repo root, where the CI history can diff them. Regenerate with
+//! because the raw medians are persisted: rows land as `bench:kb_tenant`
+//! entries in the append-only registry (`results/registry.jsonl`), where
+//! the CI history can diff them. Regenerate with
 //!
 //! ```text
 //! cargo bench -p disar-bench --bench kb_tenant
 //! ```
 
+use disar_bench::registry::{bench_row, workspace_registry};
 use disar_cloudsim::InstanceCatalog;
 use disar_core::tenant::{
     TenantId, TenantShardedKnowledgeBase, TenantShardedPredictor, TransferPolicy,
 };
 use disar_core::{JobProfile, KnowledgeBase, RetrainMode, RunRecord, ShardedKnowledgeBase};
 use disar_engine::EebCharacteristics;
-use serde::Serialize;
+use serde_json::json;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -76,7 +78,6 @@ fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
     )
 }
 
-#[derive(Serialize)]
 struct TenantRow {
     kb_size: usize,
     n_tenants: usize,
@@ -87,12 +88,6 @@ struct TenantRow {
     retrain_isolated_ns: u128,
     retrain_pooled_ns: u128,
     retrain_borrow_ns: u128,
-}
-
-#[derive(Serialize)]
-struct Report {
-    generated_by: &'static str,
-    rows: Vec<TenantRow>,
 }
 
 fn row(n: usize, n_tenants: usize, reps: usize) -> TenantRow {
@@ -163,17 +158,32 @@ fn main() {
             rows.push(r);
         }
     }
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_tenant.json");
-    let report = Report {
-        generated_by: "cargo bench -p disar-bench --bench kb_tenant",
-        rows,
-    };
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
-    )
-    .expect("repo root is writable");
-    println!("wrote {}", path.display());
+    let registry_rows: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            bench_row(
+                "kb_tenant",
+                json!({ "kb_size": r.kb_size, "n_tenants": r.n_tenants }),
+                json!({
+                    "record_mono_ns": r.record_mono_ns as u64,
+                    "record_sharded_ns": r.record_sharded_ns as u64,
+                    "record_two_key_ns": r.record_two_key_ns as u64,
+                    "to_monolithic_ns": r.to_monolithic_ns as u64,
+                    "retrain_isolated_ns": r.retrain_isolated_ns as u64,
+                    "retrain_pooled_ns": r.retrain_pooled_ns as u64,
+                    "retrain_borrow_ns": r.retrain_borrow_ns as u64,
+                }),
+                (r.record_mono_ns + r.record_sharded_ns + r.record_two_key_ns) as u64,
+            )
+        })
+        .collect();
+    let registry = workspace_registry();
+    registry
+        .append(&registry_rows)
+        .expect("registry append succeeds");
+    println!(
+        "appended {} rows to {}",
+        registry_rows.len(),
+        registry.path().display()
+    );
 }

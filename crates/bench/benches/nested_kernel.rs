@@ -5,8 +5,9 @@
 //!
 //! This is a hand-rolled harness (`harness = false`) rather than a
 //! criterion group because the acceptance numbers are persisted: the raw
-//! medians and allocation counts are written to `BENCH_engine.json` at the
-//! repo root, where the CI history can diff them. Regenerate with
+//! medians and allocation counts land as `bench:nested_kernel` rows in the
+//! append-only registry (`results/registry.jsonl`), where the CI history
+//! can diff them. Regenerate with
 //!
 //! ```text
 //! cargo bench -p disar-bench --bench nested_kernel
@@ -28,9 +29,10 @@ use disar_actuarial::mortality::{Gender, LifeTable};
 use disar_alm::liability::LiabilityPosition;
 use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
 use disar_alm::SegregatedFund;
+use disar_bench::registry::{bench_row, workspace_registry};
 use disar_stochastic::drivers::{Gbm, Vasicek};
 use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
-use serde::Serialize;
+use serde_json::json;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -110,7 +112,6 @@ fn positions(term: u32) -> Vec<LiabilityPosition> {
         .collect()
 }
 
-#[derive(Serialize)]
 struct KernelRow {
     n_outer: usize,
     n_inner: usize,
@@ -120,28 +121,6 @@ struct KernelRow {
     median_wall_ns: u128,
     allocations: usize,
     steady_state_allocs_per_inner_path: f64,
-}
-
-#[derive(Serialize)]
-struct Report<T: Serialize> {
-    generated_by: &'static str,
-    rows: Vec<T>,
-}
-
-fn write_report<T: Serialize>(name: &str, rows: Vec<T>) {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join(name);
-    let report = Report {
-        generated_by: "cargo bench -p disar-bench --bench nested_kernel",
-        rows,
-    };
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
-    )
-    .expect("repo root is writable");
-    println!("wrote {}", path.display());
 }
 
 fn kernel_row(
@@ -230,5 +209,34 @@ fn main() {
         );
         rows.push(row);
     }
-    write_report("BENCH_engine.json", rows);
+    let registry_rows: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            bench_row(
+                "nested_kernel",
+                json!({
+                    "n_outer": r.n_outer,
+                    "n_inner": r.n_inner,
+                    "threads": r.threads,
+                    "antithetic": r.antithetic,
+                    "lane": r.lane,
+                }),
+                json!({
+                    "median_wall_ns": r.median_wall_ns as u64,
+                    "allocations": r.allocations,
+                    "allocs_per_inner_path": r.steady_state_allocs_per_inner_path,
+                }),
+                r.median_wall_ns as u64,
+            )
+        })
+        .collect();
+    let registry = workspace_registry();
+    registry
+        .append(&registry_rows)
+        .expect("registry append succeeds");
+    println!(
+        "appended {} rows to {}",
+        registry_rows.len(),
+        registry.path().display()
+    );
 }

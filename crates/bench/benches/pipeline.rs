@@ -6,34 +6,29 @@
 //! harness asserts the knowledge bases match before reporting.
 //!
 //! Like `kb_scale`, this is a hand-rolled harness (`harness = false`)
-//! because the acceptance numbers are persisted: the raw medians go to
-//! `BENCH_pipeline.json` at the repo root, where the CI history can diff
-//! them. Regenerate with
+//! because the acceptance numbers are persisted: the raw medians land as
+//! `bench:pipeline` rows in the append-only registry
+//! (`results/registry.jsonl`), where the CI history can diff them.
+//! Regenerate with
 //!
 //! ```text
 //! cargo bench -p disar-bench --bench pipeline
 //! ```
 
 use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
-use serde::Serialize;
+use disar_bench::registry::{bench_row, workspace_registry};
+use serde_json::json;
 use std::hint::black_box;
 use std::time::Instant;
 
 const N_RUNS: usize = 300;
 const REPS: usize = 5;
 
-#[derive(Serialize)]
 struct PipelineRow {
     depth: usize,
     n_runs: usize,
     campaign_ns: u128,
     speedup_vs_sequential: f64,
-}
-
-#[derive(Serialize)]
-struct Report {
-    generated_by: &'static str,
-    rows: Vec<PipelineRow>,
 }
 
 fn cfg(depth: usize) -> CampaignConfig {
@@ -105,17 +100,27 @@ fn main() {
         });
     }
 
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_pipeline.json");
-    let report = Report {
-        generated_by: "cargo bench -p disar-bench --bench pipeline",
-        rows,
-    };
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
-    )
-    .expect("repo root is writable");
-    println!("wrote {}", path.display());
+    let registry_rows: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            bench_row(
+                "pipeline",
+                json!({ "depth": r.depth, "n_runs": r.n_runs }),
+                json!({
+                    "campaign_ns": r.campaign_ns as u64,
+                    "speedup_vs_sequential": r.speedup_vs_sequential,
+                }),
+                r.campaign_ns as u64,
+            )
+        })
+        .collect();
+    let registry = workspace_registry();
+    registry
+        .append(&registry_rows)
+        .expect("registry append succeeds");
+    println!(
+        "appended {} rows to {}",
+        registry_rows.len(),
+        registry.path().display()
+    );
 }

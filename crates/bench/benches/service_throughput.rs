@@ -4,21 +4,23 @@
 //! on the hot path, shard-lock writes, batched incremental retrains).
 //!
 //! Like `kb_tenant`, this is a hand-rolled harness (`harness = false`)
-//! because the raw medians are persisted: rows land in
-//! `BENCH_service.json` at the repo root, where the CI history can diff
-//! them. Regenerate with
+//! because the raw medians are persisted: rows land as
+//! `bench:service_throughput` entries in the append-only registry
+//! (`results/registry.jsonl`), where the CI history can diff them.
+//! Regenerate with
 //!
 //! ```text
 //! cargo bench -p disar-bench --bench service_throughput
 //! ```
 
+use disar_bench::registry::{bench_row, workspace_registry};
 use disar_cloudsim::{InstanceCatalog, Workload};
 use disar_core::tenant::TransferPolicy;
 use disar_core::{
     DeployPolicy, DeployService, JobProfile, PipelineJob, ServiceConfig, TenantId,
 };
 use disar_engine::EebCharacteristics;
-use serde::Serialize;
+use serde_json::json;
 use std::time::Instant;
 
 const TENANT_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
@@ -109,7 +111,6 @@ fn run_once(n_tenants: usize, seed: u64) -> (u128, usize) {
     (elapsed, stats.retrains)
 }
 
-#[derive(Serialize)]
 struct ServiceRow {
     n_tenants: usize,
     jobs_per_tenant: usize,
@@ -117,12 +118,6 @@ struct ServiceRow {
     elapsed_ns: u128,
     jobs_per_sec: f64,
     retrains: usize,
-}
-
-#[derive(Serialize)]
-struct Report {
-    generated_by: &'static str,
-    rows: Vec<ServiceRow>,
 }
 
 fn main() {
@@ -154,17 +149,29 @@ fn main() {
             retrains,
         });
     }
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_service.json");
-    let report = Report {
-        generated_by: "cargo bench -p disar-bench --bench service_throughput",
-        rows,
-    };
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
-    )
-    .expect("repo root is writable");
-    println!("wrote {}", path.display());
+    let registry_rows: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            bench_row(
+                "service_throughput",
+                json!({ "n_tenants": r.n_tenants, "jobs_per_tenant": r.jobs_per_tenant }),
+                json!({
+                    "total_jobs": r.total_jobs,
+                    "elapsed_ns": r.elapsed_ns as u64,
+                    "jobs_per_sec": r.jobs_per_sec,
+                    "retrains": r.retrains,
+                }),
+                r.elapsed_ns as u64,
+            )
+        })
+        .collect();
+    let registry = workspace_registry();
+    registry
+        .append(&registry_rows)
+        .expect("registry append succeeds");
+    println!(
+        "appended {} rows to {}",
+        registry_rows.len(),
+        registry.path().display()
+    );
 }

@@ -1,397 +1,132 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper through the uniform
+//! [`Experiment`] registry.
 //!
 //! ```text
-//! cargo run --release -p disar-bench --bin experiments            # all
-//! cargo run --release -p disar-bench --bin experiments -- table1  # one
+//! cargo run --release -p disar-bench --bin experiments              # all
+//! cargo run --release -p disar-bench --bin experiments -- table1    # one
+//! cargo run --release -p disar-bench --bin experiments -- --list
 //! ```
 //!
-//! Outputs: CSV + Markdown under `results/` (override with
-//! `DISAR_RESULTS_DIR`), and a summary on stdout. Use `--quick` for a
-//! reduced campaign (CI-sized).
+//! Flags: `--quick` (CI-sized campaign), `--seed S`, `--threads N`,
+//! `--out FILE` (also dump the produced rows as a pretty JSON array),
+//! `--list` (print registered experiment names and exit). Every run
+//! appends its replayable rows to the append-only registry
+//! (`results/registry.jsonl`, or `$DISAR_REGISTRY` /
+//! `$DISAR_RESULTS_DIR/registry.jsonl`); `runbook` replays them.
 
-use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
-use disar_bench::experiments::*;
-use disar_bench::report::{fmt, markdown_table, results_dir, write_csv};
-use std::fs;
+use disar_bench::campaign::CampaignConfig;
+use disar_bench::experiments::{by_name, Experiment, ExperimentCtx, EXPERIMENTS};
+use disar_bench::registry::workspace_registry;
+use disar_registry::RegistryRow;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [NAME ...] [--quick] [--seed S] [--threads N] [--out FILE] [--list]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let all = wanted.is_empty();
-    let want = |name: &str| all || wanted.contains(&name);
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{}", e.name());
+                }
+                return;
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                threads = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                usage();
+            }
+            name => names.push(name.to_string()),
+        }
+    }
 
-    let n_threads = disar_math::parallel::default_n_threads();
-    let cfg = if quick {
-        CampaignConfig {
-            n_runs: 300,
-            n_threads,
-            ..CampaignConfig::default()
-        }
+    // Resolve every requested driver up front so a typo fails before any
+    // expensive campaign build.
+    let selected: Vec<&'static dyn Experiment> = if names.is_empty() {
+        EXPERIMENTS.to_vec()
     } else {
-        CampaignConfig {
-            n_threads,
-            ..CampaignConfig::default()
-        }
+        names
+            .iter()
+            .map(|n| {
+                by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown experiment: {n} (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
     };
+
+    let mut cfg = CampaignConfig::default();
+    if quick {
+        cfg.n_runs = 300;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.n_threads = t.max(1);
+    }
+    let ctx = ExperimentCtx::new(cfg, quick);
 
     println!(
         "== DISAR reproduction experiments ==\ncampaign: {} runs, nP={}, nQ={}, seed={}, {} threads\n",
-        cfg.n_runs, cfg.n_outer, cfg.n_inner, cfg.seed, cfg.n_threads
+        ctx.cfg.n_runs, ctx.cfg.n_outer, ctx.cfg.n_inner, ctx.cfg.seed, ctx.cfg.n_threads
     );
+
+    let registry = workspace_registry();
     let t0 = std::time::Instant::now();
-    let (kb, provider, jobs) = build_knowledge_base(&cfg);
-    println!(
-        "knowledge base built: {} records over {} EEB jobs ({:.1}s)\n",
-        kb.len(),
-        jobs.len(),
-        t0.elapsed().as_secs_f64()
-    );
-    let dir = results_dir();
-    kb.save(&dir.join("knowledge_base.json"))
-        .expect("knowledge base saves");
-
-    if want("table1") {
-        let t = table1(&kb, provider.catalog(), cfg.seed, cfg.n_threads);
-        let mut rows = Vec::new();
-        for (mi, model) in t.models.iter().enumerate() {
-            let mut row = vec![model.clone()];
-            row.extend(t.bias[mi].iter().map(|b| fmt(*b, 1)));
-            rows.push(row);
-        }
-        let mut header = vec!["model"];
-        let inst_refs: Vec<&str> = t.instances.iter().map(|s| s.as_str()).collect();
-        header.extend(inst_refs);
-        write_csv(&dir.join("table1_bias.csv"), &header, &rows);
-        let md = markdown_table(&header, &rows);
-        fs::write(dir.join("table1_bias.md"), &md).expect("write md");
-        println!("-- Table I: bias δ̄ (s), 40/60 split --\n{md}");
-    }
-
-    if want("table2") {
-        let t2 = table2(&jobs, &provider, cfg.n_threads);
-        let rows: Vec<Vec<String>> = t2
-            .iter()
-            .map(|(n, c)| vec![n.clone(), format!("{c:.3}$")])
-            .collect();
-        write_csv(
-            &dir.join("table2_cost.csv"),
-            &["instance", "avg_cost_usd"],
-            &rows,
-        );
-        let md = markdown_table(&["instance", "per-simulation avg cost"], &rows);
-        fs::write(dir.join("table2_cost.md"), &md).expect("write md");
-        println!("-- Table II: per-simulation average cost --\n{md}");
-    }
-
-    if want("fig2") {
-        let pts = fig2(&kb, cfg.seed, cfg.n_threads);
-        let rows: Vec<Vec<String>> = pts
-            .iter()
-            .map(|p| vec![p.model.clone(), fmt(p.real, 2), fmt(p.predicted, 2)])
-            .collect();
-        write_csv(
-            &dir.join("fig2_scatter.csv"),
-            &["model", "real_secs", "predicted_secs"],
-            &rows,
-        );
-        // Correlation summary per model for the console.
-        println!("-- Figure 2: predicted vs real ({} points) --", pts.len());
-        for kind in ["MLP", "RT", "RF", "IBk", "KStar", "DT"] {
-            let (real, pred): (Vec<f64>, Vec<f64>) = pts
-                .iter()
-                .filter(|p| p.model == kind)
-                .map(|p| (p.real, p.predicted))
-                .unzip();
+    let mut produced: Vec<RegistryRow> = Vec::new();
+    for exp in selected {
+        let t1 = std::time::Instant::now();
+        let rows = exp.run(&ctx);
+        for row in &rows {
             println!(
-                "  {kind:>5}: r = {:.3}, rmse = {:.1}s",
-                disar_math::stats::correlation(&real, &pred),
-                disar_math::stats::rmse(&pred, &real)
+                "-- {} ({:.1}s) --\ninput  {}\noutput {}\n{}\n",
+                row.experiment,
+                t1.elapsed().as_secs_f64(),
+                row.input_hash,
+                row.output_hash,
+                exp.render(&row.outputs)
             );
         }
-        println!("  (full scatter in results/fig2_scatter.csv)\n");
-
-        if want("fig3") {
-            let f3 = fig3(&pts);
-            let rows: Vec<Vec<String>> = f3
-                .bins
-                .iter()
-                .map(|(lo, p)| vec![fmt(*lo, 0), fmt(*p, 2)])
-                .collect();
-            write_csv(
-                &dir.join("fig3_error_histogram.csv"),
-                &["bin_lo_secs", "percentage"],
-                &rows,
-            );
-            println!(
-                "-- Figure 3: error distribution — {:.1}% of predictions within ±200 s (paper: ≈80%) --\n",
-                100.0 * f3.within_200s
-            );
-        }
+        registry.append(&rows).expect("registry append succeeds");
+        produced.extend(rows);
     }
 
-    if want("fig4") {
-        let f4 = fig4(&jobs, &provider, cfg.n_threads);
-        let rows: Vec<Vec<String>> = f4
-            .iter()
-            .map(|(n, s)| vec![n.clone(), fmt(*s, 2)])
-            .collect();
-        write_csv(&dir.join("fig4_speedup.csv"), &["instance", "speedup"], &rows);
-        let md = markdown_table(&["instance", "speedup vs sequential"], &rows);
-        fs::write(dir.join("fig4_speedup.md"), &md).expect("write md");
-        println!("-- Figure 4: cloud speedup vs sequential --\n{md}");
-    }
-
-    if want("comparison") {
-        let c = comparison(&kb, &jobs, &provider, cfg.seed);
-        println!(
-            "-- §IV comparison (largest EEB) --\n\
-             forced m4.10xlarge×1 : {:>8.1}s  {:.3}$\n\
-             forced cheapest ×1   : {:>8.1}s  {:.3}$\n\
-             ML pick {}×{}: {:>8.1}s  {:.3}$\n\
-             cost decrease vs high-end: {:.0}% (paper: up to 54%)\n\
-             time reduction vs cheapest: {:.0}% (paper: up to 48%)\n",
-            c.highend_secs,
-            c.highend_cost,
-            c.cheap_secs,
-            c.cheap_cost,
-            c.ml_instance,
-            c.ml_nodes,
-            c.ml_secs,
-            c.ml_cost,
-            c.cost_decrease_pct,
-            c.time_reduction_pct
-        );
-        fs::write(
-            dir.join("comparison.json"),
-            serde_json::to_string_pretty(&c).expect("serializes"),
+    if let Some(path) = out {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&produced).expect("rows serialize"),
         )
-        .expect("write json");
-    }
-
-    if want("ablation_ensemble") {
-        let rows_raw = ablation_ensemble(&kb, cfg.seed, cfg.n_threads);
-        let rows: Vec<Vec<String>> = rows_raw
-            .iter()
-            .map(|(n, b, r)| vec![n.clone(), fmt(*b, 1), fmt(*r, 1)])
-            .collect();
-        write_csv(
-            &dir.join("ablation_ensemble.csv"),
-            &["model", "bias_secs", "rmse_secs"],
-            &rows,
-        );
-        let md = markdown_table(&["model", "bias (s)", "rmse (s)"], &rows);
-        fs::write(dir.join("ablation_ensemble.md"), &md).expect("write md");
-        println!("-- Ablation: single models vs ensemble --\n{md}");
-    }
-
-    if want("ablation_epsilon") {
-        let n = if quick { 120 } else { 400 };
-        let greedy = ablation_epsilon(&cfg, &jobs, 0.0, n);
-        let explore = ablation_epsilon(&cfg, &jobs, 0.1, n);
-        let rows: Vec<Vec<String>> = [greedy, explore]
-            .iter()
-            .map(|a| {
-                vec![
-                    fmt(a.epsilon, 2),
-                    a.distinct_configs.to_string(),
-                    format!("{:.4}$", a.late_mean_cost),
-                    a.deadline_misses.to_string(),
-                ]
-            })
-            .collect();
-        write_csv(
-            &dir.join("ablation_epsilon.csv"),
-            &["epsilon", "distinct_configs", "late_mean_cost", "deadline_misses"],
-            &rows,
-        );
-        let md = markdown_table(
-            &["ε", "distinct configs", "late mean cost", "deadline misses"],
-            &rows,
-        );
-        fs::write(dir.join("ablation_epsilon.md"), &md).expect("write md");
-        println!("-- Ablation: ε-greedy exploration ({n} deploys each) --\n{md}");
-    }
-
-    if want("ablation_hetero") {
-        let rows_raw = ablation_hetero(&kb, &jobs, &provider, cfg.seed, cfg.n_threads);
-        let rows: Vec<Vec<String>> = rows_raw
-            .iter()
-            .map(|r| {
-                vec![
-                    fmt(r.t_max, 0),
-                    r.homo.as_ref().map_or("infeasible".into(), |(i, n, s, c)| {
-                        format!("{i}x{n}: {s:.0}s {c:.3}$")
-                    }),
-                    r.hetero.as_ref().map_or("infeasible".into(), |(d, s, c)| {
-                        format!("{d}: {s:.0}s {c:.3}$")
-                    }),
-                ]
-            })
-            .collect();
-        write_csv(
-            &dir.join("ablation_hetero.csv"),
-            &["t_max_secs", "homogeneous_pick", "hetero_pick"],
-            &rows,
-        );
-        let md = markdown_table(&["T_max (s)", "homogeneous pick", "hetero pick"], &rows);
-        fs::write(dir.join("ablation_hetero.md"), &md).expect("write md");
-        println!("-- Extension: heterogeneous deploys (paper §VI future work) --\n{md}");
-    }
-
-    if want("ablation_deadline") {
-        let rows_raw =
-            ablation_deadline_rule(&kb, &jobs, &provider, cfg.seed, cfg.n_threads);
-        let rows: Vec<Vec<String>> = rows_raw
-            .iter()
-            .map(|r| {
-                vec![
-                    r.rule.clone(),
-                    r.feasible_cases.to_string(),
-                    r.misses.to_string(),
-                    format!("{:.3}$", r.mean_cost),
-                ]
-            })
-            .collect();
-        write_csv(
-            &dir.join("ablation_deadline_rule.csv"),
-            &["rule", "feasible_cases", "deadline_misses", "mean_cost"],
-            &rows,
-        );
-        let md = markdown_table(
-            &["filter rule", "feasible cases", "deadline misses", "mean cost"],
-            &rows,
-        );
-        fs::write(dir.join("ablation_deadline_rule.md"), &md).expect("write md");
-        println!("-- Extension: conservative deadline filtering --\n{md}");
-    }
-
-    if want("ablation_transfer") {
-        let n = if quick { 60 } else { 150 };
-        let rows_raw = ablation_transfer(&cfg, &jobs, n);
-        let rows: Vec<Vec<String>> = rows_raw
-            .iter()
-            .map(|r| {
-                vec![
-                    r.policy.clone(),
-                    r.b_bootstrap_deploys.to_string(),
-                    r.b_ml_deploys.to_string(),
-                    format!("{:.1}%", 100.0 * r.b_mean_abs_rel_err),
-                    format!("{:.4}$", r.b_mean_cost),
-                ]
-            })
-            .collect();
-        write_csv(
-            &dir.join("ablation_transfer.csv"),
-            &[
-                "transfer_policy",
-                "b_bootstrap_deploys",
-                "b_ml_deploys",
-                "b_mean_abs_rel_err",
-                "b_mean_cost",
-            ],
-            &rows,
-        );
-        let md = markdown_table(
-            &[
-                "transfer policy",
-                "B bootstrap deploys",
-                "B ML deploys",
-                "B mean |rel err|",
-                "B mean cost",
-            ],
-            &rows,
-        );
-        fs::write(dir.join("ablation_transfer.md"), &md).expect("write md");
-        println!(
-            "-- Extension: cross-company transfer — onboarding company B after {n} company-A runs --\n{md}"
-        );
-    }
-
-    if want("learning_curve") {
-        let n = if quick { 150 } else { 400 };
-        let lc = learning_curve(&cfg, &jobs, n);
-        let rows: Vec<Vec<String>> = lc
-            .points
-            .iter()
-            .map(|(i, e)| vec![i.to_string(), fmt(*e, 4)])
-            .collect();
-        write_csv(
-            &dir.join("learning_curve.csv"),
-            &["deploy_index", "rolling_mean_rel_error"],
-            &rows,
-        );
-        println!(
-            "-- Learning curve ({n} deploys): mean |rel err| first 30 ML deploys = {:.1}%, last 30 = {:.1}% --\n",
-            100.0 * lc.early_mae,
-            100.0 * lc.late_mae
-        );
-    }
-
-    if want("ablation_features") {
-        let rows_raw = ablation_features(&kb, cfg.seed);
-        let rows: Vec<Vec<String>> = rows_raw
-            .iter()
-            .map(|(n, i)| vec![n.clone(), format!("{:.1}%", 100.0 * i)])
-            .collect();
-        write_csv(
-            &dir.join("ablation_features.csv"),
-            &["feature", "importance"],
-            &rows,
-        );
-        let md = markdown_table(&["feature", "RF importance"], &rows);
-        fs::write(dir.join("ablation_features.md"), &md).expect("write md");
-        println!("-- Extension: feature importances (what drives execution time) --\n{md}");
-    }
-
-    if want("ablation_billing") {
-        let b = ablation_billing(&kb, provider.catalog());
-        println!(
-            "-- Extension: billing-policy re-pricing of the {}-run campaign --\n\
-             prorated (economic) : {:>9.2}$  (paper: 128$ for its 1500 runs)\n\
-             per-second (min 60s): {:>9.2}$\n\
-             per-hour (EC2 2016) : {:>9.2}$  ({:.1}x markup from hourly rounding)\n",
-            kb.len(),
-            b.prorated_total,
-            b.per_second_total,
-            b.per_hour_total,
-            b.per_hour_total / b.prorated_total
-        );
-        fs::write(
-            dir.join("ablation_billing.json"),
-            serde_json::to_string_pretty(&b).expect("serializes"),
-        )
-        .expect("write json");
-    }
-
-    if want("ablation_lsmc") {
-        let a = ablation_lsmc(cfg.seed);
-        println!(
-            "-- Ablation: LSMC vs nested MC --\n\
-             nested: {:.2}s wall, SCR = {:.2}\n\
-             LSMC  : {:.2}s wall, SCR = {:.2}\n\
-             speed ratio {:.1}×, mean-Y1 gap {:.2}%\n",
-            a.nested_secs,
-            a.nested_scr,
-            a.lsmc_secs,
-            a.lsmc_scr,
-            a.nested_secs / a.lsmc_secs,
-            100.0 * a.mean_rel_gap
-        );
-        fs::write(
-            dir.join("ablation_lsmc.json"),
-            serde_json::to_string_pretty(&a).expect("serializes"),
-        )
-        .expect("write json");
+        .expect("write --out file");
+        println!("wrote {} rows to {path}", produced.len());
     }
 
     println!(
-        "all requested experiments done in {:.1}s; outputs in {}",
+        "all requested experiments done in {:.1}s; {} rows appended to {}",
         t0.elapsed().as_secs_f64(),
-        dir.display()
+        produced.len(),
+        registry.path().display()
     );
 }

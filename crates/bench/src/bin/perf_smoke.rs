@@ -10,9 +10,11 @@
 //!
 //! It times the full nested valuation at lane ∈ {1, 8} (the scalar escape
 //! hatch vs the default block width), checks the two runs are bit-identical
-//! (the lane contract), prints the medians and the speedup, and *appends*
-//! the rows to `BENCH_engine.json` at the repo root — read-modify-write, so
-//! criterion-produced rows are preserved.
+//! (the lane contract), prints the medians and the speedup, and appends one
+//! row to the append-only registry (`results/registry.jsonl`) through the
+//! advisory file lock — the measured medians live in `timings`, outside the
+//! replay contract, while the deterministic valuation scalars land in
+//! `outputs`.
 
 use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
 use disar_actuarial::engine::ActuarialEngine;
@@ -22,6 +24,8 @@ use disar_actuarial::mortality::{Gender, LifeTable};
 use disar_alm::liability::LiabilityPosition;
 use disar_alm::nested::{NestedConfig, NestedMonteCarlo, NestedResult};
 use disar_alm::SegregatedFund;
+use disar_bench::registry::workspace_registry;
+use disar_registry::{CanonicalHasher, RegistryRow};
 use disar_stochastic::drivers::{Gbm, Vasicek};
 use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
 use std::hint::black_box;
@@ -97,38 +101,8 @@ fn time_lane(
     (times[times.len() / 2], res)
 }
 
-/// Appends `rows` to the `"rows"` array of `BENCH_engine.json`, creating
-/// the file if missing and preserving whatever the criterion harness wrote.
-fn append_rows(rows: Vec<serde_json::Value>) {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_engine.json");
-    let mut doc: serde_json::Value = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|s| serde_json::from_str(&s).ok())
-        .unwrap_or_else(|| serde_json::json!({ "rows": [] }));
-    if !doc.is_object() {
-        doc = serde_json::json!({ "rows": [] });
-    }
-    let obj = doc.as_object_mut().expect("object");
-    obj.entry("generated_by")
-        .or_insert_with(|| "cargo run --release -p disar-bench --bin perf_smoke".into());
-    let arr = obj
-        .entry("rows")
-        .or_insert_with(|| serde_json::Value::Array(Vec::new()));
-    if !arr.is_array() {
-        *arr = serde_json::Value::Array(Vec::new());
-    }
-    arr.as_array_mut().expect("array").extend(rows);
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&doc).expect("serializes") + "\n",
-    )
-    .expect("repo root is writable");
-    println!("appended rows to {}", path.display());
-}
-
 fn main() {
+    let t0 = Instant::now();
     let (outer, inner) = generators(10.0);
     let fund = SegregatedFund::italian_typical(20);
     let pos = positions(10);
@@ -147,17 +121,41 @@ fn main() {
     println!("  lane 8: {block_ns:>12} ns/run (median of {REPS})");
     println!("  speedup lane8/lane1: {speedup:.2}x");
 
-    let row = |lane: usize, ns: u128| {
+    // One registry row: deterministic valuation scalars in `outputs`
+    // (hash-checked), machine-dependent medians in `timings` (not).
+    let params = serde_json::json!({
+        "n_outer": N_OUTER,
+        "n_inner": N_INNER,
+        "reps": REPS,
+        "seed": 17,
+        "threads": 1,
+        "antithetic": false,
+        "lanes": [1, 8],
+    });
+    let mut h = CanonicalHasher::new();
+    h.field("bench");
+    h.write_str("perf_smoke");
+    h.field("params");
+    h.write_str(&params.to_string());
+    let row = RegistryRow::new(
+        "perf_smoke",
+        h.finish(),
+        params,
         serde_json::json!({
-            "source": "perf_smoke",
-            "n_outer": N_OUTER,
-            "n_inner": N_INNER,
-            "threads": 1,
-            "antithetic": false,
-            "lane": lane,
-            "median_wall_ns": ns,
-            "speedup_vs_lane1": if lane == 1 { 1.0 } else { speedup },
-        })
-    };
-    append_rows(vec![row(1, scalar_ns), row(8, block_ns)]);
+            "mean": block_res.mean,
+            "var_quantile": block_res.var_quantile,
+            "scr": block_res.scr,
+            "bel": block_res.bel,
+            "std_error": block_res.std_error,
+        }),
+        t0.elapsed().as_nanos() as u64,
+    )
+    .with_timings(serde_json::json!({
+        "lane1_median_ns": scalar_ns as u64,
+        "lane8_median_ns": block_ns as u64,
+        "speedup_lane8": speedup,
+    }));
+    let registry = workspace_registry();
+    registry.append(&[row]).expect("registry append succeeds");
+    println!("appended 1 row to {}", registry.path().display());
 }

@@ -1,7 +1,16 @@
 //! Implementations of every table/figure of the paper's §IV plus the
-//! ablations DESIGN.md calls out.
+//! ablations DESIGN.md calls out, behind one uniform [`Experiment`] API.
+//!
+//! Every driver is a unit struct implementing [`Experiment`]; the
+//! name-keyed [`EXPERIMENTS`] registry replaces the old string-match
+//! dispatch in the CLIs, and each `run` emits exactly one replayable
+//! [`RegistryRow`] whose `input_hash` digests the campaign config, the
+//! quick flag, the job list, and (where consumed) the knowledge-base
+//! fingerprint — the contract `runbook` replays against (DESIGN.md §13).
+//! The old free functions remain for exactly one PR as `#[deprecated]`
+//! shims over each struct's `compute`.
 
-use crate::campaign::{CampaignConfig, EebJob};
+use crate::campaign::{build_knowledge_base, paper_eeb_jobs, CampaignConfig, EebJob};
 use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
 use disar_actuarial::engine::ActuarialEngine;
 use disar_actuarial::lapse::DurationLapse;
@@ -24,13 +33,181 @@ use disar_math::stats;
 use disar_ml::metrics::evaluate;
 use disar_ml::regressor::ModelKind;
 use disar_ml::Regressor;
+use disar_registry::{knowledge_fingerprint, CanonicalHasher, Canonicalize, RegistryRow};
 use disar_stochastic::scenario::TimeGrid;
 use disar_stochastic::{drivers, CorrelationMatrix};
 use rand::Rng;
 use serde::Serialize;
+use serde_json::{json, Value};
+use std::time::Instant;
 
 /// The 40 %/60 % train/test split of Table I.
 pub const TABLE1_TRAIN_FRACTION: f64 = 0.4;
+
+/// Everything an [`Experiment`] needs: the campaign configuration (which
+/// seeds the knowledge base, the provider noise streams, and every model
+/// fit) plus the quick-mode flag that shrinks the slow deploy loops.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtx {
+    /// Campaign configuration shared by every experiment.
+    pub cfg: CampaignConfig,
+    /// Shrink the self-optimizing loops to CI-sized runs.
+    pub quick: bool,
+}
+
+impl ExperimentCtx {
+    /// Builds a context.
+    pub fn new(cfg: CampaignConfig, quick: bool) -> Self {
+        Self { cfg, quick }
+    }
+
+    /// Builds the campaign knowledge base, provider, and job list afresh.
+    /// Replay determinism requires every `run` to start from the same
+    /// provider noise-stream position, so nothing is cached or shared.
+    pub fn campaign(&self) -> (KnowledgeBase, CloudProvider, Vec<EebJob>) {
+        build_knowledge_base(&self.cfg)
+    }
+
+    /// The paper's EEB jobs under this campaign's Monte Carlo sizes.
+    pub fn jobs(&self) -> Vec<EebJob> {
+        paper_eeb_jobs(&self.cfg)
+    }
+
+    /// The replayable parameter object recorded on every row; inverted by
+    /// [`ExperimentCtx::from_params`].
+    pub fn params(&self) -> Value {
+        json!({
+            "campaign": {
+                "n_runs": self.cfg.n_runs,
+                "n_outer": self.cfg.n_outer,
+                "n_inner": self.cfg.n_inner,
+                "max_nodes": self.cfg.max_nodes,
+                "seed": self.cfg.seed,
+                "n_threads": self.cfg.n_threads,
+            },
+            "quick": self.quick,
+        })
+    }
+
+    /// Rebuilds a context from a recorded row's `params`; `None` when the
+    /// row was written by something other than an experiment driver.
+    pub fn from_params(params: &Value) -> Option<Self> {
+        let c = params.get("campaign")?;
+        let get = |k: &str| c.get(k).and_then(Value::as_u64);
+        let cfg = CampaignConfig::builder()
+            .n_runs(get("n_runs")? as usize)
+            .n_outer(get("n_outer")? as usize)
+            .n_inner(get("n_inner")? as usize)
+            .max_nodes(get("max_nodes")? as usize)
+            .seed(get("seed")?)
+            .n_threads(get("n_threads")? as usize)
+            .build();
+        let quick = params
+            .get("quick")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        Some(Self { cfg, quick })
+    }
+
+    /// Canonical input digest for a named experiment: the name, the
+    /// campaign config, the quick flag, the job list, and (when consumed)
+    /// the knowledge-base fingerprint.
+    pub fn input_hash(
+        &self,
+        experiment: &str,
+        kb: Option<&KnowledgeBase>,
+        jobs: &[EebJob],
+    ) -> u64 {
+        let mut h = CanonicalHasher::new();
+        h.field("experiment");
+        h.write_str(experiment);
+        h.field("campaign");
+        self.cfg.canonicalize(&mut h);
+        h.field("quick");
+        h.write_bool(self.quick);
+        h.field("jobs");
+        jobs.canonicalize(&mut h);
+        h.field("kb");
+        kb.map(knowledge_fingerprint).canonicalize(&mut h);
+        h.finish()
+    }
+}
+
+/// A named, replayable experiment driver. Implementors are unit structs;
+/// dispatch goes through [`EXPERIMENTS`] / [`by_name`] instead of string
+/// matching in each CLI.
+pub trait Experiment: Sync {
+    /// Stable registry key; also the CLI argument that selects the driver.
+    fn name(&self) -> &'static str;
+
+    /// Runs the experiment and returns its registry rows — exactly one per
+    /// driver today; the `Vec` leaves room for multi-row sweeps.
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow>;
+
+    /// Renders a row's `outputs` for the terminal; pretty JSON by default.
+    fn render(&self, outputs: &Value) -> String {
+        serde_json::to_string_pretty(outputs).unwrap_or_else(|_| outputs.to_string())
+    }
+}
+
+/// Every driver, keyed by [`Experiment::name`].
+pub static EXPERIMENTS: &[&dyn Experiment] = &[
+    &Table1Experiment,
+    &Table2Experiment,
+    &Fig2Experiment,
+    &Fig3Experiment,
+    &Fig4Experiment,
+    &ComparisonExperiment,
+    &EnsembleAblationExperiment,
+    &EpsilonAblationExperiment,
+    &HeteroAblationExperiment,
+    &DeadlineRuleAblationExperiment,
+    &LearningCurveExperiment,
+    &TransferAblationExperiment,
+    &FeatureAblationExperiment,
+    &BillingAblationExperiment,
+    &LsmcAblationExperiment,
+];
+
+/// Looks a driver up by its registry key.
+pub fn by_name(name: &str) -> Option<&'static dyn Experiment> {
+    EXPERIMENTS.iter().copied().find(|e| e.name() == name)
+}
+
+fn to_json<T: Serialize>(v: &T) -> Value {
+    serde_json::to_value(v).expect("experiment outputs serialize")
+}
+
+/// Assembles the one row a driver emits: `ctx.params()` plus any
+/// experiment-specific extras, the canonical input digest, and the wall
+/// time since `t0` (kept out of the replay contract via `wall_ns`).
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    name: &str,
+    ctx: &ExperimentCtx,
+    kb: Option<&KnowledgeBase>,
+    jobs: &[EebJob],
+    extra_params: &[(&str, Value)],
+    outputs: Value,
+    timings: Value,
+    t0: Instant,
+) -> Vec<RegistryRow> {
+    let mut params = ctx.params();
+    if let Some(obj) = params.as_object_mut() {
+        for (k, v) in extra_params {
+            obj.insert((*k).to_string(), v.clone());
+        }
+    }
+    let row = RegistryRow::new(
+        name,
+        ctx.input_hash(name, kb, jobs),
+        params,
+        outputs,
+        t0.elapsed().as_nanos() as u64,
+    )
+    .with_timings(timings);
+    vec![row]
+}
 
 /// Table I: signed bias δ̄ (seconds) per classifier per instance type.
 #[derive(Debug, Clone, Serialize)]
@@ -43,83 +220,160 @@ pub struct Table1 {
     pub bias: Vec<Vec<f64>>,
 }
 
-/// Regenerates Table I from a knowledge base: per instance type, train
-/// each of the six classifiers on 40 % of that type's runs and report the
-/// signed mean error on the remaining 60 %.
-///
-/// The `instances × models` train/evaluate cells spread over up to
-/// `n_threads` workers. Every cell depends only on its instance's
-/// (deterministic) split and its own model seed, so the table is
-/// bit-identical for any thread count; `1` is the sequential escape hatch.
+/// Driver for Table I (`table1`).
+pub struct Table1Experiment;
+
+impl Table1Experiment {
+    /// Regenerates Table I from a knowledge base: per instance type, train
+    /// each of the six classifiers on 40 % of that type's runs and report
+    /// the signed mean error on the remaining 60 %.
+    ///
+    /// The `instances × models` train/evaluate cells spread over up to
+    /// `n_threads` workers. Every cell depends only on its instance's
+    /// (deterministic) split and its own model seed, so the table is
+    /// bit-identical for any thread count; `1` is the sequential escape
+    /// hatch.
+    pub fn compute(
+        kb: &KnowledgeBase,
+        catalog: &InstanceCatalog,
+        seed: u64,
+        n_threads: usize,
+    ) -> Table1 {
+        let instances = catalog.names();
+        let models: Vec<String> = ModelKind::ALL
+            .iter()
+            .map(|k| k.abbreviation().to_string())
+            .collect();
+        // Per-instance splits are cheap; precompute them sequentially so the
+        // workers share plain `Dataset`s (the knowledge base's dataset cache
+        // is not Sync).
+        let splits: Vec<_> = instances
+            .iter()
+            .map(|inst| {
+                kb.for_instance(inst)
+                    .to_dataset()
+                    .expect("campaign covers every instance")
+                    .split(TABLE1_TRAIN_FRACTION, seed)
+                    .expect("instance subsets are large enough")
+            })
+            .collect();
+        let total = instances.len() * ModelKind::ALL.len();
+        let cells = parallel_map(total, n_threads.max(1), |i| {
+            let (ii, mi) = (i / ModelKind::ALL.len(), i % ModelKind::ALL.len());
+            let (train, test) = &splits[ii];
+            let mut model = ModelKind::ALL[mi].instantiate(seed ^ (mi as u64) << 8);
+            model.fit(train).expect("training succeeds");
+            evaluate(model.as_ref(), test)
+                .expect("evaluation succeeds")
+                .bias
+        });
+        let mut bias = vec![vec![f64::NAN; instances.len()]; models.len()];
+        for (i, b) in cells.into_iter().enumerate() {
+            bias[i % ModelKind::ALL.len()][i / ModelKind::ALL.len()] = b;
+        }
+        Table1 {
+            instances,
+            models,
+            bias,
+        }
+    }
+}
+
+impl Experiment for Table1Experiment {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let t = Self::compute(&kb, provider.catalog(), ctx.cfg.seed, ctx.cfg.n_threads);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&t),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`Table1Experiment::compute`].
+#[deprecated(note = "use Table1Experiment::compute or run it via the Experiment trait")]
 pub fn table1(
     kb: &KnowledgeBase,
     catalog: &InstanceCatalog,
     seed: u64,
     n_threads: usize,
 ) -> Table1 {
-    let instances = catalog.names();
-    let models: Vec<String> = ModelKind::ALL
-        .iter()
-        .map(|k| k.abbreviation().to_string())
-        .collect();
-    // Per-instance splits are cheap; precompute them sequentially so the
-    // workers share plain `Dataset`s (the knowledge base's dataset cache is
-    // not Sync).
-    let splits: Vec<_> = instances
-        .iter()
-        .map(|inst| {
-            kb.for_instance(inst)
-                .to_dataset()
-                .expect("campaign covers every instance")
-                .split(TABLE1_TRAIN_FRACTION, seed)
-                .expect("instance subsets are large enough")
-        })
-        .collect();
-    let total = instances.len() * ModelKind::ALL.len();
-    let cells = parallel_map(total, n_threads.max(1), |i| {
-        let (ii, mi) = (i / ModelKind::ALL.len(), i % ModelKind::ALL.len());
-        let (train, test) = &splits[ii];
-        let mut model = ModelKind::ALL[mi].instantiate(seed ^ (mi as u64) << 8);
-        model.fit(train).expect("training succeeds");
-        evaluate(model.as_ref(), test)
-            .expect("evaluation succeeds")
-            .bias
-    });
-    let mut bias = vec![vec![f64::NAN; instances.len()]; models.len()];
-    for (i, b) in cells.into_iter().enumerate() {
-        bias[i % ModelKind::ALL.len()][i / ModelKind::ALL.len()] = b;
-    }
-    Table1 {
-        instances,
-        models,
-        bias,
+    Table1Experiment::compute(kb, catalog, seed, n_threads)
+}
+
+/// Driver for Table II (`table2`).
+pub struct Table2Experiment;
+
+impl Table2Experiment {
+    /// Table II: mean prorated per-simulation cost (USD) per instance
+    /// type, measured by running every EEB job once on a single node of
+    /// each type.
+    ///
+    /// The `names × jobs` runs execute as a [`CloudProvider::run_batch`]
+    /// over reserved noise-stream slots — bit-identical to the sequential
+    /// (instance-major) loop for any `n_threads`.
+    pub fn compute(
+        jobs: &[EebJob],
+        provider: &CloudProvider,
+        n_threads: usize,
+    ) -> Vec<(String, f64)> {
+        let names = provider.catalog().names();
+        let total = names.len() * jobs.len();
+        let costs = provider.run_batch(total, n_threads, |i, run| {
+            let name = &names[i / jobs.len()];
+            let job = &jobs[i % jobs.len()];
+            run.execute(name, 1, &job.workload)
+                .expect("catalog instance")
+                .prorated_cost
+        });
+        names
+            .into_iter()
+            .enumerate()
+            .map(|(ni, name)| {
+                let slice = &costs[ni * jobs.len()..(ni + 1) * jobs.len()];
+                (name, stats::mean(slice))
+            })
+            .collect()
     }
 }
 
-/// Table II: mean prorated per-simulation cost (USD) per instance type,
-/// measured by running every EEB job once on a single node of each type.
-///
-/// The `names × jobs` runs execute as a [`CloudProvider::run_batch`] over
-/// reserved noise-stream slots — bit-identical to the sequential
-/// (instance-major) loop for any `n_threads`.
+impl Experiment for Table2Experiment {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let rows = Self::compute(&jobs, &provider, ctx.cfg.n_threads);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`Table2Experiment::compute`].
+#[deprecated(note = "use Table2Experiment::compute or run it via the Experiment trait")]
 pub fn table2(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
-    let names = provider.catalog().names();
-    let total = names.len() * jobs.len();
-    let costs = provider.run_batch(total, n_threads, |i, run| {
-        let name = &names[i / jobs.len()];
-        let job = &jobs[i % jobs.len()];
-        run.execute(name, 1, &job.workload)
-            .expect("catalog instance")
-            .prorated_cost
-    });
-    names
-        .into_iter()
-        .enumerate()
-        .map(|(ni, name)| {
-            let slice = &costs[ni * jobs.len()..(ni + 1) * jobs.len()];
-            (name, stats::mean(slice))
-        })
-        .collect()
+    Table2Experiment::compute(jobs, provider, n_threads)
 }
 
 /// One point of Figure 2's scatter.
@@ -133,32 +387,85 @@ pub struct Fig2Point {
     pub predicted: f64,
 }
 
-/// Figure 2: per-model predicted-vs-real pairs on a held-out 60 % split of
-/// the whole knowledge base.
-///
-/// The six model fits spread over up to `n_threads` workers, concatenating
-/// the per-model point runs in model order — bit-identical for any thread
-/// count; `1` is the sequential escape hatch.
+/// Driver for Figure 2 (`fig2`).
+pub struct Fig2Experiment;
+
+impl Fig2Experiment {
+    /// Figure 2: per-model predicted-vs-real pairs on a held-out 60 %
+    /// split of the whole knowledge base.
+    ///
+    /// The six model fits spread over up to `n_threads` workers,
+    /// concatenating the per-model point runs in model order —
+    /// bit-identical for any thread count; `1` is the sequential escape
+    /// hatch.
+    pub fn compute(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
+        let data = kb.to_dataset().expect("knowledge base is non-empty");
+        let (train, test) = data
+            .split(TABLE1_TRAIN_FRACTION, seed)
+            .expect("knowledge base is large enough");
+        let per_model = parallel_map(ModelKind::ALL.len(), n_threads.max(1), |mi| {
+            let kind = ModelKind::ALL[mi];
+            let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
+            model.fit(&train).expect("training succeeds");
+            let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
+            ev.pairs
+                .into_iter()
+                .map(|(real, predicted)| Fig2Point {
+                    model: kind.abbreviation().to_string(),
+                    real,
+                    predicted,
+                })
+                .collect::<Vec<_>>()
+        });
+        per_model.into_iter().flatten().collect()
+    }
+
+    /// Per-model correlation/RMSE summary of a point cloud — the scalar
+    /// claims the paper reads off the scatter.
+    pub fn summary(points: &[Fig2Point]) -> Value {
+        let mut rows = Vec::new();
+        for kind in ModelKind::ALL {
+            let abbr = kind.abbreviation();
+            let (real, predicted): (Vec<f64>, Vec<f64>) = points
+                .iter()
+                .filter(|p| p.model == abbr)
+                .map(|p| (p.real, p.predicted))
+                .unzip();
+            if real.is_empty() {
+                continue;
+            }
+            rows.push(json!({
+                "model": abbr,
+                "points": real.len(),
+                "r": stats::correlation(&real, &predicted),
+                "rmse_secs": stats::rmse(&predicted, &real),
+            }));
+        }
+        Value::Array(rows)
+    }
+}
+
+impl Experiment for Fig2Experiment {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, _, jobs) = ctx.campaign();
+        let points = Self::compute(&kb, ctx.cfg.seed, ctx.cfg.n_threads);
+        let outputs = json!({
+            "summary": Self::summary(&points),
+            "points": to_json(&points),
+        });
+        finish(self.name(), ctx, Some(&kb), &jobs, &[], outputs, Value::Null, t0)
+    }
+}
+
+/// Deprecated free-function form of [`Fig2Experiment::compute`].
+#[deprecated(note = "use Fig2Experiment::compute or run it via the Experiment trait")]
 pub fn fig2(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
-    let data = kb.to_dataset().expect("knowledge base is non-empty");
-    let (train, test) = data
-        .split(TABLE1_TRAIN_FRACTION, seed)
-        .expect("knowledge base is large enough");
-    let per_model = parallel_map(ModelKind::ALL.len(), n_threads.max(1), |mi| {
-        let kind = ModelKind::ALL[mi];
-        let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
-        model.fit(&train).expect("training succeeds");
-        let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
-        ev.pairs
-            .into_iter()
-            .map(|(real, predicted)| Fig2Point {
-                model: kind.abbreviation().to_string(),
-                real,
-                predicted,
-            })
-            .collect::<Vec<_>>()
-    });
-    per_model.into_iter().flatten().collect()
+    Fig2Experiment::compute(kb, seed, n_threads)
 }
 
 /// Figure 3: the pooled error histogram.
@@ -171,50 +478,122 @@ pub struct Fig3 {
     pub within_200s: f64,
 }
 
-/// Builds Figure 3 from Figure 2's points.
-pub fn fig3(points: &[Fig2Point]) -> Fig3 {
-    let errors: Vec<f64> = points.iter().map(|p| p.predicted - p.real).collect();
-    let lo = errors.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    // Paper's axis: roughly [-6000, 4000]; adapt to the observed range but
-    // keep 200 s bins like the paper's granularity claim.
-    let lo = (lo / 200.0).floor() * 200.0;
-    let hi = ((hi / 200.0).ceil() * 200.0).max(lo + 200.0);
-    let bins = ((hi - lo) / 200.0) as usize;
-    let mut h = disar_math::stats::Histogram::new(lo, hi, bins).expect("valid range");
-    h.extend(errors.iter().copied());
-    let pct = h.percentages();
-    let within = errors.iter().filter(|e| e.abs() <= 200.0).count() as f64 / errors.len() as f64;
-    Fig3 {
-        bins: (0..bins).map(|i| (h.bin_lo(i), pct[i])).collect(),
-        within_200s: within,
+/// Driver for Figure 3 (`fig3`).
+pub struct Fig3Experiment;
+
+impl Fig3Experiment {
+    /// Builds Figure 3 from Figure 2's points.
+    pub fn compute(points: &[Fig2Point]) -> Fig3 {
+        let errors: Vec<f64> = points.iter().map(|p| p.predicted - p.real).collect();
+        let lo = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Paper's axis: roughly [-6000, 4000]; adapt to the observed range
+        // but keep 200 s bins like the paper's granularity claim.
+        let lo = (lo / 200.0).floor() * 200.0;
+        let hi = ((hi / 200.0).ceil() * 200.0).max(lo + 200.0);
+        let bins = ((hi - lo) / 200.0) as usize;
+        let mut h = disar_math::stats::Histogram::new(lo, hi, bins).expect("valid range");
+        h.extend(errors.iter().copied());
+        let pct = h.percentages();
+        let within =
+            errors.iter().filter(|e| e.abs() <= 200.0).count() as f64 / errors.len() as f64;
+        Fig3 {
+            bins: (0..bins).map(|i| (h.bin_lo(i), pct[i])).collect(),
+            within_200s: within,
+        }
     }
 }
 
-/// Figure 4: mean speedup of a single-VM cloud deploy over the sequential
-/// (one reference core) execution, per instance type.
-///
-/// The sequential baseline uses the simulator's ground-truth model — an
-/// *oracle* read, legitimate here because the baseline is a measurement
-/// protocol, not a provisioning decision.
+impl Experiment for Fig3Experiment {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, _, jobs) = ctx.campaign();
+        let points = Fig2Experiment::compute(&kb, ctx.cfg.seed, ctx.cfg.n_threads);
+        let f3 = Self::compute(&points);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&f3),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`Fig3Experiment::compute`].
+#[deprecated(note = "use Fig3Experiment::compute or run it via the Experiment trait")]
+pub fn fig3(points: &[Fig2Point]) -> Fig3 {
+    Fig3Experiment::compute(points)
+}
+
+/// Driver for Figure 4 (`fig4`).
+pub struct Fig4Experiment;
+
+impl Fig4Experiment {
+    /// Figure 4: mean speedup of a single-VM cloud deploy over the
+    /// sequential (one reference core) execution, per instance type.
+    ///
+    /// The sequential baseline uses the simulator's ground-truth model —
+    /// an *oracle* read, legitimate here because the baseline is a
+    /// measurement protocol, not a provisioning decision.
+    pub fn compute(
+        jobs: &[EebJob],
+        provider: &CloudProvider,
+        n_threads: usize,
+    ) -> Vec<(String, f64)> {
+        let names = provider.catalog().names();
+        let total = names.len() * jobs.len();
+        let speedups = provider.run_batch(total, n_threads, |i, run| {
+            let name = &names[i / jobs.len()];
+            let job = &jobs[i % jobs.len()];
+            let seq = provider.ground_truth().sequential_secs(&job.workload);
+            let report = run.execute(name, 1, &job.workload).expect("catalog instance");
+            seq / report.duration_secs
+        });
+        names
+            .into_iter()
+            .enumerate()
+            .map(|(ni, name)| {
+                let slice = &speedups[ni * jobs.len()..(ni + 1) * jobs.len()];
+                (name, stats::mean(slice))
+            })
+            .collect()
+    }
+}
+
+impl Experiment for Fig4Experiment {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let rows = Self::compute(&jobs, &provider, ctx.cfg.n_threads);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`Fig4Experiment::compute`].
+#[deprecated(note = "use Fig4Experiment::compute or run it via the Experiment trait")]
 pub fn fig4(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
-    let names = provider.catalog().names();
-    let total = names.len() * jobs.len();
-    let speedups = provider.run_batch(total, n_threads, |i, run| {
-        let name = &names[i / jobs.len()];
-        let job = &jobs[i % jobs.len()];
-        let seq = provider.ground_truth().sequential_secs(&job.workload);
-        let report = run.execute(name, 1, &job.workload).expect("catalog instance");
-        seq / report.duration_secs
-    });
-    names
-        .into_iter()
-        .enumerate()
-        .map(|(ni, name)| {
-            let slice = &speedups[ni * jobs.len()..(ni + 1) * jobs.len()];
-            (name, stats::mean(slice))
-        })
-        .collect()
+    Fig4Experiment::compute(jobs, provider, n_threads)
 }
 
 /// §IV closing comparison: the ML-selected configuration versus forcing
@@ -243,106 +622,177 @@ pub struct Comparison {
     pub time_reduction_pct: f64,
 }
 
-/// Runs the closing comparison on the largest EEB job.
+/// Driver for the §IV closing comparison (`comparison`).
+pub struct ComparisonExperiment;
+
+impl ComparisonExperiment {
+    /// Runs the closing comparison on the largest EEB job.
+    pub fn compute(
+        kb: &KnowledgeBase,
+        jobs: &[EebJob],
+        provider: &CloudProvider,
+        seed: u64,
+    ) -> Comparison {
+        let mut family = PredictorFamily::new(seed, 2);
+        family
+            .retrain(kb, RetrainMode::Full, 1)
+            .expect("knowledge base is large enough");
+
+        // "A large configuration": the EEB with the most work.
+        let job = jobs
+            .iter()
+            .max_by(|a, b| {
+                a.workload
+                    .work_units
+                    .partial_cmp(&b.workload.work_units)
+                    .expect("finite work")
+            })
+            .expect("non-empty job list");
+
+        // Forced deploys.
+        let highend = provider
+            .run_job("m4.10xlarge", 1, &job.workload)
+            .expect("catalog instance");
+        let cheap_name = Table2Experiment::compute(jobs, provider, 1)
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .expect("catalog non-empty")
+            .0;
+        let cheap = provider
+            .run_job(&cheap_name, 1, &job.workload)
+            .expect("catalog instance");
+
+        // ML deploy: deadline set below the cheap machine's realized time
+        // so Algorithm 1 must find something faster yet still cheap.
+        let t_max = cheap.duration_secs * 0.75;
+        let sel = select_configuration(
+            &family,
+            provider.catalog(),
+            &job.profile,
+            t_max,
+            8,
+            0.0,
+            seed,
+        )
+        .expect("a feasible configuration exists");
+        let ml = provider
+            .run_job(&sel.chosen.instance, sel.chosen.n_nodes, &job.workload)
+            .expect("catalog instance");
+
+        Comparison {
+            ml_instance: sel.chosen.instance.clone(),
+            ml_nodes: sel.chosen.n_nodes,
+            ml_secs: ml.duration_secs,
+            ml_cost: ml.prorated_cost,
+            highend_secs: highend.duration_secs,
+            highend_cost: highend.prorated_cost,
+            cheap_secs: cheap.duration_secs,
+            cheap_cost: cheap.prorated_cost,
+            cost_decrease_pct: 100.0 * (1.0 - ml.prorated_cost / highend.prorated_cost),
+            time_reduction_pct: 100.0 * (1.0 - ml.duration_secs / cheap.duration_secs),
+        }
+    }
+}
+
+impl Experiment for ComparisonExperiment {
+    fn name(&self) -> &'static str {
+        "comparison"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let c = Self::compute(&kb, &jobs, &provider, ctx.cfg.seed);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&c),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`ComparisonExperiment::compute`].
+#[deprecated(note = "use ComparisonExperiment::compute or run it via the Experiment trait")]
 pub fn comparison(
     kb: &KnowledgeBase,
     jobs: &[EebJob],
     provider: &CloudProvider,
     seed: u64,
 ) -> Comparison {
-    let mut family = PredictorFamily::new(seed, 2);
-    family
-        .retrain(kb, RetrainMode::Full, 1)
-        .expect("knowledge base is large enough");
+    ComparisonExperiment::compute(kb, jobs, provider, seed)
+}
 
-    // "A large configuration": the EEB with the most work.
-    let job = jobs
-        .iter()
-        .max_by(|a, b| {
-            a.workload
-                .work_units
-                .partial_cmp(&b.workload.work_units)
-                .expect("finite work")
-        })
-        .expect("non-empty job list");
+/// Driver for the single-model-vs-ensemble ablation (`ablation_ensemble`).
+pub struct EnsembleAblationExperiment;
 
-    // Forced deploys.
-    let highend = provider
-        .run_job("m4.10xlarge", 1, &job.workload)
-        .expect("catalog instance");
-    let cheap_name = table2(jobs, provider, 1)
-        .into_iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
-        .expect("catalog non-empty")
-        .0;
-    let cheap = provider
-        .run_job(&cheap_name, 1, &job.workload)
-        .expect("catalog instance");
-
-    // ML deploy: deadline set below the cheap machine's realized time so
-    // Algorithm 1 must find something faster yet still cheap.
-    let t_max = cheap.duration_secs * 0.75;
-    let sel = select_configuration(
-        &family,
-        provider.catalog(),
-        &job.profile,
-        t_max,
-        8,
-        0.0,
-        seed,
-    )
-    .expect("a feasible configuration exists");
-    let ml = provider
-        .run_job(&sel.chosen.instance, sel.chosen.n_nodes, &job.workload)
-        .expect("catalog instance");
-
-    Comparison {
-        ml_instance: sel.chosen.instance.clone(),
-        ml_nodes: sel.chosen.n_nodes,
-        ml_secs: ml.duration_secs,
-        ml_cost: ml.prorated_cost,
-        highend_secs: highend.duration_secs,
-        highend_cost: highend.prorated_cost,
-        cheap_secs: cheap.duration_secs,
-        cheap_cost: cheap.prorated_cost,
-        cost_decrease_pct: 100.0 * (1.0 - ml.prorated_cost / highend.prorated_cost),
-        time_reduction_pct: 100.0 * (1.0 - ml.duration_secs / cheap.duration_secs),
+impl EnsembleAblationExperiment {
+    /// Ablation: accuracy of each single model vs the six-model average on
+    /// a held-out split. Returns `(name, bias, rmse)` rows, ensemble last.
+    ///
+    /// The six member fits spread over up to `n_threads` workers; the
+    /// ensemble is then assembled from the fitted members in model order,
+    /// so the rows are bit-identical for any thread count; `1` is the
+    /// sequential escape hatch.
+    pub fn compute(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<(String, f64, f64)> {
+        let data = kb.to_dataset().expect("knowledge base is non-empty");
+        let (train, test) = data
+            .split(TABLE1_TRAIN_FRACTION, seed)
+            .expect("knowledge base is large enough");
+        let per_model = parallel_map(ModelKind::ALL.len(), n_threads.max(1), |mi| {
+            let kind = ModelKind::ALL[mi];
+            let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
+            model.fit(&train).expect("training succeeds");
+            let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
+            ((kind.abbreviation().to_string(), ev.bias, ev.rmse), model)
+        });
+        let mut fitted: Vec<Box<dyn Regressor>> = Vec::with_capacity(per_model.len());
+        let mut rows = Vec::with_capacity(per_model.len() + 1);
+        for (row, model) in per_model {
+            rows.push(row);
+            fitted.push(model);
+        }
+        let ensemble = disar_ml::Ensemble::new(fitted);
+        let ev = evaluate(&ensemble, &test).expect("evaluation succeeds");
+        rows.push(("Ensemble".to_string(), ev.bias, ev.rmse));
+        rows
     }
 }
 
-/// Ablation: accuracy of each single model vs the six-model average on a
-/// held-out split. Returns `(name, bias, rmse)` rows, ensemble last.
-///
-/// The six member fits spread over up to `n_threads` workers; the ensemble
-/// is then assembled from the fitted members in model order, so the rows
-/// are bit-identical for any thread count; `1` is the sequential escape
-/// hatch.
+impl Experiment for EnsembleAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_ensemble"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, _, jobs) = ctx.campaign();
+        let rows = Self::compute(&kb, ctx.cfg.seed, ctx.cfg.n_threads);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`EnsembleAblationExperiment::compute`].
+#[deprecated(note = "use EnsembleAblationExperiment::compute or run it via the Experiment trait")]
 pub fn ablation_ensemble(
     kb: &KnowledgeBase,
     seed: u64,
     n_threads: usize,
 ) -> Vec<(String, f64, f64)> {
-    let data = kb.to_dataset().expect("knowledge base is non-empty");
-    let (train, test) = data
-        .split(TABLE1_TRAIN_FRACTION, seed)
-        .expect("knowledge base is large enough");
-    let per_model = parallel_map(ModelKind::ALL.len(), n_threads.max(1), |mi| {
-        let kind = ModelKind::ALL[mi];
-        let mut model = kind.instantiate(seed ^ (mi as u64) << 8);
-        model.fit(&train).expect("training succeeds");
-        let ev = evaluate(model.as_ref(), &test).expect("evaluation succeeds");
-        ((kind.abbreviation().to_string(), ev.bias, ev.rmse), model)
-    });
-    let mut fitted: Vec<Box<dyn Regressor>> = Vec::with_capacity(per_model.len());
-    let mut rows = Vec::with_capacity(per_model.len() + 1);
-    for (row, model) in per_model {
-        rows.push(row);
-        fitted.push(model);
-    }
-    let ensemble = disar_ml::Ensemble::new(fitted);
-    let ev = evaluate(&ensemble, &test).expect("evaluation succeeds");
-    rows.push(("Ensemble".to_string(), ev.bias, ev.rmse));
-    rows
+    EnsembleAblationExperiment::compute(kb, seed, n_threads)
 }
 
 /// Ablation: effect of ε-greedy exploration on knowledge-base coverage and
@@ -360,49 +810,99 @@ pub struct EpsilonAblation {
     pub deadline_misses: usize,
 }
 
-/// Runs `n_deploys` self-optimizing deploys at the given ε and summarizes.
+/// Driver for the ε-greedy exploration ablation (`ablation_epsilon`).
+pub struct EpsilonAblationExperiment;
+
+impl EpsilonAblationExperiment {
+    /// Runs `n_deploys` self-optimizing deploys at the given ε and
+    /// summarizes.
+    pub fn compute(
+        cfg: &CampaignConfig,
+        jobs: &[EebJob],
+        epsilon: f64,
+        n_deploys: usize,
+    ) -> EpsilonAblation {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0xEE);
+        let t_max = 3_000.0;
+        let policy = DeployPolicy::builder(t_max)
+            .epsilon(epsilon)
+            .max_nodes(cfg.max_nodes)
+            .min_kb_samples(30)
+            .retrain_every(10)
+            .n_threads(cfg.n_threads.max(1))
+            .build();
+        let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0xEE);
+        let mut rng = stream_rng(cfg.seed, 0xE9);
+        let mut costs = Vec::with_capacity(n_deploys);
+        let mut misses = 0;
+        for _ in 0..n_deploys {
+            let job = &jobs[rng.gen_range(0..jobs.len())];
+            let out = deployer
+                .deploy(&job.profile, &job.workload)
+                .expect("deploys succeed under a generous deadline");
+            costs.push(out.report.prorated_cost);
+            if out.missed_deadline(t_max) {
+                misses += 1;
+            }
+        }
+        let configs: std::collections::BTreeSet<(String, usize)> = deployer
+            .knowledge_base()
+            .records()
+            .iter()
+            .map(|r| (r.instance.clone(), r.n_nodes))
+            .collect();
+        let late = &costs[costs.len() - costs.len() / 3..];
+        EpsilonAblation {
+            epsilon,
+            distinct_configs: configs.len(),
+            late_mean_cost: stats::mean(late),
+            deadline_misses: misses,
+        }
+    }
+
+    /// The deploy-loop length the driver uses under `quick` / full mode.
+    pub fn n_deploys(quick: bool) -> usize {
+        if quick {
+            120
+        } else {
+            400
+        }
+    }
+}
+
+impl Experiment for EpsilonAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_epsilon"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let jobs = ctx.jobs();
+        let n = Self::n_deploys(ctx.quick);
+        let greedy = Self::compute(&ctx.cfg, &jobs, 0.0, n);
+        let explore = Self::compute(&ctx.cfg, &jobs, 0.1, n);
+        finish(
+            self.name(),
+            ctx,
+            None,
+            &jobs,
+            &[("n_deploys", json!(n))],
+            json!({ "rows": [to_json(&greedy), to_json(&explore)] }),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`EpsilonAblationExperiment::compute`].
+#[deprecated(note = "use EpsilonAblationExperiment::compute or run it via the Experiment trait")]
 pub fn ablation_epsilon(
     cfg: &CampaignConfig,
     jobs: &[EebJob],
     epsilon: f64,
     n_deploys: usize,
 ) -> EpsilonAblation {
-    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0xEE);
-    let t_max = 3_000.0;
-    let policy = DeployPolicy::builder(t_max)
-        .epsilon(epsilon)
-        .max_nodes(cfg.max_nodes)
-        .min_kb_samples(30)
-        .retrain_every(10)
-        .n_threads(cfg.n_threads.max(1))
-        .build();
-    let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0xEE);
-    let mut rng = stream_rng(cfg.seed, 0xE9);
-    let mut costs = Vec::with_capacity(n_deploys);
-    let mut misses = 0;
-    for _ in 0..n_deploys {
-        let job = &jobs[rng.gen_range(0..jobs.len())];
-        let out = deployer
-            .deploy(&job.profile, &job.workload)
-            .expect("deploys succeed under a generous deadline");
-        costs.push(out.report.prorated_cost);
-        if out.missed_deadline(t_max) {
-            misses += 1;
-        }
-    }
-    let configs: std::collections::BTreeSet<(String, usize)> = deployer
-        .knowledge_base()
-        .records()
-        .iter()
-        .map(|r| (r.instance.clone(), r.n_nodes))
-        .collect();
-    let late = &costs[costs.len() - costs.len() / 3..];
-    EpsilonAblation {
-        epsilon,
-        distinct_configs: configs.len(),
-        late_mean_cost: stats::mean(late),
-        deadline_misses: misses,
-    }
+    EpsilonAblationExperiment::compute(cfg, jobs, epsilon, n_deploys)
 }
 
 /// Ablation: heterogeneous (mixed-type) deploys vs homogeneous Algorithm 1
@@ -417,15 +917,157 @@ pub struct HeteroAblationRow {
     pub hetero: Option<(String, f64, f64)>,
 }
 
-/// For a sweep of deadlines on the largest EEB, compares the realized
-/// time/cost of the homogeneous pick against the heterogeneous one.
-///
-/// The sweep runs in two phases so it parallelizes: selections first (pure
-/// reads of the trained family), then the realized runs. Homogeneous runs
-/// draw reserved noise-stream slots in deadline order — exactly the
-/// indices the sequential loop's `run_job` calls would consume — and
-/// heterogeneous runs are counter-free (explicit seed), so the rows are
-/// bit-identical for any thread count; `1` is the sequential escape hatch.
+/// Driver for the heterogeneous-deploy ablation (`ablation_hetero`).
+pub struct HeteroAblationExperiment;
+
+impl HeteroAblationExperiment {
+    /// For a sweep of deadlines on the largest EEB, compares the realized
+    /// time/cost of the homogeneous pick against the heterogeneous one.
+    ///
+    /// The sweep runs in two phases so it parallelizes: selections first
+    /// (pure reads of the trained family), then the realized runs.
+    /// Homogeneous runs draw reserved noise-stream slots in deadline order
+    /// — exactly the indices the sequential loop's `run_job` calls would
+    /// consume — and heterogeneous runs are counter-free (explicit seed),
+    /// so the rows are bit-identical for any thread count; `1` is the
+    /// sequential escape hatch.
+    pub fn compute(
+        kb: &KnowledgeBase,
+        jobs: &[EebJob],
+        provider: &CloudProvider,
+        seed: u64,
+        n_threads: usize,
+    ) -> Vec<HeteroAblationRow> {
+        let n_threads = n_threads.max(1);
+        let mut family = PredictorFamily::new(seed, 2);
+        family
+            .retrain(kb, RetrainMode::Incremental, n_threads)
+            .expect("knowledge base is large enough");
+        let job = jobs
+            .iter()
+            .max_by(|a, b| {
+                a.workload
+                    .work_units
+                    .partial_cmp(&b.workload.work_units)
+                    .expect("finite")
+            })
+            .expect("non-empty");
+
+        // Anchor the sweep on the best homogeneous prediction.
+        let loose =
+            select_configuration(&family, provider.catalog(), &job.profile, 1e12, 4, 0.0, seed)
+                .expect("feasible at infinite deadline");
+        let best_secs = loose
+            .feasible
+            .iter()
+            .map(|c| c.predicted_secs)
+            .fold(f64::INFINITY, f64::min);
+
+        const MULTS: [f64; 4] = [0.8, 1.0, 1.5, 3.0];
+        let sels = parallel_map(MULTS.len(), n_threads, |i| {
+            let t_max = best_secs * MULTS[i];
+            let homo = select_configuration(
+                &family,
+                provider.catalog(),
+                &job.profile,
+                t_max,
+                4,
+                0.0,
+                seed,
+            )
+            .ok();
+            let hetero = select_hetero_configuration(
+                &family,
+                provider.catalog(),
+                &job.profile,
+                t_max,
+                4,
+                0.0,
+                seed,
+            )
+            .ok();
+            (t_max, homo, hetero)
+        });
+
+        // Only feasible homogeneous picks consume provider noise slots, in
+        // deadline order.
+        let mut n_homo = 0u64;
+        let homo_slot: Vec<u64> = sels
+            .iter()
+            .map(|(_, homo, _)| {
+                let slot = n_homo;
+                if homo.is_some() {
+                    n_homo += 1;
+                }
+                slot
+            })
+            .collect();
+        let base = provider.reserve_runs(n_homo);
+
+        parallel_map(MULTS.len(), n_threads, |i| {
+            let (t_max, homo_sel, hetero_sel) = &sels[i];
+            let homo = homo_sel.as_ref().map(|sel| {
+                let r = provider
+                    .run_job_at(
+                        &sel.chosen.instance,
+                        sel.chosen.n_nodes,
+                        &job.workload,
+                        base + homo_slot[i],
+                    )
+                    .expect("valid instance");
+                (
+                    sel.chosen.instance.clone(),
+                    sel.chosen.n_nodes,
+                    r.duration_secs,
+                    r.prorated_cost,
+                )
+            });
+            let hetero = hetero_sel.as_ref().map(|sel| {
+                let desc = sel
+                    .chosen
+                    .groups
+                    .iter()
+                    .map(|g| format!("{}x{}", g.instance, g.n_nodes))
+                    .collect::<Vec<_>>()
+                    .join("+");
+                let r = provider
+                    .run_hetero_job_with_seed(&sel.chosen.groups, &job.workload, seed ^ 0x4E7)
+                    .expect("valid groups");
+                (desc, r.duration_secs, r.prorated_cost)
+            });
+            HeteroAblationRow {
+                t_max: *t_max,
+                homo,
+                hetero,
+            }
+        })
+    }
+}
+
+impl Experiment for HeteroAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_hetero"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let rows = Self::compute(&kb, &jobs, &provider, ctx.cfg.seed, ctx.cfg.n_threads);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`HeteroAblationExperiment::compute`].
+#[deprecated(note = "use HeteroAblationExperiment::compute or run it via the Experiment trait")]
 pub fn ablation_hetero(
     kb: &KnowledgeBase,
     jobs: &[EebJob],
@@ -433,108 +1075,7 @@ pub fn ablation_hetero(
     seed: u64,
     n_threads: usize,
 ) -> Vec<HeteroAblationRow> {
-    let n_threads = n_threads.max(1);
-    let mut family = PredictorFamily::new(seed, 2);
-    family
-        .retrain(kb, RetrainMode::Incremental, n_threads)
-        .expect("knowledge base is large enough");
-    let job = jobs
-        .iter()
-        .max_by(|a, b| {
-            a.workload
-                .work_units
-                .partial_cmp(&b.workload.work_units)
-                .expect("finite")
-        })
-        .expect("non-empty");
-
-    // Anchor the sweep on the best homogeneous prediction.
-    let loose = select_configuration(&family, provider.catalog(), &job.profile, 1e12, 4, 0.0, seed)
-        .expect("feasible at infinite deadline");
-    let best_secs = loose
-        .feasible
-        .iter()
-        .map(|c| c.predicted_secs)
-        .fold(f64::INFINITY, f64::min);
-
-    const MULTS: [f64; 4] = [0.8, 1.0, 1.5, 3.0];
-    let sels = parallel_map(MULTS.len(), n_threads, |i| {
-        let t_max = best_secs * MULTS[i];
-        let homo = select_configuration(
-            &family,
-            provider.catalog(),
-            &job.profile,
-            t_max,
-            4,
-            0.0,
-            seed,
-        )
-        .ok();
-        let hetero = select_hetero_configuration(
-            &family,
-            provider.catalog(),
-            &job.profile,
-            t_max,
-            4,
-            0.0,
-            seed,
-        )
-        .ok();
-        (t_max, homo, hetero)
-    });
-
-    // Only feasible homogeneous picks consume provider noise slots, in
-    // deadline order.
-    let mut n_homo = 0u64;
-    let homo_slot: Vec<u64> = sels
-        .iter()
-        .map(|(_, homo, _)| {
-            let slot = n_homo;
-            if homo.is_some() {
-                n_homo += 1;
-            }
-            slot
-        })
-        .collect();
-    let base = provider.reserve_runs(n_homo);
-
-    parallel_map(MULTS.len(), n_threads, |i| {
-        let (t_max, homo_sel, hetero_sel) = &sels[i];
-        let homo = homo_sel.as_ref().map(|sel| {
-            let r = provider
-                .run_job_at(
-                    &sel.chosen.instance,
-                    sel.chosen.n_nodes,
-                    &job.workload,
-                    base + homo_slot[i],
-                )
-                .expect("valid instance");
-            (
-                sel.chosen.instance.clone(),
-                sel.chosen.n_nodes,
-                r.duration_secs,
-                r.prorated_cost,
-            )
-        });
-        let hetero = hetero_sel.as_ref().map(|sel| {
-            let desc = sel
-                .chosen
-                .groups
-                .iter()
-                .map(|g| format!("{}x{}", g.instance, g.n_nodes))
-                .collect::<Vec<_>>()
-                .join("+");
-            let r = provider
-                .run_hetero_job_with_seed(&sel.chosen.groups, &job.workload, seed ^ 0x4E7)
-                .expect("valid groups");
-            (desc, r.duration_secs, r.prorated_cost)
-        });
-        HeteroAblationRow {
-            t_max: *t_max,
-            homo,
-            hetero,
-        }
-    })
+    HeteroAblationExperiment::compute(kb, jobs, provider, seed, n_threads)
 }
 
 /// Ablation: ensemble-mean vs conservative (worst-member) deadline filter.
@@ -550,15 +1091,165 @@ pub struct DeadlineRuleAblation {
     pub mean_cost: f64,
 }
 
-/// Sweeps moderately tight deadlines over every EEB job and compares the
-/// deadline-miss rate and cost of the two filtering rules.
-///
-/// The `rules × jobs × deadlines` sweep runs in two phases so it
-/// parallelizes: every selection is a pure read of the trained family, and
-/// the realized runs draw reserved noise-stream slots in the sequential
-/// loop's (rule, job, deadline) order — only feasible cases consume a
-/// slot, exactly as the sequential `run_job` calls would. Bit-identical
-/// for any thread count; `1` is the sequential escape hatch.
+/// Driver for the deadline-rule ablation (`ablation_deadline`).
+pub struct DeadlineRuleAblationExperiment;
+
+impl DeadlineRuleAblationExperiment {
+    /// Sweeps moderately tight deadlines over every EEB job and compares
+    /// the deadline-miss rate and cost of the two filtering rules.
+    ///
+    /// The `rules × jobs × deadlines` sweep runs in two phases so it
+    /// parallelizes: every selection is a pure read of the trained family,
+    /// and the realized runs draw reserved noise-stream slots in the
+    /// sequential loop's (rule, job, deadline) order — only feasible cases
+    /// consume a slot, exactly as the sequential `run_job` calls would.
+    /// Bit-identical for any thread count; `1` is the sequential escape
+    /// hatch.
+    pub fn compute(
+        kb: &KnowledgeBase,
+        jobs: &[EebJob],
+        provider: &CloudProvider,
+        seed: u64,
+        n_threads: usize,
+    ) -> Vec<DeadlineRuleAblation> {
+        let n_threads = n_threads.max(1);
+        let mut family = PredictorFamily::new(seed, 2);
+        family
+            .retrain(kb, RetrainMode::Incremental, n_threads)
+            .expect("knowledge base is large enough");
+        let rules = [
+            ("mean", TimeEstimate::EnsembleMean),
+            ("conservative", TimeEstimate::Conservative),
+        ];
+        const MULTS: [f64; 3] = [1.05, 1.3, 2.0];
+
+        // Per-job deadline anchor: a deadline near the best mean prediction
+        // — tight enough that optimistic filtering risks violations. The
+        // anchor is rule-independent.
+        let best: Vec<f64> = parallel_map(jobs.len(), n_threads, |ji| {
+            let loose = select_configuration(
+                &family,
+                provider.catalog(),
+                &jobs[ji].profile,
+                1e12,
+                6,
+                0.0,
+                seed,
+            )
+            .expect("feasible at infinite deadline");
+            loose
+                .feasible
+                .iter()
+                .map(|c| c.predicted_secs)
+                .fold(f64::INFINITY, f64::min)
+        });
+
+        // Every (rule, job, deadline) selection, rule-major like the
+        // sequential loop.
+        let per_rule = jobs.len() * MULTS.len();
+        let total = rules.len() * per_rule;
+        let sels = parallel_map(total, n_threads, |i| {
+            let (ri, rem) = (i / per_rule, i % per_rule);
+            let (ji, mi) = (rem / MULTS.len(), rem % MULTS.len());
+            let t_max = best[ji] * MULTS[mi];
+            let sel = select_configuration_with_rule(
+                &family,
+                provider.catalog(),
+                &jobs[ji].profile,
+                t_max,
+                6,
+                0.0,
+                seed ^ ji as u64,
+                rules[ri].1,
+            )
+            .ok();
+            (t_max, sel)
+        });
+
+        // Feasible cases consume provider noise slots in sweep order.
+        let mut n_runs = 0u64;
+        let run_slot: Vec<u64> = sels
+            .iter()
+            .map(|(_, sel)| {
+                let slot = n_runs;
+                if sel.is_some() {
+                    n_runs += 1;
+                }
+                slot
+            })
+            .collect();
+        let base = provider.reserve_runs(n_runs);
+        let runs = parallel_map(total, n_threads, |i| {
+            let ji = (i % per_rule) / MULTS.len();
+            sels[i].1.as_ref().map(|sel| {
+                provider
+                    .run_job_at(
+                        &sel.chosen.instance,
+                        sel.chosen.n_nodes,
+                        &jobs[ji].workload,
+                        base + run_slot[i],
+                    )
+                    .expect("valid instance")
+            })
+        });
+
+        rules
+            .iter()
+            .enumerate()
+            .map(|(ri, (name, _))| {
+                let mut feasible_cases = 0;
+                let mut misses = 0;
+                let mut costs = Vec::new();
+                for i in ri * per_rule..(ri + 1) * per_rule {
+                    let (t_max, sel) = &sels[i];
+                    if sel.is_none() {
+                        continue;
+                    }
+                    feasible_cases += 1;
+                    let r = runs[i].as_ref().expect("a run for every feasible case");
+                    if r.duration_secs > *t_max {
+                        misses += 1;
+                    }
+                    costs.push(r.prorated_cost);
+                }
+                DeadlineRuleAblation {
+                    rule: name.to_string(),
+                    feasible_cases,
+                    misses,
+                    mean_cost: stats::mean(&costs),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Experiment for DeadlineRuleAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_deadline"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let rows = Self::compute(&kb, &jobs, &provider, ctx.cfg.seed, ctx.cfg.n_threads);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of
+/// [`DeadlineRuleAblationExperiment::compute`].
+#[deprecated(
+    note = "use DeadlineRuleAblationExperiment::compute or run it via the Experiment trait"
+)]
 pub fn ablation_deadline_rule(
     kb: &KnowledgeBase,
     jobs: &[EebJob],
@@ -566,114 +1257,7 @@ pub fn ablation_deadline_rule(
     seed: u64,
     n_threads: usize,
 ) -> Vec<DeadlineRuleAblation> {
-    let n_threads = n_threads.max(1);
-    let mut family = PredictorFamily::new(seed, 2);
-    family
-        .retrain(kb, RetrainMode::Incremental, n_threads)
-        .expect("knowledge base is large enough");
-    let rules = [
-        ("mean", TimeEstimate::EnsembleMean),
-        ("conservative", TimeEstimate::Conservative),
-    ];
-    const MULTS: [f64; 3] = [1.05, 1.3, 2.0];
-
-    // Per-job deadline anchor: a deadline near the best mean prediction —
-    // tight enough that optimistic filtering risks violations. The anchor
-    // is rule-independent.
-    let best: Vec<f64> = parallel_map(jobs.len(), n_threads, |ji| {
-        let loose = select_configuration(
-            &family,
-            provider.catalog(),
-            &jobs[ji].profile,
-            1e12,
-            6,
-            0.0,
-            seed,
-        )
-        .expect("feasible at infinite deadline");
-        loose
-            .feasible
-            .iter()
-            .map(|c| c.predicted_secs)
-            .fold(f64::INFINITY, f64::min)
-    });
-
-    // Every (rule, job, deadline) selection, rule-major like the
-    // sequential loop.
-    let per_rule = jobs.len() * MULTS.len();
-    let total = rules.len() * per_rule;
-    let sels = parallel_map(total, n_threads, |i| {
-        let (ri, rem) = (i / per_rule, i % per_rule);
-        let (ji, mi) = (rem / MULTS.len(), rem % MULTS.len());
-        let t_max = best[ji] * MULTS[mi];
-        let sel = select_configuration_with_rule(
-            &family,
-            provider.catalog(),
-            &jobs[ji].profile,
-            t_max,
-            6,
-            0.0,
-            seed ^ ji as u64,
-            rules[ri].1,
-        )
-        .ok();
-        (t_max, sel)
-    });
-
-    // Feasible cases consume provider noise slots in sweep order.
-    let mut n_runs = 0u64;
-    let run_slot: Vec<u64> = sels
-        .iter()
-        .map(|(_, sel)| {
-            let slot = n_runs;
-            if sel.is_some() {
-                n_runs += 1;
-            }
-            slot
-        })
-        .collect();
-    let base = provider.reserve_runs(n_runs);
-    let runs = parallel_map(total, n_threads, |i| {
-        let ji = (i % per_rule) / MULTS.len();
-        sels[i].1.as_ref().map(|sel| {
-            provider
-                .run_job_at(
-                    &sel.chosen.instance,
-                    sel.chosen.n_nodes,
-                    &jobs[ji].workload,
-                    base + run_slot[i],
-                )
-                .expect("valid instance")
-        })
-    });
-
-    rules
-        .iter()
-        .enumerate()
-        .map(|(ri, (name, _))| {
-            let mut feasible_cases = 0;
-            let mut misses = 0;
-            let mut costs = Vec::new();
-            for i in ri * per_rule..(ri + 1) * per_rule {
-                let (t_max, sel) = &sels[i];
-                if sel.is_none() {
-                    continue;
-                }
-                feasible_cases += 1;
-                let r = runs[i].as_ref().expect("a run for every feasible case");
-                if r.duration_secs > *t_max {
-                    misses += 1;
-                }
-                costs.push(r.prorated_cost);
-            }
-            DeadlineRuleAblation {
-                rule: name.to_string(),
-                feasible_cases,
-                misses,
-                mean_cost: stats::mean(&costs),
-            }
-        })
-        .collect()
+    DeadlineRuleAblationExperiment::compute(kb, jobs, provider, seed, n_threads)
 }
 
 /// The self-optimizing loop's learning curve — the paper's claim that
@@ -690,50 +1274,93 @@ pub struct LearningCurve {
     pub late_mae: f64,
 }
 
-/// Runs `n_deploys` self-optimizing deploys over random EEB jobs and
-/// tracks how the ensemble's relative prediction error shrinks with
-/// knowledge-base size.
-pub fn learning_curve(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -> LearningCurve {
-    let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0x1EA2);
-    // No deadline pressure (t_max = 1e9): isolate accuracy.
-    let policy = DeployPolicy::builder(1e9)
-        .epsilon(0.1)
-        .max_nodes(cfg.max_nodes)
-        .min_kb_samples(30)
-        .retrain_every(5)
-        .n_threads(cfg.n_threads.max(1))
-        .build();
-    let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0x1EA2);
-    let mut rng = stream_rng(cfg.seed, 0x1C);
-    let mut rel_errors: Vec<(usize, f64)> = Vec::new();
-    for i in 0..n_deploys {
-        let job = &jobs[rng.gen_range(0..jobs.len())];
-        let out = deployer
-            .deploy(&job.profile, &job.workload)
-            .expect("generous deadline");
-        if let Some(err) = out.prediction_error() {
-            rel_errors.push((i, (err / out.report.duration_secs).abs()));
+/// Driver for the learning curve (`learning_curve`).
+pub struct LearningCurveExperiment;
+
+impl LearningCurveExperiment {
+    /// Runs `n_deploys` self-optimizing deploys over random EEB jobs and
+    /// tracks how the ensemble's relative prediction error shrinks with
+    /// knowledge-base size.
+    pub fn compute(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -> LearningCurve {
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0x1EA2);
+        // No deadline pressure (t_max = 1e9): isolate accuracy.
+        let policy = DeployPolicy::builder(1e9)
+            .epsilon(0.1)
+            .max_nodes(cfg.max_nodes)
+            .min_kb_samples(30)
+            .retrain_every(5)
+            .n_threads(cfg.n_threads.max(1))
+            .build();
+        let mut deployer = TransparentDeployer::new(provider, policy, cfg.seed ^ 0x1EA2);
+        let mut rng = stream_rng(cfg.seed, 0x1C);
+        let mut rel_errors: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n_deploys {
+            let job = &jobs[rng.gen_range(0..jobs.len())];
+            let out = deployer
+                .deploy(&job.profile, &job.workload)
+                .expect("generous deadline");
+            if let Some(err) = out.prediction_error() {
+                rel_errors.push((i, (err / out.report.duration_secs).abs()));
+            }
+        }
+        let window = 20;
+        let points: Vec<(usize, f64)> = rel_errors
+            .iter()
+            .enumerate()
+            .map(|(k, &(i, _))| {
+                let lo = k.saturating_sub(window - 1);
+                let vals: Vec<f64> = rel_errors[lo..=k].iter().map(|&(_, e)| e).collect();
+                (i, stats::mean(&vals))
+            })
+            .collect();
+        let n = rel_errors.len();
+        let take = 30.min(n / 2).max(1);
+        let early: Vec<f64> = rel_errors[..take].iter().map(|&(_, e)| e).collect();
+        let late: Vec<f64> = rel_errors[n - take..].iter().map(|&(_, e)| e).collect();
+        LearningCurve {
+            points,
+            early_mae: stats::mean(&early),
+            late_mae: stats::mean(&late),
         }
     }
-    let window = 20;
-    let points: Vec<(usize, f64)> = rel_errors
-        .iter()
-        .enumerate()
-        .map(|(k, &(i, _))| {
-            let lo = k.saturating_sub(window - 1);
-            let vals: Vec<f64> = rel_errors[lo..=k].iter().map(|&(_, e)| e).collect();
-            (i, stats::mean(&vals))
-        })
-        .collect();
-    let n = rel_errors.len();
-    let take = 30.min(n / 2).max(1);
-    let early: Vec<f64> = rel_errors[..take].iter().map(|&(_, e)| e).collect();
-    let late: Vec<f64> = rel_errors[n - take..].iter().map(|&(_, e)| e).collect();
-    LearningCurve {
-        points,
-        early_mae: stats::mean(&early),
-        late_mae: stats::mean(&late),
+
+    /// The deploy-loop length the driver uses under `quick` / full mode.
+    pub fn n_deploys(quick: bool) -> usize {
+        if quick {
+            150
+        } else {
+            400
+        }
     }
+}
+
+impl Experiment for LearningCurveExperiment {
+    fn name(&self) -> &'static str {
+        "learning_curve"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let jobs = ctx.jobs();
+        let n = Self::n_deploys(ctx.quick);
+        let lc = Self::compute(&ctx.cfg, &jobs, n);
+        finish(
+            self.name(),
+            ctx,
+            None,
+            &jobs,
+            &[("n_deploys", json!(n))],
+            to_json(&lc),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`LearningCurveExperiment::compute`].
+#[deprecated(note = "use LearningCurveExperiment::compute or run it via the Experiment trait")]
+pub fn learning_curve(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -> LearningCurve {
+    LearningCurveExperiment::compute(cfg, jobs, n_deploys)
 }
 
 /// Ablation: cross-company knowledge transfer. One row per
@@ -752,91 +1379,173 @@ pub struct TransferAblationRow {
     pub b_mean_cost: f64,
 }
 
-/// The multi-tenant ablation: company A runs `n_per_tenant` deploys from a
-/// cold start, then company B runs `n_per_tenant` deploys over the same
-/// job mix. Under [`TransferPolicy::Isolated`] B must repeat the whole
-/// manual-training phase; under [`TransferPolicy::Pooled`] /
-/// [`TransferPolicy::BorrowUntil`] B starts from A's knowledge — the
-/// paper's observation that the knowledge-base parameters "are not
-/// necessarily bound to a specific" company, quantified.
+/// Driver for the cross-company transfer ablation (`ablation_transfer`).
+pub struct TransferAblationExperiment;
+
+impl TransferAblationExperiment {
+    /// The multi-tenant ablation: company A runs `n_per_tenant` deploys
+    /// from a cold start, then company B runs `n_per_tenant` deploys over
+    /// the same job mix. Under [`TransferPolicy::Isolated`] B must repeat
+    /// the whole manual-training phase; under [`TransferPolicy::Pooled`] /
+    /// [`TransferPolicy::BorrowUntil`] B starts from A's knowledge — the
+    /// paper's observation that the knowledge-base parameters "are not
+    /// necessarily bound to a specific" company, quantified.
+    pub fn compute(
+        cfg: &CampaignConfig,
+        jobs: &[EebJob],
+        n_per_tenant: usize,
+    ) -> Vec<TransferAblationRow> {
+        let policies = [
+            ("isolated", TransferPolicy::Isolated),
+            ("pooled", TransferPolicy::Pooled),
+            ("borrow-until-8", TransferPolicy::BorrowUntil(8)),
+        ];
+        policies
+            .iter()
+            .map(|(name, transfer)| {
+                let provider =
+                    CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0x7E);
+                // Generous deadline to isolate onboarding; the paper's
+                // after-every-run retrain cadence, so a shard trains exactly
+                // when it reaches the family's minimum sample count.
+                let policy = DeployPolicy::builder(1e9)
+                    .epsilon(0.1)
+                    .max_nodes(cfg.max_nodes)
+                    .min_kb_samples(30)
+                    .n_threads(cfg.n_threads.max(1))
+                    .transfer(*transfer)
+                    .build();
+                let mut d = TenantShardedDeployer::new(provider, policy, cfg.seed ^ 0x7E)
+                    .with_tenant(TenantId::new("company-a"));
+                let mut rng = stream_rng(cfg.seed, 0x7A);
+                for _ in 0..n_per_tenant {
+                    let job = &jobs[rng.gen_range(0..jobs.len())];
+                    d.deploy(&job.profile, &job.workload)
+                        .expect("generous deadline");
+                }
+                d.set_tenant(TenantId::new("company-b"));
+                let mut bootstrap = 0;
+                let mut rel_errors = Vec::new();
+                let mut costs = Vec::with_capacity(n_per_tenant);
+                for _ in 0..n_per_tenant {
+                    let job = &jobs[rng.gen_range(0..jobs.len())];
+                    let out = d
+                        .deploy(&job.profile, &job.workload)
+                        .expect("generous deadline");
+                    match out.mode {
+                        DeployMode::Bootstrap => bootstrap += 1,
+                        _ => {
+                            if let Some(err) = out.prediction_error() {
+                                rel_errors.push((err / out.report.duration_secs).abs());
+                            }
+                        }
+                    }
+                    costs.push(out.report.prorated_cost);
+                }
+                TransferAblationRow {
+                    policy: name.to_string(),
+                    b_bootstrap_deploys: bootstrap,
+                    b_ml_deploys: rel_errors.len(),
+                    b_mean_abs_rel_err: stats::mean(&rel_errors),
+                    b_mean_cost: stats::mean(&costs),
+                }
+            })
+            .collect()
+    }
+
+    /// The per-tenant deploy count the driver uses under `quick` / full
+    /// mode.
+    pub fn n_per_tenant(quick: bool) -> usize {
+        if quick {
+            60
+        } else {
+            150
+        }
+    }
+}
+
+impl Experiment for TransferAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_transfer"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let jobs = ctx.jobs();
+        let n = Self::n_per_tenant(ctx.quick);
+        let rows = Self::compute(&ctx.cfg, &jobs, n);
+        finish(
+            self.name(),
+            ctx,
+            None,
+            &jobs,
+            &[("n_per_tenant", json!(n))],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`TransferAblationExperiment::compute`].
+#[deprecated(note = "use TransferAblationExperiment::compute or run it via the Experiment trait")]
 pub fn ablation_transfer(
     cfg: &CampaignConfig,
     jobs: &[EebJob],
     n_per_tenant: usize,
 ) -> Vec<TransferAblationRow> {
-    let policies = [
-        ("isolated", TransferPolicy::Isolated),
-        ("pooled", TransferPolicy::Pooled),
-        ("borrow-until-8", TransferPolicy::BorrowUntil(8)),
-    ];
-    policies
-        .iter()
-        .map(|(name, transfer)| {
-            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), cfg.seed ^ 0x7E);
-            // Generous deadline to isolate onboarding; the paper's
-            // after-every-run retrain cadence, so a shard trains exactly
-            // when it reaches the family's minimum sample count.
-            let policy = DeployPolicy::builder(1e9)
-                .epsilon(0.1)
-                .max_nodes(cfg.max_nodes)
-                .min_kb_samples(30)
-                .n_threads(cfg.n_threads.max(1))
-                .transfer(*transfer)
-                .build();
-            let mut d = TenantShardedDeployer::new(provider, policy, cfg.seed ^ 0x7E)
-                .with_tenant(TenantId::new("company-a"));
-            let mut rng = stream_rng(cfg.seed, 0x7A);
-            for _ in 0..n_per_tenant {
-                let job = &jobs[rng.gen_range(0..jobs.len())];
-                d.deploy(&job.profile, &job.workload)
-                    .expect("generous deadline");
-            }
-            d.set_tenant(TenantId::new("company-b"));
-            let mut bootstrap = 0;
-            let mut rel_errors = Vec::new();
-            let mut costs = Vec::with_capacity(n_per_tenant);
-            for _ in 0..n_per_tenant {
-                let job = &jobs[rng.gen_range(0..jobs.len())];
-                let out = d
-                    .deploy(&job.profile, &job.workload)
-                    .expect("generous deadline");
-                match out.mode {
-                    DeployMode::Bootstrap => bootstrap += 1,
-                    _ => {
-                        if let Some(err) = out.prediction_error() {
-                            rel_errors.push((err / out.report.duration_secs).abs());
-                        }
-                    }
-                }
-                costs.push(out.report.prorated_cost);
-            }
-            TransferAblationRow {
-                policy: name.to_string(),
-                b_bootstrap_deploys: bootstrap,
-                b_ml_deploys: rel_errors.len(),
-                b_mean_abs_rel_err: stats::mean(&rel_errors),
-                b_mean_cost: stats::mean(&costs),
-            }
-        })
-        .collect()
+    TransferAblationExperiment::compute(cfg, jobs, n_per_tenant)
 }
 
-/// Ablation: which features actually drive execution time, per the Random
-/// Forest's variance-reduction importances — validating the paper's claim
-/// that its characteristic parameters "induce the highest variability in
-/// the execution time".
+/// Driver for the feature-importance ablation (`ablation_features`).
+pub struct FeatureAblationExperiment;
+
+impl FeatureAblationExperiment {
+    /// Ablation: which features actually drive execution time, per the
+    /// Random Forest's variance-reduction importances — validating the
+    /// paper's claim that its characteristic parameters "induce the
+    /// highest variability in the execution time".
+    pub fn compute(kb: &KnowledgeBase, seed: u64) -> Vec<(String, f64)> {
+        use disar_core::RunRecord;
+        let data = kb.to_dataset().expect("knowledge base is non-empty");
+        let mut rf = disar_ml::RandomForest::with_defaults(seed);
+        rf.fit(&data).expect("training succeeds");
+        let names = RunRecord::feature_names();
+        let mut rows: Vec<(String, f64)> = names
+            .into_iter()
+            .zip(rf.importances())
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        rows
+    }
+}
+
+impl Experiment for FeatureAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_features"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, _, jobs) = ctx.campaign();
+        let rows = Self::compute(&kb, ctx.cfg.seed);
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&rows),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`FeatureAblationExperiment::compute`].
+#[deprecated(note = "use FeatureAblationExperiment::compute or run it via the Experiment trait")]
 pub fn ablation_features(kb: &KnowledgeBase, seed: u64) -> Vec<(String, f64)> {
-    use disar_core::RunRecord;
-    let data = kb.to_dataset().expect("knowledge base is non-empty");
-    let mut rf = disar_ml::RandomForest::with_defaults(seed);
-    rf.fit(&data).expect("training succeeds");
-    let names = RunRecord::feature_names();
-    let mut rows: Vec<(String, f64)> = names
-        .into_iter()
-        .zip(rf.importances())
-        .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
-    rows
+    FeatureAblationExperiment::compute(kb, seed)
 }
 
 /// Ablation: what the campaign would have been invoiced under different
@@ -851,36 +1560,69 @@ pub struct BillingAblation {
     pub per_second_total: f64,
 }
 
-/// Re-prices every knowledge-base run under the alternative billing
-/// policies. The paper's "total cost of 128 $" for 1500 runs only makes
-/// sense with sub-hour granularity; this quantifies how much the 2016
-/// hourly rounding inflates short Solvency II jobs.
-pub fn ablation_billing(kb: &KnowledgeBase, catalog: &disar_cloudsim::InstanceCatalog) -> BillingAblation {
-    use disar_cloudsim::billing::BillingPolicy;
-    let mut prorated_total = 0.0;
-    let mut per_hour_total = 0.0;
-    let mut per_second_total = 0.0;
-    for r in kb.records() {
-        let rate = catalog
-            .get(&r.instance)
-            .expect("campaign instances are in the catalog")
-            .hourly_cost;
-        // Uptime ≈ duration + boot; the recorded cost is prorated uptime,
-        // so recover uptime from it exactly.
-        let uptime = r.cost / (rate * r.n_nodes as f64) * 3600.0;
-        prorated_total += r.cost;
-        per_hour_total += BillingPolicy::PerHour
-            .cost(uptime, rate, r.n_nodes)
-            .expect("valid inputs");
-        per_second_total += BillingPolicy::PerSecond { min_secs: 60.0 }
-            .cost(uptime, rate, r.n_nodes)
-            .expect("valid inputs");
+/// Driver for the billing-policy ablation (`ablation_billing`).
+pub struct BillingAblationExperiment;
+
+impl BillingAblationExperiment {
+    /// Re-prices every knowledge-base run under the alternative billing
+    /// policies. The paper's "total cost of 128 $" for 1500 runs only
+    /// makes sense with sub-hour granularity; this quantifies how much the
+    /// 2016 hourly rounding inflates short Solvency II jobs.
+    pub fn compute(kb: &KnowledgeBase, catalog: &InstanceCatalog) -> BillingAblation {
+        use disar_cloudsim::billing::BillingPolicy;
+        let mut prorated_total = 0.0;
+        let mut per_hour_total = 0.0;
+        let mut per_second_total = 0.0;
+        for r in kb.records() {
+            let rate = catalog
+                .get(&r.instance)
+                .expect("campaign instances are in the catalog")
+                .hourly_cost;
+            // Uptime ≈ duration + boot; the recorded cost is prorated
+            // uptime, so recover uptime from it exactly.
+            let uptime = r.cost / (rate * r.n_nodes as f64) * 3600.0;
+            prorated_total += r.cost;
+            per_hour_total += BillingPolicy::PerHour
+                .cost(uptime, rate, r.n_nodes)
+                .expect("valid inputs");
+            per_second_total += BillingPolicy::PerSecond { min_secs: 60.0 }
+                .cost(uptime, rate, r.n_nodes)
+                .expect("valid inputs");
+        }
+        BillingAblation {
+            prorated_total,
+            per_hour_total,
+            per_second_total,
+        }
     }
-    BillingAblation {
-        prorated_total,
-        per_hour_total,
-        per_second_total,
+}
+
+impl Experiment for BillingAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_billing"
     }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let (kb, provider, jobs) = ctx.campaign();
+        let b = Self::compute(&kb, provider.catalog());
+        finish(
+            self.name(),
+            ctx,
+            Some(&kb),
+            &jobs,
+            &[],
+            to_json(&b),
+            Value::Null,
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`BillingAblationExperiment::compute`].
+#[deprecated(note = "use BillingAblationExperiment::compute or run it via the Experiment trait")]
+pub fn ablation_billing(kb: &KnowledgeBase, catalog: &InstanceCatalog) -> BillingAblation {
+    BillingAblationExperiment::compute(kb, catalog)
 }
 
 /// Ablation: LSMC vs plain nested Monte Carlo on a real valuation.
@@ -898,89 +1640,132 @@ pub struct LsmcAblation {
     pub mean_rel_gap: f64,
 }
 
-/// Runs both valuation methods on the same small book and times them.
-pub fn ablation_lsmc(seed: u64) -> LsmcAblation {
-    let table = LifeTable::italian_population();
-    let lapse = DurationLapse::italian_typical();
-    let act = ActuarialEngine::new(&table, &lapse);
-    let positions: Vec<LiabilityPosition> = [(45u32, 10u32), (55, 15), (60, 8)]
-        .iter()
-        .map(|&(age, term)| {
-            let ps = ProfitSharing::new(0.8, 0.02).expect("valid");
-            let c = Contract::new(ProductKind::Endowment, age, Gender::Male, term, 1000.0, ps)
-                .expect("valid");
-            let mp = ModelPoint {
-                contract: c,
-                policy_count: 1,
-            };
-            LiabilityPosition {
-                schedule: act.cash_flow_schedule(&mp).expect("valid"),
-                profit_sharing: ps,
-            }
-        })
-        .collect();
+/// Driver for the LSMC-vs-nested ablation (`ablation_lsmc`).
+pub struct LsmcAblationExperiment;
 
-    let build = |h: f64| {
-        disar_stochastic::scenario::ScenarioGenerator::builder()
-            .driver(Box::new(
-                drivers::Vasicek::new(0.025, 0.4, 0.028, 0.009, 0.15).expect("valid"),
-            ))
-            .driver(Box::new(
-                drivers::Gbm::new(100.0, 0.065, 0.17, 0.025).expect("valid"),
-            ))
-            .correlation(
-                CorrelationMatrix::new(vec![vec![1.0, -0.25], vec![-0.25, 1.0]]).expect("valid"),
+impl LsmcAblationExperiment {
+    /// Runs both valuation methods on the same small book and times them.
+    pub fn compute(seed: u64) -> LsmcAblation {
+        let table = LifeTable::italian_population();
+        let lapse = DurationLapse::italian_typical();
+        let act = ActuarialEngine::new(&table, &lapse);
+        let positions: Vec<LiabilityPosition> = [(45u32, 10u32), (55, 15), (60, 8)]
+            .iter()
+            .map(|&(age, term)| {
+                let ps = ProfitSharing::new(0.8, 0.02).expect("valid");
+                let c =
+                    Contract::new(ProductKind::Endowment, age, Gender::Male, term, 1000.0, ps)
+                        .expect("valid");
+                let mp = ModelPoint {
+                    contract: c,
+                    policy_count: 1,
+                };
+                LiabilityPosition {
+                    schedule: act.cash_flow_schedule(&mp).expect("valid"),
+                    profit_sharing: ps,
+                }
+            })
+            .collect();
+
+        let build = |h: f64| {
+            disar_stochastic::scenario::ScenarioGenerator::builder()
+                .driver(Box::new(
+                    drivers::Vasicek::new(0.025, 0.4, 0.028, 0.009, 0.15).expect("valid"),
+                ))
+                .driver(Box::new(
+                    drivers::Gbm::new(100.0, 0.065, 0.17, 0.025).expect("valid"),
+                ))
+                .correlation(
+                    CorrelationMatrix::new(vec![vec![1.0, -0.25], vec![-0.25, 1.0]])
+                        .expect("valid"),
+                )
+                .grid(TimeGrid::new(h, 12).expect("valid"))
+                .build()
+                .expect("valid")
+        };
+        let outer = build(1.0);
+        let inner = build(15.0);
+        let fund = SegregatedFund::italian_typical(30);
+
+        let nested = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("valid");
+        let t0 = std::time::Instant::now();
+        let nres = nested
+            .run(
+                &positions,
+                &NestedConfig {
+                    n_outer: 300,
+                    n_inner: 40,
+                    confidence: 0.995,
+                    seed,
+                    threads: 1,
+                    antithetic: false,
+                    lane: disar_stochastic::scenario::DEFAULT_LANE,
+                },
             )
-            .grid(TimeGrid::new(h, 12).expect("valid"))
-            .build()
-            .expect("valid")
-    };
-    let outer = build(1.0);
-    let inner = build(15.0);
-    let fund = SegregatedFund::italian_typical(30);
+            .expect("nested run succeeds");
+        let nested_secs = t0.elapsed().as_secs_f64();
 
-    let nested = NestedMonteCarlo::new(&outer, &inner, &fund, 1, 0).expect("valid");
-    let t0 = std::time::Instant::now();
-    let nres = nested
-        .run(
-            &positions,
-            &NestedConfig {
-                n_outer: 300,
-                n_inner: 40,
-                confidence: 0.995,
-                seed,
-                threads: 1,
-                antithetic: false,
-                lane: disar_stochastic::scenario::DEFAULT_LANE,
-            },
-        )
-        .expect("nested run succeeds");
-    let nested_secs = t0.elapsed().as_secs_f64();
+        let lsmc = Lsmc::new(&outer, &inner, &fund, 1, 0).expect("valid");
+        let t1 = std::time::Instant::now();
+        let lres = lsmc
+            .run(
+                &positions,
+                &LsmcConfig {
+                    calibration_outer: 60,
+                    calibration_inner: 40,
+                    n_outer: 300,
+                    seed,
+                    ..LsmcConfig::paper_defaults(seed)
+                },
+            )
+            .expect("LSMC run succeeds");
+        let lsmc_secs = t1.elapsed().as_secs_f64();
 
-    let lsmc = Lsmc::new(&outer, &inner, &fund, 1, 0).expect("valid");
-    let t1 = std::time::Instant::now();
-    let lres = lsmc
-        .run(
-            &positions,
-            &LsmcConfig {
-                calibration_outer: 60,
-                calibration_inner: 40,
-                n_outer: 300,
-                seed,
-                ..LsmcConfig::paper_defaults(seed)
-            },
-        )
-        .expect("LSMC run succeeds");
-    let lsmc_secs = t1.elapsed().as_secs_f64();
-
-    let gap = (stats::mean(&lres.y1) - stats::mean(&nres.y1)).abs() / stats::mean(&nres.y1);
-    LsmcAblation {
-        nested_secs,
-        lsmc_secs,
-        nested_scr: nres.scr,
-        lsmc_scr: lres.scr,
-        mean_rel_gap: gap,
+        let gap = (stats::mean(&lres.y1) - stats::mean(&nres.y1)).abs() / stats::mean(&nres.y1);
+        LsmcAblation {
+            nested_secs,
+            lsmc_secs,
+            nested_scr: nres.scr,
+            lsmc_scr: lres.scr,
+            mean_rel_gap: gap,
+        }
     }
+}
+
+impl Experiment for LsmcAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_lsmc"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let a = Self::compute(ctx.cfg.seed);
+        // Wall times are machine noise: they go in `timings`, outside the
+        // replay contract, so only the numeric results are hash-checked.
+        finish(
+            self.name(),
+            ctx,
+            None,
+            &[],
+            &[],
+            json!({
+                "nested_scr": a.nested_scr,
+                "lsmc_scr": a.lsmc_scr,
+                "mean_rel_gap": a.mean_rel_gap,
+            }),
+            json!({
+                "nested_secs": a.nested_secs,
+                "lsmc_secs": a.lsmc_secs,
+            }),
+            t0,
+        )
+    }
+}
+
+/// Deprecated free-function form of [`LsmcAblationExperiment::compute`].
+#[deprecated(note = "use LsmcAblationExperiment::compute or run it via the Experiment trait")]
+pub fn ablation_lsmc(seed: u64) -> LsmcAblation {
+    LsmcAblationExperiment::compute(seed)
 }
 
 #[cfg(test)]
@@ -1002,9 +1787,78 @@ mod tests {
     }
 
     #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: std::collections::BTreeSet<&str> =
+            EXPERIMENTS.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), EXPERIMENTS.len(), "duplicate experiment name");
+        assert_eq!(EXPERIMENTS.len(), 15);
+        for e in EXPERIMENTS {
+            assert_eq!(by_name(e.name()).unwrap().name(), e.name());
+        }
+        assert!(by_name("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn ctx_params_roundtrip() {
+        let ctx = ExperimentCtx::new(
+            CampaignConfig::builder()
+                .n_runs(60)
+                .n_outer(200)
+                .n_inner(20)
+                .max_nodes(4)
+                .seed(7)
+                .n_threads(1)
+                .build(),
+            true,
+        );
+        let back = ExperimentCtx::from_params(&ctx.params()).expect("round-trips");
+        assert_eq!(back.cfg.n_runs, ctx.cfg.n_runs);
+        assert_eq!(back.cfg.n_outer, ctx.cfg.n_outer);
+        assert_eq!(back.cfg.n_inner, ctx.cfg.n_inner);
+        assert_eq!(back.cfg.max_nodes, ctx.cfg.max_nodes);
+        assert_eq!(back.cfg.seed, ctx.cfg.seed);
+        assert_eq!(back.cfg.n_threads, ctx.cfg.n_threads);
+        assert_eq!(back.quick, ctx.quick);
+        // Same context → same digest; bench rows carry foreign params.
+        let jobs = ctx.jobs();
+        assert_eq!(
+            ctx.input_hash("table2", None, &jobs),
+            back.input_hash("table2", None, &jobs)
+        );
+        assert!(ExperimentCtx::from_params(&json!({ "model": "IBk" })).is_none());
+    }
+
+    #[test]
+    fn trait_run_emits_one_replayable_row() {
+        let ctx = ExperimentCtx::new(
+            CampaignConfig::builder()
+                .n_runs(60)
+                .n_outer(200)
+                .n_inner(20)
+                .max_nodes(4)
+                .seed(7)
+                .n_threads(1)
+                .build(),
+            true,
+        );
+        let first = Table2Experiment.run(&ctx);
+        assert_eq!(first.len(), 1);
+        let row = &first[0];
+        assert_eq!(row.experiment, "table2");
+        // Replaying from the recorded params must reproduce both hashes
+        // bit-identically — the runbook contract.
+        let replay_ctx = ExperimentCtx::from_params(&row.params).expect("driver params");
+        let again = Table2Experiment.run(&replay_ctx);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].input_hash, row.input_hash);
+        assert_eq!(again[0].output_hash, row.output_hash);
+        assert!(row.outputs_match(&again[0].outputs));
+    }
+
+    #[test]
     fn table1_has_full_shape_and_moderate_bias() {
         let (kb, provider, _) = small_campaign();
-        let t = table1(&kb, provider.catalog(), 1, 1);
+        let t = Table1Experiment::compute(&kb, provider.catalog(), 1, 1);
         assert_eq!(t.models.len(), 6);
         assert_eq!(t.instances.len(), 6);
         let times: Vec<f64> = kb.records().iter().map(|r| r.duration_secs).collect();
@@ -1023,7 +1877,7 @@ mod tests {
     #[test]
     fn table2_costs_positive_and_differentiated() {
         let (_, provider, jobs) = small_campaign();
-        let t2 = table2(&jobs, &provider, 1);
+        let t2 = Table2Experiment::compute(&jobs, &provider, 1);
         assert_eq!(t2.len(), 6);
         for (_, c) in &t2 {
             assert!(*c > 0.0);
@@ -1036,21 +1890,27 @@ mod tests {
     fn parallel_table2_and_fig4_match_sequential() {
         let (_, seq_provider, jobs) = small_campaign();
         let (_, par_provider, _) = small_campaign();
-        assert_eq!(table2(&jobs, &seq_provider, 1), table2(&jobs, &par_provider, 4));
-        assert_eq!(fig4(&jobs, &seq_provider, 1), fig4(&jobs, &par_provider, 4));
+        assert_eq!(
+            Table2Experiment::compute(&jobs, &seq_provider, 1),
+            Table2Experiment::compute(&jobs, &par_provider, 4)
+        );
+        assert_eq!(
+            Fig4Experiment::compute(&jobs, &seq_provider, 1),
+            Fig4Experiment::compute(&jobs, &par_provider, 4)
+        );
     }
 
     #[test]
     fn parallel_table1_fig2_ensemble_match_sequential() {
         let (kb, provider, _) = small_campaign();
-        let seq = table1(&kb, provider.catalog(), 1, 1);
-        let par = table1(&kb, provider.catalog(), 1, 4);
+        let seq = Table1Experiment::compute(&kb, provider.catalog(), 1, 1);
+        let par = Table1Experiment::compute(&kb, provider.catalog(), 1, 4);
         assert_eq!(seq.instances, par.instances);
         assert_eq!(seq.models, par.models);
         assert_eq!(seq.bias, par.bias);
 
-        let f_seq = fig2(&kb, 3, 1);
-        let f_par = fig2(&kb, 3, 4);
+        let f_seq = Fig2Experiment::compute(&kb, 3, 1);
+        let f_par = Fig2Experiment::compute(&kb, 3, 4);
         assert_eq!(f_seq.len(), f_par.len());
         for (a, b) in f_seq.iter().zip(&f_par) {
             assert_eq!(a.model, b.model);
@@ -1058,8 +1918,8 @@ mod tests {
             assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
         }
 
-        let e_seq = ablation_ensemble(&kb, 2, 1);
-        let e_par = ablation_ensemble(&kb, 2, 4);
+        let e_seq = EnsembleAblationExperiment::compute(&kb, 2, 1);
+        let e_par = EnsembleAblationExperiment::compute(&kb, 2, 4);
         assert_eq!(e_seq.len(), e_par.len());
         for (a, b) in e_seq.iter().zip(&e_par) {
             assert_eq!(a.0, b.0);
@@ -1076,32 +1936,35 @@ mod tests {
         let (kb, seq_provider, jobs) = small_campaign();
         let (_, par_provider, _) = small_campaign();
         assert_eq!(
-            ablation_hetero(&kb, &jobs, &seq_provider, 3, 1),
-            ablation_hetero(&kb, &jobs, &par_provider, 3, 4)
+            HeteroAblationExperiment::compute(&kb, &jobs, &seq_provider, 3, 1),
+            HeteroAblationExperiment::compute(&kb, &jobs, &par_provider, 3, 4)
         );
         assert_eq!(
-            ablation_deadline_rule(&kb, &jobs, &seq_provider, 5, 1),
-            ablation_deadline_rule(&kb, &jobs, &par_provider, 5, 4)
+            DeadlineRuleAblationExperiment::compute(&kb, &jobs, &seq_provider, 5, 1),
+            DeadlineRuleAblationExperiment::compute(&kb, &jobs, &par_provider, 5, 4)
         );
     }
 
     #[test]
     fn fig2_fig3_consistency() {
         let (kb, _, _) = small_campaign();
-        let pts = fig2(&kb, 3, 1);
+        let pts = Fig2Experiment::compute(&kb, 3, 1);
         assert!(!pts.is_empty());
         // 6 models × 60% of the KB.
         assert_eq!(pts.len(), 6 * (kb.len() - (kb.len() as f64 * 0.4) as usize));
-        let f3 = fig3(&pts);
+        let f3 = Fig3Experiment::compute(&pts);
         let total_pct: f64 = f3.bins.iter().map(|(_, p)| p).sum();
         assert!((total_pct - 100.0).abs() < 1e-6);
         assert!((0.0..=1.0).contains(&f3.within_200s));
+        // The per-model summary covers all six models.
+        let summary = Fig2Experiment::summary(&pts);
+        assert_eq!(summary.as_array().unwrap().len(), 6);
     }
 
     #[test]
     fn fig4_speedups_in_paper_band() {
         let (_, provider, jobs) = small_campaign();
-        for (name, s) in fig4(&jobs, &provider, 1) {
+        for (name, s) in Fig4Experiment::compute(&jobs, &provider, 1) {
             assert!((2.0..12.0).contains(&s), "{name}: speedup {s}");
         }
     }
@@ -1109,7 +1972,7 @@ mod tests {
     #[test]
     fn comparison_shows_both_wins() {
         let (kb, provider, jobs) = small_campaign();
-        let c = comparison(&kb, &jobs, &provider, 5);
+        let c = ComparisonExperiment::compute(&kb, &jobs, &provider, 5);
         assert!(
             c.cost_decrease_pct > 0.0,
             "ML should beat the high-end machine on cost: {c:?}"
@@ -1123,7 +1986,7 @@ mod tests {
     #[test]
     fn ensemble_ablation_contains_all_rows() {
         let (kb, _, _) = small_campaign();
-        let rows = ablation_ensemble(&kb, 2, 1);
+        let rows = EnsembleAblationExperiment::compute(&kb, 2, 1);
         assert_eq!(rows.len(), 7);
         assert_eq!(rows.last().unwrap().0, "Ensemble");
         for (_, bias, rmse) in &rows {
@@ -1143,8 +2006,8 @@ mod tests {
             .n_threads(1)
             .build();
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
-        let greedy = ablation_epsilon(&cfg, &jobs, 0.0, 120);
-        let explore = ablation_epsilon(&cfg, &jobs, 0.25, 120);
+        let greedy = EpsilonAblationExperiment::compute(&cfg, &jobs, 0.0, 120);
+        let explore = EpsilonAblationExperiment::compute(&cfg, &jobs, 0.25, 120);
         assert!(
             explore.distinct_configs >= greedy.distinct_configs,
             "exploration must not shrink coverage: {greedy:?} vs {explore:?}"
@@ -1154,7 +2017,7 @@ mod tests {
     #[test]
     fn hetero_ablation_finds_feasible_configs() {
         let (kb, provider, jobs) = small_campaign();
-        let rows = ablation_hetero(&kb, &jobs, &provider, 3, 1);
+        let rows = HeteroAblationExperiment::compute(&kb, &jobs, &provider, 3, 1);
         assert_eq!(rows.len(), 4);
         // At a loose deadline both approaches find something, and the
         // hetero candidate set contains the homogeneous one, so its
@@ -1173,7 +2036,7 @@ mod tests {
     #[test]
     fn conservative_rule_shrinks_feasibility() {
         let (kb, provider, jobs) = small_campaign();
-        let rows = ablation_deadline_rule(&kb, &jobs, &provider, 5, 1);
+        let rows = DeadlineRuleAblationExperiment::compute(&kb, &jobs, &provider, 5, 1);
         assert_eq!(rows.len(), 2);
         let mean = &rows[0];
         let cons = &rows[1];
@@ -1200,7 +2063,7 @@ mod tests {
             .n_threads(1)
             .build();
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
-        let lc = learning_curve(&cfg, &jobs, 200);
+        let lc = LearningCurveExperiment::compute(&cfg, &jobs, 200);
         assert!(!lc.points.is_empty());
         assert!(
             lc.late_mae < lc.early_mae,
@@ -1222,7 +2085,7 @@ mod tests {
             .n_threads(1)
             .build();
         let jobs = crate::campaign::paper_eeb_jobs(&cfg);
-        let rows = ablation_transfer(&cfg, &jobs, 60);
+        let rows = TransferAblationExperiment::compute(&cfg, &jobs, 60);
         assert_eq!(rows.len(), 3);
         let by_name = |n: &str| rows.iter().find(|r| r.policy == n).unwrap();
         let isolated = by_name("isolated");
@@ -1246,7 +2109,7 @@ mod tests {
     #[test]
     fn feature_importances_find_the_real_drivers() {
         let (kb, _, _) = small_campaign();
-        let rows = ablation_features(&kb, 1);
+        let rows = FeatureAblationExperiment::compute(&kb, 1);
         assert_eq!(rows.len(), disar_core::RunRecord::feature_names().len());
         let total: f64 = rows.iter().map(|(_, i)| i).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -1269,7 +2132,7 @@ mod tests {
     #[test]
     fn billing_ablation_orders_policies() {
         let (kb, provider, _) = small_campaign();
-        let b = ablation_billing(&kb, provider.catalog());
+        let b = BillingAblationExperiment::compute(&kb, provider.catalog());
         // Per-hour rounding can only add money; per-second sits between
         // prorated and per-hour.
         assert!(b.per_hour_total >= b.per_second_total - 1e-9);
@@ -1286,7 +2149,7 @@ mod tests {
 
     #[test]
     fn lsmc_is_faster_and_close() {
-        let a = ablation_lsmc(9);
+        let a = LsmcAblationExperiment::compute(9);
         assert!(
             a.lsmc_secs < a.nested_secs,
             "LSMC ({}) should beat nested ({})",

@@ -1,32 +1,8 @@
-//! CSV / Markdown output helpers for the experiment harness.
-
-use std::fs;
-use std::io::Write as _;
-use std::path::{Path, PathBuf};
-
-/// The directory experiment outputs are written to (`results/` under the
-/// workspace root, created on demand).
-pub fn results_dir() -> PathBuf {
-    let dir = match std::env::var("DISAR_RESULTS_DIR") {
-        Ok(d) => PathBuf::from(d),
-        Err(_) => PathBuf::from("results"),
-    };
-    fs::create_dir_all(&dir).expect("cannot create results directory");
-    dir
-}
-
-/// Writes a CSV file with a header row.
-///
-/// # Panics
-///
-/// Panics on I/O failure (experiment harness context: fail loudly).
-pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
-    let mut f = fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-    writeln!(f, "{}", header.join(",")).expect("write header");
-    for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
-    }
-}
+//! Markdown rendering helpers for the experiment harness.
+//!
+//! Persistent outputs go through `disar_registry::Registry` (one
+//! append-only JSONL file); these helpers only format human-readable
+//! views of in-memory rows.
 
 /// Renders a GitHub-flavoured Markdown table.
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -58,17 +34,6 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("| a | b |"));
         assert!(lines[1].contains("---|---|"));
-    }
-
-    #[test]
-    fn csv_roundtrip() {
-        let dir = std::env::temp_dir().join("disar-report-test");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("t.csv");
-        write_csv(&path, &["x", "y"], &[vec!["1".into(), "2".into()]]);
-        let content = fs::read_to_string(&path).unwrap();
-        assert_eq!(content, "x,y\n1,2\n");
-        fs::remove_file(&path).ok();
     }
 
     #[test]

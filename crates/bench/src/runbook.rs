@@ -1,0 +1,192 @@
+//! Replays recorded registry rows and asserts bit-identical reproduction.
+//!
+//! Every experiment driver records enough in its row (`params` +
+//! `input_hash`) to be re-run from scratch; `runbook` inverts that record:
+//! rebuild the [`ExperimentCtx`], re-run the driver, and compare both the
+//! input and output digests against what was recorded. Timing-only rows
+//! (`bench:*`, `perf_smoke`) have no replayable outputs and are skipped,
+//! as is anything written by a newer driver this build doesn't know.
+
+use crate::experiments::{by_name, ExperimentCtx};
+use disar_registry::RegistryRow;
+
+/// What replaying one row produced.
+#[derive(Debug, Clone)]
+pub enum ReplayOutcome {
+    /// Replay reproduced the recorded digests bit-identically.
+    Matched {
+        /// The row's experiment name.
+        experiment: String,
+    },
+    /// Replay produced different bits — the regression `runbook` exists to
+    /// catch.
+    Mismatched {
+        /// The row's experiment name.
+        experiment: String,
+        /// Which digest diverged: `"input_hash"` or `"output_hash"`.
+        what: &'static str,
+        /// The digest on the recorded row.
+        recorded: String,
+        /// The digest the replay produced.
+        replayed: String,
+    },
+    /// The row is outside the replay contract.
+    Skipped {
+        /// The row's experiment name.
+        experiment: String,
+        /// Why it was skipped.
+        reason: String,
+    },
+}
+
+impl ReplayOutcome {
+    /// `true` only for [`ReplayOutcome::Mismatched`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, ReplayOutcome::Mismatched { .. })
+    }
+
+    /// One status line for the terminal.
+    pub fn describe(&self) -> String {
+        match self {
+            ReplayOutcome::Matched { experiment } => format!("ok       {experiment}"),
+            ReplayOutcome::Mismatched {
+                experiment,
+                what,
+                recorded,
+                replayed,
+            } => format!("MISMATCH {experiment}: {what} recorded {recorded} != replayed {replayed}"),
+            ReplayOutcome::Skipped { experiment, reason } => {
+                format!("skip     {experiment}: {reason}")
+            }
+        }
+    }
+}
+
+/// Replays one row: rebuild the context from `params`, re-run the driver,
+/// compare digests.
+pub fn replay_row(row: &RegistryRow) -> ReplayOutcome {
+    let Some(exp) = by_name(&row.experiment) else {
+        let reason = if row.experiment.starts_with("bench:") || row.experiment == "perf_smoke" {
+            "timing-only row, nothing replayable".to_string()
+        } else {
+            "not a registered experiment driver".to_string()
+        };
+        return ReplayOutcome::Skipped {
+            experiment: row.experiment.clone(),
+            reason,
+        };
+    };
+    let Some(ctx) = ExperimentCtx::from_params(&row.params) else {
+        return ReplayOutcome::Skipped {
+            experiment: row.experiment.clone(),
+            reason: "params are not a replayable campaign context".to_string(),
+        };
+    };
+    let replayed = exp.run(&ctx);
+    let [fresh] = replayed.as_slice() else {
+        return ReplayOutcome::Mismatched {
+            experiment: row.experiment.clone(),
+            what: "output_hash",
+            recorded: row.output_hash.clone(),
+            replayed: format!("{} rows instead of 1", replayed.len()),
+        };
+    };
+    if fresh.input_hash != row.input_hash {
+        return ReplayOutcome::Mismatched {
+            experiment: row.experiment.clone(),
+            what: "input_hash",
+            recorded: row.input_hash.clone(),
+            replayed: fresh.input_hash.clone(),
+        };
+    }
+    if fresh.output_hash != row.output_hash {
+        return ReplayOutcome::Mismatched {
+            experiment: row.experiment.clone(),
+            what: "output_hash",
+            recorded: row.output_hash.clone(),
+            replayed: fresh.output_hash.clone(),
+        };
+    }
+    ReplayOutcome::Matched {
+        experiment: row.experiment.clone(),
+    }
+}
+
+/// Replays every row (optionally only those named `filter`), in file
+/// order.
+pub fn replay_all(rows: &[RegistryRow], filter: Option<&str>) -> Vec<ReplayOutcome> {
+    rows.iter()
+        .filter(|r| filter.map_or(true, |f| r.experiment == f))
+        .map(replay_row)
+        .collect()
+}
+
+/// Self-contained determinism smoke for CI: run one cheap driver, then
+/// replay its row through the same path `runbook` uses for recorded rows,
+/// and demand bit-identity. No registry file is touched.
+pub fn check() -> Result<(), String> {
+    let ctx = ExperimentCtx::new(
+        crate::campaign::CampaignConfig::builder()
+            .n_runs(60)
+            .n_outer(200)
+            .n_inner(20)
+            .max_nodes(4)
+            .seed(7)
+            .n_threads(1)
+            .build(),
+        true,
+    );
+    let exp = by_name("table2").expect("table2 is registered");
+    let rows = exp.run(&ctx);
+    let [row] = rows.as_slice() else {
+        return Err(format!("table2 emitted {} rows instead of 1", rows.len()));
+    };
+    match replay_row(row) {
+        ReplayOutcome::Matched { .. } => Ok(()),
+        other => Err(other.describe()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::bench_row;
+
+    #[test]
+    fn check_passes_on_a_deterministic_build() {
+        check().expect("table2 replays bit-identically");
+    }
+
+    #[test]
+    fn bench_rows_are_skipped() {
+        let row = bench_row(
+            "nested_kernel",
+            serde_json::json!({ "n_outer": 10 }),
+            serde_json::json!({ "median_wall_ns": 1 }),
+            1,
+        );
+        let out = replay_row(&row);
+        assert!(matches!(out, ReplayOutcome::Skipped { .. }), "{out:?}");
+        assert!(!out.is_failure());
+    }
+
+    #[test]
+    fn corrupted_outputs_are_caught() {
+        let ctx = ExperimentCtx::new(
+            crate::campaign::CampaignConfig::builder()
+                .n_runs(60)
+                .n_outer(200)
+                .n_inner(20)
+                .max_nodes(4)
+                .seed(7)
+                .n_threads(1)
+                .build(),
+            true,
+        );
+        let mut rows = by_name("table2").unwrap().run(&ctx);
+        rows[0].output_hash = "fnv1a64:0000000000000000".to_string();
+        let out = replay_row(&rows[0]);
+        assert!(out.is_failure(), "{out:?}");
+        assert!(out.describe().contains("output_hash"));
+    }
+}

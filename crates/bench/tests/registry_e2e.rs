@@ -1,0 +1,70 @@
+//! End-to-end replay proof: run an experiment through the trait API,
+//! append its row to a registry file on disk, reload it, and replay it
+//! from the recorded `params` alone — the reloaded row must reproduce
+//! bit-identically (the `runbook` contract on a committed row).
+
+use disar_bench::campaign::CampaignConfig;
+use disar_bench::experiments::{by_name, ExperimentCtx};
+use disar_bench::runbook::{replay_all, replay_row, ReplayOutcome};
+use disar_registry::Registry;
+use std::path::PathBuf;
+
+fn temp_registry(name: &str) -> (Registry, PathBuf) {
+    let dir = std::env::temp_dir().join("disar-registry-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    (Registry::new(&path), path)
+}
+
+fn tiny_ctx() -> ExperimentCtx {
+    let cfg = CampaignConfig::builder()
+        .n_runs(60)
+        .n_outer(200)
+        .n_inner(20)
+        .max_nodes(4)
+        .seed(7)
+        .n_threads(1)
+        .build();
+    ExperimentCtx::new(cfg, true)
+}
+
+#[test]
+fn recorded_row_replays_bit_identically_from_disk() {
+    let ctx = tiny_ctx();
+    let exp = by_name("table2").expect("table2 is registered");
+    let rows = exp.run(&ctx);
+    assert_eq!(rows.len(), 1, "experiment drivers emit one row");
+
+    let (registry, path) = temp_registry("replay");
+    registry.append(&rows).unwrap();
+    let loaded = registry.load().unwrap();
+    assert_eq!(loaded, rows, "rows survive the disk round-trip");
+
+    match replay_row(&loaded[0]) {
+        ReplayOutcome::Matched { .. } => {}
+        other => panic!("expected a bit-identical replay, got: {}", other.describe()),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_all_filters_by_experiment_name() {
+    let ctx = tiny_ctx();
+    let rows: Vec<_> = ["table2", "ablation_lsmc"]
+        .iter()
+        .flat_map(|n| by_name(n).expect("registered").run(&ctx))
+        .collect();
+
+    let (registry, path) = temp_registry("filter");
+    registry.append(&rows).unwrap();
+    let loaded = registry.load().unwrap();
+
+    let all = replay_all(&loaded, None);
+    assert_eq!(all.len(), 2);
+    assert!(all.iter().all(|o| !o.is_failure()));
+    let only = replay_all(&loaded, Some("table2"));
+    assert_eq!(only.len(), 1);
+    assert!(matches!(only[0], ReplayOutcome::Matched { .. }));
+    std::fs::remove_file(&path).ok();
+}

@@ -41,6 +41,14 @@ pub enum CoreError {
     /// The deploy service stopped (ingester failure or shutdown) while an
     /// operation was waiting on it.
     ServiceStopped(&'static str),
+    /// A persisted artifact (knowledge base, registry row) was written by
+    /// a newer schema than this build supports.
+    UnsupportedSchema {
+        /// The version stamped on the artifact.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
     /// Persistence I/O failed.
     Io(std::io::Error),
     /// Persistence (de)serialization failed.
@@ -69,6 +77,10 @@ impl fmt::Display for CoreError {
                 write!(f, "submission queue is full ({capacity} jobs)")
             }
             CoreError::ServiceStopped(what) => write!(f, "deploy service stopped: {what}"),
+            CoreError::UnsupportedSchema { found, supported } => write!(
+                f,
+                "artifact schema version {found} is newer than the supported {supported}"
+            ),
             CoreError::Io(e) => write!(f, "io failure: {e}"),
             CoreError::Serde(e) => write!(f, "serialization failure: {e}"),
         }

@@ -19,7 +19,58 @@ use disar_cloudsim::InstanceType;
 use disar_ml::Dataset;
 use serde::{Deserialize, Serialize};
 use std::cell::{Ref, RefCell};
+use std::fmt;
 use std::path::Path;
+
+/// Version stamp of a persisted artifact's JSON layout.
+///
+/// Every knowledge-base layout (and the result registry's rows) carries
+/// one, `#[serde(default)]`-ed so pre-version files load as version
+/// [`SchemaVersion::CURRENT`] — the layout they were in fact written in.
+/// Loads reject versions *newer* than this build supports
+/// ([`CoreError::UnsupportedSchema`]) instead of silently misreading a
+/// future format; older versions are the serde defaults' job to upgrade.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SchemaVersion(pub u32);
+
+impl SchemaVersion {
+    /// The layout this build writes. History: `1` = first stamped layout
+    /// (identical to the pre-version layout except for the stamp itself).
+    pub const CURRENT: SchemaVersion = SchemaVersion(1);
+
+    /// `true` when this build can read the version.
+    pub fn is_supported(self) -> bool {
+        self <= Self::CURRENT
+    }
+}
+
+impl Default for SchemaVersion {
+    fn default() -> Self {
+        Self::CURRENT
+    }
+}
+
+impl fmt::Display for SchemaVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Shared load-time gate: every layout's `load` rejects files stamped by
+/// a newer build the same way.
+pub(crate) fn check_schema(version: SchemaVersion) -> Result<(), CoreError> {
+    if version.is_supported() {
+        Ok(())
+    } else {
+        Err(CoreError::UnsupportedSchema {
+            found: version.0,
+            supported: SchemaVersion::CURRENT.0,
+        })
+    }
+}
 
 /// One executed simulation: the ML training row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -165,6 +216,9 @@ pub trait KnowledgeStore {
 /// The persistent store of executed runs.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
+    /// JSON layout version (serde-defaulted so pre-version files load).
+    #[serde(default)]
+    pub schema_version: SchemaVersion,
     records: Vec<RunRecord>,
     /// Featurized view of `records`, built lazily by [`KnowledgeBase::dataset`]
     /// and kept in sync incrementally by [`KnowledgeBase::record`], so one
@@ -177,6 +231,8 @@ pub struct KnowledgeBase {
 /// Equality is over the stored records only — the lazily built dataset
 /// cache is derived state and must not distinguish two bases (e.g. one
 /// freshly loaded from JSON from the original that already featurized).
+/// The schema version is metadata about the *file*, not the knowledge, so
+/// a base loaded from an old stamp equals the freshly built one.
 impl PartialEq for KnowledgeBase {
     fn eq(&self, other: &Self) -> bool {
         self.records == other.records
@@ -266,6 +322,7 @@ impl KnowledgeBase {
     /// Table I columns).
     pub fn for_instance(&self, instance: &str) -> KnowledgeBase {
         KnowledgeBase {
+            schema_version: SchemaVersion::CURRENT,
             records: self
                 .records
                 .iter()
@@ -291,10 +348,13 @@ impl KnowledgeBase {
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization failures.
+    /// Propagates I/O and deserialization failures; rejects files stamped
+    /// with a newer [`SchemaVersion`] than this build supports.
     pub fn load(path: &Path) -> Result<Self, CoreError> {
         let json = std::fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&json)?)
+        let kb: KnowledgeBase = serde_json::from_str(&json)?;
+        check_schema(kb.schema_version)?;
+        Ok(kb)
     }
 }
 
@@ -334,13 +394,24 @@ impl KnowledgeStore for KnowledgeBase {
 /// reorders information.
 ///
 /// Equality (like [`KnowledgeBase`]'s) is over records and arrival order
-/// only, never over derived caches.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// only, never over derived caches or the file-metadata schema stamp.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ShardedKnowledgeBase {
+    /// JSON layout version (serde-defaulted so pre-version files load).
+    #[serde(default)]
+    pub schema_version: SchemaVersion,
     names: Vec<String>,
     shards: Vec<KnowledgeBase>,
     /// Shard slot of each record, in global arrival order.
     arrival: Vec<u32>,
+}
+
+impl PartialEq for ShardedKnowledgeBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+            && self.shards == other.shards
+            && self.arrival == other.arrival
+    }
 }
 
 impl ShardedKnowledgeBase {
@@ -447,10 +518,13 @@ impl ShardedKnowledgeBase {
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization failures.
+    /// Propagates I/O and deserialization failures; rejects files stamped
+    /// with a newer [`SchemaVersion`] than this build supports.
     pub fn load(path: &Path) -> Result<Self, CoreError> {
         let json = std::fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&json)?)
+        let kb: ShardedKnowledgeBase = serde_json::from_str(&json)?;
+        check_schema(kb.schema_version)?;
+        Ok(kb)
     }
 }
 
@@ -750,6 +824,62 @@ mod tests {
         let loaded: RunRecord = serde_json::from_value(v).unwrap();
         assert_eq!(loaded.tenant, TenantId::default());
         assert_eq!(loaded, r);
+    }
+
+    #[test]
+    fn pre_version_json_loads_with_current_schema() {
+        // Strip the stamp to simulate a file written before versioning.
+        let mut kb = KnowledgeBase::new();
+        kb.record(RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07));
+        let mut v = serde_json::to_value(&kb).unwrap();
+        v.as_object_mut().unwrap().remove("schema_version").unwrap();
+        let dir = std::env::temp_dir().join("disar-kb-schema-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pre_version.json");
+        std::fs::write(&path, v.to_string()).unwrap();
+        let loaded = KnowledgeBase::load(&path).unwrap();
+        assert_eq!(loaded.schema_version, SchemaVersion::CURRENT);
+        assert_eq!(loaded, kb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_schema_is_rejected_by_every_layout() {
+        let dir = std::env::temp_dir().join("disar-kb-schema-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let future = SchemaVersion(SchemaVersion::CURRENT.0 + 1);
+        assert!(!future.is_supported());
+
+        let mut kb = KnowledgeBase::new();
+        kb.record(RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07));
+        kb.schema_version = future;
+        let path = dir.join("future_mono.json");
+        kb.save(&path).unwrap();
+        assert!(matches!(
+            KnowledgeBase::load(&path),
+            Err(CoreError::UnsupportedSchema { found, supported })
+                if found == future.0 && supported == SchemaVersion::CURRENT.0
+        ));
+        std::fs::remove_file(&path).ok();
+
+        let mut skb = ShardedKnowledgeBase::from_monolithic(&kb);
+        skb.schema_version = future;
+        let path = dir.join("future_sharded.json");
+        skb.save(&path).unwrap();
+        assert!(matches!(
+            ShardedKnowledgeBase::load(&path),
+            Err(CoreError::UnsupportedSchema { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn schema_stamp_does_not_enter_equality() {
+        let mut a = KnowledgeBase::new();
+        a.record(RunRecord::new(profile(7), &instance(), 3, 99.5, 0.07));
+        let mut b = a.clone();
+        b.schema_version = SchemaVersion(0);
+        assert_eq!(a, b);
     }
 
     #[test]

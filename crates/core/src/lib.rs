@@ -75,7 +75,9 @@ pub use hetero::{
     select_hetero_configuration, select_hetero_configuration_threads, HeteroCandidate,
     HeteroSelection,
 };
-pub use knowledge::{KnowledgeBase, KnowledgeStore, RunRecord, ShardedKnowledgeBase};
+pub use knowledge::{
+    KnowledgeBase, KnowledgeStore, RunRecord, SchemaVersion, ShardedKnowledgeBase,
+};
 pub use pipeline::{DeployPipeline, PipelineJob, PipelineStats};
 pub use predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 pub use profile::JobProfile;

@@ -29,7 +29,7 @@
 use crate::deploy::{
     DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, DeployerCore, PendingSim,
 };
-use crate::knowledge::{KnowledgeBase, KnowledgeStore, RunRecord};
+use crate::knowledge::{check_schema, KnowledgeBase, KnowledgeStore, RunRecord, SchemaVersion};
 use crate::predictor::{PredictorFamily, RetrainMode, TimePredictor};
 use crate::profile::JobProfile;
 use crate::CoreError;
@@ -121,6 +121,10 @@ impl TransferPolicy {
 /// never loses or reorders information.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TenantShardedKnowledgeBase {
+    /// On-disk format version; stamped on save, checked on load. Excluded
+    /// from equality (records are what a base *is*).
+    #[serde(default)]
+    pub schema_version: SchemaVersion,
     /// `(instance, tenant)` of each shard, in first-seen order.
     keys: Vec<(String, TenantId)>,
     shards: Vec<KnowledgeBase>,
@@ -335,6 +339,7 @@ impl TenantShardedKnowledgeBase {
     pub fn load(path: &Path) -> Result<Self, CoreError> {
         let json = std::fs::read_to_string(path)?;
         let mut kb: TenantShardedKnowledgeBase = serde_json::from_str(&json)?;
+        check_schema(kb.schema_version)?;
         kb.rebuild_pooled();
         Ok(kb)
     }
@@ -1010,6 +1015,36 @@ mod tests {
                 records.iter().filter(|r| r.instance == name).collect();
             assert_eq!(pooled.records().iter().collect::<Vec<_>>(), want);
         }
+    }
+
+    #[test]
+    fn schema_version_gates_tenant_load() {
+        let mut kb = TenantShardedKnowledgeBase::new();
+        for r in mixed_records(6) {
+            kb.record(r);
+        }
+        let dir = std::env::temp_dir().join("disar-tkb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Pre-version file (no stamp) still loads, defaulting to CURRENT.
+        let mut v = serde_json::to_value(&kb).unwrap();
+        v.as_object_mut().unwrap().remove("schema_version").unwrap();
+        let path = dir.join("tkb_pre_version.json");
+        std::fs::write(&path, v.to_string()).unwrap();
+        let loaded = TenantShardedKnowledgeBase::load(&path).unwrap();
+        assert_eq!(loaded.schema_version, SchemaVersion::CURRENT);
+        assert_eq!(loaded, kb);
+        std::fs::remove_file(&path).ok();
+
+        // A newer-than-supported stamp is rejected loudly.
+        kb.schema_version = SchemaVersion(SchemaVersion::CURRENT.0 + 1);
+        let path = dir.join("tkb_future.json");
+        kb.save(&path).unwrap();
+        assert!(matches!(
+            TenantShardedKnowledgeBase::load(&path),
+            Err(CoreError::UnsupportedSchema { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -213,21 +213,6 @@ impl ScenarioSet {
         self.path(path, driver)[step]
     }
 
-    /// All drivers' values on `path` at grid `step` (used to re-anchor inner
-    /// simulations at an outer endpoint).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any index is out of range.
-    #[deprecated(
-        note = "allocates a fresh Vec per call; use `view().state_into` with a reused buffer"
-    )]
-    pub fn state_at(&self, path: usize, step: usize) -> Vec<f64> {
-        (0..self.n_drivers())
-            .map(|d| self.value(path, d, step))
-            .collect()
-    }
-
     /// Money-market discount factor from step 0 to `step` along `path`,
     /// `exp(-∫ r dt)` by trapezoidal integration of the short-rate path.
     ///
@@ -313,8 +298,8 @@ impl ScenarioView<'_> {
     }
 
     /// Writes all drivers' values on `path` at grid `step` into `out`
-    /// (cleared first) — the allocation-free sibling of
-    /// [`ScenarioSet::state_at`].
+    /// (cleared first; used to re-anchor inner simulations at an outer
+    /// endpoint without allocating).
     ///
     /// # Panics
     ///
@@ -1285,15 +1270,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn state_into_matches_state_at() {
+    fn state_into_matches_per_driver_values() {
         let gen = sample_generator();
         let set = gen.generate(Measure::RealWorld, 3, 17, None).unwrap();
         let v = set.view();
         let mut state = Vec::new();
         for p in 0..3 {
             v.state_into(p, 12, &mut state);
-            assert_eq!(state, set.state_at(p, 12));
+            let expected: Vec<f64> =
+                (0..set.n_drivers()).map(|d| set.value(p, d, 12)).collect();
+            assert_eq!(state, expected);
         }
     }
 

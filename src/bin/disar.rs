@@ -1,15 +1,27 @@
 //! `disar` — command-line interface to the DISAR reproduction.
 //!
 //! The DiInt stand-in: generate portfolios, run Solvency II valuations,
-//! and drive the ML-based cloud provisioning loop from a shell.
+//! drive the ML-based cloud provisioning loop, and run any registered
+//! paper experiment from a shell.
 //!
 //! ```text
-//! disar portfolio --policies 5000 --seed 42
-//! disar value     --policies 500 --outer 200 --inner 20 --threads 4
-//! disar deploy    --runs 40 --tmax 3600
-//! disar curve     --rate 0.03
+//! disar portfolio  --policies 5000 --seed 42
+//! disar value      --policies 500 --outer 200 --inner 20 --threads 4
+//! disar deploy     --runs 40 --tmax 3600
+//! disar curve      --rate 0.03
+//! disar experiment table2 --quick --seed 7 --out rows.json
+//! disar experiment --list
 //! ```
+//!
+//! Commands are dispatched through a lookup table, and every command
+//! accepts the uniform `--seed S`, `--threads N`, and `--out FILE`
+//! flags (`--out` writes the command's JSON summary). Experiment rows
+//! additionally land in the append-only registry
+//! (`results/registry.jsonl`).
 
+use disar_bench::campaign::CampaignConfig;
+use disar_bench::experiments::{by_name, ExperimentCtx, EXPERIMENTS};
+use disar_bench::registry::workspace_registry;
 use disar_suite::actuarial::portfolio::PortfolioSpec;
 use disar_suite::alm::SegregatedFund;
 use disar_suite::cloudsim::{CloudProvider, InstanceCatalog, Workload};
@@ -19,34 +31,114 @@ use disar_suite::engine::simulation::{MarketModel, SimulationSpec, DEFAULT_LANE}
 use disar_suite::engine::{DisarMaster, EebCharacteristics};
 use disar_suite::stochastic::bonds::{zero_curve, BondPricing};
 use disar_suite::stochastic::drivers::Vasicek;
+use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
-        } else {
-            i += 1;
+type CmdResult = Result<Value, Box<dyn std::error::Error>>;
+
+/// Parsed invocation: bare words in order, plus `--name [value]` flags.
+struct Cli {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Self {
+        let mut flags = HashMap::new();
+        let mut positionals = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let has_value = args.get(i + 1).is_some_and(|v| !v.starts_with("--"));
+                if has_value {
+                    flags.insert(name.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            } else {
+                positionals.push(args[i].clone());
+                i += 1;
+            }
         }
+        Cli { positionals, flags }
     }
-    flags
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Uniform flags shared by every command.
+    fn seed(&self) -> u64 {
+        self.get("seed", 42)
+    }
+
+    fn threads(&self) -> usize {
+        self.get("threads", 4).max(1)
+    }
+
+    fn out(&self) -> Option<&str> {
+        self.flags.get("out").map(String::as_str)
+    }
 }
 
-fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
-    flags
-        .get(name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// One table entry: the dispatch is a name lookup, not a string match.
+struct Command {
+    name: &'static str,
+    usage: &'static str,
+    about: &'static str,
+    run: fn(&Cli) -> CmdResult,
 }
 
-fn cmd_portfolio(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = flag(flags, "policies", 5_000);
-    let seed: u64 = flag(flags, "seed", 42);
+static COMMANDS: &[Command] = &[
+    Command {
+        name: "portfolio",
+        usage: "portfolio  --policies N",
+        about: "generate & summarize a synthetic book",
+        run: cmd_portfolio,
+    },
+    Command {
+        name: "value",
+        usage: "value      --policies N --outer P --inner Q",
+        about: "run a Solvency II valuation locally",
+        run: cmd_value,
+    },
+    Command {
+        name: "deploy",
+        usage: "deploy     --runs N --tmax SECS",
+        about: "drive the ML provisioning loop",
+        run: cmd_deploy,
+    },
+    Command {
+        name: "curve",
+        usage: "curve      --rate R",
+        about: "print the Vasicek zero curve",
+        run: cmd_curve,
+    },
+    Command {
+        name: "experiment",
+        usage: "experiment NAME [--quick] | --list",
+        about: "run a registered paper experiment into the registry",
+        run: cmd_experiment,
+    },
+];
+
+fn command(name: &str) -> Option<&'static Command> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+fn cmd_portfolio(cli: &Cli) -> CmdResult {
+    let n: usize = cli.get("policies", 5_000);
+    let seed = cli.seed();
     let p = PortfolioSpec {
         n_policies: n,
         ..PortfolioSpec::default()
@@ -57,15 +149,21 @@ fn cmd_portfolio(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::err
     println!("  representative contracts : {}", p.representative_contracts());
     println!("  total insured sum        : {:.0} EUR", p.total_insured_sum());
     println!("  max horizon              : {} years", p.max_horizon(120));
-    Ok(())
+    Ok(json!({
+        "seed": seed,
+        "policies": p.policy_count(),
+        "representative_contracts": p.representative_contracts(),
+        "total_insured_sum": p.total_insured_sum(),
+        "max_horizon_years": p.max_horizon(120),
+    }))
 }
 
-fn cmd_value(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = flag(flags, "policies", 500);
-    let outer: usize = flag(flags, "outer", 200);
-    let inner: usize = flag(flags, "inner", 20);
-    let threads: usize = flag(flags, "threads", 4);
-    let seed: u64 = flag(flags, "seed", 42);
+fn cmd_value(cli: &Cli) -> CmdResult {
+    let n: usize = cli.get("policies", 500);
+    let outer: usize = cli.get("outer", 200);
+    let inner: usize = cli.get("inner", 20);
+    let threads = cli.threads();
+    let seed = cli.seed();
     let portfolio = PortfolioSpec {
         n_policies: n,
         ..PortfolioSpec::default()
@@ -79,7 +177,7 @@ fn cmd_value(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
         n_inner: inner,
         steps_per_year: 4,
         seed,
-        lane: flag(flags, "lane", DEFAULT_LANE),
+        lane: cli.get("lane", DEFAULT_LANE),
     };
     let master = DisarMaster::new(spec)?;
     println!("running nested Monte Carlo ({outer} x {inner}) on {threads} threads...");
@@ -89,13 +187,22 @@ fn cmd_value(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::
     println!("  q99.5(Y1)      : {:.0}", out.var_quantile);
     println!("  SCR            : {:.0}", out.scr);
     println!("  wall time      : {:.2}s ({} type-B EEBs)", out.wall_secs, out.n_type_b);
-    Ok(())
+    Ok(json!({
+        "seed": seed,
+        "threads": threads,
+        "bel": out.bel,
+        "mean_y1": out.mean_y1,
+        "var_quantile": out.var_quantile,
+        "scr": out.scr,
+        "wall_secs": out.wall_secs,
+        "n_type_b": out.n_type_b,
+    }))
 }
 
-fn cmd_deploy(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    let runs: usize = flag(flags, "runs", 40);
-    let t_max: f64 = flag(flags, "tmax", 3_600.0);
-    let seed: u64 = flag(flags, "seed", 42);
+fn cmd_deploy(cli: &Cli) -> CmdResult {
+    let runs: usize = cli.get("runs", 40);
+    let t_max: f64 = cli.get("tmax", 3_600.0);
+    let seed = cli.seed();
     let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
     let policy = DeployPolicy {
         min_kb_samples: 15.min(runs / 2).max(2),
@@ -106,6 +213,7 @@ fn cmd_deploy(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error:
     use rand::Rng;
     let mut rng = stream_rng(seed, 1);
     println!("self-optimizing loop: {runs} deploys, T_max = {t_max}s");
+    let mut total_cost = 0.0;
     for i in 1..=runs {
         let contracts = rng.gen_range(100..600);
         let horizon = rng.gen_range(10..40);
@@ -126,6 +234,7 @@ fn cmd_deploy(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error:
             0.05,
         )?;
         let out = deployer.deploy(&profile, &wl)?;
+        total_cost += out.report.prorated_cost;
         let mode = match out.mode {
             DeployMode::Bootstrap => "boot",
             DeployMode::Manual => "manual",
@@ -145,51 +254,94 @@ fn cmd_deploy(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error:
         }
     }
     println!("knowledge base: {} runs", deployer.knowledge_base().len());
-    Ok(())
+    Ok(json!({
+        "seed": seed,
+        "runs": runs,
+        "t_max_secs": t_max,
+        "total_cost": total_cost,
+        "kb_runs": deployer.knowledge_base().len(),
+    }))
 }
 
-fn cmd_curve(flags: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    let r: f64 = flag(flags, "rate", 0.03);
+fn cmd_curve(cli: &Cli) -> CmdResult {
+    let r: f64 = cli.get("rate", 0.03);
     let v = Vasicek::new(r, 0.6, 0.04, 0.015, 0.0)?;
     println!("Vasicek zero curve at r = {r}:");
+    let mut points = Vec::new();
     for (t, y) in zero_curve(&v, r, &[1.0, 2.0, 5.0, 10.0, 20.0, 30.0])? {
         let p = v.zcb_price(r, t)?;
         println!("  {t:>5.0}y  yield {:>6.3}%  price {p:.4}", y * 100.0);
+        points.push(json!({ "maturity": t, "yield": y, "price": p }));
     }
-    Ok(())
+    Ok(json!({ "rate": r, "points": points }))
+}
+
+fn cmd_experiment(cli: &Cli) -> CmdResult {
+    if cli.has("list") {
+        for e in EXPERIMENTS {
+            println!("{}", e.name());
+        }
+        return Ok(json!(EXPERIMENTS.iter().map(|e| e.name()).collect::<Vec<_>>()));
+    }
+    let Some(name) = cli.positionals.get(1) else {
+        return Err("experiment needs a NAME (try --list)".into());
+    };
+    let exp = by_name(name).ok_or_else(|| format!("unknown experiment: {name} (try --list)"))?;
+    let quick = cli.has("quick");
+    let mut cfg = CampaignConfig::default();
+    if quick {
+        cfg.n_runs = 300;
+    }
+    cfg.seed = cli.seed();
+    cfg.n_threads = cli.threads();
+    let ctx = ExperimentCtx::new(cfg, quick);
+    let rows = exp.run(&ctx);
+    let registry = workspace_registry();
+    registry.append(&rows)?;
+    for row in &rows {
+        println!("-- {} --", row.experiment);
+        println!("input  {}", row.input_hash);
+        println!("output {}", row.output_hash);
+        println!("{}", exp.render(&row.outputs));
+    }
+    println!("appended {} row(s) to {}", rows.len(), registry.path().display());
+    Ok(json!(rows))
 }
 
 fn usage() {
+    eprintln!("usage: disar <command> [NAME] [--flag value ...]\n\ncommands:");
+    for c in COMMANDS {
+        eprintln!("  {:<38} {}", c.usage, c.about);
+    }
     eprintln!(
-        "usage: disar <command> [--flag value ...]\n\n\
-         commands:\n\
-         \x20 portfolio  --policies N --seed S              generate & summarize a synthetic book\n\
-         \x20 value      --policies N --outer P --inner Q --threads T --seed S\n\
-         \x20                                               run a Solvency II valuation locally\n\
-         \x20 deploy     --runs N --tmax SECS --seed S      drive the ML provisioning loop\n\
-         \x20 curve      --rate R                           print the Vasicek zero curve"
+        "\nuniform flags: --seed S, --threads N, --out FILE (write the JSON summary to FILE)"
     );
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    let cli = Cli::parse(&args);
+    let Some(cmd) = cli.positionals.first().map(String::as_str).and_then(command) else {
         usage();
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
-        "portfolio" => cmd_portfolio(&flags),
-        "value" => cmd_value(&flags),
-        "deploy" => cmd_deploy(&flags),
-        "curve" => cmd_curve(&flags),
-        _ => {
-            usage();
-            return ExitCode::FAILURE;
+    match (cmd.run)(&cli) {
+        Ok(summary) => {
+            if let Some(path) = cli.out() {
+                let text = match serde_json::to_string_pretty(&summary) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
         }
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
