@@ -183,11 +183,15 @@ pub fn select_configuration_with_rule_threads<P: TimePredictor + ?Sized>(
     let evals: Vec<Result<(f64, f64), CoreError>> =
         parallel_map(cells.len(), n_threads, |ci| {
             let (n, inst) = cells[ci];
-            let time = family.predict_mean(profile, inst, n)?;
+            // One member pass per cell: the mean (the paper's `time`) and
+            // the Conservative max both derive from the same
+            // `predict_each` call. The mean matches
+            // `TimePredictor::predict_mean` term for term.
+            let each = family.predict_each(profile, inst, n)?;
+            let time = (each.iter().map(|(_, t)| t).sum::<f64>() / each.len() as f64).max(0.0);
             let filter_time = match rule {
                 TimeEstimate::EnsembleMean => time,
-                TimeEstimate::Conservative => family
-                    .predict_each(profile, inst, n)?
+                TimeEstimate::Conservative => each
                     .into_iter()
                     .map(|(_, t)| t.max(0.0))
                     .fold(f64::NEG_INFINITY, f64::max),
@@ -511,6 +515,67 @@ mod tests {
             assert!(c.predicted_cost > 0.0, "zero-cost candidate survived: {c:?}");
         }
         assert!(sel.chosen.predicted_cost > 0.0);
+    }
+
+    /// A stub predictor whose `predict_each` counts member evaluations —
+    /// every call evaluates all `members` stub models once.
+    struct CountingPredictor {
+        members: usize,
+        member_evals: std::sync::atomic::AtomicUsize,
+    }
+
+    impl TimePredictor for CountingPredictor {
+        fn predict_each(
+            &self,
+            _profile: &JobProfile,
+            instance: &InstanceType,
+            n_nodes: usize,
+        ) -> Result<Vec<(String, f64)>, CoreError> {
+            self.member_evals
+                .fetch_add(self.members, std::sync::atomic::Ordering::Relaxed);
+            Ok((0..self.members)
+                .map(|m| {
+                    let t = 100.0 + m as f64 + n_nodes as f64 * instance.vcpus as f64;
+                    (format!("M{m}"), t)
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn each_member_is_evaluated_exactly_once_per_cell() {
+        // Regression: the Conservative rule used to run `predict_mean`
+        // *and* a second full `predict_each` per cell — a 2× member-eval
+        // bug. Both rules must now evaluate each member exactly once per
+        // grid cell.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cat = InstanceCatalog::paper_catalog();
+        let max_nodes = 4;
+        let cells = max_nodes * cat.iter().count();
+        let stub = CountingPredictor {
+            members: 6,
+            member_evals: AtomicUsize::new(0),
+        };
+        for rule in [TimeEstimate::EnsembleMean, TimeEstimate::Conservative] {
+            stub.member_evals.store(0, Ordering::Relaxed);
+            select_configuration_with_rule_threads(
+                &stub,
+                &cat,
+                &profile(100),
+                1e9,
+                max_nodes,
+                0.0,
+                1,
+                rule,
+                1,
+            )
+            .unwrap();
+            assert_eq!(
+                stub.member_evals.load(Ordering::Relaxed),
+                cells * stub.members,
+                "rule {rule:?} must evaluate each member exactly once per cell"
+            );
+        }
     }
 
     #[test]
