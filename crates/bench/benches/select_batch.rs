@@ -1,0 +1,131 @@
+//! Batched vs scalar Algorithm 1 sweep: wall-clock of one configuration
+//! selection through [`PredictorFamily::predict_grid`]'s batched member
+//! kernels against the per-cell scalar `predict_each` path, as the grid
+//! grows 24 → 384 cells.
+//!
+//! Like `service_throughput`, this is a hand-rolled harness
+//! (`harness = false`) because the raw medians are persisted: rows land as
+//! `bench:select_batch` entries in the append-only registry
+//! (`results/registry.jsonl`), where the CI history can diff them. Every
+//! measured pair is also asserted bit-identical — the speedup is only
+//! meaningful if the Selections agree. Regenerate with
+//!
+//! ```text
+//! cargo bench -p disar-bench --bench select_batch
+//! ```
+
+use disar_bench::campaign::{build_knowledge_base, CampaignConfig};
+use disar_bench::registry::{bench_row, workspace_registry};
+use disar_cloudsim::InstanceType;
+use disar_core::{
+    select_configuration_with_workspace, CoreError, JobProfile, PredictorFamily, RetrainMode,
+    Selection, SelectionWorkspace, TimeEstimate, TimePredictor,
+};
+use serde_json::json;
+use std::time::Instant;
+
+const MAX_NODES: [usize; 3] = [4, 16, 64];
+const REPS: usize = 9;
+
+/// Hides the family's batched `predict_grid` override so the trait's
+/// default per-cell scalar loop runs — the pre-batching baseline.
+struct ScalarOnly<'a>(&'a PredictorFamily);
+
+impl TimePredictor for ScalarOnly<'_> {
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
+        self.0.predict_each(profile, instance, n_nodes)
+    }
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`, filters); this harness
+    // always runs the full sweep, so the argv is deliberately ignored.
+    let (kb, provider, jobs) = build_knowledge_base(&CampaignConfig {
+        n_runs: 300,
+        ..CampaignConfig::default()
+    });
+    let mut family = PredictorFamily::new(1, 2);
+    family
+        .retrain(&kb, RetrainMode::Full, 1)
+        .expect("large enough");
+    let profile = jobs[0].profile;
+    let catalog = provider.catalog();
+    let n_types = catalog.iter().count();
+    let scalar_family = ScalarOnly(&family);
+
+    let mut registry_rows = Vec::new();
+    for &max_nodes in &MAX_NODES {
+        let mut ws = SelectionWorkspace::new();
+        let mut run = |p: &dyn TimePredictor, ws: &mut SelectionWorkspace| -> (Selection, u128) {
+            let t = Instant::now();
+            let sel = select_configuration_with_workspace(
+                p,
+                catalog,
+                &profile,
+                50_000.0,
+                max_nodes,
+                0.05,
+                9,
+                TimeEstimate::EnsembleMean,
+                1,
+                ws,
+            )
+            .expect("feasible");
+            (sel, t.elapsed().as_nanos())
+        };
+        // Warm-up sizes the workspace; the measured runs are steady-state.
+        let (warm_batched, _) = run(&family, &mut ws);
+        let (warm_scalar, _) = run(&scalar_family, &mut SelectionWorkspace::new());
+        assert_eq!(
+            warm_batched, warm_scalar,
+            "batched and scalar sweeps must pick identically at {max_nodes} nodes"
+        );
+        let mut batched_ns = Vec::with_capacity(REPS);
+        let mut scalar_ns = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let (sel, ns) = run(&family, &mut ws);
+            assert_eq!(sel, warm_batched, "batched selection must be stable");
+            batched_ns.push(ns);
+            let (sel, ns) = run(&scalar_family, &mut SelectionWorkspace::new());
+            assert_eq!(sel, warm_scalar, "scalar selection must be stable");
+            scalar_ns.push(ns);
+        }
+        let batched = median(batched_ns);
+        let scalar = median(scalar_ns);
+        let speedup = scalar as f64 / batched as f64;
+        let cells = max_nodes * n_types;
+        println!(
+            "{cells:>4} cells: batched {:>9} ns, scalar {:>9} ns, speedup {speedup:.2}x",
+            batched, scalar
+        );
+        registry_rows.push(bench_row(
+            "select_batch",
+            json!({ "max_nodes": max_nodes, "cells": cells, "n_threads": 1 }),
+            json!({
+                "batched_ns": batched as u64,
+                "scalar_ns": scalar as u64,
+                "speedup_vs_scalar": speedup,
+            }),
+            batched as u64,
+        ));
+    }
+    let registry = workspace_registry();
+    registry
+        .append(&registry_rows)
+        .expect("registry append succeeds");
+    println!(
+        "appended {} rows to {}",
+        registry_rows.len(),
+        registry.path().display()
+    );
+}

@@ -25,6 +25,12 @@ use disar_alm::liability::LiabilityPosition;
 use disar_alm::nested::{NestedConfig, NestedMonteCarlo, NestedResult};
 use disar_alm::SegregatedFund;
 use disar_bench::registry::workspace_registry;
+use disar_cloudsim::{InstanceCatalog, InstanceType};
+use disar_core::{
+    select_configuration_with_workspace, CoreError, JobProfile, KnowledgeBase, PredictorFamily,
+    RetrainMode, RunRecord, Selection, SelectionWorkspace, TimeEstimate, TimePredictor,
+};
+use disar_engine::EebCharacteristics;
 use disar_registry::{CanonicalHasher, RegistryRow};
 use disar_stochastic::drivers::{Gbm, Vasicek};
 use disar_stochastic::scenario::{ScenarioGenerator, TimeGrid};
@@ -34,6 +40,7 @@ use std::time::Instant;
 const N_OUTER: usize = 150;
 const N_INNER: usize = 40;
 const REPS: usize = 9;
+const SELECT_MAX_NODES: usize = 32;
 
 fn generators(inner_horizon: f64) -> (ScenarioGenerator, ScenarioGenerator) {
     let build = |h: f64| {
@@ -101,6 +108,70 @@ fn time_lane(
     (times[times.len() / 2], res)
 }
 
+/// Hides the family's batched `predict_grid` override so the trait's
+/// default per-cell scalar loop runs — the pre-batching baseline of the
+/// Algorithm 1 sweep.
+struct ScalarOnly<'a>(&'a PredictorFamily);
+
+impl TimePredictor for ScalarOnly<'_> {
+    fn predict_each(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
+        self.0.predict_each(profile, instance, n_nodes)
+    }
+}
+
+fn job_profile(contracts: usize) -> JobProfile {
+    JobProfile {
+        characteristics: EebCharacteristics {
+            representative_contracts: contracts,
+            max_horizon: 20,
+            fund_assets: 30,
+            risk_factors: 2,
+        },
+        n_outer: 1000,
+        n_inner: 50,
+    }
+}
+
+/// Median selection wall time (ns) of `REPS` sweeps through the given
+/// predictor, plus the (stable) Selection for identity checking.
+fn time_selection(predictor: &dyn TimePredictor, catalog: &InstanceCatalog) -> (u128, Selection) {
+    let mut ws = SelectionWorkspace::new();
+    let p = job_profile(200);
+    let mut run = |ws: &mut SelectionWorkspace| {
+        select_configuration_with_workspace(
+            predictor,
+            catalog,
+            &p,
+            50_000.0,
+            SELECT_MAX_NODES,
+            0.0,
+            9,
+            TimeEstimate::EnsembleMean,
+            1,
+            ws,
+        )
+        .expect("feasible")
+    };
+    // Warm-up sizes the workspace so the timed runs are steady-state.
+    let mut sel = run(&mut ws);
+    let mut times: Vec<u128> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            sel = run(&mut ws);
+            let ns = t.elapsed().as_nanos();
+            black_box(&sel);
+            ns
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], sel)
+}
+
 fn main() {
     let t0 = Instant::now();
     let (outer, inner) = generators(10.0);
@@ -155,7 +226,71 @@ fn main() {
         "lane8_median_ns": block_ns as u64,
         "speedup_lane8": speedup,
     }));
+
+    // Second surface: the Algorithm 1 grid sweep, batched member kernels
+    // vs the per-cell scalar path — same dependency-free discipline, same
+    // bit-identity assertion as the selection proptests.
+    let catalog = InstanceCatalog::paper_catalog();
+    let names = catalog.names();
+    let mut kb = KnowledgeBase::new();
+    for i in 0..300 {
+        let inst = catalog.get(&names[i % names.len()]).expect("known");
+        let nodes = i % 6 + 1;
+        let contracts = 50 + (i * 53) % 400;
+        let time = 40_000.0 * contracts as f64 / 100.0 / (inst.compute_power() * nodes as f64);
+        kb.record(RunRecord::new(job_profile(contracts), inst, nodes, time, 0.0));
+    }
+    let mut family = PredictorFamily::new(5, 2);
+    family
+        .retrain(&kb, RetrainMode::Full, 1)
+        .expect("large enough");
+
+    let (batched_ns, batched_sel) = time_selection(&family, &catalog);
+    let (cell_ns, cell_sel) = time_selection(&ScalarOnly(&family), &catalog);
+    assert_eq!(
+        batched_sel, cell_sel,
+        "batched sweep must be bit-identical to the per-cell scalar sweep"
+    );
+    let select_speedup = cell_ns as f64 / batched_ns as f64;
+    let cells = SELECT_MAX_NODES * names.len();
+    println!("algorithm 1 sweep, {cells} cells, sequential:");
+    println!("  batched: {batched_ns:>12} ns/selection (median of {REPS})");
+    println!("  scalar:  {cell_ns:>12} ns/selection (median of {REPS})");
+    println!("  speedup_vs_scalar: {select_speedup:.2}x");
+
+    let select_params = serde_json::json!({
+        "max_nodes": SELECT_MAX_NODES,
+        "reps": REPS,
+        "seed": 9,
+        "threads": 1,
+        "t_max": 50_000.0,
+    });
+    let mut h2 = CanonicalHasher::new();
+    h2.field("bench");
+    h2.write_str("perf_smoke_select");
+    h2.field("params");
+    h2.write_str(&select_params.to_string());
+    let select_row = RegistryRow::new(
+        "perf_smoke_select",
+        h2.finish(),
+        select_params,
+        serde_json::json!({
+            "chosen_instance": batched_sel.chosen.instance,
+            "chosen_n_nodes": batched_sel.chosen.n_nodes,
+            "predicted_secs": batched_sel.chosen.predicted_secs,
+            "feasible": batched_sel.feasible.len(),
+        }),
+        t0.elapsed().as_nanos() as u64,
+    )
+    .with_timings(serde_json::json!({
+        "batched_median_ns": batched_ns as u64,
+        "scalar_median_ns": cell_ns as u64,
+        "speedup_vs_scalar": select_speedup,
+    }));
+
     let registry = workspace_registry();
-    registry.append(&[row]).expect("registry append succeeds");
-    println!("appended 1 row to {}", registry.path().display());
+    registry
+        .append(&[row, select_row])
+        .expect("registry append succeeds");
+    println!("appended 2 rows to {}", registry.path().display());
 }

@@ -66,7 +66,9 @@ impl ReplayOutcome {
 /// compare digests.
 pub fn replay_row(row: &RegistryRow) -> ReplayOutcome {
     let Some(exp) = by_name(&row.experiment) else {
-        let reason = if row.experiment.starts_with("bench:") || row.experiment == "perf_smoke" {
+        let timing_only =
+            row.experiment.starts_with("bench:") || row.experiment.starts_with("perf_smoke");
+        let reason = if timing_only {
             "timing-only row, nothing replayable".to_string()
         } else {
             "not a registered experiment driver".to_string()

@@ -17,14 +17,47 @@
 //! The ε-branch "allows to enlarge the knowledge base, possibly reducing
 //! the number of false positives on the expected execution time".
 
-use crate::predictor::TimePredictor;
+use crate::predictor::{GridScratch, TimePredictor};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{InstanceCatalog, InstanceType};
-use disar_math::parallel::parallel_map;
+use disar_math::parallel::parallel_map_mut;
 use disar_math::rng::stream_rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for repeated Algorithm 1 sweeps.
+///
+/// The grid sweep needs, per instance group, a feature matrix, the member
+/// kernels' scratch, the member-major prediction block and the folded
+/// per-node evaluations. A warm workspace retains all of them between
+/// selections, so a steady-state deployer sweeping the same catalog
+/// allocates nothing per decision (see `tests/alloc_selection.rs`).
+#[derive(Debug, Default)]
+pub struct SelectionWorkspace {
+    /// One slot per catalog entry; each worker thread owns one slot.
+    slots: Vec<GroupSlot>,
+    /// The node axis `1..=max_nodes`, rebuilt in place each selection.
+    nodes: Vec<usize>,
+}
+
+impl SelectionWorkspace {
+    /// An empty workspace; every buffer is sized lazily on first use.
+    pub fn new() -> Self {
+        SelectionWorkspace::default()
+    }
+}
+
+/// Per-instance-group buffers of a [`SelectionWorkspace`].
+#[derive(Debug, Default)]
+struct GroupSlot {
+    /// Featurization + member-kernel scratch for this group's thread.
+    scratch: GridScratch,
+    /// Member-major `members × nodes` predictions from `predict_grid`.
+    members: Vec<f64>,
+    /// Per-node `(mean, filter_time)` pairs folded from `members`.
+    evals: Vec<(f64, f64)>,
+}
 
 /// One feasible deploy configuration `⟨m, n, cost⟩`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -157,6 +190,44 @@ pub fn select_configuration_with_rule_threads<P: TimePredictor + ?Sized>(
     rule: TimeEstimate,
     n_threads: usize,
 ) -> Result<Selection, CoreError> {
+    let mut ws = SelectionWorkspace::new();
+    select_configuration_with_workspace(
+        family, catalog, profile, t_max, max_nodes, epsilon, seed, rule, n_threads, &mut ws,
+    )
+}
+
+/// [`select_configuration_with_rule_threads`] over a caller-owned
+/// [`SelectionWorkspace`] — the steady-state entry point for deployers that
+/// select repeatedly. Bit-identical to the other entry points; the only
+/// difference is that a warm workspace's buffers are reused instead of
+/// reallocated.
+///
+/// The sweep is grouped by instance type: each worker thread takes one
+/// catalog entry, featurizes its whole node column once, and runs every
+/// family member's batched kernel over the column
+/// ([`crate::predictor::PredictorFamily::predict_grid`]). Both the mean and
+/// the Conservative maximum are folded from that single member-major block,
+/// so each member is evaluated exactly once per `(m, n)` cell. Per-cell
+/// results are then folded in the sequential nested loop's node-major
+/// order, keeping `feasible` ordering, `best_predicted` and tie-breaks
+/// bit-identical for any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`select_configuration_with_rule_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_configuration_with_workspace<P: TimePredictor + ?Sized>(
+    family: &P,
+    catalog: &InstanceCatalog,
+    profile: &JobProfile,
+    t_max: f64,
+    max_nodes: usize,
+    epsilon: f64,
+    seed: u64,
+    rule: TimeEstimate,
+    n_threads: usize,
+    ws: &mut SelectionWorkspace,
+) -> Result<Selection, CoreError> {
     if !(t_max > 0.0) {
         return Err(CoreError::InvalidParameter("t_max must be positive"));
     }
@@ -173,52 +244,69 @@ pub fn select_configuration_with_rule_threads<P: TimePredictor + ?Sized>(
         return Err(CoreError::InvalidParameter("n_threads must be > 0"));
     }
 
-    // Enumerate the grid in the sequential loop's order, predict every cell
-    // in parallel, then fold the per-cell results back in that same order —
-    // identical `feasible` ordering, `best_predicted` and first-error
-    // propagation as the plain nested loop.
-    let cells: Vec<(usize, &InstanceType)> = (1..=max_nodes)
-        .flat_map(|n| catalog.iter().map(move |inst| (n, inst)))
-        .collect();
-    let evals: Vec<Result<(f64, f64), CoreError>> =
-        parallel_map(cells.len(), n_threads, |ci| {
-            let (n, inst) = cells[ci];
-            // One member pass per cell: the mean (the paper's `time`) and
-            // the Conservative max both derive from the same
-            // `predict_each` call. The mean matches
-            // `TimePredictor::predict_mean` term for term.
-            let each = family.predict_each(profile, inst, n)?;
-            let time = (each.iter().map(|(_, t)| t).sum::<f64>() / each.len() as f64).max(0.0);
-            let filter_time = match rule {
-                TimeEstimate::EnsembleMean => time,
-                TimeEstimate::Conservative => each
-                    .into_iter()
-                    .map(|(_, t)| t.max(0.0))
-                    .fold(f64::NEG_INFINITY, f64::max),
-            };
-            Ok((time, filter_time))
-        });
+    let insts: Vec<&InstanceType> = catalog.iter().collect();
+    let SelectionWorkspace { slots, nodes } = ws;
+    nodes.clear();
+    nodes.extend(1..=max_nodes);
+    if slots.len() < insts.len() {
+        slots.resize_with(insts.len(), GroupSlot::default);
+    }
 
+    // One group per instance type: featurize the node column once, run each
+    // member's batched kernel over it, and fold the member-major block into
+    // per-node `(mean, filter_time)` pairs. The mean is summed in member
+    // order and the Conservative max folded from `NEG_INFINITY` in member
+    // order — term for term the expressions of the per-cell
+    // `predict_each` path, so the results are bit-identical to it.
+    let results: Vec<Result<(), CoreError>> =
+        parallel_map_mut(&mut slots[..insts.len()], n_threads, |g, slot| {
+            let members =
+                family.predict_grid(profile, insts[g], nodes, &mut slot.members, &mut slot.scratch)?;
+            slot.evals.clear();
+            for i in 0..nodes.len() {
+                let mut sum = 0.0;
+                let mut worst = f64::NEG_INFINITY;
+                for m in 0..members {
+                    let t = slot.members[m * nodes.len() + i];
+                    sum += t;
+                    worst = worst.max(t.max(0.0));
+                }
+                let time = (sum / members as f64).max(0.0);
+                let filter_time = match rule {
+                    TimeEstimate::EnsembleMean => time,
+                    TimeEstimate::Conservative => worst,
+                };
+                slot.evals.push((time, filter_time));
+            }
+            Ok(())
+        });
+    for r in results {
+        r?;
+    }
+
+    // Fold in the sequential nested loop's node-major order.
     let mut feasible: Vec<CandidateConfig> = Vec::new();
     let mut best_predicted = f64::INFINITY;
     let mut rejected_nonpositive = 0usize;
-    for ((n, inst), eval) in cells.into_iter().zip(evals) {
-        let (time, filter_time) = eval?;
-        best_predicted = best_predicted.min(filter_time);
-        // A non-positive mean prediction is a model artefact, not a
-        // 0-second job: it would produce `predicted_cost = 0` and steal
-        // the greedy argmin, so the cell is rejected outright.
-        if time <= 0.0 {
-            rejected_nonpositive += 1;
-            continue;
-        }
-        if filter_time <= t_max {
-            feasible.push(CandidateConfig {
-                instance: inst.name.clone(),
-                n_nodes: n,
-                predicted_secs: time,
-                predicted_cost: inst.hourly_cost * (time / 3600.0) * n as f64,
-            });
+    for (i, n) in nodes.iter().copied().enumerate() {
+        for (g, inst) in insts.iter().enumerate() {
+            let (time, filter_time) = slots[g].evals[i];
+            best_predicted = best_predicted.min(filter_time);
+            // A non-positive mean prediction is a model artefact, not a
+            // 0-second job: it would produce `predicted_cost = 0` and steal
+            // the greedy argmin, so the cell is rejected outright.
+            if time <= 0.0 {
+                rejected_nonpositive += 1;
+                continue;
+            }
+            if filter_time <= t_max {
+                feasible.push(CandidateConfig {
+                    instance: inst.name.clone(),
+                    n_nodes: n,
+                    predicted_secs: time,
+                    predicted_cost: inst.hourly_cost * (time / 3600.0) * n as f64,
+                });
+            }
         }
     }
     if feasible.is_empty() {
@@ -530,13 +618,14 @@ mod tests {
             _profile: &JobProfile,
             instance: &InstanceType,
             n_nodes: usize,
-        ) -> Result<Vec<(String, f64)>, CoreError> {
+        ) -> Result<Vec<(&'static str, f64)>, CoreError> {
+            const NAMES: [&str; 8] = ["M0", "M1", "M2", "M3", "M4", "M5", "M6", "M7"];
             self.member_evals
                 .fetch_add(self.members, std::sync::atomic::Ordering::Relaxed);
             Ok((0..self.members)
                 .map(|m| {
                     let t = 100.0 + m as f64 + n_nodes as f64 * instance.vcpus as f64;
-                    (format!("M{m}"), t)
+                    (NAMES[m], t)
                 })
                 .collect())
         }

@@ -23,7 +23,7 @@
 //! without changing the paper's semantics (see
 //! [`Deployer::selection_ready`]).
 
-use crate::algorithm::{select_configuration_with_rule_threads, TimeEstimate};
+use crate::algorithm::{select_configuration_with_workspace, SelectionWorkspace, TimeEstimate};
 use crate::knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
 use crate::predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 use crate::profile::JobProfile;
@@ -382,6 +382,9 @@ pub(crate) struct DeployerCore {
     seed: u64,
     pub(crate) deploy_counter: u64,
     pub(crate) runs_since_retrain: usize,
+    /// Warm Algorithm 1 buffers, reused across this deployer's decisions so
+    /// steady-state selections stay allocation-free.
+    selection: SelectionWorkspace,
 }
 
 impl DeployerCore {
@@ -392,6 +395,7 @@ impl DeployerCore {
             seed,
             deploy_counter: 0,
             runs_since_retrain: 0,
+            selection: SelectionWorkspace::new(),
         }
     }
 
@@ -436,12 +440,12 @@ impl DeployerCore {
     /// Algorithm 1 over the given predictor — the shared ML half of every
     /// backend's `select`.
     pub(crate) fn ml_select<P: TimePredictor + ?Sized>(
-        &self,
+        &mut self,
         predictor: &P,
         profile: &JobProfile,
         decision_seed: u64,
     ) -> Result<DeployDecision, CoreError> {
-        let selection = select_configuration_with_rule_threads(
+        let selection = select_configuration_with_workspace(
             predictor,
             self.provider.catalog(),
             profile,
@@ -451,6 +455,7 @@ impl DeployerCore {
             decision_seed,
             TimeEstimate::EnsembleMean,
             self.policy.n_threads,
+            &mut self.selection,
         )?;
         Ok(DeployDecision {
             mode: if selection.explored {

@@ -17,11 +17,11 @@
 //! training data is needed to start exploring mixed deploys, which is why
 //! the paper could leave this as a drop-in extension.
 
-use crate::predictor::TimePredictor;
+use crate::predictor::{GridScratch, TimePredictor};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{InstanceCatalog, InstanceType, NodeGroup};
-use disar_math::parallel::parallel_map;
+use disar_math::parallel::parallel_map_with;
 use disar_math::rng::stream_rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -110,23 +110,42 @@ pub fn select_hetero_configuration_threads<P: TimePredictor + ?Sized>(
     }
 
     // Homogeneous predictions t[(m, n)] reused by the mixing step, laid
-    // out in the sequential loop's (type-major, node-minor) order and
-    // evaluated as a deterministic parallel map.
+    // out in the sequential loop's (type-major, node-minor) order. One
+    // worker takes one instance type, featurizes its whole node column
+    // once and reads every member's batched kernel from a single
+    // `predict_grid` pass; the per-node mean is summed in member order and
+    // clamped exactly like `predict_mean(...)?.max(1e-9)` was, so the
+    // values are bit-identical to the per-cell path.
     let names = catalog.names();
     let insts: Vec<&InstanceType> = names
         .iter()
         .map(|name| catalog.get(name))
         .collect::<Result<_, _>>()?;
-    let cells: Vec<(usize, usize)> = (0..insts.len())
-        .flat_map(|mi| (1..=max_nodes).map(move |n| (mi, n)))
-        .collect();
-    let preds: Vec<Result<f64, CoreError>> = parallel_map(cells.len(), n_threads, |ci| {
-        let (mi, n) = cells[ci];
-        Ok(family.predict_mean(profile, insts[mi], n)?.max(1e-9))
-    });
-    let mut homo: Vec<(usize, usize, f64)> = Vec::with_capacity(cells.len());
-    for (&(mi, n), pred) in cells.iter().zip(preds) {
-        homo.push((mi, n, pred?));
+    let nodes: Vec<usize> = (1..=max_nodes).collect();
+    let per_type: Vec<Result<Vec<f64>, CoreError>> = parallel_map_with(
+        insts.len(),
+        n_threads,
+        || (GridScratch::new(), Vec::new()),
+        |mi, (scratch, block)| {
+            let members = family.predict_grid(profile, insts[mi], &nodes, block, scratch)?;
+            Ok((0..nodes.len())
+                .map(|i| {
+                    let mut sum = 0.0;
+                    for m in 0..members {
+                        sum += block[m * nodes.len() + i];
+                    }
+                    (sum / members as f64).max(0.0).max(1e-9)
+                })
+                .collect())
+        },
+    );
+    let mut homo: Vec<(usize, usize, f64)> = Vec::with_capacity(insts.len() * max_nodes);
+    for (mi, res) in per_type.into_iter().enumerate() {
+        let means = res?;
+        debug_assert_eq!(means.len(), nodes.len());
+        for (&n, &t) in nodes.iter().zip(&means) {
+            homo.push((mi, n, t));
+        }
     }
 
     let mut feasible: Vec<HeteroCandidate> = Vec::new();

@@ -146,12 +146,25 @@ impl RunRecord {
     /// Assembles the feature vector for a *hypothetical* configuration —
     /// what Algorithm 1 evaluates predictions on.
     pub fn features_for(profile: &JobProfile, instance: &InstanceType, n_nodes: usize) -> Vec<f64> {
-        let mut f = profile.to_features();
-        f.push(instance.vcpus as f64);
-        f.push(instance.per_core_speed);
-        f.push(instance.memory_gib);
-        f.push(n_nodes as f64);
+        let mut f = Vec::new();
+        Self::features_into(profile, instance, n_nodes, &mut f);
         f
+    }
+
+    /// Appends the features of [`RunRecord::features_for`] onto `out` in the
+    /// same push order — the allocation-free variant the batched grid sweep
+    /// uses to fill a feature matrix in place.
+    pub fn features_into(
+        profile: &JobProfile,
+        instance: &InstanceType,
+        n_nodes: usize,
+        out: &mut Vec<f64>,
+    ) {
+        profile.features_into(out);
+        out.push(instance.vcpus as f64);
+        out.push(instance.per_core_speed);
+        out.push(instance.memory_gib);
+        out.push(n_nodes as f64);
     }
 
     /// Names matching [`RunRecord::features`].

@@ -64,7 +64,8 @@ mod error;
 
 pub use algorithm::{
     select_configuration, select_configuration_with_rule,
-    select_configuration_with_rule_threads, CandidateConfig, Selection, TimeEstimate,
+    select_configuration_with_rule_threads, select_configuration_with_workspace,
+    CandidateConfig, Selection, SelectionWorkspace, TimeEstimate,
 };
 pub use deploy::{
     DeployDecision, DeployMode, DeployOutcome, DeployPolicy, DeployPolicyBuilder, Deployer,
@@ -79,7 +80,7 @@ pub use knowledge::{
     KnowledgeBase, KnowledgeStore, RunRecord, SchemaVersion, ShardedKnowledgeBase,
 };
 pub use pipeline::{DeployPipeline, PipelineJob, PipelineStats};
-pub use predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
+pub use predictor::{GridScratch, PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 pub use profile::JobProfile;
 pub use service::{
     DeployService, PredictorSnapshot, ServiceConfig, ServiceStats, TenantHandle, TenantRun,

@@ -15,7 +15,9 @@ use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::InstanceType;
 use disar_math::parallel::parallel_map_mut;
-use disar_ml::{default_family, Dataset, IncrementalRegressor, Regressor};
+use disar_ml::{
+    default_family, Dataset, FeatureMatrix, IncrementalRegressor, PredictScratch, Regressor,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -43,6 +45,25 @@ pub enum RetrainMode {
     Warm,
 }
 
+/// Reusable buffers for [`TimePredictor::predict_grid`]: the feature
+/// matrix covering one instance's node run and the per-member prediction
+/// scratch. Grows on first use and is retained across selections, so a
+/// warm scratch allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    /// One feature row per queried node count.
+    pub features: FeatureMatrix,
+    /// The member kernels' reusable buffers.
+    pub predict: PredictScratch,
+}
+
+impl GridScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        GridScratch::default()
+    }
+}
+
 /// Anything Algorithm 1 can query for predicted execution times — the
 /// monolithic [`PredictorFamily`] or the per-instance-type
 /// [`ShardedPredictor`]. `Sync` so selection sweeps can share one predictor
@@ -58,7 +79,7 @@ pub trait TimePredictor: Sync {
         profile: &JobProfile,
         instance: &InstanceType,
         n_nodes: usize,
-    ) -> Result<Vec<(String, f64)>, CoreError>;
+    ) -> Result<Vec<(&'static str, f64)>, CoreError>;
 
     /// The ensemble-averaged predicted time (Algorithm 1's `time`),
     /// floored at zero since times are non-negative.
@@ -75,6 +96,46 @@ pub trait TimePredictor: Sync {
         let each = self.predict_each(profile, instance, n_nodes)?;
         let mean = each.iter().map(|(_, t)| t).sum::<f64>() / each.len() as f64;
         Ok(mean.max(0.0))
+    }
+
+    /// Every member's predicted time over one instance type and a run of
+    /// node counts — the batched kernel behind the Algorithm 1 grid sweep.
+    ///
+    /// Fills `out` member-major (`out[m * nodes.len() + i]` is member `m`'s
+    /// prediction for `nodes[i]`) and returns the member count (an empty
+    /// `nodes` run clears `out` and returns 0). Each value
+    /// is bit-identical to the corresponding [`TimePredictor::predict_each`]
+    /// entry; the default implementation literally loops `predict_each`,
+    /// while [`PredictorFamily`] overrides it with one
+    /// `Regressor::predict_batch` pass per member over a feature matrix
+    /// built once.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TimePredictor::predict_each`].
+    fn predict_grid(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        nodes: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut GridScratch,
+    ) -> Result<usize, CoreError> {
+        let _ = scratch;
+        out.clear();
+        let mut members = 0;
+        for (i, &n) in nodes.iter().enumerate() {
+            let each = self.predict_each(profile, instance, n)?;
+            if i == 0 {
+                members = each.len();
+                out.resize(members * nodes.len(), 0.0);
+            }
+            debug_assert_eq!(each.len(), members, "member count must be stable");
+            for (m, (_, t)) in each.iter().enumerate() {
+                out[m * nodes.len() + i] = *t;
+            }
+        }
+        Ok(members)
     }
 }
 
@@ -224,6 +285,9 @@ impl PredictorFamily {
     }
 
     /// Per-model predicted times `p_x(m, n, f)`, paired with model names.
+    /// Names are `&'static str` (the members' compile-time names), so the
+    /// per-cell cost is one `Vec` — Table I callers that want owned names
+    /// convert at the reporting edge.
     ///
     /// # Errors
     ///
@@ -233,12 +297,52 @@ impl PredictorFamily {
         profile: &JobProfile,
         instance: &InstanceType,
         n_nodes: usize,
-    ) -> Result<Vec<(String, f64)>, CoreError> {
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
         let x = RunRecord::features_for(profile, instance, n_nodes);
         self.models
             .iter()
-            .map(|m| Ok((m.name().to_string(), m.predict(&x)?)))
+            .map(|m| Ok((m.name(), m.predict(&x)?)))
             .collect()
+    }
+
+    /// Batched per-member predictions over one instance's node run — see
+    /// [`TimePredictor::predict_grid`] for the layout contract. Builds the
+    /// feature matrix once (one row per node count, assembled in place) and
+    /// runs each member's `predict_batch` over it, so the whole run costs
+    /// one member pass instead of `nodes.len()` scalar passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if the family is untrained.
+    pub fn predict_grid(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        nodes: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut GridScratch,
+    ) -> Result<usize, CoreError> {
+        let n = nodes.len();
+        if n == 0 {
+            out.clear();
+            return Ok(0);
+        }
+        scratch.features.clear();
+        for &n_nodes in nodes {
+            scratch
+                .features
+                .push_row_with(|buf| RunRecord::features_into(profile, instance, n_nodes, buf));
+        }
+        out.clear();
+        out.resize(self.models.len() * n, 0.0);
+        for (m, model) in self.models.iter().enumerate() {
+            model.predict_batch(
+                &scratch.features,
+                &mut out[m * n..(m + 1) * n],
+                &mut scratch.predict,
+            )?;
+        }
+        Ok(self.models.len())
     }
 
     /// The ensemble-averaged predicted time (Algorithm 1's `time`),
@@ -265,7 +369,7 @@ impl TimePredictor for PredictorFamily {
         profile: &JobProfile,
         instance: &InstanceType,
         n_nodes: usize,
-    ) -> Result<Vec<(String, f64)>, CoreError> {
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
         PredictorFamily::predict_each(self, profile, instance, n_nodes)
     }
 
@@ -276,6 +380,17 @@ impl TimePredictor for PredictorFamily {
         n_nodes: usize,
     ) -> Result<f64, CoreError> {
         PredictorFamily::predict_mean(self, profile, instance, n_nodes)
+    }
+
+    fn predict_grid(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        nodes: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut GridScratch,
+    ) -> Result<usize, CoreError> {
+        PredictorFamily::predict_grid(self, profile, instance, nodes, out, scratch)
     }
 }
 
@@ -378,9 +493,23 @@ impl TimePredictor for ShardedPredictor {
         profile: &JobProfile,
         instance: &InstanceType,
         n_nodes: usize,
-    ) -> Result<Vec<(String, f64)>, CoreError> {
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
         match self.families.get(&instance.name) {
             Some(f) if f.is_trained() => f.predict_each(profile, instance, n_nodes),
+            _ => Err(disar_ml::MlError::NotFitted.into()),
+        }
+    }
+
+    fn predict_grid(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        nodes: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut GridScratch,
+    ) -> Result<usize, CoreError> {
+        match self.families.get(&instance.name) {
+            Some(f) if f.is_trained() => f.predict_grid(profile, instance, nodes, out, scratch),
             _ => Err(disar_ml::MlError::NotFitted.into()),
         }
     }
@@ -460,7 +589,7 @@ mod tests {
         let inst = cat.get("m4.4xlarge").unwrap();
         let each = fam.predict_each(&profile(100), inst, 2).unwrap();
         assert_eq!(each.len(), 6);
-        let names: Vec<&str> = each.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = each.iter().map(|(n, _)| *n).collect();
         for expect in ["MLP", "RT", "RF", "IBk", "KStar", "DT"] {
             assert!(names.contains(&expect), "{expect} missing");
         }
@@ -642,6 +771,80 @@ mod tests {
                 let b = mono.predict_each(&profile(123), inst, n).unwrap();
                 assert_eq!(a, b, "shard {name} diverges from per-instance family");
             }
+        }
+    }
+
+    #[test]
+    fn predict_grid_matches_predict_each_bitwise() {
+        let mut fam = PredictorFamily::new(3, 2);
+        fam.retrain(&filled_kb(120), RetrainMode::Incremental, 1).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let nodes: Vec<usize> = (1..=6).collect();
+        let mut out = Vec::new();
+        let mut scratch = GridScratch::new();
+        for name in cat.names() {
+            let inst = cat.get(&name).unwrap();
+            let members = fam
+                .predict_grid(&profile(150), inst, &nodes, &mut out, &mut scratch)
+                .unwrap();
+            assert_eq!(members, 6);
+            assert_eq!(out.len(), members * nodes.len());
+            for (i, &n) in nodes.iter().enumerate() {
+                let each = fam.predict_each(&profile(150), inst, n).unwrap();
+                for (m, (_, t)) in each.iter().enumerate() {
+                    assert_eq!(
+                        out[m * nodes.len() + i].to_bits(),
+                        t.to_bits(),
+                        "{name} n={n} member {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A predictor that only implements `predict_each` — exercises the
+    /// trait's default looping `predict_grid`.
+    struct EachOnly(PredictorFamily);
+    impl TimePredictor for EachOnly {
+        fn predict_each(
+            &self,
+            profile: &JobProfile,
+            instance: &InstanceType,
+            n_nodes: usize,
+        ) -> Result<Vec<(&'static str, f64)>, CoreError> {
+            self.0.predict_each(profile, instance, n_nodes)
+        }
+    }
+
+    #[test]
+    fn default_predict_grid_matches_family_override() {
+        let mut fam = PredictorFamily::new(3, 2);
+        fam.retrain(&filled_kb(120), RetrainMode::Incremental, 1).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("c3.4xlarge").unwrap();
+        let nodes: Vec<usize> = (1..=5).collect();
+        let wrapped = EachOnly(fam.clone());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut scratch = GridScratch::new();
+        let ma = fam
+            .predict_grid(&profile(150), inst, &nodes, &mut a, &mut scratch)
+            .unwrap();
+        let mb = wrapped
+            .predict_grid(&profile(150), inst, &nodes, &mut b, &mut scratch)
+            .unwrap();
+        assert_eq!(ma, mb);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Empty node runs are a no-op for both paths.
+        for p in [&fam as &dyn TimePredictor, &wrapped] {
+            assert_eq!(
+                p.predict_grid(&profile(150), inst, &[], &mut a, &mut scratch)
+                    .unwrap(),
+                0
+            );
+            assert!(a.is_empty());
         }
     }
 

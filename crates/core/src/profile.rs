@@ -25,10 +25,17 @@ pub struct JobProfile {
 impl JobProfile {
     /// Flattens the profile into the job half of the ML feature vector.
     pub fn to_features(&self) -> Vec<f64> {
-        let mut f = self.characteristics.to_features();
-        f.push(self.n_outer as f64);
-        f.push(self.n_inner as f64);
+        let mut f = Vec::new();
+        self.features_into(&mut f);
         f
+    }
+
+    /// Appends the features of [`JobProfile::to_features`] onto `out` —
+    /// the allocation-free variant for batched featurization.
+    pub fn features_into(&self, out: &mut Vec<f64>) {
+        self.characteristics.features_into(out);
+        out.push(self.n_outer as f64);
+        out.push(self.n_inner as f64);
     }
 
     /// Names matching [`JobProfile::to_features`].

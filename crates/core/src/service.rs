@@ -49,7 +49,7 @@ use crate::deploy::{
 use crate::knowledge::KnowledgeBase;
 use crate::knowledge::RunRecord;
 use crate::pipeline::{DeployPipeline, PipelineJob, PipelineStats};
-use crate::predictor::{PredictorFamily, RetrainMode, TimePredictor};
+use crate::predictor::{GridScratch, PredictorFamily, RetrainMode, TimePredictor};
 use crate::profile::JobProfile;
 use crate::tenant::{TenantId, TenantShardedKnowledgeBase, TransferPolicy};
 use crate::CoreError;
@@ -315,9 +315,23 @@ impl TimePredictor for SnapshotTenantView<'_> {
         profile: &JobProfile,
         instance: &InstanceType,
         n_nodes: usize,
-    ) -> Result<Vec<(String, f64)>, CoreError> {
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
         match self.snapshot.family(&instance.name, self.tenant) {
             Some(f) if f.is_trained() => f.predict_each(profile, instance, n_nodes),
+            _ => Err(disar_ml::MlError::NotFitted.into()),
+        }
+    }
+
+    fn predict_grid(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        nodes: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut GridScratch,
+    ) -> Result<usize, CoreError> {
+        match self.snapshot.family(&instance.name, self.tenant) {
+            Some(f) if f.is_trained() => f.predict_grid(profile, instance, nodes, out, scratch),
             _ => Err(disar_ml::MlError::NotFitted.into()),
         }
     }

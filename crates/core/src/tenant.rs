@@ -30,7 +30,7 @@ use crate::deploy::{
     DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, DeployerCore, PendingSim,
 };
 use crate::knowledge::{check_schema, KnowledgeBase, KnowledgeStore, RunRecord, SchemaVersion};
-use crate::predictor::{PredictorFamily, RetrainMode, TimePredictor};
+use crate::predictor::{GridScratch, PredictorFamily, RetrainMode, TimePredictor};
 use crate::profile::JobProfile;
 use crate::CoreError;
 use disar_cloudsim::{CloudProvider, InstanceType, JobReport, Workload};
@@ -572,10 +572,25 @@ impl TimePredictor for TenantView<'_> {
         profile: &JobProfile,
         instance: &InstanceType,
         n_nodes: usize,
-    ) -> Result<Vec<(String, f64)>, CoreError> {
+    ) -> Result<Vec<(&'static str, f64)>, CoreError> {
         let local_len = self.local_lens.get(&instance.name).copied().unwrap_or(0);
         match self.predictor.route(&instance.name, self.tenant, local_len) {
             Some(f) if f.is_trained() => f.predict_each(profile, instance, n_nodes),
+            _ => Err(disar_ml::MlError::NotFitted.into()),
+        }
+    }
+
+    fn predict_grid(
+        &self,
+        profile: &JobProfile,
+        instance: &InstanceType,
+        nodes: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut GridScratch,
+    ) -> Result<usize, CoreError> {
+        let local_len = self.local_lens.get(&instance.name).copied().unwrap_or(0);
+        match self.predictor.route(&instance.name, self.tenant, local_len) {
+            Some(f) if f.is_trained() => f.predict_grid(profile, instance, nodes, out, scratch),
             _ => Err(disar_ml::MlError::NotFitted.into()),
         }
     }

@@ -164,7 +164,7 @@ proptest! {
 
         let cat = InstanceCatalog::paper_catalog();
         let names = cat.names();
-        let probe = |d: &TenantShardedDeployer| -> Vec<Vec<(String, f64)>> {
+        let probe = |d: &TenantShardedDeployer| -> Vec<Vec<(&'static str, f64)>> {
             let view = d
                 .predictor()
                 .view(&a, d.knowledge_base().local_lens(&a));

@@ -46,12 +46,18 @@ pub struct EebCharacteristics {
 impl EebCharacteristics {
     /// Flattens into the ML feature order used across the workspace.
     pub fn to_features(&self) -> Vec<f64> {
-        vec![
-            self.representative_contracts as f64,
-            self.max_horizon as f64,
-            self.fund_assets as f64,
-            self.risk_factors as f64,
-        ]
+        let mut f = Vec::with_capacity(4);
+        self.features_into(&mut f);
+        f
+    }
+
+    /// Appends the features of [`EebCharacteristics::to_features`] onto
+    /// `out` — the allocation-free variant for batched featurization.
+    pub fn features_into(&self, out: &mut Vec<f64>) {
+        out.push(self.representative_contracts as f64);
+        out.push(self.max_horizon as f64);
+        out.push(self.fund_assets as f64);
+        out.push(self.risk_factors as f64);
     }
 
     /// The feature names matching [`EebCharacteristics::to_features`].

@@ -1,0 +1,201 @@
+//! Batched inference primitives: the row-major [`FeatureMatrix`] and the
+//! reusable [`PredictScratch`].
+//!
+//! The Algorithm 1 grid sweep evaluates the whole `(instance × n_nodes)`
+//! grid through every ensemble member per selection. Scalar
+//! [`crate::Regressor::predict`] pays per-call heap allocations (the
+//! standardized query, the kd-tree candidate list, K*'s distance vector,
+//! the decision-table key); [`crate::Regressor::predict_batch`] amortizes
+//! them by carrying one [`PredictScratch`] across the whole batch while
+//! executing the **exact same per-query arithmetic** — same fold orders,
+//! same tie-breaks — so batched predictions are bit-identical to the
+//! scalar path (property-tested in `batch_proptests`).
+
+use crate::MlError;
+
+/// A dense row-major batch of feature vectors.
+///
+/// The first pushed row fixes the dimension; every later row must match.
+/// Clearing keeps the backing capacity, so a matrix reused across
+/// selections stops allocating once warm.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureMatrix {
+    dim: usize,
+    rows: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix; the first pushed row fixes the dimension.
+    pub fn new() -> Self {
+        FeatureMatrix::default()
+    }
+
+    /// An empty matrix with capacity for `rows × dim` values.
+    pub fn with_capacity(rows: usize, dim: usize) -> Self {
+        FeatureMatrix {
+            dim: 0,
+            rows: 0,
+            data: Vec::with_capacity(rows * dim),
+        }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The feature dimension (0 until the first row is pushed).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Drops all rows, keeping the backing capacity.
+    pub fn clear(&mut self) {
+        self.dim = 0;
+        self.rows = 0;
+        self.data.clear();
+    }
+
+    /// Appends one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is empty or its length differs from the matrix
+    /// dimension fixed by the first row.
+    pub fn push_row(&mut self, row: &[f64]) {
+        self.push_row_with(|buf| buf.extend_from_slice(row));
+    }
+
+    /// Appends one row by letting `fill` push its values directly onto the
+    /// backing buffer — the allocation-free variant of
+    /// [`FeatureMatrix::push_row`] for callers that assemble features in
+    /// place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` pushes no values or a number of values that
+    /// differs from the matrix dimension fixed by the first row.
+    pub fn push_row_with(&mut self, fill: impl FnOnce(&mut Vec<f64>)) {
+        let start = self.data.len();
+        fill(&mut self.data);
+        let pushed = self.data.len() - start;
+        assert!(pushed > 0, "a feature row cannot be empty");
+        if self.rows == 0 {
+            self.dim = pushed;
+        } else {
+            assert_eq!(
+                pushed, self.dim,
+                "feature row length must match the matrix dimension"
+            );
+        }
+        self.rows += 1;
+    }
+
+    /// The `i`-th feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The backing row-major storage (`len × dim` values).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Reusable per-query buffers for [`crate::Regressor::predict_batch`].
+///
+/// One scratch serves every member kind: each kernel uses only the fields
+/// it needs and leaves the rest untouched. All buffers grow on first use
+/// and are retained across batches, so a warm scratch allocates nothing in
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    /// Standardized query vector (IBk, K*).
+    pub(crate) q: Vec<f64>,
+    /// kd-tree k-best candidate list (IBk, K*'s underflow fallback).
+    pub(crate) best: Vec<(f64, usize)>,
+    /// Per-row L1 distances (K*).
+    pub(crate) dists: Vec<f64>,
+    /// Discretized lookup key (decision table).
+    pub(crate) key: Vec<u32>,
+    /// Standardized row block (MLP's blocked forward pass).
+    pub(crate) block: Vec<f64>,
+    /// Per-member batch output (ensemble accumulation).
+    pub(crate) ensemble_tmp: Vec<f64>,
+}
+
+impl PredictScratch {
+    /// An empty scratch; buffers are sized lazily by the kernels.
+    pub fn new() -> Self {
+        PredictScratch::default()
+    }
+}
+
+/// Shared output-shape check: `out` must carry one slot per batch row.
+pub(crate) fn check_out_len(rows: usize, out: &[f64]) -> Result<(), MlError> {
+    if out.len() != rows {
+        return Err(MlError::BatchShapeMismatch {
+            rows,
+            out: out.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_row_fixes_dimension() {
+        let mut m = FeatureMatrix::new();
+        assert!(m.is_empty());
+        assert_eq!(m.dim(), 0);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row_with(|buf| buf.extend([4.0, 5.0, 6.0]));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.data().len(), 6);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_dimension() {
+        let mut m = FeatureMatrix::with_capacity(4, 2);
+        m.push_row(&[1.0, 2.0]);
+        let cap = m.data.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.data.capacity(), cap);
+        // A cleared matrix accepts a different dimension.
+        m.push_row(&[9.0]);
+        assert_eq!(m.dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature row length must match")]
+    fn mismatched_row_panics() {
+        let mut m = FeatureMatrix::new();
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn out_length_is_checked() {
+        assert!(check_out_len(2, &[0.0, 0.0]).is_ok());
+        assert!(matches!(
+            check_out_len(2, &[0.0]),
+            Err(MlError::BatchShapeMismatch { rows: 2, out: 1 })
+        ));
+    }
+}

@@ -313,6 +313,36 @@ impl Scaler {
             .collect()
     }
 
+    /// [`Scaler::transform`] into a reused buffer (cleared first) — the
+    /// allocation-free variant for batched prediction. Values are computed
+    /// with the exact same expressions in the same column order, so the
+    /// result is bit-identical to [`Scaler::transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimension.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        self.transform_extend(x, out);
+    }
+
+    /// [`Scaler::transform`] appended onto `out` without clearing —
+    /// lets callers pack several standardized rows into one block buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimension.
+    pub fn transform_extend(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.mins.len(), "scaler dimension mismatch");
+        out.extend(x.iter().enumerate().map(|(j, &v)| {
+            if self.ranges[j] == 0.0 {
+                0.0
+            } else {
+                (v - self.mins[j]) / self.ranges[j]
+            }
+        }));
+    }
+
     /// Number of columns the scaler was fitted on.
     pub fn dim(&self) -> usize {
         self.mins.len()

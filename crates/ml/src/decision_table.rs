@@ -8,6 +8,7 @@
 //! search maximizing leave-one-out cross-validation accuracy (here: minimal
 //! LOO RMSE), as in Kohavi's DTM with Weka's default search.
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::Dataset;
 use crate::regressor::Regressor;
 use crate::MlError;
@@ -264,7 +265,43 @@ impl Regressor for DecisionTable {
         Ok(*f.cells.get(&key).unwrap_or(&f.global_mean))
     }
 
-    fn name(&self) -> &str {
+    /// Batched lookup reusing one discretized-key buffer across the batch.
+    /// The key is built with the same discretization in the same selected-
+    /// attribute order, so every output is bit-identical to
+    /// [`Regressor::predict`]. (`HashMap<Vec<u32>, _>` can be probed with a
+    /// `&[u32]` key because `Vec<u32>: Borrow<[u32]>`.)
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if xs.dim() != f.dim {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.dim,
+                got: xs.dim(),
+            });
+        }
+        let key = &mut scratch.key;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let x = xs.row(i);
+            key.clear();
+            key.extend(
+                f.selected
+                    .iter()
+                    .map(|&j| Self::discretize(x[j], f.mins[j], f.widths[j], f.bins)),
+            );
+            *slot = *f.cells.get(key.as_slice()).unwrap_or(&f.global_mean);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "DT"
     }
 

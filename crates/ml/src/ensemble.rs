@@ -5,6 +5,7 @@
 //! various models p_x, we compute a final value time … as the average of all
 //! the times predicted by the models."
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::Dataset;
 use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::MlError;
@@ -93,7 +94,46 @@ impl Regressor for Ensemble {
         Ok(sum / self.members.len() as f64)
     }
 
-    fn name(&self) -> &str {
+    /// Batched mean delegating to each member's batched kernel. Member
+    /// predictions for a row accumulate in member order starting from 0.0 —
+    /// the same left-to-right sum as the scalar loop — so every output is
+    /// bit-identical to [`Regressor::predict`]. The member staging buffer is
+    /// taken out of the scratch for the duration of the call so the members
+    /// can use the rest of it.
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let mut tmp = std::mem::take(&mut scratch.ensemble_tmp);
+        tmp.clear();
+        tmp.resize(out.len(), 0.0);
+        out.fill(0.0);
+        let mut result = Ok(());
+        for m in &self.members {
+            if let Err(e) = m.predict_batch(xs, &mut tmp, scratch) {
+                result = Err(e);
+                break;
+            }
+            for (slot, &v) in out.iter_mut().zip(tmp.iter()) {
+                *slot += v;
+            }
+        }
+        scratch.ensemble_tmp = tmp;
+        result?;
+        let n = self.members.len() as f64;
+        for slot in out.iter_mut() {
+            *slot /= n;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "Ensemble"
     }
 
@@ -158,7 +198,7 @@ mod tests {
                 Err(MlError::NotFitted)
             }
         }
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "Const"
         }
     }

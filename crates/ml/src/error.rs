@@ -21,6 +21,14 @@ pub enum MlError {
     Numerical(String),
     /// A feature value was NaN or infinite.
     NonFiniteInput,
+    /// `predict_batch` was handed an output slice whose length differs
+    /// from the batch row count.
+    BatchShapeMismatch {
+        /// Rows in the feature batch.
+        rows: usize,
+        /// Slots in the output slice.
+        out: usize,
+    },
     /// `partial_fit` was called with an offset that does not continue the
     /// model's fitted prefix (the caller must append, never rewrite).
     IncrementalMismatch {
@@ -44,6 +52,9 @@ impl fmt::Display for MlError {
             }
             MlError::Numerical(what) => write!(f, "numerical failure: {what}"),
             MlError::NonFiniteInput => write!(f, "feature values must be finite"),
+            MlError::BatchShapeMismatch { rows, out } => {
+                write!(f, "batch shape mismatch: {rows} rows but {out} output slots")
+            }
             MlError::IncrementalMismatch { fitted, from } => {
                 write!(
                     f,

@@ -4,6 +4,7 @@
 //! resample of the data and the forest predicts the mean of the trees.
 //! Weka defaults: 100 trees, `⌊log₂ d⌋ + 1` features per split.
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::Dataset;
 use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::tree::RandomTree;
@@ -139,7 +140,39 @@ impl Regressor for RandomForest {
         Ok(sum / self.trees.len() as f64)
     }
 
-    fn name(&self) -> &str {
+    /// Tree-major batched traversal: each tree streams over the whole batch
+    /// before the next, keeping its nodes hot in cache. Per row the tree
+    /// contributions still land in tree order starting from 0.0 — the same
+    /// left-to-right sum as the scalar loop — so every output is
+    /// bit-identical to [`Regressor::predict`].
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        let _ = scratch;
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        out.fill(0.0);
+        for t in &self.trees {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot += t.predict(xs.row(i))?;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for slot in out.iter_mut() {
+            *slot /= n;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "RF"
     }
 

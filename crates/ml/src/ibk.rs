@@ -10,6 +10,7 @@
 //! bit-identical to the from-scratch fit + early-abandon linear scan, which
 //! is kept as [`IbK::predict_linear`] for the equivalence tests and benches.
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::Dataset;
 use crate::instances::InstanceStore;
 use crate::neighbours::Metric;
@@ -174,7 +175,38 @@ impl Regressor for IbK {
         Ok(self.weighted_mean(f, &best))
     }
 
-    fn name(&self) -> &str {
+    /// Batched kd-tree queries reusing one standardized-query buffer and one
+    /// neighbour heap across the whole batch. Each row runs the exact scalar
+    /// search (same standardization, same tree descent, same tie-breaks), so
+    /// every output is bit-identical to [`Regressor::predict`].
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if xs.dim() != f.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.scaler.dim(),
+                got: xs.dim(),
+            });
+        }
+        let k = self.k.min(f.rows.len());
+        for (i, slot) in out.iter_mut().enumerate() {
+            f.scaler.transform_into(xs.row(i), &mut scratch.q);
+            f.index
+                .nearest_into(&f.rows, &scratch.q, k, &mut scratch.best);
+            *slot = self.weighted_mean(f, &scratch.best);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "IBk"
     }
 

@@ -29,6 +29,7 @@
 //! O(n) distance pass; the Manhattan neighbour index only serves the
 //! all-weights-underflowed nearest-neighbour fallback.
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::Dataset;
 use crate::instances::InstanceStore;
 use crate::neighbours::Metric;
@@ -80,6 +81,60 @@ impl KStar {
             .iter()
             .map(|r| r.iter().zip(q).map(|(a, b)| (a - b).abs()).sum())
             .collect()
+    }
+
+    /// The per-query kernel on precomputed distances: scale search,
+    /// weighted sum, and the underflow fallback (which writes the 1-NN
+    /// query into `best`). Statement-for-statement the same arithmetic as
+    /// the body of [`Regressor::predict`], which stays as the frozen scalar
+    /// reference the bit-identity proptests compare against.
+    fn kernel_predict(
+        f: &InstanceStore,
+        blend: f64,
+        q: &[f64],
+        dists: &[f64],
+        best: &mut Vec<(f64, usize)>,
+    ) -> f64 {
+        let n = f.rows.len();
+        let target = 1.0 + (blend / 100.0) * (n as f64 - 1.0);
+        let dmin = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dmax = dists.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let x0 = if dmax - dmin < 1e-12 {
+            1.0
+        } else {
+            let mut lo = 1e-6_f64;
+            let mut hi = (dmax - dmin).max(1.0) * 100.0;
+            while Self::n_eff(dists, lo) > target && lo > 1e-12 {
+                lo /= 10.0;
+            }
+            while Self::n_eff(dists, hi) < target && hi < 1e12 {
+                hi *= 10.0;
+            }
+            for _ in 0..80 {
+                let mid = (lo.ln() + hi.ln()) / 2.0;
+                let mid = mid.exp();
+                if Self::n_eff(dists, mid) < target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            (lo * hi).sqrt()
+        };
+
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (d, y) in dists.iter().zip(&f.targets) {
+            let p = (-d / x0).exp();
+            num += p * y;
+            den += p;
+        }
+        if den == 0.0 {
+            f.index.nearest_into(&f.rows, q, 1, best);
+            let (_, i) = best[0];
+            return f.targets[i];
+        }
+        num / den
     }
 
     /// Effective neighbour count for kernel weights `exp(-d/x0)`.
@@ -170,7 +225,47 @@ impl Regressor for KStar {
         Ok(num / den)
     }
 
-    fn name(&self) -> &str {
+    /// Batched K* hoisting the per-query buffers (standardized query, L1
+    /// distances, fallback neighbour list) out of the loop. Per row it runs
+    /// [`KStar::kernel_predict`] on distances computed with the same
+    /// expression in the same row order as the scalar path, so every output
+    /// is bit-identical to [`Regressor::predict`].
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if xs.dim() != f.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.scaler.dim(),
+                got: xs.dim(),
+            });
+        }
+        let PredictScratch { q, dists, best, .. } = scratch;
+        for (i, slot) in out.iter_mut().enumerate() {
+            f.scaler.transform_into(xs.row(i), q);
+            if f.rows.len() == 1 {
+                *slot = f.targets[0];
+                continue;
+            }
+            dists.clear();
+            dists.extend(
+                f.rows
+                    .iter()
+                    .map(|r| r.iter().zip(q.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()),
+            );
+            *slot = Self::kernel_predict(f, self.blend, q, dists, best);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "KStar"
     }
 

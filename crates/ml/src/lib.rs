@@ -35,6 +35,7 @@
 //! assert!((y - 20.0).abs() < 2.5);
 //! ```
 
+pub mod batch;
 pub mod dataset;
 pub mod decision_table;
 pub mod ensemble;
@@ -51,6 +52,7 @@ pub mod validation;
 mod error;
 mod instances;
 
+pub use batch::{FeatureMatrix, PredictScratch};
 pub use dataset::{Dataset, Scaler};
 pub use decision_table::DecisionTable;
 pub use ensemble::Ensemble;

@@ -105,7 +105,7 @@ mod tests {
             fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
                 Ok(x[0] + 10.0)
             }
-            fn name(&self) -> &str {
+            fn name(&self) -> &'static str {
                 "Plus10"
             }
         }

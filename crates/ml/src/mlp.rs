@@ -7,6 +7,7 @@
 //! inputs. Targets are standardized internally and predictions un-scaled on
 //! the way out.
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::{Dataset, Scaler};
 use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::MlError;
@@ -249,7 +250,63 @@ impl Regressor for Mlp {
         Ok(out * f.target_std + f.target_mean)
     }
 
-    fn name(&self) -> &str {
+    /// Blocked forward pass: rows are standardized 64 at a time into one
+    /// reused buffer and each hidden unit's weight row streams over the
+    /// whole block before the next (weight rows stay hot in cache). The
+    /// additions into each output land in the same hidden-unit order, and
+    /// every activation is the same `w[d] + Σⱼ w[j]·xn[j]` left-to-right
+    /// sum, so each output is bit-identical to [`Regressor::predict`].
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if xs.dim() != f.scaler.dim() {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: f.scaler.dim(),
+                got: xs.dim(),
+            });
+        }
+        const BLOCK: usize = 64;
+        let d = xs.dim();
+        let h = f.w1.len();
+        let block = &mut scratch.block;
+        let mut start = 0;
+        while start < xs.len() {
+            let end = (start + BLOCK).min(xs.len());
+            block.clear();
+            for i in start..end {
+                f.scaler.transform_extend(xs.row(i), block);
+            }
+            let out_b = &mut out[start..end];
+            for slot in out_b.iter_mut() {
+                *slot = f.w2[h];
+            }
+            for (hu, w) in f.w1.iter().enumerate() {
+                for (r, slot) in out_b.iter_mut().enumerate() {
+                    let xn = &block[r * d..(r + 1) * d];
+                    let mut a = w[d];
+                    for j in 0..d {
+                        a += w[j] * xn[j];
+                    }
+                    *slot += f.w2[hu] * sigmoid(a);
+                }
+            }
+            for slot in out_b.iter_mut() {
+                *slot = *slot * f.target_std + f.target_mean;
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "MLP"
     }
 

@@ -214,14 +214,29 @@ impl NeighbourIndex {
     /// sorted ascending — bit-identical (same rows, same distance values,
     /// same order) to the early-abandon linear scan over all points.
     pub fn nearest(&self, points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(f64, usize)> {
-        let mut best = Best::new(k);
-        if k > 0 && !self.is_empty() {
-            self.search(self.root, points, q, &mut best);
-        }
-        best.items
+        let mut items = Vec::with_capacity(k + 1);
+        self.nearest_into(points, q, k, &mut items);
+        items
     }
 
-    fn search(&self, node: usize, points: &[Vec<f64>], q: &[f64], best: &mut Best) {
+    /// [`NeighbourIndex::nearest`] into a reused buffer (cleared first) —
+    /// the allocation-free variant for batched prediction. The search is
+    /// the same code, so the result is bit-identical.
+    pub fn nearest_into(
+        &self,
+        points: &[Vec<f64>],
+        q: &[f64],
+        k: usize,
+        out: &mut Vec<(f64, usize)>,
+    ) {
+        out.clear();
+        if k > 0 && !self.is_empty() {
+            let mut best = Best { k, items: out };
+            self.search(self.root, points, q, &mut best);
+        }
+    }
+
+    fn search(&self, node: usize, points: &[Vec<f64>], q: &[f64], best: &mut Best<'_>) {
         match &self.nodes[node] {
             Node::Leaf { points: leaf } => {
                 for &i in leaf {
@@ -261,20 +276,14 @@ impl NeighbourIndex {
 }
 
 /// The running k-best list: the k lexicographically smallest
-/// `(distance, row)` pairs seen so far, sorted ascending.
-struct Best {
+/// `(distance, row)` pairs seen so far, sorted ascending, written into a
+/// caller-owned buffer so batched queries reuse one allocation.
+struct Best<'a> {
     k: usize,
-    items: Vec<(f64, usize)>,
+    items: &'a mut Vec<(f64, usize)>,
 }
 
-impl Best {
-    fn new(k: usize) -> Self {
-        Best {
-            k,
-            items: Vec::with_capacity(k + 1),
-        }
-    }
-
+impl Best<'_> {
     /// Early-abandon / pruning threshold: the k-th best distance once the
     /// list is full, +∞ before.
     #[inline]
@@ -405,6 +414,20 @@ mod tests {
         let points = vec![vec![0.0]];
         let index = NeighbourIndex::build(Metric::Manhattan, &points);
         assert!(index.nearest(&points, &[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn nearest_into_reuses_buffer_and_matches_nearest() {
+        let points = random_points(80, 3, 5, true);
+        let index = NeighbourIndex::build(Metric::SquaredEuclidean, &points);
+        let queries = random_points(12, 3, 13, false);
+        let mut buf = Vec::new();
+        for q in &queries {
+            for k in [1, 4, 80] {
+                index.nearest_into(&points, q, k, &mut buf);
+                assert_eq!(buf, index.nearest(&points, q, k), "k {k}");
+            }
+        }
     }
 
     #[test]

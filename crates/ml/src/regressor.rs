@@ -1,5 +1,6 @@
 //! The [`Regressor`] trait and the paper's six-model family.
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::{Dataset, DecisionTable, IbK, KStar, MlError, Mlp, RandomForest, RandomTree};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -25,8 +26,41 @@ pub trait Regressor: Send + Sync {
     /// [`MlError::FeatureDimensionMismatch`] for a wrong-length input.
     fn predict(&self, x: &[f64]) -> Result<f64, MlError>;
 
+    /// Predicts the targets for a whole batch of feature vectors, writing
+    /// one prediction per row into `out`.
+    ///
+    /// The default implementation loops the scalar
+    /// [`Regressor::predict`], so custom regressors keep working
+    /// unchanged. The built-in members override it with batched kernels
+    /// that reuse `scratch` across queries while executing the exact same
+    /// per-query arithmetic — their batched predictions are **bit
+    /// identical** to the scalar path (see `batch_proptests`). An empty
+    /// batch succeeds without touching the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BatchShapeMismatch`] when `out.len()` differs
+    /// from `xs.len()`; otherwise the same contract as
+    /// [`Regressor::predict`].
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        let _ = scratch;
+        check_out_len(xs.len(), out)?;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.predict(xs.row(i))?;
+        }
+        Ok(())
+    }
+
     /// Short human-readable name (used in experiment tables, e.g. `"IBk"`).
-    fn name(&self) -> &str;
+    ///
+    /// The `'static` bound keeps hot paths allocation-free: callers can
+    /// pair predictions with names without cloning per call.
+    fn name(&self) -> &'static str;
 
     /// Downcast hook to the model's incremental-learning capability.
     ///

@@ -6,6 +6,7 @@
 //! pruning until nodes are pure or smaller than `min_leaf`. It is both one of
 //! the paper's six models and the base learner of [`crate::RandomForest`].
 
+use crate::batch::{check_out_len, FeatureMatrix, PredictScratch};
 use crate::dataset::Dataset;
 use crate::regressor::{IncrementalRegressor, Regressor};
 use crate::MlError;
@@ -307,7 +308,34 @@ impl Regressor for RandomTree {
         Ok(root.predict(x))
     }
 
-    fn name(&self) -> &str {
+    /// Batched traversal hoisting the fitted-root and dimension checks out
+    /// of the per-row loop; each row then walks the exact scalar descent,
+    /// so every output is bit-identical to [`Regressor::predict`].
+    fn predict_batch(
+        &self,
+        xs: &FeatureMatrix,
+        out: &mut [f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        let _ = scratch;
+        check_out_len(xs.len(), out)?;
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let root = self.root.as_ref().ok_or(MlError::NotFitted)?;
+        if xs.dim() != self.dim {
+            return Err(MlError::FeatureDimensionMismatch {
+                expected: self.dim,
+                got: xs.dim(),
+            });
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = root.predict(xs.row(i));
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
         "RT"
     }
 
