@@ -7,8 +7,6 @@
 //! [`RegistryRow`] whose `input_hash` digests the campaign config, the
 //! quick flag, the job list, and (where consumed) the knowledge-base
 //! fingerprint — the contract `runbook` replays against (DESIGN.md §13).
-//! The old free functions remain for exactly one PR as `#[deprecated]`
-//! shims over each struct's `compute`.
 
 use crate::campaign::{build_knowledge_base, paper_eeb_jobs, CampaignConfig, EebJob};
 use disar_actuarial::contracts::{Contract, ProductKind, ProfitSharing};
@@ -20,12 +18,13 @@ use disar_alm::liability::LiabilityPosition;
 use disar_alm::lsmc::{Lsmc, LsmcConfig};
 use disar_alm::nested::{NestedConfig, NestedMonteCarlo};
 use disar_alm::SegregatedFund;
-use disar_cloudsim::{CloudProvider, InstanceCatalog};
+use disar_cloudsim::{CloudProvider, DriftModel, InstanceCatalog};
 use disar_core::deploy::{DeployPolicy, TransparentDeployer};
 use disar_core::tenant::{TenantId, TenantShardedDeployer, TransferPolicy};
 use disar_core::{
-    select_configuration, select_configuration_with_rule, select_hetero_configuration,
-    DeployMode, KnowledgeBase, PredictorFamily, RetrainMode, TimeEstimate,
+    regret_weights, select_configuration, select_configuration_with_rule,
+    select_hetero_configuration, CoreError, DeployMode, DetectorKind, DriftConfig, KnowledgeBase,
+    PredictorFamily, RetrainMode, TimeEstimate,
 };
 use disar_math::parallel::parallel_map;
 use disar_math::rng::stream_rng;
@@ -167,6 +166,7 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &FeatureAblationExperiment,
     &BillingAblationExperiment,
     &LsmcAblationExperiment,
+    &DriftAblationExperiment,
 ];
 
 /// Looks a driver up by its registry key.
@@ -301,17 +301,6 @@ impl Experiment for Table1Experiment {
     }
 }
 
-/// Deprecated free-function form of [`Table1Experiment::compute`].
-#[deprecated(note = "use Table1Experiment::compute or run it via the Experiment trait")]
-pub fn table1(
-    kb: &KnowledgeBase,
-    catalog: &InstanceCatalog,
-    seed: u64,
-    n_threads: usize,
-) -> Table1 {
-    Table1Experiment::compute(kb, catalog, seed, n_threads)
-}
-
 /// Driver for Table II (`table2`).
 pub struct Table2Experiment;
 
@@ -368,12 +357,6 @@ impl Experiment for Table2Experiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`Table2Experiment::compute`].
-#[deprecated(note = "use Table2Experiment::compute or run it via the Experiment trait")]
-pub fn table2(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
-    Table2Experiment::compute(jobs, provider, n_threads)
 }
 
 /// One point of Figure 2's scatter.
@@ -462,12 +445,6 @@ impl Experiment for Fig2Experiment {
     }
 }
 
-/// Deprecated free-function form of [`Fig2Experiment::compute`].
-#[deprecated(note = "use Fig2Experiment::compute or run it via the Experiment trait")]
-pub fn fig2(kb: &KnowledgeBase, seed: u64, n_threads: usize) -> Vec<Fig2Point> {
-    Fig2Experiment::compute(kb, seed, n_threads)
-}
-
 /// Figure 3: the pooled error histogram.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig3 {
@@ -527,12 +504,6 @@ impl Experiment for Fig3Experiment {
     }
 }
 
-/// Deprecated free-function form of [`Fig3Experiment::compute`].
-#[deprecated(note = "use Fig3Experiment::compute or run it via the Experiment trait")]
-pub fn fig3(points: &[Fig2Point]) -> Fig3 {
-    Fig3Experiment::compute(points)
-}
-
 /// Driver for Figure 4 (`fig4`).
 pub struct Fig4Experiment;
 
@@ -588,12 +559,6 @@ impl Experiment for Fig4Experiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`Fig4Experiment::compute`].
-#[deprecated(note = "use Fig4Experiment::compute or run it via the Experiment trait")]
-pub fn fig4(jobs: &[EebJob], provider: &CloudProvider, n_threads: usize) -> Vec<(String, f64)> {
-    Fig4Experiment::compute(jobs, provider, n_threads)
 }
 
 /// §IV closing comparison: the ML-selected configuration versus forcing
@@ -716,17 +681,6 @@ impl Experiment for ComparisonExperiment {
     }
 }
 
-/// Deprecated free-function form of [`ComparisonExperiment::compute`].
-#[deprecated(note = "use ComparisonExperiment::compute or run it via the Experiment trait")]
-pub fn comparison(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-) -> Comparison {
-    ComparisonExperiment::compute(kb, jobs, provider, seed)
-}
-
 /// Driver for the single-model-vs-ensemble ablation (`ablation_ensemble`).
 pub struct EnsembleAblationExperiment;
 
@@ -783,16 +737,6 @@ impl Experiment for EnsembleAblationExperiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`EnsembleAblationExperiment::compute`].
-#[deprecated(note = "use EnsembleAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_ensemble(
-    kb: &KnowledgeBase,
-    seed: u64,
-    n_threads: usize,
-) -> Vec<(String, f64, f64)> {
-    EnsembleAblationExperiment::compute(kb, seed, n_threads)
 }
 
 /// Ablation: effect of ε-greedy exploration on knowledge-base coverage and
@@ -892,17 +836,6 @@ impl Experiment for EpsilonAblationExperiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`EpsilonAblationExperiment::compute`].
-#[deprecated(note = "use EpsilonAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_epsilon(
-    cfg: &CampaignConfig,
-    jobs: &[EebJob],
-    epsilon: f64,
-    n_deploys: usize,
-) -> EpsilonAblation {
-    EpsilonAblationExperiment::compute(cfg, jobs, epsilon, n_deploys)
 }
 
 /// Ablation: heterogeneous (mixed-type) deploys vs homogeneous Algorithm 1
@@ -1064,18 +997,6 @@ impl Experiment for HeteroAblationExperiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`HeteroAblationExperiment::compute`].
-#[deprecated(note = "use HeteroAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_hetero(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-    n_threads: usize,
-) -> Vec<HeteroAblationRow> {
-    HeteroAblationExperiment::compute(kb, jobs, provider, seed, n_threads)
 }
 
 /// Ablation: ensemble-mean vs conservative (worst-member) deadline filter.
@@ -1245,21 +1166,6 @@ impl Experiment for DeadlineRuleAblationExperiment {
     }
 }
 
-/// Deprecated free-function form of
-/// [`DeadlineRuleAblationExperiment::compute`].
-#[deprecated(
-    note = "use DeadlineRuleAblationExperiment::compute or run it via the Experiment trait"
-)]
-pub fn ablation_deadline_rule(
-    kb: &KnowledgeBase,
-    jobs: &[EebJob],
-    provider: &CloudProvider,
-    seed: u64,
-    n_threads: usize,
-) -> Vec<DeadlineRuleAblation> {
-    DeadlineRuleAblationExperiment::compute(kb, jobs, provider, seed, n_threads)
-}
-
 /// The self-optimizing loop's learning curve — the paper's claim that
 /// learning from useful work "allows to significantly reduce the training
 /// phase of the system".
@@ -1355,12 +1261,6 @@ impl Experiment for LearningCurveExperiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`LearningCurveExperiment::compute`].
-#[deprecated(note = "use LearningCurveExperiment::compute or run it via the Experiment trait")]
-pub fn learning_curve(cfg: &CampaignConfig, jobs: &[EebJob], n_deploys: usize) -> LearningCurve {
-    LearningCurveExperiment::compute(cfg, jobs, n_deploys)
 }
 
 /// Ablation: cross-company knowledge transfer. One row per
@@ -1487,16 +1387,6 @@ impl Experiment for TransferAblationExperiment {
     }
 }
 
-/// Deprecated free-function form of [`TransferAblationExperiment::compute`].
-#[deprecated(note = "use TransferAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_transfer(
-    cfg: &CampaignConfig,
-    jobs: &[EebJob],
-    n_per_tenant: usize,
-) -> Vec<TransferAblationRow> {
-    TransferAblationExperiment::compute(cfg, jobs, n_per_tenant)
-}
-
 /// Driver for the feature-importance ablation (`ablation_features`).
 pub struct FeatureAblationExperiment;
 
@@ -1540,12 +1430,6 @@ impl Experiment for FeatureAblationExperiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`FeatureAblationExperiment::compute`].
-#[deprecated(note = "use FeatureAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_features(kb: &KnowledgeBase, seed: u64) -> Vec<(String, f64)> {
-    FeatureAblationExperiment::compute(kb, seed)
 }
 
 /// Ablation: what the campaign would have been invoiced under different
@@ -1617,12 +1501,6 @@ impl Experiment for BillingAblationExperiment {
             t0,
         )
     }
-}
-
-/// Deprecated free-function form of [`BillingAblationExperiment::compute`].
-#[deprecated(note = "use BillingAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_billing(kb: &KnowledgeBase, catalog: &InstanceCatalog) -> BillingAblation {
-    BillingAblationExperiment::compute(kb, catalog)
 }
 
 /// Ablation: LSMC vs plain nested Monte Carlo on a real valuation.
@@ -1762,10 +1640,284 @@ impl Experiment for LsmcAblationExperiment {
     }
 }
 
-/// Deprecated free-function form of [`LsmcAblationExperiment::compute`].
-#[deprecated(note = "use LsmcAblationExperiment::compute or run it via the Experiment trait")]
-pub fn ablation_lsmc(seed: u64) -> LsmcAblation {
-    LsmcAblationExperiment::compute(seed)
+/// Ablation: drift adaptation. Selection-regret traces of an adaptive
+/// deployer (Page–Hinkley detector + windowed retraining) and a frozen
+/// baseline over the same non-stationary cloud.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftAblation {
+    /// Run index of the injected hardware-regime change.
+    pub change_at: usize,
+    /// Deadline both arms deploy under (seconds), placed between the
+    /// post-change duration of the pre-change cost optimum and the
+    /// fastest post-change configuration.
+    pub t_max_secs: f64,
+    /// Per-ML-deploy selection regret of the adaptive arm (deploy order;
+    /// the change lands after the pre-change prefix).
+    pub adaptive_regret: Vec<f64>,
+    /// Per-ML-deploy selection regret of the frozen baseline.
+    pub frozen_regret: Vec<f64>,
+    /// Post-change deploys until the adaptive arm's rolling regret
+    /// re-enters the in-band threshold (capped at the post horizon).
+    pub adaptive_recovery: usize,
+    /// Same for the frozen baseline (the cap, in practice: its model
+    /// never sees the new regime).
+    pub frozen_recovery: usize,
+    /// Times the adaptive arm's detector fired.
+    pub drift_fires: u64,
+    /// Ensemble member names, in family order.
+    pub member_names: Vec<String>,
+    /// Regret-derived member weights ([`regret_weights`]) from each
+    /// member's solo selection regret on the post-change grid.
+    pub member_weights: Vec<f64>,
+}
+
+/// Driver for the drift-adaptation ablation (`ablation_drift`).
+pub struct DriftAblationExperiment;
+
+impl DriftAblationExperiment {
+    /// Runs both arms over a [`DriftModel::StepRegime`] cloud: a manual
+    /// grid warm-up, a pre-change ML phase, then a 3.3× hardware slowdown
+    /// at a known run index. Per deploy, *selection regret* is the extra
+    /// noise-free cost of the chosen configuration over the oracle argmin
+    /// on the sim's true times, plus one oracle-cost penalty per oracle
+    /// deadline miss. The adaptive arm retrains on a decayed window and
+    /// escalates via the Page–Hinkley residual detector; the frozen arm
+    /// trains once at warm-up and never again.
+    ///
+    /// Everything is a pure function of the campaign seed: both arms
+    /// replay identical run indices, and the oracle reads the drifted
+    /// ground truth through [`CloudProvider::oracle_plan`] (a benchmark
+    /// privilege the deployers themselves never get).
+    pub fn compute(cfg: &CampaignConfig, jobs: &[EebJob]) -> DriftAblation {
+        let warmup = 36;
+        let pre_ml = 20;
+        let post = 48;
+        let roll = 8;
+        let change_at = warmup + pre_ml;
+        let horizon = change_at + post;
+        let catalog = InstanceCatalog::paper_catalog();
+        let names = catalog.names();
+        let max_nodes = cfg.max_nodes.clamp(2, 4);
+        let grid: Vec<(String, usize)> = names
+            .iter()
+            .flat_map(|n| (1..=max_nodes).map(move |k| (n.clone(), k)))
+            .collect();
+        let drift = DriftModel::StepRegime {
+            period: change_at as u64,
+            speed_factor: 0.3,
+            price_factor: 1.0,
+        };
+        // The oracle probe: a provider whose run counter never advances,
+        // so `oracle_plan` reads any stream position's ground truth.
+        let probe =
+            CloudProvider::new(catalog.clone(), cfg.seed ^ 0xD21F).with_drift(drift.clone());
+        let job = &jobs[0];
+        let plan = |name: &str, n: usize, idx: u64| {
+            probe
+                .oracle_plan(name, n, &job.workload, idx)
+                .expect("catalog configuration")
+        };
+        // Deadline: pre-change, the cost optimum fits comfortably; after
+        // the slowdown it no longer does, while faster configurations
+        // still do — so a stale model keeps choosing configurations that
+        // now miss.
+        let pre_best = grid
+            .iter()
+            .min_by(|a, b| {
+                let ca = plan(&a.0, a.1, 0).prorated_cost;
+                let cb = plan(&b.0, b.1, 0).prorated_cost;
+                ca.partial_cmp(&cb).expect("finite oracle costs")
+            })
+            .expect("non-empty grid")
+            .clone();
+        let d0_pre = plan(&pre_best.0, pre_best.1, 0).duration_secs;
+        let d0_post = plan(&pre_best.0, pre_best.1, change_at as u64).duration_secs;
+        let dmin_post = grid
+            .iter()
+            .map(|(nm, n)| plan(nm, *n, change_at as u64).duration_secs)
+            .fold(f64::INFINITY, f64::min);
+        let t_max = (0.5 * (dmin_post + d0_post)).max(1.15 * d0_pre);
+        // Cheapest oracle cost among deadline-feasible configurations
+        // (falling back to the unconstrained optimum if none fits).
+        let best_feasible = |idx: u64| -> f64 {
+            let mut best = f64::INFINITY;
+            let mut best_any = f64::INFINITY;
+            for (nm, n) in &grid {
+                let p = plan(nm, *n, idx);
+                best_any = best_any.min(p.prorated_cost);
+                if p.duration_secs <= t_max {
+                    best = best.min(p.prorated_cost);
+                }
+            }
+            if best.is_finite() {
+                best
+            } else {
+                best_any
+            }
+        };
+        let fastest = |idx: u64| -> (String, usize) {
+            grid.iter()
+                .min_by(|a, b| {
+                    let da = plan(&a.0, a.1, idx).duration_secs;
+                    let db = plan(&b.0, b.1, idx).duration_secs;
+                    da.partial_cmp(&db).expect("finite oracle durations")
+                })
+                .expect("non-empty grid")
+                .clone()
+        };
+        let run_arm = |adaptive: bool| -> (Vec<f64>, u64, TransparentDeployer) {
+            let provider =
+                CloudProvider::new(catalog.clone(), cfg.seed ^ 0xD21F).with_drift(drift.clone());
+            let mut builder = DeployPolicy::builder(t_max)
+                .epsilon(0.0)
+                .max_nodes(max_nodes)
+                .min_kb_samples(warmup)
+                .retrain_every(if adaptive { 1 } else { 10_000 })
+                .n_threads(cfg.n_threads.max(1));
+            if adaptive {
+                builder = builder
+                    .retrain_mode(RetrainMode::Windowed {
+                        window: 16,
+                        decay: 0.0,
+                    })
+                    .drift(DriftConfig {
+                        detector: DetectorKind::PageHinkley,
+                        threshold: 1.5,
+                        delta: 0.05,
+                        window: 16,
+                        decay: 0.0,
+                    });
+            }
+            let mut d = TransparentDeployer::new(provider, builder.build(), cfg.seed ^ 0xD21F);
+            // Manual grid warm-up: both arms record the same runs, so
+            // their noise streams and knowledge bases stay aligned.
+            for i in 0..warmup {
+                let inst = &names[i % names.len()];
+                let n = 1 + (i / names.len()) % max_nodes;
+                d.deploy_manual(&job.profile, &job.workload, inst, n)
+                    .expect("catalog configuration");
+            }
+            d.warm().expect("warm-up records train the family");
+            let mut regret = Vec::with_capacity(horizon - warmup);
+            for i in warmup..horizon {
+                let idx = i as u64;
+                let out = match d.deploy(&job.profile, &job.workload) {
+                    Ok(out) => out,
+                    Err(CoreError::NoFeasibleConfiguration { .. }) => {
+                        // A mis-calibrated model can reject everything;
+                        // fall back to the fastest machine so the loop
+                        // keeps learning (the regret speaks for itself).
+                        let (nm, n) = fastest(idx);
+                        d.deploy_manual(&job.profile, &job.workload, &nm, n)
+                            .expect("catalog configuration")
+                    }
+                    Err(e) => panic!("drift-ablation deploy failed: {e}"),
+                };
+                let chosen = plan(&out.decision.instance, out.decision.n_nodes, idx);
+                let best = best_feasible(idx);
+                let mut r = (chosen.prorated_cost - best).max(0.0);
+                if chosen.duration_secs > t_max {
+                    r += best;
+                }
+                regret.push(r);
+            }
+            (regret, d.drift_fires(), d)
+        };
+        let (adaptive_regret, drift_fires, adaptive_deployer) = run_arm(true);
+        let (frozen_regret, _, _) = run_arm(false);
+        // In-band: rolling mean regret at or below a band derived from
+        // the arm's own pre-change level, floored at a quarter of the
+        // post-change oracle cost — one deadline miss per rolling window
+        // already exceeds the floor, so a stale arm cannot sneak in.
+        let post_costs: Vec<f64> = (change_at..horizon)
+            .map(|i| best_feasible(i as u64))
+            .collect();
+        let floor = 0.25 * stats::mean(&post_costs);
+        let recovery = |regret: &[f64]| -> usize {
+            let band = (1.5 * stats::mean(&regret[..pre_ml])).max(floor);
+            let trace = &regret[pre_ml..];
+            for k in roll..=trace.len() {
+                if stats::mean(&trace[k - roll..k]) <= band {
+                    return k;
+                }
+            }
+            trace.len()
+        };
+        let adaptive_recovery = recovery(&adaptive_regret);
+        let frozen_recovery = recovery(&frozen_regret);
+        // Regret-weight the surviving ensemble: each member alone picks
+        // its cheapest predicted-feasible configuration on the final
+        // post-change grid; its weight decays with the oracle regret of
+        // that solo pick.
+        let final_idx = (horizon - 1) as u64;
+        let family = adaptive_deployer.family();
+        let mut member_names: Vec<String> = Vec::new();
+        let mut picks: Vec<Option<(f64, f64, f64)>> = Vec::new();
+        for (nm, n) in &grid {
+            let inst = catalog.get(nm).expect("catalog instance");
+            let preds = family
+                .predict_each(&job.profile, inst, *n)
+                .expect("adaptive family is trained");
+            if member_names.is_empty() {
+                member_names = preds.iter().map(|(m, _)| (*m).to_string()).collect();
+                picks = vec![None; preds.len()];
+            }
+            let oracle = plan(nm, *n, final_idx);
+            for (m, (_, secs)) in preds.iter().enumerate() {
+                if *secs <= t_max {
+                    let predicted_cost = secs / 3_600.0 * *n as f64 * inst.hourly_cost;
+                    if picks[m].is_none_or(|(c, _, _)| predicted_cost < c) {
+                        picks[m] =
+                            Some((predicted_cost, oracle.prorated_cost, oracle.duration_secs));
+                    }
+                }
+            }
+        }
+        let best_final = best_feasible(final_idx);
+        let member_regrets: Vec<f64> = picks
+            .iter()
+            .map(|pick| match pick {
+                Some((_, cost, dur)) => {
+                    (cost - best_final).max(0.0) + if *dur > t_max { best_final } else { 0.0 }
+                }
+                None => best_final,
+            })
+            .collect();
+        let member_weights = regret_weights(&member_regrets);
+        DriftAblation {
+            change_at,
+            t_max_secs: t_max,
+            adaptive_regret,
+            frozen_regret,
+            adaptive_recovery,
+            frozen_recovery,
+            drift_fires,
+            member_names,
+            member_weights,
+        }
+    }
+}
+
+impl Experiment for DriftAblationExperiment {
+    fn name(&self) -> &'static str {
+        "ablation_drift"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Vec<RegistryRow> {
+        let t0 = Instant::now();
+        let jobs = ctx.jobs();
+        let a = Self::compute(&ctx.cfg, &jobs);
+        finish(
+            self.name(),
+            ctx,
+            None,
+            &jobs,
+            &[],
+            to_json(&a),
+            Value::Null,
+            t0,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -1791,7 +1943,7 @@ mod tests {
         let names: std::collections::BTreeSet<&str> =
             EXPERIMENTS.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), EXPERIMENTS.len(), "duplicate experiment name");
-        assert_eq!(EXPERIMENTS.len(), 15);
+        assert_eq!(EXPERIMENTS.len(), 16);
         for e in EXPERIMENTS {
             assert_eq!(by_name(e.name()).unwrap().name(), e.name());
         }
@@ -2158,5 +2310,40 @@ mod tests {
         );
         assert!(a.mean_rel_gap < 0.05, "mean gap {}", a.mean_rel_gap);
         assert!(a.nested_scr >= 0.0 && a.lsmc_scr >= 0.0);
+    }
+
+    #[test]
+    fn drift_ablation_adapts_faster_than_frozen() {
+        let cfg = CampaignConfig::builder()
+            .n_runs(0)
+            .n_outer(400)
+            .n_inner(30)
+            .max_nodes(3)
+            .seed(31)
+            .n_threads(1)
+            .build();
+        let jobs = crate::campaign::paper_eeb_jobs(&cfg);
+        let a = DriftAblationExperiment::compute(&cfg, &jobs);
+        assert!(a.t_max_secs > 0.0);
+        assert_eq!(a.adaptive_regret.len(), a.frozen_regret.len());
+        for r in a.adaptive_regret.iter().chain(&a.frozen_regret) {
+            assert!(r.is_finite() && *r >= 0.0, "regret {r}");
+        }
+        // The regime change must register on the residual stream.
+        assert!(a.drift_fires >= 1, "detector never fired: {a:?}");
+        // The acceptance bar: windowed retraining + detector escalation
+        // recovers strictly faster than the never-adapting baseline.
+        assert!(
+            a.adaptive_recovery < a.frozen_recovery,
+            "adaptive {} vs frozen {}",
+            a.adaptive_recovery,
+            a.frozen_recovery
+        );
+        // Regret weighting covers the whole family and forms a simplex.
+        assert_eq!(a.member_names.len(), 6);
+        assert_eq!(a.member_weights.len(), 6);
+        let total: f64 = a.member_weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert!(a.member_weights.iter().all(|w| *w >= 0.0));
     }
 }

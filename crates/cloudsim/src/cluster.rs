@@ -14,7 +14,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Mean VM boot-and-configure latency (EC2 2016 + StarCluster setup).
-const BOOT_BASE_SECS: f64 = 55.0;
+pub(crate) const BOOT_BASE_SECS: f64 = 55.0;
 /// Uniform half-width of the boot-latency jitter.
 const BOOT_JITTER_SECS: f64 = 25.0;
 

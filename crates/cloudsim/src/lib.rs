@@ -17,6 +17,10 @@
 //!   lognormal noise and stragglers. The provisioner never reads this
 //!   model; it only observes realized durations, exactly like the paper's
 //!   system observes EC2;
+//! - [`drift`]: deterministic non-stationarity — hardware generations,
+//!   gradual contention growth, price revisions — keyed by the provider's
+//!   run index, with [`drift::DriftModel::None`] the bit-identical
+//!   stationary default;
 //! - [`event`]: a small discrete-event simulation kernel (clock + event
 //!   queue);
 //! - [`comm`]: the scatter/gather/barrier communication model;
@@ -44,6 +48,7 @@
 pub mod billing;
 pub mod cluster;
 pub mod comm;
+pub mod drift;
 pub mod event;
 pub mod hetero;
 pub mod instances;
@@ -53,8 +58,9 @@ pub mod workload;
 
 mod error;
 
+pub use drift::DriftModel;
 pub use error::CloudError;
 pub use hetero::{HeteroReport, NodeGroup};
 pub use instances::{InstanceCatalog, InstanceType};
-pub use provider::{CloudProvider, JobReport, RunHandle};
+pub use provider::{CloudProvider, JobReport, OraclePlan, RunHandle};
 pub use workload::Workload;

@@ -82,6 +82,29 @@ impl PerformanceModel {
         }
     }
 
+    /// Noise-free per-node compute time (seconds) for the parallel portion
+    /// of `workload` split evenly over `n_nodes` nodes — the deterministic
+    /// base every node's jittered time in
+    /// [`PerformanceModel::node_compute_secs`] multiplies.
+    ///
+    /// Oracle baselines use this to rank configurations on the true
+    /// expected times without consuming any noise stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0`.
+    pub fn noise_free_compute_secs(
+        &self,
+        workload: &Workload,
+        instance: &InstanceType,
+        n_nodes: usize,
+    ) -> f64 {
+        assert!(n_nodes > 0, "n_nodes must be positive");
+        let parallel_work = workload.work_units * (1.0 - workload.serial_fraction);
+        let share = parallel_work / n_nodes as f64;
+        share / self.node_throughput(instance) * self.memory_factor(workload, instance, n_nodes)
+    }
+
     /// Simulated per-node compute times (seconds) for the parallel portion
     /// of `workload` split evenly over `n_nodes` nodes, with noise and
     /// stragglers drawn deterministically from `seed`.

@@ -8,8 +8,9 @@
 //! layer is allowed to see (see [`crate::perf`] for the access contract).
 
 use crate::billing::{prorated_cost, BillingPolicy};
-use crate::cluster::provision_cluster;
+use crate::cluster::{provision_cluster, BOOT_BASE_SECS};
 use crate::comm::CommModel;
+use crate::drift::DriftModel;
 use crate::event::EventQueue;
 use crate::instances::InstanceCatalog;
 use crate::perf::PerformanceModel;
@@ -93,6 +94,18 @@ impl JobReport {
     }
 }
 
+/// Noise-free expected outcome of one configuration under the (possibly
+/// drifted) ground truth at a given run index — what
+/// [`CloudProvider::oracle_plan`] returns for oracle baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OraclePlan {
+    /// Expected execution time (scatter + compute + serial + gather),
+    /// with zero jitter and no stragglers.
+    pub duration_secs: f64,
+    /// Expected prorated cost, assuming mean boot latency.
+    pub prorated_cost: f64,
+}
+
 /// Phases of the job state machine on the event kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum JobEvent {
@@ -108,19 +121,22 @@ pub struct CloudProvider {
     perf: PerformanceModel,
     comm: CommModel,
     billing: BillingPolicy,
+    drift: DriftModel,
     master_seed: u64,
     run_counter: AtomicU64,
 }
 
 impl CloudProvider {
     /// Creates a provider with the default hidden performance model,
-    /// EC2-like interconnect and per-hour billing.
+    /// EC2-like interconnect, per-hour billing, and a stationary cloud
+    /// ([`DriftModel::None`]).
     pub fn new(catalog: InstanceCatalog, master_seed: u64) -> Self {
         CloudProvider {
             catalog,
             perf: PerformanceModel::default(),
             comm: CommModel::ec2_like(),
             billing: BillingPolicy::PerHour,
+            drift: DriftModel::None,
             master_seed,
             run_counter: AtomicU64::new(0),
         }
@@ -136,6 +152,19 @@ impl CloudProvider {
     pub fn with_billing(mut self, billing: BillingPolicy) -> Self {
         self.billing = billing;
         self
+    }
+
+    /// Makes the hidden performance model non-stationary (drift ablations).
+    /// [`DriftModel::None`] keeps the provider on the exact stationary code
+    /// path — bit-identical to a provider built without this call.
+    pub fn with_drift(mut self, drift: DriftModel) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// The configured drift model.
+    pub fn drift(&self) -> &DriftModel {
+        &self.drift
     }
 
     /// The instance catalog.
@@ -192,12 +221,60 @@ impl CloudProvider {
         workload: &Workload,
         run_index: u64,
     ) -> Result<JobReport, CloudError> {
-        self.run_job_with_seed(
-            instance,
-            n_nodes,
-            workload,
-            split_seed(self.master_seed, run_index),
-        )
+        let seed = split_seed(self.master_seed, run_index);
+        match self.drift.effective(&self.perf, run_index) {
+            None => self.run_job_with_seed(instance, n_nodes, workload, seed),
+            Some((perf, price_factor)) => {
+                self.execute_with(instance, n_nodes, workload, seed, &perf, price_factor)
+            }
+        }
+    }
+
+    /// The drifted ground-truth conditions at run `run_index`: the
+    /// effective performance model and hourly-price multiplier — for
+    /// oracle baselines in benchmarks only; the provisioner must not call
+    /// this (see [`crate::perf`] for the access contract).
+    pub fn ground_truth_at(&self, run_index: u64) -> (PerformanceModel, f64) {
+        self.drift
+            .effective(&self.perf, run_index)
+            .unwrap_or_else(|| (self.perf.clone(), 1.0))
+    }
+
+    /// Noise-free oracle outcome of one configuration at run `run_index`
+    /// under the drifted ground truth: the expected duration and prorated
+    /// cost the `run_index`-th job would see with zero jitter, no
+    /// stragglers, and mean boot latency.
+    ///
+    /// This is what selection regret compares realized decisions against —
+    /// for oracle baselines in benchmarks only; the provisioner must not
+    /// call this.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudProvider::run_job`].
+    pub fn oracle_plan(
+        &self,
+        instance: &str,
+        n_nodes: usize,
+        workload: &Workload,
+        run_index: u64,
+    ) -> Result<OraclePlan, CloudError> {
+        let inst = self.catalog.get(instance)?;
+        if n_nodes == 0 {
+            return Err(CloudError::InvalidRequest("n_nodes must be > 0".into()));
+        }
+        let (perf, price_factor) = self.ground_truth_at(run_index);
+        let comm_secs = 2.0 * self.comm.collective_secs(n_nodes, workload.transfer_mib / 2.0);
+        let duration_secs = comm_secs
+            + perf.noise_free_compute_secs(workload, inst, n_nodes)
+            + perf.serial_secs(workload, inst);
+        let uptime_secs = BOOT_BASE_SECS + duration_secs;
+        let prorated = prorated_cost(uptime_secs, inst.hourly_cost * price_factor, n_nodes)
+            .expect("validated inputs");
+        Ok(OraclePlan {
+            duration_secs,
+            prorated_cost: prorated,
+        })
     }
 
     /// Reserves the next noise-stream slot without executing anything —
@@ -261,6 +338,22 @@ impl CloudProvider {
         workload: &Workload,
         seed: u64,
     ) -> Result<JobReport, CloudError> {
+        self.execute_with(instance, n_nodes, workload, seed, &self.perf, 1.0)
+    }
+
+    /// Plays one job out on the event kernel under an explicit performance
+    /// model and price multiplier — the shared engine behind the stationary
+    /// path ([`CloudProvider::run_job_with_seed`], base model, factor 1.0)
+    /// and the drifted path ([`CloudProvider::run_job_at`]).
+    fn execute_with(
+        &self,
+        instance: &str,
+        n_nodes: usize,
+        workload: &Workload,
+        seed: u64,
+        perf: &PerformanceModel,
+        price_factor: f64,
+    ) -> Result<JobReport, CloudError> {
         let inst = self.catalog.get(instance)?;
         if n_nodes == 0 {
             return Err(CloudError::InvalidRequest("n_nodes must be > 0".into()));
@@ -271,10 +364,8 @@ impl CloudProvider {
         let boot_secs = cluster.ready_at;
 
         // Pre-draw the per-node compute times (the DES replays them).
-        let node_secs = self
-            .perf
-            .node_compute_secs(workload, inst, n_nodes, seed ^ 0xC0DE);
-        let serial_secs = self.perf.serial_secs(workload, inst);
+        let node_secs = perf.node_compute_secs(workload, inst, n_nodes, seed ^ 0xC0DE);
+        let serial_secs = perf.serial_secs(workload, inst);
         let scatter_secs = self.comm.collective_secs(n_nodes, workload.transfer_mib / 2.0);
         let gather_secs = self.comm.collective_secs(n_nodes, workload.transfer_mib / 2.0);
 
@@ -326,12 +417,13 @@ impl CloudProvider {
 
         let duration_secs = job_end - boot_secs;
         let uptime_secs = job_end;
+        let hourly_rate = inst.hourly_cost * price_factor;
         let billed_cost = self
             .billing
-            .cost(uptime_secs, inst.hourly_cost, n_nodes)
+            .cost(uptime_secs, hourly_rate, n_nodes)
             .expect("validated inputs");
-        let prorated = prorated_cost(uptime_secs, inst.hourly_cost, n_nodes)
-            .expect("validated inputs");
+        let prorated =
+            prorated_cost(uptime_secs, hourly_rate, n_nodes).expect("validated inputs");
         Ok(JobReport {
             instance: inst.name.clone(),
             n_nodes,
@@ -483,6 +575,91 @@ mod tests {
             });
             assert_eq!(got, expected, "divergence at n_threads = {n_threads}");
         }
+    }
+
+    #[test]
+    fn drift_none_is_bit_identical_to_undrifted_provider() {
+        let plain = provider();
+        let drifted = provider().with_drift(DriftModel::None);
+        for _ in 0..5 {
+            let a = plain.run_job("c3.4xlarge", 3, &wl()).unwrap();
+            let b = drifted.run_job("c3.4xlarge", 3, &wl()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn step_regime_changes_outcomes_only_after_the_boundary() {
+        let base = provider();
+        let stepped = provider().with_drift(DriftModel::StepRegime {
+            period: 3,
+            speed_factor: 1.6,
+            price_factor: 0.9,
+        });
+        for i in 0..6u64 {
+            let a = base.run_job_at("c4.4xlarge", 2, &wl(), i).unwrap();
+            let b = stepped.run_job_at("c4.4xlarge", 2, &wl(), i).unwrap();
+            if i < 3 {
+                // Generation 0: the drifted provider replays the stationary
+                // stream exactly.
+                assert_eq!(a, b, "run {i} diverged before the regime change");
+            } else {
+                // Generation 1: faster hardware, cheaper prices.
+                assert!(b.duration_secs < a.duration_secs, "run {i}");
+                assert!(b.prorated_cost < a.prorated_cost, "run {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn price_revision_touches_cost_but_not_time() {
+        let base = provider();
+        let revised = provider().with_drift(DriftModel::PriceRevision {
+            period: 2,
+            factor: 1.5,
+        });
+        let a = base.run_job_at("m4.4xlarge", 2, &wl(), 4).unwrap();
+        let b = revised.run_job_at("m4.4xlarge", 2, &wl(), 4).unwrap();
+        assert_eq!(a.duration_secs, b.duration_secs);
+        assert_eq!(a.uptime_secs, b.uptime_secs);
+        // Two epochs have passed: 1.5² on every invoice.
+        assert!((b.prorated_cost - a.prorated_cost * 2.25).abs() < 1e-9);
+        assert!((b.billed_cost - a.billed_cost * 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_contention_slows_later_runs() {
+        let base = provider();
+        let drifty = provider().with_drift(DriftModel::LinearContention {
+            per_run: 0.02,
+            max_contention: 2.0,
+        });
+        let a0 = base.run_job_at("c3.8xlarge", 2, &wl(), 0).unwrap();
+        let b0 = drifty.run_job_at("c3.8xlarge", 2, &wl(), 0).unwrap();
+        assert_eq!(a0, b0, "run 0 sees the base contention");
+        let a9 = base.run_job_at("c3.8xlarge", 2, &wl(), 9).unwrap();
+        let b9 = drifty.run_job_at("c3.8xlarge", 2, &wl(), 9).unwrap();
+        assert!(b9.duration_secs > a9.duration_secs);
+    }
+
+    #[test]
+    fn oracle_plan_tracks_the_drifted_ground_truth() {
+        let p = provider().with_drift(DriftModel::StepRegime {
+            period: 5,
+            speed_factor: 2.0,
+            price_factor: 1.0,
+        });
+        let before = p.oracle_plan("c3.4xlarge", 2, &wl(), 0).unwrap();
+        let after = p.oracle_plan("c3.4xlarge", 2, &wl(), 5).unwrap();
+        assert!(after.duration_secs < before.duration_secs);
+        assert!(after.prorated_cost < before.prorated_cost);
+        // The oracle duration sits near the realized (noisy) duration.
+        let realized = p.run_job_at("c3.4xlarge", 2, &wl(), 0).unwrap();
+        let rel = (before.duration_secs - realized.duration_secs).abs()
+            / realized.duration_secs;
+        assert!(rel < 0.25, "oracle {} vs realized {}", before.duration_secs, realized.duration_secs);
+        assert!(p.oracle_plan("nope.large", 1, &wl(), 0).is_err());
+        assert!(p.oracle_plan("c3.4xlarge", 0, &wl(), 0).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! [`Deployer::selection_ready`]).
 
 use crate::algorithm::{select_configuration_with_workspace, SelectionWorkspace, TimeEstimate};
+use crate::drift::{DriftConfig, DriftState};
 use crate::knowledge::{KnowledgeBase, RunRecord, ShardedKnowledgeBase};
 use crate::predictor::{PredictorFamily, RetrainMode, ShardedPredictor, TimePredictor};
 use crate::profile::JobProfile;
@@ -76,6 +77,19 @@ pub struct DeployPolicy {
     /// [`TransferPolicy::Isolated`] (also for pre-tenancy JSON via serde).
     #[serde(default)]
     pub transfer: TransferPolicy,
+    /// Base retrain mode every scheduled retrain uses (bulk warm-ups and
+    /// the after-run cadence alike). Defaults to
+    /// [`RetrainMode::Incremental`] — the bit-identity-preserving path —
+    /// also for pre-drift policy JSON via serde. A firing drift detector
+    /// escalates *past* this mode per [`DeployPolicy::drift`].
+    #[serde(default)]
+    pub retrain_mode: RetrainMode,
+    /// Drift-adaptation block: residual change detector, sensitivity and
+    /// the escalated windowed-retrain shape. Defaults to
+    /// [`crate::drift::DetectorKind::Off`] (never fires, stationary
+    /// behaviour), also for pre-drift policy JSON via serde.
+    #[serde(default)]
+    pub drift: DriftConfig,
 }
 
 impl DeployPolicy {
@@ -92,6 +106,8 @@ impl DeployPolicy {
             retrain_every: 1,
             n_threads: disar_math::parallel::default_n_threads(),
             transfer: TransferPolicy::Isolated,
+            retrain_mode: RetrainMode::Incremental,
+            drift: DriftConfig::default(),
         }
     }
 
@@ -119,6 +135,36 @@ impl DeployPolicy {
         }
         if self.n_threads == 0 {
             return Err(CoreError::InvalidParameter("n_threads must be > 0"));
+        }
+        if let RetrainMode::Windowed { window, decay } = self.retrain_mode {
+            if window == 0 {
+                return Err(CoreError::InvalidParameter(
+                    "retrain_mode window must be > 0",
+                ));
+            }
+            if !(0.0..=1.0).contains(&decay) {
+                return Err(CoreError::InvalidParameter(
+                    "retrain_mode decay must be in [0, 1]",
+                ));
+            }
+        }
+        if self.drift.enabled() {
+            if !(self.drift.threshold > 0.0) {
+                return Err(CoreError::InvalidParameter(
+                    "drift threshold must be positive",
+                ));
+            }
+            if !(self.drift.delta > 0.0) {
+                return Err(CoreError::InvalidParameter("drift delta must be positive"));
+            }
+            if self.drift.window == 0 {
+                return Err(CoreError::InvalidParameter("drift window must be > 0"));
+            }
+            if !(0.0..=1.0).contains(&self.drift.decay) {
+                return Err(CoreError::InvalidParameter(
+                    "drift decay must be in [0, 1]",
+                ));
+            }
         }
         Ok(())
     }
@@ -171,6 +217,18 @@ impl DeployPolicyBuilder {
     /// Sets the cross-tenant knowledge-transfer policy.
     pub fn transfer(mut self, transfer: TransferPolicy) -> Self {
         self.policy.transfer = transfer;
+        self
+    }
+
+    /// Sets the base retrain mode used by every scheduled retrain.
+    pub fn retrain_mode(mut self, retrain_mode: RetrainMode) -> Self {
+        self.policy.retrain_mode = retrain_mode;
+        self
+    }
+
+    /// Sets the drift-adaptation block (detector + escalation shape).
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.policy.drift = drift;
         self
     }
 
@@ -487,6 +545,11 @@ pub struct TransparentDeployer {
     core: DeployerCore,
     kb: KnowledgeBase,
     family: PredictorFamily,
+    /// Residual drift detector + retrain escalation ladder (inert unless
+    /// the policy enables a detector).
+    drift: DriftState,
+    /// Number of detector fires so far, for observability.
+    drift_fires: u64,
 }
 
 impl TransparentDeployer {
@@ -500,6 +563,8 @@ impl TransparentDeployer {
     pub fn from_shared(provider: Arc<CloudProvider>, policy: DeployPolicy, seed: u64) -> Self {
         TransparentDeployer {
             family: PredictorFamily::new(seed, 2),
+            drift: DriftState::new(&policy.drift),
+            drift_fires: 0,
             core: DeployerCore::new(provider, policy, seed),
             kb: KnowledgeBase::new(),
         }
@@ -528,6 +593,12 @@ impl TransparentDeployer {
         &self.family
     }
 
+    /// Number of times the drift detector has fired (0 with the default
+    /// [`crate::drift::DetectorKind::Off`] policy).
+    pub fn drift_fires(&self) -> u64 {
+        self.drift_fires
+    }
+
     /// The active policy.
     pub fn policy(&self) -> &DeployPolicy {
         &self.core.policy
@@ -546,8 +617,11 @@ impl TransparentDeployer {
     /// Propagates policy validation and training failures.
     pub fn warm(&mut self) -> Result<(), CoreError> {
         self.core.policy.validate()?;
-        self.family
-            .retrain(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)
+        self.family.retrain(
+            &self.kb,
+            self.core.policy.retrain_mode,
+            self.core.policy.n_threads,
+        )
     }
 
     /// Deploys one job: full self-optimizing cycle (select → run → record →
@@ -727,6 +801,17 @@ impl Deployer for TransparentDeployer {
         report: &JobReport,
     ) -> Result<(), CoreError> {
         let inst = self.core.provider.catalog().get(&decision.instance)?.clone();
+        // Feed the prediction residual to the drift detector before the
+        // record lands. Detectors only modulate the *mode* of the retrains
+        // the count-based gate below fires anyway, so the pending/readiness
+        // contract (whether a retrain fires is outcome-independent) holds.
+        if self.core.policy.drift.enabled() {
+            if let Some(residual) = relative_residual(decision, report) {
+                if self.drift.observe(residual) {
+                    self.drift_fires += 1;
+                }
+            }
+        }
         self.kb.record(RunRecord::new(
             *profile,
             &inst,
@@ -738,12 +823,26 @@ impl Deployer for TransparentDeployer {
         if self.kb.len() >= self.core.policy.min_kb_samples.max(2)
             && self.core.runs_since_retrain >= self.core.policy.retrain_every
         {
+            let mode = self
+                .drift
+                .next_mode(self.core.policy.retrain_mode, &self.core.policy.drift);
             self.family
-                .retrain(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)?;
+                .retrain(&self.kb, mode, self.core.policy.n_threads)?;
             self.core.runs_since_retrain = 0;
+            self.drift.on_retrain_applied();
         }
         Ok(())
     }
+}
+
+/// The residual the drift detectors consume: the *relative* absolute
+/// prediction error `|Θ̂ − Θ| / Θ`, scale-free so one threshold serves
+/// minute-long and hour-long jobs alike. `None` when the deploy carried no
+/// prediction (bootstrap/manual).
+pub(crate) fn relative_residual(decision: &DeployDecision, report: &JobReport) -> Option<f64> {
+    decision
+        .predicted_secs
+        .map(|p| (p - report.duration_secs).abs() / report.duration_secs.max(f64::EPSILON))
 }
 
 /// The self-optimizing deployer over the sharded knowledge layout.
@@ -766,6 +865,11 @@ pub struct ShardedDeployer {
     core: DeployerCore,
     kb: ShardedKnowledgeBase,
     predictor: ShardedPredictor,
+    /// Per-instance-type drift state: a fire escalates only the affected
+    /// shard's next retrain, the others stay on the policy's base mode.
+    drift: BTreeMap<String, DriftState>,
+    /// Number of detector fires so far across all shards.
+    drift_fires: u64,
 }
 
 impl ShardedDeployer {
@@ -780,6 +884,8 @@ impl ShardedDeployer {
             predictor: ShardedPredictor::new(seed, 2),
             core: DeployerCore::new(provider, policy, seed),
             kb: ShardedKnowledgeBase::new(),
+            drift: BTreeMap::new(),
+            drift_fires: 0,
         }
     }
 
@@ -808,6 +914,12 @@ impl ShardedDeployer {
         &self.predictor
     }
 
+    /// Number of drift-detector fires so far across all shards (0 with
+    /// the default [`crate::drift::DetectorKind::Off`] policy).
+    pub fn drift_fires(&self) -> u64 {
+        self.drift_fires
+    }
+
     /// The active policy.
     pub fn policy(&self) -> &DeployPolicy {
         &self.core.policy
@@ -826,8 +938,11 @@ impl ShardedDeployer {
     /// Propagates the first shard-retrain failure.
     pub fn warm(&mut self) -> Result<(), CoreError> {
         self.core.policy.validate()?;
-        self.predictor
-            .retrain_all(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)
+        self.predictor.retrain_all(
+            &self.kb,
+            self.core.policy.retrain_mode,
+            self.core.policy.n_threads,
+        )
     }
 
     fn catalog_covered(&self) -> bool {
@@ -972,6 +1087,20 @@ impl Deployer for ShardedDeployer {
         report: &JobReport,
     ) -> Result<(), CoreError> {
         let inst = self.core.provider.catalog().get(&decision.instance)?.clone();
+        // Residual feedback routes to the affected shard's detector only;
+        // like the monolithic path, it modulates retrain *modes*, never
+        // whether a retrain fires.
+        if self.core.policy.drift.enabled() {
+            if let Some(residual) = relative_residual(decision, report) {
+                let state = self
+                    .drift
+                    .entry(decision.instance.clone())
+                    .or_insert_with(|| DriftState::new(&self.core.policy.drift));
+                if state.observe(residual) {
+                    self.drift_fires += 1;
+                }
+            }
+        }
         self.kb.record(RunRecord::new(
             *profile,
             &inst,
@@ -986,13 +1115,20 @@ impl Deployer for ShardedDeployer {
                 .shard(&decision.instance)
                 .expect("record() created the shard");
             if shard.len() >= self.predictor.min_samples() {
+                let mode = self.drift.get(&decision.instance).map_or(
+                    self.core.policy.retrain_mode,
+                    |s| s.next_mode(self.core.policy.retrain_mode, &self.core.policy.drift),
+                );
                 self.predictor.retrain_shard(
                     &decision.instance,
                     shard,
-                    RetrainMode::Incremental,
+                    mode,
                     self.core.policy.n_threads,
                 )?;
                 self.core.runs_since_retrain = 0;
+                if let Some(s) = self.drift.get_mut(&decision.instance) {
+                    s.on_retrain_applied();
+                }
             }
         }
         Ok(())
@@ -1228,6 +1364,11 @@ mod tests {
             .retrain_every(4)
             .n_threads(2)
             .transfer(TransferPolicy::BorrowUntil(12))
+            .retrain_mode(RetrainMode::Windowed { window: 64, decay: 0.5 })
+            .drift(DriftConfig {
+                detector: crate::drift::DetectorKind::Adwin,
+                ..DriftConfig::default()
+            })
             .build();
         assert_eq!(p.t_max_secs, 50_000.0);
         assert_eq!(p.epsilon, 0.2);
@@ -1236,6 +1377,8 @@ mod tests {
         assert_eq!(p.retrain_every, 4);
         assert_eq!(p.n_threads, 2);
         assert_eq!(p.transfer, TransferPolicy::BorrowUntil(12));
+        assert_eq!(p.retrain_mode, RetrainMode::Windowed { window: 64, decay: 0.5 });
+        assert_eq!(p.drift.detector, crate::drift::DetectorKind::Adwin);
         // Unnamed knobs keep the paper defaults.
         let d = DeployPolicy::paper_defaults(50_000.0);
         assert_eq!(
@@ -1250,6 +1393,103 @@ mod tests {
         v.as_object_mut().unwrap().remove("transfer").unwrap();
         let p: DeployPolicy = serde_json::from_value(v).unwrap();
         assert_eq!(p.transfer, TransferPolicy::Isolated);
+    }
+
+    #[test]
+    fn pre_drift_policy_json_defaults_to_stationary() {
+        // Policy JSON written before the drift knobs existed carries
+        // neither field; it must deserialize to the stationary defaults.
+        let mut v = serde_json::to_value(DeployPolicy::paper_defaults(3_600.0)).unwrap();
+        v.as_object_mut().unwrap().remove("retrain_mode").unwrap();
+        v.as_object_mut().unwrap().remove("drift").unwrap();
+        let p: DeployPolicy = serde_json::from_value(v).unwrap();
+        assert_eq!(p.retrain_mode, RetrainMode::Incremental);
+        assert_eq!(p.drift, DriftConfig::default());
+        assert_eq!(p, DeployPolicy::paper_defaults(3_600.0));
+    }
+
+    #[test]
+    fn policy_validates_drift_knobs() {
+        let mut p = DeployPolicy::paper_defaults(3_600.0);
+        p.retrain_mode = RetrainMode::Windowed { window: 0, decay: 0.5 };
+        assert!(p.validate().is_err());
+        p.retrain_mode = RetrainMode::Windowed { window: 16, decay: 7.0 };
+        assert!(p.validate().is_err());
+        p.retrain_mode = RetrainMode::Incremental;
+        p.drift.detector = crate::drift::DetectorKind::PageHinkley;
+        p.drift.threshold = 0.0;
+        assert!(p.validate().is_err());
+        // The same bad threshold is ignored while the detector is off.
+        p.drift.detector = crate::drift::DetectorKind::Off;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn unbounded_windowed_policy_matches_default_outcomes() {
+        // Windowed with an unbounded window and no history decay refits on
+        // the whole base — like Full, and Incremental is refit-identical by
+        // construction — so the entire deploy stream must be bit-identical
+        // to the default policy's.
+        let run = |mode: RetrainMode| {
+            let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 67);
+            let policy = DeployPolicy::builder(50_000.0)
+                .max_nodes(4)
+                .min_kb_samples(8)
+                .n_threads(1)
+                .retrain_mode(mode)
+                .build();
+            let mut d = TransparentDeployer::new(provider, policy, 67);
+            (0..16)
+                .map(|i| {
+                    d.deploy(&profile(90 + i * 19), &workload(90 + i * 19))
+                        .unwrap()
+                })
+                .collect::<Vec<DeployOutcome>>()
+        };
+        assert_eq!(
+            run(RetrainMode::Incremental),
+            run(RetrainMode::Windowed {
+                window: usize::MAX,
+                decay: 1.0
+            })
+        );
+    }
+
+    #[test]
+    fn drift_detector_fires_under_a_regime_change() {
+        use crate::drift::DetectorKind;
+        // A hidden hardware-generation change at run 40 slows every node to
+        // 35% of its speed: the family trained on the old regime
+        // underestimates durations, residuals jump, the detector fires and
+        // escalates retrains — all while the deploy loop keeps succeeding.
+        let provider = CloudProvider::new(InstanceCatalog::paper_catalog(), 61).with_drift(
+            disar_cloudsim::DriftModel::StepRegime {
+                period: 40,
+                speed_factor: 0.35,
+                price_factor: 1.0,
+            },
+        );
+        let policy = DeployPolicy::builder(1e9)
+            .epsilon(0.0)
+            .max_nodes(3)
+            .min_kb_samples(8)
+            .n_threads(1)
+            .drift(DriftConfig {
+                detector: DetectorKind::PageHinkley,
+                ..DriftConfig::default()
+            })
+            .build();
+        let mut d = TransparentDeployer::new(provider, policy, 61);
+        for i in 0..80 {
+            let c = 90 + (i * 19) % 250;
+            d.deploy(&profile(c), &workload(c)).unwrap();
+        }
+        assert!(
+            d.drift_fires() >= 1,
+            "a 2.9× duration jump must fire the detector"
+        );
+        assert!(d.family().is_trained());
+        assert_eq!(d.knowledge_base().len(), 80);
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Residual-based drift detection and regret-derived model weighting.
+//!
+//! The paper assumes a stationary cloud: the knowledge base only ever
+//! grows and every observation remains representative. Real clouds drift —
+//! hardware generations change `(m, n, f) → time`, contention creeps up,
+//! prices get revised — and a family trained on the full history then
+//! *underfits the present*. This module supplies the adaptation loop:
+//!
+//! - [`DriftDetector`]s ([Page–Hinkley](https://doi.org/10.1093/biomet/41.1-2.100)
+//!   and a simplified adaptive-windowing test) watch the stream of
+//!   per-deploy prediction residuals that the deployers already compute on
+//!   the feedback path;
+//! - [`DriftConfig`] is the policy block selecting a detector and the
+//!   windowed-retrain shape, **off by default** so a default policy stays
+//!   bit-identical to the stationary system;
+//! - [`DriftState`] owns one detector per model shard and the escalation
+//!   ladder: a fire escalates the next retrain from the policy's base mode
+//!   to [`RetrainMode::Windowed`], a second fire before that retrain lands
+//!   escalates to [`RetrainMode::Full`], and an applied escalated retrain
+//!   resets the ladder. Detectors never change *whether* a retrain fires —
+//!   only which mode it uses — so deploy outcomes keep their
+//!   count-determined cadence;
+//! - [`regret_weights`] turns per-member selection regrets (extra cost vs
+//!   the oracle argmin) into normalized ensemble weights, the evaluation
+//!   metric the drift ablation folds back into prediction.
+
+use crate::predictor::RetrainMode;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which change detector monitors the residual stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// No detection: retrains always use the policy's base mode. The
+    /// stationary, bit-identity-preserving default.
+    #[default]
+    Off,
+    /// Page–Hinkley test on the running residual mean — cheap (O(1) per
+    /// observation), directional (detects residual *increases*), the
+    /// classic sequential change-point test.
+    PageHinkley,
+    /// Simplified ADWIN: a bounded residual window cut in half, firing
+    /// when the two half-means differ by more than a Hoeffding-style
+    /// bound. Slower to arm than Page–Hinkley but self-normalizing.
+    Adwin,
+}
+
+fn default_threshold() -> f64 {
+    2.5
+}
+
+fn default_delta() -> f64 {
+    0.05
+}
+
+fn default_window() -> usize {
+    64
+}
+
+fn default_decay() -> f64 {
+    0.25
+}
+
+/// The drift-adaptation block of a deploy policy: detector choice,
+/// sensitivity, and the shape of the escalated windowed retrain.
+///
+/// The default ([`DetectorKind::Off`]) never fires, so policies that do
+/// not opt in keep every retrain on the base mode. Serde-defaulted field
+/// by field, so pre-drift policy JSON deserializes to the stationary
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Residual-stream change detector.
+    #[serde(default)]
+    pub detector: DetectorKind,
+    /// Fire threshold: Page–Hinkley's λ on the cumulative deviation
+    /// statistic (in residual units).
+    #[serde(default = "default_threshold")]
+    pub threshold: f64,
+    /// Page–Hinkley's drift allowance δ (tolerated mean creep per step)
+    /// and ADWIN's confidence parameter.
+    #[serde(default = "default_delta")]
+    pub delta: f64,
+    /// `window` of the escalated [`RetrainMode::Windowed`] retrain.
+    #[serde(default = "default_window")]
+    pub window: usize,
+    /// `decay` of the escalated [`RetrainMode::Windowed`] retrain.
+    #[serde(default = "default_decay")]
+    pub decay: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            detector: DetectorKind::Off,
+            threshold: default_threshold(),
+            delta: default_delta(),
+            window: default_window(),
+            decay: default_decay(),
+        }
+    }
+}
+
+impl DriftConfig {
+    /// `true` when a detector is configured (the drift path is live).
+    pub fn enabled(&self) -> bool {
+        self.detector != DetectorKind::Off
+    }
+}
+
+/// A sequential change detector over a residual stream.
+pub trait DriftDetector {
+    /// Feeds one residual; returns `true` when a change is detected. The
+    /// detector re-arms itself after firing (internal state resets to the
+    /// post-change regime).
+    fn update(&mut self, residual: f64) -> bool;
+}
+
+/// Page–Hinkley test for an increase in the residual mean.
+///
+/// Maintains the running mean `μ̂` and the cumulative deviation
+/// `m_t = Σ (x_i − μ̂_i − δ)`; fires when `m_t − min m` exceeds `λ`.
+/// Fires only on *increases* — a model getting better never triggers a
+/// retrain escalation.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    threshold: f64,
+    delta: f64,
+    n: u64,
+    mean: f64,
+    cum: f64,
+    min_cum: f64,
+}
+
+impl PageHinkley {
+    /// A fresh test with fire threshold `λ = threshold` and drift
+    /// allowance `δ = delta`.
+    pub fn new(threshold: f64, delta: f64) -> Self {
+        PageHinkley {
+            threshold,
+            delta,
+            n: 0,
+            mean: 0.0,
+            cum: 0.0,
+            min_cum: 0.0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.min_cum = 0.0;
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn update(&mut self, residual: f64) -> bool {
+        self.n += 1;
+        self.mean += (residual - self.mean) / self.n as f64;
+        self.cum += residual - self.mean - self.delta;
+        self.min_cum = self.min_cum.min(self.cum);
+        if self.cum - self.min_cum > self.threshold {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Number of residuals the ADWIN-style buffer retains.
+const ADWIN_CAP: usize = 64;
+/// Minimum buffered residuals before the half-split test arms.
+const ADWIN_MIN: usize = 8;
+
+/// Simplified adaptive-windowing detector: the last [`ADWIN_CAP`]
+/// residuals are split into an older and a newer half and the means are
+/// compared against a Hoeffding-style bound scaled by the buffer's value
+/// range. On fire the older half is dropped (the window "adapts" to the
+/// new regime).
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    delta: f64,
+    buf: VecDeque<f64>,
+}
+
+impl Adwin {
+    /// A fresh detector with confidence parameter `delta` (smaller ⇒
+    /// fewer, more certain fires).
+    pub fn new(delta: f64) -> Self {
+        Adwin {
+            delta: delta.clamp(1e-9, 1.0),
+            buf: VecDeque::with_capacity(ADWIN_CAP),
+        }
+    }
+}
+
+impl DriftDetector for Adwin {
+    fn update(&mut self, residual: f64) -> bool {
+        if self.buf.len() == ADWIN_CAP {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(residual);
+        let n = self.buf.len();
+        if n < ADWIN_MIN {
+            return false;
+        }
+        let mid = n / 2;
+        let (mut old_sum, mut new_sum) = (0.0, 0.0);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &x) in self.buf.iter().enumerate() {
+            if i < mid {
+                old_sum += x;
+            } else {
+                new_sum += x;
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let (n0, n1) = (mid as f64, (n - mid) as f64);
+        let gap = new_sum / n1 - old_sum / n0;
+        let range = (hi - lo).max(f64::EPSILON);
+        let eps = range * ((2.0 / self.delta).ln() / 2.0 * (1.0 / n0 + 1.0 / n1)).sqrt();
+        // One-sided, like Page–Hinkley: only a residual *increase* fires.
+        if gap > eps {
+            self.buf.drain(..mid);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Escalation rung the next retrain will use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Escalation {
+    /// No unabsorbed fire: retrain with the policy's base mode.
+    #[default]
+    Calm,
+    /// One fire since the last escalated retrain: retrain windowed.
+    Windowed,
+    /// A second fire before the windowed retrain landed: full refit.
+    Full,
+}
+
+/// Per-shard drift state: the configured detector plus the
+/// Incremental → Windowed → Full escalation ladder.
+///
+/// The state machine is strictly mode-modulating: [`DriftState::observe`]
+/// consumes residuals and moves the ladder, [`DriftState::next_mode`]
+/// reports the retrain mode the ladder currently prescribes, and
+/// [`DriftState::on_retrain_applied`] resets the ladder once an escalated
+/// retrain actually ran (a base-mode retrain leaves an armed ladder
+/// armed).
+#[derive(Debug, Clone, Default)]
+pub struct DriftState {
+    detector: Option<Detector>,
+    escalation: Escalation,
+}
+
+#[derive(Debug, Clone)]
+enum Detector {
+    PageHinkley(PageHinkley),
+    Adwin(Adwin),
+}
+
+impl DriftState {
+    /// Builds the state the config asks for; [`DetectorKind::Off`] yields
+    /// an inert state whose `observe` is a no-op returning `false`.
+    pub fn new(cfg: &DriftConfig) -> Self {
+        let detector = match cfg.detector {
+            DetectorKind::Off => None,
+            DetectorKind::PageHinkley => {
+                Some(Detector::PageHinkley(PageHinkley::new(cfg.threshold, cfg.delta)))
+            }
+            DetectorKind::Adwin => Some(Detector::Adwin(Adwin::new(cfg.delta))),
+        };
+        DriftState {
+            detector,
+            escalation: Escalation::Calm,
+        }
+    }
+
+    /// Feeds one prediction residual. Returns `true` when the detector
+    /// fired, in which case the escalation ladder has already advanced.
+    pub fn observe(&mut self, residual: f64) -> bool {
+        let fired = match &mut self.detector {
+            None => false,
+            Some(Detector::PageHinkley(d)) => d.update(residual),
+            Some(Detector::Adwin(d)) => d.update(residual),
+        };
+        if fired {
+            self.escalation = match self.escalation {
+                Escalation::Calm => Escalation::Windowed,
+                Escalation::Windowed | Escalation::Full => Escalation::Full,
+            };
+        }
+        fired
+    }
+
+    /// The retrain mode the ladder currently prescribes, given the
+    /// policy's base mode and drift config.
+    pub fn next_mode(&self, base: RetrainMode, cfg: &DriftConfig) -> RetrainMode {
+        match self.escalation {
+            Escalation::Calm => base,
+            Escalation::Windowed => RetrainMode::Windowed {
+                window: cfg.window,
+                decay: cfg.decay,
+            },
+            Escalation::Full => RetrainMode::Full,
+        }
+    }
+
+    /// `true` when a fire has escalated the next retrain.
+    pub fn escalated(&self) -> bool {
+        self.escalation != Escalation::Calm
+    }
+
+    /// Acknowledges that a retrain ran with [`DriftState::next_mode`]'s
+    /// prescription; an escalated ladder resets to calm.
+    pub fn on_retrain_applied(&mut self) {
+        self.escalation = Escalation::Calm;
+    }
+}
+
+/// Converts per-member selection regrets (≥ 0, lower is better) into
+/// normalized ensemble weights `wᵢ ∝ 1 / (ε + rᵢ)` with
+/// `ε = 10⁻⁶ + mean(r) / 100` — a pure, deterministic function of the
+/// regrets: equal regrets give uniform weights, a member with much lower
+/// regret than the rest dominates without ever zeroing the others out.
+///
+/// Negative regrets are clamped to zero. Returns an empty vector for an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if any regret is non-finite.
+pub fn regret_weights(regrets: &[f64]) -> Vec<f64> {
+    if regrets.is_empty() {
+        return Vec::new();
+    }
+    assert!(
+        regrets.iter().all(|r| r.is_finite()),
+        "regrets must be finite"
+    );
+    let clamped: Vec<f64> = regrets.iter().map(|r| r.max(0.0)).collect();
+    let eps = 1e-6 + disar_math::stats::mean(&clamped) / 100.0;
+    let raw: Vec<f64> = clamped.iter().map(|r| 1.0 / (eps + r)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A residual stream that sits at `lo` for `n_pre` steps, then jumps
+    /// to `hi`. Small deterministic alternation keeps the variance
+    /// non-degenerate.
+    fn stream(n_pre: usize, n_post: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n_pre + n_post)
+            .map(|i| {
+                let base = if i < n_pre { lo } else { hi };
+                base * if i % 2 == 0 { 0.9 } else { 1.1 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn page_hinkley_fires_after_the_change_never_before() {
+        let mut d = PageHinkley::new(default_threshold(), default_delta());
+        let xs = stream(200, 50, 0.1, 2.0);
+        let mut fired_at = None;
+        for (i, &x) in xs.iter().enumerate() {
+            if d.update(x) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("a 20× residual jump must fire");
+        assert!(at >= 200, "fired during the stationary prefix at {at}");
+        assert!(at < 220, "fired too late at {at}");
+    }
+
+    #[test]
+    fn page_hinkley_is_one_sided() {
+        // Residuals *improving* must never fire.
+        let mut d = PageHinkley::new(default_threshold(), default_delta());
+        for &x in &stream(200, 200, 2.0, 0.1) {
+            assert!(!d.update(x), "improvement fired the detector");
+        }
+    }
+
+    #[test]
+    fn adwin_fires_after_the_change_never_before() {
+        let mut d = Adwin::new(default_delta());
+        let xs = stream(200, 64, 0.1, 2.0);
+        let mut fired_at = None;
+        for (i, &x) in xs.iter().enumerate() {
+            if d.update(x) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("a 20× residual jump must fire");
+        assert!(at >= 200, "fired during the stationary prefix at {at}");
+        assert!(at < 264, "fired too late at {at}");
+    }
+
+    #[test]
+    fn adwin_stays_quiet_on_stationary_noise() {
+        let mut d = Adwin::new(default_delta());
+        for &x in &stream(500, 0, 0.15, 0.0) {
+            assert!(!d.update(x), "stationary stream fired ADWIN");
+        }
+    }
+
+    #[test]
+    fn off_state_is_inert() {
+        let mut s = DriftState::new(&DriftConfig::default());
+        for _ in 0..100 {
+            assert!(!s.observe(1e9));
+        }
+        assert!(!s.escalated());
+        assert_eq!(
+            s.next_mode(RetrainMode::Incremental, &DriftConfig::default()),
+            RetrainMode::Incremental
+        );
+    }
+
+    #[test]
+    fn escalation_ladder_steps_windowed_then_full_then_resets() {
+        let cfg = DriftConfig {
+            detector: DetectorKind::PageHinkley,
+            ..DriftConfig::default()
+        };
+        let mut s = DriftState::new(&cfg);
+        assert_eq!(s.next_mode(RetrainMode::Incremental, &cfg), RetrainMode::Incremental);
+
+        // Drive to the first fire.
+        while !s.observe(3.0) {}
+        assert!(s.escalated());
+        assert_eq!(
+            s.next_mode(RetrainMode::Incremental, &cfg),
+            RetrainMode::Windowed {
+                window: cfg.window,
+                decay: cfg.decay
+            }
+        );
+
+        // A second fire before the retrain lands escalates to Full.
+        while !s.observe(9.0) {}
+        assert_eq!(s.next_mode(RetrainMode::Incremental, &cfg), RetrainMode::Full);
+
+        // The applied retrain resets the ladder to the base mode.
+        s.on_retrain_applied();
+        assert!(!s.escalated());
+        assert_eq!(s.next_mode(RetrainMode::Warm, &cfg), RetrainMode::Warm);
+    }
+
+    #[test]
+    fn regret_weights_prefer_low_regret() {
+        let w = regret_weights(&[0.0, 1.0, 10.0]);
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        // Equal regrets ⇒ exactly uniform.
+        let u = regret_weights(&[2.0, 2.0, 2.0, 2.0]);
+        for &wi in &u {
+            assert_eq!(wi, 0.25);
+        }
+        // Negative regrets clamp to zero; empty input stays empty.
+        assert_eq!(regret_weights(&[-1.0]), vec![1.0]);
+        assert!(regret_weights(&[]).is_empty());
+    }
+
+    #[test]
+    fn regret_weights_are_deterministic() {
+        let r = [0.3, 0.7, 0.1, 4.0];
+        assert_eq!(regret_weights(&r), regret_weights(&r));
+    }
+
+    #[test]
+    fn drift_config_serde_defaults_to_off() {
+        // Pre-drift policy JSON carries no drift block at all; an empty
+        // object must deserialize to the inert default.
+        let cfg: DriftConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(cfg, DriftConfig::default());
+        assert!(!cfg.enabled());
+        let round: DriftConfig =
+            serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        assert_eq!(round, cfg);
+    }
+}

@@ -19,6 +19,10 @@
 //!   `(m, n)` configuration, average the predictions, discard those above
 //!   `T_max`, pick the cheapest, and with probability ε explore a random
 //!   feasible configuration instead;
+//! - [`drift`]: residual-based change detectors (Page–Hinkley, simplified
+//!   ADWIN), the per-shard Incremental → Windowed → Full retrain
+//!   escalation ladder, and regret-derived ensemble weighting — the
+//!   adaptation loop for a non-stationary cloud, off by default;
 //! - [`deploy`]: the **self-optimizing loop**: select a configuration,
 //!   provision and run on the (simulated) cloud, record the realized time
 //!   in the knowledge base, retrain, repeat. Supports the paper's manual
@@ -52,6 +56,7 @@
 
 pub mod algorithm;
 pub mod deploy;
+pub mod drift;
 pub mod hetero;
 pub mod knowledge;
 pub mod pipeline;
@@ -70,6 +75,9 @@ pub use algorithm::{
 pub use deploy::{
     DeployDecision, DeployMode, DeployOutcome, DeployPolicy, DeployPolicyBuilder, Deployer,
     ShardedDeployer, TransparentDeployer,
+};
+pub use drift::{
+    regret_weights, Adwin, DetectorKind, DriftConfig, DriftDetector, DriftState, PageHinkley,
 };
 pub use error::CoreError;
 pub use hetero::{

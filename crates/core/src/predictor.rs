@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 /// How a retrain treats the family's previously trained state — the single
 /// knob behind [`PredictorFamily::retrain`], replacing the accreted
 /// `retrain_full*`/`retrain_warm*` method family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum RetrainMode {
     /// The default bit-identity-preserving path: when the knowledge base
     /// grew by appending to the trained prefix (verified by the boundary
@@ -43,6 +43,21 @@ pub enum RetrainMode {
     /// Deterministic, but **not** refit-identical — for after-every-run
     /// loops where retrain latency matters more than refit equivalence.
     Warm,
+    /// Refit every member from scratch on the last `window` records plus a
+    /// seeded `decay`-fraction subsample of the older history
+    /// ([`disar_ml::Dataset::decayed_window`]) — the drift-recovery mode:
+    /// after a regime change the stale prefix is down-weighted instead of
+    /// dominating the fit. `window: usize::MAX` (or `decay: 1.0`) keeps
+    /// everything, making the retrain bit-identical to
+    /// [`RetrainMode::Full`]; the retrain after a genuine windowed fit
+    /// falls back to a full refit automatically (the members' fitted
+    /// length no longer matches the trained prefix).
+    Windowed {
+        /// Number of most-recent records always kept in the training set.
+        window: usize,
+        /// Fraction of the pre-window history retained, in `[0, 1]`.
+        decay: f64,
+    },
 }
 
 /// Reusable buffers for [`TimePredictor::predict_grid`]: the feature
@@ -152,6 +167,8 @@ pub struct PredictorFamily {
     /// gates the incremental retrain path.
     trained_fingerprint: u64,
     min_samples: usize,
+    /// Family seed, reused to key the windowed-retrain history subsample.
+    seed: u64,
 }
 
 impl PredictorFamily {
@@ -166,6 +183,7 @@ impl PredictorFamily {
             trained_on: 0,
             trained_fingerprint: 0,
             min_samples: min_samples.max(2),
+            seed,
         }
     }
 
@@ -233,12 +251,60 @@ impl PredictorFamily {
         mode: RetrainMode,
         n_threads: usize,
     ) -> Result<(), CoreError> {
-        self.retrain_impl(
-            kb,
-            n_threads,
-            mode == RetrainMode::Full,
-            mode == RetrainMode::Warm,
-        )
+        match mode {
+            RetrainMode::Incremental => self.retrain_impl(kb, n_threads, false, false),
+            RetrainMode::Full => self.retrain_impl(kb, n_threads, true, false),
+            RetrainMode::Warm => self.retrain_impl(kb, n_threads, false, true),
+            RetrainMode::Windowed { window, decay } => {
+                self.retrain_windowed(kb, n_threads, window, decay)
+            }
+        }
+    }
+
+    /// The [`RetrainMode::Windowed`] path: refit every member from scratch
+    /// on the suffix window plus the decayed history sample. When the
+    /// windowed set happens to be the whole base (unbounded window or
+    /// `decay = 1.0`) this is bit-identical to [`RetrainMode::Full`];
+    /// otherwise the members end up fitted on fewer rows than
+    /// `trained_on`, which by itself forces the *next* incremental retrain
+    /// down the safe full-refit fallback.
+    fn retrain_windowed(
+        &mut self,
+        kb: &KnowledgeBase,
+        n_threads: usize,
+        window: usize,
+        decay: f64,
+    ) -> Result<(), CoreError> {
+        if n_threads == 0 {
+            return Err(CoreError::InvalidParameter("n_threads must be > 0"));
+        }
+        if window == 0 {
+            return Err(CoreError::InvalidParameter(
+                "windowed retrain needs a non-empty window",
+            ));
+        }
+        if !(0.0..=1.0).contains(&decay) {
+            return Err(CoreError::InvalidParameter(
+                "windowed decay must be in [0, 1]",
+            ));
+        }
+        if kb.len() < self.min_samples {
+            return Err(CoreError::InsufficientKnowledge {
+                have: kb.len(),
+                need: self.min_samples,
+            });
+        }
+        let data_ref = kb.dataset()?;
+        let data: &Dataset = &data_ref;
+        let start = data.len().saturating_sub(window);
+        let windowed = data.decayed_window(start, decay, self.seed);
+        let results = parallel_map_mut(&mut self.models, n_threads, |_, m| m.fit(&windowed));
+        for r in results {
+            r?;
+        }
+        self.trained_on = data.len();
+        self.trained_fingerprint = Self::fingerprint(data, data.len());
+        Ok(())
     }
 
     fn retrain_impl(
@@ -722,6 +788,87 @@ mod tests {
         par.retrain(&filled_kb(50), RetrainMode::Incremental, 1).unwrap();
         par.retrain(&filled_kb(90), RetrainMode::Warm, 4).unwrap();
         assert_families_identical(&seq, &par, "warm retrain thread invariance");
+    }
+
+    #[test]
+    fn unbounded_window_matches_full_refit_bitwise() {
+        let kb = filled_kb(120);
+        let mut win = PredictorFamily::new(3, 2);
+        win.retrain(
+            &kb,
+            RetrainMode::Windowed {
+                window: usize::MAX,
+                decay: 1.0,
+            },
+            1,
+        )
+        .unwrap();
+        let mut full = PredictorFamily::new(3, 2);
+        full.retrain(&kb, RetrainMode::Full, 1).unwrap();
+        assert_eq!(win.trained_on(), full.trained_on());
+        assert_families_identical(&win, &full, "windowed(∞, 1.0) vs full");
+
+        // decay = 1.0 alone also keeps everything, regardless of window.
+        let mut decayed = PredictorFamily::new(3, 2);
+        decayed
+            .retrain(&kb, RetrainMode::Windowed { window: 10, decay: 1.0 }, 1)
+            .unwrap();
+        assert_families_identical(&decayed, &full, "windowed(10, 1.0) vs full");
+    }
+
+    #[test]
+    fn windowed_retrain_trains_on_the_window() {
+        // A genuine window must match a from-scratch fit on just the
+        // suffix (decay = 0 keeps no history at all).
+        let kb = filled_kb(150);
+        let mut win = PredictorFamily::new(3, 2);
+        win.retrain(&kb, RetrainMode::Windowed { window: 40, decay: 0.0 }, 1)
+            .unwrap();
+        assert_eq!(win.trained_on(), 150);
+        let mut suffix_kb = KnowledgeBase::new();
+        for r in &kb.records()[110..] {
+            suffix_kb.record(r.clone());
+        }
+        let mut suffix = PredictorFamily::new(3, 2);
+        suffix.retrain(&suffix_kb, RetrainMode::Full, 1).unwrap();
+        let cat = InstanceCatalog::paper_catalog();
+        let inst = cat.get("c3.4xlarge").unwrap();
+        let pw = win.predict_each(&profile(180), inst, 2).unwrap();
+        let ps = suffix.predict_each(&profile(180), inst, 2).unwrap();
+        assert_eq!(pw, ps, "window fit must see only the suffix");
+    }
+
+    #[test]
+    fn incremental_after_windowed_falls_back_to_full_refit() {
+        // After a genuine windowed fit the members cover fewer rows than
+        // `trained_on`; the next incremental retrain must not splice new
+        // rows onto that state but refit from scratch.
+        let mut fam = PredictorFamily::new(8, 2);
+        fam.retrain(
+            &filled_kb(100),
+            RetrainMode::Windowed { window: 30, decay: 0.1 },
+            1,
+        )
+        .unwrap();
+        fam.retrain(&filled_kb(130), RetrainMode::Incremental, 1).unwrap();
+        let mut fresh = PredictorFamily::new(8, 2);
+        fresh.retrain(&filled_kb(130), RetrainMode::Full, 1).unwrap();
+        assert_families_identical(&fam, &fresh, "incremental after windowed");
+    }
+
+    #[test]
+    fn windowed_retrain_validates_parameters() {
+        let mut fam = PredictorFamily::new(3, 2);
+        let kb = filled_kb(50);
+        assert!(matches!(
+            fam.retrain(&kb, RetrainMode::Windowed { window: 0, decay: 0.5 }, 1),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            fam.retrain(&kb, RetrainMode::Windowed { window: 10, decay: 1.5 }, 1),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(!fam.is_trained());
     }
 
     #[test]

@@ -44,8 +44,10 @@
 //! snapshot, so they never wait.
 
 use crate::deploy::{
-    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, DeployerCore,
+    relative_residual, DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer,
+    DeployerCore,
 };
+use crate::drift::DriftState;
 use crate::knowledge::KnowledgeBase;
 use crate::knowledge::RunRecord;
 use crate::pipeline::{DeployPipeline, PipelineJob, PipelineStats};
@@ -343,6 +345,11 @@ struct LandedMsg {
     tenant: TenantId,
     /// Whether this landing fired the tenant's retrain gate.
     fired: bool,
+    /// The retrain mode the recording side's escalation ladder selected
+    /// at fire time (meaningful only when `fired`; the base policy mode
+    /// otherwise). Carried in the message so the batching ingester needs
+    /// no drift state of its own.
+    mode: RetrainMode,
 }
 
 /// Everything the worker, ingester and handle threads share.
@@ -438,6 +445,9 @@ struct ServiceTenantDeployer {
     shared: Arc<ServiceShared>,
     reader: SnapshotReader,
     ingest: mpsc::Sender<LandedMsg>,
+    /// Per-instance drift state for this tenant's residual stream; a fire
+    /// escalates the mode carried by the next fired [`LandedMsg`] only.
+    drift: BTreeMap<String, DriftState>,
 }
 
 impl ServiceTenantDeployer {
@@ -457,6 +467,7 @@ impl ServiceTenantDeployer {
             shared,
             reader,
             ingest,
+            drift: BTreeMap::new(),
         }
     }
 
@@ -612,9 +623,23 @@ impl Deployer for ServiceTenantDeployer {
             .entry(decision.instance.clone())
             .or_insert(0) += 1;
         self.core.runs_since_retrain += 1;
+        // Feed the prediction residual to this shard's drift detector
+        // before the retrain gate. Detectors only escalate the retrain
+        // *mode*, never whether a retrain fires, so the fire schedule —
+        // and with it both bit-identity watermarks — is untouched.
+        if self.core.policy.drift.enabled() {
+            if let Some(residual) = relative_residual(decision, report) {
+                let state = self
+                    .drift
+                    .entry(decision.instance.clone())
+                    .or_insert_with(|| DriftState::new(&self.core.policy.drift));
+                let _ = state.observe(residual);
+            }
+        }
         // The solo Isolated gate, verbatim: fire on the retrain schedule
         // once the shard holds the family minimum.
         let mut fired = false;
+        let mut mode = self.core.policy.retrain_mode;
         if self.core.runs_since_retrain >= self.core.policy.retrain_every
             && shard_len >= FAMILY_MIN_SAMPLES
         {
@@ -627,12 +652,20 @@ impl Deployer for ServiceTenantDeployer {
                 .shard_fires
                 .entry(decision.instance.clone())
                 .or_insert(0) += 1;
+            // Resolve the escalation ladder at fire time: the message
+            // carries the mode, and the queued fire is guaranteed to be
+            // retrained by the ingester, so the ladder resets here.
+            if let Some(state) = self.drift.get_mut(&decision.instance) {
+                mode = state.next_mode(self.core.policy.retrain_mode, &self.core.policy.drift);
+                state.on_retrain_applied();
+            }
         }
         self.ingest
             .send(LandedMsg {
                 instance: decision.instance.clone(),
                 tenant: self.tenant.clone(),
                 fired,
+                mode,
             })
             .map_err(|_| CoreError::ServiceStopped("predictor ingester stopped"))?;
         Ok(())
@@ -1055,27 +1088,25 @@ fn ingester_loop(shared: &Arc<ServiceShared>, rx: &Receiver<LandedMsg>, batch_ma
         // flush-before-append rule guarantees at most one fire per shard
         // per batch, so "one retrain per dirty shard" is exact, not an
         // approximation.
-        let mut dirty: Vec<(String, TenantId)> = Vec::new();
+        let mut dirty: Vec<((String, TenantId), RetrainMode)> = Vec::new();
         for msg in batch.iter().filter(|m| m.fired) {
             let key = (msg.instance.clone(), msg.tenant.clone());
-            if !dirty.contains(&key) {
-                dirty.push(key);
+            if !dirty.iter().any(|(k, _)| *k == key) {
+                dirty.push((key, msg.mode));
             }
         }
         if dirty.is_empty() {
             continue;
         }
         let mut next = (*shared.snapshot.load()).clone();
-        for key in &dirty {
+        for (key, mode) in &dirty {
             let seed = shared.seed_of(&key.1);
             let shard = shared.shard_handle(&key.0, &key.1);
             let guard = shard.lock().expect("shard poisoned");
             let family = masters
                 .entry(key.clone())
                 .or_insert_with(|| PredictorFamily::new(seed, FAMILY_MIN_SAMPLES));
-            if let Err(_e) =
-                family.retrain(&guard, RetrainMode::Incremental, shared.policy.n_threads)
-            {
+            if let Err(_e) = family.retrain(&guard, *mode, shared.policy.n_threads) {
                 // A retrain failure poisons the whole service: close the
                 // cell so every watermark waiter errors out instead of
                 // spinning forever.

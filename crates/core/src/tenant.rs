@@ -27,8 +27,10 @@
 //! bit-identical to [`crate::deploy::ShardedDeployer`].
 
 use crate::deploy::{
-    DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer, DeployerCore, PendingSim,
+    relative_residual, DeployDecision, DeployMode, DeployOutcome, DeployPolicy, Deployer,
+    DeployerCore, PendingSim,
 };
+use crate::drift::DriftState;
 use crate::knowledge::{check_schema, KnowledgeBase, KnowledgeStore, RunRecord, SchemaVersion};
 use crate::predictor::{GridScratch, PredictorFamily, RetrainMode, TimePredictor};
 use crate::profile::JobProfile;
@@ -620,6 +622,11 @@ pub struct TenantShardedDeployer {
     kb: TenantShardedKnowledgeBase,
     predictor: TenantShardedPredictor,
     tenant: TenantId,
+    /// Per-(instance × tenant) drift state: a fire escalates only the
+    /// affected shard's next retrain (inert unless the policy enables it).
+    drift: BTreeMap<(String, TenantId), DriftState>,
+    /// Number of drift-detector fires so far across all shards.
+    drift_fires: u64,
 }
 
 impl TenantShardedDeployer {
@@ -636,6 +643,8 @@ impl TenantShardedDeployer {
             core: DeployerCore::new(provider, policy, seed),
             kb: TenantShardedKnowledgeBase::new(),
             tenant: TenantId::default(),
+            drift: BTreeMap::new(),
+            drift_fires: 0,
         }
     }
 
@@ -700,8 +709,16 @@ impl TenantShardedDeployer {
     /// Propagates the first shard-retrain failure.
     pub fn warm(&mut self) -> Result<(), CoreError> {
         self.core.policy.validate()?;
+        let mode = self.core.policy.retrain_mode;
         self.predictor
-            .retrain_all(&self.kb, RetrainMode::Incremental, self.core.policy.n_threads)
+            .retrain_all(&self.kb, mode, self.core.policy.n_threads)
+    }
+
+    /// Number of drift-detector fires so far across all (instance ×
+    /// tenant) shards (0 with the default
+    /// [`crate::drift::DetectorKind::Off`] policy).
+    pub fn drift_fires(&self) -> u64 {
+        self.drift_fires
     }
 
     /// Deploys one job: the full select → run → record → retrain cycle
@@ -877,9 +894,30 @@ impl Deployer for TenantShardedDeployer {
             .with_tenant(self.tenant.clone()),
         );
         self.core.runs_since_retrain += 1;
+        // Feed the prediction residual to this shard's drift detector
+        // before the retrain gate. Detectors only modulate the retrain
+        // *mode*, never whether a retrain fires, so the recorded outcome
+        // stream stays independent of detector state (the pending-replay
+        // contract [`TenantShardedDeployer::simulate_pending`] relies on).
+        let shard_key = (decision.instance.clone(), self.tenant.clone());
+        if self.core.policy.drift.enabled() {
+            if let Some(residual) = relative_residual(decision, report) {
+                let state = self
+                    .drift
+                    .entry(shard_key.clone())
+                    .or_insert_with(|| DriftState::new(&self.core.policy.drift));
+                if state.observe(residual) {
+                    self.drift_fires += 1;
+                }
+            }
+        }
         if self.core.runs_since_retrain >= self.core.policy.retrain_every {
             let transfer = self.core.policy.transfer;
             let n_threads = self.core.policy.n_threads;
+            let mode = self.drift.get(&shard_key).map_or(
+                self.core.policy.retrain_mode,
+                |s| s.next_mode(self.core.policy.retrain_mode, &self.core.policy.drift),
+            );
             let mut fired = false;
             if transfer.uses_local() {
                 let shard = self
@@ -891,7 +929,7 @@ impl Deployer for TenantShardedDeployer {
                         &decision.instance,
                         &self.tenant,
                         shard,
-                        RetrainMode::Incremental,
+                        mode,
                         n_threads,
                     )?;
                     fired = true;
@@ -903,17 +941,16 @@ impl Deployer for TenantShardedDeployer {
                     .pooled_shard(&decision.instance)
                     .expect("record() created the pooled shard");
                 if shard.len() >= self.predictor.min_samples() {
-                    self.predictor.retrain_pooled(
-                        &decision.instance,
-                        shard,
-                        RetrainMode::Incremental,
-                        n_threads,
-                    )?;
+                    self.predictor
+                        .retrain_pooled(&decision.instance, shard, mode, n_threads)?;
                     fired = true;
                 }
             }
             if fired {
                 self.core.runs_since_retrain = 0;
+                if let Some(s) = self.drift.get_mut(&shard_key) {
+                    s.on_retrain_applied();
+                }
             }
         }
         Ok(())

@@ -1,6 +1,6 @@
 //! Property-based tests of the provisioning layer.
 
-use disar_cloudsim::{CloudProvider, InstanceCatalog, Workload};
+use disar_cloudsim::{CloudProvider, DriftModel, InstanceCatalog, Workload};
 use disar_core::deploy::{DeployPolicy, TransparentDeployer};
 use disar_core::{
     select_configuration, select_configuration_with_rule, select_hetero_configuration,
@@ -219,5 +219,46 @@ proptest! {
         prop_assert_eq!(len_a, deploys);
         prop_assert_eq!(len_b, deploys);
         prop_assert_eq!(picks_a, picks_b);
+    }
+
+    /// A stationary cloud is the bit-identical default: deploying against
+    /// a provider carrying an explicit [`DriftModel::None`] reproduces the
+    /// no-drift provider's decisions, realized reports, and costs bit for
+    /// bit under the default (drift-off) policy.
+    #[test]
+    fn stationary_drift_model_is_bit_identical(seed in 0u64..50, deploys in 1usize..8) {
+        let run = |drifted: bool| {
+            let mut provider = CloudProvider::new(InstanceCatalog::paper_catalog(), seed);
+            if drifted {
+                provider = provider.with_drift(DriftModel::None);
+            }
+            let policy = DeployPolicy::builder(1e6)
+                .epsilon(0.1)
+                .max_nodes(4)
+                .min_kb_samples(3)
+                .retrain_every(2)
+                .n_threads(1)
+                .build();
+            let mut d = TransparentDeployer::new(provider, policy, seed);
+            let wl = Workload::new(5_000.0, 4.0, 40.0, 0.05).expect("valid");
+            let mut outs = Vec::new();
+            for i in 0..deploys {
+                let out = d.deploy(&profile(100 + i * 31), &wl).expect("deploys");
+                outs.push((
+                    out.decision.instance.clone(),
+                    out.decision.n_nodes,
+                    out.decision.predicted_secs.map(f64::to_bits),
+                    out.report.duration_secs.to_bits(),
+                    out.report.prorated_cost.to_bits(),
+                ));
+            }
+            (outs, d.drift_fires())
+        };
+        let (plain, fires_plain) = run(false);
+        let (stationary, fires_stationary) = run(true);
+        prop_assert_eq!(plain, stationary);
+        // The default policy keeps the detector off entirely.
+        prop_assert_eq!(fires_plain, 0u64);
+        prop_assert_eq!(fires_stationary, 0u64);
     }
 }

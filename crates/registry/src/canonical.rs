@@ -23,6 +23,8 @@
 
 use disar_cloudsim::Workload;
 use disar_core::deploy::DeployPolicy;
+use disar_core::drift::{DetectorKind, DriftConfig};
+use disar_core::predictor::RetrainMode;
 use disar_core::tenant::{TenantId, TransferPolicy};
 use disar_core::{
     JobProfile, KnowledgeBase, KnowledgeStore, RunRecord, ShardedKnowledgeBase,
@@ -263,6 +265,46 @@ impl Canonicalize for Workload {
     }
 }
 
+impl Canonicalize for RetrainMode {
+    fn canonicalize(&self, h: &mut CanonicalHasher) {
+        match self {
+            RetrainMode::Incremental => h.write_str("incremental"),
+            RetrainMode::Full => h.write_str("full"),
+            RetrainMode::Warm => h.write_str("warm"),
+            RetrainMode::Windowed { window, decay } => {
+                h.write_str("windowed");
+                h.write_usize(*window);
+                h.write_f64(*decay);
+            }
+        }
+    }
+}
+
+impl Canonicalize for DetectorKind {
+    fn canonicalize(&self, h: &mut CanonicalHasher) {
+        match self {
+            DetectorKind::Off => h.write_str("off"),
+            DetectorKind::PageHinkley => h.write_str("page-hinkley"),
+            DetectorKind::Adwin => h.write_str("adwin"),
+        }
+    }
+}
+
+impl Canonicalize for DriftConfig {
+    fn canonicalize(&self, h: &mut CanonicalHasher) {
+        h.field("detector");
+        self.detector.canonicalize(h);
+        h.field("threshold");
+        h.write_f64(self.threshold);
+        h.field("delta");
+        h.write_f64(self.delta);
+        h.field("window");
+        h.write_usize(self.window);
+        h.field("decay");
+        h.write_f64(self.decay);
+    }
+}
+
 impl Canonicalize for DeployPolicy {
     fn canonicalize(&self, h: &mut CanonicalHasher) {
         h.field("t_max_secs");
@@ -279,6 +321,10 @@ impl Canonicalize for DeployPolicy {
         h.write_usize(self.n_threads);
         h.field("transfer");
         self.transfer.canonicalize(h);
+        h.field("retrain_mode");
+        self.retrain_mode.canonicalize(h);
+        h.field("drift");
+        self.drift.canonicalize(h);
     }
 }
 

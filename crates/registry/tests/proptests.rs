@@ -5,6 +5,8 @@
 
 use disar_cloudsim::InstanceCatalog;
 use disar_core::deploy::DeployPolicy;
+use disar_core::drift::{DetectorKind, DriftConfig};
+use disar_core::predictor::RetrainMode;
 use disar_core::tenant::{TenantId, TenantShardedKnowledgeBase, TransferPolicy};
 use disar_core::{
     JobProfile, KnowledgeBase, KnowledgeStore, RunRecord, SchemaVersion, ShardedKnowledgeBase,
@@ -85,6 +87,8 @@ proptest! {
             retrain_every,
             n_threads,
             transfer: TransferPolicy::Isolated,
+            retrain_mode: RetrainMode::Incremental,
+            drift: DriftConfig::default(),
         };
         let h0 = base.canonical_hash();
         // Same values assembled through the builder digest identically.
@@ -118,6 +122,12 @@ proptest! {
         prop_assert_ne!(h0, m.canonical_hash());
         let mut m = base;
         m.transfer = TransferPolicy::Pooled;
+        prop_assert_ne!(h0, m.canonical_hash());
+        let mut m = base;
+        m.retrain_mode = RetrainMode::Windowed { window: 32, decay: 0.5 };
+        prop_assert_ne!(h0, m.canonical_hash());
+        let mut m = base;
+        m.drift.detector = DetectorKind::PageHinkley;
         prop_assert_ne!(h0, m.canonical_hash());
     }
 
